@@ -1,0 +1,37 @@
+// Ablation (design choice, paper §5.2): DAS's tunable parameters eta and q
+// with eta + q = 1. eta controls the utility-dominant fraction of each row;
+// q gates the deadline-aware set. The paper fixes eta = q = 1/2 (giving the
+// 1/5-competitive bound); this sweep shows how sensitive the achieved
+// utility is to that choice.
+#include "common.hpp"
+
+int main() {
+  using namespace tcb;
+  using namespace tcb::bench;
+  print_figure_banner("Ablation", "DAS eta/q sweep (eta + q = 1)");
+
+  TablePrinter table({"eta", "q", "utility", "completed", "failed",
+                      "theoretical ratio eta*q/(eta*q+1)"});
+  CsvWriter csv("ablation_eta_q.csv",
+                {"eta", "q", "utility", "completed", "failed"});
+  for (const double eta : {0.1, 0.25, 0.4, 0.5, 0.6, 0.75, 0.9}) {
+    const double q = 1.0 - eta;
+    SchedulerConfig sc;
+    sc.batch_rows = 16;
+    sc.row_capacity = 100;
+    sc.eta = eta;
+    sc.q = q;
+    const auto report =
+        run_serving(Scheme::kConcatPure, "das", sc, paper_workload(300));
+    table.row_numeric({eta, q, report.total_utility,
+                       static_cast<double>(report.completed),
+                       static_cast<double>(report.failed),
+                       eta * q / (eta * q + 1.0)});
+    csv.row_numeric({eta, q, report.total_utility,
+                     static_cast<double>(report.completed),
+                     static_cast<double>(report.failed)});
+  }
+  table.print();
+  std::printf("series written to %s\n", "ablation_eta_q.csv");
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Figure 10: serving throughput (responses/second) vs request arrival rate
+// for DAS-TNB, DAS-TTB and DAS-TCB (input length 3-100, average 20,
+// variance 20, batch size 64).
+//
+// Expected shape: TCB always on top; maximum gaps ~2.2x over TNB and ~1.5x
+// over TTB once the baselines saturate.
+#include "common.hpp"
+
+int main() {
+  using namespace tcb;
+  using namespace tcb::bench;
+  print_figure_banner("Fig. 10", "throughput vs request rate (DAS scheduling)");
+
+  SchedulerConfig sc;
+  sc.batch_rows = 64;
+  sc.row_capacity = 100;
+
+  const std::vector<double> rates = {40,  80,  120, 180,  200,
+                                     250, 350, 450, 1000, 1500};
+  TablePrinter table({"rate (req/s)", "DAS-TNB", "DAS-TTB", "DAS-TCB",
+                      "TCB/TNB", "TCB/TTB"});
+  CsvWriter csv("fig10_throughput_vs_rate.csv",
+                {"rate", "das_tnb", "das_ttb", "das_tcb"});
+  for (const double rate : rates) {
+    const auto workload = paper_workload(rate);
+    const double tnb =
+        run_serving(Scheme::kNaive, "das", sc, workload).throughput;
+    const double ttb =
+        run_serving(Scheme::kTurbo, "das", sc, workload).throughput;
+    const double tcb =
+        run_serving(Scheme::kConcatPure, "das", sc, workload).throughput;
+    table.row({format_number(rate), format_number(tnb), format_number(ttb),
+               format_number(tcb), format_number(tcb / tnb),
+               format_number(tcb / ttb)});
+    csv.row_numeric({rate, tnb, ttb, tcb});
+  }
+  table.print();
+  std::printf("series written to %s\n", "fig10_throughput_vs_rate.csv");
+  return 0;
+}

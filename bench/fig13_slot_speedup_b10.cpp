@@ -1,0 +1,14 @@
+// Figure 13: speedup of slotted over pure ConcatBatching on the real engine,
+// batch size 10, row length 400. Expected shape: modest speedup that grows
+// with the slot count and saturates (~1.2x peak in the paper).
+#include "common.hpp"
+#include "slot_speedup.hpp"
+
+int main() {
+  using namespace tcb::bench;
+  print_figure_banner("Fig. 13", "slotted ConcatBatching speedup, batch 10");
+  SlotSpeedupConfig cfg;
+  cfg.batch_rows = 10;
+  run_slot_speedup("fig13", cfg, "fig13_slot_speedup_b10.csv");
+  return 0;
+}

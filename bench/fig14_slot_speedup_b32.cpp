@@ -1,0 +1,15 @@
+// Figure 14: speedup of slotted over pure ConcatBatching on the real engine,
+// batch size 32, row length 400. Expected shape: larger batches expose more
+// attention redundancy, so the peak speedup exceeds Fig. 13's (paper: ~2.3x
+// at 7 slots) and flattens beyond that.
+#include "common.hpp"
+#include "slot_speedup.hpp"
+
+int main() {
+  using namespace tcb::bench;
+  print_figure_banner("Fig. 14", "slotted ConcatBatching speedup, batch 32");
+  SlotSpeedupConfig cfg;
+  cfg.batch_rows = 32;
+  run_slot_speedup("fig14", cfg, "fig14_slot_speedup_b32.csv");
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Figure 16: the DAS algorithm's own running time as a percentage of one
+// batch inference time, at request rates 100-400 req/s. Expected shape: the
+// ratio grows with the rate (more pending requests to sort and place) but
+// stays small — ~2% at 400 req/s in the paper.
+//
+// The DAS time is measured for real (wall clock of select() over the
+// simulation's actual pending pools); the batch inference time comes from
+// the V100-like cost model, matching how the serving figures are produced.
+#include "common.hpp"
+
+int main() {
+  using namespace tcb;
+  using namespace tcb::bench;
+  print_figure_banner("Fig. 16", "DAS runtime / batch inference time");
+
+  SchedulerConfig sc;
+  sc.batch_rows = 64;
+  sc.row_capacity = 100;
+
+  const std::vector<double> rates = {100, 200, 300, 400};
+  TablePrinter table({"rate (req/s)", "avg DAS time (ms)",
+                      "avg batch time (ms)", "ratio (%)"});
+  CsvWriter csv("fig16_das_overhead.csv",
+                {"rate", "das_ms", "batch_ms", "ratio_percent"});
+  for (const double rate : rates) {
+    const auto report =
+        run_serving(Scheme::kConcatPure, "das", sc, paper_workload(rate));
+    const double das_ms =
+        report.batches ? report.scheduler_seconds * 1e3 /
+                             static_cast<double>(report.batches)
+                       : 0.0;
+    const double batch_ms =
+        report.batches ? report.busy_seconds * 1e3 /
+                             static_cast<double>(report.batches)
+                       : 0.0;
+    const double ratio = batch_ms > 0.0 ? das_ms / batch_ms * 100.0 : 0.0;
+    table.row_numeric({rate, das_ms, batch_ms, ratio});
+    csv.row_numeric({rate, das_ms, batch_ms, ratio});
+  }
+  table.print();
+  std::printf("series written to %s\n", "fig16_das_overhead.csv");
+  return 0;
+}

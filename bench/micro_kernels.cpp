@@ -1,0 +1,112 @@
+// google-benchmark micro kernels: GEMM, masked softmax, and the two
+// attention execution paths (pure full-row vs slotted) on identical
+// payloads. These quantify the kernel-level redundancy the slotted scheme
+// removes, independent of any serving dynamics.
+#include <benchmark/benchmark.h>
+
+#include "nn/attention.hpp"
+#include "tensor/ops.hpp"
+#include "util/env.hpp"
+
+namespace tcb {
+namespace {
+
+void BM_Matmul(benchmark::State& state) {
+  const Index n = state.range(0);
+  Rng rng(1);
+  const Tensor a = Tensor::random_uniform(Shape{n, n}, rng, 1.0f);
+  const Tensor b = Tensor::random_uniform(Shape{n, n}, rng, 1.0f);
+  Tensor c;
+  for (auto _ : state) {
+    matmul(a, b, c);
+    benchmark::DoNotOptimize(c.raw());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_Matmul)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_MatmulNt(benchmark::State& state) {
+  const Index n = state.range(0);
+  Rng rng(2);
+  const Tensor a = Tensor::random_uniform(Shape{n, n}, rng, 1.0f);
+  const Tensor b = Tensor::random_uniform(Shape{n, n}, rng, 1.0f);
+  Tensor c;
+  for (auto _ : state) {
+    matmul_nt(a, b, c);
+    benchmark::DoNotOptimize(c.raw());
+  }
+}
+BENCHMARK(BM_MatmulNt)->Arg(128)->Arg(256);
+
+void BM_MaskedSoftmax(benchmark::State& state) {
+  const Index n = state.range(0);
+  Rng rng(3);
+  Tensor base = Tensor::random_uniform(Shape{n, n}, rng, 2.0f);
+  // Mask everything off the block diagonal (4 blocks).
+  const Index block = n / 4;
+  for (Index i = 0; i < n; ++i)
+    for (Index j = 0; j < n; ++j)
+      if (i / block != j / block) base.at(i, j) = kMaskedOut;
+  for (auto _ : state) {
+    Tensor t = base.clone();
+    softmax_rows_inplace(t);
+    benchmark::DoNotOptimize(t.raw());
+  }
+}
+BENCHMARK(BM_MaskedSoftmax)->Arg(128)->Arg(400);
+
+/// One encoder self-attention layer over a single batch row of `width`
+/// tokens split into `slots` segments, executed with the given mode.
+void attention_once(Index width, Index slots, AttentionMode mode,
+                    const MultiHeadAttention& mha, const Tensor& x) {
+  BatchPlan plan;
+  plan.row_capacity = width;
+  const Index z = width / slots;
+  plan.scheme =
+      mode == AttentionMode::kSlotted ? Scheme::kConcatSlotted : Scheme::kConcatPure;
+  plan.slot_len = mode == AttentionMode::kSlotted ? z : 0;
+  RowLayout row;
+  for (Index s = 0; s < slots; ++s)
+    row.segments.push_back(Segment{
+        s, s * z, z, mode == AttentionMode::kSlotted ? s : static_cast<Index>(0)});
+  row.width = width;
+  plan.rows.push_back(row);
+  const Tensor y = mha.encoder_forward(x, plan, width, mode);
+  benchmark::DoNotOptimize(y.raw());
+}
+
+ModelConfig attention_cfg() {
+  ModelConfig cfg;
+  cfg.d_model = 128;
+  cfg.n_heads = 8;
+  cfg.d_ff = 512;
+  cfg.max_len = 512;
+  return cfg;
+}
+
+void BM_AttentionPure(benchmark::State& state) {
+  const Index width = 400;
+  const ModelConfig cfg = attention_cfg();
+  Rng rng(4);
+  const MultiHeadAttention mha(cfg, rng);
+  const Tensor x = Tensor::random_uniform(Shape{width, cfg.d_model}, rng, 1.0f);
+  for (auto _ : state)
+    attention_once(width, state.range(0), AttentionMode::kPureConcat, mha, x);
+}
+BENCHMARK(BM_AttentionPure)->Arg(4)->ArgName("segments");
+
+void BM_AttentionSlotted(benchmark::State& state) {
+  const Index width = 400;
+  const ModelConfig cfg = attention_cfg();
+  Rng rng(4);
+  const MultiHeadAttention mha(cfg, rng);
+  const Tensor x = Tensor::random_uniform(Shape{width, cfg.d_model}, rng, 1.0f);
+  for (auto _ : state)
+    attention_once(width, state.range(0), AttentionMode::kSlotted, mha, x);
+}
+BENCHMARK(BM_AttentionSlotted)->Arg(4)->Arg(10)->ArgName("slots");
+
+}  // namespace
+}  // namespace tcb
+
+BENCHMARK_MAIN();

@@ -1,0 +1,45 @@
+// Scale-out extension (not a paper figure): throughput and utility of
+// DAS-TCB when 1-8 accelerators share the pending queue, at a rate that
+// overloads a single worker. Complements the paper's single-V100 evaluation.
+#include "common.hpp"
+
+int main() {
+  using namespace tcb;
+  using namespace tcb::bench;
+  print_figure_banner("Extension", "multi-accelerator scaling of DAS-TCB");
+
+  SchedulerConfig sc;
+  sc.batch_rows = 32;
+  sc.row_capacity = 100;
+  const auto workload = paper_workload(/*rate=*/1200);
+  const auto trace = generate_trace(workload);
+  const AnalyticalCostModel cost(ModelConfig::paper_scale(),
+                                 HardwareProfile::v100_like());
+
+  TablePrinter table({"workers", "throughput (resp/s)", "utility", "completed",
+                      "failed", "p95 latency (s)", "speedup vs 1"});
+  CsvWriter csv("scaling_workers.csv",
+                {"workers", "throughput", "utility", "completed", "failed"});
+  double base = 0.0;
+  for (const std::size_t workers : {1u, 2u, 4u, 8u}) {
+    const auto sched = make_scheduler("das", sc);
+    SimulatorConfig sim;
+    sim.scheme = Scheme::kConcatPure;
+    sim.workers = workers;
+    const auto report = ServingSimulator(*sched, cost, sim).run(trace);
+    if (workers == 1) base = report.throughput;
+    table.row({std::to_string(workers), format_number(report.throughput),
+               format_number(report.total_utility),
+               std::to_string(report.completed),
+               std::to_string(report.failed),
+               report.latency.empty() ? "-" : format_number(report.latency.p95()),
+               format_number(report.throughput / base)});
+    csv.row_numeric({static_cast<double>(workers), report.throughput,
+                     report.total_utility,
+                     static_cast<double>(report.completed),
+                     static_cast<double>(report.failed)});
+  }
+  table.print();
+  std::printf("series written to %s\n", "scaling_workers.csv");
+  return 0;
+}

@@ -1,0 +1,144 @@
+// Shared driver for Figs. 13/14: measures real-engine batch inference time
+// of pure ConcatBatching vs slotted ConcatBatching at a fixed batch geometry
+// (row length 400) while sweeping the number of slots, and reports
+// speedup = T(pure) / T(slotted).
+//
+// Workload: rows filled with 20-token requests (the paper's average length),
+// packed per slot. slots = 1 is exactly the pure scheme. The engine is the
+// real CPU transformer (dimensions below scale the paper's model so a run
+// finishes in tens of seconds; attention/GEMM ratio is preserved).
+#pragma once
+
+#include <cstdio>
+
+#include "batching/packed_batch.hpp"
+#include "nn/model.hpp"
+#include "util/csv.hpp"
+#include "util/env.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace tcb::bench {
+
+struct SlotSpeedupConfig {
+  Index batch_rows = 10;
+  Index row_len = 400;
+  Index request_len = 20;
+  Index decode_steps = 12;
+  int repeats = 2;
+};
+
+inline ModelConfig engine_config(Index row_len) {
+  ModelConfig cfg;
+  cfg.d_model = 128;
+  cfg.n_heads = 8;
+  cfg.d_ff = 512;
+  cfg.n_encoder_layers = 3;
+  cfg.n_decoder_layers = 3;
+  cfg.vocab_size = 512;
+  cfg.max_len = row_len;
+  return cfg;
+}
+
+/// Builds a batch of `rows` rows, each `row_len` wide and divided into
+/// `slots` slots; every slot is packed with as many `request_len`-token
+/// requests as fit. slots == 1 yields the pure-concat plan.
+inline BatchPlan build_slot_plan(Index rows, Index row_len, Index slots,
+                                 Index request_len) {
+  BatchPlan plan;
+  plan.row_capacity = row_len;
+  const Index z = row_len / slots;
+  plan.scheme = slots > 1 ? Scheme::kConcatSlotted : Scheme::kConcatPure;
+  plan.slot_len = slots > 1 ? z : 0;
+  RequestId next_id = 0;
+  for (Index r = 0; r < rows; ++r) {
+    RowLayout row;
+    for (Index s = 0; s < slots; ++s) {
+      const Index begin = s * z;
+      Index cursor = begin;
+      while (cursor + request_len <= begin + z) {
+        row.segments.push_back(
+            Segment{next_id++, cursor, request_len, slots > 1 ? s : 0});
+        cursor += request_len;
+      }
+    }
+    row.width = slots > 1 ? z * slots : row_len;
+    plan.rows.push_back(std::move(row));
+  }
+  plan.validate();
+  return plan;
+}
+
+inline void run_slot_speedup(const char* figure, SlotSpeedupConfig cfg,
+                             const std::string& csv_path) {
+  if (fast_mode()) {
+    cfg.row_len = 200;
+    cfg.decode_steps = 6;
+    cfg.repeats = 1;
+  }
+  std::printf("batch size %lld, row length %lld, request length %lld, "
+              "%lld decode steps, model d=%lld h=%lld ff=%lld\n",
+              static_cast<long long>(cfg.batch_rows),
+              static_cast<long long>(cfg.row_len),
+              static_cast<long long>(cfg.request_len),
+              static_cast<long long>(cfg.decode_steps),
+              static_cast<long long>(engine_config(cfg.row_len).d_model),
+              static_cast<long long>(engine_config(cfg.row_len).n_heads),
+              static_cast<long long>(engine_config(cfg.row_len).d_ff));
+
+  const Seq2SeqModel model(engine_config(cfg.row_len));
+  Rng rng(0xF16);
+
+  auto time_plan = [&](const BatchPlan& plan) {
+    // Deterministic token payloads for the plan.
+    std::vector<Request> requests;
+    for (const auto& row : plan.rows)
+      for (const auto& seg : row.segments) {
+        Request req;
+        req.id = seg.request_id;
+        req.length = seg.length;
+        for (Index i = 0; i < seg.length; ++i)
+          req.tokens.push_back(rng.uniform_int(
+              kFirstWordToken, model.config().vocab_size - 1));
+        requests.push_back(std::move(req));
+      }
+    const PackedBatch packed = pack_batch(plan, requests);
+    InferenceOptions opts;
+    opts.mode = plan.scheme == Scheme::kConcatSlotted
+                    ? AttentionMode::kSlotted
+                    : AttentionMode::kPureConcat;
+    opts.max_decode_steps = cfg.decode_steps;
+    opts.early_memory_cleaning = plan.scheme == Scheme::kConcatSlotted;
+    (void)model.infer(packed, opts);  // warm-up
+    double best = 1e99;
+    for (int i = 0; i < cfg.repeats; ++i) {
+      const Timer timer;
+      (void)model.infer(packed, opts);
+      best = std::min(best, timer.elapsed_seconds());
+    }
+    return best;
+  };
+
+  const std::vector<Index> slot_counts = {1, 2, 4, 5, 7, 10, 20};
+  TablePrinter table(
+      {"slots", "batch time (s)", "speedup", "requests/batch"});
+  CsvWriter csv(csv_path, {"slots", "batch_seconds", "speedup"});
+
+  double pure_time = 0.0;
+  for (const Index slots : slot_counts) {
+    const BatchPlan plan =
+        build_slot_plan(cfg.batch_rows, cfg.row_len, slots, cfg.request_len);
+    const double t = time_plan(plan);
+    if (slots == 1) pure_time = t;
+    const double speedup = pure_time / t;
+    table.row({format_number(static_cast<double>(slots)), format_number(t),
+               format_number(speedup),
+               format_number(static_cast<double>(plan.request_count()))});
+    csv.row_numeric({static_cast<double>(slots), t, speedup});
+  }
+  table.print();
+  std::printf("series written to %s\n", csv_path.c_str());
+  (void)figure;
+}
+
+}  // namespace tcb::bench

@@ -1,0 +1,85 @@
+// Why the engine customizations are necessary (paper §4.1): runs the same
+// concatenated batch four ways —
+//   1. TCB (separate PE + segment mask)          -> matches per-request runs
+//   2. traditional PE + segment mask             -> wrong outputs
+//   3. separate PE + row-shared (no) mask        -> wrong outputs
+//   4. traditional PE + no mask (stock engine)   -> wrong outputs
+// and reports, for each, how many requests decode to the same tokens as
+// isolated single-request inference.
+#include <cstdio>
+
+#include "batching/concat_batcher.hpp"
+#include "batching/packed_batch.hpp"
+#include "core/tcb.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace tcb;
+
+  ModelConfig cfg = ModelConfig::test_scale();
+  cfg.d_model = 64;
+  cfg.vocab_size = 256;
+  const Seq2SeqModel model(cfg);
+
+  // A batch of 12 requests concatenated into 3 rows.
+  Rng rng(5);
+  std::vector<Request> requests;
+  for (int i = 0; i < 12; ++i) {
+    Request req;
+    req.id = i;
+    req.length = rng.uniform_int(3, 12);
+    for (Index t = 0; t < req.length; ++t)
+      req.tokens.push_back(rng.uniform_int(kFirstWordToken, cfg.vocab_size - 1));
+    requests.push_back(std::move(req));
+  }
+  const ConcatBatcher batcher;
+  const auto built = batcher.build(requests, 3, 40);
+  const PackedBatch packed = pack_batch(built.plan, requests);
+  std::printf("batch: %s\n\n", built.plan.summary().c_str());
+
+  // Reference: each request inferred alone.
+  std::unordered_map<RequestId, std::vector<Index>> reference;
+  for (const auto& req : requests) {
+    BatchPlan plan;
+    plan.scheme = Scheme::kConcatPure;
+    plan.row_capacity = req.length;
+    RowLayout row;
+    row.width = req.length;
+    row.segments.push_back(Segment{req.id, 0, req.length, 0});
+    plan.rows.push_back(row);
+    InferenceOptions opts;
+    opts.max_decode_steps = 8;
+    reference[req.id] =
+        model.infer(pack_batch(plan, requests), opts).outputs.at(req.id);
+  }
+
+  struct Variant {
+    const char* name;
+    bool separate_pe;
+    MaskPolicy mask;
+  };
+  TablePrinter table({"engine variant", "correct", "wrong"});
+  for (const Variant v :
+       {Variant{"TCB: separate PE + mask (Eq. 5-6)", true, MaskPolicy::kSegment},
+        Variant{"traditional PE + mask", false, MaskPolicy::kSegment},
+        Variant{"separate PE, no mask", true, MaskPolicy::kRowShared},
+        Variant{"stock engine (traditional PE, no mask)", false,
+                MaskPolicy::kRowShared}}) {
+    InferenceOptions opts;
+    opts.separate_positional_encoding = v.separate_pe;
+    opts.mask_policy = v.mask;
+    opts.max_decode_steps = 8;
+    const auto result = model.infer(packed, opts);
+    int correct = 0;
+    for (const auto& req : requests)
+      if (result.outputs.at(req.id) == reference.at(req.id)) ++correct;
+    table.row({v.name, std::to_string(correct),
+               std::to_string(static_cast<int>(requests.size()) - correct)});
+  }
+  table.print();
+  std::printf(
+      "\nOnly the full TCB customization reproduces per-request inference;\n"
+      "dropping either the separate positional encoding (Fig. 5) or the\n"
+      "concatenation mask (Eq. 6) corrupts results, as §4.1 predicts.\n");
+  return 0;
+}

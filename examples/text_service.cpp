@@ -1,0 +1,70 @@
+// End-to-end NLP frontend: sentences in, sentences out. Builds a vocabulary
+// from a small corpus, tokenizes user sentences into Requests, serves them
+// through the full TCB stack (Slotted-DAS + slotted ConcatBatching on the
+// real engine) and decodes the generated ids back to words — the complete
+// pipeline of paper Fig. 3 ("user applications" -> scheduler -> engine).
+#include <cstdio>
+
+#include "core/tcb.hpp"
+#include "text/tokenizer.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace tcb;
+
+  // 1. Vocabulary + tokenizer from a toy corpus.
+  const std::vector<std::string> corpus = {
+      "the quick brown fox jumps over the lazy dog",
+      "a transformer serves translation requests with low latency",
+      "requests arrive online and carry deadlines",
+      "short sentences have high utility in the scheduler",
+      "batching concatenates requests to remove padded zeros",
+      "the scheduler packs rows and the engine masks attention",
+  };
+  const Vocabulary vocab = Vocabulary::build(corpus, 256);
+  const Tokenizer tokenizer{vocab};
+  std::printf("vocabulary: %lld entries\n",
+              static_cast<long long>(vocab.size()));
+
+  // 2. The serving system; the model's output space is exactly the
+  //    tokenizer's vocabulary, so every generated id decodes to a word.
+  TcbConfig cfg;
+  cfg.model.vocab_size = vocab.size();
+  cfg.model.d_model = 64;
+  cfg.model.d_ff = 256;
+  cfg.sched.batch_rows = 4;
+  cfg.sched.row_capacity = 32;
+  cfg.max_decode_steps = 8;
+  const TcbSystem tcb{cfg};
+
+  // 3. Sentences become Requests with arrival times and deadlines.
+  const std::vector<std::string> sentences = {
+      "the quick brown fox",
+      "requests arrive online",
+      "the lazy dog jumps",
+      "batching removes padded zeros",
+      "short sentences have high utility",
+      "a transformer serves requests",
+  };
+  std::vector<Request> trace;
+  for (std::size_t i = 0; i < sentences.size(); ++i) {
+    const double arrival = 0.01 * static_cast<double>(i);
+    trace.push_back(tokenizer.make_request(static_cast<RequestId>(i),
+                                           sentences[i], arrival,
+                                           arrival + 10.0));
+  }
+
+  // 4. Serve and decode the outputs back to words.
+  const ServeResult result = tcb.serve(trace);
+  TablePrinter table({"input sentence", "generated output"});
+  for (const auto& resp : result.responses)
+    table.row({sentences[static_cast<std::size_t>(resp.id)],
+               tokenizer.decode(resp.tokens)});
+  table.print();
+  std::printf(
+      "\n(untrained weights: the output is not a real translation, but the\n"
+      " pipeline — tokenize, schedule, concat-batch, decode, detokenize —\n"
+      " is the production path, and each output is identical to running\n"
+      " that sentence alone.)\n");
+  return 0;
+}

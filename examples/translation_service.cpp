@@ -1,0 +1,80 @@
+// Translation-style online serving: the paper's motivating scenario. A
+// sentence stream (variable lengths, Poisson arrivals, per-request
+// deadlines) is served by the full TCB stack — Slotted-DAS scheduling +
+// slotted ConcatBatching on the real engine — and compared, on the same
+// trace, against the NaiveBatching + FCFS configuration a stock serving
+// system would use.
+//
+//   ./examples/translation_service [rate] [duration_s]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/tcb.hpp"
+#include "util/csv.hpp"
+#include "util/histogram.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tcb;
+
+  const double rate = argc > 1 ? std::atof(argv[1]) : 60.0;
+  const double duration = argc > 2 ? std::atof(argv[2]) : 2.0;
+
+  // Shared engine/workload configuration.
+  TcbConfig base;
+  base.model.d_model = 64;
+  base.model.d_ff = 256;
+  base.model.vocab_size = 512;
+  base.sched.batch_rows = 8;
+  base.sched.row_capacity = 64;
+  base.max_decode_steps = 10;
+
+  WorkloadConfig workload;
+  workload.rate = rate;
+  workload.duration = duration;
+  workload.min_len = 3;
+  workload.max_len = 50;
+  workload.mean_len = 15;
+  workload.len_variance = 40;
+  workload.deadline_slack_min = 0.2;
+  workload.deadline_slack_max = 1.0;
+  workload.with_tokens = true;
+  workload.vocab_size = base.model.vocab_size;
+  workload.seed = 99;
+  const auto trace = generate_trace(workload);
+
+  std::printf("translation workload: %zu sentences over %.1fs (%.0f req/s)\n",
+              trace.size(), duration, rate);
+  Histogram lengths(0, 50, 10);
+  for (const auto& req : trace) lengths.add(static_cast<double>(req.length));
+  std::printf("sentence length distribution:\n%s\n",
+              lengths.render(40).c_str());
+
+  struct Setup {
+    const char* name;
+    Scheme scheme;
+    const char* scheduler;
+  };
+  TablePrinter table({"system", "served", "failed", "utility", "batches",
+                      "makespan (s)", "peak KV (KiB)"});
+  for (const Setup s : {Setup{"TCB (Slotted-DAS + slotted concat)",
+                              Scheme::kConcatSlotted, "slotted-das"},
+                        Setup{"stock (FCFS + naive batching)", Scheme::kNaive,
+                              "fcfs"}}) {
+    TcbConfig cfg = base;
+    cfg.scheme = s.scheme;
+    cfg.scheduler = s.scheduler;
+    const TcbSystem tcb(cfg);
+    const ServeResult result = tcb.serve(trace);
+    table.row({s.name, std::to_string(result.responses.size()),
+               std::to_string(result.failed),
+               format_number(result.total_utility),
+               std::to_string(result.batches),
+               format_number(result.makespan),
+               format_number(static_cast<double>(result.peak_kv_bytes) / 1024)});
+  }
+  table.print();
+  std::printf("\n(identical trace, identical engine weights — only batching"
+              " scheme and scheduler differ)\n");
+  return 0;
+}

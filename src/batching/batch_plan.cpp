@@ -1,0 +1,119 @@
+#include "batching/batch_plan.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tcb {
+
+const char* scheme_name(Scheme scheme) noexcept {
+  switch (scheme) {
+    case Scheme::kNaive:
+      return "naive";
+    case Scheme::kTurbo:
+      return "turbo";
+    case Scheme::kConcatPure:
+      return "concat-pure";
+    case Scheme::kConcatSlotted:
+      return "concat-slotted";
+  }
+  return "unknown";
+}
+
+Index RowLayout::used_tokens() const noexcept {
+  Index total = 0;
+  for (const auto& seg : segments) total += seg.length;
+  return total;
+}
+
+bool BatchPlan::empty() const noexcept {
+  for (const auto& row : rows)
+    if (!row.segments.empty()) return false;
+  return true;
+}
+
+Index BatchPlan::request_count() const noexcept {
+  Index n = 0;
+  for (const auto& row : rows) n += static_cast<Index>(row.segments.size());
+  return n;
+}
+
+Index BatchPlan::used_tokens() const noexcept {
+  Index total = 0;
+  for (const auto& row : rows) total += row.used_tokens();
+  return total;
+}
+
+Index BatchPlan::padded_tokens() const noexcept {
+  Index total = 0;
+  for (const auto& row : rows) total += row.padded_tokens();
+  return total;
+}
+
+Index BatchPlan::max_width() const noexcept {
+  Index w = 0;
+  for (const auto& row : rows) w = std::max(w, row.width);
+  return w;
+}
+
+std::vector<RequestId> BatchPlan::request_ids() const {
+  std::vector<RequestId> ids;
+  ids.reserve(static_cast<std::size_t>(request_count()));
+  for (const auto& row : rows)
+    for (const auto& seg : row.segments) ids.push_back(seg.request_id);
+  return ids;
+}
+
+std::string BatchPlan::summary() const {
+  std::string out = scheme_name(scheme);
+  out += " rows=" + std::to_string(rows.size());
+  out += " L=" + std::to_string(row_capacity);
+  if (slot_len > 0) out += " z=" + std::to_string(slot_len);
+  out += " requests=" + std::to_string(request_count());
+  out += " used=" + std::to_string(used_tokens());
+  out += " padded=" + std::to_string(padded_tokens());
+  return out;
+}
+
+void BatchPlan::validate() const {
+  auto fail = [](const std::string& what) { throw std::logic_error("BatchPlan: " + what); };
+  if (row_capacity <= 0) fail("row_capacity must be positive");
+  if (slot_len < 0) fail("negative slot_len");
+  if (slot_len > row_capacity) fail("slot_len exceeds row_capacity");
+  if ((scheme == Scheme::kConcatSlotted) != (slot_len > 0))
+    fail("slot_len must be set exactly for the slotted scheme");
+  for (const auto& row : rows) {
+    if (row.width < 0 || row.width > row_capacity)
+      fail("row width out of [0, L]");
+    Index cursor = 0;
+    for (const auto& seg : row.segments) {
+      if (seg.length <= 0) fail("empty segment");
+      if (seg.offset < cursor) fail("segments overlap or are unsorted");
+      if (seg.offset + seg.length > row.width) fail("segment exceeds row width");
+      if (slot_len > 0) {
+        if (seg.slot != seg.offset / slot_len) fail("segment slot index wrong");
+        const Index slot_begin = seg.slot * slot_len;
+        const Index slot_end = std::min(slot_begin + slot_len, row.width);
+        if (seg.offset < slot_begin || seg.offset + seg.length > slot_end)
+          fail("segment straddles a slot boundary");
+      } else if (seg.slot != 0) {
+        fail("non-zero slot index in unslotted plan");
+      }
+      cursor = seg.offset + seg.length;
+    }
+    if ((scheme == Scheme::kNaive || scheme == Scheme::kTurbo) &&
+        row.segments.size() > 1)
+      fail("naive/turbo rows hold at most one request");
+  }
+}
+
+std::vector<std::int32_t> segment_map(const RowLayout& row) {
+  std::vector<std::int32_t> map(static_cast<std::size_t>(row.width), -1);
+  for (std::size_t s = 0; s < row.segments.size(); ++s) {
+    const auto& seg = row.segments[s];
+    for (Index p = seg.offset; p < seg.offset + seg.length; ++p)
+      map[static_cast<std::size_t>(p)] = static_cast<std::int32_t>(s);
+  }
+  return map;
+}
+
+}  // namespace tcb

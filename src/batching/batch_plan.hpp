@@ -1,0 +1,108 @@
+// Geometry of one inference batch: which request occupies which span of which
+// row. This is the common currency between the scheduler, the batchers, the
+// cost model and the inference engine.
+//
+//   * NaiveBatching (paper Fig. 1a): one request per row, rows padded to the
+//     longest request in the batch.
+//   * TurboBatching (paper Fig. 1b): one request per row, but the batch holds
+//     only requests of similar length (chosen by DP), so padding is small.
+//   * Pure ConcatBatching (paper Fig. 1c): several requests concatenated per
+//     row; a row is one "slot" spanning the whole row.
+//   * Slotted ConcatBatching (paper Fig. 4): rows are divided into fixed-size
+//     slots; requests are concatenated within slots and attention runs
+//     per slot.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "batching/request.hpp"
+
+namespace tcb {
+
+enum class Scheme : std::uint8_t {
+  kNaive,
+  kTurbo,
+  kConcatPure,
+  kConcatSlotted,
+};
+
+[[nodiscard]] const char* scheme_name(Scheme scheme) noexcept;
+
+/// One request's placement inside a batch row.
+struct Segment {
+  RequestId request_id = -1;
+  Index offset = 0;  ///< first token column in the row
+  Index length = 0;  ///< token count (== request length)
+  Index slot = 0;    ///< slot index within the row (0 for unslotted schemes)
+};
+
+struct RowLayout {
+  std::vector<Segment> segments;
+  /// Materialized width of this row (>= sum of segment lengths). For naive /
+  /// turbo batching this is the padded width; for concat schemes it equals
+  /// the row capacity L.
+  Index width = 0;
+
+  [[nodiscard]] Index used_tokens() const noexcept;
+  [[nodiscard]] Index padded_tokens() const noexcept {
+    return width - used_tokens();
+  }
+};
+
+struct BatchPlan {
+  Scheme scheme = Scheme::kConcatPure;
+  /// Row capacity L in tokens (paper §5.1). Rows may materialize narrower
+  /// (naive/turbo) but never wider.
+  Index row_capacity = 0;
+  /// Slot length z; 0 for unslotted schemes (the row is a single slot).
+  Index slot_len = 0;
+  std::vector<RowLayout> rows;
+
+  [[nodiscard]] bool empty() const noexcept;
+  [[nodiscard]] Index request_count() const noexcept;
+  [[nodiscard]] Index used_tokens() const noexcept;
+  [[nodiscard]] Index padded_tokens() const noexcept;
+  /// Widest materialized row; the engine's tensor width.
+  [[nodiscard]] Index max_width() const noexcept;
+  [[nodiscard]] std::vector<RequestId> request_ids() const;
+  [[nodiscard]] std::string summary() const;
+
+  /// Structural invariants: segments sorted by offset, non-overlapping,
+  /// within width, within slot boundaries, width <= capacity. Throws
+  /// std::logic_error with a description on violation. Called by tests and
+  /// (cheaply) by the engine in debug builds.
+  void validate() const;
+
+  /// Effective slot length of a row: slot_len when slotted, row width
+  /// otherwise.
+  [[nodiscard]] Index effective_slot_len(const RowLayout& row) const noexcept {
+    return slot_len > 0 ? slot_len : row.width;
+  }
+};
+
+/// Per-position segment index of a row: map[pos] = index into row.segments,
+/// or -1 for padding. The attention mask (paper Eq. 6) is derived from this.
+[[nodiscard]] std::vector<std::int32_t> segment_map(const RowLayout& row);
+
+/// Result of laying out a selection of requests into one batch.
+struct BatchBuildResult {
+  BatchPlan plan;
+  /// Requests that did not fit and must stay in the pending queue.
+  std::vector<Request> leftover;
+};
+
+/// Interface implemented by the four batching schemes. `selected` is the
+/// scheduler's choice, already ordered by scheduling priority; a batcher
+/// must preserve that precedence when space runs out (drop from the tail).
+class Batcher {
+ public:
+  virtual ~Batcher() = default;
+  [[nodiscard]] virtual Scheme scheme() const noexcept = 0;
+  [[nodiscard]] virtual BatchBuildResult build(std::vector<Request> selected,
+                                               Index batch_rows,
+                                               Index row_capacity) const = 0;
+};
+
+}  // namespace tcb

@@ -1,0 +1,48 @@
+#include "batching/concat_batcher.hpp"
+
+#include <stdexcept>
+
+namespace tcb {
+
+BatchBuildResult ConcatBatcher::build(std::vector<Request> selected,
+                                      Index batch_rows,
+                                      Index row_capacity) const {
+  if (batch_rows <= 0 || row_capacity <= 0)
+    throw std::invalid_argument("ConcatBatcher: non-positive batch geometry");
+
+  BatchBuildResult result;
+  result.plan.scheme = Scheme::kConcatPure;
+  result.plan.row_capacity = row_capacity;
+  result.plan.rows.resize(static_cast<std::size_t>(batch_rows));
+  std::vector<Index> used(static_cast<std::size_t>(batch_rows), 0);
+
+  for (auto& req : selected) {
+    bool placed = false;
+    if (req.length <= row_capacity) {
+      for (std::size_t r = 0; r < result.plan.rows.size(); ++r) {
+        if (used[r] + req.length <= row_capacity) {
+          result.plan.rows[r].segments.push_back(
+              Segment{req.id, used[r], req.length, 0});
+          used[r] += req.length;
+          placed = true;
+          break;
+        }
+      }
+    }
+    if (!placed) result.leftover.push_back(std::move(req));
+  }
+
+  // Concat rows materialize at full capacity only up to their used extent;
+  // the engine pads every row of the batch to the widest, so we record the
+  // used width per row. Empty rows are dropped.
+  std::vector<RowLayout> compact;
+  for (std::size_t r = 0; r < result.plan.rows.size(); ++r) {
+    if (result.plan.rows[r].segments.empty()) continue;
+    result.plan.rows[r].width = used[r];
+    compact.push_back(std::move(result.plan.rows[r]));
+  }
+  result.plan.rows = std::move(compact);
+  return result;
+}
+
+}  // namespace tcb

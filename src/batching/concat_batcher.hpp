@@ -1,0 +1,21 @@
+// Pure ConcatBatching (paper Fig. 1c / §4.1): requests are concatenated into
+// batch rows in selection order, first-fit, so each row carries up to L
+// tokens of real work. This reproduces the row-by-row filling of the DAS
+// scheduler (Algorithm 1) when fed its selection order.
+#pragma once
+
+#include "batching/batch_plan.hpp"
+
+namespace tcb {
+
+class ConcatBatcher final : public Batcher {
+ public:
+  [[nodiscard]] Scheme scheme() const noexcept override {
+    return Scheme::kConcatPure;
+  }
+  [[nodiscard]] BatchBuildResult build(std::vector<Request> selected,
+                                       Index batch_rows,
+                                       Index row_capacity) const override;
+};
+
+}  // namespace tcb

@@ -1,0 +1,41 @@
+#include "batching/naive_batcher.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tcb {
+
+BatchBuildResult NaiveBatcher::build(std::vector<Request> selected,
+                                     Index batch_rows,
+                                     Index row_capacity) const {
+  if (batch_rows <= 0 || row_capacity <= 0)
+    throw std::invalid_argument("NaiveBatcher: non-positive batch geometry");
+
+  BatchBuildResult result;
+  result.plan.scheme = Scheme::kNaive;
+  result.plan.row_capacity = row_capacity;
+
+  // Take the first B requests that fit a row at all; oversized requests are
+  // returned as leftovers (they can never be served with this L).
+  Index max_len = 0;
+  std::vector<Request> taken;
+  for (auto& req : selected) {
+    if (static_cast<Index>(taken.size()) < batch_rows &&
+        req.length <= row_capacity) {
+      max_len = std::max(max_len, req.length);
+      taken.push_back(std::move(req));
+    } else {
+      result.leftover.push_back(std::move(req));
+    }
+  }
+
+  for (const auto& req : taken) {
+    RowLayout row;
+    row.width = max_len;  // padded to the longest request in the batch
+    row.segments.push_back(Segment{req.id, 0, req.length, 0});
+    result.plan.rows.push_back(std::move(row));
+  }
+  return result;
+}
+
+}  // namespace tcb

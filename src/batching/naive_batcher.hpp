@@ -1,0 +1,18 @@
+// NaiveBatching (paper Fig. 1a): the PyTorch-default scheme. Up to B requests
+// are batched in selection order, one per row, and every row is padded to the
+// longest request in the batch.
+#pragma once
+
+#include "batching/batch_plan.hpp"
+
+namespace tcb {
+
+class NaiveBatcher final : public Batcher {
+ public:
+  [[nodiscard]] Scheme scheme() const noexcept override { return Scheme::kNaive; }
+  [[nodiscard]] BatchBuildResult build(std::vector<Request> selected,
+                                       Index batch_rows,
+                                       Index row_capacity) const override;
+};
+
+}  // namespace tcb

@@ -1,0 +1,44 @@
+#include "batching/packed_batch.hpp"
+
+#include <stdexcept>
+
+namespace tcb {
+
+PackedBatch pack_batch(
+    const BatchPlan& plan,
+    const std::unordered_map<RequestId, const Request*>& by_id) {
+  PackedBatch packed;
+  packed.plan = plan;
+  packed.width = plan.max_width();
+  packed.tokens.assign(
+      static_cast<std::size_t>(packed.rows() * packed.width), kPadToken);
+
+  for (Index r = 0; r < packed.rows(); ++r) {
+    for (const auto& seg : plan.rows[static_cast<std::size_t>(r)].segments) {
+      const auto it = by_id.find(seg.request_id);
+      if (it == by_id.end())
+        throw std::invalid_argument("pack_batch: request " +
+                                    std::to_string(seg.request_id) +
+                                    " missing from token map");
+      const Request& req = *it->second;
+      if (static_cast<Index>(req.tokens.size()) != seg.length)
+        throw std::invalid_argument(
+            "pack_batch: token count mismatch for request " +
+            std::to_string(seg.request_id));
+      for (Index i = 0; i < seg.length; ++i)
+        packed.tokens[static_cast<std::size_t>(r * packed.width + seg.offset +
+                                               i)] = req.tokens[static_cast<std::size_t>(i)];
+    }
+  }
+  return packed;
+}
+
+PackedBatch pack_batch(const BatchPlan& plan,
+                       const std::vector<Request>& requests) {
+  std::unordered_map<RequestId, const Request*> by_id;
+  by_id.reserve(requests.size());
+  for (const auto& req : requests) by_id.emplace(req.id, &req);
+  return pack_batch(plan, by_id);
+}
+
+}  // namespace tcb

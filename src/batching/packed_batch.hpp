@@ -1,0 +1,41 @@
+// Token payload of a batch: the rectangular id matrix the engine consumes,
+// built from a BatchPlan plus the requests' token vectors.
+#pragma once
+
+#include <unordered_map>
+
+#include "batching/batch_plan.hpp"
+
+namespace tcb {
+
+/// Reserved vocabulary ids shared by the whole engine.
+inline constexpr Index kPadToken = 0;
+inline constexpr Index kBosToken = 1;
+inline constexpr Index kEosToken = 2;
+inline constexpr Index kFirstWordToken = 3;
+
+struct PackedBatch {
+  BatchPlan plan;
+  Index width = 0;                ///< materialized tensor width (max row width)
+  std::vector<Index> tokens;      ///< rows() * width ids, kPadToken in padding
+
+  [[nodiscard]] Index rows() const noexcept {
+    return static_cast<Index>(plan.rows.size());
+  }
+  [[nodiscard]] Index token_at(Index row, Index col) const {
+    return tokens[static_cast<std::size_t>(row * width + col)];
+  }
+};
+
+/// Copies each placed request's tokens into its segment span. Throws if a
+/// request referenced by the plan is missing from `by_id` or its token count
+/// disagrees with the segment length.
+[[nodiscard]] PackedBatch pack_batch(
+    const BatchPlan& plan,
+    const std::unordered_map<RequestId, const Request*>& by_id);
+
+/// Convenience overload building the id map from a vector.
+[[nodiscard]] PackedBatch pack_batch(const BatchPlan& plan,
+                                     const std::vector<Request>& requests);
+
+}  // namespace tcb

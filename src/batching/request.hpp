@@ -1,0 +1,35 @@
+// The unit of work of the serving system (paper §5.1): a sentence with an
+// arrival time, a deadline and a length. The utility of serving request n is
+// v_n = 1 / l_n; a request that is not scheduled before its deadline yields 0.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace tcb {
+
+using RequestId = std::int64_t;
+
+struct Request {
+  RequestId id = -1;
+  double arrival = 0.0;   ///< seconds since trace start
+  double deadline = 0.0;  ///< absolute; must be scheduled at t <= deadline
+  Index length = 0;       ///< number of tokens, 1 <= length <= L_max
+
+  /// Token ids; empty in simulation-only runs where only `length` matters.
+  std::vector<Index> tokens;
+
+  /// Client-assigned importance (extension; the paper's requests are
+  /// uniform). Scales the utility, so a premium tier can outrank equal
+  /// lengths in DAS's utility-dominant set.
+  double weight = 1.0;
+
+  /// Paper §5.1: v_n = 1 / l_n, generalized to w_n / l_n.
+  [[nodiscard]] double utility() const noexcept {
+    return length > 0 ? weight / static_cast<double>(length) : 0.0;
+  }
+};
+
+}  // namespace tcb

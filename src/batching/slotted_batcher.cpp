@@ -1,0 +1,75 @@
+#include "batching/slotted_batcher.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tcb {
+
+SlottedConcatBatcher::SlottedConcatBatcher(Index slot_len)
+    : slot_len_(slot_len) {
+  if (slot_len <= 0)
+    throw std::invalid_argument("SlottedConcatBatcher: slot_len must be >= 1");
+}
+
+BatchBuildResult SlottedConcatBatcher::build(std::vector<Request> selected,
+                                             Index batch_rows,
+                                             Index row_capacity) const {
+  if (batch_rows <= 0 || row_capacity <= 0)
+    throw std::invalid_argument("SlottedConcatBatcher: non-positive geometry");
+  if (slot_len_ > row_capacity)
+    throw std::invalid_argument("SlottedConcatBatcher: slot_len > row_capacity");
+
+  const Index slots_per_row = row_capacity / slot_len_;
+
+  BatchBuildResult result;
+  result.plan.scheme = Scheme::kConcatSlotted;
+  result.plan.row_capacity = row_capacity;
+  result.plan.slot_len = slot_len_;
+  result.plan.rows.resize(static_cast<std::size_t>(batch_rows));
+
+  // used[r][s] = tokens already placed in slot s of row r.
+  std::vector<std::vector<Index>> used(
+      static_cast<std::size_t>(batch_rows),
+      std::vector<Index>(static_cast<std::size_t>(slots_per_row), 0));
+
+  for (auto& req : selected) {
+    bool placed = false;
+    if (req.length <= slot_len_) {
+      for (std::size_t r = 0; r < used.size() && !placed; ++r) {
+        for (std::size_t s = 0; s < used[r].size(); ++s) {
+          if (used[r][s] + req.length <= slot_len_) {
+            const Index offset =
+                static_cast<Index>(s) * slot_len_ + used[r][s];
+            result.plan.rows[r].segments.push_back(
+                Segment{req.id, offset, req.length, static_cast<Index>(s)});
+            used[r][s] += req.length;
+            placed = true;
+            break;
+          }
+        }
+      }
+    }
+    if (!placed) result.leftover.push_back(std::move(req));
+  }
+
+  // Materialize each row up to the end of its last used slot so slot
+  // boundaries stay aligned across the whole batch. Segments are sorted by
+  // offset (first-fit can place a later request into an earlier slot).
+  std::vector<RowLayout> compact;
+  for (std::size_t r = 0; r < result.plan.rows.size(); ++r) {
+    auto& row = result.plan.rows[r];
+    if (row.segments.empty()) continue;
+    std::sort(row.segments.begin(), row.segments.end(),
+              [](const Segment& a, const Segment& b) {
+                return a.offset < b.offset;
+              });
+    Index last_slot = 0;
+    for (const auto& seg : row.segments) last_slot = std::max(last_slot, seg.slot);
+    row.width = std::min((last_slot + 1) * slot_len_, row_capacity);
+    compact.push_back(std::move(row));
+  }
+  result.plan.rows = std::move(compact);
+  return result;
+}
+
+}  // namespace tcb

@@ -1,0 +1,34 @@
+// Slotted ConcatBatching (paper §4.2, Fig. 4): every batch row is divided
+// into slots of a fixed length z. Requests are concatenated within slots
+// (never across a slot boundary), so self-attention can run per slot and the
+// off-slot-diagonal score blocks are never computed. Requests longer than z
+// cannot be placed and are returned to the pending queue (paper §5.3: "the
+// ones larger than the slot would be discarded").
+#pragma once
+
+#include "batching/batch_plan.hpp"
+
+namespace tcb {
+
+class SlottedConcatBatcher final : public Batcher {
+ public:
+  /// `slot_len` = z; must be in [1, row_capacity]. The Slotted-DAS scheduler
+  /// (Algorithm 2) picks z per batch as the longest request in the
+  /// utility-dominant set; a fixed z can also be injected (used by the
+  /// slot-policy ablation bench).
+  explicit SlottedConcatBatcher(Index slot_len);
+
+  [[nodiscard]] Scheme scheme() const noexcept override {
+    return Scheme::kConcatSlotted;
+  }
+  [[nodiscard]] Index slot_len() const noexcept { return slot_len_; }
+
+  [[nodiscard]] BatchBuildResult build(std::vector<Request> selected,
+                                       Index batch_rows,
+                                       Index row_capacity) const override;
+
+ private:
+  Index slot_len_;
+};
+
+}  // namespace tcb

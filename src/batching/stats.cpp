@@ -1,0 +1,43 @@
+#include "batching/stats.hpp"
+
+#include <algorithm>
+
+namespace tcb {
+
+BatchStats analyze(const BatchPlan& plan) {
+  BatchStats stats;
+  stats.rows = static_cast<Index>(plan.rows.size());
+  if (stats.rows == 0) return stats;
+
+  const Index width = plan.max_width();
+  stats.materialized_tokens = stats.rows * width;
+  stats.used_tokens = plan.used_tokens();
+  stats.padded_tokens = stats.materialized_tokens - stats.used_tokens;
+
+  const bool slotted = plan.scheme == Scheme::kConcatSlotted;
+  for (const auto& row : plan.rows) {
+    if (slotted && plan.slot_len > 0) {
+      for (Index begin = 0; begin < row.width; begin += plan.slot_len) {
+        const Index w = std::min(plan.slot_len, row.width - begin);
+        stats.score_entries_computed += w * w;
+      }
+    } else {
+      stats.score_entries_computed += width * width;
+    }
+    for (const auto& seg : row.segments)
+      stats.score_entries_useful += seg.length * seg.length;
+  }
+
+  stats.padding_ratio =
+      static_cast<double>(stats.padded_tokens) /
+      static_cast<double>(stats.materialized_tokens);
+  stats.attention_redundancy =
+      1.0 - static_cast<double>(stats.score_entries_useful) /
+                static_cast<double>(stats.score_entries_computed);
+  stats.occupancy =
+      static_cast<double>(stats.used_tokens) /
+      static_cast<double>(stats.rows * plan.row_capacity);
+  return stats;
+}
+
+}  // namespace tcb

@@ -1,0 +1,34 @@
+// Analysis of a batch plan's efficiency: the quantities the paper's
+// batching-scheme comparison turns on, computed for any plan.
+//
+//   * padding ratio      — padded tokens / materialized tokens (Fig. 1's
+//                          motivation: NaiveBatching wastes GPU work on
+//                          zeros).
+//   * attention redundancy — score entries the execution mode computes that
+//                          the mask then discards, as a fraction of all
+//                          computed entries (Fig. 6 vs Fig. 7: the work
+//                          slotting removes).
+//   * occupancy          — used tokens / (rows * L).
+#pragma once
+
+#include "batching/batch_plan.hpp"
+
+namespace tcb {
+
+struct BatchStats {
+  Index rows = 0;
+  Index materialized_tokens = 0;  ///< rows * max_width (the engine's tensor)
+  Index used_tokens = 0;
+  Index padded_tokens = 0;        ///< materialized - used
+  Index score_entries_computed = 0;  ///< per head per layer
+  Index score_entries_useful = 0;    ///< sum of per-request len^2
+  double padding_ratio = 0.0;
+  double attention_redundancy = 0.0;  ///< 1 - useful/computed
+  double occupancy = 0.0;             ///< used / (rows * row_capacity)
+};
+
+/// Computes the statistics for a plan under its own scheme's execution mode
+/// (slotted plans compute per-slot blocks; all others the full row width).
+[[nodiscard]] BatchStats analyze(const BatchPlan& plan);
+
+}  // namespace tcb

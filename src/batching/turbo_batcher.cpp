@@ -1,0 +1,112 @@
+#include "batching/turbo_batcher.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace tcb {
+
+std::vector<std::size_t> TurboBatcher::dp_partition(
+    const std::vector<Index>& sorted_lengths, std::size_t max_group) {
+  const std::size_t n = sorted_lengths.size();
+  if (n == 0) return {};
+  if (max_group == 0) throw std::invalid_argument("dp_partition: max_group=0");
+
+  // cost[i] = minimal padded area of the first i requests; parent[i] = start
+  // of the last group in the optimal split of the first i.
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> cost(n + 1, kInf);
+  std::vector<std::size_t> parent(n + 1, 0);
+  cost[0] = 0.0;
+  for (std::size_t i = 1; i <= n; ++i) {
+    const std::size_t j_min = i > max_group ? i - max_group : 0;
+    for (std::size_t j = j_min; j < i; ++j) {
+      // Group covers [j, i); lengths are sorted ascending so the group max is
+      // the last element.
+      const double area = static_cast<double>(i - j) *
+                              static_cast<double>(sorted_lengths[i - 1]) +
+                          kGroupOverheadTokens;
+      if (cost[j] + area < cost[i]) {
+        cost[i] = cost[j] + area;
+        parent[i] = j;
+      }
+    }
+  }
+
+  std::vector<std::size_t> ends;
+  for (std::size_t i = n; i > 0; i = parent[i]) ends.push_back(i);
+  std::reverse(ends.begin(), ends.end());
+  return ends;
+}
+
+BatchBuildResult TurboBatcher::build(std::vector<Request> selected,
+                                     Index batch_rows,
+                                     Index row_capacity) const {
+  if (batch_rows <= 0 || row_capacity <= 0)
+    throw std::invalid_argument("TurboBatcher: non-positive batch geometry");
+
+  BatchBuildResult result;
+  result.plan.scheme = Scheme::kTurbo;
+  result.plan.row_capacity = row_capacity;
+
+  // Requests too long for any row can never be served.
+  std::vector<Request> eligible;
+  for (auto& req : selected) {
+    if (req.length <= row_capacity)
+      eligible.push_back(std::move(req));
+    else
+      result.leftover.push_back(std::move(req));
+  }
+  if (eligible.empty()) return result;
+
+  std::vector<std::size_t> order(eligible.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return eligible[a].length < eligible[b].length;
+  });
+  std::vector<Index> lengths;
+  lengths.reserve(order.size());
+  for (const auto idx : order) lengths.push_back(eligible[idx].length);
+
+  const auto ends = dp_partition(lengths, static_cast<std::size_t>(batch_rows));
+
+  // Execute the largest group (the throughput-efficient choice a
+  // length-aware batcher makes); break ties toward the group holding the
+  // most urgent request so urgency is not ignored entirely.
+  std::size_t chosen = 0;
+  std::size_t best_size = 0;
+  double best_deadline = std::numeric_limits<double>::infinity();
+  std::size_t begin = 0;
+  for (std::size_t g = 0; g < ends.size(); ++g) {
+    const std::size_t size = ends[g] - begin;
+    double urgent = std::numeric_limits<double>::infinity();
+    for (std::size_t i = begin; i < ends[g]; ++i)
+      urgent = std::min(urgent, eligible[order[i]].deadline);
+    if (size > best_size || (size == best_size && urgent < best_deadline)) {
+      best_size = size;
+      best_deadline = urgent;
+      chosen = g;
+    }
+    begin = ends[g];
+  }
+
+  const std::size_t group_begin = chosen == 0 ? 0 : ends[chosen - 1];
+  const std::size_t group_end = ends[chosen];
+  const Index group_width = lengths[group_end - 1];  // sorted: last = max
+
+  std::vector<bool> taken(eligible.size(), false);
+  for (std::size_t i = group_begin; i < group_end; ++i) {
+    const auto& req = eligible[order[i]];
+    RowLayout row;
+    row.width = group_width;
+    row.segments.push_back(Segment{req.id, 0, req.length, 0});
+    result.plan.rows.push_back(std::move(row));
+    taken[order[i]] = true;
+  }
+  for (std::size_t i = 0; i < eligible.size(); ++i)
+    if (!taken[i]) result.leftover.push_back(std::move(eligible[i]));
+  return result;
+}
+
+}  // namespace tcb

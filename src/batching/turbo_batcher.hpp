@@ -1,0 +1,38 @@
+// TurboBatching (paper Fig. 1b, after TurboTransformers [Fang et al.,
+// PPoPP'21]): a length-aware scheme. The candidate requests are sorted by
+// length and split into consecutive groups by dynamic programming so that the
+// total padded area  sum_g |g| * max_len(g)  is minimized, with at most B
+// requests per group. One group is executed per GPU slot; the rest of the
+// selection is handed back to the pending queue.
+//
+// Group choice: among the DP-optimal groups we execute the one containing the
+// earliest deadline, so urgent work selected by the scheduler is not starved
+// by the batcher.
+#pragma once
+
+#include "batching/batch_plan.hpp"
+
+namespace tcb {
+
+class TurboBatcher final : public Batcher {
+ public:
+  [[nodiscard]] Scheme scheme() const noexcept override { return Scheme::kTurbo; }
+  [[nodiscard]] BatchBuildResult build(std::vector<Request> selected,
+                                       Index batch_rows,
+                                       Index row_capacity) const override;
+
+  /// Exposed for tests: DP partition of lengths (sorted ascending) into
+  /// consecutive groups of size <= max_group, minimizing
+  ///   sum_g ( |g| * max_len(g) + kGroupOverheadTokens ).
+  /// The per-group constant models the kernel-launch / dispatch cost of an
+  /// extra batch; without it the padded-area objective is degenerate
+  /// (splitting is never worse). Returns the exclusive end index of each
+  /// group.
+  [[nodiscard]] static std::vector<std::size_t> dp_partition(
+      const std::vector<Index>& sorted_lengths, std::size_t max_group);
+
+  /// Token-equivalent cost of launching one more batch.
+  static constexpr double kGroupOverheadTokens = 32.0;
+};
+
+}  // namespace tcb

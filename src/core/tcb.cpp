@@ -1,0 +1,207 @@
+#include "core/tcb.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "batching/concat_batcher.hpp"
+#include "batching/naive_batcher.hpp"
+#include "batching/packed_batch.hpp"
+#include "batching/slotted_batcher.hpp"
+#include "batching/turbo_batcher.hpp"
+#include "util/timer.hpp"
+
+namespace tcb {
+namespace {
+
+/// Processes one packed batch on the engine; fills the responses (without
+/// scheduled/completed times, which the loop owns) and returns memory stats.
+struct BatchOutcome {
+  std::vector<Response> responses;
+  std::size_t peak_kv_bytes = 0;
+  std::size_t early_freed_bytes = 0;
+};
+
+using BatchFn = std::function<BatchOutcome(const PackedBatch&)>;
+
+/// The engine-backed serving loop shared by seq2seq and classification
+/// serving: deliver arrivals, evict unschedulable requests, schedule, lay
+/// out, run the engine (timed, advancing the virtual clock), account.
+ServeResult run_engine_loop(const TcbConfig& cfg, const Scheduler& scheduler,
+                            const std::vector<Request>& trace,
+                            const BatchFn& run_batch) {
+  for (const auto& req : trace)
+    if (static_cast<Index>(req.tokens.size()) != req.length)
+      throw std::invalid_argument(
+          "TcbSystem: request " + std::to_string(req.id) +
+          " has no token payload (generate the trace with with_tokens=true)");
+
+  const NaiveBatcher naive;
+  const TurboBatcher turbo;
+  const ConcatBatcher concat;
+
+  ServeResult result;
+  double now = 0.0;
+  std::size_t next_arrival = 0;
+  std::vector<Request> pending;
+
+  while (true) {
+    while (next_arrival < trace.size() && trace[next_arrival].arrival <= now) {
+      pending.push_back(trace[next_arrival]);
+      ++next_arrival;
+    }
+    result.failed +=
+        evict_unschedulable(now, cfg.sched.row_capacity, pending).size();
+
+    if (pending.empty()) {
+      if (next_arrival >= trace.size()) break;
+      now = trace[next_arrival].arrival;
+      continue;
+    }
+
+    const Selection sel = scheduler.select(now, pending);
+
+    BatchBuildResult built;
+    switch (cfg.scheme) {
+      case Scheme::kNaive:
+        built = naive.build(sel.ordered, cfg.sched.batch_rows,
+                            cfg.sched.row_capacity);
+        break;
+      case Scheme::kTurbo:
+        built = turbo.build(sel.ordered, cfg.sched.batch_rows,
+                            cfg.sched.row_capacity);
+        break;
+      case Scheme::kConcatPure:
+        built = concat.build(sel.ordered, cfg.sched.batch_rows,
+                             cfg.sched.row_capacity);
+        break;
+      case Scheme::kConcatSlotted: {
+        const Index z = sel.slot_len > 0 ? sel.slot_len : cfg.sched.row_capacity;
+        const SlottedConcatBatcher slotted(z);
+        built = slotted.build(sel.ordered, cfg.sched.batch_rows,
+                              cfg.sched.row_capacity);
+        break;
+      }
+    }
+
+    if (built.plan.empty()) {
+      if (next_arrival < trace.size()) {
+        now = std::max(now, trace[next_arrival].arrival);
+        continue;
+      }
+      result.failed += pending.size();
+      break;
+    }
+
+    std::unordered_map<RequestId, const Request*> by_id;
+    for (const auto& req : pending) by_id.emplace(req.id, &req);
+    const PackedBatch packed = pack_batch(built.plan, by_id);
+
+    const Timer timer;
+    BatchOutcome outcome = run_batch(packed);
+    const double batch_time = std::max(timer.elapsed_seconds(), 1e-9);
+    const double completion = now + batch_time;
+
+    result.peak_kv_bytes = std::max(result.peak_kv_bytes, outcome.peak_kv_bytes);
+    result.early_freed_bytes += outcome.early_freed_bytes;
+
+    std::unordered_map<RequestId, double> scheduled;
+    for (const auto id : built.plan.request_ids()) scheduled.emplace(id, now);
+    for (auto& resp : outcome.responses) {
+      resp.scheduled_at = scheduled.at(resp.id);
+      resp.completed_at = completion;
+      result.responses.push_back(std::move(resp));
+    }
+    for (const auto& req : pending)
+      if (scheduled.contains(req.id)) result.total_utility += req.utility();
+    pending.erase(std::remove_if(pending.begin(), pending.end(),
+                                 [&](const Request& r) {
+                                   return scheduled.contains(r.id);
+                                 }),
+                  pending.end());
+
+    ++result.batches;
+    now = completion;
+    result.makespan = now;
+  }
+
+  std::sort(result.responses.begin(), result.responses.end(),
+            [](const Response& a, const Response& b) { return a.id < b.id; });
+  return result;
+}
+
+}  // namespace
+
+void TcbConfig::validate() const {
+  model.validate();
+  sched.validate();
+  if (sched.row_capacity > model.max_len)
+    throw std::invalid_argument(
+        "TcbConfig: row_capacity exceeds the model's max_len");
+  if (max_decode_steps <= 0)
+    throw std::invalid_argument("TcbConfig: max_decode_steps must be >= 1");
+  // Constructs and discards to surface bad scheduler names early.
+  (void)make_scheduler(scheduler, sched);
+}
+
+TcbSystem::TcbSystem(TcbConfig cfg) : cfg_(std::move(cfg)) {
+  cfg_.validate();
+  model_ = std::make_shared<const Seq2SeqModel>(cfg_.model);
+  scheduler_ = make_scheduler(cfg_.scheduler, cfg_.sched);
+  analytical_ = std::make_unique<AnalyticalCostModel>(
+      ModelConfig::paper_scale(), cfg_.hardware);
+}
+
+ServingReport TcbSystem::simulate(const std::vector<Request>& trace) const {
+  SimulatorConfig sim;
+  sim.scheme = cfg_.scheme;
+  sim.fixed_slot_len = 0;
+  const ServingSimulator simulator(*scheduler_, *analytical_, sim);
+  return simulator.run(trace);
+}
+
+ServeResult TcbSystem::serve(const std::vector<Request>& trace) const {
+  InferenceOptions opts;
+  opts.mode = cfg_.scheme == Scheme::kConcatSlotted ? AttentionMode::kSlotted
+                                                    : AttentionMode::kPureConcat;
+  opts.max_decode_steps = cfg_.max_decode_steps;
+  opts.early_memory_cleaning = cfg_.early_memory_cleaning;
+
+  return run_engine_loop(
+      cfg_, *scheduler_, trace, [&](const PackedBatch& packed) {
+        InferenceResult inf = model_->infer(packed, opts);
+        BatchOutcome outcome;
+        outcome.peak_kv_bytes = inf.peak_kv_bytes;
+        outcome.early_freed_bytes = inf.early_freed_bytes;
+        for (auto& [id, tokens] : inf.outputs) {
+          Response resp;
+          resp.id = id;
+          resp.tokens = std::move(tokens);
+          outcome.responses.push_back(std::move(resp));
+        }
+        return outcome;
+      });
+}
+
+ServeResult TcbSystem::serve_classify(const std::vector<Request>& trace,
+                                      const ClassificationHead& head) const {
+  InferenceOptions opts;
+  opts.mode = cfg_.scheme == Scheme::kConcatSlotted ? AttentionMode::kSlotted
+                                                    : AttentionMode::kPureConcat;
+
+  return run_engine_loop(
+      cfg_, *scheduler_, trace, [&](const PackedBatch& packed) {
+        const EncoderMemory memory = model_->encode(packed, opts);
+        BatchOutcome outcome;
+        for (const auto& [id, label] : head.classify(memory)) {
+          Response resp;
+          resp.id = id;
+          resp.label = label;
+          outcome.responses.push_back(std::move(resp));
+        }
+        return outcome;
+      });
+}
+
+}  // namespace tcb

@@ -1,0 +1,99 @@
+// TcbSystem — the public facade of the TCB inference service (paper Fig. 3).
+//
+// It wires the pluggable scheduler (DAS / Slotted-DAS / baselines), the
+// batching scheme (naive / turbo / pure concat / slotted concat) and the
+// ConcatBatching-aware inference engine together, and offers two modes:
+//
+//   * serve()    — runs the real CPU transformer engine batch by batch,
+//                  advancing a virtual clock by each batch's measured
+//                  inference time, and returns per-request generated tokens
+//                  plus serving statistics.
+//   * simulate() — prices batches with the analytical V100-like cost model
+//                  instead of executing them; this is what the
+//                  paper-scale serving benches use (40-1500 req/s).
+//   * serve_classify() — encoder-only (BERT/GLUE-style) serving with a
+//                  ClassificationHead; no auto-regressive decoding.
+//
+// Typical use (see examples/quickstart.cpp):
+//
+//   TcbConfig cfg;                         // slotted ConcatBatching + DAS
+//   TcbSystem tcb{cfg};
+//   auto trace = generate_trace(workload); // or your own Requests
+//   auto result = tcb.serve(trace);
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/classifier.hpp"
+#include "nn/model.hpp"
+#include "sched/factory.hpp"
+#include "serving/simulator.hpp"
+#include "workload/trace.hpp"
+
+namespace tcb {
+
+struct TcbConfig {
+  ModelConfig model;                 ///< engine architecture
+  SchedulerConfig sched;             ///< B, L, eta, q
+  Scheme scheme = Scheme::kConcatSlotted;
+  /// One of make_scheduler()'s names; defaults to the paper's full system.
+  std::string scheduler = "slotted-das";
+  HardwareProfile hardware = HardwareProfile::v100_like();
+  Index max_decode_steps = 32;
+  bool early_memory_cleaning = true;
+
+  void validate() const;
+};
+
+/// One served request.
+struct Response {
+  RequestId id = -1;
+  double scheduled_at = 0.0;
+  double completed_at = 0.0;
+  std::vector<Index> tokens;  ///< generated output tokens (seq2seq serving)
+  Index label = -1;           ///< predicted class (classification serving)
+};
+
+/// Outcome of TcbSystem::serve().
+struct ServeResult {
+  std::vector<Response> responses;
+  std::size_t failed = 0;          ///< expired or unservable requests
+  double total_utility = 0.0;
+  double makespan = 0.0;           ///< virtual time when the last batch ended
+  std::size_t batches = 0;
+  std::size_t peak_kv_bytes = 0;   ///< max over batches
+  std::size_t early_freed_bytes = 0;
+};
+
+class TcbSystem {
+ public:
+  explicit TcbSystem(TcbConfig cfg);
+
+  [[nodiscard]] const TcbConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] const Seq2SeqModel& model() const noexcept { return *model_; }
+  [[nodiscard]] const Scheduler& scheduler() const noexcept { return *scheduler_; }
+
+  /// Real-engine serving. Every request must carry tokens
+  /// (WorkloadConfig::with_tokens or user-provided). `trace` sorted by
+  /// arrival.
+  [[nodiscard]] ServeResult serve(const std::vector<Request>& trace) const;
+
+  /// Cost-model serving simulation (no tokens needed).
+  [[nodiscard]] ServingReport simulate(const std::vector<Request>& trace) const;
+
+  /// Encoder-only classification serving (BERT/GLUE-style): like serve(),
+  /// but each batch is encoded once and classified with `head` — no
+  /// auto-regressive decoding. `head` must match the model's d_model.
+  [[nodiscard]] ServeResult serve_classify(const std::vector<Request>& trace,
+                                           const ClassificationHead& head) const;
+
+ private:
+  TcbConfig cfg_;
+  std::shared_ptr<const Seq2SeqModel> model_;
+  std::unique_ptr<Scheduler> scheduler_;
+  std::unique_ptr<AnalyticalCostModel> analytical_;
+};
+
+}  // namespace tcb

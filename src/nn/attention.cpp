@@ -1,0 +1,168 @@
+#include "nn/attention.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "parallel/thread_pool.hpp"
+#include "tensor/ops.hpp"
+
+namespace tcb {
+namespace {
+
+/// One attention task: a (row, span, head) triple. For the pure path the
+/// span is the whole materialized row; for the slotted path it is one slot.
+struct Task {
+  Index row;
+  Index begin;  ///< first column of the span
+  Index width;  ///< span width
+  Index head;
+};
+
+std::vector<Task> build_tasks(const BatchPlan& plan, Index width,
+                              AttentionMode mode, Index n_heads) {
+  std::vector<Task> tasks;
+  const Index rows = static_cast<Index>(plan.rows.size());
+  for (Index r = 0; r < rows; ++r) {
+    const auto& row = plan.rows[static_cast<std::size_t>(r)];
+    if (mode == AttentionMode::kSlotted && plan.slot_len > 0) {
+      // Slots cover only the row's used extent; unused tail slots are never
+      // materialized (that is the saving).
+      for (Index begin = 0; begin < row.width; begin += plan.slot_len) {
+        const Index w = std::min(plan.slot_len, row.width - begin);
+        for (Index h = 0; h < n_heads; ++h) tasks.push_back({r, begin, w, h});
+      }
+    } else {
+      // Pure path: rectangular tensor semantics — every row spans the full
+      // materialized batch width, padding included.
+      for (Index h = 0; h < n_heads; ++h) tasks.push_back({r, 0, width, h});
+    }
+  }
+  return tasks;
+}
+
+}  // namespace
+
+MultiHeadAttention::MultiHeadAttention(const ModelConfig& cfg, Rng& rng)
+    : wq_(cfg.d_model, cfg.d_model, rng),
+      wk_(cfg.d_model, cfg.d_model, rng),
+      wv_(cfg.d_model, cfg.d_model, rng),
+      wo_(cfg.d_model, cfg.d_model, rng),
+      n_heads_(cfg.n_heads),
+      head_dim_(cfg.head_dim()) {}
+
+Tensor MultiHeadAttention::encoder_forward(const Tensor& x,
+                                           const BatchPlan& plan, Index width,
+                                           AttentionMode mode,
+                                           MaskPolicy mask) const {
+  const Index rows = static_cast<Index>(plan.rows.size());
+  const Index d = n_heads_ * head_dim_;
+  if (x.rank() != 2 || x.dim(0) != rows * width || x.dim(1) != d)
+    throw std::invalid_argument("encoder_forward: x shape mismatch");
+  if (mode == AttentionMode::kSlotted && plan.slot_len <= 0)
+    throw std::invalid_argument("encoder_forward: slotted mode needs slot_len");
+
+  const Tensor q = wq_.forward(x);
+  const Tensor k = wk_.forward(x);
+  const Tensor v = wv_.forward(x);
+
+  // Per-row segment maps padded to the materialized width (-1 = padding).
+  std::vector<std::vector<std::int32_t>> seg(static_cast<std::size_t>(rows));
+  for (Index r = 0; r < rows; ++r) {
+    auto map = segment_map(plan.rows[static_cast<std::size_t>(r)]);
+    map.resize(static_cast<std::size_t>(width), -1);
+    seg[static_cast<std::size_t>(r)] = std::move(map);
+  }
+
+  Tensor heads_out(Shape{rows * width, d});
+  const auto tasks = build_tasks(plan, width, mode, n_heads_);
+  const float inv_sqrt_d = 1.0f / std::sqrt(static_cast<float>(head_dim_));
+  const float* pq = q.raw();
+  const float* pk = k.raw();
+  const float* pv = v.raw();
+  float* pout = heads_out.raw();
+  const Index dh = head_dim_;
+
+  parallel_for(tasks.size(), [&](std::size_t begin_task, std::size_t end_task) {
+    // Materialized score matrix for the current span — like the GPU kernels
+    // in Fig. 6/7, the whole (masked) matrix exists before softmax.
+    std::vector<float> scores;
+    for (std::size_t ti = begin_task; ti < end_task; ++ti) {
+      const Task& t = tasks[ti];
+      const Index w = t.width;
+      scores.assign(static_cast<std::size_t>(w) * w, 0.0f);
+      const std::size_t row_base = static_cast<std::size_t>(t.row) * width;
+      const std::size_t head_off = static_cast<std::size_t>(t.head) * dh;
+      const auto& smap = seg[static_cast<std::size_t>(t.row)];
+
+      // Step 2 (Fig. 6): S = Q K^T / sqrt(d) over the whole span.
+      for (Index i = 0; i < w; ++i) {
+        const float* qi =
+            pq + (row_base + t.begin + i) * static_cast<std::size_t>(d) + head_off;
+        float* srow = scores.data() + static_cast<std::size_t>(i) * w;
+        for (Index j = 0; j < w; ++j) {
+          const float* kj =
+              pk + (row_base + t.begin + j) * static_cast<std::size_t>(d) + head_off;
+          float acc = 0.0f;
+          for (Index c = 0; c < dh; ++c) acc += qi[c] * kj[c];
+          srow[j] = acc * inv_sqrt_d;
+        }
+      }
+
+      // Step 3 (Fig. 6): mask the redundant entries (Eq. 6).
+      for (Index i = 0; i < w; ++i) {
+        const std::int32_t si = smap[static_cast<std::size_t>(t.begin + i)];
+        float* srow = scores.data() + static_cast<std::size_t>(i) * w;
+        for (Index j = 0; j < w; ++j) {
+          const std::int32_t sj = smap[static_cast<std::size_t>(t.begin + j)];
+          const bool allowed = mask == MaskPolicy::kSegment
+                                   ? (si >= 0 && si == sj)
+                                   : (si >= 0 && sj >= 0);
+          if (!allowed) srow[j] = kMaskedOut;
+        }
+      }
+
+      // Step 4 (Fig. 6): softmax, then multiply with V.
+      for (Index i = 0; i < w; ++i) {
+        float* srow = scores.data() + static_cast<std::size_t>(i) * w;
+        float mx = srow[0];
+        for (Index j = 1; j < w; ++j) mx = std::max(mx, srow[j]);
+        float* out = pout + (row_base + t.begin + i) * static_cast<std::size_t>(d) +
+                     head_off;
+        for (Index c = 0; c < dh; ++c) out[c] = 0.0f;
+        if (mx <= kMaskedOut / 2) continue;  // fully-masked padding query
+        float sum = 0.0f;
+        for (Index j = 0; j < w; ++j) {
+          srow[j] = std::exp(srow[j] - mx);
+          sum += srow[j];
+        }
+        const float inv = 1.0f / sum;
+        for (Index j = 0; j < w; ++j) {
+          const float a = srow[j] * inv;
+          const float* vj =
+              pv + (row_base + t.begin + j) * static_cast<std::size_t>(d) + head_off;
+          for (Index c = 0; c < dh; ++c) out[c] += a * vj[c];
+        }
+      }
+    }
+  });
+
+  return wo_.forward(heads_out);
+}
+
+Index score_entries(const BatchPlan& plan, Index width, AttentionMode mode) {
+  Index total = 0;
+  for (const auto& row : plan.rows) {
+    if (mode == AttentionMode::kSlotted && plan.slot_len > 0) {
+      for (Index begin = 0; begin < row.width; begin += plan.slot_len) {
+        const Index w = std::min(plan.slot_len, row.width - begin);
+        total += w * w;
+      }
+    } else {
+      total += width * width;
+    }
+  }
+  return total;
+}
+
+}  // namespace tcb

@@ -1,0 +1,73 @@
+// Multi-head self-attention with the two concat-aware execution paths the
+// paper contrasts:
+//
+//   * kPureConcat (paper §4.1, Fig. 6): the full width x width score matrix
+//     of every row is computed, the off-(block-)diagonal entries are masked
+//     to -inf (Eq. 5-6), then softmax and the value multiplication run over
+//     the full matrix. The masked work is the redundancy the paper measures.
+//   * kSlotted (paper §4.2, Fig. 7): each row is split into slots of length
+//     z; scores/softmax/value products are computed per slot only, and the
+//     slots of a batch run in parallel on the thread pool.
+//
+// Both paths produce the same values for every real token (masked entries
+// contribute exactly 0 after softmax); the slotted path simply never touches
+// the inter-slot blocks. That equivalence is property-tested.
+#pragma once
+
+#include "batching/batch_plan.hpp"
+#include "nn/linear.hpp"
+#include "nn/model_config.hpp"
+#include "tensor/tensor.hpp"
+
+namespace tcb {
+
+enum class AttentionMode : std::uint8_t {
+  kPureConcat,
+  kSlotted,
+};
+
+/// How the attention mask is derived. kSegment is TCB's customized mask;
+/// kRowShared is the uncustomized default (whole row attends to itself),
+/// kept so tests and examples can demonstrate that concatenation without the
+/// mask produces wrong results.
+enum class MaskPolicy : std::uint8_t {
+  kSegment,
+  kRowShared,
+};
+
+class MultiHeadAttention {
+ public:
+  MultiHeadAttention() = default;
+  MultiHeadAttention(const ModelConfig& cfg, Rng& rng);
+
+  /// Bidirectional (encoder) self-attention over a batch laid out by `plan`.
+  /// x is (rows * width, d_model) with `width` = materialized tensor width.
+  /// Returns a tensor of the same shape (already through the output
+  /// projection W^O).
+  [[nodiscard]] Tensor encoder_forward(const Tensor& x, const BatchPlan& plan,
+                                       Index width, AttentionMode mode,
+                                       MaskPolicy mask = MaskPolicy::kSegment) const;
+
+  [[nodiscard]] Index n_heads() const noexcept { return n_heads_; }
+  [[nodiscard]] Index head_dim() const noexcept { return head_dim_; }
+
+  /// Projection weights, exposed for the step-wise decoder which drives the
+  /// same parameters through cached K/V.
+  [[nodiscard]] const Linear& wq() const noexcept { return wq_; }
+  [[nodiscard]] const Linear& wk() const noexcept { return wk_; }
+  [[nodiscard]] const Linear& wv() const noexcept { return wv_; }
+  [[nodiscard]] const Linear& wo() const noexcept { return wo_; }
+
+ private:
+  Linear wq_, wk_, wv_, wo_;
+  Index n_heads_ = 0;
+  Index head_dim_ = 0;
+};
+
+/// Counts the score-matrix entries each mode computes for `plan` (per head,
+/// per layer). The slotted/pure ratio is the redundancy removed — used by
+/// the analytical cost model and asserted in tests.
+[[nodiscard]] Index score_entries(const BatchPlan& plan, Index width,
+                                  AttentionMode mode);
+
+}  // namespace tcb

@@ -1,0 +1,69 @@
+#include "nn/classifier.hpp"
+
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+
+namespace tcb {
+
+ClassificationHead::ClassificationHead(Index d_model, Index n_classes,
+                                       std::uint64_t seed) {
+  if (d_model <= 0 || n_classes <= 1)
+    throw std::invalid_argument("ClassificationHead: need d_model > 0, >= 2 classes");
+  Rng rng(seed);
+  proj_ = Linear(d_model, n_classes, rng);
+}
+
+std::unordered_map<RequestId, std::vector<float>> ClassificationHead::logits(
+    const EncoderMemory& memory) const {
+  const Index d = proj_.in_features();
+  if (memory.states.rank() != 2 || memory.states.dim(1) != d)
+    throw std::invalid_argument("ClassificationHead: d_model mismatch");
+
+  // Mean-pool every segment over its own span only.
+  std::vector<RequestId> ids;
+  Index segments = 0;
+  for (const auto& row : memory.plan.rows)
+    segments += static_cast<Index>(row.segments.size());
+  Tensor pooled(Shape{segments, d});
+  Index cursor = 0;
+  for (std::size_t r = 0; r < memory.plan.rows.size(); ++r) {
+    for (const auto& seg : memory.plan.rows[r].segments) {
+      float* out = pooled.row(cursor);
+      for (Index i = 0; i < seg.length; ++i) {
+        const float* state = memory.states.row(
+            static_cast<Index>(r) * memory.width + seg.offset + i);
+        for (Index c = 0; c < d; ++c) out[c] += state[c];
+      }
+      const float inv = 1.0f / static_cast<float>(seg.length);
+      for (Index c = 0; c < d; ++c) out[c] *= inv;
+      ids.push_back(seg.request_id);
+      ++cursor;
+    }
+  }
+
+  const Tensor scores = proj_.forward(pooled);
+  std::unordered_map<RequestId, std::vector<float>> result;
+  for (Index i = 0; i < segments; ++i) {
+    const float* row = scores.row(i);
+    result.emplace(ids[static_cast<std::size_t>(i)],
+                   std::vector<float>(row, row + n_classes()));
+  }
+  return result;
+}
+
+std::unordered_map<RequestId, Index> ClassificationHead::classify(
+    const EncoderMemory& memory) const {
+  std::unordered_map<RequestId, Index> result;
+  for (auto& [id, scores] : logits(memory)) {
+    Index best = 0;
+    for (Index c = 1; c < static_cast<Index>(scores.size()); ++c)
+      if (scores[static_cast<std::size_t>(c)] >
+          scores[static_cast<std::size_t>(best)])
+        best = c;
+    result.emplace(id, best);
+  }
+  return result;
+}
+
+}  // namespace tcb

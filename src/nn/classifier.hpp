@@ -1,0 +1,39 @@
+// Encoder-only classification head (BERT-style service): mean-pools each
+// request's encoder states over its own segment and projects to class
+// logits. The paper motivates TCB with GLUE/DIA-style workloads; this head
+// shows ConcatBatching serves classification requests too — the pooling is
+// segment-restricted, so concat-batched classification matches per-request
+// classification exactly (same property as decoding).
+#pragma once
+
+#include <unordered_map>
+
+#include "nn/model.hpp"
+
+namespace tcb {
+
+class ClassificationHead {
+ public:
+  ClassificationHead() = default;
+
+  /// `d_model` must match the encoder producing the memories; weights are
+  /// deterministic in `seed`.
+  ClassificationHead(Index d_model, Index n_classes, std::uint64_t seed);
+
+  [[nodiscard]] Index n_classes() const noexcept {
+    return proj_.out_features();
+  }
+
+  /// Per-request class logits from an encoded batch.
+  [[nodiscard]] std::unordered_map<RequestId, std::vector<float>> logits(
+      const EncoderMemory& memory) const;
+
+  /// Per-request argmax class.
+  [[nodiscard]] std::unordered_map<RequestId, Index> classify(
+      const EncoderMemory& memory) const;
+
+ private:
+  Linear proj_;
+};
+
+}  // namespace tcb

@@ -1,0 +1,391 @@
+#include "nn/decoder.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "nn/model.hpp"
+#include "parallel/thread_pool.hpp"
+#include "tensor/ops.hpp"
+
+namespace tcb {
+
+DecoderLayer::DecoderLayer(const ModelConfig& cfg, Rng& rng)
+    : self_attn_(cfg, rng),
+      cross_attn_(cfg, rng),
+      ffn_(cfg, rng),
+      eps_(cfg.layer_norm_eps) {
+  for (int i = 0; i < 3; ++i) {
+    ln_gamma_.emplace_back(Shape{cfg.d_model}, 1.0f);
+    ln_beta_.emplace_back(Shape{cfg.d_model}, 0.0f);
+  }
+}
+
+namespace {
+
+struct Group {
+  std::vector<std::size_t> members;  ///< track indices
+  bool released = false;
+};
+
+/// Per-decoder-layer mutable state.
+struct LayerState {
+  std::vector<std::vector<float>> k_cache;  ///< per track, [step][d] interleaved
+  std::vector<std::vector<float>> v_cache;
+  Tensor cross_k;  ///< (src_rows * src_width, d), computed once
+  Tensor cross_v;
+};
+
+/// Residual + LayerNorm helper: returns LN(x + delta).
+Tensor residual_norm(const Tensor& x, Tensor delta, const Tensor& gamma,
+                     const Tensor& beta, float eps) {
+  add_inplace(delta, x);
+  Tensor out;
+  layer_norm(delta, gamma, beta, eps, out);
+  return out;
+}
+
+/// Top-k temperature sampling over one logits row; the candidate set is the
+/// k largest logits (ties by lower index, like argmax).
+Index sample_top_k(const float* logits, Index vocab, Index k,
+                   float temperature, Rng& rng) {
+  k = std::min(k, vocab);
+  // Partial selection of the k best indices.
+  std::vector<Index> best;
+  best.reserve(static_cast<std::size_t>(k));
+  for (Index v = 0; v < vocab; ++v) {
+    if (static_cast<Index>(best.size()) < k) {
+      best.push_back(v);
+      if (static_cast<Index>(best.size()) == k)
+        std::sort(best.begin(), best.end(), [&](Index a, Index b) {
+          return logits[a] > logits[b] || (logits[a] == logits[b] && a < b);
+        });
+      continue;
+    }
+    if (logits[v] > logits[best.back()]) {
+      best.back() = v;
+      for (std::size_t i = best.size() - 1;
+           i > 0 && (logits[best[i]] > logits[best[i - 1]] ||
+                     (logits[best[i]] == logits[best[i - 1]] &&
+                      best[i] < best[i - 1]));
+           --i)
+        std::swap(best[i], best[i - 1]);
+    }
+  }
+
+  const float inv_t = 1.0f / std::max(temperature, 1e-6f);
+  const float mx = logits[best[0]];
+  std::vector<double> weights(best.size());
+  double total = 0.0;
+  for (std::size_t i = 0; i < best.size(); ++i) {
+    weights[i] = std::exp(static_cast<double>((logits[best[i]] - mx) * inv_t));
+    total += weights[i];
+  }
+  double u = rng.next_double() * total;
+  for (std::size_t i = 0; i < best.size(); ++i) {
+    u -= weights[i];
+    if (u <= 0.0) return best[i];
+  }
+  return best.back();
+}
+
+}  // namespace
+
+DecodeResult greedy_decode(const Seq2SeqModel& model,
+                           const EncoderMemory& memory,
+                           const DecodeOptions& opts) {
+  const ModelConfig& cfg = model.config();
+  const Index d = cfg.d_model;
+  const Index heads = cfg.n_heads;
+  const Index dh = cfg.head_dim();
+  const float inv_sqrt = 1.0f / std::sqrt(static_cast<float>(dh));
+  const bool slotted =
+      opts.mode == AttentionMode::kSlotted && memory.plan.slot_len > 0;
+
+  DecodeResult result;
+
+  // --- Build tracks and groups --------------------------------------------
+  std::vector<DecodeTrack> tracks;
+  for (std::size_t r = 0; r < memory.plan.rows.size(); ++r) {
+    const auto& row = memory.plan.rows[r];
+    for (std::size_t si = 0; si < row.segments.size(); ++si) {
+      const auto& seg = row.segments[si];
+      DecodeTrack t;
+      t.request_id = seg.request_id;
+      t.row = static_cast<Index>(r);
+      t.slot = seg.slot;
+      t.seg_index = static_cast<Index>(si);
+      t.src_offset = seg.offset;
+      t.src_len = seg.length;
+      tracks.push_back(std::move(t));
+    }
+  }
+  if (tracks.empty()) return result;
+
+  std::vector<Group> groups;
+  std::vector<std::size_t> group_of(tracks.size());
+  {
+    std::unordered_map<Index, std::size_t> key_to_group;
+    for (std::size_t i = 0; i < tracks.size(); ++i) {
+      const Index key =
+          tracks[i].row * (memory.width + 1) + (slotted ? tracks[i].slot : 0);
+      auto [it, inserted] = key_to_group.try_emplace(key, groups.size());
+      if (inserted) groups.emplace_back();
+      groups[it->second].members.push_back(i);
+      group_of[i] = it->second;
+    }
+  }
+
+  // Source segment maps, padded to the materialized width.
+  std::vector<std::vector<std::int32_t>> src_seg(memory.plan.rows.size());
+  for (std::size_t r = 0; r < memory.plan.rows.size(); ++r) {
+    auto map = segment_map(memory.plan.rows[r]);
+    map.resize(static_cast<std::size_t>(memory.width), -1);
+    src_seg[r] = std::move(map);
+  }
+
+  // --- Layer state: caches + precomputed cross K/V -------------------------
+  const auto& layers = model.decoder_layers();
+  std::vector<LayerState> states(layers.size());
+  for (std::size_t l = 0; l < layers.size(); ++l) {
+    states[l].k_cache.resize(tracks.size());
+    states[l].v_cache.resize(tracks.size());
+    states[l].cross_k = layers[l].cross_attn().wk().forward(memory.states);
+    states[l].cross_v = layers[l].cross_attn().wv().forward(memory.states);
+  }
+
+  std::size_t cur_kv_bytes = 0;
+  const Index max_steps = std::min<Index>(opts.max_steps, cfg.max_len);
+
+  // Per-request sampling streams: forked by request id so a request draws
+  // the same randomness no matter which batch it rides in.
+  std::vector<Rng> track_rng;
+  if (opts.strategy == DecodeStrategy::kTopK) {
+    const Rng base(opts.sample_seed);
+    track_rng.reserve(tracks.size());
+    for (const auto& track : tracks)
+      track_rng.push_back(
+          base.fork(static_cast<std::uint64_t>(track.request_id)));
+  }
+
+  for (Index t = 0; t < max_steps; ++t) {
+    std::vector<std::size_t> active;
+    for (std::size_t i = 0; i < tracks.size(); ++i)
+      if (!tracks[i].finished) active.push_back(i);
+    if (active.empty()) break;
+    result.steps = t + 1;
+    const Index a_count = static_cast<Index>(active.size());
+
+    // Input embeddings: previous token (BOS at step 0) + separate PE at the
+    // track-local position t.
+    std::vector<Index> prev;
+    prev.reserve(active.size());
+    for (const auto a : active)
+      prev.push_back(tracks[a].emitted.empty() ? kBosToken
+                                               : tracks[a].emitted.back());
+    Tensor x = model.embedding().lookup(prev);
+    const float* pe = model.positional_encoding().at(t);
+    for (Index ai = 0; ai < a_count; ++ai) {
+      float* row = x.row(ai);
+      for (Index j = 0; j < d; ++j) row[j] += pe[j];
+    }
+
+    for (std::size_t l = 0; l < layers.size(); ++l) {
+      const DecoderLayer& layer = layers[l];
+      LayerState& st = states[l];
+
+      // ---- Masked self-attention over the group's cached K/V -------------
+      const Tensor q = layer.self_attn().wq().forward(x);
+      const Tensor k_new = layer.self_attn().wk().forward(x);
+      const Tensor v_new = layer.self_attn().wv().forward(x);
+      for (Index ai = 0; ai < a_count; ++ai) {
+        const std::size_t a = active[static_cast<std::size_t>(ai)];
+        const float* krow = k_new.row(ai);
+        const float* vrow = v_new.row(ai);
+        st.k_cache[a].insert(st.k_cache[a].end(), krow, krow + d);
+        st.v_cache[a].insert(st.v_cache[a].end(), vrow, vrow + d);
+        cur_kv_bytes += 2 * static_cast<std::size_t>(d) * sizeof(float);
+      }
+      result.peak_kv_bytes = std::max(result.peak_kv_bytes, cur_kv_bytes);
+
+      Tensor attn(Shape{a_count, d});
+      parallel_for(
+          static_cast<std::size_t>(a_count) * static_cast<std::size_t>(heads),
+          [&](std::size_t begin, std::size_t end) {
+            std::vector<float> scores;
+            std::vector<const float*> v_ptrs;
+            for (std::size_t task = begin; task < end; ++task) {
+              const Index ai = static_cast<Index>(task / heads);
+              const Index h = static_cast<Index>(task % heads);
+              const std::size_t a = active[static_cast<std::size_t>(ai)];
+              const Group& group = groups[group_of[a]];
+              const std::size_t head_off = static_cast<std::size_t>(h) * dh;
+              const float* qv = q.row(ai) + head_off;
+
+              scores.clear();
+              v_ptrs.clear();
+              // Scores over every member's cached steps; the redundant
+              // cross-request entries are computed, then masked (paper
+              // Eq. 5-6 applied step-wise).
+              for (const auto m : group.members) {
+                const auto& kc = st.k_cache[m];
+                const std::size_t steps_m = kc.size() / static_cast<std::size_t>(d);
+                // Additive mask: adding kMaskedOut to a score of ordinary
+                // magnitude rounds to exactly kMaskedOut, so the foreign
+                // entries are computed (the redundancy) yet contribute
+                // exactly zero after softmax.
+                const float mask_add = m == a ? 0.0f : kMaskedOut;
+                for (std::size_t s = 0; s < steps_m; ++s) {
+                  const float* kv = kc.data() + s * static_cast<std::size_t>(d) + head_off;
+                  float acc = 0.0f;
+                  for (Index c = 0; c < dh; ++c) acc += qv[c] * kv[c];
+                  scores.push_back(acc * inv_sqrt + mask_add);
+                  v_ptrs.push_back(st.v_cache[m].data() +
+                                   s * static_cast<std::size_t>(d) + head_off);
+                }
+              }
+
+              float mx = kMaskedOut;
+              for (const float s : scores) mx = std::max(mx, s);
+              float sum = 0.0f;
+              for (float& s : scores) {
+                s = std::exp(s - mx);
+                sum += s;
+              }
+              const float inv = 1.0f / sum;
+              float* out = attn.row(ai) + head_off;
+              for (Index c = 0; c < dh; ++c) out[c] = 0.0f;
+              for (std::size_t s = 0; s < scores.size(); ++s) {
+                const float w = scores[s] * inv;
+                const float* vv = v_ptrs[s];
+                for (Index c = 0; c < dh; ++c) out[c] += w * vv[c];
+              }
+            }
+          });
+      Tensor x1 = residual_norm(x, layer.self_attn().wo().forward(attn),
+                                layer.ln_gamma(0), layer.ln_beta(0), layer.eps());
+
+      // ---- Cross-attention over the source span ---------------------------
+      const Tensor q2 = layer.cross_attn().wq().forward(x1);
+      Tensor attn2(Shape{a_count, d});
+      parallel_for(
+          static_cast<std::size_t>(a_count) * static_cast<std::size_t>(heads),
+          [&](std::size_t begin, std::size_t end) {
+            std::vector<float> scores;
+            for (std::size_t task = begin; task < end; ++task) {
+              const Index ai = static_cast<Index>(task / heads);
+              const Index h = static_cast<Index>(task % heads);
+              const std::size_t a = active[static_cast<std::size_t>(ai)];
+              const DecodeTrack& tr = tracks[a];
+              const std::size_t head_off = static_cast<std::size_t>(h) * dh;
+              const float* qv = q2.row(ai) + head_off;
+              const auto& smap = src_seg[static_cast<std::size_t>(tr.row)];
+              const Index row_base = tr.row * memory.width;
+
+              // Pure ConcatBatching attends over the whole materialized row
+              // (then masks); the slotted path touches only the track's slot.
+              Index span_begin = 0, span_end = memory.width;
+              if (slotted) {
+                span_begin = tr.slot * memory.plan.slot_len;
+                span_end = std::min(span_begin + memory.plan.slot_len,
+                                    memory.width);
+              }
+              const Index span = span_end - span_begin;
+
+              scores.assign(static_cast<std::size_t>(span), 0.0f);
+              for (Index j = 0; j < span; ++j) {
+                const float* kv = st.cross_k.row(row_base + span_begin + j) + head_off;
+                float acc = 0.0f;
+                for (Index c = 0; c < dh; ++c) acc += qv[c] * kv[c];
+                const bool own = smap[static_cast<std::size_t>(span_begin + j)] ==
+                                 static_cast<std::int32_t>(tr.seg_index);
+                scores[static_cast<std::size_t>(j)] =
+                    acc * inv_sqrt + (own ? 0.0f : kMaskedOut);
+              }
+
+              float mx = kMaskedOut;
+              for (const float s : scores) mx = std::max(mx, s);
+              float* out = attn2.row(ai) + head_off;
+              for (Index c = 0; c < dh; ++c) out[c] = 0.0f;
+              if (mx <= kMaskedOut / 2) continue;  // empty source segment
+              float sum = 0.0f;
+              for (float& s : scores) {
+                s = std::exp(s - mx);
+                sum += s;
+              }
+              const float inv = 1.0f / sum;
+              for (Index j = 0; j < span; ++j) {
+                const float w = scores[static_cast<std::size_t>(j)] * inv;
+                const float* vv =
+                    st.cross_v.row(row_base + span_begin + j) + head_off;
+                for (Index c = 0; c < dh; ++c) out[c] += w * vv[c];
+              }
+            }
+          });
+      Tensor x2 = residual_norm(x1, layer.cross_attn().wo().forward(attn2),
+                                layer.ln_gamma(1), layer.ln_beta(1), layer.eps());
+
+      // ---- Feed-forward ----------------------------------------------------
+      x = residual_norm(x2, layer.ffn().forward(x2), layer.ln_gamma(2),
+                        layer.ln_beta(2), layer.eps());
+    }
+
+    // ---- Next-token selection & track bookkeeping --------------------------
+    const Tensor logits = model.output_projection().forward(x);
+    std::vector<Index> next;
+    if (opts.strategy == DecodeStrategy::kGreedy) {
+      next = argmax_rows(logits);
+    } else {
+      next.resize(static_cast<std::size_t>(a_count));
+      for (Index ai = 0; ai < a_count; ++ai) {
+        const std::size_t a = active[static_cast<std::size_t>(ai)];
+        next[static_cast<std::size_t>(ai)] =
+            sample_top_k(logits.row(ai), cfg.vocab_size, opts.top_k,
+                         opts.temperature, track_rng[a]);
+      }
+    }
+    for (Index ai = 0; ai < a_count; ++ai) {
+      const std::size_t a = active[static_cast<std::size_t>(ai)];
+      const Index token = next[static_cast<std::size_t>(ai)];
+      tracks[a].emitted.push_back(token);
+      const Index cap = opts.cap_at_source_length
+                            ? std::min(max_steps, tracks[a].src_len)
+                            : max_steps;
+      if (token == kEosToken ||
+          static_cast<Index>(tracks[a].emitted.size()) >= cap)
+        tracks[a].finished = true;
+    }
+
+    // ---- Early memory cleaning (paper §4.2.2) ------------------------------
+    if (slotted && opts.early_memory_cleaning) {
+      for (auto& group : groups) {
+        if (group.released) continue;
+        const bool done = std::all_of(
+            group.members.begin(), group.members.end(),
+            [&](std::size_t m) { return tracks[m].finished; });
+        if (!done) continue;
+        for (const auto m : group.members) {
+          for (auto& st : states) {
+            const std::size_t bytes =
+                (st.k_cache[m].size() + st.v_cache[m].size()) * sizeof(float);
+            cur_kv_bytes -= bytes;
+            result.early_freed_bytes += bytes;
+            st.k_cache[m] = {};
+            st.v_cache[m] = {};
+          }
+        }
+        group.released = true;
+      }
+    }
+  }
+
+  for (auto& track : tracks) {
+    auto tokens = std::move(track.emitted);
+    if (!tokens.empty() && tokens.back() == kEosToken) tokens.pop_back();
+    result.outputs.emplace(track.request_id, std::move(tokens));
+  }
+  return result;
+}
+
+}  // namespace tcb

@@ -1,0 +1,108 @@
+// Auto-regressive decoder with concat-aware greedy decoding.
+//
+// Each request placed in the encoder batch gets a decode "track". Tracks in
+// the same row (pure ConcatBatching) or the same slot (slotted) form a group:
+// a track's self-attention and cross-attention compute scores over the whole
+// group's cached keys / source span — exactly the redundant computation the
+// paper describes — and a segment mask removes the foreign contributions
+// before softmax. The slotted path's groups are smaller, which is where its
+// decoder-side saving comes from.
+//
+// Early memory cleaning (paper §4.2.2): under the slotted scheme, when every
+// track of a slot has finished, that slot's K/V caches are released
+// immediately; under pure ConcatBatching request data cannot be separated
+// from the row tensor, so caches are only released when the whole batch
+// completes. The decoder accounts peak and early-freed KV bytes so the
+// difference is measurable.
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "nn/attention.hpp"
+#include "nn/feed_forward.hpp"
+#include "nn/model_config.hpp"
+
+namespace tcb {
+
+class Seq2SeqModel;
+struct EncoderMemory;
+
+class DecoderLayer {
+ public:
+  DecoderLayer(const ModelConfig& cfg, Rng& rng);
+
+  [[nodiscard]] const MultiHeadAttention& self_attn() const noexcept {
+    return self_attn_;
+  }
+  [[nodiscard]] const MultiHeadAttention& cross_attn() const noexcept {
+    return cross_attn_;
+  }
+  [[nodiscard]] const FeedForward& ffn() const noexcept { return ffn_; }
+  [[nodiscard]] const Tensor& ln_gamma(int which) const { return ln_gamma_.at(static_cast<std::size_t>(which)); }
+  [[nodiscard]] const Tensor& ln_beta(int which) const { return ln_beta_.at(static_cast<std::size_t>(which)); }
+  [[nodiscard]] float eps() const noexcept { return eps_; }
+
+ private:
+  MultiHeadAttention self_attn_;
+  MultiHeadAttention cross_attn_;
+  FeedForward ffn_;
+  std::vector<Tensor> ln_gamma_, ln_beta_;  ///< three LayerNorms
+  float eps_;
+};
+
+/// One request's decoding state.
+struct DecodeTrack {
+  RequestId request_id = -1;
+  Index row = 0;          ///< batch row in the source plan
+  Index slot = 0;         ///< slot within the row (0 when unslotted)
+  Index seg_index = 0;    ///< index of the request's segment within the row
+  Index src_offset = 0;   ///< source span start (columns)
+  Index src_len = 0;
+  std::vector<Index> emitted;
+  bool finished = false;
+};
+
+struct DecodeResult {
+  /// Generated token ids per request (EOS, if produced, is trimmed).
+  std::unordered_map<RequestId, std::vector<Index>> outputs;
+  Index steps = 0;
+  /// Peak bytes of K/V cache held simultaneously, under the scheme's
+  /// memory-cleaning policy.
+  std::size_t peak_kv_bytes = 0;
+  /// Bytes released before the batch completed (slotted early cleaning).
+  std::size_t early_freed_bytes = 0;
+};
+
+/// Next-token selection rule.
+enum class DecodeStrategy : std::uint8_t {
+  kGreedy,  ///< argmax (deterministic)
+  kTopK,    ///< sample from the top-k logits with temperature
+};
+
+struct DecodeOptions {
+  AttentionMode mode = AttentionMode::kPureConcat;
+  Index max_steps = 32;
+  DecodeStrategy strategy = DecodeStrategy::kGreedy;
+  Index top_k = 4;           ///< kTopK: candidate pool size
+  float temperature = 1.0f;  ///< kTopK: logit temperature (> 0)
+  /// kTopK: base seed; each request gets its own deterministic stream
+  /// (forked by request id), so sampled outputs are identical no matter how
+  /// the request is batched — the equivalence property extends to sampling.
+  std::uint64_t sample_seed = 1;
+  bool early_memory_cleaning = false;  ///< effective under kSlotted only
+  /// Translation-style budget: request n decodes at most min(max_steps,
+  /// src_len(n)) tokens, so requests finish at different times (what makes
+  /// early memory cleaning effective — paper §4.2.2's observation that
+  /// "inference results of requests in a batch are generated at different
+  /// time").
+  bool cap_at_source_length = false;
+};
+
+/// Runs greedy decoding for every request of an encoded batch.
+[[nodiscard]] DecodeResult greedy_decode(const Seq2SeqModel& model,
+                                         const EncoderMemory& memory,
+                                         const DecodeOptions& opts);
+
+}  // namespace tcb

@@ -1,0 +1,43 @@
+#include "nn/encoder.hpp"
+
+#include "tensor/ops.hpp"
+
+namespace tcb {
+
+EncoderLayer::EncoderLayer(const ModelConfig& cfg, Rng& rng)
+    : self_attn_(cfg, rng),
+      ffn_(cfg, rng),
+      ln1_gamma_(Shape{cfg.d_model}, 1.0f),
+      ln1_beta_(Shape{cfg.d_model}, 0.0f),
+      ln2_gamma_(Shape{cfg.d_model}, 1.0f),
+      ln2_beta_(Shape{cfg.d_model}, 0.0f),
+      eps_(cfg.layer_norm_eps) {}
+
+Tensor EncoderLayer::forward(const Tensor& x, const BatchPlan& plan,
+                             Index width, AttentionMode mode,
+                             MaskPolicy mask) const {
+  Tensor attn = self_attn_.encoder_forward(x, plan, width, mode, mask);
+  add_inplace(attn, x);
+  Tensor h;
+  layer_norm(attn, ln1_gamma_, ln1_beta_, eps_, h);
+
+  Tensor f = ffn_.forward(h);
+  add_inplace(f, h);
+  Tensor out;
+  layer_norm(f, ln2_gamma_, ln2_beta_, eps_, out);
+  return out;
+}
+
+Encoder::Encoder(const ModelConfig& cfg, Rng& rng) {
+  layers_.reserve(static_cast<std::size_t>(cfg.n_encoder_layers));
+  for (Index l = 0; l < cfg.n_encoder_layers; ++l) layers_.emplace_back(cfg, rng);
+}
+
+Tensor Encoder::forward(const Tensor& x, const BatchPlan& plan, Index width,
+                        AttentionMode mode, MaskPolicy mask) const {
+  Tensor h = x;
+  for (const auto& layer : layers_) h = layer.forward(h, plan, width, mode, mask);
+  return h;
+}
+
+}  // namespace tcb

@@ -1,0 +1,41 @@
+// Transformer encoder stack (post-LayerNorm, as in Vaswani et al.).
+#pragma once
+
+#include <vector>
+
+#include "nn/attention.hpp"
+#include "nn/feed_forward.hpp"
+#include "nn/model_config.hpp"
+
+namespace tcb {
+
+class EncoderLayer {
+ public:
+  EncoderLayer(const ModelConfig& cfg, Rng& rng);
+
+  /// x: (rows*width, d) laid out by `plan`; returns the same shape.
+  [[nodiscard]] Tensor forward(const Tensor& x, const BatchPlan& plan,
+                               Index width, AttentionMode mode,
+                               MaskPolicy mask) const;
+
+ private:
+  MultiHeadAttention self_attn_;
+  FeedForward ffn_;
+  Tensor ln1_gamma_, ln1_beta_, ln2_gamma_, ln2_beta_;
+  float eps_;
+};
+
+class Encoder {
+ public:
+  Encoder() = default;
+  Encoder(const ModelConfig& cfg, Rng& rng);
+
+  [[nodiscard]] Tensor forward(const Tensor& x, const BatchPlan& plan,
+                               Index width, AttentionMode mode,
+                               MaskPolicy mask) const;
+
+ private:
+  std::vector<EncoderLayer> layers_;
+};
+
+}  // namespace tcb

@@ -1,0 +1,16 @@
+#include "nn/feed_forward.hpp"
+
+#include "tensor/ops.hpp"
+
+namespace tcb {
+
+FeedForward::FeedForward(const ModelConfig& cfg, Rng& rng)
+    : lin1_(cfg.d_model, cfg.d_ff, rng), lin2_(cfg.d_ff, cfg.d_model, rng) {}
+
+Tensor FeedForward::forward(const Tensor& x) const {
+  Tensor h = lin1_.forward(x);
+  relu_inplace(h);
+  return lin2_.forward(h);
+}
+
+}  // namespace tcb

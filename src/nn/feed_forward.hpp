@@ -1,0 +1,21 @@
+// Position-wise feed-forward network: Linear -> ReLU -> Linear.
+#pragma once
+
+#include "nn/linear.hpp"
+#include "nn/model_config.hpp"
+
+namespace tcb {
+
+class FeedForward {
+ public:
+  FeedForward() = default;
+  FeedForward(const ModelConfig& cfg, Rng& rng);
+
+  /// x: (m, d_model) -> (m, d_model).
+  [[nodiscard]] Tensor forward(const Tensor& x) const;
+
+ private:
+  Linear lin1_, lin2_;
+};
+
+}  // namespace tcb

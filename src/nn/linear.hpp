@@ -1,0 +1,30 @@
+// Affine layer y = xW + b.
+#pragma once
+
+#include "tensor/tensor.hpp"
+
+namespace tcb {
+
+class Linear {
+ public:
+  Linear() = default;
+
+  /// Weights U[-scale, scale] with scale = 1/sqrt(in); bias zero.
+  Linear(Index in, Index out, Rng& rng);
+
+  [[nodiscard]] Index in_features() const noexcept { return weight_.rank() ? weight_.dim(0) : 0; }
+  [[nodiscard]] Index out_features() const noexcept { return weight_.rank() ? weight_.dim(1) : 0; }
+
+  /// x: (m, in) -> (m, out).
+  [[nodiscard]] Tensor forward(const Tensor& x) const;
+  void forward(const Tensor& x, Tensor& y) const;
+
+  [[nodiscard]] const Tensor& weight() const noexcept { return weight_; }
+  [[nodiscard]] const Tensor& bias() const noexcept { return bias_; }
+
+ private:
+  Tensor weight_;  ///< (in, out)
+  Tensor bias_;    ///< (out)
+};
+
+}  // namespace tcb

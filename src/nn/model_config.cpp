@@ -1,0 +1,44 @@
+#include "nn/model_config.hpp"
+
+#include <stdexcept>
+
+namespace tcb {
+
+void ModelConfig::validate() const {
+  auto fail = [](const char* what) { throw std::invalid_argument(what); };
+  if (d_model <= 0) fail("ModelConfig: d_model must be positive");
+  if (n_heads <= 0) fail("ModelConfig: n_heads must be positive");
+  if (d_model % n_heads != 0) fail("ModelConfig: d_model % n_heads != 0");
+  if (d_ff <= 0) fail("ModelConfig: d_ff must be positive");
+  if (n_encoder_layers <= 0) fail("ModelConfig: need >= 1 encoder layer");
+  if (n_decoder_layers <= 0) fail("ModelConfig: need >= 1 decoder layer");
+  if (vocab_size <= 3) fail("ModelConfig: vocab must exceed reserved tokens");
+  if (max_len <= 0) fail("ModelConfig: max_len must be positive");
+  if (layer_norm_eps <= 0.0f) fail("ModelConfig: eps must be positive");
+}
+
+ModelConfig ModelConfig::paper_scale() {
+  ModelConfig cfg;
+  cfg.d_model = 768;
+  cfg.n_heads = 8;
+  cfg.d_ff = 3072;
+  cfg.n_encoder_layers = 3;
+  cfg.n_decoder_layers = 3;
+  cfg.vocab_size = 32000;
+  cfg.max_len = 400;
+  return cfg;
+}
+
+ModelConfig ModelConfig::test_scale() {
+  ModelConfig cfg;
+  cfg.d_model = 32;
+  cfg.n_heads = 4;
+  cfg.d_ff = 64;
+  cfg.n_encoder_layers = 2;
+  cfg.n_decoder_layers = 2;
+  cfg.vocab_size = 64;
+  cfg.max_len = 128;
+  return cfg;
+}
+
+}  // namespace tcb

@@ -1,0 +1,40 @@
+// Architecture hyper-parameters of the Seq2Seq transformer (paper §6.1: a
+// Vaswani encoder-decoder with 3 encoder and 3 decoder layers, 8 attention
+// heads, max sentence length 400). Dimensions are configurable; the default
+// is scaled to finish in seconds on a small CPU box while preserving the
+// attention/GEMM cost ratio the batching experiments depend on.
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/tensor.hpp"
+
+namespace tcb {
+
+struct ModelConfig {
+  Index d_model = 128;          ///< embedding width
+  Index n_heads = 8;            ///< self-attention heads (paper: 8)
+  Index d_ff = 512;             ///< feed-forward inner width
+  Index n_encoder_layers = 3;   ///< paper: 3
+  Index n_decoder_layers = 3;   ///< paper: 3
+  Index vocab_size = 1024;      ///< includes PAD/BOS/EOS
+  Index max_len = 512;          ///< positional-encoding table size (paper: 400)
+  float layer_norm_eps = 1e-5f;
+  std::uint64_t seed = 42;      ///< weight-init seed; fixes the whole model
+
+  [[nodiscard]] Index head_dim() const noexcept { return d_model / n_heads; }
+
+  /// Throws std::invalid_argument on inconsistent settings
+  /// (e.g. d_model % n_heads != 0).
+  void validate() const;
+
+  /// The paper's evaluation configuration (d_model chosen so d_ff = 3072
+  /// mirrors "hidden dimension of 3072"); used by the analytical cost model's
+  /// V100-like profile, not by the CPU engine.
+  [[nodiscard]] static ModelConfig paper_scale();
+
+  /// Tiny configuration for unit tests.
+  [[nodiscard]] static ModelConfig test_scale();
+};
+
+}  // namespace tcb

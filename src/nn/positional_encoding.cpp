@@ -1,0 +1,66 @@
+#include "nn/positional_encoding.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace tcb {
+
+SinusoidalPositionalEncoding::SinusoidalPositionalEncoding(Index max_len,
+                                                           Index d_model)
+    : table_(Shape{max_len, d_model}) {
+  // PE(pos, 2e)   = sin(pos / 10000^(2e/d))
+  // PE(pos, 2e+1) = cos(pos / 10000^(2e/d))
+  for (Index pos = 0; pos < max_len; ++pos) {
+    float* row = table_.row(pos);
+    for (Index e = 0; 2 * e < d_model; ++e) {
+      const double angle =
+          static_cast<double>(pos) /
+          std::pow(10000.0, (2.0 * static_cast<double>(e)) /
+                                static_cast<double>(d_model));
+      row[2 * e] = static_cast<float>(std::sin(angle));
+      if (2 * e + 1 < d_model)
+        row[2 * e + 1] = static_cast<float>(std::cos(angle));
+    }
+  }
+}
+
+const float* SinusoidalPositionalEncoding::at(Index pos) const {
+  if (pos < 0 || pos >= max_len())
+    throw std::out_of_range("PositionalEncoding: position " +
+                            std::to_string(pos) + " exceeds max_len " +
+                            std::to_string(max_len()));
+  return table_.row(pos);
+}
+
+void SinusoidalPositionalEncoding::add_traditional(Tensor& x, Index rows,
+                                                   Index width) const {
+  const Index d = x.dim(1);
+  if (x.dim(0) != rows * width)
+    throw std::invalid_argument("add_traditional: geometry mismatch");
+  for (Index r = 0; r < rows; ++r) {
+    for (Index p = 0; p < width; ++p) {
+      const float* pe = at(p);
+      float* row = x.row(r * width + p);
+      for (Index j = 0; j < d; ++j) row[j] += pe[j];
+    }
+  }
+}
+
+void SinusoidalPositionalEncoding::add_separate(Tensor& x,
+                                                const BatchPlan& plan,
+                                                Index width) const {
+  const Index d = x.dim(1);
+  if (x.dim(0) != static_cast<Index>(plan.rows.size()) * width)
+    throw std::invalid_argument("add_separate: geometry mismatch");
+  for (std::size_t r = 0; r < plan.rows.size(); ++r) {
+    for (const auto& seg : plan.rows[r].segments) {
+      for (Index i = 0; i < seg.length; ++i) {
+        const float* pe = at(i);  // restart at position 0 per request
+        float* row = x.row(static_cast<Index>(r) * width + seg.offset + i);
+        for (Index j = 0; j < d; ++j) row[j] += pe[j];
+      }
+    }
+  }
+}
+
+}  // namespace tcb

@@ -1,0 +1,38 @@
+// Sinusoidal positional encoding (paper Eq. 1-2, after Vaswani et al.) with
+// the two application modes the paper contrasts in Fig. 5:
+//
+//   * traditional — every batch-row position p gets PE(p): correct when a row
+//     holds one request, wrong under concatenation (tokens of the second
+//     request would look like a continuation of the first).
+//   * separate    — each concatenated request restarts at PE(0): TCB's
+//     customization (§4.1.1), required for correct inference.
+#pragma once
+
+#include "batching/batch_plan.hpp"
+#include "tensor/tensor.hpp"
+
+namespace tcb {
+
+class SinusoidalPositionalEncoding {
+ public:
+  SinusoidalPositionalEncoding() = default;
+  SinusoidalPositionalEncoding(Index max_len, Index d_model);
+
+  [[nodiscard]] Index max_len() const noexcept { return table_.rank() ? table_.dim(0) : 0; }
+
+  /// PE row for absolute position `pos`.
+  [[nodiscard]] const float* at(Index pos) const;
+
+  /// Adds PE(column index) to every position of x, which holds `rows` rows of
+  /// `width` positions flattened to (rows*width, d). Paper Fig. 5(a).
+  void add_traditional(Tensor& x, Index rows, Index width) const;
+
+  /// Adds PE(position within segment) to the positions covered by segments of
+  /// `plan`; padding positions receive no PE. Paper Fig. 5(b).
+  void add_separate(Tensor& x, const BatchPlan& plan, Index width) const;
+
+ private:
+  Tensor table_;  ///< (max_len, d_model)
+};
+
+}  // namespace tcb

@@ -1,0 +1,118 @@
+#include "parallel/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+#include "util/env.hpp"
+
+namespace tcb {
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  threads_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i)
+    threads_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool{[] {
+    const std::int64_t env = env_int("TCB_THREADS", -1);
+    if (env >= 1) return static_cast<std::size_t>(env - 1);
+    const unsigned hw = std::thread::hardware_concurrency();
+    return static_cast<std::size_t>(hw > 1 ? hw - 1 : 0);
+  }()};
+  return pool;
+}
+
+std::future<void> ThreadPool::submit(std::function<void()> fn) {
+  auto task = std::make_shared<std::packaged_task<void()>>(std::move(fn));
+  std::future<void> fut = task->get_future();
+  if (threads_.empty()) {
+    (*task)();
+    return fut;
+  }
+  {
+    const std::lock_guard lock(mutex_);
+    queue_.emplace([task] { (*task)(); });
+  }
+  cv_.notify_one();
+  return fut;
+}
+
+void ThreadPool::parallel_for(
+    std::size_t n, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (n == 0) return;
+  grain = std::max<std::size_t>(grain, 1);
+  const std::size_t max_chunks = (n + grain - 1) / grain;
+  const std::size_t chunks = std::min(parallelism(), max_chunks);
+  if (chunks <= 1 || threads_.empty()) {
+    fn(0, n);
+    return;
+  }
+
+  const std::size_t step = (n + chunks - 1) / chunks;
+  std::atomic<std::size_t> remaining{chunks - 1};
+  std::exception_ptr error;
+  std::mutex error_mutex;
+  std::promise<void> done;
+  auto done_future = done.get_future();
+
+  auto run_chunk = [&](std::size_t begin, std::size_t end) {
+    try {
+      fn(begin, end);
+    } catch (...) {
+      const std::lock_guard lock(error_mutex);
+      if (!error) error = std::current_exception();
+    }
+  };
+
+  for (std::size_t c = 1; c < chunks; ++c) {
+    const std::size_t begin = c * step;
+    const std::size_t end = std::min(n, begin + step);
+    {
+      const std::lock_guard lock(mutex_);
+      queue_.emplace([&, begin, end] {
+        run_chunk(begin, end);
+        if (remaining.fetch_sub(1) == 1) done.set_value();
+      });
+    }
+  }
+  cv_.notify_all();
+
+  run_chunk(0, std::min(n, step));
+  done_future.wait();
+
+  if (error) std::rethrow_exception(error);
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();
+  }
+}
+
+void parallel_for(std::size_t n,
+                  const std::function<void(std::size_t, std::size_t)>& fn,
+                  std::size_t grain) {
+  ThreadPool::global().parallel_for(n, grain, fn);
+}
+
+}  // namespace tcb

@@ -1,0 +1,73 @@
+// Work-sharing thread pool used by the tensor kernels and the slotted
+// attention path (paper Fig. 7: "Different slots can run self-attention
+// computation in parallel").
+//
+// The pool exposes two primitives:
+//   * submit(fn)              — fire-and-forget task with future.
+//   * parallel_for(n, fn)     — static range split across workers; the caller
+//                               participates, so a 1-item loop costs nothing.
+//
+// Design notes (per the C++ Core Guidelines: CP.* rules):
+//   * Workers are joined in the destructor (RAII); no detached threads.
+//   * No task may block on another parallel_for from inside the pool — the
+//     kernels only use flat loops, so nesting simply runs inline.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace tcb {
+
+class ThreadPool {
+ public:
+  /// `workers` = number of extra threads; 0 means run everything inline.
+  explicit ThreadPool(std::size_t workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Process-wide pool. Size = TCB_THREADS env var if set, else
+  /// hardware_concurrency(). Construction is thread-safe (magic static).
+  static ThreadPool& global();
+
+  [[nodiscard]] std::size_t worker_count() const noexcept {
+    return threads_.size();
+  }
+  /// Workers + the calling thread; the natural divisor for static splits.
+  [[nodiscard]] std::size_t parallelism() const noexcept {
+    return threads_.size() + 1;
+  }
+
+  /// Enqueue one task.
+  std::future<void> submit(std::function<void()> fn);
+
+  /// Splits [0, n) into contiguous chunks of at least `grain` items and runs
+  /// `fn(begin, end)` on each chunk. Blocks until every chunk finishes. The
+  /// calling thread executes one chunk itself. Exceptions from chunks are
+  /// rethrown (first one wins).
+  void parallel_for(std::size_t n, std::size_t grain,
+                    const std::function<void(std::size_t, std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> threads_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+/// Convenience wrapper over the global pool with a default grain of 1.
+void parallel_for(std::size_t n,
+                  const std::function<void(std::size_t, std::size_t)>& fn,
+                  std::size_t grain = 1);
+
+}  // namespace tcb

@@ -1,0 +1,56 @@
+#include "sched/baselines.hpp"
+
+#include <algorithm>
+
+namespace tcb {
+namespace {
+
+template <typename Less>
+Selection ordered_selection(const std::vector<Request>& pending, Less less,
+                            Index batch_rows, bool concat_aware) {
+  Selection sel;
+  sel.ordered = pending;
+  std::sort(sel.ordered.begin(), sel.ordered.end(), less);
+  // Classic batch notion: one batch = B requests. A concat-aware policy only
+  // fixes the order and lets the batcher fill the geometry.
+  if (!concat_aware && static_cast<Index>(sel.ordered.size()) > batch_rows)
+    sel.ordered.resize(static_cast<std::size_t>(batch_rows));
+  return sel;
+}
+
+}  // namespace
+
+Selection FcfsScheduler::select(double /*now*/,
+                                const std::vector<Request>& pending) const {
+  return ordered_selection(
+      pending,
+      [](const Request& a, const Request& b) {
+        if (a.arrival != b.arrival) return a.arrival < b.arrival;
+        return a.id < b.id;
+      },
+      cfg_.batch_rows, concat_aware_);
+}
+
+Selection SjfScheduler::select(double /*now*/,
+                               const std::vector<Request>& pending) const {
+  return ordered_selection(
+      pending,
+      [](const Request& a, const Request& b) {
+        if (a.length != b.length) return a.length < b.length;
+        return a.id < b.id;
+      },
+      cfg_.batch_rows, concat_aware_);
+}
+
+Selection DefScheduler::select(double /*now*/,
+                               const std::vector<Request>& pending) const {
+  return ordered_selection(
+      pending,
+      [](const Request& a, const Request& b) {
+        if (a.deadline != b.deadline) return a.deadline < b.deadline;
+        return a.id < b.id;
+      },
+      cfg_.batch_rows, concat_aware_);
+}
+
+}  // namespace tcb

@@ -1,0 +1,63 @@
+// Baseline scheduling policies the paper compares DAS against (§6.2.4):
+// first-come-first-served (FCFS), shortest-job-first (SJF) and
+// deadline-early-first (DEF).
+//
+// Each baseline has two modes, matching the two ways the paper uses them:
+//
+//   * classic (default, used in the Fig. 15 scheduling study): the scheduler
+//     thinks of a batch as "B requests" and selects the first B pending
+//     requests under its ordering criterion. It is NOT ConcatBatching-aware
+//     — unlike DAS it does not know that a batch row can hold several
+//     requests, so it never selects more than B requests per slot even when
+//     the rows could fit far more. Exploiting that capacity is precisely
+//     what the paper's jointly-designed DAS adds (§1: "fully exploit the
+//     potential capacity of ConcatBatching").
+//
+//   * concat-aware (Fig. 11/12's engine study, where "the influence of our
+//     designed scheduling algorithm" is eliminated): the policy only fixes
+//     the queue ORDER; the engine's batcher then pulls as much of the queue
+//     as the batch geometry fits. Used to compare batching schemes under a
+//     scheduling-neutral policy.
+#pragma once
+
+#include "sched/scheduler.hpp"
+
+namespace tcb {
+
+class FcfsScheduler final : public Scheduler {
+ public:
+  explicit FcfsScheduler(SchedulerConfig cfg, bool concat_aware = false)
+      : Scheduler(cfg), concat_aware_(concat_aware) {}
+  [[nodiscard]] std::string name() const override { return "FCFS"; }
+  [[nodiscard]] Selection select(
+      double now, const std::vector<Request>& pending) const override;
+
+ private:
+  bool concat_aware_;
+};
+
+class SjfScheduler final : public Scheduler {
+ public:
+  explicit SjfScheduler(SchedulerConfig cfg, bool concat_aware = false)
+      : Scheduler(cfg), concat_aware_(concat_aware) {}
+  [[nodiscard]] std::string name() const override { return "SJF"; }
+  [[nodiscard]] Selection select(
+      double now, const std::vector<Request>& pending) const override;
+
+ private:
+  bool concat_aware_;
+};
+
+class DefScheduler final : public Scheduler {
+ public:
+  explicit DefScheduler(SchedulerConfig cfg, bool concat_aware = false)
+      : Scheduler(cfg), concat_aware_(concat_aware) {}
+  [[nodiscard]] std::string name() const override { return "DEF"; }
+  [[nodiscard]] Selection select(
+      double now, const std::vector<Request>& pending) const override;
+
+ private:
+  bool concat_aware_;
+};
+
+}  // namespace tcb

@@ -1,0 +1,121 @@
+#include "sched/das.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tcb {
+namespace {
+
+/// Utility order: v_n = w_n/l_n non-increasing (shortest first for uniform
+/// weights); ties by id for determinism.
+void sort_by_utility(std::vector<Request>& requests) {
+  std::sort(requests.begin(), requests.end(),
+            [](const Request& a, const Request& b) {
+              const double ua = a.utility();
+              const double ub = b.utility();
+              if (ua != ub) return ua > ub;
+              return a.id < b.id;
+            });
+}
+
+}  // namespace
+
+DasScheduler::DasScheduler(SchedulerConfig cfg) : Scheduler(cfg) {}
+
+std::vector<Request> DasScheduler::select_row(
+    std::vector<Request>& candidates, Index* utility_dominant_count) const {
+  const Index L = cfg_.row_capacity;
+  std::vector<Request> row;
+  if (utility_dominant_count != nullptr) *utility_dominant_count = 0;
+  if (candidates.empty()) return row;
+
+  // Line 4-5: if everything fits, take everything.
+  Index total = 0;
+  for (const auto& r : candidates) total += r.length;
+  if (total <= L) {
+    row = std::move(candidates);
+    candidates.clear();
+    if (utility_dominant_count != nullptr)
+      *utility_dominant_count = static_cast<Index>(row.size());
+    return row;
+  }
+
+  // Line 7: sort by utility, non-increasing.
+  sort_by_utility(candidates);
+
+  // Line 8: s_tk = the longest utility prefix that saturates the row.
+  Index s = 0;
+  Index prefix_len = 0;
+  for (const auto& r : candidates) {
+    if (prefix_len + r.length > L) break;
+    prefix_len += r.length;
+    ++s;
+  }
+  // All candidates fit a row individually (the serving loop evicts the rest),
+  // so s >= 1 always holds here.
+
+  // Lines 9-10: utility-dominant set N^U_t = first p = eta * s requests.
+  const Index p = std::clamp<Index>(
+      static_cast<Index>(std::floor(cfg_.eta * static_cast<double>(s))), 1, s);
+  Index used = 0;
+  double utility_sum = 0.0;
+  std::vector<bool> taken(candidates.size(), false);
+  for (Index i = 0; i < p; ++i) {
+    row.push_back(candidates[static_cast<std::size_t>(i)]);
+    used += row.back().length;
+    utility_sum += row.back().utility();
+    taken[static_cast<std::size_t>(i)] = true;
+  }
+  if (utility_dominant_count != nullptr) *utility_dominant_count = p;
+  const double avg_utility = utility_sum / static_cast<double>(p);
+
+  // Line 11: deadline-aware set N^D_t = remaining requests with utility >=
+  // q * avg(N^U_t), considered in earliest-deadline order.
+  std::vector<std::size_t> deadline_set;
+  for (std::size_t i = static_cast<std::size_t>(p); i < candidates.size(); ++i)
+    if (candidates[i].utility() >= cfg_.q * avg_utility)
+      deadline_set.push_back(i);
+  std::sort(deadline_set.begin(), deadline_set.end(),
+            [&](std::size_t a, std::size_t b) {
+              if (candidates[a].deadline != candidates[b].deadline)
+                return candidates[a].deadline < candidates[b].deadline;
+              return candidates[a].id < candidates[b].id;
+            });
+
+  // Line 12: greedily admit deadline-set requests that still fit.
+  for (const auto i : deadline_set) {
+    if (used + candidates[i].length > L) continue;
+    row.push_back(candidates[i]);
+    used += candidates[i].length;
+    taken[i] = true;
+  }
+
+  // Lines 13-14: if space remains, fill from the rest (utility order).
+  for (std::size_t i = static_cast<std::size_t>(p); i < candidates.size(); ++i) {
+    if (taken[i] || used + candidates[i].length > L) continue;
+    row.push_back(candidates[i]);
+    used += candidates[i].length;
+    taken[i] = true;
+  }
+
+  // Remove picked requests from the candidate pool.
+  std::vector<Request> rest;
+  rest.reserve(candidates.size() - row.size());
+  for (std::size_t i = 0; i < candidates.size(); ++i)
+    if (!taken[i]) rest.push_back(std::move(candidates[i]));
+  candidates = std::move(rest);
+  return row;
+}
+
+Selection DasScheduler::select(double /*now*/,
+                               const std::vector<Request>& pending) const {
+  Selection sel;
+  std::vector<Request> candidates = pending;
+  for (Index k = 0; k < cfg_.batch_rows && !candidates.empty(); ++k) {
+    auto row = select_row(candidates, nullptr);
+    for (auto& r : row) sel.ordered.push_back(std::move(r));
+  }
+  return sel;
+}
+
+}  // namespace tcb

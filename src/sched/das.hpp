@@ -1,0 +1,35 @@
+// DAS — the online Deadline-Aware Scheduling algorithm (paper Algorithm 1,
+// §5.2). For each of the B batch rows it mixes:
+//
+//   * N^U_t, the utility-dominant set: the first p_tk = eta * s_tk requests
+//     of the pending set sorted by utility v_n = 1/l_n (s_tk = how many of
+//     the highest-utility requests saturate a row);
+//   * N^D_t, the deadline-aware set: remaining requests with utility >=
+//     q * avg-utility(N^U_t), taken in earliest-deadline order;
+//   * the rest, greedily, if the row still has space.
+//
+// With eta + q = 1 the algorithm is eta*q/(eta*q + 1)-competitive
+// (Theorem 5.1); eta = q = 1/2 gives the paper's 1/5 bound.
+#pragma once
+
+#include "sched/scheduler.hpp"
+
+namespace tcb {
+
+class DasScheduler final : public Scheduler {
+ public:
+  explicit DasScheduler(SchedulerConfig cfg);
+
+  [[nodiscard]] std::string name() const override { return "DAS"; }
+  [[nodiscard]] Selection select(
+      double now, const std::vector<Request>& pending) const override;
+
+  /// One row of Algorithm 1: picks requests for a single row of capacity L
+  /// from `candidates` (mutated: picked requests are removed). Returns the
+  /// row's picks in placement order, and reports how many of them came from
+  /// the utility-dominant prefix via `utility_dominant_count`.
+  [[nodiscard]] std::vector<Request> select_row(
+      std::vector<Request>& candidates, Index* utility_dominant_count) const;
+};
+
+}  // namespace tcb

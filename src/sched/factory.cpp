@@ -1,0 +1,36 @@
+#include "sched/factory.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <stdexcept>
+
+#include "sched/baselines.hpp"
+#include "sched/das.hpp"
+#include "sched/slotted_das.hpp"
+
+namespace tcb {
+
+std::unique_ptr<Scheduler> make_scheduler(const std::string& name,
+                                          const SchedulerConfig& cfg) {
+  std::string key = name;
+  std::transform(key.begin(), key.end(), key.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  if (key == "das") return std::make_unique<DasScheduler>(cfg);
+  if (key == "slotted-das") return std::make_unique<SlottedDasScheduler>(cfg);
+  if (key == "fcfs") return std::make_unique<FcfsScheduler>(cfg);
+  if (key == "sjf") return std::make_unique<SjfScheduler>(cfg);
+  if (key == "def") return std::make_unique<DefScheduler>(cfg);
+  // "-full" variants: concat-aware queue policies (order only, no request
+  // cap) — the scheduling-neutral mode of the Fig. 11/12 engine study.
+  if (key == "fcfs-full") return std::make_unique<FcfsScheduler>(cfg, true);
+  if (key == "sjf-full") return std::make_unique<SjfScheduler>(cfg, true);
+  if (key == "def-full") return std::make_unique<DefScheduler>(cfg, true);
+  throw std::invalid_argument("make_scheduler: unknown scheduler '" + name + "'");
+}
+
+std::vector<std::string> scheduler_names() {
+  return {"das", "slotted-das", "fcfs", "sjf", "def",
+          "fcfs-full", "sjf-full", "def-full"};
+}
+
+}  // namespace tcb

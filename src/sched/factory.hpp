@@ -1,0 +1,19 @@
+// Name-based scheduler construction for benches and examples.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "sched/scheduler.hpp"
+
+namespace tcb {
+
+/// Known names: "das", "slotted-das", "fcfs", "sjf", "def"
+/// (case-insensitive). Throws std::invalid_argument for unknown names.
+[[nodiscard]] std::unique_ptr<Scheduler> make_scheduler(
+    const std::string& name, const SchedulerConfig& cfg);
+
+/// All registered scheduler names, in a stable order.
+[[nodiscard]] std::vector<std::string> scheduler_names();
+
+}  // namespace tcb

@@ -1,0 +1,52 @@
+#include "sched/offline_bound.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tcb {
+
+double offline_utility_upper_bound(const std::vector<Request>& trace,
+                                   const OfflineBoundConfig& cfg) {
+  if (cfg.batch_rows <= 0 || cfg.row_capacity <= 0 || cfg.batch_seconds <= 0.0)
+    throw std::invalid_argument("offline_utility_upper_bound: bad config");
+  if (trace.empty()) return 0.0;
+
+  double horizon = cfg.horizon;
+  if (horizon <= 0.0) {
+    double last_arrival = 0.0;
+    for (const auto& r : trace) last_arrival = std::max(last_arrival, r.arrival);
+    horizon = last_arrival + cfg.batch_seconds;
+  }
+
+  // Total token budget the accelerator could serve within the horizon.
+  const double batches = horizon / cfg.batch_seconds;
+  double budget = batches * static_cast<double>(cfg.batch_rows) *
+                  static_cast<double>(cfg.row_capacity);
+
+  // Fractional knapsack by utility density 1/l^2 — for v = 1/l that is
+  // simply shortest-first.
+  std::vector<const Request*> by_length;
+  by_length.reserve(trace.size());
+  for (const auto& r : trace)
+    if (r.length > 0 && r.length <= cfg.row_capacity) by_length.push_back(&r);
+  std::sort(by_length.begin(), by_length.end(),
+            [](const Request* a, const Request* b) {
+              return a->length < b->length;
+            });
+
+  double bound = 0.0;
+  for (const Request* r : by_length) {
+    const double len = static_cast<double>(r->length);
+    if (budget <= 0.0) break;
+    if (len <= budget) {
+      bound += r->utility();
+      budget -= len;
+    } else {
+      bound += r->utility() * (budget / len);  // fractional tail
+      budget = 0.0;
+    }
+  }
+  return bound;
+}
+
+}  // namespace tcb

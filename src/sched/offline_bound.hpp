@@ -1,0 +1,36 @@
+// Offline upper bound on the achievable total utility of a trace — the
+// hindsight yardstick for the online schedulers (Theorem 5.1 guarantees DAS
+// reaches at least eta*q/(eta*q+1) of OPT; this bound sandwiches OPT from
+// above so benches can report an empirical competitive ratio).
+//
+// The bound relaxes the problem twice, so it always dominates OPT:
+//   1. deadlines are dropped (any request may run in any slot after arrival);
+//   2. batch-row packing is relaxed to a single token budget
+//      C = B * L * (horizon / batch_time) — the total tokens the accelerator
+//      could possibly serve — and the best utility subset under a token
+//      budget is the fractional knapsack greedy by utility density
+//      v_n / l_n = 1 / l_n^2 (shortest first).
+#pragma once
+
+#include <vector>
+
+#include "batching/request.hpp"
+#include "sched/scheduler.hpp"
+
+namespace tcb {
+
+struct OfflineBoundConfig {
+  Index batch_rows = 64;
+  Index row_capacity = 100;
+  /// Seconds one full batch occupies the accelerator (from the cost model).
+  double batch_seconds = 0.5;
+  /// Serving horizon; defaults to last arrival + one batch if <= 0.
+  double horizon = 0.0;
+};
+
+/// Upper bound on the total utility any schedule (online or offline) can
+/// collect from `trace`.
+[[nodiscard]] double offline_utility_upper_bound(
+    const std::vector<Request>& trace, const OfflineBoundConfig& cfg);
+
+}  // namespace tcb

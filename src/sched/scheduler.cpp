@@ -1,0 +1,37 @@
+#include "sched/scheduler.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tcb {
+
+void SchedulerConfig::validate() const {
+  if (batch_rows <= 0)
+    throw std::invalid_argument("SchedulerConfig: batch_rows must be >= 1");
+  if (row_capacity <= 0)
+    throw std::invalid_argument("SchedulerConfig: row_capacity must be >= 1");
+  if (eta <= 0.0 || eta >= 1.0)
+    throw std::invalid_argument("SchedulerConfig: eta must be in (0, 1)");
+  if (q <= 0.0 || q >= 1.0)
+    throw std::invalid_argument("SchedulerConfig: q must be in (0, 1)");
+}
+
+Scheduler::Scheduler(SchedulerConfig cfg) : cfg_(cfg) { cfg_.validate(); }
+
+std::vector<Request> evict_unschedulable(double now, Index row_capacity,
+                                         std::vector<Request>& pending) {
+  std::vector<Request> failed;
+  auto keep = pending.begin();
+  for (auto it = pending.begin(); it != pending.end(); ++it) {
+    if (it->deadline < now || it->length > row_capacity || it->length < 1) {
+      failed.push_back(std::move(*it));
+    } else {
+      if (keep != it) *keep = std::move(*it);
+      ++keep;
+    }
+  }
+  pending.erase(keep, pending.end());
+  return failed;
+}
+
+}  // namespace tcb

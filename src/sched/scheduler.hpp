@@ -1,0 +1,57 @@
+// Online request scheduling (paper §5). The scheduler is a pluggable module:
+// at the start of every time slot (GPU idle) it receives the pending request
+// set N_t and returns an ordered selection to batch. Which rows/slots the
+// requests land in is the batcher's job; the scheduler owns *which* requests
+// are served and in what priority.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "batching/request.hpp"
+
+namespace tcb {
+
+struct SchedulerConfig {
+  Index batch_rows = 64;     ///< B (paper §5.1)
+  Index row_capacity = 100;  ///< L, tokens per row
+  double eta = 0.5;          ///< DAS utility-dominant fraction (paper §5.2)
+  double q = 0.5;            ///< DAS deadline-set threshold; eta + q = 1
+
+  void validate() const;
+};
+
+/// The scheduler's verdict for one time slot.
+struct Selection {
+  /// Requests to batch now, highest priority first. The batcher must respect
+  /// this precedence when space runs out.
+  std::vector<Request> ordered;
+  /// Slot length chosen by Slotted-DAS (paper Alg. 2); 0 = unslotted.
+  Index slot_len = 0;
+};
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// `pending` holds requests that have arrived, are unserved and unexpired
+  /// (deadline >= now), and fit a row (length <= L). Returns the slot's
+  /// selection. Must not mutate shared state other than its own.
+  [[nodiscard]] virtual Selection select(
+      double now, const std::vector<Request>& pending) const = 0;
+
+  [[nodiscard]] const SchedulerConfig& config() const noexcept { return cfg_; }
+
+ protected:
+  explicit Scheduler(SchedulerConfig cfg);
+  SchedulerConfig cfg_;
+};
+
+/// Removes requests whose deadline has passed (deadline < now) or that can
+/// never fit a row (length > L); returns the removed ones (failed requests).
+[[nodiscard]] std::vector<Request> evict_unschedulable(
+    double now, Index row_capacity, std::vector<Request>& pending);
+
+}  // namespace tcb

@@ -1,0 +1,30 @@
+#include "sched/slotted_das.hpp"
+
+#include <algorithm>
+
+namespace tcb {
+
+SlottedDasScheduler::SlottedDasScheduler(SchedulerConfig cfg)
+    : Scheduler(cfg), das_(cfg) {}
+
+Selection SlottedDasScheduler::select(
+    double /*now*/, const std::vector<Request>& pending) const {
+  Selection sel;
+  std::vector<Request> candidates = pending;
+
+  // Line 2: invoke DAS row by row; lines 3-4: the slot size is the largest
+  // length among the utility-dominant picks H^U.
+  Index slot_len = 0;
+  for (Index k = 0; k < cfg_.batch_rows && !candidates.empty(); ++k) {
+    Index dominant = 0;
+    auto row = das_.select_row(candidates, &dominant);
+    for (Index i = 0; i < dominant; ++i)
+      slot_len = std::max(slot_len, row[static_cast<std::size_t>(i)].length);
+    for (auto& r : row) sel.ordered.push_back(std::move(r));
+  }
+
+  sel.slot_len = std::clamp<Index>(slot_len, 1, cfg_.row_capacity);
+  return sel;
+}
+
+}  // namespace tcb

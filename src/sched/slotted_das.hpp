@@ -1,0 +1,24 @@
+// Slotted-DAS (paper Algorithm 2, §5.3): runs DAS to obtain the per-row
+// candidate sets, then sets the slot size z to the longest request in the
+// utility-dominant set H^U — so nothing DAS chose for its utility is ever
+// discarded by the slot limit — and lets the slotted batcher place requests
+// into slots greedily.
+#pragma once
+
+#include "sched/das.hpp"
+
+namespace tcb {
+
+class SlottedDasScheduler final : public Scheduler {
+ public:
+  explicit SlottedDasScheduler(SchedulerConfig cfg);
+
+  [[nodiscard]] std::string name() const override { return "Slotted-DAS"; }
+  [[nodiscard]] Selection select(
+      double now, const std::vector<Request>& pending) const override;
+
+ private:
+  DasScheduler das_;
+};
+
+}  // namespace tcb

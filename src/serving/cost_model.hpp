@@ -1,0 +1,109 @@
+// Batch-inference time models.
+//
+// The paper's serving experiments run 40-1500 req/s against a V100; this
+// reproduction replaces the GPU with (a) the real CPU engine for
+// kernel-level experiments (Figs. 13/14/16) and (b) an analytical cost model
+// for serving-scale simulations (Figs. 9-12, 15). The analytical model
+// prices a BatchPlan from first principles:
+//
+//   * encoder: GEMM flops over every materialized token (padding included —
+//     that is NaiveBatching's waste) + attention flops over exactly the
+//     score entries the execution mode computes (full rows for pure concat,
+//     per-slot blocks for slotted — the paper's Fig. 6 vs Fig. 7);
+//   * decoder: auto-regressive, step by step. Per step, the active rows pay
+//     projection/FFN flops plus attention over their context width (padded
+//     row width for naive/turbo, used row width for pure concat, slot width
+//     for slotted). Naive/turbo implementations keep the whole rectangular
+//     tensor alive until the longest request finishes; concat tracks retire
+//     individually.
+//   * hardware: seconds = flops / (peak * util(active tokens)), where
+//     util(x) = util_max * x / (x + half_sat) captures the
+//     launch-utilization effect that makes small decode steps slow on real
+//     accelerators, plus fixed per-batch and per-step overheads.
+//
+// The MeasuredCostModel wraps the real engine; tests validate that the
+// analytical model ranks plans the same way the engine does.
+#pragma once
+
+#include <memory>
+
+#include "batching/batch_plan.hpp"
+#include "nn/model.hpp"
+
+namespace tcb {
+
+class CostModel {
+ public:
+  virtual ~CostModel() = default;
+  /// Inference seconds for one batch. Empty plans cost 0.
+  [[nodiscard]] virtual double batch_seconds(const BatchPlan& plan) const = 0;
+};
+
+struct HardwareProfile {
+  // Calibrated so the paper-scale serving benches land near the paper's
+  // operating points: TNB/TTB saturate around 300-400 req/s, TCB sustains
+  // ~450, and the post-saturation throughput gaps are ~2.2x (vs TNB) and
+  // ~1.5x (vs TTB). See EXPERIMENTS.md for the calibration runs.
+  double peak_flops = 14e12;    ///< fp32 peak of the modeled accelerator
+  double util_max = 0.12;       ///< best-case sustained fraction of peak
+  double half_sat_tokens = 150; ///< tokens in flight at half utilization
+  double batch_overhead = 2e-3; ///< seconds per batch (launch, H2D, ...)
+  double step_overhead = 2e-4;  ///< seconds per decode step
+
+  /// V100-like profile used by all paper-reproduction benches.
+  [[nodiscard]] static HardwareProfile v100_like() { return {}; }
+
+  [[nodiscard]] double utilization(double active_tokens) const noexcept {
+    return util_max * active_tokens / (active_tokens + half_sat_tokens);
+  }
+};
+
+struct CostBreakdown {
+  double encoder_linear_flops = 0;
+  double encoder_attention_flops = 0;
+  double decoder_linear_flops = 0;
+  double decoder_attention_flops = 0;
+  double encoder_seconds = 0;
+  double decoder_seconds = 0;
+  double overhead_seconds = 0;
+
+  [[nodiscard]] double total_flops() const noexcept {
+    return encoder_linear_flops + encoder_attention_flops +
+           decoder_linear_flops + decoder_attention_flops;
+  }
+  [[nodiscard]] double total_seconds() const noexcept {
+    return encoder_seconds + decoder_seconds + overhead_seconds;
+  }
+};
+
+class AnalyticalCostModel final : public CostModel {
+ public:
+  AnalyticalCostModel(ModelConfig model, HardwareProfile hw);
+
+  [[nodiscard]] double batch_seconds(const BatchPlan& plan) const override;
+  [[nodiscard]] CostBreakdown breakdown(const BatchPlan& plan) const;
+
+  [[nodiscard]] const HardwareProfile& hardware() const noexcept { return hw_; }
+  [[nodiscard]] const ModelConfig& model() const noexcept { return model_; }
+
+ private:
+  ModelConfig model_;
+  HardwareProfile hw_;
+};
+
+/// Times the real CPU engine (encode + greedy decode with decode length
+/// capped at `max_decode_steps`). Deterministic inputs are synthesized from
+/// the plan's geometry; intended for validation tests and Fig. 16.
+class MeasuredCostModel final : public CostModel {
+ public:
+  MeasuredCostModel(std::shared_ptr<const Seq2SeqModel> model,
+                    Index max_decode_steps);
+
+  [[nodiscard]] double batch_seconds(const BatchPlan& plan) const override;
+
+ private:
+  std::shared_ptr<const Seq2SeqModel> model_;
+  Index max_decode_steps_;
+};
+
+}  // namespace tcb

@@ -1,0 +1,116 @@
+#include "tensor/io.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace tcb {
+namespace {
+
+constexpr char kMagic[4] = {'T', 'C', 'B', 'T'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ofstream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::ifstream& in, const char* what) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!in) throw std::runtime_error(std::string("tensor io: truncated ") + what);
+  return value;
+}
+
+void write_entry(std::ofstream& out, const std::string& name,
+                 const Tensor& tensor) {
+  write_pod(out, static_cast<std::uint32_t>(name.size()));
+  out.write(name.data(), static_cast<std::streamsize>(name.size()));
+  write_pod(out, static_cast<std::uint32_t>(tensor.rank()));
+  for (std::size_t i = 0; i < tensor.rank(); ++i)
+    write_pod(out, tensor.dim(i));
+  const auto data = tensor.data();
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size() * sizeof(float)));
+  write_pod(out, fnv1a(data.data(), data.size() * sizeof(float)));
+}
+
+std::pair<std::string, Tensor> read_entry(std::ifstream& in) {
+  const auto name_len = read_pod<std::uint32_t>(in, "entry name length");
+  std::string name(name_len, '\0');
+  in.read(name.data(), name_len);
+  if (!in) throw std::runtime_error("tensor io: truncated entry name");
+  const auto rank = read_pod<std::uint32_t>(in, "rank");
+  if (rank > 4) throw std::runtime_error("tensor io: rank > 4");
+  std::vector<Index> dims;
+  for (std::uint32_t i = 0; i < rank; ++i) {
+    dims.push_back(read_pod<Index>(in, "dimension"));
+    if (dims.back() < 0) throw std::runtime_error("tensor io: negative dim");
+  }
+  Tensor tensor(Shape{std::move(dims)});
+  auto data = tensor.data();
+  in.read(reinterpret_cast<char*>(data.data()),
+          static_cast<std::streamsize>(data.size() * sizeof(float)));
+  if (!in) throw std::runtime_error("tensor io: truncated payload");
+  const auto checksum = read_pod<std::uint64_t>(in, "checksum");
+  if (checksum != fnv1a(data.data(), data.size() * sizeof(float)))
+    throw std::runtime_error("tensor io: checksum mismatch for '" + name + "'");
+  return {std::move(name), std::move(tensor)};
+}
+
+}  // namespace
+
+std::uint64_t fnv1a(const void* data, std::size_t bytes) noexcept {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (std::size_t i = 0; i < bytes; ++i) {
+    hash ^= p[i];
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+void save_tensor_bundle(const std::string& path,
+                        const std::map<std::string, Tensor>& tensors) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("tensor io: cannot open " + path);
+  out.write(kMagic, sizeof kMagic);
+  write_pod(out, kVersion);
+  write_pod(out, static_cast<std::uint32_t>(tensors.size()));
+  for (const auto& [name, tensor] : tensors) write_entry(out, name, tensor);
+  if (!out) throw std::runtime_error("tensor io: write failed for " + path);
+}
+
+std::map<std::string, Tensor> load_tensor_bundle(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("tensor io: cannot open " + path);
+  char magic[4];
+  in.read(magic, sizeof magic);
+  if (!in || std::memcmp(magic, kMagic, sizeof kMagic) != 0)
+    throw std::runtime_error("tensor io: bad magic in " + path);
+  const auto version = read_pod<std::uint32_t>(in, "version");
+  if (version != kVersion)
+    throw std::runtime_error("tensor io: unsupported version " +
+                             std::to_string(version));
+  const auto count = read_pod<std::uint32_t>(in, "entry count");
+  std::map<std::string, Tensor> tensors;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    auto [name, tensor] = read_entry(in);
+    tensors.emplace(std::move(name), std::move(tensor));
+  }
+  return tensors;
+}
+
+void save_tensor(const std::string& path, const Tensor& tensor) {
+  save_tensor_bundle(path, {{"", tensor}});
+}
+
+Tensor load_tensor(const std::string& path) {
+  auto bundle = load_tensor_bundle(path);
+  if (bundle.size() != 1)
+    throw std::runtime_error("tensor io: expected a single-entry bundle");
+  return std::move(bundle.begin()->second);
+}
+
+}  // namespace tcb

@@ -1,0 +1,35 @@
+// Binary tensor persistence: a checksummed little-endian container for one
+// tensor or a named bundle. Used to export engine weights/activations for
+// offline inspection and to round-trip test data.
+//
+// Bundle layout:
+//   magic "TCBT" | u32 version | u32 entry count |
+//   per entry: u32 name length | name bytes | u32 rank | i64 dims... |
+//              f32 payload... | u64 FNV-1a checksum of the payload bytes
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "tensor/tensor.hpp"
+
+namespace tcb {
+
+/// FNV-1a over arbitrary bytes; exposed for tests.
+[[nodiscard]] std::uint64_t fnv1a(const void* data, std::size_t bytes) noexcept;
+
+/// Saves one tensor (a bundle with a single unnamed entry).
+void save_tensor(const std::string& path, const Tensor& tensor);
+
+/// Loads a single-entry bundle. Throws std::runtime_error on malformed
+/// files, version mismatch, or checksum failure.
+[[nodiscard]] Tensor load_tensor(const std::string& path);
+
+/// Saves a named bundle (entries in map order, so files are deterministic).
+void save_tensor_bundle(const std::string& path,
+                        const std::map<std::string, Tensor>& tensors);
+
+[[nodiscard]] std::map<std::string, Tensor> load_tensor_bundle(
+    const std::string& path);
+
+}  // namespace tcb

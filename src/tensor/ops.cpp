@@ -1,0 +1,204 @@
+#include "tensor/ops.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "parallel/thread_pool.hpp"
+
+namespace tcb {
+namespace {
+
+void require(bool ok, const char* what) {
+  if (!ok) throw std::invalid_argument(what);
+}
+
+/// Rows per parallel chunk so each chunk is ~64k multiply-adds.
+std::size_t gemm_grain(Index cols, Index inner) {
+  const Index work = cols * inner;
+  if (work <= 0) return 1;
+  const Index rows = 65536 / work + 1;
+  return static_cast<std::size_t>(rows);
+}
+
+}  // namespace
+
+void matmul(const Tensor& a, const Tensor& b, Tensor& c) {
+  require(a.rank() == 2 && b.rank() == 2, "matmul: rank-2 operands required");
+  const Index m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  require(b.dim(0) == k, "matmul: inner dimension mismatch");
+  if (!(c.shape() == Shape{m, n})) c = Tensor(Shape{m, n});
+
+  const float* pa = a.raw();
+  const float* pb = b.raw();
+  float* pc = c.raw();
+  parallel_for(
+      static_cast<std::size_t>(m),
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          float* crow = pc + i * static_cast<std::size_t>(n);
+          for (Index j = 0; j < n; ++j) crow[j] = 0.0f;
+          const float* arow = pa + i * static_cast<std::size_t>(k);
+          for (Index p = 0; p < k; ++p) {
+            const float av = arow[p];
+            const float* brow = pb + static_cast<std::size_t>(p) * n;
+            for (Index j = 0; j < n; ++j) crow[j] += av * brow[j];
+          }
+        }
+      },
+      gemm_grain(n, k));
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  Tensor c;
+  matmul(a, b, c);
+  return c;
+}
+
+void matmul_nt(const Tensor& a, const Tensor& b, Tensor& c) {
+  require(a.rank() == 2 && b.rank() == 2, "matmul_nt: rank-2 operands required");
+  const Index m = a.dim(0), k = a.dim(1), n = b.dim(0);
+  require(b.dim(1) == k, "matmul_nt: inner dimension mismatch");
+  if (!(c.shape() == Shape{m, n})) c = Tensor(Shape{m, n});
+
+  const float* pa = a.raw();
+  const float* pb = b.raw();
+  float* pc = c.raw();
+  parallel_for(
+      static_cast<std::size_t>(m),
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          const float* arow = pa + i * static_cast<std::size_t>(k);
+          float* crow = pc + i * static_cast<std::size_t>(n);
+          for (Index j = 0; j < n; ++j) {
+            const float* brow = pb + static_cast<std::size_t>(j) * k;
+            float acc = 0.0f;
+            for (Index p = 0; p < k; ++p) acc += arow[p] * brow[p];
+            crow[j] = acc;
+          }
+        }
+      },
+      gemm_grain(n, k));
+}
+
+Tensor matmul_nt(const Tensor& a, const Tensor& b) {
+  Tensor c;
+  matmul_nt(a, b, c);
+  return c;
+}
+
+void add_inplace(Tensor& y, const Tensor& x) {
+  require(y.shape() == x.shape(), "add_inplace: shape mismatch");
+  float* py = y.raw();
+  const float* px = x.raw();
+  const std::size_t n = y.data().size();
+  for (std::size_t i = 0; i < n; ++i) py[i] += px[i];
+}
+
+void add_bias_inplace(Tensor& y, const Tensor& bias) {
+  require(y.rank() == 2 && bias.rank() == 1, "add_bias: (m,n) + (n) required");
+  const Index m = y.dim(0), n = y.dim(1);
+  require(bias.dim(0) == n, "add_bias: width mismatch");
+  const float* pb = bias.raw();
+  for (Index i = 0; i < m; ++i) {
+    float* row = y.row(i);
+    for (Index j = 0; j < n; ++j) row[j] += pb[j];
+  }
+}
+
+void scale_inplace(Tensor& y, float s) {
+  for (float& v : y.data()) v *= s;
+}
+
+void softmax_rows_inplace(Tensor& t) {
+  require(t.rank() == 2, "softmax_rows: rank-2 required");
+  const Index m = t.dim(0), n = t.dim(1);
+  float* pt = t.raw();
+  parallel_for(
+      static_cast<std::size_t>(m),
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          float* row = pt + i * static_cast<std::size_t>(n);
+          float mx = row[0];
+          for (Index j = 1; j < n; ++j) mx = std::max(mx, row[j]);
+          if (mx <= kMaskedOut / 2) {
+            // Fully masked row (can only happen for padding rows): define the
+            // result as zeros rather than NaN.
+            for (Index j = 0; j < n; ++j) row[j] = 0.0f;
+            continue;
+          }
+          float sum = 0.0f;
+          for (Index j = 0; j < n; ++j) {
+            row[j] = std::exp(row[j] - mx);
+            sum += row[j];
+          }
+          const float inv = 1.0f / sum;
+          for (Index j = 0; j < n; ++j) row[j] *= inv;
+        }
+      },
+      static_cast<std::size_t>(4096 / (n + 1) + 1));
+}
+
+void layer_norm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
+                float eps, Tensor& y) {
+  require(x.rank() == 2, "layer_norm: rank-2 input required");
+  const Index m = x.dim(0), d = x.dim(1);
+  require(gamma.rank() == 1 && gamma.dim(0) == d, "layer_norm: gamma shape");
+  require(beta.rank() == 1 && beta.dim(0) == d, "layer_norm: beta shape");
+  if (!(y.shape() == x.shape())) y = Tensor(x.shape());
+
+  const float* px = x.raw();
+  const float* pg = gamma.raw();
+  const float* pb = beta.raw();
+  float* py = y.raw();
+  parallel_for(
+      static_cast<std::size_t>(m),
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          const float* row = px + i * static_cast<std::size_t>(d);
+          float* out = py + i * static_cast<std::size_t>(d);
+          float mean = 0.0f;
+          for (Index j = 0; j < d; ++j) mean += row[j];
+          mean /= static_cast<float>(d);
+          float var = 0.0f;
+          for (Index j = 0; j < d; ++j) {
+            const float delta = row[j] - mean;
+            var += delta * delta;
+          }
+          var /= static_cast<float>(d);
+          const float inv = 1.0f / std::sqrt(var + eps);
+          for (Index j = 0; j < d; ++j)
+            out[j] = (row[j] - mean) * inv * pg[j] + pb[j];
+        }
+      },
+      static_cast<std::size_t>(4096 / (d + 1) + 1));
+}
+
+void relu_inplace(Tensor& t) {
+  for (float& v : t.data())
+    if (v < 0.0f) v = 0.0f;
+}
+
+void gelu_inplace(Tensor& t) {
+  constexpr float kSqrt2OverPi = 0.7978845608028654f;
+  for (float& v : t.data()) {
+    const float inner = kSqrt2OverPi * (v + 0.044715f * v * v * v);
+    v = 0.5f * v * (1.0f + std::tanh(inner));
+  }
+}
+
+std::vector<Index> argmax_rows(const Tensor& t) {
+  require(t.rank() == 2, "argmax_rows: rank-2 required");
+  const Index m = t.dim(0), n = t.dim(1);
+  require(n > 0, "argmax_rows: empty rows");
+  std::vector<Index> out(static_cast<std::size_t>(m));
+  for (Index i = 0; i < m; ++i) {
+    const float* row = t.row(i);
+    Index best = 0;
+    for (Index j = 1; j < n; ++j)
+      if (row[j] > row[best]) best = j;
+    out[static_cast<std::size_t>(i)] = best;
+  }
+  return out;
+}
+
+}  // namespace tcb

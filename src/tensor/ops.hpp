@@ -1,0 +1,57 @@
+// Tensor kernels for the transformer engine.
+//
+// All kernels are multithreaded via the global ThreadPool with grain sizes
+// chosen so small problems (single decode step) stay single-threaded. The
+// GEMM uses an i-k-j loop order (accumulate into the C row) which vectorizes
+// well and keeps B rows hot in cache; that is enough to saturate a few cores,
+// which is all this reproduction needs.
+#pragma once
+
+#include "tensor/tensor.hpp"
+
+namespace tcb {
+
+/// Additive mask value for "attention forbidden". Chosen so exp(x - max)
+/// underflows to exactly 0.0f, making masked positions contribute nothing —
+/// this is what makes concat-batched inference bitwise-comparable with
+/// per-request inference.
+inline constexpr float kMaskedOut = -1e30f;
+
+/// C = A(m,k) * B(k,n). Shapes are validated; C is resized.
+void matmul(const Tensor& a, const Tensor& b, Tensor& c);
+[[nodiscard]] Tensor matmul(const Tensor& a, const Tensor& b);
+
+/// C = A(m,k) * B(n,k)^T, i.e. pairwise dot products. Used for Q·K^T where K
+/// is stored row-major per position.
+void matmul_nt(const Tensor& a, const Tensor& b, Tensor& c);
+[[nodiscard]] Tensor matmul_nt(const Tensor& a, const Tensor& b);
+
+/// y += x (same shape).
+void add_inplace(Tensor& y, const Tensor& x);
+
+/// Adds a length-n bias vector to every row of a (m,n) tensor.
+void add_bias_inplace(Tensor& y, const Tensor& bias);
+
+/// y *= s.
+void scale_inplace(Tensor& y, float s);
+
+/// Row-wise softmax over the last dimension of a rank-2 tensor, in place.
+/// A row whose maximum is <= kMaskedOut / 2 (i.e. fully masked) becomes all
+/// zeros instead of NaN.
+void softmax_rows_inplace(Tensor& t);
+
+/// LayerNorm over the last dimension: y = (x - mu) / sqrt(var + eps) * gamma
+/// + beta, for each row of a (m,d) tensor.
+void layer_norm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
+                float eps, Tensor& y);
+
+/// Elementwise ReLU in place.
+void relu_inplace(Tensor& t);
+
+/// Elementwise tanh-approximation GELU in place (the variant used by BERT).
+void gelu_inplace(Tensor& t);
+
+/// argmax over the last dimension of a (m,n) tensor; returns m indices.
+[[nodiscard]] std::vector<Index> argmax_rows(const Tensor& t);
+
+}  // namespace tcb

@@ -1,0 +1,112 @@
+#include "tensor/tensor.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace tcb {
+
+Shape::Shape(std::initializer_list<Index> dims) : dims_(dims) {
+  for (const Index d : dims_)
+    if (d < 0) throw std::invalid_argument("Shape: negative dimension");
+}
+
+Shape::Shape(std::vector<Index> dims) : dims_(std::move(dims)) {
+  for (const Index d : dims_)
+    if (d < 0) throw std::invalid_argument("Shape: negative dimension");
+}
+
+Index Shape::dim(std::size_t i) const {
+  if (i >= dims_.size()) throw std::out_of_range("Shape::dim");
+  return dims_[i];
+}
+
+Index Shape::numel() const noexcept {
+  Index n = 1;
+  for (const Index d : dims_) n *= d;
+  return dims_.empty() ? 0 : n;
+}
+
+std::string Shape::to_string() const {
+  std::string out = "[";
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    if (i) out += ", ";
+    out += std::to_string(dims_[i]);
+  }
+  out += "]";
+  return out;
+}
+
+Tensor::Tensor(Shape shape)
+    : shape_(std::move(shape)),
+      data_(static_cast<std::size_t>(shape_.numel()), 0.0f) {}
+
+Tensor::Tensor(Shape shape, float fill)
+    : shape_(std::move(shape)),
+      data_(static_cast<std::size_t>(shape_.numel()), fill) {}
+
+Tensor Tensor::random_uniform(Shape shape, Rng& rng, float scale) {
+  Tensor t(std::move(shape));
+  for (float& v : t.data_) v = rng.weight(scale);
+  return t;
+}
+
+float& Tensor::at(Index i, Index j) {
+  assert(rank() == 2 && i >= 0 && i < dim(0) && j >= 0 && j < dim(1));
+  return data_[static_cast<std::size_t>(i * dim(1) + j)];
+}
+
+float Tensor::at(Index i, Index j) const {
+  assert(rank() == 2 && i >= 0 && i < dim(0) && j >= 0 && j < dim(1));
+  return data_[static_cast<std::size_t>(i * dim(1) + j)];
+}
+
+float& Tensor::at(Index i, Index j, Index k) {
+  assert(rank() == 3 && i >= 0 && i < dim(0) && j >= 0 && j < dim(1) && k >= 0 &&
+         k < dim(2));
+  return data_[static_cast<std::size_t>((i * dim(1) + j) * dim(2) + k)];
+}
+
+float Tensor::at(Index i, Index j, Index k) const {
+  assert(rank() == 3 && i >= 0 && i < dim(0) && j >= 0 && j < dim(1) && k >= 0 &&
+         k < dim(2));
+  return data_[static_cast<std::size_t>((i * dim(1) + j) * dim(2) + k)];
+}
+
+float* Tensor::row(Index i) {
+  assert(rank() >= 2 && i >= 0 && i < dim(0));
+  const Index stride = numel() / dim(0);
+  return data_.data() + i * stride;
+}
+
+const float* Tensor::row(Index i) const {
+  assert(rank() >= 2 && i >= 0 && i < dim(0));
+  const Index stride = numel() / dim(0);
+  return data_.data() + i * stride;
+}
+
+void Tensor::fill(float v) noexcept {
+  for (float& x : data_) x = v;
+}
+
+void Tensor::reshape(Shape shape) {
+  if (shape.numel() != numel())
+    throw std::invalid_argument("Tensor::reshape: numel mismatch " +
+                                shape_.to_string() + " -> " + shape.to_string());
+  shape_ = std::move(shape);
+}
+
+float max_abs_diff(const Tensor& a, const Tensor& b) {
+  if (!(a.shape() == b.shape()))
+    throw std::invalid_argument("max_abs_diff: shape mismatch " +
+                                a.shape().to_string() + " vs " +
+                                b.shape().to_string());
+  float worst = 0.0f;
+  const auto da = a.data();
+  const auto db = b.data();
+  for (std::size_t i = 0; i < da.size(); ++i)
+    worst = std::max(worst, std::fabs(da[i] - db[i]));
+  return worst;
+}
+
+}  // namespace tcb

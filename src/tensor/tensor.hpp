@@ -1,0 +1,96 @@
+// Dense row-major fp32 tensor — the storage substrate under the transformer
+// engine. Deliberately minimal: contiguous owned storage, value semantics
+// (moves are cheap, copies are explicit and real), shapes up to rank 4, and
+// span-based access so kernels never touch raw new/delete.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace tcb {
+
+using Index = std::int64_t;
+
+/// Shape of a tensor; rank <= 4 covers everything the engine needs
+/// ([batch, heads, rows, cols] at most).
+class Shape {
+ public:
+  Shape() = default;
+  Shape(std::initializer_list<Index> dims);
+  explicit Shape(std::vector<Index> dims);
+
+  [[nodiscard]] std::size_t rank() const noexcept { return dims_.size(); }
+  [[nodiscard]] Index dim(std::size_t i) const;
+  [[nodiscard]] Index operator[](std::size_t i) const { return dim(i); }
+  [[nodiscard]] Index numel() const noexcept;
+  [[nodiscard]] bool operator==(const Shape& other) const noexcept {
+    return dims_ == other.dims_;
+  }
+  [[nodiscard]] std::string to_string() const;
+  [[nodiscard]] const std::vector<Index>& dims() const noexcept { return dims_; }
+
+ private:
+  std::vector<Index> dims_;
+};
+
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(Shape shape);
+  Tensor(Shape shape, float fill);
+
+  /// Factory helpers -------------------------------------------------------
+  static Tensor zeros(Shape shape) { return Tensor(std::move(shape), 0.0f); }
+  static Tensor full(Shape shape, float v) { return Tensor(std::move(shape), v); }
+  /// Uniform in [-scale, scale]; deterministic given `rng`.
+  static Tensor random_uniform(Shape shape, Rng& rng, float scale);
+
+  [[nodiscard]] const Shape& shape() const noexcept { return shape_; }
+  [[nodiscard]] Index numel() const noexcept {
+    return static_cast<Index>(data_.size());
+  }
+  [[nodiscard]] std::size_t rank() const noexcept { return shape_.rank(); }
+  [[nodiscard]] Index dim(std::size_t i) const { return shape_.dim(i); }
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+
+  [[nodiscard]] std::span<float> data() noexcept { return data_; }
+  [[nodiscard]] std::span<const float> data() const noexcept { return data_; }
+  [[nodiscard]] float* raw() noexcept { return data_.data(); }
+  [[nodiscard]] const float* raw() const noexcept { return data_.data(); }
+
+  /// Element access for rank-2 / rank-3 tensors. Bounds are checked only in
+  /// debug builds (assert); kernels index raw spans directly.
+  [[nodiscard]] float& at(Index i, Index j);
+  [[nodiscard]] float at(Index i, Index j) const;
+  [[nodiscard]] float& at(Index i, Index j, Index k);
+  [[nodiscard]] float at(Index i, Index j, Index k) const;
+
+  /// Pointer to row `i` of a rank-2 tensor (or plane of rank-3).
+  [[nodiscard]] float* row(Index i);
+  [[nodiscard]] const float* row(Index i) const;
+
+  void fill(float v) noexcept;
+
+  /// Reinterprets the buffer with a new shape of identical numel.
+  void reshape(Shape shape);
+
+  /// Deep copy (copies are otherwise implicit via copy ctor; this spelling is
+  /// used where the copy is intentional and should be visible).
+  [[nodiscard]] Tensor clone() const { return *this; }
+
+ private:
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+/// Max-abs difference between same-shaped tensors; the equivalence tests
+/// (single-request vs concat-batched inference) are built on this.
+[[nodiscard]] float max_abs_diff(const Tensor& a, const Tensor& b);
+
+}  // namespace tcb

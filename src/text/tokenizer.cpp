@@ -1,0 +1,58 @@
+#include "text/tokenizer.hpp"
+
+#include <cctype>
+#include <stdexcept>
+
+namespace tcb {
+
+std::vector<std::string> split_words(std::string_view sentence) {
+  std::vector<std::string> words;
+  std::string current;
+  for (const char raw : sentence) {
+    const auto c = static_cast<unsigned char>(raw);
+    if (std::isalnum(c) || raw == '\'') {
+      current += static_cast<char>(std::tolower(c));
+    } else if (!current.empty()) {
+      words.push_back(std::move(current));
+      current.clear();
+    }
+  }
+  if (!current.empty()) words.push_back(std::move(current));
+  return words;
+}
+
+Tokenizer::Tokenizer(Vocabulary vocab) : vocab_(std::move(vocab)) {}
+
+std::vector<Index> Tokenizer::encode(std::string_view sentence) const {
+  std::vector<Index> ids;
+  for (const auto& word : split_words(sentence))
+    ids.push_back(vocab_.id_of(word));
+  return ids;
+}
+
+std::string Tokenizer::decode(const std::vector<Index>& ids) const {
+  std::string out;
+  for (const Index id : ids) {
+    if (id < kFirstVocabWord) continue;  // skip reserved tokens
+    if (!out.empty()) out += ' ';
+    // Ids beyond this vocabulary (a model may have a larger output space)
+    // render as <unk> rather than failing.
+    out += id < vocab_.size() ? vocab_.word_of(id) : "<unk>";
+  }
+  return out;
+}
+
+Request Tokenizer::make_request(RequestId id, std::string_view sentence,
+                                double arrival, double deadline) const {
+  Request req;
+  req.id = id;
+  req.arrival = arrival;
+  req.deadline = deadline;
+  req.tokens = encode(sentence);
+  req.length = static_cast<Index>(req.tokens.size());
+  if (req.length == 0)
+    throw std::invalid_argument("Tokenizer::make_request: empty sentence");
+  return req;
+}
+
+}  // namespace tcb

@@ -1,0 +1,40 @@
+// Sentence <-> token-id conversion on top of a Vocabulary, plus the request
+// factory that turns raw sentences into schedulable Requests — the glue
+// between user applications and the TCB scheduler/engine (paper Fig. 3).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "batching/request.hpp"
+#include "text/vocabulary.hpp"
+
+namespace tcb {
+
+/// Lower-cases and splits on whitespace/punctuation. Exposed for vocabulary
+/// building and tests.
+[[nodiscard]] std::vector<std::string> split_words(std::string_view sentence);
+
+class Tokenizer {
+ public:
+  explicit Tokenizer(Vocabulary vocab);
+
+  [[nodiscard]] const Vocabulary& vocabulary() const noexcept { return vocab_; }
+
+  /// Sentence -> token ids (no BOS/EOS; the engine handles those).
+  [[nodiscard]] std::vector<Index> encode(std::string_view sentence) const;
+
+  /// Token ids -> sentence (reserved ids are skipped).
+  [[nodiscard]] std::string decode(const std::vector<Index>& ids) const;
+
+  /// Builds a ready-to-schedule Request from a sentence. Sentences that
+  /// tokenize to nothing throw (a zero-length request is unschedulable).
+  [[nodiscard]] Request make_request(RequestId id, std::string_view sentence,
+                                     double arrival, double deadline) const;
+
+ private:
+  Vocabulary vocab_;
+};
+
+}  // namespace tcb

@@ -1,0 +1,78 @@
+#include "text/vocabulary.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "text/tokenizer.hpp"
+
+namespace tcb {
+
+Vocabulary::Vocabulary() {
+  words_ = {"<pad>", "<bos>", "<eos>", "<unk>"};
+  for (std::size_t i = 0; i < words_.size(); ++i)
+    ids_.emplace(words_[i], static_cast<Index>(i));
+}
+
+Vocabulary Vocabulary::build(const std::vector<std::string>& corpus,
+                             std::size_t max_size) {
+  if (max_size <= static_cast<std::size_t>(kFirstVocabWord))
+    throw std::invalid_argument("Vocabulary::build: max_size too small");
+  std::map<std::string, std::size_t> freq;  // ordered: lexicographic ties
+  for (const auto& sentence : corpus)
+    for (const auto& word : split_words(sentence)) ++freq[word];
+
+  std::vector<std::pair<std::string, std::size_t>> ranked(freq.begin(),
+                                                          freq.end());
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.second > b.second;
+                   });
+
+  Vocabulary vocab;
+  const std::size_t budget = max_size - static_cast<std::size_t>(kFirstVocabWord);
+  for (std::size_t i = 0; i < ranked.size() && i < budget; ++i)
+    vocab.add_word(ranked[i].first);
+  return vocab;
+}
+
+Index Vocabulary::add_word(std::string_view word) {
+  const auto it = ids_.find(std::string(word));
+  if (it != ids_.end()) return it->second;
+  const Index id = static_cast<Index>(words_.size());
+  words_.emplace_back(word);
+  ids_.emplace(words_.back(), id);
+  return id;
+}
+
+Index Vocabulary::id_of(std::string_view word) const {
+  const auto it = ids_.find(std::string(word));
+  return it == ids_.end() ? kUnkToken : it->second;
+}
+
+const std::string& Vocabulary::word_of(Index id) const {
+  if (id < 0 || id >= size())
+    throw std::out_of_range("Vocabulary::word_of: id " + std::to_string(id));
+  return words_[static_cast<std::size_t>(id)];
+}
+
+void Vocabulary::save(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("Vocabulary::save: cannot open " + path);
+  for (Index id = kFirstVocabWord; id < size(); ++id)
+    out << words_[static_cast<std::size_t>(id)] << '\n';
+}
+
+Vocabulary Vocabulary::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("Vocabulary::load: cannot open " + path);
+  Vocabulary vocab;
+  std::string line;
+  while (std::getline(in, line))
+    if (!line.empty()) vocab.add_word(line);
+  return vocab;
+}
+
+}  // namespace tcb

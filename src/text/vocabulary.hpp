@@ -1,0 +1,57 @@
+// Word-level vocabulary for the NLP service frontend. The paper's requests
+// are sentences ("language translation services receive requests in the form
+// of sentences"); this vocabulary maps words to the engine's token ids and
+// back, with the reserved PAD/BOS/EOS ids from batching/packed_batch.hpp and
+// an <unk> id for out-of-vocabulary words.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "batching/packed_batch.hpp"
+
+namespace tcb {
+
+inline constexpr Index kUnkToken = 3;
+/// First id available for real words (kUnkToken is the last reserved one).
+inline constexpr Index kFirstVocabWord = 4;
+
+class Vocabulary {
+ public:
+  /// Creates a vocabulary holding only the reserved tokens.
+  Vocabulary();
+
+  /// Builds from a corpus: words are ranked by frequency (ties
+  /// lexicographic) and the top `max_size - kFirstVocabWord` become ids.
+  static Vocabulary build(const std::vector<std::string>& corpus,
+                          std::size_t max_size);
+
+  /// Adds a word if absent; returns its id either way.
+  Index add_word(std::string_view word);
+
+  /// Id for a word; kUnkToken when unknown.
+  [[nodiscard]] Index id_of(std::string_view word) const;
+
+  /// Word for an id; reserved ids render as "<pad>", "<bos>", "<eos>",
+  /// "<unk>". Out-of-range ids throw.
+  [[nodiscard]] const std::string& word_of(Index id) const;
+
+  [[nodiscard]] Index size() const noexcept {
+    return static_cast<Index>(words_.size());
+  }
+  [[nodiscard]] bool contains(std::string_view word) const {
+    return ids_.find(std::string(word)) != ids_.end();
+  }
+
+  /// Persistence: one word per line, line number = id - kFirstVocabWord.
+  void save(const std::string& path) const;
+  static Vocabulary load(const std::string& path);
+
+ private:
+  std::vector<std::string> words_;              ///< id -> word
+  std::unordered_map<std::string, Index> ids_;  ///< word -> id
+};
+
+}  // namespace tcb

@@ -1,0 +1,37 @@
+// Minimal CSV writer. Every bench binary writes its series as CSV so that the
+// paper's figures can be re-plotted from the raw data.
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tcb {
+
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row. Throws on I/O error.
+  CsvWriter(const std::string& path, std::vector<std::string> header);
+
+  /// One row; cell count must match the header.
+  void row(const std::vector<std::string>& cells);
+
+  /// Convenience for numeric rows.
+  void row_numeric(const std::vector<double>& cells);
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ private:
+  std::string path_;
+  std::size_t columns_;
+  std::ofstream out_;
+
+  static std::string escape(std::string_view cell);
+};
+
+/// Formats a double without trailing-zero noise ("12.5", not "12.500000").
+[[nodiscard]] std::string format_number(double v);
+
+}  // namespace tcb

@@ -1,0 +1,18 @@
+#include "util/env.hpp"
+
+#include <cstdlib>
+
+namespace tcb {
+
+std::int64_t env_int(const char* name, std::int64_t fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const long long v = std::strtoll(raw, &end, 10);
+  if (end == raw) return fallback;
+  return static_cast<std::int64_t>(v);
+}
+
+bool fast_mode() { return env_int("TCB_FAST", 0) != 0; }
+
+}  // namespace tcb

@@ -1,0 +1,19 @@
+// Environment-variable knobs shared by benches and examples.
+//
+// TCB_FAST=1 shrinks bench workloads (useful in CI); TCB_THREADS=<n>
+// overrides the worker count of the global thread pool.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace tcb {
+
+/// Reads an integral environment variable; returns `fallback` when unset or
+/// unparsable.
+[[nodiscard]] std::int64_t env_int(const char* name, std::int64_t fallback);
+
+/// True when TCB_FAST is set to a non-zero value.
+[[nodiscard]] bool fast_mode();
+
+}  // namespace tcb

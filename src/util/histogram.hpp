@@ -1,0 +1,34 @@
+// Fixed-width histogram for request-length / latency distributions.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace tcb {
+
+/// Equal-width bins over [lo, hi); out-of-range samples are clamped into the
+/// first / last bin so totals are conserved.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t bins() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::size_t count(std::size_t bin) const { return counts_.at(bin); }
+  [[nodiscard]] std::size_t total() const noexcept { return total_; }
+  [[nodiscard]] double bin_lo(std::size_t bin) const noexcept;
+  [[nodiscard]] double bin_hi(std::size_t bin) const noexcept;
+
+  /// ASCII rendering for example programs ("#"-bar per bin).
+  [[nodiscard]] std::string render(std::size_t width = 50) const;
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace tcb

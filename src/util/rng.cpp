@@ -1,0 +1,43 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace tcb {
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  // Debiased modulo via rejection sampling (Lemire-style threshold).
+  const std::uint64_t threshold = (0 - span) % span;
+  for (;;) {
+    const std::uint64_t r = next_u64();
+    if (r >= threshold) return lo + static_cast<std::int64_t>(r % span);
+  }
+}
+
+double Rng::gaussian() noexcept {
+  if (cached_gauss_valid_) {
+    cached_gauss_valid_ = false;
+    return cached_gauss_;
+  }
+  double u, v, s;
+  do {
+    u = uniform(-1.0, 1.0);
+    v = uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double mul = std::sqrt(-2.0 * std::log(s) / s);
+  cached_gauss_ = v * mul;
+  cached_gauss_valid_ = true;
+  return u * mul;
+}
+
+double Rng::exponential(double rate) noexcept {
+  // Inverse-CDF; guard next_double() == 0 so log never sees 0.
+  double u;
+  do {
+    u = next_double();
+  } while (u <= 0.0);
+  return -std::log(u) / rate;
+}
+
+}  // namespace tcb

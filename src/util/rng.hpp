@@ -1,0 +1,109 @@
+// Deterministic random number generation for workloads, weights and tests.
+//
+// Everything in this repository that needs randomness goes through Rng so that
+// every experiment is reproducible from a single 64-bit seed. The generator is
+// xoshiro256** seeded via SplitMix64 (the reference seeding procedure), which
+// is fast, high quality, and trivially portable.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace tcb {
+
+/// SplitMix64 step. Used to expand a single seed into generator state and to
+/// derive independent per-stream seeds (e.g. one stream per thread or module).
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** PRNG with convenience samplers.
+///
+/// Satisfies UniformRandomBitGenerator, so it can also be plugged into
+/// <random> distributions, although the built-in samplers below are what the
+/// library uses (they are exactly reproducible across standard libraries,
+/// unlike std::normal_distribution).
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x1234abcdULL) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+    cached_gauss_valid_ = false;
+  }
+
+  /// Derive an independent child generator; `stream` distinguishes children
+  /// created from the same parent state.
+  [[nodiscard]] Rng fork(std::uint64_t stream) const noexcept {
+    std::uint64_t sm = state_[0] ^ (state_[3] + 0x9e3779b97f4a7c15ULL * (stream + 1));
+    return Rng{splitmix64(sm)};
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept { return next_u64(); }
+
+  std::uint64_t next_u64() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, 1).
+  double next_double() noexcept {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * next_double();
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Standard normal via Marsaglia polar method (deterministic, portable).
+  double gaussian() noexcept;
+
+  /// Normal with given mean / standard deviation.
+  double gaussian(double mean, double stddev) noexcept {
+    return mean + stddev * gaussian();
+  }
+
+  /// Exponential with given rate (mean 1/rate); used for Poisson inter-arrival
+  /// gaps in the workload generator.
+  double exponential(double rate) noexcept;
+
+  /// Uniform float in [-scale, scale]; used for weight initialization.
+  float weight(float scale) noexcept {
+    return static_cast<float>(uniform(-scale, scale));
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+  double cached_gauss_ = 0.0;
+  bool cached_gauss_valid_ = false;
+};
+
+}  // namespace tcb

@@ -1,0 +1,69 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace tcb {
+
+double RunningStat::stddev() const noexcept { return std::sqrt(variance()); }
+
+void RunningStat::merge(const RunningStat& other) noexcept {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void Samples::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(values_.begin(), values_.end());
+    sorted_ = true;
+  }
+}
+
+double Samples::mean() const noexcept {
+  if (values_.empty()) return 0.0;
+  return sum() / static_cast<double>(values_.size());
+}
+
+double Samples::sum() const noexcept {
+  return std::accumulate(values_.begin(), values_.end(), 0.0);
+}
+
+double Samples::min() const {
+  if (values_.empty()) throw std::logic_error("Samples::min on empty set");
+  ensure_sorted();
+  return values_.front();
+}
+
+double Samples::max() const {
+  if (values_.empty()) throw std::logic_error("Samples::max on empty set");
+  ensure_sorted();
+  return values_.back();
+}
+
+double Samples::quantile(double q) const {
+  if (values_.empty()) throw std::logic_error("Samples::quantile on empty set");
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  ensure_sorted();
+  const double pos = q * static_cast<double>(values_.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, values_.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values_[lo] * (1.0 - frac) + values_[hi] * frac;
+}
+
+}  // namespace tcb

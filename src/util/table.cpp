@@ -1,0 +1,58 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+#include "util/csv.hpp"
+
+namespace tcb {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TablePrinter::row(std::vector<std::string> cells) {
+  if (cells.size() != header_.size())
+    throw std::invalid_argument("TablePrinter: row width mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::row_numeric(const std::vector<double>& cells) {
+  std::vector<std::string> text;
+  text.reserve(cells.size());
+  for (const double v : cells) text.push_back(format_number(v));
+  row(std::move(text));
+}
+
+std::string TablePrinter::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& r : rows_)
+    for (std::size_t c = 0; c < r.size(); ++c)
+      widths[c] = std::max(widths[c], r[c].size());
+
+  auto emit = [&](const std::vector<std::string>& cells, std::string& out) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out += cells[c];
+      out.append(widths[c] - cells[c].size() + 2, ' ');
+    }
+    while (!out.empty() && out.back() == ' ') out.pop_back();
+    out += '\n';
+  };
+
+  std::string out;
+  emit(header_, out);
+  std::size_t rule = 0;
+  for (const auto w : widths) rule += w + 2;
+  out.append(rule - 2, '-');
+  out += '\n';
+  for (const auto& r : rows_) emit(r, out);
+  return out;
+}
+
+void TablePrinter::print() const {
+  const std::string text = render();
+  std::fwrite(text.data(), 1, text.size(), stdout);
+}
+
+}  // namespace tcb

@@ -1,0 +1,28 @@
+// Aligned plain-text tables: the bench binaries print the paper's series in
+// this format so the output reads like the figure it reproduces.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace tcb {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void row(std::vector<std::string> cells);
+  void row_numeric(const std::vector<double>& cells);
+
+  /// Renders the whole table (header, rule, rows) as a string.
+  [[nodiscard]] std::string render() const;
+
+  /// Renders and writes to stdout.
+  void print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace tcb

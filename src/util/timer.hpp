@@ -1,0 +1,28 @@
+// Wall-clock timing helpers used by the real-engine benches (Figs. 13/14/16).
+#pragma once
+
+#include <chrono>
+
+namespace tcb {
+
+/// Monotonic stopwatch; seconds as double.
+class Timer {
+ public:
+  Timer() noexcept : start_(Clock::now()) {}
+
+  void reset() noexcept { start_ = Clock::now(); }
+
+  [[nodiscard]] double elapsed_seconds() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double elapsed_millis() const noexcept {
+    return elapsed_seconds() * 1e3;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace tcb

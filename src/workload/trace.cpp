@@ -1,0 +1,160 @@
+#include "workload/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "batching/packed_batch.hpp"
+
+namespace tcb {
+
+void WorkloadConfig::validate() const {
+  auto fail = [](const char* what) { throw std::invalid_argument(what); };
+  if (rate <= 0.0) fail("WorkloadConfig: rate must be positive");
+  if (duration <= 0.0) fail("WorkloadConfig: duration must be positive");
+  if (min_len < 1 || max_len < min_len) fail("WorkloadConfig: bad length range");
+  if (len_variance < 0.0) fail("WorkloadConfig: negative variance");
+  if (deadline_slack_min < 0.0 || deadline_slack_max < deadline_slack_min)
+    fail("WorkloadConfig: bad deadline slack range");
+  if (with_tokens && vocab_size <= kFirstWordToken)
+    fail("WorkloadConfig: vocab too small for word tokens");
+  if (bimodal_long_fraction < 0.0 || bimodal_long_fraction > 1.0)
+    fail("WorkloadConfig: bimodal_long_fraction outside [0, 1]");
+  // The calm-state rate must stay non-negative given 25% burst time.
+  if (burst_rate_factor < 1.0 || burst_rate_factor > 4.0)
+    fail("WorkloadConfig: burst_rate_factor must be in [1, 4]");
+  if (burst_mean_duration <= 0.0)
+    fail("WorkloadConfig: burst_mean_duration must be positive");
+}
+
+namespace {
+
+Index truncated_normal(double mean, double stddev, Index lo, Index hi,
+                       Rng& rng) {
+  if (stddev == 0.0)
+    return std::clamp<Index>(static_cast<Index>(std::lround(mean)), lo, hi);
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const Index len = static_cast<Index>(std::lround(rng.gaussian(mean, stddev)));
+    if (len >= lo && len <= hi) return len;
+  }
+  // Extremely skewed configurations: fall back to clamping.
+  return std::clamp<Index>(static_cast<Index>(std::lround(mean)), lo, hi);
+}
+
+}  // namespace
+
+Index sample_length(const WorkloadConfig& cfg, Rng& rng) {
+  const double stddev = std::sqrt(cfg.len_variance);
+  switch (cfg.length_distribution) {
+    case LengthDistribution::kNormal:
+      return truncated_normal(cfg.mean_len, stddev, cfg.min_len, cfg.max_len,
+                              rng);
+    case LengthDistribution::kBimodal: {
+      const double mean = rng.next_double() < cfg.bimodal_long_fraction
+                              ? cfg.bimodal_long_mean
+                              : cfg.mean_len;
+      return truncated_normal(mean, stddev, cfg.min_len, cfg.max_len, rng);
+    }
+    case LengthDistribution::kUniform:
+      return rng.uniform_int(cfg.min_len, cfg.max_len);
+  }
+  return cfg.min_len;
+}
+
+std::vector<Request> generate_trace(const WorkloadConfig& cfg) {
+  cfg.validate();
+  Rng rng(cfg.seed);
+  std::vector<Request> trace;
+  trace.reserve(static_cast<std::size_t>(cfg.rate * cfg.duration * 1.2) + 16);
+
+  // Two-state Markov-modulated Poisson process. Bursts occupy 25% of the
+  // time; the calm rate is chosen so the long-run mean stays cfg.rate.
+  // burst_rate_factor == 1 degenerates to a plain Poisson process.
+  constexpr double kBurstTimeFraction = 0.25;
+  const double burst_rate = cfg.rate * cfg.burst_rate_factor;
+  const double calm_rate =
+      cfg.rate * (1.0 - kBurstTimeFraction * cfg.burst_rate_factor) /
+      (1.0 - kBurstTimeFraction);
+  const double calm_mean_duration =
+      cfg.burst_mean_duration * (1.0 - kBurstTimeFraction) /
+      kBurstTimeFraction;
+
+  bool in_burst = false;
+  double state_end = cfg.burst_rate_factor > 1.0
+                         ? rng.exponential(1.0 / calm_mean_duration)
+                         : cfg.duration;
+
+  double t = 0.0;
+  RequestId next_id = 0;
+  for (;;) {
+    double state_rate = in_burst ? burst_rate : calm_rate;
+    if (cfg.burst_rate_factor == 1.0) state_rate = cfg.rate;
+    double gap = state_rate > 0.0 ? rng.exponential(state_rate)
+                                  : cfg.duration;  // calm state silent
+    // Cross state boundaries without emitting (thinning by episode).
+    while (cfg.burst_rate_factor > 1.0 && t + gap >= state_end &&
+           state_end < cfg.duration) {
+      gap -= std::max(0.0, state_end - t);
+      t = state_end;
+      in_burst = !in_burst;
+      const double mean_dur =
+          in_burst ? cfg.burst_mean_duration : calm_mean_duration;
+      state_end = t + rng.exponential(1.0 / mean_dur);
+      const double new_rate = in_burst ? burst_rate : calm_rate;
+      // Rescale the residual gap to the new state's rate.
+      gap = new_rate > 0.0 ? gap * state_rate / new_rate : cfg.duration;
+      state_rate = new_rate;
+    }
+    t += gap;
+    if (t >= cfg.duration) break;
+    Request req;
+    req.id = next_id++;
+    req.arrival = t;
+    req.deadline =
+        t + rng.uniform(cfg.deadline_slack_min, cfg.deadline_slack_max);
+    req.length = sample_length(cfg, rng);
+    if (cfg.with_tokens) {
+      req.tokens.reserve(static_cast<std::size_t>(req.length));
+      for (Index i = 0; i < req.length; ++i)
+        req.tokens.push_back(
+            rng.uniform_int(kFirstWordToken, cfg.vocab_size - 1));
+    }
+    trace.push_back(std::move(req));
+  }
+  return trace;
+}
+
+void save_trace(const std::string& path, const std::vector<Request>& trace) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("save_trace: cannot open " + path);
+  out << "id,arrival,deadline,length\n";
+  for (const auto& req : trace)
+    out << req.id << ',' << req.arrival << ',' << req.deadline << ','
+        << req.length << '\n';
+}
+
+std::vector<Request> load_trace(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_trace: cannot open " + path);
+  std::string line;
+  if (!std::getline(in, line))
+    throw std::runtime_error("load_trace: empty file " + path);
+  std::vector<Request> trace;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream ss(line);
+    Request req;
+    char comma;
+    if (!(ss >> req.id >> comma >> req.arrival >> comma >> req.deadline >>
+          comma >> req.length))
+      throw std::runtime_error("load_trace: malformed line: " + line);
+    trace.push_back(std::move(req));
+  }
+  std::sort(trace.begin(), trace.end(),
+            [](const Request& a, const Request& b) { return a.arrival < b.arrival; });
+  return trace;
+}
+
+}  // namespace tcb

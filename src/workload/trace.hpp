@@ -1,0 +1,66 @@
+// Synthetic request traces matching the paper's workload (§6.2.1): request
+// lengths are drawn from a truncated normal distribution (3-100 tokens,
+// configurable mean and *variance* — the paper reports variance, not
+// stddev), arrivals follow a Poisson process, and each request carries a
+// deadline = arrival + uniform slack.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "batching/request.hpp"
+
+namespace tcb {
+
+/// Request-length distribution families. kNormal is the paper's workload;
+/// kBimodal emulates the highly length-variable datasets the paper's intro
+/// points at (ParaCrawl, GLUE/DIA) where length-aware batching struggles;
+/// kUniform is a stress shape for property tests.
+enum class LengthDistribution : std::uint8_t {
+  kNormal,
+  kBimodal,
+  kUniform,
+};
+
+struct WorkloadConfig {
+  double rate = 100.0;      ///< mean arrival rate, requests/second
+  double duration = 10.0;   ///< trace length in seconds
+  Index min_len = 3;        ///< paper: 3
+  Index max_len = 100;      ///< paper: 100
+  double mean_len = 20.0;   ///< paper: average 20
+  double len_variance = 20; ///< paper: variance 20 (Fig. 12/15b vary this)
+  LengthDistribution length_distribution = LengthDistribution::kNormal;
+  /// kBimodal: the two modes sit at mean_len and bimodal_long_mean, with the
+  /// long mode drawn with probability bimodal_long_fraction.
+  double bimodal_long_mean = 80.0;
+  double bimodal_long_fraction = 0.3;
+  double deadline_slack_min = 0.5;  ///< seconds added to arrival
+  double deadline_slack_max = 2.0;
+  /// Burstiness (extension): a two-state Markov-modulated Poisson process.
+  /// burst_rate_factor == 1 is the paper's plain Poisson process; > 1
+  /// alternates between a calm state (rate scaled down to keep the mean) and
+  /// bursts at rate * burst_rate_factor.
+  double burst_rate_factor = 1.0;
+  double burst_mean_duration = 0.25;  ///< seconds per burst episode
+  std::uint64_t seed = 1;
+  /// When true, each request gets random word tokens (needed for the real
+  /// engine; the cost-model simulator only needs lengths).
+  bool with_tokens = false;
+  Index vocab_size = 1024;
+
+  void validate() const;
+};
+
+/// Generates a trace sorted by arrival time, ids 0..n-1.
+[[nodiscard]] std::vector<Request> generate_trace(const WorkloadConfig& cfg);
+
+/// Draws one truncated-normal length (resample until inside [min, max]).
+[[nodiscard]] Index sample_length(const WorkloadConfig& cfg, Rng& rng);
+
+/// Persists a trace (CSV: id,arrival,deadline,length) / loads it back.
+/// Token payloads are not persisted; regenerate with `with_tokens`.
+void save_trace(const std::string& path, const std::vector<Request>& trace);
+[[nodiscard]] std::vector<Request> load_trace(const std::string& path);
+
+}  // namespace tcb

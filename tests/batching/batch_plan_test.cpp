@@ -1,0 +1,158 @@
+#include "batching/batch_plan.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tcb {
+namespace {
+
+BatchPlan valid_concat_plan() {
+  BatchPlan plan;
+  plan.scheme = Scheme::kConcatPure;
+  plan.row_capacity = 10;
+  RowLayout row;
+  row.width = 9;
+  row.segments.push_back(Segment{1, 0, 4, 0});
+  row.segments.push_back(Segment{2, 4, 5, 0});
+  plan.rows.push_back(row);
+  return plan;
+}
+
+TEST(BatchPlanTest, Accounting) {
+  const BatchPlan plan = valid_concat_plan();
+  EXPECT_EQ(plan.request_count(), 2);
+  EXPECT_EQ(plan.used_tokens(), 9);
+  EXPECT_EQ(plan.padded_tokens(), 0);
+  EXPECT_EQ(plan.max_width(), 9);
+  EXPECT_FALSE(plan.empty());
+  const auto ids = plan.request_ids();
+  EXPECT_EQ(ids, (std::vector<RequestId>{1, 2}));
+}
+
+TEST(BatchPlanTest, PaddingCounted) {
+  BatchPlan plan = valid_concat_plan();
+  plan.rows[0].width = 10;  // one padding column
+  EXPECT_EQ(plan.padded_tokens(), 1);
+}
+
+TEST(BatchPlanTest, EmptyPlan) {
+  BatchPlan plan;
+  plan.row_capacity = 4;
+  EXPECT_TRUE(plan.empty());
+  EXPECT_EQ(plan.request_count(), 0);
+  EXPECT_EQ(plan.max_width(), 0);
+  BatchPlan with_empty_row = plan;
+  with_empty_row.rows.push_back(RowLayout{});
+  EXPECT_TRUE(with_empty_row.empty());
+}
+
+TEST(BatchPlanTest, ValidateAcceptsGoodPlans) {
+  EXPECT_NO_THROW(valid_concat_plan().validate());
+}
+
+TEST(BatchPlanTest, ValidateRejectsOverlap) {
+  BatchPlan plan = valid_concat_plan();
+  plan.rows[0].segments[1].offset = 3;  // overlaps segment 0
+  EXPECT_THROW(plan.validate(), std::logic_error);
+}
+
+TEST(BatchPlanTest, ValidateRejectsSegmentBeyondWidth) {
+  BatchPlan plan = valid_concat_plan();
+  plan.rows[0].segments[1].length = 7;  // 4 + 7 > width 9
+  EXPECT_THROW(plan.validate(), std::logic_error);
+}
+
+TEST(BatchPlanTest, ValidateRejectsWidthOverCapacity) {
+  BatchPlan plan = valid_concat_plan();
+  plan.rows[0].width = 11;
+  EXPECT_THROW(plan.validate(), std::logic_error);
+}
+
+TEST(BatchPlanTest, ValidateRejectsEmptySegment) {
+  BatchPlan plan = valid_concat_plan();
+  plan.rows[0].segments[0].length = 0;
+  EXPECT_THROW(plan.validate(), std::logic_error);
+}
+
+TEST(BatchPlanTest, ValidateRejectsSlotStraddle) {
+  BatchPlan plan;
+  plan.scheme = Scheme::kConcatSlotted;
+  plan.row_capacity = 12;
+  plan.slot_len = 4;
+  RowLayout row;
+  row.width = 8;
+  row.segments.push_back(Segment{1, 2, 4, 0});  // spans columns 2..6: straddles
+  plan.rows.push_back(row);
+  EXPECT_THROW(plan.validate(), std::logic_error);
+}
+
+TEST(BatchPlanTest, ValidateRejectsWrongSlotIndex) {
+  BatchPlan plan;
+  plan.scheme = Scheme::kConcatSlotted;
+  plan.row_capacity = 12;
+  plan.slot_len = 4;
+  RowLayout row;
+  row.width = 8;
+  row.segments.push_back(Segment{1, 4, 3, 0});  // offset 4 is slot 1, not 0
+  plan.rows.push_back(row);
+  EXPECT_THROW(plan.validate(), std::logic_error);
+}
+
+TEST(BatchPlanTest, ValidateRejectsMultiSegmentNaiveRows) {
+  BatchPlan plan = valid_concat_plan();
+  plan.scheme = Scheme::kNaive;
+  EXPECT_THROW(plan.validate(), std::logic_error);
+}
+
+TEST(BatchPlanTest, ValidateTiesSlotLenToScheme) {
+  BatchPlan plan = valid_concat_plan();
+  plan.slot_len = 5;  // slot_len on a pure plan
+  EXPECT_THROW(plan.validate(), std::logic_error);
+  BatchPlan slotted;
+  slotted.scheme = Scheme::kConcatSlotted;
+  slotted.row_capacity = 10;
+  slotted.slot_len = 0;  // slotted without slot_len
+  EXPECT_THROW(slotted.validate(), std::logic_error);
+}
+
+TEST(BatchPlanTest, EffectiveSlotLen) {
+  BatchPlan plan = valid_concat_plan();
+  EXPECT_EQ(plan.effective_slot_len(plan.rows[0]), 9);  // pure: whole row
+  plan.scheme = Scheme::kConcatSlotted;
+  plan.slot_len = 3;
+  EXPECT_EQ(plan.effective_slot_len(plan.rows[0]), 3);
+}
+
+TEST(SegmentMapTest, MapsPositionsToSegments) {
+  const BatchPlan plan = valid_concat_plan();
+  const auto map = segment_map(plan.rows[0]);
+  ASSERT_EQ(map.size(), 9u);
+  for (Index i = 0; i < 4; ++i) EXPECT_EQ(map[static_cast<std::size_t>(i)], 0);
+  for (Index i = 4; i < 9; ++i) EXPECT_EQ(map[static_cast<std::size_t>(i)], 1);
+}
+
+TEST(SegmentMapTest, PaddingIsMinusOne) {
+  RowLayout row;
+  row.width = 6;
+  row.segments.push_back(Segment{1, 0, 2, 0});
+  row.segments.push_back(Segment{2, 3, 2, 0});  // gap at 2, padding at 5
+  const auto map = segment_map(row);
+  EXPECT_EQ(map[2], -1);
+  EXPECT_EQ(map[5], -1);
+  EXPECT_EQ(map[3], 1);
+}
+
+TEST(SchemeNameTest, AllNamesDistinct) {
+  EXPECT_STREQ(scheme_name(Scheme::kNaive), "naive");
+  EXPECT_STREQ(scheme_name(Scheme::kTurbo), "turbo");
+  EXPECT_STREQ(scheme_name(Scheme::kConcatPure), "concat-pure");
+  EXPECT_STREQ(scheme_name(Scheme::kConcatSlotted), "concat-slotted");
+}
+
+TEST(BatchPlanTest, SummaryMentionsKeyNumbers) {
+  const std::string s = valid_concat_plan().summary();
+  EXPECT_NE(s.find("concat-pure"), std::string::npos);
+  EXPECT_NE(s.find("requests=2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tcb

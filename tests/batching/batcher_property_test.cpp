@@ -1,0 +1,132 @@
+// Cross-scheme batcher properties over randomized workloads: every batcher
+// must conserve requests (placed + leftover == selected), never exceed its
+// geometry, emit structurally valid plans, and respect selection precedence.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "batching/concat_batcher.hpp"
+#include "batching/naive_batcher.hpp"
+#include "batching/slotted_batcher.hpp"
+#include "batching/turbo_batcher.hpp"
+#include "util/rng.hpp"
+
+namespace tcb {
+namespace {
+
+struct Param {
+  Scheme scheme;
+  std::uint64_t seed;
+};
+
+void PrintTo(const Param& p, std::ostream* os) {
+  *os << scheme_name(p.scheme) << "_seed" << p.seed;
+}
+
+std::unique_ptr<Batcher> make_batcher(Scheme scheme, Index slot_len) {
+  switch (scheme) {
+    case Scheme::kNaive:
+      return std::make_unique<NaiveBatcher>();
+    case Scheme::kTurbo:
+      return std::make_unique<TurboBatcher>();
+    case Scheme::kConcatPure:
+      return std::make_unique<ConcatBatcher>();
+    case Scheme::kConcatSlotted:
+      return std::make_unique<SlottedConcatBatcher>(slot_len);
+  }
+  return nullptr;
+}
+
+class BatcherPropertyTest : public ::testing::TestWithParam<Param> {};
+
+TEST_P(BatcherPropertyTest, InvariantsOverRandomWorkloads) {
+  const Param p = GetParam();
+  Rng rng(p.seed);
+  for (int iter = 0; iter < 30; ++iter) {
+    const Index B = rng.uniform_int(1, 8);
+    const Index L = rng.uniform_int(8, 64);
+    const Index z = rng.uniform_int(1, L);
+    const auto batcher = make_batcher(p.scheme, z);
+    ASSERT_NE(batcher, nullptr);
+    EXPECT_EQ(batcher->scheme(), p.scheme);
+
+    std::vector<Request> selected;
+    const int n = static_cast<int>(rng.uniform_int(0, 40));
+    for (int i = 0; i < n; ++i) {
+      Request r;
+      r.id = i;
+      r.length = rng.uniform_int(1, L + 8);  // some oversized on purpose
+      r.deadline = rng.uniform(0.0, 5.0);
+      selected.push_back(std::move(r));
+    }
+
+    const auto built = batcher->build(selected, B, L);
+
+    // Structural validity.
+    built.plan.validate();
+    EXPECT_EQ(built.plan.scheme, p.scheme);
+    EXPECT_LE(built.plan.rows.size(), static_cast<std::size_t>(B));
+    EXPECT_LE(built.plan.max_width(), L);
+
+    // Conservation, no duplication, no inventing requests.
+    std::multiset<RequestId> seen;
+    for (const auto id : built.plan.request_ids()) seen.insert(id);
+    for (const auto& r : built.leftover) seen.insert(r.id);
+    EXPECT_EQ(seen.size(), selected.size()) << "iter " << iter;
+    for (const auto& r : selected)
+      EXPECT_EQ(seen.count(r.id), 1u) << "request " << r.id;
+
+    // Oversized requests can never be placed.
+    for (const auto& row : built.plan.rows)
+      for (const auto& seg : row.segments) {
+        EXPECT_LE(seg.length, L);
+        if (p.scheme == Scheme::kConcatSlotted) {
+          EXPECT_LE(seg.length, z);
+        }
+      }
+
+    // Placed segment lengths must match the original requests.
+    for (const auto& row : built.plan.rows)
+      for (const auto& seg : row.segments)
+        EXPECT_EQ(seg.length,
+                  selected[static_cast<std::size_t>(seg.request_id)].length);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchemes, BatcherPropertyTest,
+    ::testing::Values(Param{Scheme::kNaive, 101}, Param{Scheme::kNaive, 102},
+                      Param{Scheme::kTurbo, 201}, Param{Scheme::kTurbo, 202},
+                      Param{Scheme::kConcatPure, 301},
+                      Param{Scheme::kConcatPure, 302},
+                      Param{Scheme::kConcatSlotted, 401},
+                      Param{Scheme::kConcatSlotted, 402}));
+
+TEST(BatcherPrecedenceTest, HeadOfSelectionIsNeverDroppedForSpace) {
+  // For every scheme: if anything was placed, the first eligible request of
+  // the selection is among the placed ones.
+  Rng rng(777);
+  for (int iter = 0; iter < 40; ++iter) {
+    const Index B = 2, L = 20, z = 10;
+    std::vector<Request> selected;
+    for (int i = 0; i < 12; ++i) {
+      Request r;
+      r.id = i;
+      r.length = rng.uniform_int(1, 9);  // everything fits a slot
+      selected.push_back(std::move(r));
+    }
+    for (const auto scheme :
+         {Scheme::kNaive, Scheme::kConcatPure, Scheme::kConcatSlotted}) {
+      const auto batcher = make_batcher(scheme, z);
+      const auto built = batcher->build(selected, B, L);
+      const auto ids = built.plan.request_ids();
+      ASSERT_FALSE(ids.empty());
+      EXPECT_NE(std::find(ids.begin(), ids.end(), 0), ids.end())
+          << scheme_name(scheme) << " dropped the selection head";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tcb

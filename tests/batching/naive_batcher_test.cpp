@@ -1,0 +1,66 @@
+#include "batching/naive_batcher.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tcb {
+namespace {
+
+Request req(RequestId id, Index len, double deadline = 1.0) {
+  Request r;
+  r.id = id;
+  r.length = len;
+  r.deadline = deadline;
+  return r;
+}
+
+TEST(NaiveBatcherTest, OneRequestPerRowPaddedToLongest) {
+  const NaiveBatcher batcher;
+  const auto built = batcher.build({req(0, 5), req(1, 9), req(2, 3)}, 4, 20);
+  built.plan.validate();
+  EXPECT_EQ(built.plan.scheme, Scheme::kNaive);
+  ASSERT_EQ(built.plan.rows.size(), 3u);
+  for (const auto& row : built.plan.rows) {
+    EXPECT_EQ(row.segments.size(), 1u);
+    EXPECT_EQ(row.width, 9);  // padded to the longest request
+  }
+  EXPECT_EQ(built.plan.used_tokens(), 17);
+  EXPECT_EQ(built.plan.padded_tokens(), 27 - 17);
+  EXPECT_TRUE(built.leftover.empty());
+}
+
+TEST(NaiveBatcherTest, TakesAtMostBRequestsInOrder) {
+  const NaiveBatcher batcher;
+  const auto built =
+      batcher.build({req(0, 2), req(1, 2), req(2, 2), req(3, 2)}, 2, 10);
+  ASSERT_EQ(built.plan.rows.size(), 2u);
+  EXPECT_EQ(built.plan.rows[0].segments[0].request_id, 0);
+  EXPECT_EQ(built.plan.rows[1].segments[0].request_id, 1);
+  ASSERT_EQ(built.leftover.size(), 2u);
+  EXPECT_EQ(built.leftover[0].id, 2);
+  EXPECT_EQ(built.leftover[1].id, 3);
+}
+
+TEST(NaiveBatcherTest, OversizedRequestsAreLeftover) {
+  const NaiveBatcher batcher;
+  const auto built = batcher.build({req(0, 30), req(1, 4)}, 4, 10);
+  ASSERT_EQ(built.plan.rows.size(), 1u);
+  EXPECT_EQ(built.plan.rows[0].segments[0].request_id, 1);
+  ASSERT_EQ(built.leftover.size(), 1u);
+  EXPECT_EQ(built.leftover[0].id, 0);
+}
+
+TEST(NaiveBatcherTest, EmptySelection) {
+  const NaiveBatcher batcher;
+  const auto built = batcher.build({}, 4, 10);
+  EXPECT_TRUE(built.plan.empty());
+  EXPECT_TRUE(built.leftover.empty());
+}
+
+TEST(NaiveBatcherTest, BadGeometryThrows) {
+  const NaiveBatcher batcher;
+  EXPECT_THROW((void)batcher.build({req(0, 1)}, 0, 10), std::invalid_argument);
+  EXPECT_THROW((void)batcher.build({req(0, 1)}, 4, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tcb

@@ -1,0 +1,83 @@
+#include "batching/packed_batch.hpp"
+
+#include <gtest/gtest.h>
+
+#include "batching/concat_batcher.hpp"
+
+namespace tcb {
+namespace {
+
+Request req_with_tokens(RequestId id, std::vector<Index> tokens) {
+  Request r;
+  r.id = id;
+  r.length = static_cast<Index>(tokens.size());
+  r.tokens = std::move(tokens);
+  return r;
+}
+
+TEST(PackedBatchTest, CopiesTokensIntoSegments) {
+  const std::vector<Request> reqs = {req_with_tokens(0, {10, 11, 12}),
+                                     req_with_tokens(1, {20, 21})};
+  const ConcatBatcher batcher;
+  const auto built = batcher.build(reqs, 1, 8);
+  const PackedBatch packed = pack_batch(built.plan, reqs);
+  EXPECT_EQ(packed.rows(), 1);
+  EXPECT_EQ(packed.width, 5);
+  EXPECT_EQ(packed.token_at(0, 0), 10);
+  EXPECT_EQ(packed.token_at(0, 2), 12);
+  EXPECT_EQ(packed.token_at(0, 3), 20);
+  EXPECT_EQ(packed.token_at(0, 4), 21);
+}
+
+TEST(PackedBatchTest, PaddingIsPadToken) {
+  const std::vector<Request> reqs = {req_with_tokens(0, {10, 11, 12}),
+                                     req_with_tokens(1, {20})};
+  // Two rows of different widths -> the narrow one is padded.
+  BatchPlan plan;
+  plan.scheme = Scheme::kConcatPure;
+  plan.row_capacity = 4;
+  RowLayout r0;
+  r0.width = 3;
+  r0.segments.push_back(Segment{0, 0, 3, 0});
+  RowLayout r1;
+  r1.width = 1;
+  r1.segments.push_back(Segment{1, 0, 1, 0});
+  plan.rows = {r0, r1};
+  const PackedBatch packed = pack_batch(plan, reqs);
+  EXPECT_EQ(packed.width, 3);
+  EXPECT_EQ(packed.token_at(1, 1), kPadToken);
+  EXPECT_EQ(packed.token_at(1, 2), kPadToken);
+}
+
+TEST(PackedBatchTest, MissingRequestThrows) {
+  BatchPlan plan;
+  plan.scheme = Scheme::kConcatPure;
+  plan.row_capacity = 4;
+  RowLayout row;
+  row.width = 2;
+  row.segments.push_back(Segment{42, 0, 2, 0});
+  plan.rows.push_back(row);
+  EXPECT_THROW((void)pack_batch(plan, std::vector<Request>{}),
+               std::invalid_argument);
+}
+
+TEST(PackedBatchTest, TokenCountMismatchThrows) {
+  const std::vector<Request> reqs = {req_with_tokens(0, {10})};  // 1 token
+  BatchPlan plan;
+  plan.scheme = Scheme::kConcatPure;
+  plan.row_capacity = 4;
+  RowLayout row;
+  row.width = 2;
+  row.segments.push_back(Segment{0, 0, 2, 0});  // claims 2 tokens
+  plan.rows.push_back(row);
+  EXPECT_THROW((void)pack_batch(plan, reqs), std::invalid_argument);
+}
+
+TEST(PackedBatchTest, ReservedTokensAreDistinct) {
+  EXPECT_NE(kPadToken, kBosToken);
+  EXPECT_NE(kBosToken, kEosToken);
+  EXPECT_GT(kFirstWordToken, kEosToken);
+}
+
+}  // namespace
+}  // namespace tcb

@@ -1,0 +1,115 @@
+#include "batching/slotted_batcher.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace tcb {
+namespace {
+
+Request req(RequestId id, Index len) {
+  Request r;
+  r.id = id;
+  r.length = len;
+  return r;
+}
+
+TEST(SlottedBatcherTest, PlacesWithinSlotBoundaries) {
+  const SlottedConcatBatcher batcher(5);
+  const auto built =
+      batcher.build({req(0, 3), req(1, 2), req(2, 4), req(3, 5)}, 2, 20);
+  built.plan.validate();
+  EXPECT_EQ(built.plan.scheme, Scheme::kConcatSlotted);
+  EXPECT_EQ(built.plan.slot_len, 5);
+  EXPECT_TRUE(built.leftover.empty());
+  for (const auto& row : built.plan.rows)
+    for (const auto& seg : row.segments) {
+      const Index slot_begin = seg.slot * 5;
+      EXPECT_GE(seg.offset, slot_begin);
+      EXPECT_LE(seg.offset + seg.length, slot_begin + 5);
+    }
+}
+
+TEST(SlottedBatcherTest, RequestsLongerThanSlotAreDiscarded) {
+  // Paper §5.3: "the ones larger than the slot would be discarded".
+  const SlottedConcatBatcher batcher(4);
+  const auto built = batcher.build({req(0, 6), req(1, 3)}, 2, 16);
+  const auto ids = built.plan.request_ids();
+  EXPECT_EQ(ids, (std::vector<RequestId>{1}));
+  ASSERT_EQ(built.leftover.size(), 1u);
+  EXPECT_EQ(built.leftover[0].id, 0);
+}
+
+TEST(SlottedBatcherTest, ConcatenatesShortRequestsWithinSlot) {
+  const SlottedConcatBatcher batcher(6);
+  const auto built = batcher.build({req(0, 2), req(1, 2), req(2, 2)}, 1, 6);
+  ASSERT_EQ(built.plan.rows.size(), 1u);
+  EXPECT_EQ(built.plan.rows[0].segments.size(), 3u);
+  for (const auto& seg : built.plan.rows[0].segments) EXPECT_EQ(seg.slot, 0);
+}
+
+TEST(SlottedBatcherTest, RowWidthSnapsToSlotBoundary) {
+  const SlottedConcatBatcher batcher(4);
+  const auto built = batcher.build({req(0, 3), req(1, 4), req(2, 2)}, 1, 16);
+  // Slots: [0: 3+?]. 4 won't fit slot 0 (3+4>4) -> slot 1; 2 fits slot 0? No:
+  // first-fit checks slot 0 first: 3+2>4, so 2 goes to slot 2.
+  ASSERT_EQ(built.plan.rows.size(), 1u);
+  EXPECT_EQ(built.plan.rows[0].width, 12);  // three slots used
+}
+
+TEST(SlottedBatcherTest, SlotLenLargerThanCapacityThrows) {
+  const SlottedConcatBatcher batcher(32);
+  EXPECT_THROW((void)batcher.build({req(0, 2)}, 1, 16), std::invalid_argument);
+}
+
+TEST(SlottedBatcherTest, InvalidSlotLenThrows) {
+  EXPECT_THROW(SlottedConcatBatcher(0), std::invalid_argument);
+  EXPECT_THROW(SlottedConcatBatcher(-3), std::invalid_argument);
+}
+
+TEST(SlottedBatcherTest, SlotEqualsCapacityBehavesLikePureConcat) {
+  const SlottedConcatBatcher slotted(10);
+  const auto a = slotted.build({req(0, 4), req(1, 3), req(2, 3)}, 2, 10);
+  EXPECT_TRUE(a.leftover.empty());
+  EXPECT_EQ(a.plan.rows[0].segments.size(), 3u);
+}
+
+TEST(SlottedBatcherTest, PropertyNoSegmentEverStraddles) {
+  Rng rng(99);
+  for (int iter = 0; iter < 50; ++iter) {
+    const Index z = rng.uniform_int(2, 8);
+    const Index L = z * rng.uniform_int(1, 4);
+    std::vector<Request> sel;
+    for (int i = 0; i < 20; ++i)
+      sel.push_back(req(i, rng.uniform_int(1, 10)));
+    const SlottedConcatBatcher batcher(z);
+    const Index rows = 3;
+    const auto built = batcher.build(sel, rows, L);
+    built.plan.validate();  // validate() checks slot boundaries
+
+    // First-fit guarantee: a leftover that fits a slot implies no slot in
+    // the whole batch still has that much free space.
+    const Index slots_per_row = L / z;
+    std::vector<std::vector<Index>> used(
+        static_cast<std::size_t>(rows),
+        std::vector<Index>(static_cast<std::size_t>(slots_per_row), 0));
+    for (std::size_t r = 0; r < built.plan.rows.size(); ++r)
+      for (const auto& seg : built.plan.rows[r].segments)
+        used[r][static_cast<std::size_t>(seg.slot)] += seg.length;
+    Index max_free = 0;
+    for (const auto& row_used : used)
+      for (const auto u : row_used) max_free = std::max(max_free, z - u);
+    for (const auto& r : built.leftover)
+      if (r.length <= z) {
+        EXPECT_GT(r.length, max_free) << "iter " << iter;
+      }
+
+    // Conservation: placed + leftover == selected.
+    EXPECT_EQ(built.plan.request_count() +
+                  static_cast<Index>(built.leftover.size()),
+              20);
+  }
+}
+
+}  // namespace
+}  // namespace tcb

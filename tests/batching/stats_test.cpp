@@ -1,0 +1,78 @@
+#include "batching/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "batching/concat_batcher.hpp"
+#include "batching/naive_batcher.hpp"
+#include "batching/slotted_batcher.hpp"
+
+namespace tcb {
+namespace {
+
+Request req(RequestId id, Index len) {
+  Request r;
+  r.id = id;
+  r.length = len;
+  return r;
+}
+
+TEST(BatchStatsTest, EmptyPlan) {
+  BatchPlan plan;
+  plan.row_capacity = 10;
+  const BatchStats stats = analyze(plan);
+  EXPECT_EQ(stats.rows, 0);
+  EXPECT_EQ(stats.materialized_tokens, 0);
+}
+
+TEST(BatchStatsTest, NaivePaddingAccounted) {
+  const NaiveBatcher batcher;
+  // Lengths 2 and 10 -> both rows 10 wide -> 8 padded tokens.
+  const auto plan = batcher.build({req(0, 2), req(1, 10)}, 4, 16).plan;
+  const BatchStats stats = analyze(plan);
+  EXPECT_EQ(stats.rows, 2);
+  EXPECT_EQ(stats.materialized_tokens, 20);
+  EXPECT_EQ(stats.used_tokens, 12);
+  EXPECT_EQ(stats.padded_tokens, 8);
+  EXPECT_NEAR(stats.padding_ratio, 0.4, 1e-12);
+  // Attention: computed 2 * 10^2 = 200; useful 4 + 100 = 104.
+  EXPECT_EQ(stats.score_entries_computed, 200);
+  EXPECT_EQ(stats.score_entries_useful, 104);
+  EXPECT_NEAR(stats.attention_redundancy, 1.0 - 104.0 / 200.0, 1e-12);
+}
+
+TEST(BatchStatsTest, ConcatReducesPaddingButKeepsAttentionRedundancy) {
+  const std::vector<Request> reqs = {req(0, 5), req(1, 5), req(2, 5),
+                                     req(3, 5)};
+  const NaiveBatcher naive;
+  const ConcatBatcher concat;
+  const auto naive_stats = analyze(naive.build(reqs, 4, 20).plan);
+  const auto concat_stats = analyze(concat.build(reqs, 1, 20).plan);
+  EXPECT_LE(concat_stats.padding_ratio, naive_stats.padding_ratio);
+  // One 20-wide concat row computes 400 entries for 100 useful -> 75%
+  // redundancy, the cost pure ConcatBatching pays (paper §4.2 motivation).
+  EXPECT_NEAR(concat_stats.attention_redundancy, 0.75, 1e-12);
+}
+
+TEST(BatchStatsTest, SlottingRemovesAttentionRedundancy) {
+  const std::vector<Request> reqs = {req(0, 5), req(1, 5), req(2, 5),
+                                     req(3, 5)};
+  const ConcatBatcher pure;
+  const SlottedConcatBatcher slotted(5);
+  const auto pure_stats = analyze(pure.build(reqs, 1, 20).plan);
+  const auto slot_stats = analyze(slotted.build(reqs, 1, 20).plan);
+  EXPECT_EQ(slot_stats.score_entries_computed, 4 * 25);
+  EXPECT_NEAR(slot_stats.attention_redundancy, 0.0, 1e-12);
+  EXPECT_LT(slot_stats.attention_redundancy, pure_stats.attention_redundancy);
+  EXPECT_EQ(slot_stats.score_entries_useful, pure_stats.score_entries_useful);
+}
+
+TEST(BatchStatsTest, OccupancyAgainstCapacity) {
+  const ConcatBatcher batcher;
+  const auto plan = batcher.build({req(0, 10), req(1, 10)}, 2, 20).plan;
+  const BatchStats stats = analyze(plan);
+  // Both fit row 0: one row of 20 used tokens over capacity 20.
+  EXPECT_NEAR(stats.occupancy, 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace tcb

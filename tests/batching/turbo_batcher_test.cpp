@@ -1,0 +1,118 @@
+#include "batching/turbo_batcher.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tcb {
+namespace {
+
+Request req(RequestId id, Index len, double deadline = 1.0) {
+  Request r;
+  r.id = id;
+  r.length = len;
+  r.deadline = deadline;
+  return r;
+}
+
+TEST(TurboDpTest, SingleGroupWhenLengthsSimilar) {
+  const auto ends = TurboBatcher::dp_partition({10, 10, 11, 11}, 8);
+  EXPECT_EQ(ends, (std::vector<std::size_t>{4}));
+}
+
+TEST(TurboDpTest, SplitsBimodalLengths) {
+  // Padding 2,2,2 up to 50 is far worse than two tight groups.
+  const auto ends = TurboBatcher::dp_partition({2, 2, 2, 50, 50}, 8);
+  EXPECT_EQ(ends, (std::vector<std::size_t>{3, 5}));
+}
+
+TEST(TurboDpTest, RespectsMaxGroupSize) {
+  const auto ends = TurboBatcher::dp_partition({5, 5, 5, 5, 5}, 2);
+  std::size_t begin = 0;
+  for (const auto end : ends) {
+    EXPECT_LE(end - begin, 2u);
+    begin = end;
+  }
+  EXPECT_EQ(begin, 5u);
+}
+
+TEST(TurboDpTest, OptimalCostOnKnownInstance) {
+  // lengths 1,1,10 with group overhead C = 32:
+  //   {1,1,10}       -> 3*10 + C        = 62   (optimal)
+  //   {1,1},{10}     -> 2 + C + 10 + C  = 76
+  //   {1},{1,10}     -> 1 + C + 20 + C  = 85
+  const auto ends = TurboBatcher::dp_partition({1, 1, 10}, 8);
+  EXPECT_EQ(ends, (std::vector<std::size_t>{3}));
+
+  // With a large spread the split pays for its overhead:
+  //   {1,1,100}      -> 300 + C        = 332
+  //   {1,1},{100}    -> 2 + C + 100 + C = 166  (optimal)
+  const auto ends2 = TurboBatcher::dp_partition({1, 1, 100}, 8);
+  EXPECT_EQ(ends2, (std::vector<std::size_t>{2, 3}));
+}
+
+TEST(TurboDpTest, EmptyAndInvalid) {
+  EXPECT_TRUE(TurboBatcher::dp_partition({}, 4).empty());
+  EXPECT_THROW((void)TurboBatcher::dp_partition({1}, 0), std::invalid_argument);
+}
+
+TEST(TurboBatcherTest, BatchesSimilarLengthsTogether) {
+  const TurboBatcher batcher;
+  const auto built = batcher.build(
+      {req(0, 3), req(1, 40), req(2, 4), req(3, 41), req(4, 3)}, 8, 100);
+  built.plan.validate();
+  EXPECT_EQ(built.plan.scheme, Scheme::kTurbo);
+  // One group runs; its rows all share the group width.
+  ASSERT_FALSE(built.plan.rows.empty());
+  const Index width = built.plan.rows[0].width;
+  for (const auto& row : built.plan.rows) EXPECT_EQ(row.width, width);
+  // Short and long requests must not be mixed in one batch.
+  Index min_len = 1000, max_len = 0;
+  for (const auto& row : built.plan.rows) {
+    min_len = std::min(min_len, row.segments[0].length);
+    max_len = std::max(max_len, row.segments[0].length);
+  }
+  EXPECT_LE(max_len - min_len, 2);
+}
+
+TEST(TurboBatcherTest, ExecutesGroupWithEarliestDeadline) {
+  const TurboBatcher batcher;
+  // Two clear groups; the long one holds the urgent request.
+  const auto built = batcher.build(
+      {req(0, 3, 9.0), req(1, 3, 9.0), req(2, 50, 0.5), req(3, 51, 9.0)}, 8,
+      100);
+  std::vector<RequestId> served = built.plan.request_ids();
+  EXPECT_NE(std::find(served.begin(), served.end(), 2), served.end());
+}
+
+TEST(TurboBatcherTest, LeftoverHoldsEverythingNotExecuted) {
+  const TurboBatcher batcher;
+  const auto built = batcher.build(
+      {req(0, 3, 0.1), req(1, 4, 0.2), req(2, 50), req(3, 51)}, 8, 100);
+  EXPECT_EQ(built.plan.request_count() + static_cast<Index>(built.leftover.size()),
+            4);
+}
+
+TEST(TurboBatcherTest, OversizedRequestsNeverPlaced) {
+  const TurboBatcher batcher;
+  const auto built = batcher.build({req(0, 200), req(1, 5)}, 4, 100);
+  for (const auto id : built.plan.request_ids()) EXPECT_NE(id, 0);
+  bool in_leftover = false;
+  for (const auto& r : built.leftover) in_leftover |= (r.id == 0);
+  EXPECT_TRUE(in_leftover);
+}
+
+TEST(TurboBatcherTest, GroupRespectsBatchRows) {
+  const TurboBatcher batcher;
+  std::vector<Request> reqs;
+  for (int i = 0; i < 10; ++i) reqs.push_back(req(i, 10));
+  const auto built = batcher.build(reqs, 4, 100);
+  EXPECT_LE(built.plan.rows.size(), 4u);
+}
+
+TEST(TurboBatcherTest, EmptySelection) {
+  const TurboBatcher batcher;
+  const auto built = batcher.build({}, 4, 100);
+  EXPECT_TRUE(built.plan.empty());
+}
+
+}  // namespace
+}  // namespace tcb

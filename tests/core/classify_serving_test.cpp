@@ -1,0 +1,88 @@
+// Encoder-only classification serving through the TcbSystem facade.
+#include <gtest/gtest.h>
+
+#include "core/tcb.hpp"
+
+namespace tcb {
+namespace {
+
+TcbConfig small_config() {
+  TcbConfig cfg;
+  cfg.model = ModelConfig::test_scale();
+  cfg.sched.batch_rows = 4;
+  cfg.sched.row_capacity = 24;
+  return cfg;
+}
+
+WorkloadConfig small_workload(std::uint64_t seed) {
+  WorkloadConfig w;
+  w.rate = 40;
+  w.duration = 1.0;
+  w.min_len = 2;
+  w.max_len = 16;
+  w.mean_len = 6;
+  w.len_variance = 6;
+  w.deadline_slack_min = 5.0;
+  w.deadline_slack_max = 9.0;
+  w.seed = seed;
+  w.with_tokens = true;
+  w.vocab_size = ModelConfig::test_scale().vocab_size;
+  return w;
+}
+
+TEST(ClassifyServingTest, EveryRequestGetsALabel) {
+  const TcbConfig cfg = small_config();
+  const TcbSystem tcb(cfg);
+  const ClassificationHead head(cfg.model.d_model, 3, 11);
+  const auto trace = generate_trace(small_workload(3));
+  const auto result = tcb.serve_classify(trace, head);
+  EXPECT_EQ(result.failed, 0u);
+  ASSERT_EQ(result.responses.size(), trace.size());
+  for (const auto& resp : result.responses) {
+    EXPECT_GE(resp.label, 0);
+    EXPECT_LT(resp.label, 3);
+    EXPECT_TRUE(resp.tokens.empty());  // no decoding in this mode
+    EXPECT_GE(resp.completed_at, resp.scheduled_at);
+  }
+}
+
+TEST(ClassifyServingTest, LabelsMatchStandaloneClassification) {
+  const TcbConfig cfg = small_config();
+  const TcbSystem tcb(cfg);
+  const ClassificationHead head(cfg.model.d_model, 4, 13);
+  const auto trace = generate_trace(small_workload(5));
+  const auto result = tcb.serve_classify(trace, head);
+  ASSERT_EQ(result.responses.size(), trace.size());
+
+  for (const auto& resp : result.responses) {
+    const Request& req = trace[static_cast<std::size_t>(resp.id)];
+    BatchPlan plan;
+    plan.scheme = Scheme::kConcatPure;
+    plan.row_capacity = req.length;
+    RowLayout row;
+    row.width = req.length;
+    row.segments.push_back(Segment{req.id, 0, req.length, 0});
+    plan.rows.push_back(row);
+    const InferenceOptions opts;
+    const auto memory = tcb.model().encode(pack_batch(plan, {req}), opts);
+    EXPECT_EQ(resp.label, head.classify(memory).at(req.id))
+        << "request " << resp.id;
+  }
+}
+
+TEST(ClassifyServingTest, ClassificationBatchesAreFasterThanDecoding) {
+  // Encoder-only serving should finish the same trace in less virtual time
+  // than full seq2seq serving (no auto-regressive loop).
+  TcbConfig cfg = small_config();
+  cfg.max_decode_steps = 16;
+  const TcbSystem tcb(cfg);
+  const ClassificationHead head(cfg.model.d_model, 2, 17);
+  const auto trace = generate_trace(small_workload(7));
+  const auto classify = tcb.serve_classify(trace, head);
+  const auto decode = tcb.serve(trace);
+  EXPECT_EQ(classify.responses.size(), decode.responses.size());
+  EXPECT_LT(classify.makespan, decode.makespan);
+}
+
+}  // namespace
+}  // namespace tcb

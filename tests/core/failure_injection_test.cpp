@@ -1,0 +1,136 @@
+// Failure injection: malformed or adversarial requests must be rejected or
+// failed cleanly — never crash, hang, or corrupt other requests' results.
+#include <gtest/gtest.h>
+
+#include "core/tcb.hpp"
+#include "sched/factory.hpp"
+#include "serving/simulator.hpp"
+
+namespace tcb {
+namespace {
+
+TcbConfig small_config() {
+  TcbConfig cfg;
+  cfg.model = ModelConfig::test_scale();
+  cfg.sched.batch_rows = 4;
+  cfg.sched.row_capacity = 24;
+  cfg.max_decode_steps = 4;
+  return cfg;
+}
+
+Request token_request(RequestId id, Index len, double arrival,
+                      double deadline, Index vocab) {
+  Request r;
+  r.id = id;
+  r.length = len;
+  r.arrival = arrival;
+  r.deadline = deadline;
+  Rng rng(static_cast<std::uint64_t>(id) + 1);
+  for (Index t = 0; t < len; ++t)
+    r.tokens.push_back(rng.uniform_int(kFirstWordToken, vocab - 1));
+  return r;
+}
+
+TEST(FailureInjectionTest, ZeroLengthRequestFailsCleanly) {
+  const TcbConfig cfg = small_config();
+  const TcbSystem tcb(cfg);
+  std::vector<Request> trace = {
+      token_request(0, 5, 0.0, 9.0, cfg.model.vocab_size),
+      token_request(1, 0, 0.0, 9.0, cfg.model.vocab_size),  // degenerate
+      token_request(2, 5, 0.0, 9.0, cfg.model.vocab_size),
+  };
+  const auto result = tcb.serve(trace);
+  EXPECT_EQ(result.failed, 1u);
+  EXPECT_EQ(result.responses.size(), 2u);
+}
+
+TEST(FailureInjectionTest, OversizedRequestFailsOthersSurvive) {
+  const TcbConfig cfg = small_config();
+  const TcbSystem tcb(cfg);
+  std::vector<Request> trace = {
+      token_request(0, 5, 0.0, 9.0, cfg.model.vocab_size),
+      token_request(1, 100, 0.0, 9.0, cfg.model.vocab_size),  // > L
+  };
+  const auto result = tcb.serve(trace);
+  EXPECT_EQ(result.failed, 1u);
+  ASSERT_EQ(result.responses.size(), 1u);
+  EXPECT_EQ(result.responses[0].id, 0);
+}
+
+TEST(FailureInjectionTest, AlreadyExpiredRequestFailsCleanly) {
+  const TcbConfig cfg = small_config();
+  const TcbSystem tcb(cfg);
+  std::vector<Request> trace = {
+      token_request(0, 5, 1.0, 0.5, cfg.model.vocab_size),  // deadline < arrival
+      token_request(1, 5, 1.0, 9.0, cfg.model.vocab_size),
+  };
+  const auto result = tcb.serve(trace);
+  EXPECT_EQ(result.failed, 1u);
+  ASSERT_EQ(result.responses.size(), 1u);
+  EXPECT_EQ(result.responses[0].id, 1);
+}
+
+TEST(FailureInjectionTest, TokenLengthMismatchRejectedUpFront) {
+  const TcbConfig cfg = small_config();
+  const TcbSystem tcb(cfg);
+  Request bad = token_request(0, 5, 0.0, 9.0, cfg.model.vocab_size);
+  bad.length = 7;  // disagrees with tokens.size()
+  EXPECT_THROW((void)tcb.serve({bad}), std::invalid_argument);
+}
+
+TEST(FailureInjectionTest, SimulatorHandlesDegenerateRequestsInBulk) {
+  SchedulerConfig sc;
+  sc.batch_rows = 8;
+  sc.row_capacity = 50;
+  const auto das = make_scheduler("das", sc);
+  const AnalyticalCostModel cost(ModelConfig::paper_scale(),
+                                 HardwareProfile::v100_like());
+  SimulatorConfig sim;
+  sim.scheme = Scheme::kConcatPure;
+
+  std::vector<Request> trace;
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    Request r;
+    r.id = i;
+    r.arrival = rng.uniform(0.0, 1.0);
+    r.deadline = r.arrival + rng.uniform(-0.5, 1.0);  // some pre-expired
+    r.length = rng.uniform_int(0, 80);                // some 0, some > L
+    trace.push_back(std::move(r));
+  }
+  std::sort(trace.begin(), trace.end(),
+            [](const Request& a, const Request& b) { return a.arrival < b.arrival; });
+  const auto report = ServingSimulator(*das, cost, sim).run(trace);
+  EXPECT_EQ(report.completed + report.failed, report.arrived);
+  EXPECT_GT(report.failed, 0u);
+  EXPECT_GT(report.completed, 0u);
+}
+
+TEST(FailureInjectionTest, ZeroLengthSegmentsDoNotCorruptNeighbors) {
+  // Even if a zero-length segment sneaks into a plan, the engine must keep
+  // other requests' outputs identical to isolated inference.
+  const ModelConfig cfg = ModelConfig::test_scale();
+  const Seq2SeqModel model(cfg);
+  Request good = token_request(0, 6, 0, 1, cfg.vocab_size);
+  Request empty;  // zero length
+  empty.id = 1;
+
+  BatchPlan plan;
+  plan.scheme = Scheme::kConcatPure;
+  plan.row_capacity = 12;
+  RowLayout row;
+  row.width = 6;
+  row.segments.push_back(Segment{0, 0, 6, 0});
+  plan.rows.push_back(row);
+  // (A 0-length segment cannot be expressed in a valid plan — validate()
+  // rejects it — so the "neighbor corruption" scenario reduces to running
+  // the good request and checking stability.)
+  InferenceOptions opts;
+  opts.max_decode_steps = 4;
+  const auto batched = model.infer(pack_batch(plan, {good}), opts);
+  const auto again = model.infer(pack_batch(plan, {good}), opts);
+  EXPECT_EQ(batched.outputs.at(0), again.outputs.at(0));
+}
+
+}  // namespace
+}  // namespace tcb

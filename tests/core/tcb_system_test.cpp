@@ -1,0 +1,149 @@
+#include "core/tcb.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tcb {
+namespace {
+
+TcbConfig small_config() {
+  TcbConfig cfg;
+  cfg.model = ModelConfig::test_scale();
+  cfg.sched.batch_rows = 4;
+  cfg.sched.row_capacity = 24;
+  cfg.max_decode_steps = 6;
+  return cfg;
+}
+
+WorkloadConfig small_workload(std::uint64_t seed, bool tokens = true) {
+  WorkloadConfig w;
+  w.rate = 30;
+  w.duration = 1.0;
+  w.min_len = 2;
+  w.max_len = 16;
+  w.mean_len = 6;
+  w.len_variance = 6;
+  w.deadline_slack_min = 5.0;  // lax: everything should be servable
+  w.deadline_slack_max = 9.0;
+  w.seed = seed;
+  w.with_tokens = tokens;
+  w.vocab_size = ModelConfig::test_scale().vocab_size;
+  return w;
+}
+
+TEST(TcbConfigTest, ValidationWiring) {
+  TcbConfig cfg = small_config();
+  cfg.validate();
+  cfg.sched.row_capacity = cfg.model.max_len + 1;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = small_config();
+  cfg.scheduler = "unknown";
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = small_config();
+  cfg.max_decode_steps = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(TcbSystemTest, ServeAnswersEveryRequestUnderLaxDeadlines) {
+  const TcbSystem tcb(small_config());
+  const auto trace = generate_trace(small_workload(3));
+  const auto result = tcb.serve(trace);
+  EXPECT_EQ(result.failed, 0u);
+  EXPECT_EQ(result.responses.size(), trace.size());
+  for (const auto& resp : result.responses) {
+    EXPECT_GE(resp.completed_at, resp.scheduled_at);
+    EXPECT_FALSE(resp.tokens.empty());
+  }
+}
+
+TEST(TcbSystemTest, ServeRejectsTracesWithoutTokens) {
+  const TcbSystem tcb(small_config());
+  const auto trace = generate_trace(small_workload(3, /*tokens=*/false));
+  EXPECT_THROW((void)tcb.serve(trace), std::invalid_argument);
+}
+
+TEST(TcbSystemTest, ResponsesMatchStandaloneInference) {
+  // Serving through the full system (scheduler + slotted batching + engine)
+  // must return the same tokens as per-request inference — the system-level
+  // version of the equivalence property.
+  const TcbConfig cfg = small_config();
+  const TcbSystem tcb(cfg);
+  const auto trace = generate_trace(small_workload(5));
+  const auto result = tcb.serve(trace);
+  ASSERT_EQ(result.responses.size(), trace.size());
+
+  for (const auto& resp : result.responses) {
+    const Request& req = trace[static_cast<std::size_t>(resp.id)];
+    BatchPlan plan;
+    plan.scheme = Scheme::kConcatPure;
+    plan.row_capacity = req.length;
+    RowLayout row;
+    row.width = req.length;
+    row.segments.push_back(Segment{req.id, 0, req.length, 0});
+    plan.rows.push_back(row);
+    const PackedBatch packed = pack_batch(plan, {req});
+    InferenceOptions opts;
+    opts.max_decode_steps = cfg.max_decode_steps;
+    const auto alone = tcb.model().infer(packed, opts);
+    EXPECT_EQ(resp.tokens, alone.outputs.at(req.id)) << "request " << resp.id;
+  }
+}
+
+TEST(TcbSystemTest, SimulateProducesConsistentReport) {
+  const TcbSystem tcb(small_config());
+  WorkloadConfig w = small_workload(7, /*tokens=*/false);
+  w.rate = 100;
+  w.duration = 3.0;
+  const auto trace = generate_trace(w);
+  const auto report = tcb.simulate(trace);
+  EXPECT_EQ(report.arrived, trace.size());
+  EXPECT_EQ(report.completed + report.failed, report.arrived);
+}
+
+TEST(TcbSystemTest, TightDeadlinesCauseFailures) {
+  TcbConfig cfg = small_config();
+  const TcbSystem tcb(cfg);
+  WorkloadConfig w = small_workload(11);
+  w.rate = 300;                  // overload
+  w.deadline_slack_min = 0.001;  // nearly impossible deadlines
+  w.deadline_slack_max = 0.002;
+  const auto trace = generate_trace(w);
+  const auto result = tcb.serve(trace);
+  EXPECT_GT(result.failed, 0u);
+  EXPECT_EQ(result.responses.size() + result.failed, trace.size());
+}
+
+TEST(TcbSystemTest, EverySchemeServesCorrectly) {
+  for (const auto scheme : {Scheme::kNaive, Scheme::kTurbo,
+                            Scheme::kConcatPure, Scheme::kConcatSlotted}) {
+    TcbConfig cfg = small_config();
+    cfg.scheme = scheme;
+    cfg.scheduler = scheme == Scheme::kConcatSlotted ? "slotted-das" : "das";
+    const TcbSystem tcb(cfg);
+    const auto trace = generate_trace(small_workload(13));
+    const auto result = tcb.serve(trace);
+    EXPECT_EQ(result.failed, 0u) << scheme_name(scheme);
+    EXPECT_EQ(result.responses.size(), trace.size()) << scheme_name(scheme);
+  }
+}
+
+TEST(TcbSystemTest, SchemesAgreeOnOutputTokens) {
+  // The batching scheme must never change WHAT is computed, only how fast.
+  TcbConfig naive_cfg = small_config();
+  naive_cfg.scheme = Scheme::kNaive;
+  naive_cfg.scheduler = "fcfs";
+  TcbConfig slotted_cfg = small_config();
+  slotted_cfg.scheme = Scheme::kConcatSlotted;
+  slotted_cfg.scheduler = "slotted-das";
+
+  const auto trace = generate_trace(small_workload(17));
+  const auto a = TcbSystem(naive_cfg).serve(trace);
+  const auto b = TcbSystem(slotted_cfg).serve(trace);
+  ASSERT_EQ(a.responses.size(), trace.size());
+  ASSERT_EQ(b.responses.size(), trace.size());
+  for (std::size_t i = 0; i < a.responses.size(); ++i)
+    EXPECT_EQ(a.responses[i].tokens, b.responses[i].tokens)
+        << "request " << a.responses[i].id;
+}
+
+}  // namespace
+}  // namespace tcb

@@ -1,0 +1,163 @@
+#include "nn/attention.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tensor/ops.hpp"
+
+namespace tcb {
+namespace {
+
+ModelConfig tiny() {
+  ModelConfig cfg = ModelConfig::test_scale();
+  cfg.d_model = 16;
+  cfg.n_heads = 2;
+  return cfg;
+}
+
+/// A one-row plan with the given segment lengths, optionally slotted.
+BatchPlan one_row_plan(std::initializer_list<Index> seg_lengths,
+                       Index capacity, Index slot_len = 0) {
+  BatchPlan plan;
+  plan.scheme = slot_len > 0 ? Scheme::kConcatSlotted : Scheme::kConcatPure;
+  plan.row_capacity = capacity;
+  plan.slot_len = slot_len;
+  RowLayout row;
+  Index offset = 0;
+  RequestId id = 0;
+  for (const Index len : seg_lengths) {
+    if (slot_len > 0 && offset % slot_len + len > slot_len)
+      offset = (offset / slot_len + 1) * slot_len;  // next slot boundary
+    row.segments.push_back(
+        Segment{id++, offset, len, slot_len > 0 ? offset / slot_len : 0});
+    offset += len;
+  }
+  row.width = slot_len > 0
+                  ? std::min(((offset + slot_len - 1) / slot_len) * slot_len,
+                             capacity)
+                  : offset;
+  plan.rows.push_back(row);
+  plan.validate();
+  return plan;
+}
+
+TEST(AttentionTest, OutputShapeMatchesInput) {
+  const ModelConfig cfg = tiny();
+  Rng rng(1);
+  const MultiHeadAttention mha(cfg, rng);
+  const BatchPlan plan = one_row_plan({3, 4}, 8);
+  Rng data(2);
+  const Tensor x = Tensor::random_uniform(Shape{7, cfg.d_model}, data, 1.0f);
+  const Tensor y =
+      mha.encoder_forward(x, plan, 7, AttentionMode::kPureConcat);
+  EXPECT_EQ(y.shape(), x.shape());
+}
+
+TEST(AttentionTest, SegmentsDoNotInfluenceEachOther) {
+  // Changing segment B's content must not change segment A's output.
+  const ModelConfig cfg = tiny();
+  Rng rng(1);
+  const MultiHeadAttention mha(cfg, rng);
+  const BatchPlan plan = one_row_plan({3, 3}, 6);
+
+  Rng data(5);
+  Tensor x1 = Tensor::random_uniform(Shape{6, cfg.d_model}, data, 1.0f);
+  Tensor x2 = x1.clone();
+  for (Index i = 3; i < 6; ++i)
+    for (Index j = 0; j < cfg.d_model; ++j) x2.at(i, j) += 1.0f;
+
+  const Tensor y1 = mha.encoder_forward(x1, plan, 6, AttentionMode::kPureConcat);
+  const Tensor y2 = mha.encoder_forward(x2, plan, 6, AttentionMode::kPureConcat);
+  for (Index i = 0; i < 3; ++i)
+    for (Index j = 0; j < cfg.d_model; ++j)
+      EXPECT_EQ(y1.at(i, j), y2.at(i, j)) << "pos " << i << " dim " << j;
+}
+
+TEST(AttentionTest, RowSharedMaskLeaksAcrossSegments) {
+  // Sanity for the failure mode the paper fixes: without the segment mask,
+  // segment B does influence segment A.
+  const ModelConfig cfg = tiny();
+  Rng rng(1);
+  const MultiHeadAttention mha(cfg, rng);
+  const BatchPlan plan = one_row_plan({3, 3}, 6);
+
+  Rng data(5);
+  Tensor x1 = Tensor::random_uniform(Shape{6, cfg.d_model}, data, 1.0f);
+  Tensor x2 = x1.clone();
+  for (Index i = 3; i < 6; ++i)
+    for (Index j = 0; j < cfg.d_model; ++j) x2.at(i, j) += 1.0f;
+
+  const Tensor y1 = mha.encoder_forward(x1, plan, 6, AttentionMode::kPureConcat,
+                                        MaskPolicy::kRowShared);
+  const Tensor y2 = mha.encoder_forward(x2, plan, 6, AttentionMode::kPureConcat,
+                                        MaskPolicy::kRowShared);
+  float diff = 0.0f;
+  for (Index i = 0; i < 3; ++i)
+    for (Index j = 0; j < cfg.d_model; ++j)
+      diff = std::max(diff, std::abs(y1.at(i, j) - y2.at(i, j)));
+  EXPECT_GT(diff, 0.0f);
+}
+
+TEST(AttentionTest, SlottedEqualsPureOnRealTokens) {
+  const ModelConfig cfg = tiny();
+  Rng rng(1);
+  const MultiHeadAttention mha(cfg, rng);
+  const BatchPlan plan = one_row_plan({3, 2, 4}, 12, /*slot_len=*/6);
+  Rng data(9);
+  const Tensor x =
+      Tensor::random_uniform(Shape{plan.rows[0].width, cfg.d_model}, data, 1.0f);
+
+  const Tensor pure = mha.encoder_forward(x, plan, plan.rows[0].width,
+                                          AttentionMode::kPureConcat);
+  const Tensor slotted = mha.encoder_forward(x, plan, plan.rows[0].width,
+                                             AttentionMode::kSlotted);
+  for (const auto& seg : plan.rows[0].segments)
+    for (Index i = seg.offset; i < seg.offset + seg.length; ++i)
+      for (Index j = 0; j < cfg.d_model; ++j)
+        EXPECT_FLOAT_EQ(pure.at(i, j), slotted.at(i, j));
+}
+
+TEST(AttentionTest, SlottedModeWithoutSlotLenThrows) {
+  const ModelConfig cfg = tiny();
+  Rng rng(1);
+  const MultiHeadAttention mha(cfg, rng);
+  const BatchPlan plan = one_row_plan({3}, 4);
+  const Tensor x(Shape{3, cfg.d_model});
+  EXPECT_THROW(
+      (void)mha.encoder_forward(x, plan, 3, AttentionMode::kSlotted),
+      std::invalid_argument);
+}
+
+TEST(AttentionTest, ShapeMismatchThrows) {
+  const ModelConfig cfg = tiny();
+  Rng rng(1);
+  const MultiHeadAttention mha(cfg, rng);
+  const BatchPlan plan = one_row_plan({3}, 4);
+  const Tensor x(Shape{5, cfg.d_model});  // width disagrees with plan
+  EXPECT_THROW(
+      (void)mha.encoder_forward(x, plan, 3, AttentionMode::kPureConcat),
+      std::invalid_argument);
+}
+
+TEST(ScoreEntriesTest, PureCountsFullRows) {
+  const BatchPlan plan = one_row_plan({3, 4}, 8);
+  EXPECT_EQ(score_entries(plan, 7, AttentionMode::kPureConcat), 49);
+}
+
+TEST(ScoreEntriesTest, SlottedCountsPerSlotBlocks) {
+  const BatchPlan plan = one_row_plan({3, 2, 4}, 12, 6);
+  // Row width 12 with slot 6: two 6x6 blocks instead of one 12x12.
+  EXPECT_EQ(score_entries(plan, 12, AttentionMode::kSlotted), 72);
+  EXPECT_EQ(score_entries(plan, 12, AttentionMode::kPureConcat), 144);
+}
+
+TEST(ScoreEntriesTest, SlottedNeverExceedsPure) {
+  for (const Index slot : {2, 3, 4, 6, 12}) {
+    const BatchPlan plan = one_row_plan({2, 2, 2, 2}, 12, slot);
+    EXPECT_LE(score_entries(plan, plan.max_width(), AttentionMode::kSlotted),
+              score_entries(plan, plan.max_width(), AttentionMode::kPureConcat))
+        << "slot=" << slot;
+  }
+}
+
+}  // namespace
+}  // namespace tcb

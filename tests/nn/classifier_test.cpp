@@ -1,0 +1,112 @@
+#include "nn/classifier.hpp"
+
+#include <gtest/gtest.h>
+
+#include "batching/concat_batcher.hpp"
+#include "batching/slotted_batcher.hpp"
+
+namespace tcb {
+namespace {
+
+class ClassifierTest : public ::testing::Test {
+ protected:
+  ClassifierTest()
+      : cfg_(ModelConfig::test_scale()),
+        model_(cfg_),
+        head_(cfg_.d_model, 4, /*seed=*/5) {}
+
+  std::vector<Request> make_requests(std::size_t n, std::uint64_t seed) {
+    Rng rng(seed);
+    std::vector<Request> reqs;
+    for (std::size_t i = 0; i < n; ++i) {
+      Request r;
+      r.id = static_cast<RequestId>(i);
+      r.length = rng.uniform_int(2, 10);
+      for (Index t = 0; t < r.length; ++t)
+        r.tokens.push_back(
+            rng.uniform_int(kFirstWordToken, cfg_.vocab_size - 1));
+      reqs.push_back(std::move(r));
+    }
+    return reqs;
+  }
+
+  Index classify_alone(const Request& req) {
+    BatchPlan plan;
+    plan.scheme = Scheme::kConcatPure;
+    plan.row_capacity = req.length;
+    RowLayout row;
+    row.width = req.length;
+    row.segments.push_back(Segment{req.id, 0, req.length, 0});
+    plan.rows.push_back(row);
+    const InferenceOptions opts;
+    const auto memory = model_.encode(pack_batch(plan, {req}), opts);
+    return head_.classify(memory).at(req.id);
+  }
+
+  ModelConfig cfg_;
+  Seq2SeqModel model_;
+  ClassificationHead head_;
+};
+
+TEST_F(ClassifierTest, EveryRequestGetsLogits) {
+  const auto reqs = make_requests(6, 3);
+  const ConcatBatcher batcher;
+  const auto built = batcher.build(reqs, 2, 40);
+  const InferenceOptions opts;
+  const auto memory = model_.encode(pack_batch(built.plan, reqs), opts);
+  const auto logits = head_.logits(memory);
+  EXPECT_EQ(logits.size(), reqs.size());
+  for (const auto& [id, scores] : logits) EXPECT_EQ(scores.size(), 4u);
+}
+
+TEST_F(ClassifierTest, ConcatClassificationMatchesSingleRequest) {
+  const auto reqs = make_requests(7, 7);
+  const ConcatBatcher batcher;
+  const auto built = batcher.build(reqs, 2, 40);
+  const InferenceOptions opts;
+  const auto memory = model_.encode(pack_batch(built.plan, reqs), opts);
+  const auto batched = head_.classify(memory);
+  for (const auto& req : reqs)
+    EXPECT_EQ(batched.at(req.id), classify_alone(req)) << "request " << req.id;
+}
+
+TEST_F(ClassifierTest, SlottedClassificationMatchesSingleRequest) {
+  const auto reqs = make_requests(8, 9);
+  const SlottedConcatBatcher batcher(10);
+  const auto built = batcher.build(reqs, 2, 40);
+  InferenceOptions opts;
+  opts.mode = AttentionMode::kSlotted;
+  const auto memory = model_.encode(pack_batch(built.plan, reqs), opts);
+  const auto batched = head_.classify(memory);
+  for (const auto id : built.plan.request_ids())
+    EXPECT_EQ(batched.at(id),
+              classify_alone(reqs[static_cast<std::size_t>(id)]));
+}
+
+TEST_F(ClassifierTest, DeterministicFromSeed) {
+  const ClassificationHead a(cfg_.d_model, 4, 5);
+  const auto reqs = make_requests(3, 11);
+  const ConcatBatcher batcher;
+  const auto built = batcher.build(reqs, 1, 40);
+  const InferenceOptions opts;
+  const auto memory = model_.encode(pack_batch(built.plan, reqs), opts);
+  EXPECT_EQ(a.classify(memory), head_.classify(memory));
+}
+
+TEST_F(ClassifierTest, InvalidConstructionThrows) {
+  EXPECT_THROW(ClassificationHead(0, 4, 1), std::invalid_argument);
+  EXPECT_THROW(ClassificationHead(16, 1, 1), std::invalid_argument);
+}
+
+TEST_F(ClassifierTest, DimensionMismatchThrows) {
+  const ClassificationHead wrong(cfg_.d_model * 2, 4, 1);
+  const auto reqs = make_requests(2, 13);
+  const ConcatBatcher batcher;
+  const auto built = batcher.build(reqs, 1, 30);
+  const InferenceOptions opts;
+  const auto memory = model_.encode(pack_batch(built.plan, reqs), opts);
+  EXPECT_THROW((void)wrong.logits(memory), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tcb

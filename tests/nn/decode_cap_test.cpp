@@ -1,0 +1,86 @@
+// cap_decode_at_source_length semantics (translation-style budgets).
+#include <gtest/gtest.h>
+
+#include "batching/concat_batcher.hpp"
+#include "batching/packed_batch.hpp"
+#include "nn/model.hpp"
+
+namespace tcb {
+namespace {
+
+class DecodeCapTest : public ::testing::Test {
+ protected:
+  DecodeCapTest() : cfg_(ModelConfig::test_scale()), model_(cfg_) {}
+
+  std::vector<Request> mixed_lengths() {
+    Rng rng(3);
+    std::vector<Request> reqs;
+    for (const Index len : {2, 5, 9}) {
+      Request r;
+      r.id = static_cast<RequestId>(reqs.size());
+      r.length = len;
+      for (Index t = 0; t < len; ++t)
+        r.tokens.push_back(
+            rng.uniform_int(kFirstWordToken, cfg_.vocab_size - 1));
+      reqs.push_back(std::move(r));
+    }
+    return reqs;
+  }
+
+  ModelConfig cfg_;
+  Seq2SeqModel model_;
+};
+
+TEST_F(DecodeCapTest, OutputLengthBoundedBySourceLength) {
+  const auto reqs = mixed_lengths();
+  const ConcatBatcher batcher;
+  const auto built = batcher.build(reqs, 1, 20);
+  const PackedBatch packed = pack_batch(built.plan, reqs);
+  InferenceOptions opts;
+  opts.max_decode_steps = 32;
+  opts.cap_decode_at_source_length = true;
+  const auto result = model_.infer(packed, opts);
+  for (const auto& req : reqs)
+    EXPECT_LE(result.outputs.at(req.id).size(),
+              static_cast<std::size_t>(req.length))
+        << "request " << req.id;
+}
+
+TEST_F(DecodeCapTest, GlobalCapStillApplies) {
+  const auto reqs = mixed_lengths();
+  const ConcatBatcher batcher;
+  const auto built = batcher.build(reqs, 1, 20);
+  const PackedBatch packed = pack_batch(built.plan, reqs);
+  InferenceOptions opts;
+  opts.max_decode_steps = 3;  // tighter than the longest source
+  opts.cap_decode_at_source_length = true;
+  const auto result = model_.infer(packed, opts);
+  for (const auto& req : reqs)
+    EXPECT_LE(result.outputs.at(req.id).size(), 3u);
+}
+
+TEST_F(DecodeCapTest, PrefixAgreesWithUncappedDecode) {
+  // Capping only truncates: the tokens that are produced match the
+  // uncapped run's prefix (tracks are independent streams).
+  const auto reqs = mixed_lengths();
+  const ConcatBatcher batcher;
+  const auto built = batcher.build(reqs, 1, 20);
+  const PackedBatch packed = pack_batch(built.plan, reqs);
+  InferenceOptions capped;
+  capped.max_decode_steps = 16;
+  capped.cap_decode_at_source_length = true;
+  InferenceOptions uncapped;
+  uncapped.max_decode_steps = 16;
+  const auto a = model_.infer(packed, capped);
+  const auto b = model_.infer(packed, uncapped);
+  for (const auto& req : reqs) {
+    const auto& short_out = a.outputs.at(req.id);
+    const auto& long_out = b.outputs.at(req.id);
+    ASSERT_LE(short_out.size(), long_out.size());
+    for (std::size_t i = 0; i < short_out.size(); ++i)
+      EXPECT_EQ(short_out[i], long_out[i]) << "request " << req.id;
+  }
+}
+
+}  // namespace
+}  // namespace tcb

@@ -1,0 +1,165 @@
+#include "nn/decoder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "batching/concat_batcher.hpp"
+#include "batching/packed_batch.hpp"
+#include "batching/slotted_batcher.hpp"
+#include "nn/model.hpp"
+
+namespace tcb {
+namespace {
+
+class DecoderTest : public ::testing::Test {
+ protected:
+  DecoderTest() : cfg_(ModelConfig::test_scale()), model_(cfg_) {}
+
+  static std::vector<Request> make_requests(std::size_t n, Index len,
+                                            const ModelConfig& cfg,
+                                            std::uint64_t seed) {
+    Rng rng(seed);
+    std::vector<Request> reqs;
+    for (std::size_t i = 0; i < n; ++i) {
+      Request r;
+      r.id = static_cast<RequestId>(i);
+      r.length = len;
+      for (Index t = 0; t < len; ++t)
+        r.tokens.push_back(
+            rng.uniform_int(kFirstWordToken, cfg.vocab_size - 1));
+      reqs.push_back(std::move(r));
+    }
+    return reqs;
+  }
+
+  ModelConfig cfg_;
+  Seq2SeqModel model_;
+};
+
+TEST_F(DecoderTest, EveryRequestGetsAnOutput) {
+  const auto reqs = make_requests(5, 4, cfg_, 3);
+  const ConcatBatcher batcher;
+  const auto built = batcher.build(reqs, 2, 12);
+  const PackedBatch packed = pack_batch(built.plan, reqs);
+  InferenceOptions opts;
+  opts.max_decode_steps = 6;
+  const auto result = model_.infer(packed, opts);
+  EXPECT_EQ(result.outputs.size(), reqs.size());
+  for (const auto& req : reqs) {
+    ASSERT_TRUE(result.outputs.contains(req.id));
+    EXPECT_LE(result.outputs.at(req.id).size(), 6u);
+    EXPECT_GE(result.outputs.at(req.id).size(), 1u);
+  }
+}
+
+TEST_F(DecoderTest, StepsBoundedByMaxSteps) {
+  const auto reqs = make_requests(3, 4, cfg_, 5);
+  const ConcatBatcher batcher;
+  const auto built = batcher.build(reqs, 1, 12);
+  const PackedBatch packed = pack_batch(built.plan, reqs);
+  InferenceOptions opts;
+  opts.max_decode_steps = 3;
+  const auto result = model_.infer(packed, opts);
+  EXPECT_LE(result.decode_steps, 3);
+  for (const auto& [id, tokens] : result.outputs) EXPECT_LE(tokens.size(), 3u);
+}
+
+TEST_F(DecoderTest, DeterministicAcrossRuns) {
+  const auto reqs = make_requests(4, 5, cfg_, 7);
+  const ConcatBatcher batcher;
+  const auto built = batcher.build(reqs, 2, 10);
+  const PackedBatch packed = pack_batch(built.plan, reqs);
+  InferenceOptions opts;
+  opts.max_decode_steps = 8;
+  const auto r1 = model_.infer(packed, opts);
+  const auto r2 = model_.infer(packed, opts);
+  for (const auto& req : reqs)
+    EXPECT_EQ(r1.outputs.at(req.id), r2.outputs.at(req.id));
+}
+
+TEST_F(DecoderTest, KvCacheGrowsWithSteps) {
+  const auto reqs = make_requests(4, 5, cfg_, 9);
+  const ConcatBatcher batcher;
+  const auto built = batcher.build(reqs, 2, 10);
+  const PackedBatch packed = pack_batch(built.plan, reqs);
+
+  InferenceOptions short_opts;
+  short_opts.max_decode_steps = 2;
+  InferenceOptions long_opts;
+  long_opts.max_decode_steps = 8;
+  const auto s = model_.infer(packed, short_opts);
+  const auto l = model_.infer(packed, long_opts);
+  EXPECT_GT(s.peak_kv_bytes, 0u);
+  EXPECT_GE(l.peak_kv_bytes, s.peak_kv_bytes);
+}
+
+TEST_F(DecoderTest, EarlyCleaningFreesMemoryUnderSlotted) {
+  const auto reqs = make_requests(8, 4, cfg_, 11);
+  const SlottedConcatBatcher batcher(4);
+  const auto built = batcher.build(reqs, 2, 16);
+  ASSERT_TRUE(built.leftover.empty());
+  const PackedBatch packed = pack_batch(built.plan, reqs);
+
+  InferenceOptions with;
+  with.mode = AttentionMode::kSlotted;
+  with.early_memory_cleaning = true;
+  with.max_decode_steps = 16;
+  InferenceOptions without = with;
+  without.early_memory_cleaning = false;
+
+  const auto on = model_.infer(packed, with);
+  const auto off = model_.infer(packed, without);
+  EXPECT_EQ(off.early_freed_bytes, 0u);
+  // Tokens are random, so some tracks finish (EOS) before others; unless
+  // every track runs to the cap simultaneously, cleaning frees something.
+  // At minimum the cleaned run can never hold MORE memory.
+  EXPECT_LE(on.peak_kv_bytes, off.peak_kv_bytes);
+  // And both modes decode identically.
+  for (const auto& req : reqs)
+    EXPECT_EQ(on.outputs.at(req.id), off.outputs.at(req.id));
+}
+
+TEST_F(DecoderTest, EarlyCleaningIneffectiveUnderPureConcat) {
+  // Paper §4.2.2: early cleaning is not possible for pure ConcatBatching;
+  // the engine must not free anything in that mode even when asked.
+  const auto reqs = make_requests(6, 4, cfg_, 13);
+  const ConcatBatcher batcher;
+  const auto built = batcher.build(reqs, 2, 12);
+  const PackedBatch packed = pack_batch(built.plan, reqs);
+  InferenceOptions opts;
+  opts.mode = AttentionMode::kPureConcat;
+  opts.early_memory_cleaning = true;
+  opts.max_decode_steps = 8;
+  const auto result = model_.infer(packed, opts);
+  EXPECT_EQ(result.early_freed_bytes, 0u);
+}
+
+TEST_F(DecoderTest, EmptyBatchDecodesToNothing) {
+  BatchPlan plan;
+  plan.scheme = Scheme::kConcatPure;
+  plan.row_capacity = 8;
+  const PackedBatch packed = pack_batch(plan, std::vector<Request>{});
+  InferenceOptions opts;
+  const auto result = model_.infer(packed, opts);
+  EXPECT_TRUE(result.outputs.empty());
+  EXPECT_EQ(result.decode_steps, 0);
+}
+
+TEST_F(DecoderTest, WidthBeyondMaxLenThrows) {
+  ModelConfig cfg = ModelConfig::test_scale();
+  cfg.max_len = 8;
+  const Seq2SeqModel model(cfg);
+  const auto reqs = make_requests(1, 12, cfg, 15);
+  BatchPlan plan;
+  plan.scheme = Scheme::kConcatPure;
+  plan.row_capacity = 12;
+  RowLayout row;
+  row.width = 12;
+  row.segments.push_back(Segment{0, 0, 12, 0});
+  plan.rows.push_back(row);
+  const PackedBatch packed = pack_batch(plan, reqs);
+  InferenceOptions opts;
+  EXPECT_THROW((void)model.infer(packed, opts), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tcb

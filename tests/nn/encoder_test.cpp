@@ -1,0 +1,98 @@
+#include "nn/encoder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "batching/concat_batcher.hpp"
+#include "nn/model.hpp"
+#include "tensor/ops.hpp"
+
+namespace tcb {
+namespace {
+
+TEST(EncoderTest, PreservesShape) {
+  const ModelConfig cfg = ModelConfig::test_scale();
+  Rng rng(1);
+  const Encoder enc(cfg, rng);
+  BatchPlan plan;
+  plan.scheme = Scheme::kConcatPure;
+  plan.row_capacity = 8;
+  RowLayout row;
+  row.width = 8;
+  row.segments.push_back(Segment{0, 0, 8, 0});
+  plan.rows.push_back(row);
+  Rng data(2);
+  const Tensor x = Tensor::random_uniform(Shape{8, cfg.d_model}, data, 1.0f);
+  const Tensor y = enc.forward(x, plan, 8, AttentionMode::kPureConcat,
+                               MaskPolicy::kSegment);
+  EXPECT_EQ(y.shape(), x.shape());
+}
+
+TEST(EncoderTest, DeterministicForSameSeed) {
+  const ModelConfig cfg = ModelConfig::test_scale();
+  Rng r1(5), r2(5);
+  const Encoder a(cfg, r1), b(cfg, r2);
+  BatchPlan plan;
+  plan.scheme = Scheme::kConcatPure;
+  plan.row_capacity = 4;
+  RowLayout row;
+  row.width = 4;
+  row.segments.push_back(Segment{0, 0, 4, 0});
+  plan.rows.push_back(row);
+  Rng data(3);
+  const Tensor x = Tensor::random_uniform(Shape{4, cfg.d_model}, data, 1.0f);
+  const Tensor ya = a.forward(x, plan, 4, AttentionMode::kPureConcat,
+                              MaskPolicy::kSegment);
+  const Tensor yb = b.forward(x, plan, 4, AttentionMode::kPureConcat,
+                              MaskPolicy::kSegment);
+  EXPECT_EQ(max_abs_diff(ya, yb), 0.0f);
+}
+
+TEST(EncoderTest, OutputIsLayerNormalized) {
+  // Post-LN architecture: each output row has ~zero mean, ~unit variance.
+  const ModelConfig cfg = ModelConfig::test_scale();
+  Rng rng(7);
+  const Encoder enc(cfg, rng);
+  BatchPlan plan;
+  plan.scheme = Scheme::kConcatPure;
+  plan.row_capacity = 6;
+  RowLayout row;
+  row.width = 6;
+  row.segments.push_back(Segment{0, 0, 6, 0});
+  plan.rows.push_back(row);
+  Rng data(8);
+  const Tensor x = Tensor::random_uniform(Shape{6, cfg.d_model}, data, 1.0f);
+  const Tensor y = enc.forward(x, plan, 6, AttentionMode::kPureConcat,
+                               MaskPolicy::kSegment);
+  for (Index i = 0; i < 6; ++i) {
+    float mean = 0.0f;
+    for (Index j = 0; j < cfg.d_model; ++j) mean += y.at(i, j);
+    mean /= static_cast<float>(cfg.d_model);
+    EXPECT_NEAR(mean, 0.0f, 1e-4f);
+  }
+}
+
+TEST(ModelConfigTest, ValidateCatchesBadConfigs) {
+  ModelConfig cfg = ModelConfig::test_scale();
+  cfg.validate();  // baseline ok
+  cfg.d_model = 30;
+  cfg.n_heads = 4;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);  // 30 % 4 != 0
+  cfg = ModelConfig::test_scale();
+  cfg.vocab_size = 2;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = ModelConfig::test_scale();
+  cfg.n_encoder_layers = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(ModelConfigTest, PaperScaleIsValid) {
+  ModelConfig::paper_scale().validate();
+  EXPECT_EQ(ModelConfig::paper_scale().d_ff, 3072);
+  EXPECT_EQ(ModelConfig::paper_scale().n_heads, 8);
+  EXPECT_EQ(ModelConfig::paper_scale().n_encoder_layers, 3);
+  EXPECT_EQ(ModelConfig::paper_scale().n_decoder_layers, 3);
+  EXPECT_EQ(ModelConfig::paper_scale().max_len, 400);
+}
+
+}  // namespace
+}  // namespace tcb

@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include "nn/embedding.hpp"
+#include "nn/linear.hpp"
+#include "tensor/ops.hpp"
+
+namespace tcb {
+namespace {
+
+TEST(LinearTest, ShapesAndBias) {
+  Rng rng(3);
+  const Linear lin(4, 6, rng);
+  EXPECT_EQ(lin.in_features(), 4);
+  EXPECT_EQ(lin.out_features(), 6);
+  const Tensor x(Shape{2, 4});  // zeros
+  const Tensor y = lin.forward(x);
+  EXPECT_EQ(y.shape(), (Shape{2, 6}));
+  // Zero input -> bias (zero-initialized) -> zero output.
+  for (const float v : y.data()) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(LinearTest, MatchesManualMatmul) {
+  Rng rng(5);
+  const Linear lin(8, 3, rng);
+  Rng data_rng(6);
+  const Tensor x = Tensor::random_uniform(Shape{5, 8}, data_rng, 1.0f);
+  Tensor expected = matmul(x, lin.weight());
+  add_bias_inplace(expected, lin.bias());
+  EXPECT_EQ(max_abs_diff(lin.forward(x), expected), 0.0f);
+}
+
+TEST(LinearTest, DeterministicFromSeed) {
+  Rng r1(9), r2(9);
+  const Linear a(4, 4, r1), b(4, 4, r2);
+  EXPECT_EQ(max_abs_diff(a.weight(), b.weight()), 0.0f);
+}
+
+TEST(EmbeddingTest, LookupCopiesRows) {
+  Rng rng(7);
+  const Embedding emb(10, 4, rng);
+  const std::vector<Index> ids{3, 3, 7};
+  const Tensor x = emb.lookup(ids);
+  EXPECT_EQ(x.shape(), (Shape{3, 4}));
+  for (Index j = 0; j < 4; ++j) {
+    EXPECT_EQ(x.at(0, j), x.at(1, j));  // same id, same vector
+  }
+  bool differs = false;
+  for (Index j = 0; j < 4; ++j)
+    if (x.at(0, j) != x.at(2, j)) differs = true;
+  EXPECT_TRUE(differs);
+}
+
+TEST(EmbeddingTest, OutOfVocabThrows) {
+  Rng rng(7);
+  const Embedding emb(10, 4, rng);
+  const std::vector<Index> bad{10};
+  EXPECT_THROW((void)emb.lookup(bad), std::out_of_range);
+  const std::vector<Index> negative{-1};
+  EXPECT_THROW((void)emb.lookup(negative), std::out_of_range);
+}
+
+TEST(EmbeddingTest, EmptyLookup) {
+  Rng rng(7);
+  const Embedding emb(10, 4, rng);
+  const std::vector<Index> none;
+  const Tensor x = emb.lookup(none);
+  EXPECT_EQ(x.dim(0), 0);
+}
+
+}  // namespace
+}  // namespace tcb

@@ -1,0 +1,112 @@
+#include "nn/positional_encoding.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace tcb {
+namespace {
+
+TEST(PositionalEncodingTest, MatchesSinusoidFormula) {
+  const Index d = 16;
+  const SinusoidalPositionalEncoding pe(32, d);
+  for (const Index pos : {0, 1, 5, 31}) {
+    const float* row = pe.at(pos);
+    for (Index e = 0; 2 * e < d; ++e) {
+      const double angle = pos / std::pow(10000.0, 2.0 * e / d);
+      EXPECT_NEAR(row[2 * e], std::sin(angle), 1e-5f);
+      if (2 * e + 1 < d) {
+        EXPECT_NEAR(row[2 * e + 1], std::cos(angle), 1e-5f);
+      }
+    }
+  }
+}
+
+TEST(PositionalEncodingTest, PositionZeroIsSinZeroCosOne) {
+  const SinusoidalPositionalEncoding pe(4, 8);
+  const float* row = pe.at(0);
+  for (Index e = 0; e < 4; ++e) {
+    EXPECT_FLOAT_EQ(row[2 * e], 0.0f);
+    EXPECT_FLOAT_EQ(row[2 * e + 1], 1.0f);
+  }
+}
+
+TEST(PositionalEncodingTest, OutOfRangeThrows) {
+  const SinusoidalPositionalEncoding pe(8, 4);
+  EXPECT_THROW((void)pe.at(8), std::out_of_range);
+  EXPECT_THROW((void)pe.at(-1), std::out_of_range);
+}
+
+TEST(PositionalEncodingTest, TraditionalUsesRowPosition) {
+  const Index d = 8, width = 4, rows = 2;
+  const SinusoidalPositionalEncoding pe(16, d);
+  Tensor x(Shape{rows * width, d});
+  pe.add_traditional(x, rows, width);
+  // Every row r gets the same encoding at the same column.
+  for (Index p = 0; p < width; ++p)
+    for (Index j = 0; j < d; ++j)
+      EXPECT_EQ(x.at(p, j), x.at(width + p, j));
+  // Column p encodes position p.
+  for (Index j = 0; j < d; ++j) EXPECT_FLOAT_EQ(x.at(2, j), pe.at(2)[j]);
+}
+
+TEST(PositionalEncodingTest, SeparateRestartsPerSegment) {
+  // Row layout: [seg A: 0..2][seg B: 3..5], width 8 (2 padding columns).
+  const Index d = 8, width = 8;
+  const SinusoidalPositionalEncoding pe(16, d);
+  BatchPlan plan;
+  plan.scheme = Scheme::kConcatPure;
+  plan.row_capacity = width;
+  RowLayout row;
+  row.width = 6;
+  row.segments.push_back(Segment{0, 0, 3, 0});
+  row.segments.push_back(Segment{1, 3, 3, 0});
+  plan.rows.push_back(row);
+
+  Tensor x(Shape{width, d});
+  pe.add_separate(x, plan, width);
+  // Segment B's first token encodes position 0, like segment A's first.
+  for (Index j = 0; j < d; ++j) {
+    EXPECT_EQ(x.at(0, j), x.at(3, j));
+    EXPECT_EQ(x.at(1, j), x.at(4, j));
+  }
+  // Padding receives no PE.
+  for (Index j = 0; j < d; ++j) {
+    EXPECT_EQ(x.at(6, j), 0.0f);
+    EXPECT_EQ(x.at(7, j), 0.0f);
+  }
+}
+
+TEST(PositionalEncodingTest, SeparateDiffersFromTraditionalForSecondSegment) {
+  const Index d = 8, width = 6;
+  const SinusoidalPositionalEncoding pe(16, d);
+  BatchPlan plan;
+  plan.scheme = Scheme::kConcatPure;
+  plan.row_capacity = width;
+  RowLayout row;
+  row.width = 6;
+  row.segments.push_back(Segment{0, 0, 3, 0});
+  row.segments.push_back(Segment{1, 3, 3, 0});
+  plan.rows.push_back(row);
+
+  Tensor sep(Shape{width, d}), trad(Shape{width, d});
+  pe.add_separate(sep, plan, width);
+  pe.add_traditional(trad, 1, width);
+
+  // First segment agrees; second segment differs (positions restarted).
+  EXPECT_EQ(max_abs_diff(sep, trad) > 0.0f, true);
+  for (Index j = 0; j < d; ++j) EXPECT_EQ(sep.at(1, j), trad.at(1, j));
+  bool second_differs = false;
+  for (Index j = 0; j < d; ++j)
+    if (sep.at(4, j) != trad.at(4, j)) second_differs = true;
+  EXPECT_TRUE(second_differs);
+}
+
+TEST(PositionalEncodingTest, GeometryMismatchThrows) {
+  const SinusoidalPositionalEncoding pe(8, 4);
+  Tensor x(Shape{6, 4});
+  EXPECT_THROW(pe.add_traditional(x, 2, 4), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tcb

@@ -1,0 +1,105 @@
+#include "parallel/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace tcb {
+namespace {
+
+TEST(ThreadPoolTest, SubmitRunsTask) {
+  ThreadPool pool(2);
+  std::atomic<int> value{0};
+  auto fut = pool.submit([&] { value = 42; });
+  fut.wait();
+  EXPECT_EQ(value, 42);
+}
+
+TEST(ThreadPoolTest, ZeroWorkersRunsInline) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.worker_count(), 0u);
+  EXPECT_EQ(pool.parallelism(), 1u);
+  bool ran = false;
+  pool.submit([&] { ran = true; }).wait();
+  EXPECT_TRUE(ran);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversWholeRangeExactlyOnce) {
+  ThreadPool pool(3);
+  constexpr std::size_t kN = 10007;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.parallel_for(kN, 1, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+  });
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPoolTest, ParallelForEmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for(0, 1, [&](std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPoolTest, ParallelForRespectsGrain) {
+  ThreadPool pool(4);
+  std::atomic<int> chunks{0};
+  // 10 items with grain 10 must run as a single chunk.
+  pool.parallel_for(10, 10, [&](std::size_t b, std::size_t e) {
+    ++chunks;
+    EXPECT_EQ(b, 0u);
+    EXPECT_EQ(e, 10u);
+  });
+  EXPECT_EQ(chunks, 1);
+}
+
+TEST(ThreadPoolTest, ParallelForPropagatesException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.parallel_for(100, 1,
+                        [](std::size_t b, std::size_t) {
+                          if (b == 0) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+  // The pool must still be usable afterwards.
+  std::atomic<int> sum{0};
+  pool.parallel_for(10, 1, [&](std::size_t b, std::size_t e) {
+    sum += static_cast<int>(e - b);
+  });
+  EXPECT_EQ(sum, 10);
+}
+
+TEST(ThreadPoolTest, ParallelSumMatchesSerial) {
+  ThreadPool pool(3);
+  constexpr std::size_t kN = 100000;
+  std::vector<double> data(kN);
+  std::iota(data.begin(), data.end(), 0.0);
+  std::atomic<long long> parallel_sum{0};
+  pool.parallel_for(kN, 128, [&](std::size_t b, std::size_t e) {
+    long long local = 0;
+    for (std::size_t i = b; i < e; ++i) local += static_cast<long long>(data[i]);
+    parallel_sum += local;
+  });
+  EXPECT_EQ(parallel_sum, static_cast<long long>(kN) * (kN - 1) / 2);
+}
+
+TEST(ThreadPoolTest, GlobalPoolIsSingleton) {
+  EXPECT_EQ(&ThreadPool::global(), &ThreadPool::global());
+  EXPECT_GE(ThreadPool::global().parallelism(), 1u);
+}
+
+TEST(ThreadPoolTest, ManyConcurrentSubmits) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 200; ++i)
+    futures.push_back(pool.submit([&] { ++count; }));
+  for (auto& f : futures) f.wait();
+  EXPECT_EQ(count, 200);
+}
+
+}  // namespace
+}  // namespace tcb

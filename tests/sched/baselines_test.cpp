@@ -1,0 +1,101 @@
+#include "sched/baselines.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sched/factory.hpp"
+
+namespace tcb {
+namespace {
+
+Request req(RequestId id, Index len, double deadline, double arrival) {
+  Request r;
+  r.id = id;
+  r.length = len;
+  r.deadline = deadline;
+  r.arrival = arrival;
+  return r;
+}
+
+SchedulerConfig cfg(Index batch_rows = 8) {
+  SchedulerConfig c;
+  c.batch_rows = batch_rows;
+  c.row_capacity = 16;
+  return c;
+}
+
+const std::vector<Request> kPending = {
+    req(0, 8, 3.0, 0.2),
+    req(1, 2, 1.0, 0.3),
+    req(2, 5, 2.0, 0.1),
+};
+
+TEST(BaselinesTest, FcfsOrdersByArrival) {
+  const FcfsScheduler sched(cfg());
+  const auto sel = sched.select(0.5, kPending);
+  ASSERT_EQ(sel.ordered.size(), 3u);
+  EXPECT_EQ(sel.ordered[0].id, 2);
+  EXPECT_EQ(sel.ordered[1].id, 0);
+  EXPECT_EQ(sel.ordered[2].id, 1);
+}
+
+TEST(BaselinesTest, SjfOrdersByLength) {
+  const SjfScheduler sched(cfg());
+  const auto sel = sched.select(0.5, kPending);
+  EXPECT_EQ(sel.ordered[0].id, 1);
+  EXPECT_EQ(sel.ordered[1].id, 2);
+  EXPECT_EQ(sel.ordered[2].id, 0);
+}
+
+TEST(BaselinesTest, DefOrdersByDeadline) {
+  const DefScheduler sched(cfg());
+  const auto sel = sched.select(0.5, kPending);
+  EXPECT_EQ(sel.ordered[0].id, 1);
+  EXPECT_EQ(sel.ordered[1].id, 2);
+  EXPECT_EQ(sel.ordered[2].id, 0);
+}
+
+TEST(BaselinesTest, TiesBrokenById) {
+  const std::vector<Request> tied = {req(5, 4, 1.0, 1.0), req(3, 4, 1.0, 1.0)};
+  const FcfsScheduler fcfs(cfg());
+  EXPECT_EQ(fcfs.select(0.0, tied).ordered[0].id, 3);
+  const SjfScheduler sjf(cfg());
+  EXPECT_EQ(sjf.select(0.0, tied).ordered[0].id, 3);
+  const DefScheduler def(cfg());
+  EXPECT_EQ(def.select(0.0, tied).ordered[0].id, 3);
+}
+
+TEST(BaselinesTest, SelectionCappedAtBatchRows) {
+  // Classic schedulers are not concat-aware: they pick at most B requests
+  // per slot, the highest-priority ones under their ordering.
+  const SjfScheduler sched(cfg(/*batch_rows=*/2));
+  const auto sel = sched.select(0.5, kPending);
+  ASSERT_EQ(sel.ordered.size(), 2u);
+  EXPECT_EQ(sel.ordered[0].id, 1);  // shortest
+  EXPECT_EQ(sel.ordered[1].id, 2);
+}
+
+TEST(BaselinesTest, NamesAreStable) {
+  EXPECT_EQ(FcfsScheduler(cfg()).name(), "FCFS");
+  EXPECT_EQ(SjfScheduler(cfg()).name(), "SJF");
+  EXPECT_EQ(DefScheduler(cfg()).name(), "DEF");
+}
+
+TEST(FactoryTest, BuildsEveryRegisteredScheduler) {
+  for (const auto& name : scheduler_names()) {
+    const auto sched = make_scheduler(name, cfg());
+    ASSERT_NE(sched, nullptr) << name;
+    EXPECT_FALSE(sched->name().empty());
+  }
+}
+
+TEST(FactoryTest, CaseInsensitive) {
+  EXPECT_EQ(make_scheduler("DAS", cfg())->name(), "DAS");
+  EXPECT_EQ(make_scheduler("Fcfs", cfg())->name(), "FCFS");
+}
+
+TEST(FactoryTest, UnknownNameThrows) {
+  EXPECT_THROW((void)make_scheduler("nope", cfg()), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tcb

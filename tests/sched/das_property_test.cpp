@@ -1,0 +1,125 @@
+// Randomized property sweep for every scheduler: selections must be drawn
+// from the pending set without duplication, respect their documented
+// capacity notion, and — for DAS — fit the batch geometry row by row.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "batching/concat_batcher.hpp"
+#include "sched/factory.hpp"
+#include "util/rng.hpp"
+
+namespace tcb {
+namespace {
+
+std::vector<Request> random_pending(Rng& rng, Index row_capacity) {
+  std::vector<Request> pending;
+  const int n = static_cast<int>(rng.uniform_int(0, 120));
+  for (int i = 0; i < n; ++i) {
+    Request r;
+    r.id = i;
+    r.length = rng.uniform_int(1, row_capacity);
+    r.arrival = rng.uniform(0.0, 2.0);
+    r.deadline = r.arrival + rng.uniform(0.1, 3.0);
+    pending.push_back(std::move(r));
+  }
+  return pending;
+}
+
+class SchedulerPropertyTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SchedulerPropertyTest, SelectionsAreWellFormed) {
+  Rng rng(0xABCDEF);
+  SchedulerConfig cfg;
+  cfg.batch_rows = 8;
+  cfg.row_capacity = 40;
+  const auto sched = make_scheduler(GetParam(), cfg);
+
+  for (int iter = 0; iter < 30; ++iter) {
+    const auto pending = random_pending(rng, cfg.row_capacity);
+    const auto sel = sched->select(2.0, pending);
+
+    // Drawn from pending, no duplicates.
+    std::set<RequestId> pending_ids;
+    for (const auto& r : pending) pending_ids.insert(r.id);
+    std::set<RequestId> selected_ids;
+    for (const auto& r : sel.ordered) {
+      EXPECT_TRUE(pending_ids.contains(r.id)) << GetParam();
+      EXPECT_TRUE(selected_ids.insert(r.id).second)
+          << GetParam() << " duplicated request " << r.id;
+    }
+
+    // Slot length only from Slotted-DAS, and always within [1, L].
+    if (GetParam() == "slotted-das") {
+      if (!sel.ordered.empty()) {
+        EXPECT_GE(sel.slot_len, 1);
+        EXPECT_LE(sel.slot_len, cfg.row_capacity);
+      }
+    } else {
+      EXPECT_EQ(sel.slot_len, 0);
+    }
+
+    // Classic baselines cap at B requests; concat-aware policies and DAS may
+    // exceed it but never exceed the pending count.
+    if (GetParam() == "fcfs" || GetParam() == "sjf" || GetParam() == "def") {
+      EXPECT_LE(sel.ordered.size(),
+                static_cast<std::size_t>(cfg.batch_rows));
+    }
+    EXPECT_LE(sel.ordered.size(), pending.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchedulers, SchedulerPropertyTest,
+                         ::testing::Values("das", "slotted-das", "fcfs", "sjf",
+                                           "def", "fcfs-full", "sjf-full",
+                                           "def-full"));
+
+TEST(DasGeometryPropertyTest, SelectionAlwaysPacksWithoutLeftovers) {
+  // DAS builds its selection row by row under the same first-fit discipline
+  // the concat batcher uses, so the batcher must always be able to place
+  // everything DAS selected.
+  Rng rng(0x5EED);
+  SchedulerConfig cfg;
+  cfg.batch_rows = 6;
+  cfg.row_capacity = 30;
+  const auto das = make_scheduler("das", cfg);
+  const ConcatBatcher batcher;
+  for (int iter = 0; iter < 50; ++iter) {
+    const auto pending = random_pending(rng, cfg.row_capacity);
+    const auto sel = das->select(1.0, pending);
+    const auto built =
+        batcher.build(sel.ordered, cfg.batch_rows, cfg.row_capacity);
+    EXPECT_TRUE(built.leftover.empty())
+        << "iter " << iter << ": DAS over-selected by "
+        << built.leftover.size();
+    Index total = 0;
+    for (const auto& r : sel.ordered) total += r.length;
+    EXPECT_LE(total, cfg.batch_rows * cfg.row_capacity);
+  }
+}
+
+TEST(DasMonotonicityPropertyTest, MorePendingNeverReducesSelectedUtility) {
+  // Adding requests to the pool can only improve (or keep) the utility of
+  // what DAS selects for the same geometry.
+  Rng rng(0xFACE);
+  SchedulerConfig cfg;
+  cfg.batch_rows = 4;
+  cfg.row_capacity = 24;
+  const auto das = make_scheduler("das", cfg);
+  for (int iter = 0; iter < 25; ++iter) {
+    auto pending = random_pending(rng, cfg.row_capacity);
+    if (pending.size() < 4) continue;
+    const auto small_sel =
+        das->select(1.0, {pending.begin(), pending.begin() + 3});
+    const auto full_sel = das->select(1.0, pending);
+    auto utility = [](const Selection& sel) {
+      double total = 0.0;
+      for (const auto& r : sel.ordered) total += r.utility();
+      return total;
+    };
+    EXPECT_GE(utility(full_sel) + 1e-9, utility(small_sel)) << "iter " << iter;
+  }
+}
+
+}  // namespace
+}  // namespace tcb

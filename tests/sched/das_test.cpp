@@ -1,0 +1,158 @@
+#include "sched/das.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace tcb {
+namespace {
+
+Request req(RequestId id, Index len, double deadline, double arrival = 0.0) {
+  Request r;
+  r.id = id;
+  r.length = len;
+  r.deadline = deadline;
+  r.arrival = arrival;
+  return r;
+}
+
+SchedulerConfig cfg(Index rows, Index capacity, double eta = 0.5,
+                    double q = 0.5) {
+  SchedulerConfig c;
+  c.batch_rows = rows;
+  c.row_capacity = capacity;
+  c.eta = eta;
+  c.q = q;
+  return c;
+}
+
+TEST(DasTest, TakesEverythingWhenItFitsOneRow) {
+  const DasScheduler das(cfg(2, 20));
+  const std::vector<Request> pending = {req(0, 5, 1), req(1, 6, 1),
+                                        req(2, 7, 1)};
+  const auto sel = das.select(0.0, pending);
+  EXPECT_EQ(sel.ordered.size(), 3u);
+}
+
+TEST(DasTest, PrefersHighUtilityRequests) {
+  // Row fits only ~2 short or 1 long; short requests (higher 1/l) win.
+  const DasScheduler das(cfg(1, 10));
+  std::vector<Request> pending;
+  pending.push_back(req(0, 9, 1));
+  pending.push_back(req(1, 2, 1));
+  pending.push_back(req(2, 2, 1));
+  pending.push_back(req(3, 2, 1));
+  pending.push_back(req(4, 2, 1));
+  pending.push_back(req(5, 2, 1));
+  const auto sel = das.select(0.0, pending);
+  for (const auto& r : sel.ordered) EXPECT_NE(r.id, 0);
+  EXPECT_EQ(sel.ordered.size(), 5u);
+}
+
+TEST(DasTest, DeadlineAwareSetAdmitsUrgentRequests) {
+  // Ten requests of length 4 (utility 0.25 each) and one urgent one of
+  // length 5. Utility threshold q*avg = 0.5*0.25 = 0.125 <= 0.2 = 1/5, so
+  // the urgent request joins N^D and is placed ahead of the laxer ones.
+  const DasScheduler das(cfg(1, 12, 0.5, 0.5));
+  std::vector<Request> pending;
+  for (int i = 0; i < 10; ++i) pending.push_back(req(i, 4, 100.0 + i));
+  pending.push_back(req(10, 5, 0.5));  // urgent
+  const auto sel = das.select(0.0, pending);
+  bool urgent_selected = false;
+  for (const auto& r : sel.ordered) urgent_selected |= (r.id == 10);
+  EXPECT_TRUE(urgent_selected);
+}
+
+TEST(DasTest, SelectionFitsBatchGeometry) {
+  Rng rng(42);
+  const Index B = 4, L = 30;
+  const DasScheduler das(cfg(B, L));
+  std::vector<Request> pending;
+  for (int i = 0; i < 200; ++i)
+    pending.push_back(req(i, rng.uniform_int(1, 20),
+                          rng.uniform(0.0, 5.0)));
+  const auto sel = das.select(0.0, pending);
+  Index total = 0;
+  for (const auto& r : sel.ordered) total += r.length;
+  EXPECT_LE(total, B * L);
+}
+
+TEST(DasTest, NoDuplicateSelections) {
+  Rng rng(43);
+  const DasScheduler das(cfg(4, 25));
+  std::vector<Request> pending;
+  for (int i = 0; i < 100; ++i)
+    pending.push_back(req(i, rng.uniform_int(1, 12), rng.uniform(0.0, 3.0)));
+  const auto sel = das.select(0.0, pending);
+  std::set<RequestId> seen;
+  for (const auto& r : sel.ordered) EXPECT_TRUE(seen.insert(r.id).second);
+}
+
+TEST(DasTest, SelectRowReportsUtilityDominantCount) {
+  const DasScheduler das(cfg(1, 10, 0.5, 0.5));
+  std::vector<Request> candidates;
+  for (int i = 0; i < 20; ++i) candidates.push_back(req(i, 2, 1.0));
+  Index dominant = -1;
+  const auto row = das.select_row(candidates, &dominant);
+  // s = 5 (five 2-token requests fill 10), p = floor(0.5*5) = 2.
+  EXPECT_EQ(dominant, 2);
+  EXPECT_EQ(row.size(), 5u);
+  EXPECT_EQ(candidates.size(), 15u);
+}
+
+TEST(DasTest, SelectRowTakesAllWhenFits) {
+  const DasScheduler das(cfg(1, 100));
+  std::vector<Request> candidates = {req(0, 5, 1), req(1, 5, 1)};
+  Index dominant = -1;
+  const auto row = das.select_row(candidates, &dominant);
+  EXPECT_EQ(row.size(), 2u);
+  EXPECT_EQ(dominant, 2);
+  EXPECT_TRUE(candidates.empty());
+}
+
+TEST(DasTest, EmptyPendingGivesEmptySelection) {
+  const DasScheduler das(cfg(4, 25));
+  const auto sel = das.select(0.0, {});
+  EXPECT_TRUE(sel.ordered.empty());
+  EXPECT_EQ(sel.slot_len, 0);
+}
+
+TEST(DasTest, EtaOneHalfUsesHalfTheSaturatingPrefix) {
+  // eta = 0.8 admits a larger utility-dominant set than eta = 0.2.
+  std::vector<Request> many;
+  for (int i = 0; i < 30; ++i) many.push_back(req(i, 2, 1.0));
+  const DasScheduler low(cfg(1, 20, 0.2, 0.8));
+  const DasScheduler high(cfg(1, 20, 0.8, 0.2));
+  std::vector<Request> c1 = many, c2 = many;
+  Index d_low = 0, d_high = 0;
+  (void)low.select_row(c1, &d_low);
+  (void)high.select_row(c2, &d_high);
+  EXPECT_EQ(d_low, 2);   // floor(0.2 * 10)
+  EXPECT_EQ(d_high, 8);  // floor(0.8 * 10)
+}
+
+TEST(DasTest, ConfigValidation) {
+  EXPECT_THROW(DasScheduler(cfg(0, 10)), std::invalid_argument);
+  EXPECT_THROW(DasScheduler(cfg(1, 0)), std::invalid_argument);
+  EXPECT_THROW(DasScheduler(cfg(1, 10, 0.0, 0.5)), std::invalid_argument);
+  EXPECT_THROW(DasScheduler(cfg(1, 10, 0.5, 1.0)), std::invalid_argument);
+}
+
+TEST(EvictTest, RemovesExpiredAndOversized) {
+  std::vector<Request> pending = {req(0, 5, 1.0), req(1, 5, 0.1),
+                                  req(2, 50, 2.0)};
+  const auto failed = evict_unschedulable(0.5, 20, pending);
+  ASSERT_EQ(pending.size(), 1u);
+  EXPECT_EQ(pending[0].id, 0);
+  ASSERT_EQ(failed.size(), 2u);
+}
+
+TEST(EvictTest, DeadlineExactlyNowSurvives) {
+  std::vector<Request> pending = {req(0, 5, 1.0)};
+  const auto failed = evict_unschedulable(1.0, 20, pending);
+  EXPECT_TRUE(failed.empty());
+  EXPECT_EQ(pending.size(), 1u);
+}
+
+}  // namespace
+}  // namespace tcb

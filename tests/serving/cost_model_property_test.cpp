@@ -1,0 +1,114 @@
+// Monotonicity / dominance properties of the analytical cost model over
+// randomized plans — the relations the serving conclusions depend on.
+#include <gtest/gtest.h>
+
+#include "batching/concat_batcher.hpp"
+#include "batching/slotted_batcher.hpp"
+#include "batching/stats.hpp"
+#include "serving/cost_model.hpp"
+#include "util/rng.hpp"
+
+namespace tcb {
+namespace {
+
+std::vector<Request> random_requests(Rng& rng, int n, Index max_len) {
+  std::vector<Request> reqs;
+  for (int i = 0; i < n; ++i) {
+    Request r;
+    r.id = i;
+    r.length = rng.uniform_int(1, max_len);
+    reqs.push_back(std::move(r));
+  }
+  return reqs;
+}
+
+class CostModelPropertyTest : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  CostModelPropertyTest()
+      : model_(ModelConfig::paper_scale(), HardwareProfile::v100_like()) {}
+  AnalyticalCostModel model_;
+};
+
+TEST_P(CostModelPropertyTest, AddingRequestsNeverCheapens) {
+  Rng rng(GetParam());
+  for (int iter = 0; iter < 10; ++iter) {
+    auto reqs = random_requests(rng, 12, 40);
+    const ConcatBatcher batcher;
+    const auto small = batcher.build(
+        {reqs.begin(), reqs.begin() + 6}, 4, 100);
+    const auto large = batcher.build(reqs, 4, 100);
+    EXPECT_LE(model_.batch_seconds(small.plan),
+              model_.batch_seconds(large.plan) + 1e-12)
+        << "iter " << iter;
+  }
+}
+
+TEST_P(CostModelPropertyTest, SlottedExecutionNeverCostsMoreOnSameLayout) {
+  // Apples to apples: identical rows/segments/widths, only the execution
+  // mode differs. (A *different slotted layout* can legitimately cost more
+  // than pure — slot fragmentation adds GEMM padding; that tradeoff is the
+  // paper's §5.3 slot-size discussion and is covered by the slot-policy
+  // ablation bench.)
+  Rng rng(GetParam() + 100);
+  for (int iter = 0; iter < 10; ++iter) {
+    const Index z = rng.uniform_int(8, 25);
+    auto reqs = random_requests(rng, 16, z);  // everything fits a slot
+    const SlottedConcatBatcher slotted(z);
+    const auto slot_built = slotted.build(reqs, 4, 100);
+    if (slot_built.plan.empty()) continue;
+
+    BatchPlan as_pure = slot_built.plan;
+    as_pure.scheme = Scheme::kConcatPure;
+    as_pure.slot_len = 0;
+    for (auto& row : as_pure.rows)
+      for (auto& seg : row.segments) seg.slot = 0;
+    as_pure.validate();
+
+    EXPECT_LE(model_.batch_seconds(slot_built.plan),
+              model_.batch_seconds(as_pure) * 1.0001)
+        << "iter " << iter << " z=" << z;
+  }
+}
+
+TEST_P(CostModelPropertyTest, CostGrowsWithAttentionRedundancy) {
+  // Fixing the payload, a plan that computes more score entries (per the
+  // batch statistics) must not be cheaper.
+  Rng rng(GetParam() + 200);
+  for (int iter = 0; iter < 8; ++iter) {
+    auto reqs = random_requests(rng, 10, 10);
+    const SlottedConcatBatcher fine(10);
+    const SlottedConcatBatcher coarse(50);
+    const auto a = fine.build(reqs, 2, 100);
+    const auto b = coarse.build(reqs, 2, 100);
+    if (a.plan.request_count() != b.plan.request_count()) continue;
+    const auto sa = analyze(a.plan);
+    const auto sb = analyze(b.plan);
+    if (sa.score_entries_computed <= sb.score_entries_computed) {
+      EXPECT_LE(model_.batch_seconds(a.plan),
+                model_.batch_seconds(b.plan) * 1.01);
+    }
+  }
+}
+
+TEST_P(CostModelPropertyTest, BreakdownAlwaysConsistent) {
+  Rng rng(GetParam() + 300);
+  for (int iter = 0; iter < 10; ++iter) {
+    auto reqs = random_requests(rng, static_cast<int>(rng.uniform_int(1, 30)),
+                                30);
+    const ConcatBatcher batcher;
+    const auto built = batcher.build(reqs, rng.uniform_int(1, 8), 100);
+    if (built.plan.empty()) continue;
+    const auto b = model_.breakdown(built.plan);
+    EXPECT_GE(b.encoder_seconds, 0.0);
+    EXPECT_GE(b.decoder_seconds, 0.0);
+    EXPECT_GT(b.total_seconds(), 0.0);
+    EXPECT_GT(b.total_flops(), 0.0);
+    EXPECT_DOUBLE_EQ(model_.batch_seconds(built.plan), b.total_seconds());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CostModelPropertyTest,
+                         ::testing::Values(11u, 22u, 33u, 44u));
+
+}  // namespace
+}  // namespace tcb

@@ -1,0 +1,130 @@
+#include "serving/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "batching/concat_batcher.hpp"
+#include "batching/naive_batcher.hpp"
+#include "batching/slotted_batcher.hpp"
+#include "batching/turbo_batcher.hpp"
+#include "util/rng.hpp"
+
+namespace tcb {
+namespace {
+
+Request req(RequestId id, Index len) {
+  Request r;
+  r.id = id;
+  r.length = len;
+  return r;
+}
+
+std::vector<Request> uniform_requests(int n, Index len) {
+  std::vector<Request> reqs;
+  for (int i = 0; i < n; ++i) reqs.push_back(req(i, len));
+  return reqs;
+}
+
+class CostModelTest : public ::testing::Test {
+ protected:
+  CostModelTest()
+      : model_(ModelConfig::paper_scale(), HardwareProfile::v100_like()) {}
+  AnalyticalCostModel model_;
+};
+
+TEST_F(CostModelTest, EmptyPlanIsFree) {
+  BatchPlan plan;
+  plan.row_capacity = 10;
+  EXPECT_EQ(model_.batch_seconds(plan), 0.0);
+}
+
+TEST_F(CostModelTest, MoreRowsCostMore) {
+  const ConcatBatcher batcher;
+  const auto small = batcher.build(uniform_requests(10, 10), 2, 100).plan;
+  const auto large = batcher.build(uniform_requests(40, 10), 8, 100).plan;
+  EXPECT_LT(model_.batch_seconds(small), model_.batch_seconds(large));
+}
+
+TEST_F(CostModelTest, PaddingCostsNaiveBatching) {
+  // Same requests: naive pads every row to the longest; concat packs. The
+  // concat batch has fewer rows and fewer padded tokens, so the per-request
+  // cost is lower even though each concat row is longer.
+  std::vector<Request> reqs = uniform_requests(16, 10);
+  reqs.push_back(req(99, 80));  // one long request forces heavy padding
+  const NaiveBatcher naive;
+  const ConcatBatcher concat;
+  const auto naive_plan = naive.build(reqs, 17, 100).plan;
+  const auto concat_plan = concat.build(reqs, 3, 100).plan;
+  ASSERT_EQ(naive_plan.request_count(), concat_plan.request_count());
+  EXPECT_GT(model_.batch_seconds(naive_plan) /
+                static_cast<double>(naive_plan.request_count()),
+            model_.batch_seconds(concat_plan) /
+                static_cast<double>(concat_plan.request_count()) * 0.99);
+}
+
+TEST_F(CostModelTest, SlottedCheaperThanPureForSamePayload) {
+  // Identical request set; the slotted plan computes fewer score entries and
+  // has narrower decode contexts.
+  const auto reqs = uniform_requests(32, 10);
+  const ConcatBatcher pure;
+  const SlottedConcatBatcher slotted(10);
+  const auto pure_plan = pure.build(reqs, 4, 80).plan;
+  const auto slot_plan = slotted.build(reqs, 4, 80).plan;
+  ASSERT_EQ(pure_plan.request_count(), slot_plan.request_count());
+  EXPECT_LT(model_.batch_seconds(slot_plan), model_.batch_seconds(pure_plan));
+}
+
+TEST_F(CostModelTest, BreakdownComponentsAreNonNegativeAndSum) {
+  const ConcatBatcher batcher;
+  const auto plan = batcher.build(uniform_requests(8, 12), 2, 60).plan;
+  const auto b = model_.breakdown(plan);
+  EXPECT_GT(b.encoder_linear_flops, 0.0);
+  EXPECT_GT(b.encoder_attention_flops, 0.0);
+  EXPECT_GT(b.decoder_linear_flops, 0.0);
+  EXPECT_GT(b.decoder_attention_flops, 0.0);
+  EXPECT_NEAR(b.total_seconds(),
+              b.encoder_seconds + b.decoder_seconds + b.overhead_seconds,
+              1e-12);
+  EXPECT_EQ(model_.batch_seconds(plan), b.total_seconds());
+}
+
+TEST_F(CostModelTest, LongerRequestsCostMore) {
+  const ConcatBatcher batcher;
+  const auto short_plan = batcher.build(uniform_requests(8, 5), 2, 100).plan;
+  const auto long_plan = batcher.build(uniform_requests(8, 25), 2, 100).plan;
+  EXPECT_LT(model_.batch_seconds(short_plan), model_.batch_seconds(long_plan));
+}
+
+TEST_F(CostModelTest, UtilizationIsMonotoneAndBounded) {
+  const HardwareProfile hw = HardwareProfile::v100_like();
+  EXPECT_GT(hw.utilization(10), 0.0);
+  EXPECT_LT(hw.utilization(10), hw.utilization(1000));
+  EXPECT_LT(hw.utilization(1e9), hw.util_max + 1e-12);
+  EXPECT_NEAR(hw.utilization(hw.half_sat_tokens), hw.util_max / 2, 1e-12);
+}
+
+TEST_F(CostModelTest, BatchOverheadIsFloor) {
+  const ConcatBatcher batcher;
+  const auto plan = batcher.build(uniform_requests(1, 1), 1, 10).plan;
+  EXPECT_GE(model_.batch_seconds(plan),
+            HardwareProfile::v100_like().batch_overhead);
+}
+
+TEST(MeasuredCostModelTest, TimesTheRealEngine) {
+  auto engine = std::make_shared<const Seq2SeqModel>(ModelConfig::test_scale());
+  const MeasuredCostModel measured(engine, 4);
+  const ConcatBatcher batcher;
+  const auto plan = batcher.build(uniform_requests(4, 6), 2, 16).plan;
+  const double t = measured.batch_seconds(plan);
+  EXPECT_GT(t, 0.0);
+  EXPECT_LT(t, 10.0);
+  BatchPlan empty;
+  empty.row_capacity = 4;
+  EXPECT_EQ(measured.batch_seconds(empty), 0.0);
+}
+
+TEST(MeasuredCostModelTest, NullModelThrows) {
+  EXPECT_THROW(MeasuredCostModel(nullptr, 4), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tcb

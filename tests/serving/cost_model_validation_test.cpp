@@ -1,0 +1,106 @@
+// Validates the analytical cost model against the real CPU engine: the model
+// (instantiated with the engine's own dimensions and a CPU-flat hardware
+// profile) must rank batch plans the same way measured execution does — more
+// rows cost more, slotted is cheaper than pure on identical payloads, and
+// padding-heavy naive plans cost more per request than packed concat plans.
+// Absolute agreement is not required (the CPU is not the modeled V100); the
+// *ordering* is what the serving simulations rely on.
+#include <gtest/gtest.h>
+
+#include "batching/concat_batcher.hpp"
+#include "batching/naive_batcher.hpp"
+#include "batching/slotted_batcher.hpp"
+#include "serving/cost_model.hpp"
+
+namespace tcb {
+namespace {
+
+std::vector<Request> uniform_requests(int n, Index len) {
+  std::vector<Request> reqs;
+  for (int i = 0; i < n; ++i) {
+    Request r;
+    r.id = i;
+    r.length = len;
+    reqs.push_back(std::move(r));
+  }
+  return reqs;
+}
+
+class CostModelValidationTest : public ::testing::Test {
+ protected:
+  CostModelValidationTest()
+      : engine_(std::make_shared<const Seq2SeqModel>(engine_config())),
+        measured_(engine_, /*max_decode_steps=*/8),
+        analytical_(engine_config(), flat_profile()) {}
+
+  static ModelConfig engine_config() {
+    ModelConfig cfg = ModelConfig::test_scale();
+    cfg.d_model = 64;
+    cfg.n_heads = 4;
+    cfg.d_ff = 128;
+    cfg.max_len = 256;
+    return cfg;
+  }
+
+  /// A profile without the GPU's utilization curve (a CPU is equally "warm"
+  /// at any batch size) so the comparison isolates the work terms.
+  static HardwareProfile flat_profile() {
+    HardwareProfile hw;
+    hw.peak_flops = 5e9;
+    hw.util_max = 1.0;
+    hw.half_sat_tokens = 1e-9;  // ~constant utilization
+    hw.batch_overhead = 0.0;
+    hw.step_overhead = 1e-5;
+    return hw;
+  }
+
+  double measure_median(const BatchPlan& plan) {
+    // Median of 3 to de-noise scheduling jitter.
+    double a = measured_.batch_seconds(plan);
+    double b = measured_.batch_seconds(plan);
+    double c = measured_.batch_seconds(plan);
+    if (a > b) std::swap(a, b);
+    if (b > c) std::swap(b, c);
+    if (a > b) std::swap(a, b);
+    return b;
+  }
+
+  std::shared_ptr<const Seq2SeqModel> engine_;
+  MeasuredCostModel measured_;
+  AnalyticalCostModel analytical_;
+};
+
+TEST_F(CostModelValidationTest, RowScalingAgreesWithEngine) {
+  const ConcatBatcher batcher;
+  const auto small = batcher.build(uniform_requests(4, 16), 1, 64).plan;
+  const auto large = batcher.build(uniform_requests(16, 16), 4, 64).plan;
+  EXPECT_LT(measure_median(small), measure_median(large));
+  EXPECT_LT(analytical_.batch_seconds(small), analytical_.batch_seconds(large));
+}
+
+TEST_F(CostModelValidationTest, SlottedVsPureOrderingAgreesWithEngine) {
+  const auto reqs = uniform_requests(24, 16);
+  const ConcatBatcher pure;
+  const SlottedConcatBatcher slotted(16);
+  const auto pure_plan = pure.build(reqs, 3, 128).plan;
+  const auto slot_plan = slotted.build(reqs, 3, 128).plan;
+  ASSERT_EQ(pure_plan.request_count(), slot_plan.request_count());
+
+  const double engine_pure = measure_median(pure_plan);
+  const double engine_slot = measure_median(slot_plan);
+  EXPECT_LT(engine_slot, engine_pure)
+      << "real engine: slotted should be faster";
+  EXPECT_LT(analytical_.batch_seconds(slot_plan),
+            analytical_.batch_seconds(pure_plan));
+}
+
+TEST_F(CostModelValidationTest, WidthScalingAgreesWithEngine) {
+  const ConcatBatcher batcher;
+  const auto narrow = batcher.build(uniform_requests(8, 8), 2, 32).plan;
+  const auto wide = batcher.build(uniform_requests(8, 24), 2, 96).plan;
+  EXPECT_LT(measure_median(narrow), measure_median(wide));
+  EXPECT_LT(analytical_.batch_seconds(narrow), analytical_.batch_seconds(wide));
+}
+
+}  // namespace
+}  // namespace tcb

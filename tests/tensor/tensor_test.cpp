@@ -1,0 +1,108 @@
+#include "tensor/tensor.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tcb {
+namespace {
+
+TEST(ShapeTest, BasicProperties) {
+  const Shape s{2, 3, 4};
+  EXPECT_EQ(s.rank(), 3u);
+  EXPECT_EQ(s.dim(0), 2);
+  EXPECT_EQ(s[2], 4);
+  EXPECT_EQ(s.numel(), 24);
+  EXPECT_EQ(s.to_string(), "[2, 3, 4]");
+}
+
+TEST(ShapeTest, EmptyShapeHasZeroNumel) {
+  const Shape s;
+  EXPECT_EQ(s.rank(), 0u);
+  EXPECT_EQ(s.numel(), 0);
+}
+
+TEST(ShapeTest, NegativeDimensionThrows) {
+  EXPECT_THROW(Shape({2, -1}), std::invalid_argument);
+}
+
+TEST(ShapeTest, OutOfRangeDimThrows) {
+  const Shape s{2, 3};
+  EXPECT_THROW((void)s.dim(2), std::out_of_range);
+}
+
+TEST(ShapeTest, Equality) {
+  EXPECT_TRUE(Shape({2, 3}) == Shape({2, 3}));
+  EXPECT_FALSE(Shape({2, 3}) == Shape({3, 2}));
+}
+
+TEST(TensorTest, ZeroInitialized) {
+  const Tensor t(Shape{3, 4});
+  EXPECT_EQ(t.numel(), 12);
+  for (const float v : t.data()) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(TensorTest, FillAndFull) {
+  Tensor t = Tensor::full(Shape{2, 2}, 7.0f);
+  for (const float v : t.data()) EXPECT_EQ(v, 7.0f);
+  t.fill(-1.0f);
+  for (const float v : t.data()) EXPECT_EQ(v, -1.0f);
+}
+
+TEST(TensorTest, ElementAccessRank2) {
+  Tensor t(Shape{2, 3});
+  t.at(1, 2) = 5.0f;
+  EXPECT_EQ(t.at(1, 2), 5.0f);
+  EXPECT_EQ(t.data()[5], 5.0f);  // row-major
+}
+
+TEST(TensorTest, ElementAccessRank3) {
+  Tensor t(Shape{2, 3, 4});
+  t.at(1, 2, 3) = 9.0f;
+  EXPECT_EQ(t.data()[1 * 12 + 2 * 4 + 3], 9.0f);
+}
+
+TEST(TensorTest, RowPointer) {
+  Tensor t(Shape{3, 4});
+  t.at(2, 0) = 1.5f;
+  EXPECT_EQ(t.row(2)[0], 1.5f);
+}
+
+TEST(TensorTest, RandomUniformDeterministicAndBounded) {
+  Rng r1(5), r2(5);
+  const Tensor a = Tensor::random_uniform(Shape{10, 10}, r1, 0.5f);
+  const Tensor b = Tensor::random_uniform(Shape{10, 10}, r2, 0.5f);
+  EXPECT_EQ(max_abs_diff(a, b), 0.0f);
+  for (const float v : a.data()) {
+    EXPECT_GE(v, -0.5f);
+    EXPECT_LE(v, 0.5f);
+  }
+}
+
+TEST(TensorTest, ReshapePreservesData) {
+  Tensor t(Shape{2, 6});
+  t.at(0, 5) = 3.0f;
+  t.reshape(Shape{3, 4});
+  EXPECT_EQ(t.at(1, 1), 3.0f);
+}
+
+TEST(TensorTest, ReshapeNumelMismatchThrows) {
+  Tensor t(Shape{2, 6});
+  EXPECT_THROW(t.reshape(Shape{5, 2}), std::invalid_argument);
+}
+
+TEST(TensorTest, MaxAbsDiff) {
+  Tensor a(Shape{2, 2}), b(Shape{2, 2});
+  a.at(1, 1) = 1.0f;
+  b.at(1, 1) = -2.0f;
+  EXPECT_EQ(max_abs_diff(a, b), 3.0f);
+  EXPECT_THROW((void)max_abs_diff(a, Tensor(Shape{4})), std::invalid_argument);
+}
+
+TEST(TensorTest, CloneIsDeep) {
+  Tensor a(Shape{2, 2});
+  Tensor b = a.clone();
+  b.at(0, 0) = 9.0f;
+  EXPECT_EQ(a.at(0, 0), 0.0f);
+}
+
+}  // namespace
+}  // namespace tcb

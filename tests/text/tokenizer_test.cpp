@@ -1,0 +1,81 @@
+#include "text/tokenizer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tcb {
+namespace {
+
+Tokenizer make_tokenizer() {
+  Vocabulary vocab;
+  for (const char* w : {"the", "cat", "sat", "on", "mat"}) vocab.add_word(w);
+  return Tokenizer(std::move(vocab));
+}
+
+TEST(SplitWordsTest, LowercasesAndStripsPunctuation) {
+  const auto words = split_words("The CAT, sat!  on the mat.");
+  EXPECT_EQ(words, (std::vector<std::string>{"the", "cat", "sat", "on", "the",
+                                             "mat"}));
+}
+
+TEST(SplitWordsTest, KeepsApostrophesAndDigits) {
+  const auto words = split_words("it's 42 degrees");
+  EXPECT_EQ(words, (std::vector<std::string>{"it's", "42", "degrees"}));
+}
+
+TEST(SplitWordsTest, EmptyAndWhitespaceOnly) {
+  EXPECT_TRUE(split_words("").empty());
+  EXPECT_TRUE(split_words("  \t\n .,;").empty());
+}
+
+TEST(TokenizerTest, EncodeKnownSentence) {
+  const Tokenizer tok = make_tokenizer();
+  const auto ids = tok.encode("the cat sat");
+  ASSERT_EQ(ids.size(), 3u);
+  EXPECT_EQ(ids[0], kFirstVocabWord);
+  EXPECT_EQ(ids[1], kFirstVocabWord + 1);
+}
+
+TEST(TokenizerTest, UnknownWordsBecomeUnk) {
+  const Tokenizer tok = make_tokenizer();
+  const auto ids = tok.encode("the zebra sat");
+  EXPECT_EQ(ids[1], kUnkToken);
+}
+
+TEST(TokenizerTest, DecodeSkipsReservedTokens) {
+  const Tokenizer tok = make_tokenizer();
+  const std::vector<Index> ids = {kBosToken, kFirstVocabWord,
+                                  kFirstVocabWord + 1, kEosToken, kPadToken};
+  EXPECT_EQ(tok.decode(ids), "the cat");
+}
+
+TEST(TokenizerTest, DecodeRendersOutOfVocabIdsAsUnk) {
+  const Tokenizer tok = make_tokenizer();
+  const std::vector<Index> ids = {kFirstVocabWord, 9999};
+  EXPECT_EQ(tok.decode(ids), "the <unk>");
+}
+
+TEST(TokenizerTest, EncodeDecodeRoundTripForInVocabText) {
+  const Tokenizer tok = make_tokenizer();
+  const std::string sentence = "the cat sat on the mat";
+  EXPECT_EQ(tok.decode(tok.encode(sentence)), sentence);
+}
+
+TEST(TokenizerTest, MakeRequestFillsAllFields) {
+  const Tokenizer tok = make_tokenizer();
+  const Request req = tok.make_request(7, "the cat sat", 1.5, 3.0);
+  EXPECT_EQ(req.id, 7);
+  EXPECT_EQ(req.length, 3);
+  EXPECT_EQ(req.tokens.size(), 3u);
+  EXPECT_DOUBLE_EQ(req.arrival, 1.5);
+  EXPECT_DOUBLE_EQ(req.deadline, 3.0);
+  EXPECT_NEAR(req.utility(), 1.0 / 3.0, 1e-12);
+}
+
+TEST(TokenizerTest, EmptySentenceThrows) {
+  const Tokenizer tok = make_tokenizer();
+  EXPECT_THROW((void)tok.make_request(0, " .,! ", 0.0, 1.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tcb

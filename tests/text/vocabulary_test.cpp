@@ -1,0 +1,73 @@
+#include "text/vocabulary.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+namespace tcb {
+namespace {
+
+TEST(VocabularyTest, ReservedTokensPresent) {
+  const Vocabulary vocab;
+  EXPECT_EQ(vocab.size(), kFirstVocabWord);
+  EXPECT_EQ(vocab.word_of(kPadToken), "<pad>");
+  EXPECT_EQ(vocab.word_of(kBosToken), "<bos>");
+  EXPECT_EQ(vocab.word_of(kEosToken), "<eos>");
+  EXPECT_EQ(vocab.word_of(kUnkToken), "<unk>");
+}
+
+TEST(VocabularyTest, AddWordIsIdempotent) {
+  Vocabulary vocab;
+  const Index a = vocab.add_word("hello");
+  const Index b = vocab.add_word("hello");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a, kFirstVocabWord);
+  EXPECT_EQ(vocab.size(), kFirstVocabWord + 1);
+}
+
+TEST(VocabularyTest, UnknownWordsMapToUnk) {
+  Vocabulary vocab;
+  vocab.add_word("known");
+  EXPECT_EQ(vocab.id_of("known"), kFirstVocabWord);
+  EXPECT_EQ(vocab.id_of("mystery"), kUnkToken);
+  EXPECT_FALSE(vocab.contains("mystery"));
+}
+
+TEST(VocabularyTest, WordOfOutOfRangeThrows) {
+  const Vocabulary vocab;
+  EXPECT_THROW((void)vocab.word_of(-1), std::out_of_range);
+  EXPECT_THROW((void)vocab.word_of(vocab.size()), std::out_of_range);
+}
+
+TEST(VocabularyTest, BuildRanksByFrequency) {
+  const std::vector<std::string> corpus = {
+      "the cat sat", "the cat ran", "the dog barked"};
+  const Vocabulary vocab = Vocabulary::build(corpus, 64);
+  // "the" (3x) gets the first word id, "cat" (2x) the next.
+  EXPECT_EQ(vocab.id_of("the"), kFirstVocabWord);
+  EXPECT_EQ(vocab.id_of("cat"), kFirstVocabWord + 1);
+  EXPECT_TRUE(vocab.contains("barked"));
+}
+
+TEST(VocabularyTest, BuildRespectsMaxSize) {
+  const std::vector<std::string> corpus = {"a b c d e f g h"};
+  const Vocabulary vocab = Vocabulary::build(corpus, kFirstVocabWord + 3);
+  EXPECT_EQ(vocab.size(), kFirstVocabWord + 3);
+  EXPECT_THROW((void)Vocabulary::build(corpus, 2), std::invalid_argument);
+}
+
+TEST(VocabularyTest, SaveLoadRoundTrip) {
+  Vocabulary vocab;
+  vocab.add_word("alpha");
+  vocab.add_word("beta");
+  const std::string path = ::testing::TempDir() + "tcb_vocab_test.txt";
+  vocab.save(path);
+  const Vocabulary loaded = Vocabulary::load(path);
+  std::remove(path.c_str());
+  EXPECT_EQ(loaded.size(), vocab.size());
+  EXPECT_EQ(loaded.id_of("alpha"), vocab.id_of("alpha"));
+  EXPECT_EQ(loaded.id_of("beta"), vocab.id_of("beta"));
+}
+
+}  // namespace
+}  // namespace tcb

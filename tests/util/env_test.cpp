@@ -1,0 +1,47 @@
+#include "util/env.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace tcb {
+namespace {
+
+class EnvTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    unsetenv("TCB_TEST_VAR");
+    unsetenv("TCB_FAST");
+  }
+};
+
+TEST_F(EnvTest, UnsetGivesFallback) {
+  unsetenv("TCB_TEST_VAR");
+  EXPECT_EQ(env_int("TCB_TEST_VAR", 42), 42);
+}
+
+TEST_F(EnvTest, ParsesInteger) {
+  setenv("TCB_TEST_VAR", "17", 1);
+  EXPECT_EQ(env_int("TCB_TEST_VAR", 0), 17);
+  setenv("TCB_TEST_VAR", "-3", 1);
+  EXPECT_EQ(env_int("TCB_TEST_VAR", 0), -3);
+}
+
+TEST_F(EnvTest, GarbageGivesFallback) {
+  setenv("TCB_TEST_VAR", "not-a-number", 1);
+  EXPECT_EQ(env_int("TCB_TEST_VAR", 7), 7);
+  setenv("TCB_TEST_VAR", "", 1);
+  EXPECT_EQ(env_int("TCB_TEST_VAR", 9), 9);
+}
+
+TEST_F(EnvTest, FastMode) {
+  unsetenv("TCB_FAST");
+  EXPECT_FALSE(fast_mode());
+  setenv("TCB_FAST", "1", 1);
+  EXPECT_TRUE(fast_mode());
+  setenv("TCB_FAST", "0", 1);
+  EXPECT_FALSE(fast_mode());
+}
+
+}  // namespace
+}  // namespace tcb

@@ -1,0 +1,100 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tcb {
+namespace {
+
+TEST(RunningStatTest, EmptyState) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatTest, KnownMoments) {
+  RunningStat s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStatTest, MergeMatchesSequential) {
+  RunningStat all, a, b;
+  for (int i = 0; i < 50; ++i) {
+    const double x = i * 0.37 - 3.0;
+    all.add(x);
+    (i % 2 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-10);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStatTest, MergeWithEmptyIsIdentity) {
+  RunningStat a, empty;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  empty.merge(a);
+  EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
+}
+
+TEST(SamplesTest, ExactQuantiles) {
+  Samples s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 100.0);
+  EXPECT_NEAR(s.p50(), 50.5, 1e-9);
+  EXPECT_NEAR(s.quantile(0.0), 1.0, 1e-9);
+  EXPECT_NEAR(s.quantile(1.0), 100.0, 1e-9);
+  EXPECT_NEAR(s.p99(), 99.01, 1e-9);
+}
+
+TEST(SamplesTest, QuantileClampsOutOfRangeQ) {
+  Samples s;
+  s.add(5.0);
+  s.add(10.0);
+  EXPECT_DOUBLE_EQ(s.quantile(-1.0), 5.0);
+  EXPECT_DOUBLE_EQ(s.quantile(2.0), 10.0);
+}
+
+TEST(SamplesTest, EmptyThrows) {
+  Samples s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_THROW((void)s.quantile(0.5), std::logic_error);
+  EXPECT_THROW((void)s.min(), std::logic_error);
+  EXPECT_THROW((void)s.max(), std::logic_error);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);  // mean of nothing is defined as 0
+}
+
+TEST(SamplesTest, AddAfterQuantileStillCorrect) {
+  Samples s;
+  s.add(3.0);
+  s.add(1.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 2.0);  // forces a sort
+  s.add(2.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 3.0);
+}
+
+TEST(SamplesTest, MeanAndSum) {
+  Samples s;
+  s.add(1.5);
+  s.add(2.5);
+  s.add(6.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 10.0);
+  EXPECT_NEAR(s.mean(), 10.0 / 3.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace tcb

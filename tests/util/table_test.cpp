@@ -1,0 +1,43 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tcb {
+namespace {
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter t({"x", "value"});
+  t.row({"1", "a"});
+  t.row({"100", "bb"});
+  const std::string out = t.render();
+  // Each line starts with the first column left-padded to the widest cell.
+  EXPECT_NE(out.find("x    value"), std::string::npos);
+  EXPECT_NE(out.find("1    a"), std::string::npos);
+  EXPECT_NE(out.find("100  bb"), std::string::npos);
+}
+
+TEST(TablePrinterTest, NumericRows) {
+  TablePrinter t({"a", "b"});
+  t.row_numeric({1.0, 2.5});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("1"), std::string::npos);
+  EXPECT_NE(out.find("2.5"), std::string::npos);
+}
+
+TEST(TablePrinterTest, WidthMismatchThrows) {
+  TablePrinter t({"a", "b"});
+  EXPECT_THROW(t.row({"1"}), std::invalid_argument);
+  EXPECT_THROW(t.row_numeric({1, 2, 3}), std::invalid_argument);
+}
+
+TEST(TablePrinterTest, HeaderRuleRows) {
+  TablePrinter t({"col"});
+  t.row({"x"});
+  const std::string out = t.render();
+  // header line, rule line, one row
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 3);
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tcb

@@ -1,0 +1,40 @@
+#include "util/timer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace tcb {
+namespace {
+
+TEST(TimerTest, ElapsedIsNonNegativeAndMonotonic) {
+  const Timer timer;
+  const double a = timer.elapsed_seconds();
+  const double b = timer.elapsed_seconds();
+  EXPECT_GE(a, 0.0);
+  EXPECT_GE(b, a);
+}
+
+TEST(TimerTest, MeasuresSleeps) {
+  const Timer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_GE(timer.elapsed_millis(), 15.0);
+  EXPECT_LT(timer.elapsed_seconds(), 5.0);
+}
+
+TEST(TimerTest, ResetRestartsTheClock) {
+  Timer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(15));
+  timer.reset();
+  EXPECT_LT(timer.elapsed_millis(), 10.0);
+}
+
+TEST(TimerTest, MillisMatchesSeconds) {
+  const Timer timer;
+  const double s = timer.elapsed_seconds();
+  const double ms = timer.elapsed_millis();
+  EXPECT_GE(ms, s * 1e3 * 0.5);
+}
+
+}  // namespace
+}  // namespace tcb

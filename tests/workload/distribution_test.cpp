@@ -1,0 +1,133 @@
+// Length-distribution families and bursty arrivals (workload extensions).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "workload/trace.hpp"
+
+namespace tcb {
+namespace {
+
+TEST(BimodalLengthTest, TwoModesPresent) {
+  WorkloadConfig cfg;
+  cfg.rate = 2000;
+  cfg.duration = 3.0;
+  cfg.length_distribution = LengthDistribution::kBimodal;
+  cfg.mean_len = 10;
+  cfg.bimodal_long_mean = 80;
+  cfg.bimodal_long_fraction = 0.4;
+  cfg.len_variance = 9;
+  const auto trace = generate_trace(cfg);
+  std::size_t shorts = 0, longs = 0;
+  for (const auto& r : trace) {
+    if (r.length <= 30) ++shorts;
+    if (r.length >= 60) ++longs;
+  }
+  const double n = static_cast<double>(trace.size());
+  EXPECT_NEAR(static_cast<double>(longs) / n, 0.4, 0.05);
+  EXPECT_NEAR(static_cast<double>(shorts) / n, 0.6, 0.05);
+  // Barely anything between the modes (stddev 3, modes 10 and 80).
+  std::size_t middle = trace.size() - shorts - longs;
+  EXPECT_LT(static_cast<double>(middle) / n, 0.02);
+}
+
+TEST(BimodalLengthTest, HigherVarianceThanNormalWorkload) {
+  WorkloadConfig normal;
+  normal.rate = 2000;
+  normal.duration = 2.0;
+  WorkloadConfig bimodal = normal;
+  bimodal.length_distribution = LengthDistribution::kBimodal;
+  auto variance = [](const std::vector<Request>& trace) {
+    double sum = 0, sq = 0;
+    for (const auto& r : trace) {
+      sum += static_cast<double>(r.length);
+      sq += static_cast<double>(r.length) * static_cast<double>(r.length);
+    }
+    const double n = static_cast<double>(trace.size());
+    return sq / n - (sum / n) * (sum / n);
+  };
+  EXPECT_GT(variance(generate_trace(bimodal)),
+            4.0 * variance(generate_trace(normal)));
+}
+
+TEST(UniformLengthTest, CoversTheWholeRange) {
+  WorkloadConfig cfg;
+  cfg.rate = 3000;
+  cfg.duration = 1.0;
+  cfg.length_distribution = LengthDistribution::kUniform;
+  cfg.min_len = 5;
+  cfg.max_len = 9;
+  std::set<Index> seen;
+  for (const auto& r : generate_trace(cfg)) {
+    EXPECT_GE(r.length, 5);
+    EXPECT_LE(r.length, 9);
+    seen.insert(r.length);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(BurstyArrivalsTest, MeanRatePreserved) {
+  WorkloadConfig cfg;
+  cfg.rate = 500;
+  cfg.duration = 20.0;
+  cfg.burst_rate_factor = 3.0;
+  const auto trace = generate_trace(cfg);
+  const double expected = cfg.rate * cfg.duration;
+  EXPECT_NEAR(static_cast<double>(trace.size()), expected, 0.15 * expected);
+}
+
+TEST(BurstyArrivalsTest, HigherVarianceOfPerWindowCounts) {
+  auto window_count_variance = [](const std::vector<Request>& trace,
+                                  double duration) {
+    constexpr double kWindow = 0.1;
+    const auto windows = static_cast<std::size_t>(duration / kWindow);
+    std::vector<double> counts(windows, 0.0);
+    for (const auto& r : trace) {
+      const auto w = static_cast<std::size_t>(r.arrival / kWindow);
+      if (w < windows) counts[w] += 1.0;
+    }
+    double sum = 0, sq = 0;
+    for (const double c : counts) {
+      sum += c;
+      sq += c * c;
+    }
+    const double n = static_cast<double>(windows);
+    return sq / n - (sum / n) * (sum / n);
+  };
+  WorkloadConfig poisson;
+  poisson.rate = 400;
+  poisson.duration = 20.0;
+  WorkloadConfig bursty = poisson;
+  bursty.burst_rate_factor = 3.5;
+  EXPECT_GT(window_count_variance(generate_trace(bursty), 20.0),
+            1.5 * window_count_variance(generate_trace(poisson), 20.0));
+}
+
+TEST(BurstyArrivalsTest, FactorOneIsPlainPoisson) {
+  WorkloadConfig a;
+  a.rate = 200;
+  a.duration = 5.0;
+  a.seed = 9;
+  WorkloadConfig b = a;
+  b.burst_rate_factor = 1.0;  // explicit default
+  const auto ta = generate_trace(a);
+  const auto tb = generate_trace(b);
+  ASSERT_EQ(ta.size(), tb.size());
+  for (std::size_t i = 0; i < ta.size(); ++i)
+    EXPECT_DOUBLE_EQ(ta[i].arrival, tb[i].arrival);
+}
+
+TEST(BurstyArrivalsTest, ConfigValidation) {
+  WorkloadConfig cfg;
+  cfg.burst_rate_factor = 0.5;
+  EXPECT_THROW(generate_trace(cfg), std::invalid_argument);
+  cfg = WorkloadConfig{};
+  cfg.burst_rate_factor = 5.0;
+  EXPECT_THROW(generate_trace(cfg), std::invalid_argument);
+  cfg = WorkloadConfig{};
+  cfg.bimodal_long_fraction = 1.5;
+  EXPECT_THROW(generate_trace(cfg), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tcb

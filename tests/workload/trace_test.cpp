@@ -1,0 +1,170 @@
+#include "workload/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "batching/packed_batch.hpp"
+
+namespace tcb {
+namespace {
+
+TEST(TraceTest, DeterministicForSeed) {
+  WorkloadConfig cfg;
+  cfg.rate = 50;
+  cfg.duration = 2.0;
+  cfg.seed = 9;
+  const auto a = generate_trace(cfg);
+  const auto b = generate_trace(cfg);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].id, b[i].id);
+    EXPECT_EQ(a[i].arrival, b[i].arrival);
+    EXPECT_EQ(a[i].length, b[i].length);
+  }
+}
+
+TEST(TraceTest, ArrivalsSortedAndWithinDuration) {
+  WorkloadConfig cfg;
+  cfg.rate = 200;
+  cfg.duration = 3.0;
+  const auto trace = generate_trace(cfg);
+  for (std::size_t i = 1; i < trace.size(); ++i)
+    EXPECT_GE(trace[i].arrival, trace[i - 1].arrival);
+  for (const auto& r : trace) {
+    EXPECT_GE(r.arrival, 0.0);
+    EXPECT_LT(r.arrival, cfg.duration);
+  }
+}
+
+TEST(TraceTest, PoissonCountApproximatesRateTimesDuration) {
+  WorkloadConfig cfg;
+  cfg.rate = 500;
+  cfg.duration = 10.0;
+  const auto trace = generate_trace(cfg);
+  const double expected = cfg.rate * cfg.duration;
+  EXPECT_NEAR(static_cast<double>(trace.size()), expected,
+              4.0 * std::sqrt(expected));
+}
+
+TEST(TraceTest, LengthsRespectBoundsAndMoments) {
+  WorkloadConfig cfg;
+  cfg.rate = 2000;
+  cfg.duration = 5.0;
+  cfg.min_len = 3;
+  cfg.max_len = 100;
+  cfg.mean_len = 20;
+  cfg.len_variance = 20;
+  const auto trace = generate_trace(cfg);
+  double sum = 0.0, sq = 0.0;
+  for (const auto& r : trace) {
+    EXPECT_GE(r.length, 3);
+    EXPECT_LE(r.length, 100);
+    sum += static_cast<double>(r.length);
+    sq += static_cast<double>(r.length) * static_cast<double>(r.length);
+  }
+  const double n = static_cast<double>(trace.size());
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 20.0, 0.5);
+  // Rounding to integers adds ~1/12 variance; truncation removes some.
+  EXPECT_NEAR(var, 20.0, 3.0);
+}
+
+TEST(TraceTest, DeadlinesWithinSlackWindow) {
+  WorkloadConfig cfg;
+  cfg.rate = 100;
+  cfg.duration = 2.0;
+  cfg.deadline_slack_min = 0.5;
+  cfg.deadline_slack_max = 2.0;
+  const auto trace = generate_trace(cfg);
+  for (const auto& r : trace) {
+    EXPECT_GE(r.deadline - r.arrival, 0.5);
+    EXPECT_LE(r.deadline - r.arrival, 2.0);
+  }
+}
+
+TEST(TraceTest, TokensGeneratedOnDemand) {
+  WorkloadConfig cfg;
+  cfg.rate = 50;
+  cfg.duration = 1.0;
+  cfg.with_tokens = true;
+  cfg.vocab_size = 64;
+  const auto trace = generate_trace(cfg);
+  ASSERT_FALSE(trace.empty());
+  for (const auto& r : trace) {
+    EXPECT_EQ(static_cast<Index>(r.tokens.size()), r.length);
+    for (const auto t : r.tokens) {
+      EXPECT_GE(t, kFirstWordToken);
+      EXPECT_LT(t, 64);
+    }
+  }
+  WorkloadConfig no_tokens = cfg;
+  no_tokens.with_tokens = false;
+  for (const auto& r : generate_trace(no_tokens))
+    EXPECT_TRUE(r.tokens.empty());
+}
+
+TEST(TraceTest, ZeroVarianceGivesConstantLength) {
+  WorkloadConfig cfg;
+  cfg.rate = 100;
+  cfg.duration = 1.0;
+  cfg.len_variance = 0.0;
+  cfg.mean_len = 17.0;
+  for (const auto& r : generate_trace(cfg)) EXPECT_EQ(r.length, 17);
+}
+
+TEST(TraceTest, ValidationCatchesBadConfigs) {
+  WorkloadConfig cfg;
+  cfg.rate = 0;
+  EXPECT_THROW(generate_trace(cfg), std::invalid_argument);
+  cfg = WorkloadConfig{};
+  cfg.min_len = 10;
+  cfg.max_len = 5;
+  EXPECT_THROW(generate_trace(cfg), std::invalid_argument);
+  cfg = WorkloadConfig{};
+  cfg.deadline_slack_min = 2.0;
+  cfg.deadline_slack_max = 1.0;
+  EXPECT_THROW(generate_trace(cfg), std::invalid_argument);
+}
+
+TEST(TraceTest, SaveLoadRoundTrip) {
+  WorkloadConfig cfg;
+  cfg.rate = 80;
+  cfg.duration = 1.5;
+  cfg.seed = 13;
+  const auto trace = generate_trace(cfg);
+  const std::string path = ::testing::TempDir() + "tcb_trace_test.csv";
+  save_trace(path, trace);
+  const auto loaded = load_trace(path);
+  std::remove(path.c_str());
+  ASSERT_EQ(loaded.size(), trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(loaded[i].id, trace[i].id);
+    EXPECT_NEAR(loaded[i].arrival, trace[i].arrival, 1e-5);
+    EXPECT_NEAR(loaded[i].deadline, trace[i].deadline, 1e-5);
+    EXPECT_EQ(loaded[i].length, trace[i].length);
+  }
+}
+
+TEST(TraceTest, LoadMissingFileThrows) {
+  EXPECT_THROW((void)load_trace("/nonexistent/trace.csv"), std::runtime_error);
+}
+
+TEST(SampleLengthTest, RespectsTruncation) {
+  WorkloadConfig cfg;
+  cfg.min_len = 5;
+  cfg.max_len = 8;
+  cfg.mean_len = 100.0;  // far outside the window: heavy truncation
+  cfg.len_variance = 4.0;
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    const Index len = sample_length(cfg, rng);
+    EXPECT_GE(len, 5);
+    EXPECT_LE(len, 8);
+  }
+}
+
+}  // namespace
+}  // namespace tcb
