@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_deadline_slack.dir/ablation_deadline_slack.cpp.o"
+  "CMakeFiles/ablation_deadline_slack.dir/ablation_deadline_slack.cpp.o.d"
+  "ablation_deadline_slack"
+  "ablation_deadline_slack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_deadline_slack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_eta_q.dir/ablation_eta_q.cpp.o"
+  "CMakeFiles/ablation_eta_q.dir/ablation_eta_q.cpp.o.d"
+  "ablation_eta_q"
+  "ablation_eta_q.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_eta_q.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

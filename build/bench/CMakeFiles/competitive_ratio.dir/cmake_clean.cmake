@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/competitive_ratio.dir/competitive_ratio.cpp.o"
+  "CMakeFiles/competitive_ratio.dir/competitive_ratio.cpp.o.d"
+  "competitive_ratio"
+  "competitive_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/competitive_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

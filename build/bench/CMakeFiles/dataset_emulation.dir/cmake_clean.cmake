@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dataset_emulation.dir/dataset_emulation.cpp.o"
+  "CMakeFiles/dataset_emulation.dir/dataset_emulation.cpp.o.d"
+  "dataset_emulation"
+  "dataset_emulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dataset_emulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_utility_vs_rate.dir/fig09_utility_vs_rate.cpp.o"
+  "CMakeFiles/fig09_utility_vs_rate.dir/fig09_utility_vs_rate.cpp.o.d"
+  "fig09_utility_vs_rate"
+  "fig09_utility_vs_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_utility_vs_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_throughput_vs_rate.dir/fig10_throughput_vs_rate.cpp.o"
+  "CMakeFiles/fig10_throughput_vs_rate.dir/fig10_throughput_vs_rate.cpp.o.d"
+  "fig10_throughput_vs_rate"
+  "fig10_throughput_vs_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_throughput_vs_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_fcfs_var20.dir/fig11_fcfs_var20.cpp.o"
+  "CMakeFiles/fig11_fcfs_var20.dir/fig11_fcfs_var20.cpp.o.d"
+  "fig11_fcfs_var20"
+  "fig11_fcfs_var20.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_fcfs_var20.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

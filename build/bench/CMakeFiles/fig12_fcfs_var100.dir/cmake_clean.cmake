@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_fcfs_var100.dir/fig12_fcfs_var100.cpp.o"
+  "CMakeFiles/fig12_fcfs_var100.dir/fig12_fcfs_var100.cpp.o.d"
+  "fig12_fcfs_var100"
+  "fig12_fcfs_var100.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_fcfs_var100.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

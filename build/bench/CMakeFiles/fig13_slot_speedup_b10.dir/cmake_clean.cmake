@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_slot_speedup_b10.dir/fig13_slot_speedup_b10.cpp.o"
+  "CMakeFiles/fig13_slot_speedup_b10.dir/fig13_slot_speedup_b10.cpp.o.d"
+  "fig13_slot_speedup_b10"
+  "fig13_slot_speedup_b10.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_slot_speedup_b10.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig13_slot_speedup_b10.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_slot_speedup_b32.dir/fig14_slot_speedup_b32.cpp.o"
+  "CMakeFiles/fig14_slot_speedup_b32.dir/fig14_slot_speedup_b32.cpp.o.d"
+  "fig14_slot_speedup_b32"
+  "fig14_slot_speedup_b32.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_slot_speedup_b32.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig14_slot_speedup_b32.
+# This may be replaced when dependencies are built.

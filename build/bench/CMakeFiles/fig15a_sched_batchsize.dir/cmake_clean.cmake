@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15a_sched_batchsize.dir/fig15a_sched_batchsize.cpp.o"
+  "CMakeFiles/fig15a_sched_batchsize.dir/fig15a_sched_batchsize.cpp.o.d"
+  "fig15a_sched_batchsize"
+  "fig15a_sched_batchsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15a_sched_batchsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

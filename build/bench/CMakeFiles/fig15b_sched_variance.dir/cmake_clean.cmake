@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15b_sched_variance.dir/fig15b_sched_variance.cpp.o"
+  "CMakeFiles/fig15b_sched_variance.dir/fig15b_sched_variance.cpp.o.d"
+  "fig15b_sched_variance"
+  "fig15b_sched_variance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15b_sched_variance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15c_sched_rowlen.dir/fig15c_sched_rowlen.cpp.o"
+  "CMakeFiles/fig15c_sched_rowlen.dir/fig15c_sched_rowlen.cpp.o.d"
+  "fig15c_sched_rowlen"
+  "fig15c_sched_rowlen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15c_sched_rowlen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

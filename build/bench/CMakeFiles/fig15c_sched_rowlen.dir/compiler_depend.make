@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig15c_sched_rowlen.
+# This may be replaced when dependencies are built.

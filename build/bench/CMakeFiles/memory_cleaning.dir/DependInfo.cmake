@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/memory_cleaning.cpp" "bench/CMakeFiles/memory_cleaning.dir/memory_cleaning.cpp.o" "gcc" "bench/CMakeFiles/memory_cleaning.dir/memory_cleaning.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tcb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/serving/CMakeFiles/tcb_serving.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/tcb_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/tcb_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/tcb_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/tcb_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/batching/CMakeFiles/tcb_batching.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/tcb_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/tcb_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tcb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memory_cleaning.dir/memory_cleaning.cpp.o"
+  "CMakeFiles/memory_cleaning.dir/memory_cleaning.cpp.o.d"
+  "memory_cleaning"
+  "memory_cleaning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memory_cleaning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scaling_workers.dir/scaling_workers.cpp.o"
+  "CMakeFiles/scaling_workers.dir/scaling_workers.cpp.o.d"
+  "scaling_workers"
+  "scaling_workers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scaling_workers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

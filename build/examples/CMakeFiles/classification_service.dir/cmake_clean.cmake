@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/classification_service.dir/classification_service.cpp.o"
+  "CMakeFiles/classification_service.dir/classification_service.cpp.o.d"
+  "classification_service"
+  "classification_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/classification_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/correctness_demo.dir/correctness_demo.cpp.o"
+  "CMakeFiles/correctness_demo.dir/correctness_demo.cpp.o.d"
+  "correctness_demo"
+  "correctness_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/correctness_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/text_service.dir/text_service.cpp.o"
+  "CMakeFiles/text_service.dir/text_service.cpp.o.d"
+  "text_service"
+  "text_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/text_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

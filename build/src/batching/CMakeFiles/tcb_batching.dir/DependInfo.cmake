@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/batching/batch_plan.cpp" "src/batching/CMakeFiles/tcb_batching.dir/batch_plan.cpp.o" "gcc" "src/batching/CMakeFiles/tcb_batching.dir/batch_plan.cpp.o.d"
+  "/root/repo/src/batching/concat_batcher.cpp" "src/batching/CMakeFiles/tcb_batching.dir/concat_batcher.cpp.o" "gcc" "src/batching/CMakeFiles/tcb_batching.dir/concat_batcher.cpp.o.d"
+  "/root/repo/src/batching/naive_batcher.cpp" "src/batching/CMakeFiles/tcb_batching.dir/naive_batcher.cpp.o" "gcc" "src/batching/CMakeFiles/tcb_batching.dir/naive_batcher.cpp.o.d"
+  "/root/repo/src/batching/packed_batch.cpp" "src/batching/CMakeFiles/tcb_batching.dir/packed_batch.cpp.o" "gcc" "src/batching/CMakeFiles/tcb_batching.dir/packed_batch.cpp.o.d"
+  "/root/repo/src/batching/slotted_batcher.cpp" "src/batching/CMakeFiles/tcb_batching.dir/slotted_batcher.cpp.o" "gcc" "src/batching/CMakeFiles/tcb_batching.dir/slotted_batcher.cpp.o.d"
+  "/root/repo/src/batching/stats.cpp" "src/batching/CMakeFiles/tcb_batching.dir/stats.cpp.o" "gcc" "src/batching/CMakeFiles/tcb_batching.dir/stats.cpp.o.d"
+  "/root/repo/src/batching/turbo_batcher.cpp" "src/batching/CMakeFiles/tcb_batching.dir/turbo_batcher.cpp.o" "gcc" "src/batching/CMakeFiles/tcb_batching.dir/turbo_batcher.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/tcb_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tcb_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/tcb_parallel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

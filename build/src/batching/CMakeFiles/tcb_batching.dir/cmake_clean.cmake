@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcb_batching.dir/batch_plan.cpp.o"
+  "CMakeFiles/tcb_batching.dir/batch_plan.cpp.o.d"
+  "CMakeFiles/tcb_batching.dir/concat_batcher.cpp.o"
+  "CMakeFiles/tcb_batching.dir/concat_batcher.cpp.o.d"
+  "CMakeFiles/tcb_batching.dir/naive_batcher.cpp.o"
+  "CMakeFiles/tcb_batching.dir/naive_batcher.cpp.o.d"
+  "CMakeFiles/tcb_batching.dir/packed_batch.cpp.o"
+  "CMakeFiles/tcb_batching.dir/packed_batch.cpp.o.d"
+  "CMakeFiles/tcb_batching.dir/slotted_batcher.cpp.o"
+  "CMakeFiles/tcb_batching.dir/slotted_batcher.cpp.o.d"
+  "CMakeFiles/tcb_batching.dir/stats.cpp.o"
+  "CMakeFiles/tcb_batching.dir/stats.cpp.o.d"
+  "CMakeFiles/tcb_batching.dir/turbo_batcher.cpp.o"
+  "CMakeFiles/tcb_batching.dir/turbo_batcher.cpp.o.d"
+  "libtcb_batching.a"
+  "libtcb_batching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcb_batching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

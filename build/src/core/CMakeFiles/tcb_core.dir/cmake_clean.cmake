@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcb_core.dir/tcb.cpp.o"
+  "CMakeFiles/tcb_core.dir/tcb.cpp.o.d"
+  "libtcb_core.a"
+  "libtcb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

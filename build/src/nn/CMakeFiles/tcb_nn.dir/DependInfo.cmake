@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/attention.cpp" "src/nn/CMakeFiles/tcb_nn.dir/attention.cpp.o" "gcc" "src/nn/CMakeFiles/tcb_nn.dir/attention.cpp.o.d"
+  "/root/repo/src/nn/classifier.cpp" "src/nn/CMakeFiles/tcb_nn.dir/classifier.cpp.o" "gcc" "src/nn/CMakeFiles/tcb_nn.dir/classifier.cpp.o.d"
+  "/root/repo/src/nn/decoder.cpp" "src/nn/CMakeFiles/tcb_nn.dir/decoder.cpp.o" "gcc" "src/nn/CMakeFiles/tcb_nn.dir/decoder.cpp.o.d"
+  "/root/repo/src/nn/embedding.cpp" "src/nn/CMakeFiles/tcb_nn.dir/embedding.cpp.o" "gcc" "src/nn/CMakeFiles/tcb_nn.dir/embedding.cpp.o.d"
+  "/root/repo/src/nn/encoder.cpp" "src/nn/CMakeFiles/tcb_nn.dir/encoder.cpp.o" "gcc" "src/nn/CMakeFiles/tcb_nn.dir/encoder.cpp.o.d"
+  "/root/repo/src/nn/feed_forward.cpp" "src/nn/CMakeFiles/tcb_nn.dir/feed_forward.cpp.o" "gcc" "src/nn/CMakeFiles/tcb_nn.dir/feed_forward.cpp.o.d"
+  "/root/repo/src/nn/linear.cpp" "src/nn/CMakeFiles/tcb_nn.dir/linear.cpp.o" "gcc" "src/nn/CMakeFiles/tcb_nn.dir/linear.cpp.o.d"
+  "/root/repo/src/nn/model.cpp" "src/nn/CMakeFiles/tcb_nn.dir/model.cpp.o" "gcc" "src/nn/CMakeFiles/tcb_nn.dir/model.cpp.o.d"
+  "/root/repo/src/nn/model_config.cpp" "src/nn/CMakeFiles/tcb_nn.dir/model_config.cpp.o" "gcc" "src/nn/CMakeFiles/tcb_nn.dir/model_config.cpp.o.d"
+  "/root/repo/src/nn/positional_encoding.cpp" "src/nn/CMakeFiles/tcb_nn.dir/positional_encoding.cpp.o" "gcc" "src/nn/CMakeFiles/tcb_nn.dir/positional_encoding.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/tcb_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/batching/CMakeFiles/tcb_batching.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/tcb_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tcb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcb_nn.dir/attention.cpp.o"
+  "CMakeFiles/tcb_nn.dir/attention.cpp.o.d"
+  "CMakeFiles/tcb_nn.dir/classifier.cpp.o"
+  "CMakeFiles/tcb_nn.dir/classifier.cpp.o.d"
+  "CMakeFiles/tcb_nn.dir/decoder.cpp.o"
+  "CMakeFiles/tcb_nn.dir/decoder.cpp.o.d"
+  "CMakeFiles/tcb_nn.dir/embedding.cpp.o"
+  "CMakeFiles/tcb_nn.dir/embedding.cpp.o.d"
+  "CMakeFiles/tcb_nn.dir/encoder.cpp.o"
+  "CMakeFiles/tcb_nn.dir/encoder.cpp.o.d"
+  "CMakeFiles/tcb_nn.dir/feed_forward.cpp.o"
+  "CMakeFiles/tcb_nn.dir/feed_forward.cpp.o.d"
+  "CMakeFiles/tcb_nn.dir/linear.cpp.o"
+  "CMakeFiles/tcb_nn.dir/linear.cpp.o.d"
+  "CMakeFiles/tcb_nn.dir/model.cpp.o"
+  "CMakeFiles/tcb_nn.dir/model.cpp.o.d"
+  "CMakeFiles/tcb_nn.dir/model_config.cpp.o"
+  "CMakeFiles/tcb_nn.dir/model_config.cpp.o.d"
+  "CMakeFiles/tcb_nn.dir/positional_encoding.cpp.o"
+  "CMakeFiles/tcb_nn.dir/positional_encoding.cpp.o.d"
+  "libtcb_nn.a"
+  "libtcb_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcb_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

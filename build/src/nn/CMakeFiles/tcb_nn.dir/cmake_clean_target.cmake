@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtcb_nn.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcb_parallel.dir/thread_pool.cpp.o"
+  "CMakeFiles/tcb_parallel.dir/thread_pool.cpp.o.d"
+  "libtcb_parallel.a"
+  "libtcb_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcb_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/baselines.cpp" "src/sched/CMakeFiles/tcb_sched.dir/baselines.cpp.o" "gcc" "src/sched/CMakeFiles/tcb_sched.dir/baselines.cpp.o.d"
+  "/root/repo/src/sched/das.cpp" "src/sched/CMakeFiles/tcb_sched.dir/das.cpp.o" "gcc" "src/sched/CMakeFiles/tcb_sched.dir/das.cpp.o.d"
+  "/root/repo/src/sched/factory.cpp" "src/sched/CMakeFiles/tcb_sched.dir/factory.cpp.o" "gcc" "src/sched/CMakeFiles/tcb_sched.dir/factory.cpp.o.d"
+  "/root/repo/src/sched/offline_bound.cpp" "src/sched/CMakeFiles/tcb_sched.dir/offline_bound.cpp.o" "gcc" "src/sched/CMakeFiles/tcb_sched.dir/offline_bound.cpp.o.d"
+  "/root/repo/src/sched/scheduler.cpp" "src/sched/CMakeFiles/tcb_sched.dir/scheduler.cpp.o" "gcc" "src/sched/CMakeFiles/tcb_sched.dir/scheduler.cpp.o.d"
+  "/root/repo/src/sched/slotted_das.cpp" "src/sched/CMakeFiles/tcb_sched.dir/slotted_das.cpp.o" "gcc" "src/sched/CMakeFiles/tcb_sched.dir/slotted_das.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/batching/CMakeFiles/tcb_batching.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tcb_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/tcb_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/tcb_parallel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcb_sched.dir/baselines.cpp.o"
+  "CMakeFiles/tcb_sched.dir/baselines.cpp.o.d"
+  "CMakeFiles/tcb_sched.dir/das.cpp.o"
+  "CMakeFiles/tcb_sched.dir/das.cpp.o.d"
+  "CMakeFiles/tcb_sched.dir/factory.cpp.o"
+  "CMakeFiles/tcb_sched.dir/factory.cpp.o.d"
+  "CMakeFiles/tcb_sched.dir/offline_bound.cpp.o"
+  "CMakeFiles/tcb_sched.dir/offline_bound.cpp.o.d"
+  "CMakeFiles/tcb_sched.dir/scheduler.cpp.o"
+  "CMakeFiles/tcb_sched.dir/scheduler.cpp.o.d"
+  "CMakeFiles/tcb_sched.dir/slotted_das.cpp.o"
+  "CMakeFiles/tcb_sched.dir/slotted_das.cpp.o.d"
+  "libtcb_sched.a"
+  "libtcb_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcb_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

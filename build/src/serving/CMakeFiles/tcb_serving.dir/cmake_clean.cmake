@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcb_serving.dir/cost_model.cpp.o"
+  "CMakeFiles/tcb_serving.dir/cost_model.cpp.o.d"
+  "CMakeFiles/tcb_serving.dir/simulator.cpp.o"
+  "CMakeFiles/tcb_serving.dir/simulator.cpp.o.d"
+  "libtcb_serving.a"
+  "libtcb_serving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcb_serving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcb_tensor.dir/io.cpp.o"
+  "CMakeFiles/tcb_tensor.dir/io.cpp.o.d"
+  "CMakeFiles/tcb_tensor.dir/ops.cpp.o"
+  "CMakeFiles/tcb_tensor.dir/ops.cpp.o.d"
+  "CMakeFiles/tcb_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/tcb_tensor.dir/tensor.cpp.o.d"
+  "libtcb_tensor.a"
+  "libtcb_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcb_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcb_text.dir/tokenizer.cpp.o"
+  "CMakeFiles/tcb_text.dir/tokenizer.cpp.o.d"
+  "CMakeFiles/tcb_text.dir/vocabulary.cpp.o"
+  "CMakeFiles/tcb_text.dir/vocabulary.cpp.o.d"
+  "libtcb_text.a"
+  "libtcb_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcb_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

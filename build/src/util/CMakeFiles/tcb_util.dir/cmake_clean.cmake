@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcb_util.dir/csv.cpp.o"
+  "CMakeFiles/tcb_util.dir/csv.cpp.o.d"
+  "CMakeFiles/tcb_util.dir/env.cpp.o"
+  "CMakeFiles/tcb_util.dir/env.cpp.o.d"
+  "CMakeFiles/tcb_util.dir/histogram.cpp.o"
+  "CMakeFiles/tcb_util.dir/histogram.cpp.o.d"
+  "CMakeFiles/tcb_util.dir/rng.cpp.o"
+  "CMakeFiles/tcb_util.dir/rng.cpp.o.d"
+  "CMakeFiles/tcb_util.dir/stats.cpp.o"
+  "CMakeFiles/tcb_util.dir/stats.cpp.o.d"
+  "CMakeFiles/tcb_util.dir/table.cpp.o"
+  "CMakeFiles/tcb_util.dir/table.cpp.o.d"
+  "libtcb_util.a"
+  "libtcb_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcb_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

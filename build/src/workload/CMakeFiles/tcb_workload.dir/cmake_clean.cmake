@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcb_workload.dir/trace.cpp.o"
+  "CMakeFiles/tcb_workload.dir/trace.cpp.o.d"
+  "libtcb_workload.a"
+  "libtcb_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcb_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/batching_tests.dir/batching/batch_plan_test.cpp.o"
+  "CMakeFiles/batching_tests.dir/batching/batch_plan_test.cpp.o.d"
+  "CMakeFiles/batching_tests.dir/batching/batcher_property_test.cpp.o"
+  "CMakeFiles/batching_tests.dir/batching/batcher_property_test.cpp.o.d"
+  "CMakeFiles/batching_tests.dir/batching/concat_batcher_test.cpp.o"
+  "CMakeFiles/batching_tests.dir/batching/concat_batcher_test.cpp.o.d"
+  "CMakeFiles/batching_tests.dir/batching/naive_batcher_test.cpp.o"
+  "CMakeFiles/batching_tests.dir/batching/naive_batcher_test.cpp.o.d"
+  "CMakeFiles/batching_tests.dir/batching/packed_batch_test.cpp.o"
+  "CMakeFiles/batching_tests.dir/batching/packed_batch_test.cpp.o.d"
+  "CMakeFiles/batching_tests.dir/batching/slotted_batcher_test.cpp.o"
+  "CMakeFiles/batching_tests.dir/batching/slotted_batcher_test.cpp.o.d"
+  "CMakeFiles/batching_tests.dir/batching/stats_test.cpp.o"
+  "CMakeFiles/batching_tests.dir/batching/stats_test.cpp.o.d"
+  "CMakeFiles/batching_tests.dir/batching/turbo_batcher_test.cpp.o"
+  "CMakeFiles/batching_tests.dir/batching/turbo_batcher_test.cpp.o.d"
+  "batching_tests"
+  "batching_tests.pdb"
+  "batching_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/batching_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

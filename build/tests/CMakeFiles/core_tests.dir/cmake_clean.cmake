@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tests.dir/core/classify_serving_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/classify_serving_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/end_to_end_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/end_to_end_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/failure_injection_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/failure_injection_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/slotted_integration_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/slotted_integration_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/tcb_system_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/tcb_system_test.cpp.o.d"
+  "core_tests"
+  "core_tests.pdb"
+  "core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/nn/attention_reference_test.cpp" "tests/CMakeFiles/nn_tests.dir/nn/attention_reference_test.cpp.o" "gcc" "tests/CMakeFiles/nn_tests.dir/nn/attention_reference_test.cpp.o.d"
+  "/root/repo/tests/nn/attention_test.cpp" "tests/CMakeFiles/nn_tests.dir/nn/attention_test.cpp.o" "gcc" "tests/CMakeFiles/nn_tests.dir/nn/attention_test.cpp.o.d"
+  "/root/repo/tests/nn/classifier_test.cpp" "tests/CMakeFiles/nn_tests.dir/nn/classifier_test.cpp.o" "gcc" "tests/CMakeFiles/nn_tests.dir/nn/classifier_test.cpp.o.d"
+  "/root/repo/tests/nn/decode_cap_test.cpp" "tests/CMakeFiles/nn_tests.dir/nn/decode_cap_test.cpp.o" "gcc" "tests/CMakeFiles/nn_tests.dir/nn/decode_cap_test.cpp.o.d"
+  "/root/repo/tests/nn/decoder_test.cpp" "tests/CMakeFiles/nn_tests.dir/nn/decoder_test.cpp.o" "gcc" "tests/CMakeFiles/nn_tests.dir/nn/decoder_test.cpp.o.d"
+  "/root/repo/tests/nn/encoder_test.cpp" "tests/CMakeFiles/nn_tests.dir/nn/encoder_test.cpp.o" "gcc" "tests/CMakeFiles/nn_tests.dir/nn/encoder_test.cpp.o.d"
+  "/root/repo/tests/nn/equivalence_property_test.cpp" "tests/CMakeFiles/nn_tests.dir/nn/equivalence_property_test.cpp.o" "gcc" "tests/CMakeFiles/nn_tests.dir/nn/equivalence_property_test.cpp.o.d"
+  "/root/repo/tests/nn/equivalence_test.cpp" "tests/CMakeFiles/nn_tests.dir/nn/equivalence_test.cpp.o" "gcc" "tests/CMakeFiles/nn_tests.dir/nn/equivalence_test.cpp.o.d"
+  "/root/repo/tests/nn/linear_embedding_test.cpp" "tests/CMakeFiles/nn_tests.dir/nn/linear_embedding_test.cpp.o" "gcc" "tests/CMakeFiles/nn_tests.dir/nn/linear_embedding_test.cpp.o.d"
+  "/root/repo/tests/nn/model_determinism_test.cpp" "tests/CMakeFiles/nn_tests.dir/nn/model_determinism_test.cpp.o" "gcc" "tests/CMakeFiles/nn_tests.dir/nn/model_determinism_test.cpp.o.d"
+  "/root/repo/tests/nn/positional_encoding_test.cpp" "tests/CMakeFiles/nn_tests.dir/nn/positional_encoding_test.cpp.o" "gcc" "tests/CMakeFiles/nn_tests.dir/nn/positional_encoding_test.cpp.o.d"
+  "/root/repo/tests/nn/sampling_test.cpp" "tests/CMakeFiles/nn_tests.dir/nn/sampling_test.cpp.o" "gcc" "tests/CMakeFiles/nn_tests.dir/nn/sampling_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tcb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/serving/CMakeFiles/tcb_serving.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/tcb_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/tcb_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/tcb_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/tcb_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/batching/CMakeFiles/tcb_batching.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/tcb_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/tcb_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tcb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

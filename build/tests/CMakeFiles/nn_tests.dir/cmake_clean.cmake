@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn_tests.dir/nn/attention_reference_test.cpp.o"
+  "CMakeFiles/nn_tests.dir/nn/attention_reference_test.cpp.o.d"
+  "CMakeFiles/nn_tests.dir/nn/attention_test.cpp.o"
+  "CMakeFiles/nn_tests.dir/nn/attention_test.cpp.o.d"
+  "CMakeFiles/nn_tests.dir/nn/classifier_test.cpp.o"
+  "CMakeFiles/nn_tests.dir/nn/classifier_test.cpp.o.d"
+  "CMakeFiles/nn_tests.dir/nn/decode_cap_test.cpp.o"
+  "CMakeFiles/nn_tests.dir/nn/decode_cap_test.cpp.o.d"
+  "CMakeFiles/nn_tests.dir/nn/decoder_test.cpp.o"
+  "CMakeFiles/nn_tests.dir/nn/decoder_test.cpp.o.d"
+  "CMakeFiles/nn_tests.dir/nn/encoder_test.cpp.o"
+  "CMakeFiles/nn_tests.dir/nn/encoder_test.cpp.o.d"
+  "CMakeFiles/nn_tests.dir/nn/equivalence_property_test.cpp.o"
+  "CMakeFiles/nn_tests.dir/nn/equivalence_property_test.cpp.o.d"
+  "CMakeFiles/nn_tests.dir/nn/equivalence_test.cpp.o"
+  "CMakeFiles/nn_tests.dir/nn/equivalence_test.cpp.o.d"
+  "CMakeFiles/nn_tests.dir/nn/linear_embedding_test.cpp.o"
+  "CMakeFiles/nn_tests.dir/nn/linear_embedding_test.cpp.o.d"
+  "CMakeFiles/nn_tests.dir/nn/model_determinism_test.cpp.o"
+  "CMakeFiles/nn_tests.dir/nn/model_determinism_test.cpp.o.d"
+  "CMakeFiles/nn_tests.dir/nn/positional_encoding_test.cpp.o"
+  "CMakeFiles/nn_tests.dir/nn/positional_encoding_test.cpp.o.d"
+  "CMakeFiles/nn_tests.dir/nn/sampling_test.cpp.o"
+  "CMakeFiles/nn_tests.dir/nn/sampling_test.cpp.o.d"
+  "nn_tests"
+  "nn_tests.pdb"
+  "nn_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

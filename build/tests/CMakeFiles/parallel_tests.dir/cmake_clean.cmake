@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_tests.dir/parallel/thread_pool_test.cpp.o"
+  "CMakeFiles/parallel_tests.dir/parallel/thread_pool_test.cpp.o.d"
+  "parallel_tests"
+  "parallel_tests.pdb"
+  "parallel_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

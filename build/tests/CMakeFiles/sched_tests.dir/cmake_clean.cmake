@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_tests.dir/sched/baselines_test.cpp.o"
+  "CMakeFiles/sched_tests.dir/sched/baselines_test.cpp.o.d"
+  "CMakeFiles/sched_tests.dir/sched/competitive_test.cpp.o"
+  "CMakeFiles/sched_tests.dir/sched/competitive_test.cpp.o.d"
+  "CMakeFiles/sched_tests.dir/sched/das_property_test.cpp.o"
+  "CMakeFiles/sched_tests.dir/sched/das_property_test.cpp.o.d"
+  "CMakeFiles/sched_tests.dir/sched/das_test.cpp.o"
+  "CMakeFiles/sched_tests.dir/sched/das_test.cpp.o.d"
+  "CMakeFiles/sched_tests.dir/sched/offline_bound_test.cpp.o"
+  "CMakeFiles/sched_tests.dir/sched/offline_bound_test.cpp.o.d"
+  "CMakeFiles/sched_tests.dir/sched/slotted_das_test.cpp.o"
+  "CMakeFiles/sched_tests.dir/sched/slotted_das_test.cpp.o.d"
+  "CMakeFiles/sched_tests.dir/sched/weighted_utility_test.cpp.o"
+  "CMakeFiles/sched_tests.dir/sched/weighted_utility_test.cpp.o.d"
+  "sched_tests"
+  "sched_tests.pdb"
+  "sched_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

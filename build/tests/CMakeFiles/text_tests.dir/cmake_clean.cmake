@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/text_tests.dir/text/tokenizer_test.cpp.o"
+  "CMakeFiles/text_tests.dir/text/tokenizer_test.cpp.o.d"
+  "CMakeFiles/text_tests.dir/text/vocabulary_test.cpp.o"
+  "CMakeFiles/text_tests.dir/text/vocabulary_test.cpp.o.d"
+  "text_tests"
+  "text_tests.pdb"
+  "text_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/text_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
