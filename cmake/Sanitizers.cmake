@@ -1,0 +1,58 @@
+# Sanitizer composition for the TCB build.
+#
+# Usage: set TCB_SANITIZE to a semicolon- or comma-separated subset of
+# {address, undefined, thread} (the CMake presets do this; -DTCB_SANITIZE=...
+# works too). address+undefined compose; thread is mutually exclusive with
+# address by toolchain rule, and this module enforces that early with a
+# readable error instead of a cryptic link failure.
+#
+# Any enabled sanitizer also defines TCB_ENABLE_DCHECKS so the per-element
+# invariant checks in src/util/check.hpp run at full strength exactly in the
+# builds meant to catch memory/threading bugs.
+
+set(TCB_SANITIZE "" CACHE STRING
+    "Sanitizers to enable: any of address;undefined;thread")
+
+string(REPLACE "," ";" _tcb_sanitizers "${TCB_SANITIZE}")
+
+set(TCB_SANITIZER_FLAGS "")
+set(_tcb_has_address OFF)
+set(_tcb_has_thread OFF)
+
+foreach(_san IN LISTS _tcb_sanitizers)
+  string(STRIP "${_san}" _san)
+  string(TOLOWER "${_san}" _san)
+  if(_san STREQUAL "")
+    continue()
+  elseif(_san STREQUAL "address")
+    list(APPEND TCB_SANITIZER_FLAGS -fsanitize=address)
+    set(_tcb_has_address ON)
+  elseif(_san STREQUAL "undefined")
+    # Trap-free UBSan with full default checks; halt on the first report so
+    # ctest fails loudly instead of scrolling diagnostics past a green run.
+    list(APPEND TCB_SANITIZER_FLAGS -fsanitize=undefined
+         -fno-sanitize-recover=undefined)
+  elseif(_san STREQUAL "thread")
+    list(APPEND TCB_SANITIZER_FLAGS -fsanitize=thread)
+    set(_tcb_has_thread ON)
+  else()
+    message(FATAL_ERROR "Unknown TCB_SANITIZE entry '${_san}' "
+            "(expected address, undefined, or thread)")
+  endif()
+endforeach()
+
+if(_tcb_has_address AND _tcb_has_thread)
+  message(FATAL_ERROR "TCB_SANITIZE: address and thread sanitizers cannot be "
+          "combined in one build; configure two presets instead")
+endif()
+
+if(TCB_SANITIZER_FLAGS)
+  list(REMOVE_DUPLICATES TCB_SANITIZER_FLAGS)
+  # Keep frames honest for sanitizer reports and make the instrumented code
+  # debuggable; -O1 keeps TSan runs of the stress suite tolerable.
+  list(APPEND TCB_SANITIZER_FLAGS -fno-omit-frame-pointer -g)
+  add_compile_options(${TCB_SANITIZER_FLAGS} -O1)
+  add_link_options(${TCB_SANITIZER_FLAGS})
+  add_compile_definitions(TCB_ENABLE_DCHECKS)
+  message(STATUS "TCB sanitizers enabled: ${TCB_SANITIZE}")
+endif()

@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Runs clang-tidy over the first-party sources with the repo's .clang-tidy
+# config and a compile_commands.json exported by any CMake preset.
+#
+# Usage:
+#   scripts/run-clang-tidy.sh [build-dir] [file...]
+#
+#   build-dir  directory containing compile_commands.json (default: the
+#              first of build, build-release, build-debug that has one;
+#              configured automatically by every preset via
+#              CMAKE_EXPORT_COMPILE_COMMANDS)
+#   file...    restrict the run to these sources (the CI changed-files job
+#              does this); default is every .cpp under src/.
+#
+# Exits 0 with a notice when clang-tidy is not installed so that local
+# pre-commit hooks and minimal containers degrade gracefully; CI installs
+# clang-tidy explicitly and will therefore always enforce the gate.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+TIDY_BIN="${CLANG_TIDY:-clang-tidy}"
+if ! command -v "$TIDY_BIN" >/dev/null 2>&1; then
+  echo "run-clang-tidy: '$TIDY_BIN' not found on PATH; skipping lint (install" \
+       "clang-tidy or set CLANG_TIDY to enforce the gate locally)." >&2
+  exit 0
+fi
+
+build_dir="${1:-}"
+if [[ $# -gt 0 ]]; then shift; fi
+if [[ -z "$build_dir" ]]; then
+  for candidate in build build-release build-debug build-asan-ubsan; do
+    if [[ -f "$candidate/compile_commands.json" ]]; then
+      build_dir="$candidate"
+      break
+    fi
+  done
+fi
+if [[ -z "$build_dir" || ! -f "$build_dir/compile_commands.json" ]]; then
+  echo "run-clang-tidy: no compile_commands.json found; configure first, e.g." >&2
+  echo "  cmake --preset release" >&2
+  exit 2
+fi
+
+files=("$@")
+if [[ ${#files[@]} -eq 0 ]]; then
+  mapfile -t files < <(find src -name '*.cpp' | sort)
+fi
+if [[ ${#files[@]} -eq 0 ]]; then
+  echo "run-clang-tidy: nothing to lint." >&2
+  exit 0
+fi
+
+echo "run-clang-tidy: linting ${#files[@]} file(s) against $build_dir" >&2
+status=0
+for f in "${files[@]}"; do
+  # Non-source arguments (headers, deleted files from a git diff) are skipped.
+  [[ "$f" == *.cpp && -f "$f" ]] || continue
+  "$TIDY_BIN" -p "$build_dir" --quiet "$f" || status=1
+done
+
+if [[ $status -ne 0 ]]; then
+  echo "run-clang-tidy: findings above must be fixed (WarningsAsErrors=*)." >&2
+fi
+exit $status

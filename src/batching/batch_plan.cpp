@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "util/check.hpp"
+
 namespace tcb {
 
 const char* scheme_name(Scheme scheme) noexcept {
@@ -110,8 +112,15 @@ std::vector<std::int32_t> segment_map(const RowLayout& row) {
   std::vector<std::int32_t> map(static_cast<std::size_t>(row.width), -1);
   for (std::size_t s = 0; s < row.segments.size(); ++s) {
     const auto& seg = row.segments[s];
-    for (Index p = seg.offset; p < seg.offset + seg.length; ++p)
+    TCB_DCHECK(seg.offset >= 0 && seg.length > 0 &&
+                   seg.offset + seg.length <= row.width,
+               "segment_map: segment outside its row");
+    for (Index p = seg.offset; p < seg.offset + seg.length; ++p) {
+      TCB_DCHECK(map[static_cast<std::size_t>(p)] == -1,
+                 "segment_map: overlapping segments at position " +
+                     std::to_string(p));
       map[static_cast<std::size_t>(p)] = static_cast<std::int32_t>(s);
+    }
   }
   return map;
 }

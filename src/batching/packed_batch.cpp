@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "util/check.hpp"
+
 namespace tcb {
 
 PackedBatch pack_batch(
@@ -25,6 +27,13 @@ PackedBatch pack_batch(
         throw std::invalid_argument(
             "pack_batch: token count mismatch for request " +
             std::to_string(seg.request_id));
+      // The segment span must sit inside the materialized row; a violation
+      // here means the batcher produced an inconsistent plan.
+      TCB_CHECK(seg.offset >= 0 && seg.length > 0 &&
+                    seg.offset + seg.length <= packed.width,
+                "pack_batch: segment [" + std::to_string(seg.offset) + ", " +
+                    std::to_string(seg.offset + seg.length) +
+                    ") outside row width " + std::to_string(packed.width));
       for (Index i = 0; i < seg.length; ++i)
         packed.tokens[static_cast<std::size_t>(r * packed.width + seg.offset +
                                                i)] = req.tokens[static_cast<std::size_t>(i)];

@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "batching/batch_plan.hpp"
+#include "util/check.hpp"
 
 namespace tcb {
 
@@ -23,6 +24,8 @@ struct PackedBatch {
     return static_cast<Index>(plan.rows.size());
   }
   [[nodiscard]] Index token_at(Index row, Index col) const {
+    TCB_DCHECK(row >= 0 && row < rows() && col >= 0 && col < width,
+               "PackedBatch::token_at out of bounds");
     return tokens[static_cast<std::size_t>(row * width + col)];
   }
 };

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "util/check.hpp"
+
 namespace tcb {
 
 SlottedConcatBatcher::SlottedConcatBatcher(Index slot_len)
@@ -40,6 +42,13 @@ BatchBuildResult SlottedConcatBatcher::build(std::vector<Request> selected,
           if (used[r][s] + req.length <= slot_len_) {
             const Index offset =
                 static_cast<Index>(s) * slot_len_ + used[r][s];
+            // Slot-offset math (paper Fig. 4): the segment must end inside
+            // its slot and inside the row capacity.
+            TCB_DCHECK(offset + req.length <=
+                           (static_cast<Index>(s) + 1) * slot_len_,
+                       "slotted placement straddles a slot boundary");
+            TCB_DCHECK(offset + req.length <= row_capacity,
+                       "slotted placement exceeds row capacity");
             result.plan.rows[r].segments.push_back(
                 Segment{req.id, offset, req.length, static_cast<Index>(s)});
             used[r][s] += req.length;
@@ -66,6 +75,8 @@ BatchBuildResult SlottedConcatBatcher::build(std::vector<Request> selected,
     Index last_slot = 0;
     for (const auto& seg : row.segments) last_slot = std::max(last_slot, seg.slot);
     row.width = std::min((last_slot + 1) * slot_len_, row_capacity);
+    TCB_DCHECK(row.used_tokens() <= row.width,
+               "slotted row materialized narrower than its segments");
     compact.push_back(std::move(row));
   }
   result.plan.rows = std::move(compact);

@@ -10,7 +10,7 @@
 #include "batching/packed_batch.hpp"
 #include "batching/slotted_batcher.hpp"
 #include "batching/turbo_batcher.hpp"
-#include "util/timer.hpp"
+#include "util/check.hpp"
 
 namespace tcb {
 namespace {
@@ -25,10 +25,31 @@ struct BatchOutcome {
 
 using BatchFn = std::function<BatchOutcome(const PackedBatch&)>;
 
+/// How the virtual clock prices a batch: full seq2seq inference (encode +
+/// auto-regressive decode) or encoder-only classification.
+enum class ClockMode : std::uint8_t { kSeq2Seq, kEncoderOnly };
+
+/// Virtual-clock advance for one batch. The engine-backed loop runs the real
+/// CPU engine for *outputs*, but advances serving time with the analytical
+/// cost model of the configured model on the configured hardware profile.
+/// Pricing from the plan geometry keeps the serving dynamics — queueing,
+/// deadline expiry, utility — deterministic and independent of how fast the
+/// host machine happens to execute the engine.
+double batch_clock_seconds(const AnalyticalCostModel& clock,
+                           const BatchPlan& plan, ClockMode mode) {
+  const CostBreakdown cost = clock.breakdown(plan);
+  const double seconds = mode == ClockMode::kEncoderOnly
+                             ? cost.encoder_seconds + cost.overhead_seconds
+                             : cost.total_seconds();
+  TCB_CHECK(seconds > 0.0, "batch clock must advance");
+  return seconds;
+}
+
 /// The engine-backed serving loop shared by seq2seq and classification
 /// serving: deliver arrivals, evict unschedulable requests, schedule, lay
-/// out, run the engine (timed, advancing the virtual clock), account.
+/// out, run the engine (advancing the virtual clock with `clock`), account.
 ServeResult run_engine_loop(const TcbConfig& cfg, const Scheduler& scheduler,
+                            const AnalyticalCostModel& clock, ClockMode mode,
                             const std::vector<Request>& trace,
                             const BatchFn& run_batch) {
   for (const auto& req : trace)
@@ -98,9 +119,8 @@ ServeResult run_engine_loop(const TcbConfig& cfg, const Scheduler& scheduler,
     for (const auto& req : pending) by_id.emplace(req.id, &req);
     const PackedBatch packed = pack_batch(built.plan, by_id);
 
-    const Timer timer;
     BatchOutcome outcome = run_batch(packed);
-    const double batch_time = std::max(timer.elapsed_seconds(), 1e-9);
+    const double batch_time = batch_clock_seconds(clock, built.plan, mode);
     const double completion = now + batch_time;
 
     result.peak_kv_bytes = std::max(result.peak_kv_bytes, outcome.peak_kv_bytes);
@@ -151,6 +171,8 @@ TcbSystem::TcbSystem(TcbConfig cfg) : cfg_(std::move(cfg)) {
   scheduler_ = make_scheduler(cfg_.scheduler, cfg_.sched);
   analytical_ = std::make_unique<AnalyticalCostModel>(
       ModelConfig::paper_scale(), cfg_.hardware);
+  engine_clock_ =
+      std::make_unique<AnalyticalCostModel>(cfg_.model, cfg_.hardware);
 }
 
 ServingReport TcbSystem::simulate(const std::vector<Request>& trace) const {
@@ -169,7 +191,8 @@ ServeResult TcbSystem::serve(const std::vector<Request>& trace) const {
   opts.early_memory_cleaning = cfg_.early_memory_cleaning;
 
   return run_engine_loop(
-      cfg_, *scheduler_, trace, [&](const PackedBatch& packed) {
+      cfg_, *scheduler_, *engine_clock_, ClockMode::kSeq2Seq, trace,
+      [&](const PackedBatch& packed) {
         InferenceResult inf = model_->infer(packed, opts);
         BatchOutcome outcome;
         outcome.peak_kv_bytes = inf.peak_kv_bytes;
@@ -191,7 +214,8 @@ ServeResult TcbSystem::serve_classify(const std::vector<Request>& trace,
                                                     : AttentionMode::kPureConcat;
 
   return run_engine_loop(
-      cfg_, *scheduler_, trace, [&](const PackedBatch& packed) {
+      cfg_, *scheduler_, *engine_clock_, ClockMode::kEncoderOnly, trace,
+      [&](const PackedBatch& packed) {
         const EncoderMemory memory = model_->encode(packed, opts);
         BatchOutcome outcome;
         for (const auto& [id, label] : head.classify(memory)) {

@@ -4,10 +4,13 @@
 // batching scheme (naive / turbo / pure concat / slotted concat) and the
 // ConcatBatching-aware inference engine together, and offers two modes:
 //
-//   * serve()    — runs the real CPU transformer engine batch by batch,
-//                  advancing a virtual clock by each batch's measured
-//                  inference time, and returns per-request generated tokens
-//                  plus serving statistics.
+//   * serve()    — runs the real CPU transformer engine batch by batch for
+//                  the outputs, while advancing a virtual clock with the
+//                  analytical cost model of the configured model on the
+//                  configured hardware profile. Pricing batches from plan
+//                  geometry (not host wall time) makes the serving dynamics
+//                  — queueing, deadline expiry, utility — deterministic and
+//                  independent of the machine running the tests.
 //   * simulate() — prices batches with the analytical V100-like cost model
 //                  instead of executing them; this is what the
 //                  paper-scale serving benches use (40-1500 req/s).
@@ -94,6 +97,9 @@ class TcbSystem {
   std::shared_ptr<const Seq2SeqModel> model_;
   std::unique_ptr<Scheduler> scheduler_;
   std::unique_ptr<AnalyticalCostModel> analytical_;
+  /// Prices the engine loops' virtual clock: cfg_.model on cfg_.hardware
+  /// (unlike analytical_, which prices paper-scale simulation batches).
+  std::unique_ptr<AnalyticalCostModel> engine_clock_;
 };
 
 }  // namespace tcb

@@ -6,6 +6,7 @@
 
 #include "parallel/thread_pool.hpp"
 #include "tensor/ops.hpp"
+#include "util/check.hpp"
 
 namespace tcb {
 namespace {
@@ -90,10 +91,21 @@ Tensor MultiHeadAttention::encoder_forward(const Tensor& x,
     for (std::size_t ti = begin_task; ti < end_task; ++ti) {
       const Task& t = tasks[ti];
       const Index w = t.width;
+      // Span/slot geometry (paper Eq. 5-6): the task's span must lie inside
+      // the materialized row, and the mask source must cover the span —
+      // out-of-bounds here reads another request's K/V rows and produces
+      // plausible-but-wrong attention, not a crash.
+      TCB_DCHECK(t.row >= 0 && t.row < rows, "attention task row out of range");
+      TCB_DCHECK(t.head >= 0 && t.head < n_heads_,
+                 "attention task head out of range");
+      TCB_DCHECK(w > 0 && t.begin >= 0 && t.begin + w <= width,
+                 "attention span outside the materialized row");
       scores.assign(static_cast<std::size_t>(w) * w, 0.0f);
       const std::size_t row_base = static_cast<std::size_t>(t.row) * width;
       const std::size_t head_off = static_cast<std::size_t>(t.head) * dh;
       const auto& smap = seg[static_cast<std::size_t>(t.row)];
+      TCB_DCHECK(static_cast<Index>(smap.size()) == width,
+                 "attention mask map narrower than the row");
 
       // Step 2 (Fig. 6): S = Q K^T / sqrt(d) over the whole span.
       for (Index i = 0; i < w; ++i) {

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "util/check.hpp"
+
 namespace tcb {
 
 Seq2SeqModel::Seq2SeqModel(ModelConfig cfg) : cfg_(cfg) {
@@ -22,6 +24,14 @@ EncoderMemory Seq2SeqModel::encode(const PackedBatch& batch,
     throw std::invalid_argument(
         "Seq2SeqModel::encode: batch width " + std::to_string(batch.width) +
         " exceeds max_len " + std::to_string(cfg_.max_len));
+#if defined(TCB_ENABLE_DCHECKS)
+  // Debug/sanitizer builds re-validate the whole plan at the engine boundary
+  // (segment ordering, slot boundaries, widths) before any kernel reads it.
+  batch.plan.validate();
+  TCB_CHECK(static_cast<Index>(batch.tokens.size()) ==
+                batch.rows() * batch.width,
+            "Seq2SeqModel::encode: token buffer does not match plan geometry");
+#endif
 
   Tensor x = embedding_.lookup(batch.tokens);
   if (opts.separate_positional_encoding)

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/check.hpp"
+
 namespace tcb {
 
 SinusoidalPositionalEncoding::SinusoidalPositionalEncoding(Index max_len,
@@ -54,6 +56,11 @@ void SinusoidalPositionalEncoding::add_separate(Tensor& x,
     throw std::invalid_argument("add_separate: geometry mismatch");
   for (std::size_t r = 0; r < plan.rows.size(); ++r) {
     for (const auto& seg : plan.rows[r].segments) {
+      // Position-restart invariant (paper §4.1): each concatenated request
+      // re-counts positions from 0 inside its own segment, and the segment
+      // must fit the materialized row it writes into.
+      TCB_DCHECK(seg.offset >= 0 && seg.offset + seg.length <= width,
+                 "add_separate: segment outside the materialized row");
       for (Index i = 0; i < seg.length; ++i) {
         const float* pe = at(i);  // restart at position 0 per request
         float* row = x.row(static_cast<Index>(r) * width + seg.offset + i);

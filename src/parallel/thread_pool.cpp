@@ -1,12 +1,48 @@
 #include "parallel/thread_pool.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <exception>
 
+#include "util/check.hpp"
 #include "util/env.hpp"
 
 namespace tcb {
+namespace {
+
+/// True on threads owned by a pool. Nested parallel_for / submit-spawned
+/// loops must not block on queue slots their own siblings occupy — a worker
+/// that waits for queued chunks while every other worker does the same
+/// deadlocks the pool — so nested calls run their range inline instead.
+thread_local bool tls_in_worker = false;
+
+/// Stack-allocated completion latch for one parallel_for call. The last
+/// worker notifies while *holding* the mutex: the caller cannot return from
+/// wait() (and destroy this object) until that worker releases it, so no
+/// thread ever touches a dead latch. This is the lifetime guarantee the
+/// previous promise/future scheme lacked — promise::set_value() may still be
+/// executing inside the promise after the waiter has been released, and the
+/// waiter's stack frame (promise included) could be gone by then.
+struct ForLatch {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::size_t remaining = 0;
+  std::exception_ptr error;
+
+  /// Records `err` (first one wins) and retires one chunk.
+  void complete(std::exception_ptr err) {
+    const std::lock_guard lock(mutex);
+    if (err && !error) error = std::move(err);
+    TCB_DCHECK(remaining > 0, "ForLatch: more completions than chunks");
+    if (--remaining == 0) cv.notify_one();
+  }
+
+  void wait() {
+    std::unique_lock lock(mutex);
+    cv.wait(lock, [this] { return remaining == 0; });
+  }
+};
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t workers) {
   threads_.reserve(workers);
@@ -36,15 +72,20 @@ ThreadPool& ThreadPool::global() {
 std::future<void> ThreadPool::submit(std::function<void()> fn) {
   auto task = std::make_shared<std::packaged_task<void()>>(std::move(fn));
   std::future<void> fut = task->get_future();
-  if (threads_.empty()) {
-    (*task)();
-    return fut;
-  }
-  {
+  // No workers — or the pool is tearing down, so the queue will never be
+  // drained again: run on the calling thread.
+  bool inline_run = threads_.empty();
+  if (!inline_run) {
     const std::lock_guard lock(mutex_);
-    queue_.emplace([task] { (*task)(); });
+    if (stop_)
+      inline_run = true;
+    else
+      queue_.emplace([task] { (*task)(); });
   }
-  cv_.notify_one();
+  if (inline_run)
+    (*task)();
+  else
+    cv_.notify_one();
   return fut;
 }
 
@@ -54,48 +95,60 @@ void ThreadPool::parallel_for(
   if (n == 0) return;
   grain = std::max<std::size_t>(grain, 1);
   const std::size_t max_chunks = (n + grain - 1) / grain;
-  const std::size_t chunks = std::min(parallelism(), max_chunks);
-  if (chunks <= 1 || threads_.empty()) {
+  std::size_t chunks = std::min(parallelism(), max_chunks);
+  // Single chunk, no workers, or a nested call from inside the pool: run the
+  // whole range inline on the calling thread.
+  if (chunks <= 1 || threads_.empty() || tls_in_worker) {
     fn(0, n);
     return;
   }
 
   const std::size_t step = (n + chunks - 1) / chunks;
-  std::atomic<std::size_t> remaining{chunks - 1};
-  std::exception_ptr error;
-  std::mutex error_mutex;
-  std::promise<void> done;
-  auto done_future = done.get_future();
+  // Rounding step up can leave trailing chunks empty (n=5, chunks=4 gives
+  // step=2 but only 3 real chunks); recompute so no worker ever sees an
+  // empty or out-of-range span.
+  chunks = (n + step - 1) / step;
+  TCB_DCHECK(chunks >= 2, "parallel_for: recomputed chunk count below 2");
 
-  auto run_chunk = [&](std::size_t begin, std::size_t end) {
-    try {
-      fn(begin, end);
-    } catch (...) {
-      const std::lock_guard lock(error_mutex);
-      if (!error) error = std::current_exception();
-    }
-  };
-
-  for (std::size_t c = 1; c < chunks; ++c) {
-    const std::size_t begin = c * step;
-    const std::size_t end = std::min(n, begin + step);
-    {
-      const std::lock_guard lock(mutex_);
-      queue_.emplace([&, begin, end] {
-        run_chunk(begin, end);
-        if (remaining.fetch_sub(1) == 1) done.set_value();
+  ForLatch latch;
+  latch.remaining = chunks - 1;
+  {
+    const std::lock_guard lock(mutex_);
+    for (std::size_t c = 1; c < chunks; ++c) {
+      const std::size_t begin = c * step;
+      const std::size_t end = std::min(n, begin + step);
+      TCB_DCHECK(begin < end, "parallel_for: empty chunk dispatched");
+      queue_.emplace([&latch, &fn, begin, end] {
+        std::exception_ptr err;
+        try {
+          fn(begin, end);
+        } catch (...) {
+          err = std::current_exception();
+        }
+        latch.complete(std::move(err));
       });
     }
   }
   cv_.notify_all();
 
-  run_chunk(0, std::min(n, step));
-  done_future.wait();
+  // The caller executes the first chunk itself; its exception competes with
+  // the workers' under the same first-one-wins rule, and the wait below must
+  // happen even on a throwing caller chunk — the queued chunks reference this
+  // frame's latch and fn.
+  std::exception_ptr caller_err;
+  try {
+    fn(0, step);
+  } catch (...) {
+    caller_err = std::current_exception();
+  }
+  latch.wait();
 
-  if (error) std::rethrow_exception(error);
+  if (caller_err && !latch.error) latch.error = std::move(caller_err);
+  if (latch.error) std::rethrow_exception(latch.error);
 }
 
 void ThreadPool::worker_loop() {
+  tls_in_worker = true;
   for (;;) {
     std::function<void()> task;
     {

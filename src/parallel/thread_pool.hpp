@@ -9,8 +9,15 @@
 //
 // Design notes (per the C++ Core Guidelines: CP.* rules):
 //   * Workers are joined in the destructor (RAII); no detached threads.
-//   * No task may block on another parallel_for from inside the pool — the
-//     kernels only use flat loops, so nesting simply runs inline.
+//     Tasks already queued at teardown are drained before the workers exit;
+//     submit() racing a teardown runs the task on the calling thread.
+//   * parallel_for called from inside a pool task (nested loops, or a
+//     submitted task that fans out) runs its whole range inline on that
+//     worker — blocking on sibling queue slots would deadlock the pool.
+//   * parallel_for's completion latch notifies while holding its mutex, so
+//     the caller can never unwind the latch's stack frame while a worker is
+//     still signalling it. The suite in tests/parallel/ hammers these paths
+//     under TSan.
 #pragma once
 
 #include <condition_variable>
@@ -49,9 +56,10 @@ class ThreadPool {
   std::future<void> submit(std::function<void()> fn);
 
   /// Splits [0, n) into contiguous chunks of at least `grain` items and runs
-  /// `fn(begin, end)` on each chunk. Blocks until every chunk finishes. The
-  /// calling thread executes one chunk itself. Exceptions from chunks are
-  /// rethrown (first one wins).
+  /// `fn(begin, end)` on each chunk; every dispatched chunk is non-empty.
+  /// Blocks until every chunk finishes. The calling thread executes one
+  /// chunk itself, and a `grain` of 0 is treated as 1. Exceptions from
+  /// chunks are rethrown after all chunks retire (first one wins).
   void parallel_for(std::size_t n, std::size_t grain,
                     const std::function<void(std::size_t, std::size_t)>& fn);
 

@@ -1,8 +1,9 @@
 #include "tensor/tensor.hpp"
 
-#include <cassert>
 #include <cmath>
 #include <stdexcept>
+
+#include "util/check.hpp"
 
 namespace tcb {
 
@@ -52,35 +53,45 @@ Tensor Tensor::random_uniform(Shape shape, Rng& rng, float scale) {
 }
 
 float& Tensor::at(Index i, Index j) {
-  assert(rank() == 2 && i >= 0 && i < dim(0) && j >= 0 && j < dim(1));
+  TCB_DCHECK(rank() == 2, "Tensor::at(i, j) on non-rank-2 tensor");
+  TCB_DCHECK(i >= 0 && i < dim(0) && j >= 0 && j < dim(1),
+             "Tensor::at(i, j) out of bounds for " + shape_.to_string());
   return data_[static_cast<std::size_t>(i * dim(1) + j)];
 }
 
 float Tensor::at(Index i, Index j) const {
-  assert(rank() == 2 && i >= 0 && i < dim(0) && j >= 0 && j < dim(1));
+  TCB_DCHECK(rank() == 2, "Tensor::at(i, j) on non-rank-2 tensor");
+  TCB_DCHECK(i >= 0 && i < dim(0) && j >= 0 && j < dim(1),
+             "Tensor::at(i, j) out of bounds for " + shape_.to_string());
   return data_[static_cast<std::size_t>(i * dim(1) + j)];
 }
 
 float& Tensor::at(Index i, Index j, Index k) {
-  assert(rank() == 3 && i >= 0 && i < dim(0) && j >= 0 && j < dim(1) && k >= 0 &&
-         k < dim(2));
+  TCB_DCHECK(rank() == 3, "Tensor::at(i, j, k) on non-rank-3 tensor");
+  TCB_DCHECK(i >= 0 && i < dim(0) && j >= 0 && j < dim(1) && k >= 0 &&
+                 k < dim(2),
+             "Tensor::at(i, j, k) out of bounds for " + shape_.to_string());
   return data_[static_cast<std::size_t>((i * dim(1) + j) * dim(2) + k)];
 }
 
 float Tensor::at(Index i, Index j, Index k) const {
-  assert(rank() == 3 && i >= 0 && i < dim(0) && j >= 0 && j < dim(1) && k >= 0 &&
-         k < dim(2));
+  TCB_DCHECK(rank() == 3, "Tensor::at(i, j, k) on non-rank-3 tensor");
+  TCB_DCHECK(i >= 0 && i < dim(0) && j >= 0 && j < dim(1) && k >= 0 &&
+                 k < dim(2),
+             "Tensor::at(i, j, k) out of bounds for " + shape_.to_string());
   return data_[static_cast<std::size_t>((i * dim(1) + j) * dim(2) + k)];
 }
 
 float* Tensor::row(Index i) {
-  assert(rank() >= 2 && i >= 0 && i < dim(0));
+  TCB_DCHECK(rank() >= 2 && i >= 0 && i < dim(0),
+             "Tensor::row out of bounds for " + shape_.to_string());
   const Index stride = numel() / dim(0);
   return data_.data() + i * stride;
 }
 
 const float* Tensor::row(Index i) const {
-  assert(rank() >= 2 && i >= 0 && i < dim(0));
+  TCB_DCHECK(rank() >= 2 && i >= 0 && i < dim(0),
+             "Tensor::row out of bounds for " + shape_.to_string());
   const Index stride = numel() / dim(0);
   return data_.data() + i * stride;
 }

@@ -64,8 +64,9 @@ class Tensor {
   [[nodiscard]] float* raw() noexcept { return data_.data(); }
   [[nodiscard]] const float* raw() const noexcept { return data_.data(); }
 
-  /// Element access for rank-2 / rank-3 tensors. Bounds are checked only in
-  /// debug builds (assert); kernels index raw spans directly.
+  /// Element access for rank-2 / rank-3 tensors. Bounds are checked via
+  /// TCB_DCHECK (Debug and sanitizer presets); kernels index raw spans
+  /// directly.
   [[nodiscard]] float& at(Index i, Index j);
   [[nodiscard]] float at(Index i, Index j) const;
   [[nodiscard]] float& at(Index i, Index j, Index k);

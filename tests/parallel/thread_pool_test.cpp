@@ -5,6 +5,8 @@
 #include <atomic>
 #include <numeric>
 #include <stdexcept>
+#include <string>
+#include <thread>
 #include <vector>
 
 namespace tcb {
@@ -84,6 +86,90 @@ TEST(ThreadPoolTest, ParallelSumMatchesSerial) {
     parallel_sum += local;
   });
   EXPECT_EQ(parallel_sum, static_cast<long long>(kN) * (kN - 1) / 2);
+}
+
+TEST(ThreadPoolTest, ParallelForGrainZeroTreatedAsOne) {
+  ThreadPool pool(2);
+  std::atomic<int> covered{0};
+  pool.parallel_for(7, 0, [&](std::size_t b, std::size_t e) {
+    EXPECT_LT(b, e);
+    covered += static_cast<int>(e - b);
+  });
+  EXPECT_EQ(covered, 7);
+}
+
+TEST(ThreadPoolTest, ParallelForNSmallerThanGrainIsOneChunk) {
+  ThreadPool pool(4);
+  std::atomic<int> chunks{0};
+  pool.parallel_for(5, 100, [&](std::size_t b, std::size_t e) {
+    ++chunks;
+    EXPECT_EQ(b, 0u);
+    EXPECT_EQ(e, 5u);
+  });
+  EXPECT_EQ(chunks, 1);
+}
+
+TEST(ThreadPoolTest, ParallelForZeroWorkersRunsInlineOnCaller) {
+  ThreadPool pool(0);
+  const auto caller = std::this_thread::get_id();
+  int calls = 0;
+  pool.parallel_for(100, 1, [&](std::size_t b, std::size_t e) {
+    ++calls;  // non-atomic on purpose: must be single-threaded
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    EXPECT_EQ(b, 0u);
+    EXPECT_EQ(e, 100u);
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPoolTest, ParallelForNeverDispatchesEmptyChunks) {
+  // Regression: rounding the step up used to leave trailing chunks with
+  // begin > n (n=5, 4 chunks, step=2 dispatched fn(6, 5)).
+  ThreadPool pool(3);
+  for (std::size_t n = 1; n <= 64; ++n) {
+    std::vector<std::atomic<int>> hits(n);
+    pool.parallel_for(n, 1, [&](std::size_t b, std::size_t e) {
+      ASSERT_LT(b, e);
+      ASSERT_LE(e, n);
+      for (std::size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+    });
+    for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(hits[i].load(), 1) << n;
+  }
+}
+
+TEST(ThreadPoolTest, ExceptionFirstOneWinsExactlyOnePropagates) {
+  ThreadPool pool(4);
+  // Every chunk throws a distinguishable exception; exactly one must win and
+  // it must be one of the thrown values, not a mixture or a crash.
+  try {
+    pool.parallel_for(64, 1, [](std::size_t b, std::size_t) {
+      throw std::runtime_error("chunk-" + std::to_string(b));
+    });
+    FAIL() << "expected a propagated exception";
+  } catch (const std::runtime_error& err) {
+    EXPECT_EQ(std::string(err.what()).rfind("chunk-", 0), 0u) << err.what();
+  }
+}
+
+TEST(ThreadPoolTest, CallerChunkExceptionPropagates) {
+  ThreadPool pool(2);
+  // The caller always executes the first chunk, so b == 0 throws on the
+  // calling thread; workers must still retire before the rethrow.
+  std::atomic<int> worker_chunks{0};
+  EXPECT_THROW(pool.parallel_for(1000, 1,
+                                 [&](std::size_t b, std::size_t) {
+                                   if (b == 0)
+                                     throw std::invalid_argument("caller boom");
+                                   ++worker_chunks;
+                                 }),
+               std::invalid_argument);
+  EXPECT_GT(worker_chunks, 0);
+}
+
+TEST(ThreadPoolTest, SubmitPropagatesExceptionThroughFuture) {
+  ThreadPool pool(2);
+  auto fut = pool.submit([] { throw std::runtime_error("task boom"); });
+  EXPECT_THROW(fut.get(), std::runtime_error);
 }
 
 TEST(ThreadPoolTest, GlobalPoolIsSingleton) {
