@@ -38,10 +38,10 @@ int main() {
     BatchBuildResult built;
     if (slot_len > 0) {
       const SlottedConcatBatcher batcher(slot_len);
-      built = batcher.build(requests, rows, row_len);
+      built = batcher.build(requests, Row{rows}, Col{row_len});
     } else {
       const ConcatBatcher batcher;
-      built = batcher.build(requests, rows, row_len);
+      built = batcher.build(requests, Row{rows}, Col{row_len});
     }
     const PackedBatch packed = pack_batch(built.plan, requests);
     InferenceOptions opts;

@@ -71,7 +71,7 @@ void attention_once(Index width, Index slots, AttentionMode mode,
         s, s * z, z, mode == AttentionMode::kSlotted ? s : static_cast<Index>(0)});
   row.width = width;
   plan.rows.push_back(row);
-  const Tensor y = mha.encoder_forward(x, plan, width, mode);
+  const Tensor y = mha.encoder_forward(x, plan, Col{width}, mode);
   benchmark::DoNotOptimize(y.raw());
 }
 

@@ -45,7 +45,7 @@ int main() {
   const auto das = make_scheduler("das", sc);
   const auto sel = das->select(0.0, requests);
   const ConcatBatcher batcher;
-  const auto built = batcher.build(sel.ordered, sc.batch_rows, sc.row_capacity);
+  const auto built = batcher.build(sel.ordered, Row{sc.batch_rows}, Col{sc.row_capacity});
 
   const BatchStats stats = analyze(built.plan);
   std::printf("batch: %s\n", built.plan.summary().c_str());

@@ -33,7 +33,7 @@ int main() {
     requests.push_back(std::move(req));
   }
   const ConcatBatcher batcher;
-  const auto built = batcher.build(requests, 3, 40);
+  const auto built = batcher.build(requests, Row{3}, Col{40});
   const PackedBatch packed = pack_batch(built.plan, requests);
   std::printf("batch: %s\n\n", built.plan.summary().c_str());
 

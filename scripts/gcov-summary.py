@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""Minimal gcov aggregator: per-file and total line coverage for src/.
+
+Fallback reporting backend for scripts/run-coverage.sh in environments
+without gcovr.  Walks a --coverage build tree, invokes `gcov` in JSON
+intermediate mode on every .gcno file, merges the per-source line counts
+(a source is typically instrumented into several objects: the library and
+each test binary), and prints a summary table.
+
+Exits 1 when total line coverage over the filtered sources is below
+--fail-under, mirroring `gcovr --fail-under-line`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import gzip
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+
+def find_gcno(build_dir: str) -> list[str]:
+    # Absolute paths: gcov runs from a scratch directory (it litters *.gcov
+    # files into its cwd in the non---stdout fallback).
+    out = []
+    for dirpath, _dirs, names in os.walk(os.path.abspath(build_dir)):
+        out.extend(os.path.join(dirpath, n) for n in names if n.endswith(".gcno"))
+    return sorted(out)
+
+
+def run_gcov(gcno_files: list[str], scratch: str) -> list[dict]:
+    """Run gcov in JSON mode; returns the parsed per-object reports."""
+    reports = []
+    # Batch to keep command lines reasonable.
+    for i in range(0, len(gcno_files), 64):
+        batch = gcno_files[i:i + 64]
+        res = subprocess.run(
+            ["gcov", "--json-format", "--stdout"] + batch,
+            cwd=scratch, capture_output=True)
+        if res.returncode != 0:
+            # --stdout may be unsupported (gcc < 9): fall back to files.
+            subprocess.run(["gcov", "--json-format"] + batch,
+                           cwd=scratch, capture_output=True, check=False)
+            continue
+        for line in res.stdout.splitlines():
+            line = line.strip()
+            if line.startswith(b"{"):
+                try:
+                    reports.append(json.loads(line))
+                except json.JSONDecodeError:
+                    pass
+    # File mode fallback: gcov writes <name>.gcov.json.gz next to cwd.
+    for name in os.listdir(scratch):
+        if name.endswith(".gcov.json.gz"):
+            with gzip.open(os.path.join(scratch, name), "rt",
+                           encoding="utf-8") as f:
+                try:
+                    reports.append(json.load(f))
+                except json.JSONDecodeError:
+                    pass
+    return reports
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--build-dir", required=True)
+    ap.add_argument("--filter", default="src/",
+                    help="only count sources whose repo-relative path starts "
+                         "with this prefix (default: src/)")
+    ap.add_argument("--fail-under", type=float, default=0.0,
+                    help="exit 1 if total line coverage %% is below this")
+    args = ap.parse_args()
+
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    gcno = find_gcno(args.build_dir)
+    if not gcno:
+        print("gcov-summary: no .gcno files found; was the tree built with "
+              "--coverage (cmake --preset coverage)?", file=sys.stderr)
+        return 2
+
+    # lines[source][line_no] = total execution count across all objects.
+    lines: dict[str, dict[int, int]] = {}
+    with tempfile.TemporaryDirectory(prefix="gcov-summary.") as scratch:
+        for report in run_gcov(gcno, scratch):
+            for f in report.get("files", []):
+                src = f.get("file", "")
+                abs_src = os.path.abspath(
+                    src if os.path.isabs(src)
+                    else os.path.join(args.build_dir, src))
+                rel = os.path.relpath(abs_src, repo_root).replace(os.sep, "/")
+                if not rel.startswith(args.filter):
+                    continue
+                per_line = lines.setdefault(rel, {})
+                for ln in f.get("lines", []):
+                    n = ln.get("line_number")
+                    if n is None:
+                        continue
+                    per_line[n] = per_line.get(n, 0) + int(ln.get("count", 0))
+
+    if not lines:
+        print(f"gcov-summary: no sources under '{args.filter}' in the "
+              "coverage data", file=sys.stderr)
+        return 2
+
+    total_lines = total_hit = 0
+    width = max(len(p) for p in lines)
+    print(f"{'file':<{width}}  lines   hit   cover")
+    for path in sorted(lines):
+        per_line = lines[path]
+        n = len(per_line)
+        hit = sum(1 for c in per_line.values() if c > 0)
+        total_lines += n
+        total_hit += hit
+        pct = 100.0 * hit / n if n else 100.0
+        print(f"{path:<{width}}  {n:5d} {hit:5d}  {pct:5.1f}%")
+    total_pct = 100.0 * total_hit / total_lines if total_lines else 100.0
+    print(f"{'TOTAL':<{width}}  {total_lines:5d} {total_hit:5d}  "
+          f"{total_pct:5.1f}%")
+
+    if total_pct < args.fail_under:
+        print(f"gcov-summary: line coverage {total_pct:.1f}% is below the "
+              f"floor {args.fail_under:.1f}%", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,8 +3,11 @@
 # config and a compile_commands.json exported by any CMake preset.
 #
 # Usage:
-#   scripts/run-clang-tidy.sh [build-dir] [file...]
+#   scripts/run-clang-tidy.sh [--all] [build-dir] [file...]
 #
+#   --all      lint every first-party .cpp (src/, tests/, bench/, examples/,
+#              tools/) instead of just src/; the scheduled nightly CI job
+#              uses this full-tree mode
 #   build-dir  directory containing compile_commands.json (default: the
 #              first of build, build-release, build-debug that has one;
 #              configured automatically by every preset via
@@ -26,6 +29,12 @@ if ! command -v "$TIDY_BIN" >/dev/null 2>&1; then
   exit 0
 fi
 
+all_tree=0
+if [[ "${1:-}" == "--all" ]]; then
+  all_tree=1
+  shift
+fi
+
 build_dir="${1:-}"
 if [[ $# -gt 0 ]]; then shift; fi
 if [[ -z "$build_dir" ]]; then
@@ -44,7 +53,13 @@ fi
 
 files=("$@")
 if [[ ${#files[@]} -eq 0 ]]; then
-  mapfile -t files < <(find src -name '*.cpp' | sort)
+  if [[ $all_tree -eq 1 ]]; then
+    # Full-tree mode (nightly CI): every first-party translation unit that
+    # appears in compile_commands.json, i.e. everything CMake builds.
+    mapfile -t files < <(find src tests bench examples -name '*.cpp' | sort)
+  else
+    mapfile -t files < <(find src -name '*.cpp' | sort)
+  fi
 fi
 if [[ ${#files[@]} -eq 0 ]]; then
   echo "run-clang-tidy: nothing to lint." >&2

@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Builds the `coverage` preset, runs the test suite, and reports line
+# coverage for src/.
+#
+# Usage:
+#   scripts/run-coverage.sh [--fail-under PCT] [--build-dir DIR]
+#
+#   --fail-under PCT  exit 1 if src/ line coverage falls below PCT
+#                     (default: 80; CI enforces this floor)
+#   --build-dir DIR   reuse an existing coverage build tree
+#                     (default: build-coverage, the preset's binaryDir)
+#
+# Reporting backend: gcovr when installed (also writes coverage.xml for CI
+# annotation); otherwise a bundled aggregator (scripts/gcov-summary.py) that
+# drives plain `gcov` directly, so minimal containers still get the gate.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+fail_under=80
+build_dir=build-coverage
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --fail-under) fail_under="$2"; shift 2 ;;
+    --build-dir)  build_dir="$2"; shift 2 ;;
+    *) echo "run-coverage: unknown argument '$1'" >&2; exit 2 ;;
+  esac
+done
+
+if ! command -v gcov >/dev/null 2>&1; then
+  echo "run-coverage: gcov not found on PATH; skipping (install gcc to" \
+       "collect coverage locally)." >&2
+  exit 0
+fi
+
+if [[ ! -f "$build_dir/CMakeCache.txt" ]]; then
+  cmake --preset coverage -B "$build_dir" >/dev/null
+fi
+cmake --build "$build_dir" -j "$(nproc)" >/dev/null
+
+# Zero stale counters so reruns measure only this test run.
+find "$build_dir" -name '*.gcda' -delete
+
+ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)" >/dev/null
+
+if command -v gcovr >/dev/null 2>&1; then
+  echo "run-coverage: reporting via gcovr (floor: ${fail_under}% on src/)" >&2
+  gcovr --root . --filter 'src/' \
+        --exclude-unreachable-branches \
+        --print-summary \
+        --xml "$build_dir/coverage.xml" \
+        --fail-under-line "$fail_under" \
+        "$build_dir"
+else
+  echo "run-coverage: gcovr not installed; using bundled gcov aggregator" \
+       "(floor: ${fail_under}% on src/)" >&2
+  python3 scripts/gcov-summary.py --build-dir "$build_dir" --filter src/ \
+          --fail-under "$fail_under"
+fi

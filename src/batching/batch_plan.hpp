@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "batching/request.hpp"
+#include "tensor/strong_index.hpp"
 
 namespace tcb {
 
@@ -36,6 +37,13 @@ struct Segment {
   Index offset = 0;  ///< first token column in the row
   Index length = 0;  ///< token count (== request length)
   Index slot = 0;    ///< slot index within the row (0 for unslotted schemes)
+
+  /// Typed geometry accessors — the sanctioned way to turn a segment into
+  /// column/slot coordinates (raw `offset`/`length` arithmetic at call sites
+  /// is what tcb-lint's checked-engine-boundary rule polices).
+  [[nodiscard]] Col begin_col() const noexcept { return Col{offset}; }
+  [[nodiscard]] Col end_col() const noexcept { return Col{offset + length}; }
+  [[nodiscard]] Slot slot_index() const noexcept { return Slot{slot}; }
 };
 
 struct RowLayout {
@@ -96,13 +104,17 @@ struct BatchBuildResult {
 /// Interface implemented by the four batching schemes. `selected` is the
 /// scheduler's choice, already ordered by scheduling priority; a batcher
 /// must preserve that precedence when space runs out (drop from the tail).
+///
+/// `batch_rows` (the vertical extent B) and `row_capacity` (the horizontal
+/// extent L) are strong-typed: both used to be plain Index, and swapping
+/// them built a plausible-looking but transposed batch. Now it won't compile.
 class Batcher {
  public:
   virtual ~Batcher() = default;
   [[nodiscard]] virtual Scheme scheme() const noexcept = 0;
   [[nodiscard]] virtual BatchBuildResult build(std::vector<Request> selected,
-                                               Index batch_rows,
-                                               Index row_capacity) const = 0;
+                                               Row batch_rows,
+                                               Col row_capacity) const = 0;
 };
 
 }  // namespace tcb

@@ -5,22 +5,23 @@
 namespace tcb {
 
 BatchBuildResult ConcatBatcher::build(std::vector<Request> selected,
-                                      Index batch_rows,
-                                      Index row_capacity) const {
-  if (batch_rows <= 0 || row_capacity <= 0)
+                                      Row batch_rows,
+                                      Col row_capacity) const {
+  const Index capacity = row_capacity.value();
+  if (batch_rows.value() <= 0 || capacity <= 0)
     throw std::invalid_argument("ConcatBatcher: non-positive batch geometry");
 
   BatchBuildResult result;
   result.plan.scheme = Scheme::kConcatPure;
-  result.plan.row_capacity = row_capacity;
-  result.plan.rows.resize(static_cast<std::size_t>(batch_rows));
-  std::vector<Index> used(static_cast<std::size_t>(batch_rows), 0);
+  result.plan.row_capacity = capacity;
+  result.plan.rows.resize(batch_rows.usize());
+  std::vector<Index> used(batch_rows.usize(), 0);
 
   for (auto& req : selected) {
     bool placed = false;
-    if (req.length <= row_capacity) {
+    if (req.length <= capacity) {
       for (std::size_t r = 0; r < result.plan.rows.size(); ++r) {
-        if (used[r] + req.length <= row_capacity) {
+        if (used[r] + req.length <= capacity) {
           result.plan.rows[r].segments.push_back(
               Segment{req.id, used[r], req.length, 0});
           used[r] += req.length;

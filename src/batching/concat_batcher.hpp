@@ -14,8 +14,8 @@ class ConcatBatcher final : public Batcher {
     return Scheme::kConcatPure;
   }
   [[nodiscard]] BatchBuildResult build(std::vector<Request> selected,
-                                       Index batch_rows,
-                                       Index row_capacity) const override;
+                                       Row batch_rows,
+                                       Col row_capacity) const override;
 };
 
 }  // namespace tcb

@@ -6,22 +6,25 @@
 namespace tcb {
 
 BatchBuildResult NaiveBatcher::build(std::vector<Request> selected,
-                                     Index batch_rows,
-                                     Index row_capacity) const {
-  if (batch_rows <= 0 || row_capacity <= 0)
+                                     Row batch_rows,
+                                     Col row_capacity) const {
+  // Single unwrap of the typed geometry into the local index math.
+  const Index rows_max = batch_rows.value();
+  const Index capacity = row_capacity.value();
+  if (rows_max <= 0 || capacity <= 0)
     throw std::invalid_argument("NaiveBatcher: non-positive batch geometry");
 
   BatchBuildResult result;
   result.plan.scheme = Scheme::kNaive;
-  result.plan.row_capacity = row_capacity;
+  result.plan.row_capacity = capacity;
 
   // Take the first B requests that fit a row at all; oversized requests are
   // returned as leftovers (they can never be served with this L).
   Index max_len = 0;
   std::vector<Request> taken;
   for (auto& req : selected) {
-    if (static_cast<Index>(taken.size()) < batch_rows &&
-        req.length <= row_capacity) {
+    if (static_cast<Index>(taken.size()) < rows_max &&
+        req.length <= capacity) {
       max_len = std::max(max_len, req.length);
       taken.push_back(std::move(req));
     } else {

@@ -11,8 +11,8 @@ class NaiveBatcher final : public Batcher {
  public:
   [[nodiscard]] Scheme scheme() const noexcept override { return Scheme::kNaive; }
   [[nodiscard]] BatchBuildResult build(std::vector<Request> selected,
-                                       Index batch_rows,
-                                       Index row_capacity) const override;
+                                       Row batch_rows,
+                                       Col row_capacity) const override;
 };
 
 }  // namespace tcb

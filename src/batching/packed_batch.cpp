@@ -11,12 +11,13 @@ PackedBatch pack_batch(
     const std::unordered_map<RequestId, const Request*>& by_id) {
   PackedBatch packed;
   packed.plan = plan;
-  packed.width = plan.max_width();
-  packed.tokens.assign(
-      static_cast<std::size_t>(packed.rows() * packed.width), kPadToken);
+  packed.width = Col{plan.max_width()};
+  packed.tokens.assign(packed.rows().usize() * packed.width.usize(),
+                       kPadToken);
 
-  for (Index r = 0; r < packed.rows(); ++r) {
-    for (const auto& seg : plan.rows[static_cast<std::size_t>(r)].segments) {
+  const Index width = packed.width.value();
+  for (Row r{0}; r < packed.rows(); ++r) {
+    for (const auto& seg : plan.rows[r.usize()].segments) {
       const auto it = by_id.find(seg.request_id);
       if (it == by_id.end())
         throw std::invalid_argument("pack_batch: request " +
@@ -30,13 +31,13 @@ PackedBatch pack_batch(
       // The segment span must sit inside the materialized row; a violation
       // here means the batcher produced an inconsistent plan.
       TCB_CHECK(seg.offset >= 0 && seg.length > 0 &&
-                    seg.offset + seg.length <= packed.width,
+                    seg.offset + seg.length <= width,
                 "pack_batch: segment [" + std::to_string(seg.offset) + ", " +
                     std::to_string(seg.offset + seg.length) +
-                    ") outside row width " + std::to_string(packed.width));
+                    ") outside row width " + std::to_string(width));
       for (Index i = 0; i < seg.length; ++i)
-        packed.tokens[static_cast<std::size_t>(r * packed.width + seg.offset +
-                                               i)] = req.tokens[static_cast<std::size_t>(i)];
+        packed.tokens[flat_offset(r, seg.begin_col() + i, packed.width)] =
+            req.tokens[static_cast<std::size_t>(i)];
     }
   }
   return packed;

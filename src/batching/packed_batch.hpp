@@ -17,16 +17,20 @@ inline constexpr Index kFirstWordToken = 3;
 
 struct PackedBatch {
   BatchPlan plan;
-  Index width = 0;                ///< materialized tensor width (max row width)
+  Col width{0};                   ///< materialized tensor width (max row width)
   std::vector<Index> tokens;      ///< rows() * width ids, kPadToken in padding
 
-  [[nodiscard]] Index rows() const noexcept {
-    return static_cast<Index>(plan.rows.size());
+  [[nodiscard]] Row rows() const noexcept {
+    return Row{static_cast<Index>(plan.rows.size())};
   }
-  [[nodiscard]] Index token_at(Index row, Index col) const {
-    TCB_DCHECK(row >= 0 && row < rows() && col >= 0 && col < width,
+  /// The owning accessor for the packed id matrix: every read outside this
+  /// struct and pack_batch() must go through it (tcb-lint's
+  /// no-raw-token-indexing rule enforces that), and the Row/Col axes make a
+  /// transposed access a compile error rather than a silently wrong token.
+  [[nodiscard]] Index token_at(Row row, Col col) const {
+    TCB_DCHECK(row >= Row{0} && row < rows() && col >= Col{0} && col < width,
                "PackedBatch::token_at out of bounds");
-    return tokens[static_cast<std::size_t>(row * width + col)];
+    return tokens[flat_offset(row, col, width)];
   }
 };
 

@@ -14,24 +14,25 @@ SlottedConcatBatcher::SlottedConcatBatcher(Index slot_len)
 }
 
 BatchBuildResult SlottedConcatBatcher::build(std::vector<Request> selected,
-                                             Index batch_rows,
-                                             Index row_capacity) const {
-  if (batch_rows <= 0 || row_capacity <= 0)
+                                             Row batch_rows,
+                                             Col row_capacity) const {
+  const Index capacity = row_capacity.value();
+  if (batch_rows.value() <= 0 || capacity <= 0)
     throw std::invalid_argument("SlottedConcatBatcher: non-positive geometry");
-  if (slot_len_ > row_capacity)
+  if (slot_len_ > capacity)
     throw std::invalid_argument("SlottedConcatBatcher: slot_len > row_capacity");
 
-  const Index slots_per_row = row_capacity / slot_len_;
+  const Index slots_per_row = capacity / slot_len_;
 
   BatchBuildResult result;
   result.plan.scheme = Scheme::kConcatSlotted;
-  result.plan.row_capacity = row_capacity;
+  result.plan.row_capacity = capacity;
   result.plan.slot_len = slot_len_;
-  result.plan.rows.resize(static_cast<std::size_t>(batch_rows));
+  result.plan.rows.resize(batch_rows.usize());
 
   // used[r][s] = tokens already placed in slot s of row r.
   std::vector<std::vector<Index>> used(
-      static_cast<std::size_t>(batch_rows),
+      batch_rows.usize(),
       std::vector<Index>(static_cast<std::size_t>(slots_per_row), 0));
 
   for (auto& req : selected) {
@@ -47,7 +48,7 @@ BatchBuildResult SlottedConcatBatcher::build(std::vector<Request> selected,
             TCB_DCHECK(offset + req.length <=
                            (static_cast<Index>(s) + 1) * slot_len_,
                        "slotted placement straddles a slot boundary");
-            TCB_DCHECK(offset + req.length <= row_capacity,
+            TCB_DCHECK(offset + req.length <= capacity,
                        "slotted placement exceeds row capacity");
             result.plan.rows[r].segments.push_back(
                 Segment{req.id, offset, req.length, static_cast<Index>(s)});
@@ -74,7 +75,7 @@ BatchBuildResult SlottedConcatBatcher::build(std::vector<Request> selected,
               });
     Index last_slot = 0;
     for (const auto& seg : row.segments) last_slot = std::max(last_slot, seg.slot);
-    row.width = std::min((last_slot + 1) * slot_len_, row_capacity);
+    row.width = std::min((last_slot + 1) * slot_len_, capacity);
     TCB_DCHECK(row.used_tokens() <= row.width,
                "slotted row materialized narrower than its segments");
     compact.push_back(std::move(row));

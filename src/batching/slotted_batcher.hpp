@@ -24,8 +24,8 @@ class SlottedConcatBatcher final : public Batcher {
   [[nodiscard]] Index slot_len() const noexcept { return slot_len_; }
 
   [[nodiscard]] BatchBuildResult build(std::vector<Request> selected,
-                                       Index batch_rows,
-                                       Index row_capacity) const override;
+                                       Row batch_rows,
+                                       Col row_capacity) const override;
 
  private:
   Index slot_len_;

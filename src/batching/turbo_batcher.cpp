@@ -41,19 +41,20 @@ std::vector<std::size_t> TurboBatcher::dp_partition(
 }
 
 BatchBuildResult TurboBatcher::build(std::vector<Request> selected,
-                                     Index batch_rows,
-                                     Index row_capacity) const {
-  if (batch_rows <= 0 || row_capacity <= 0)
+                                     Row batch_rows,
+                                     Col row_capacity) const {
+  const Index capacity = row_capacity.value();
+  if (batch_rows.value() <= 0 || capacity <= 0)
     throw std::invalid_argument("TurboBatcher: non-positive batch geometry");
 
   BatchBuildResult result;
   result.plan.scheme = Scheme::kTurbo;
-  result.plan.row_capacity = row_capacity;
+  result.plan.row_capacity = capacity;
 
   // Requests too long for any row can never be served.
   std::vector<Request> eligible;
   for (auto& req : selected) {
-    if (req.length <= row_capacity)
+    if (req.length <= capacity)
       eligible.push_back(std::move(req));
     else
       result.leftover.push_back(std::move(req));
@@ -69,7 +70,7 @@ BatchBuildResult TurboBatcher::build(std::vector<Request> selected,
   lengths.reserve(order.size());
   for (const auto idx : order) lengths.push_back(eligible[idx].length);
 
-  const auto ends = dp_partition(lengths, static_cast<std::size_t>(batch_rows));
+  const auto ends = dp_partition(lengths, batch_rows.usize());
 
   // Execute the largest group (the throughput-efficient choice a
   // length-aware batcher makes); break ties toward the group holding the

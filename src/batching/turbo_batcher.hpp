@@ -18,8 +18,8 @@ class TurboBatcher final : public Batcher {
  public:
   [[nodiscard]] Scheme scheme() const noexcept override { return Scheme::kTurbo; }
   [[nodiscard]] BatchBuildResult build(std::vector<Request> selected,
-                                       Index batch_rows,
-                                       Index row_capacity) const override;
+                                       Row batch_rows,
+                                       Col row_capacity) const override;
 
   /// Exposed for tests: DP partition of lengths (sorted ascending) into
   /// consecutive groups of size <= max_group, minimizing

@@ -86,22 +86,22 @@ ServeResult run_engine_loop(const TcbConfig& cfg, const Scheduler& scheduler,
     BatchBuildResult built;
     switch (cfg.scheme) {
       case Scheme::kNaive:
-        built = naive.build(sel.ordered, cfg.sched.batch_rows,
-                            cfg.sched.row_capacity);
+        built = naive.build(sel.ordered, Row{cfg.sched.batch_rows},
+                            Col{cfg.sched.row_capacity});
         break;
       case Scheme::kTurbo:
-        built = turbo.build(sel.ordered, cfg.sched.batch_rows,
-                            cfg.sched.row_capacity);
+        built = turbo.build(sel.ordered, Row{cfg.sched.batch_rows},
+                            Col{cfg.sched.row_capacity});
         break;
       case Scheme::kConcatPure:
-        built = concat.build(sel.ordered, cfg.sched.batch_rows,
-                             cfg.sched.row_capacity);
+        built = concat.build(sel.ordered, Row{cfg.sched.batch_rows},
+                             Col{cfg.sched.row_capacity});
         break;
       case Scheme::kConcatSlotted: {
         const Index z = sel.slot_len > 0 ? sel.slot_len : cfg.sched.row_capacity;
         const SlottedConcatBatcher slotted(z);
-        built = slotted.build(sel.ordered, cfg.sched.batch_rows,
-                              cfg.sched.row_capacity);
+        built = slotted.build(sel.ordered, Row{cfg.sched.batch_rows},
+                              Col{cfg.sched.row_capacity});
         break;
       }
     }

@@ -53,9 +53,12 @@ MultiHeadAttention::MultiHeadAttention(const ModelConfig& cfg, Rng& rng)
       head_dim_(cfg.head_dim()) {}
 
 Tensor MultiHeadAttention::encoder_forward(const Tensor& x,
-                                           const BatchPlan& plan, Index width,
-                                           AttentionMode mode,
+                                           const BatchPlan& plan,
+                                           Col width_col, AttentionMode mode,
                                            MaskPolicy mask) const {
+  // Unwrap the typed width once; everything below is deliberately raw index
+  // math on the flattened (rows * width, d) buffers.
+  const Index width = width_col.value();
   const Index rows = static_cast<Index>(plan.rows.size());
   const Index d = n_heads_ * head_dim_;
   if (x.rank() != 2 || x.dim(0) != rows * width || x.dim(1) != d)
@@ -162,7 +165,8 @@ Tensor MultiHeadAttention::encoder_forward(const Tensor& x,
   return wo_.forward(heads_out);
 }
 
-Index score_entries(const BatchPlan& plan, Index width, AttentionMode mode) {
+Index score_entries(const BatchPlan& plan, Col width_col, AttentionMode mode) {
+  const Index width = width_col.value();
   Index total = 0;
   for (const auto& row : plan.rows) {
     if (mode == AttentionMode::kSlotted && plan.slot_len > 0) {

@@ -41,11 +41,12 @@ class MultiHeadAttention {
   MultiHeadAttention(const ModelConfig& cfg, Rng& rng);
 
   /// Bidirectional (encoder) self-attention over a batch laid out by `plan`.
-  /// x is (rows * width, d_model) with `width` = materialized tensor width.
+  /// x is (rows * width, d_model) with `width` = materialized tensor width
+  /// (strong-typed: a row count passed here is a compile error).
   /// Returns a tensor of the same shape (already through the output
   /// projection W^O).
   [[nodiscard]] Tensor encoder_forward(const Tensor& x, const BatchPlan& plan,
-                                       Index width, AttentionMode mode,
+                                       Col width, AttentionMode mode,
                                        MaskPolicy mask = MaskPolicy::kSegment) const;
 
   [[nodiscard]] Index n_heads() const noexcept { return n_heads_; }
@@ -67,7 +68,7 @@ class MultiHeadAttention {
 /// Counts the score-matrix entries each mode computes for `plan` (per head,
 /// per layer). The slotted/pure ratio is the redundancy removed — used by
 /// the analytical cost model and asserted in tests.
-[[nodiscard]] Index score_entries(const BatchPlan& plan, Index width,
+[[nodiscard]] Index score_entries(const BatchPlan& plan, Col width,
                                   AttentionMode mode);
 
 }  // namespace tcb

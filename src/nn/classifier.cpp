@@ -31,8 +31,8 @@ std::unordered_map<RequestId, std::vector<float>> ClassificationHead::logits(
     for (const auto& seg : memory.plan.rows[r].segments) {
       float* out = pooled.row(cursor);
       for (Index i = 0; i < seg.length; ++i) {
-        const float* state = memory.states.row(
-            static_cast<Index>(r) * memory.width + seg.offset + i);
+        const float* state = memory.states.row(static_cast<Index>(flat_offset(
+            Row{static_cast<Index>(r)}, seg.begin_col() + i, memory.width)));
         for (Index c = 0; c < d; ++c) out[c] += state[c];
       }
       const float inv = 1.0f / static_cast<float>(seg.length);

@@ -113,10 +113,10 @@ DecodeResult greedy_decode(const Seq2SeqModel& model,
       const auto& seg = row.segments[si];
       DecodeTrack t;
       t.request_id = seg.request_id;
-      t.row = static_cast<Index>(r);
-      t.slot = seg.slot;
+      t.row = Row{static_cast<Index>(r)};
+      t.slot = seg.slot_index();
       t.seg_index = static_cast<Index>(si);
-      t.src_offset = seg.offset;
+      t.src_offset = seg.begin_col();
       t.src_len = seg.length;
       tracks.push_back(std::move(t));
     }
@@ -128,8 +128,8 @@ DecodeResult greedy_decode(const Seq2SeqModel& model,
   {
     std::unordered_map<Index, std::size_t> key_to_group;
     for (std::size_t i = 0; i < tracks.size(); ++i) {
-      const Index key =
-          tracks[i].row * (memory.width + 1) + (slotted ? tracks[i].slot : 0);
+      const Index key = tracks[i].row.value() * (memory.width.value() + 1) +
+                        (slotted ? tracks[i].slot.value() : 0);
       auto [it, inserted] = key_to_group.try_emplace(key, groups.size());
       if (inserted) groups.emplace_back();
       groups[it->second].members.push_back(i);
@@ -141,7 +141,7 @@ DecodeResult greedy_decode(const Seq2SeqModel& model,
   std::vector<std::vector<std::int32_t>> src_seg(memory.plan.rows.size());
   for (std::size_t r = 0; r < memory.plan.rows.size(); ++r) {
     auto map = segment_map(memory.plan.rows[r]);
-    map.resize(static_cast<std::size_t>(memory.width), -1);
+    map.resize(memory.width.usize(), -1);
     src_seg[r] = std::move(map);
   }
 
@@ -185,7 +185,7 @@ DecodeResult greedy_decode(const Seq2SeqModel& model,
       prev.push_back(tracks[a].emitted.empty() ? kBosToken
                                                : tracks[a].emitted.back());
     Tensor x = model.embedding().lookup(prev);
-    const float* pe = model.positional_encoding().at(t);
+    const float* pe = model.positional_encoding().at(Pos{t});
     for (Index ai = 0; ai < a_count; ++ai) {
       float* row = x.row(ai);
       for (Index j = 0; j < d; ++j) row[j] += pe[j];
@@ -280,18 +280,21 @@ DecodeResult greedy_decode(const Seq2SeqModel& model,
               const DecodeTrack& tr = tracks[a];
               const std::size_t head_off = static_cast<std::size_t>(h) * dh;
               const float* qv = q2.row(ai) + head_off;
-              const auto& smap = src_seg[static_cast<std::size_t>(tr.row)];
-              const Index row_base = tr.row * memory.width;
+              const auto& smap = src_seg[tr.row.usize()];
+              const Index row_base = static_cast<Index>(
+                  flat_offset(tr.row, Col{0}, memory.width));
 
               // Pure ConcatBatching attends over the whole materialized row
               // (then masks); the slotted path touches only the track's slot.
-              Index span_begin = 0, span_end = memory.width;
+              Col span_begin_col{0};
+              Col span_end_col = memory.width;
               if (slotted) {
-                span_begin = tr.slot * memory.plan.slot_len;
-                span_end = std::min(span_begin + memory.plan.slot_len,
-                                    memory.width);
+                span_begin_col = slot_begin(tr.slot, memory.plan.slot_len);
+                span_end_col = std::min(
+                    span_begin_col + memory.plan.slot_len, memory.width);
               }
-              const Index span = span_end - span_begin;
+              const Index span_begin = span_begin_col.value();
+              const Index span = span_end_col - span_begin_col;
 
               scores.assign(static_cast<std::size_t>(span), 0.0f);
               for (Index j = 0; j < span; ++j) {

@@ -52,13 +52,15 @@ class DecoderLayer {
   float eps_;
 };
 
-/// One request's decoding state.
+/// One request's decoding state. The source coordinates carry their axis in
+/// the type: mixing up the batch row, the slot, and the column offset of a
+/// track is exactly the kind of swap that used to type-check.
 struct DecodeTrack {
   RequestId request_id = -1;
-  Index row = 0;          ///< batch row in the source plan
-  Index slot = 0;         ///< slot within the row (0 when unslotted)
+  Row row{0};             ///< batch row in the source plan
+  Slot slot{0};           ///< slot within the row (0 when unslotted)
   Index seg_index = 0;    ///< index of the request's segment within the row
-  Index src_offset = 0;   ///< source span start (columns)
+  Col src_offset{0};      ///< source span start (columns)
   Index src_len = 0;
   std::vector<Index> emitted;
   bool finished = false;

@@ -14,7 +14,7 @@ EncoderLayer::EncoderLayer(const ModelConfig& cfg, Rng& rng)
       eps_(cfg.layer_norm_eps) {}
 
 Tensor EncoderLayer::forward(const Tensor& x, const BatchPlan& plan,
-                             Index width, AttentionMode mode,
+                             Col width, AttentionMode mode,
                              MaskPolicy mask) const {
   Tensor attn = self_attn_.encoder_forward(x, plan, width, mode, mask);
   add_inplace(attn, x);
@@ -33,7 +33,7 @@ Encoder::Encoder(const ModelConfig& cfg, Rng& rng) {
   for (Index l = 0; l < cfg.n_encoder_layers; ++l) layers_.emplace_back(cfg, rng);
 }
 
-Tensor Encoder::forward(const Tensor& x, const BatchPlan& plan, Index width,
+Tensor Encoder::forward(const Tensor& x, const BatchPlan& plan, Col width,
                         AttentionMode mode, MaskPolicy mask) const {
   Tensor h = x;
   for (const auto& layer : layers_) h = layer.forward(h, plan, width, mode, mask);

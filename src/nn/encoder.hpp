@@ -15,7 +15,7 @@ class EncoderLayer {
 
   /// x: (rows*width, d) laid out by `plan`; returns the same shape.
   [[nodiscard]] Tensor forward(const Tensor& x, const BatchPlan& plan,
-                               Index width, AttentionMode mode,
+                               Col width, AttentionMode mode,
                                MaskPolicy mask) const;
 
  private:
@@ -31,7 +31,7 @@ class Encoder {
   Encoder(const ModelConfig& cfg, Rng& rng);
 
   [[nodiscard]] Tensor forward(const Tensor& x, const BatchPlan& plan,
-                               Index width, AttentionMode mode,
+                               Col width, AttentionMode mode,
                                MaskPolicy mask) const;
 
  private:

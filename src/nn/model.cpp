@@ -20,16 +20,15 @@ Seq2SeqModel::Seq2SeqModel(ModelConfig cfg) : cfg_(cfg) {
 
 EncoderMemory Seq2SeqModel::encode(const PackedBatch& batch,
                                    const InferenceOptions& opts) const {
-  if (batch.width > cfg_.max_len)
+  if (batch.width.value() > cfg_.max_len)
     throw std::invalid_argument(
-        "Seq2SeqModel::encode: batch width " + std::to_string(batch.width) +
+        "Seq2SeqModel::encode: batch width " + to_string(batch.width) +
         " exceeds max_len " + std::to_string(cfg_.max_len));
 #if defined(TCB_ENABLE_DCHECKS)
   // Debug/sanitizer builds re-validate the whole plan at the engine boundary
   // (segment ordering, slot boundaries, widths) before any kernel reads it.
   batch.plan.validate();
-  TCB_CHECK(static_cast<Index>(batch.tokens.size()) ==
-                batch.rows() * batch.width,
+  TCB_CHECK(batch.tokens.size() == batch.rows().usize() * batch.width.usize(),
             "Seq2SeqModel::encode: token buffer does not match plan geometry");
 #endif
 

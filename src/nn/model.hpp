@@ -19,7 +19,7 @@ namespace tcb {
 struct EncoderMemory {
   Tensor states;   ///< (rows * width, d_model)
   BatchPlan plan;  ///< source layout
-  Index width = 0; ///< materialized width of the encoded batch
+  Col width{0};    ///< materialized width of the encoded batch
 };
 
 struct InferenceOptions {

@@ -26,23 +26,25 @@ SinusoidalPositionalEncoding::SinusoidalPositionalEncoding(Index max_len,
   }
 }
 
-const float* SinusoidalPositionalEncoding::at(Index pos) const {
-  if (pos < 0 || pos >= max_len())
+const float* SinusoidalPositionalEncoding::at(Pos pos) const {
+  if (pos < Pos{0} || pos.value() >= max_len())
     throw std::out_of_range("PositionalEncoding: position " +
-                            std::to_string(pos) + " exceeds max_len " +
+                            to_string(pos) + " exceeds max_len " +
                             std::to_string(max_len()));
-  return table_.row(pos);
+  return table_.row(pos.value());
 }
 
-void SinusoidalPositionalEncoding::add_traditional(Tensor& x, Index rows,
-                                                   Index width) const {
+void SinusoidalPositionalEncoding::add_traditional(Tensor& x, Row rows,
+                                                   Col width) const {
   const Index d = x.dim(1);
-  if (x.dim(0) != rows * width)
+  if (x.dim(0) != rows.value() * width.value())
     throw std::invalid_argument("add_traditional: geometry mismatch");
-  for (Index r = 0; r < rows; ++r) {
-    for (Index p = 0; p < width; ++p) {
-      const float* pe = at(p);
-      float* row = x.row(r * width + p);
+  for (Row r{0}; r < rows; ++r) {
+    for (Col p{0}; p < width; ++p) {
+      // The traditional scheme *is* the bug under concatenation: the batch
+      // column doubles as the position. The conversion is therefore explicit.
+      const float* pe = at(Pos{p.value()});
+      float* row = x.row(static_cast<Index>(flat_offset(r, p, width)));
       for (Index j = 0; j < d; ++j) row[j] += pe[j];
     }
   }
@@ -50,20 +52,21 @@ void SinusoidalPositionalEncoding::add_traditional(Tensor& x, Index rows,
 
 void SinusoidalPositionalEncoding::add_separate(Tensor& x,
                                                 const BatchPlan& plan,
-                                                Index width) const {
+                                                Col width) const {
   const Index d = x.dim(1);
-  if (x.dim(0) != static_cast<Index>(plan.rows.size()) * width)
+  if (x.dim(0) != static_cast<Index>(plan.rows.size()) * width.value())
     throw std::invalid_argument("add_separate: geometry mismatch");
   for (std::size_t r = 0; r < plan.rows.size(); ++r) {
     for (const auto& seg : plan.rows[r].segments) {
       // Position-restart invariant (paper §4.1): each concatenated request
       // re-counts positions from 0 inside its own segment, and the segment
       // must fit the materialized row it writes into.
-      TCB_DCHECK(seg.offset >= 0 && seg.offset + seg.length <= width,
+      TCB_DCHECK(seg.offset >= 0 && seg.end_col() <= width,
                  "add_separate: segment outside the materialized row");
       for (Index i = 0; i < seg.length; ++i) {
-        const float* pe = at(i);  // restart at position 0 per request
-        float* row = x.row(static_cast<Index>(r) * width + seg.offset + i);
+        const float* pe = at(Pos{i});  // restart at position 0 per request
+        float* row = x.row(static_cast<Index>(
+            flat_offset(Row{static_cast<Index>(r)}, seg.begin_col() + i, width)));
         for (Index j = 0; j < d; ++j) row[j] += pe[j];
       }
     }

@@ -20,16 +20,19 @@ class SinusoidalPositionalEncoding {
 
   [[nodiscard]] Index max_len() const noexcept { return table_.rank() ? table_.dim(0) : 0; }
 
-  /// PE row for absolute position `pos`.
-  [[nodiscard]] const float* at(Index pos) const;
+  /// PE row for position `pos`. Pos is the *within-request* position axis:
+  /// under TCB's separate encoding it restarts at Pos{0} per segment, so a
+  /// caller cannot accidentally feed a batch column where a request-local
+  /// position belongs.
+  [[nodiscard]] const float* at(Pos pos) const;
 
   /// Adds PE(column index) to every position of x, which holds `rows` rows of
   /// `width` positions flattened to (rows*width, d). Paper Fig. 5(a).
-  void add_traditional(Tensor& x, Index rows, Index width) const;
+  void add_traditional(Tensor& x, Row rows, Col width) const;
 
   /// Adds PE(position within segment) to the positions covered by segments of
   /// `plan`; padding positions receive no PE. Paper Fig. 5(b).
-  void add_separate(Tensor& x, const BatchPlan& plan, Index width) const;
+  void add_separate(Tensor& x, const BatchPlan& plan, Col width) const;
 
  private:
   Tensor table_;  ///< (max_len, d_model)

@@ -37,7 +37,7 @@ CostBreakdown AnalyticalCostModel::breakdown(const BatchPlan& plan) const {
   out.encoder_linear_flops = lin_tokens * n_enc * (8.0 * d * d + 4.0 * d * dff);
   // Attention over exactly the score entries the mode computes.
   const double entries = static_cast<double>(score_entries(
-      plan, width, slotted ? AttentionMode::kSlotted : AttentionMode::kPureConcat));
+      plan, Col{width}, slotted ? AttentionMode::kSlotted : AttentionMode::kPureConcat));
   out.encoder_attention_flops = n_enc * entries * heads * (4.0 * dh + 4.0);
   out.encoder_seconds = out.encoder_linear_flops + out.encoder_attention_flops;
   out.encoder_seconds /= hw_.peak_flops * hw_.utilization(lin_tokens);
@@ -132,6 +132,8 @@ double MeasuredCostModel::batch_seconds(const BatchPlan& plan) const {
   opts.max_decode_steps = max_decode_steps_;
   opts.early_memory_cleaning = plan.scheme == Scheme::kConcatSlotted;
 
+  // Wall-clock measurement is this function's purpose (cost-model calibration).
+  // tcb-lint: allow(no-wall-clock-in-sched)
   const Timer timer;
   const InferenceResult result = model_->infer(packed, opts);
   (void)result;

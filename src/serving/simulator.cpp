@@ -76,7 +76,9 @@ ServingReport ServingSimulator::run(const std::vector<Request>& trace) const {
     }
     report.queue_depth.add(static_cast<double>(pending.size()));
 
-    // Scheduler decision (timed: this is what Fig. 16 reports).
+    // Scheduler decision (timed: this is what Fig. 16 reports).  The wall
+    // clock is read only to *measure* overhead, never to make decisions.
+    // tcb-lint: allow(no-wall-clock-in-sched)
     const Timer sched_timer;
     const Selection sel = scheduler_.select(now, pending);
     report.scheduler_seconds += sched_timer.elapsed_seconds();
@@ -85,23 +87,23 @@ ServingReport ServingSimulator::run(const std::vector<Request>& trace) const {
     BatchBuildResult built;
     switch (cfg_.scheme) {
       case Scheme::kNaive:
-        built = naive.build(sel.ordered, sched_cfg.batch_rows,
-                            sched_cfg.row_capacity);
+        built = naive.build(sel.ordered, Row{sched_cfg.batch_rows},
+                            Col{sched_cfg.row_capacity});
         break;
       case Scheme::kTurbo:
-        built = turbo.build(sel.ordered, sched_cfg.batch_rows,
-                            sched_cfg.row_capacity);
+        built = turbo.build(sel.ordered, Row{sched_cfg.batch_rows},
+                            Col{sched_cfg.row_capacity});
         break;
       case Scheme::kConcatPure:
-        built = concat.build(sel.ordered, sched_cfg.batch_rows,
-                             sched_cfg.row_capacity);
+        built = concat.build(sel.ordered, Row{sched_cfg.batch_rows},
+                             Col{sched_cfg.row_capacity});
         break;
       case Scheme::kConcatSlotted: {
         Index z = sel.slot_len > 0 ? sel.slot_len : cfg_.fixed_slot_len;
         if (z <= 0) z = sched_cfg.row_capacity;  // degenerate: one slot per row
         const SlottedConcatBatcher slotted(z);
-        built = slotted.build(sel.ordered, sched_cfg.batch_rows,
-                              sched_cfg.row_capacity);
+        built = slotted.build(sel.ordered, Row{sched_cfg.batch_rows},
+                              Col{sched_cfg.row_capacity});
         break;
       }
     }

@@ -1,0 +1,127 @@
+// Strong index types for the batching/kernel geometry.
+//
+// Every correctness bug class the TCB paper worries about — packed-row
+// offsets (§4.1), slot boundaries (§4.2), per-request position restarts
+// (Eq. 5–6) — is `(rows, cols, begin, end)`-shaped integer math where the
+// compiler happily accepts swapped arguments. These wrappers make the axis
+// part of the type, so `token_at(col, row)` or `build(selected, capacity,
+// rows)` is a compile error instead of a silently corrupted attention mask.
+//
+// Policy (see DESIGN.md §7):
+//   * Strong types live at the *geometry boundary*: batcher/engine
+//     signatures, packed-offset accessors, mask and positional-encoding
+//     entry points. They are constructed where the semantic axis is known
+//     and unwrapped exactly once (`value()`) when entering a raw kernel
+//     loop, which keeps the hot loops on plain `Index` arithmetic.
+//   * A value doubles as index and extent (like `std::size_t`): `Row{4}` is
+//     both "row #4" and "4 rows". What matters is the axis, not the role.
+//   * Zero overhead: same size/layout as `Index`, trivially copyable,
+//     passed in registers. Verified by the static_asserts below.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <type_traits>
+
+#include "tensor/tensor.hpp"
+
+namespace tcb {
+
+template <class Tag>
+class StrongIndex {
+ public:
+  using value_type = Index;
+
+  constexpr StrongIndex() noexcept = default;
+  constexpr explicit StrongIndex(Index v) noexcept : v_(v) {}
+
+  /// The single sanctioned unwrap point back into raw index math.
+  [[nodiscard]] constexpr Index value() const noexcept { return v_; }
+  /// Unwrap as an unsigned container subscript (caller guarantees v >= 0,
+  /// typically via TCB_CHECK/TCB_DCHECK at the enclosing boundary).
+  [[nodiscard]] constexpr std::size_t usize() const noexcept {
+    return static_cast<std::size_t>(v_);
+  }
+
+  /// Same-axis comparisons only; comparing Row to Col does not compile.
+  [[nodiscard]] friend constexpr auto operator<=>(StrongIndex,
+                                                  StrongIndex) noexcept = default;
+
+  /// Shifting along the axis keeps the axis.
+  constexpr StrongIndex& operator+=(Index d) noexcept { v_ += d; return *this; }
+  constexpr StrongIndex& operator-=(Index d) noexcept { v_ -= d; return *this; }
+  constexpr StrongIndex& operator++() noexcept { ++v_; return *this; }
+  constexpr StrongIndex& operator--() noexcept { --v_; return *this; }
+  constexpr StrongIndex operator++(int) noexcept { return StrongIndex{v_++}; }
+  constexpr StrongIndex operator--(int) noexcept { return StrongIndex{v_--}; }
+  [[nodiscard]] friend constexpr StrongIndex operator+(StrongIndex a,
+                                                       Index d) noexcept {
+    return StrongIndex{a.v_ + d};
+  }
+  [[nodiscard]] friend constexpr StrongIndex operator-(StrongIndex a,
+                                                       Index d) noexcept {
+    return StrongIndex{a.v_ - d};
+  }
+  /// Distance between two positions on the same axis is a plain count.
+  [[nodiscard]] friend constexpr Index operator-(StrongIndex a,
+                                                 StrongIndex b) noexcept {
+    return a.v_ - b.v_;
+  }
+
+ private:
+  Index v_ = 0;
+};
+
+/// Batch row (vertical axis of the packed id matrix).
+using Row = StrongIndex<struct RowTag>;
+/// Token column within a materialized row (horizontal axis).
+using Col = StrongIndex<struct ColTag>;
+/// Slot index within a row (paper §4.2, Fig. 4).
+using Slot = StrongIndex<struct SlotTag>;
+/// Position within one request's segment (restarts at 0 per request, §4.1).
+using Pos = StrongIndex<struct PosTag>;
+
+// Zero-overhead claims, enforced: a StrongIndex is bit-identical to Index.
+static_assert(sizeof(Row) == sizeof(Index));
+static_assert(alignof(Row) == alignof(Index));
+static_assert(std::is_trivially_copyable_v<Row>);
+static_assert(std::is_standard_layout_v<Row>);
+// The whole point: no implicit traffic between axes or with raw Index.
+static_assert(!std::is_convertible_v<Index, Row>);
+static_assert(!std::is_convertible_v<Row, Index>);
+static_assert(!std::is_convertible_v<Row, Col>);
+static_assert(!std::is_convertible_v<Col, Row>);
+static_assert(!std::is_convertible_v<Slot, Pos>);
+// But explicit construction from Index works and is constexpr.
+static_assert(Row{3}.value() == 3);
+static_assert(Col{2} + 5 == Col{7});
+static_assert(Col{7} - Col{2} == 5);
+
+/// Flattened element offset of (row, col) in a rows x width buffer — the
+/// `r * width + c` idiom that anchors every packed-batch access. Taking the
+/// axes as types means the arguments cannot be transposed.
+[[nodiscard]] constexpr std::size_t flat_offset(Row row, Col col,
+                                                Col width) noexcept {
+  return row.usize() * width.usize() + col.usize();
+}
+
+/// First column of a slot of length `slot_len` (paper Fig. 4 geometry).
+[[nodiscard]] constexpr Col slot_begin(Slot slot, Index slot_len) noexcept {
+  return Col{slot.value() * slot_len};
+}
+
+/// Slot that contains column `col` for slot length `slot_len`.
+[[nodiscard]] constexpr Slot slot_of(Col col, Index slot_len) noexcept {
+  return Slot{col.value() / slot_len};
+}
+
+static_assert(flat_offset(Row{2}, Col{3}, Col{10}) == 23);
+static_assert(slot_begin(Slot{2}, 8) == Col{16});
+static_assert(slot_of(Col{17}, 8) == Slot{2});
+
+template <class Tag>
+[[nodiscard]] inline std::string to_string(StrongIndex<Tag> v) {
+  return std::to_string(v.value());
+}
+
+}  // namespace tcb

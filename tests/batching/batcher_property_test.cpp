@@ -61,7 +61,7 @@ TEST_P(BatcherPropertyTest, InvariantsOverRandomWorkloads) {
       selected.push_back(std::move(r));
     }
 
-    const auto built = batcher->build(selected, B, L);
+    const auto built = batcher->build(selected, Row{B}, Col{L});
 
     // Structural validity.
     built.plan.validate();
@@ -119,7 +119,7 @@ TEST(BatcherPrecedenceTest, HeadOfSelectionIsNeverDroppedForSpace) {
     for (const auto scheme :
          {Scheme::kNaive, Scheme::kConcatPure, Scheme::kConcatSlotted}) {
       const auto batcher = make_batcher(scheme, z);
-      const auto built = batcher->build(selected, B, L);
+      const auto built = batcher->build(selected, Row{B}, Col{L});
       const auto ids = built.plan.request_ids();
       ASSERT_FALSE(ids.empty());
       EXPECT_NE(std::find(ids.begin(), ids.end(), 0), ids.end())

@@ -17,7 +17,7 @@ Request req(RequestId id, Index len) {
 TEST(ConcatBatcherTest, ConcatenatesIntoRows) {
   const ConcatBatcher batcher;
   const auto built =
-      batcher.build({req(0, 4), req(1, 3), req(2, 2), req(3, 5)}, 2, 10);
+      batcher.build({req(0, 4), req(1, 3), req(2, 2), req(3, 5)}, Row{2}, Col{10});
   built.plan.validate();
   EXPECT_EQ(built.plan.scheme, Scheme::kConcatPure);
   EXPECT_TRUE(built.leftover.empty());
@@ -31,7 +31,7 @@ TEST(ConcatBatcherTest, ConcatenatesIntoRows) {
 
 TEST(ConcatBatcherTest, SegmentsAreContiguous) {
   const ConcatBatcher batcher;
-  const auto built = batcher.build({req(0, 4), req(1, 3)}, 1, 10);
+  const auto built = batcher.build({req(0, 4), req(1, 3)}, Row{1}, Col{10});
   const auto& segs = built.plan.rows[0].segments;
   EXPECT_EQ(segs[0].offset, 0);
   EXPECT_EQ(segs[1].offset, 4);
@@ -39,7 +39,7 @@ TEST(ConcatBatcherTest, SegmentsAreContiguous) {
 
 TEST(ConcatBatcherTest, RespectsRowCapacity) {
   const ConcatBatcher batcher;
-  const auto built = batcher.build({req(0, 6), req(1, 6), req(2, 6)}, 2, 10);
+  const auto built = batcher.build({req(0, 6), req(1, 6), req(2, 6)}, Row{2}, Col{10});
   EXPECT_EQ(built.plan.request_count(), 2);
   ASSERT_EQ(built.leftover.size(), 1u);
   EXPECT_EQ(built.leftover[0].id, 2);
@@ -48,14 +48,14 @@ TEST(ConcatBatcherTest, RespectsRowCapacity) {
 
 TEST(ConcatBatcherTest, OversizedRequestLeftover) {
   const ConcatBatcher batcher;
-  const auto built = batcher.build({req(0, 11)}, 2, 10);
+  const auto built = batcher.build({req(0, 11)}, Row{2}, Col{10});
   EXPECT_TRUE(built.plan.empty());
   EXPECT_EQ(built.leftover.size(), 1u);
 }
 
 TEST(ConcatBatcherTest, EmptyRowsAreDropped) {
   const ConcatBatcher batcher;
-  const auto built = batcher.build({req(0, 2)}, 8, 10);
+  const auto built = batcher.build({req(0, 2)}, Row{8}, Col{10});
   EXPECT_EQ(built.plan.rows.size(), 1u);
 }
 
@@ -64,7 +64,7 @@ TEST(ConcatBatcherTest, PreservesSelectionPrecedence) {
   const ConcatBatcher batcher;
   std::vector<Request> sel;
   for (int i = 0; i < 12; ++i) sel.push_back(req(i, 5));
-  const auto built = batcher.build(sel, 2, 20);  // capacity: 8 requests
+  const auto built = batcher.build(sel, Row{2}, Col{20});  // capacity: 8 requests
   const auto ids = built.plan.request_ids();
   for (int i = 0; i < 8; ++i)
     EXPECT_NE(std::find(ids.begin(), ids.end(), i), ids.end()) << i;
@@ -90,7 +90,7 @@ TEST(ConcatBatcherTest, PropertyPackingIsTightForUniformLoads) {
       }
     }
     const ConcatBatcher batcher;
-    const auto built = batcher.build(sel, B, L);
+    const auto built = batcher.build(sel, Row{B}, Col{L});
     EXPECT_TRUE(built.leftover.empty()) << "iter " << iter;
     EXPECT_EQ(built.plan.used_tokens(), B * L);
     built.plan.validate();

@@ -15,7 +15,7 @@ Request req(RequestId id, Index len, double deadline = 1.0) {
 
 TEST(NaiveBatcherTest, OneRequestPerRowPaddedToLongest) {
   const NaiveBatcher batcher;
-  const auto built = batcher.build({req(0, 5), req(1, 9), req(2, 3)}, 4, 20);
+  const auto built = batcher.build({req(0, 5), req(1, 9), req(2, 3)}, Row{4}, Col{20});
   built.plan.validate();
   EXPECT_EQ(built.plan.scheme, Scheme::kNaive);
   ASSERT_EQ(built.plan.rows.size(), 3u);
@@ -31,7 +31,7 @@ TEST(NaiveBatcherTest, OneRequestPerRowPaddedToLongest) {
 TEST(NaiveBatcherTest, TakesAtMostBRequestsInOrder) {
   const NaiveBatcher batcher;
   const auto built =
-      batcher.build({req(0, 2), req(1, 2), req(2, 2), req(3, 2)}, 2, 10);
+      batcher.build({req(0, 2), req(1, 2), req(2, 2), req(3, 2)}, Row{2}, Col{10});
   ASSERT_EQ(built.plan.rows.size(), 2u);
   EXPECT_EQ(built.plan.rows[0].segments[0].request_id, 0);
   EXPECT_EQ(built.plan.rows[1].segments[0].request_id, 1);
@@ -42,7 +42,7 @@ TEST(NaiveBatcherTest, TakesAtMostBRequestsInOrder) {
 
 TEST(NaiveBatcherTest, OversizedRequestsAreLeftover) {
   const NaiveBatcher batcher;
-  const auto built = batcher.build({req(0, 30), req(1, 4)}, 4, 10);
+  const auto built = batcher.build({req(0, 30), req(1, 4)}, Row{4}, Col{10});
   ASSERT_EQ(built.plan.rows.size(), 1u);
   EXPECT_EQ(built.plan.rows[0].segments[0].request_id, 1);
   ASSERT_EQ(built.leftover.size(), 1u);
@@ -51,15 +51,15 @@ TEST(NaiveBatcherTest, OversizedRequestsAreLeftover) {
 
 TEST(NaiveBatcherTest, EmptySelection) {
   const NaiveBatcher batcher;
-  const auto built = batcher.build({}, 4, 10);
+  const auto built = batcher.build({}, Row{4}, Col{10});
   EXPECT_TRUE(built.plan.empty());
   EXPECT_TRUE(built.leftover.empty());
 }
 
 TEST(NaiveBatcherTest, BadGeometryThrows) {
   const NaiveBatcher batcher;
-  EXPECT_THROW((void)batcher.build({req(0, 1)}, 0, 10), std::invalid_argument);
-  EXPECT_THROW((void)batcher.build({req(0, 1)}, 4, 0), std::invalid_argument);
+  EXPECT_THROW((void)batcher.build({req(0, 1)}, Row{0}, Col{10}), std::invalid_argument);
+  EXPECT_THROW((void)batcher.build({req(0, 1)}, Row{4}, Col{0}), std::invalid_argument);
 }
 
 }  // namespace

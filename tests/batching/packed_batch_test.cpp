@@ -19,14 +19,14 @@ TEST(PackedBatchTest, CopiesTokensIntoSegments) {
   const std::vector<Request> reqs = {req_with_tokens(0, {10, 11, 12}),
                                      req_with_tokens(1, {20, 21})};
   const ConcatBatcher batcher;
-  const auto built = batcher.build(reqs, 1, 8);
+  const auto built = batcher.build(reqs, Row{1}, Col{8});
   const PackedBatch packed = pack_batch(built.plan, reqs);
-  EXPECT_EQ(packed.rows(), 1);
-  EXPECT_EQ(packed.width, 5);
-  EXPECT_EQ(packed.token_at(0, 0), 10);
-  EXPECT_EQ(packed.token_at(0, 2), 12);
-  EXPECT_EQ(packed.token_at(0, 3), 20);
-  EXPECT_EQ(packed.token_at(0, 4), 21);
+  EXPECT_EQ(packed.rows(), Row{1});
+  EXPECT_EQ(packed.width, Col{5});
+  EXPECT_EQ(packed.token_at(Row{0}, Col{0}), 10);
+  EXPECT_EQ(packed.token_at(Row{0}, Col{2}), 12);
+  EXPECT_EQ(packed.token_at(Row{0}, Col{3}), 20);
+  EXPECT_EQ(packed.token_at(Row{0}, Col{4}), 21);
 }
 
 TEST(PackedBatchTest, PaddingIsPadToken) {
@@ -44,9 +44,9 @@ TEST(PackedBatchTest, PaddingIsPadToken) {
   r1.segments.push_back(Segment{1, 0, 1, 0});
   plan.rows = {r0, r1};
   const PackedBatch packed = pack_batch(plan, reqs);
-  EXPECT_EQ(packed.width, 3);
-  EXPECT_EQ(packed.token_at(1, 1), kPadToken);
-  EXPECT_EQ(packed.token_at(1, 2), kPadToken);
+  EXPECT_EQ(packed.width, Col{3});
+  EXPECT_EQ(packed.token_at(Row{1}, Col{1}), kPadToken);
+  EXPECT_EQ(packed.token_at(Row{1}, Col{2}), kPadToken);
 }
 
 TEST(PackedBatchTest, MissingRequestThrows) {

@@ -17,7 +17,7 @@ Request req(RequestId id, Index len) {
 TEST(SlottedBatcherTest, PlacesWithinSlotBoundaries) {
   const SlottedConcatBatcher batcher(5);
   const auto built =
-      batcher.build({req(0, 3), req(1, 2), req(2, 4), req(3, 5)}, 2, 20);
+      batcher.build({req(0, 3), req(1, 2), req(2, 4), req(3, 5)}, Row{2}, Col{20});
   built.plan.validate();
   EXPECT_EQ(built.plan.scheme, Scheme::kConcatSlotted);
   EXPECT_EQ(built.plan.slot_len, 5);
@@ -33,7 +33,7 @@ TEST(SlottedBatcherTest, PlacesWithinSlotBoundaries) {
 TEST(SlottedBatcherTest, RequestsLongerThanSlotAreDiscarded) {
   // Paper §5.3: "the ones larger than the slot would be discarded".
   const SlottedConcatBatcher batcher(4);
-  const auto built = batcher.build({req(0, 6), req(1, 3)}, 2, 16);
+  const auto built = batcher.build({req(0, 6), req(1, 3)}, Row{2}, Col{16});
   const auto ids = built.plan.request_ids();
   EXPECT_EQ(ids, (std::vector<RequestId>{1}));
   ASSERT_EQ(built.leftover.size(), 1u);
@@ -42,7 +42,7 @@ TEST(SlottedBatcherTest, RequestsLongerThanSlotAreDiscarded) {
 
 TEST(SlottedBatcherTest, ConcatenatesShortRequestsWithinSlot) {
   const SlottedConcatBatcher batcher(6);
-  const auto built = batcher.build({req(0, 2), req(1, 2), req(2, 2)}, 1, 6);
+  const auto built = batcher.build({req(0, 2), req(1, 2), req(2, 2)}, Row{1}, Col{6});
   ASSERT_EQ(built.plan.rows.size(), 1u);
   EXPECT_EQ(built.plan.rows[0].segments.size(), 3u);
   for (const auto& seg : built.plan.rows[0].segments) EXPECT_EQ(seg.slot, 0);
@@ -50,7 +50,7 @@ TEST(SlottedBatcherTest, ConcatenatesShortRequestsWithinSlot) {
 
 TEST(SlottedBatcherTest, RowWidthSnapsToSlotBoundary) {
   const SlottedConcatBatcher batcher(4);
-  const auto built = batcher.build({req(0, 3), req(1, 4), req(2, 2)}, 1, 16);
+  const auto built = batcher.build({req(0, 3), req(1, 4), req(2, 2)}, Row{1}, Col{16});
   // Slots: [0: 3+?]. 4 won't fit slot 0 (3+4>4) -> slot 1; 2 fits slot 0? No:
   // first-fit checks slot 0 first: 3+2>4, so 2 goes to slot 2.
   ASSERT_EQ(built.plan.rows.size(), 1u);
@@ -59,7 +59,7 @@ TEST(SlottedBatcherTest, RowWidthSnapsToSlotBoundary) {
 
 TEST(SlottedBatcherTest, SlotLenLargerThanCapacityThrows) {
   const SlottedConcatBatcher batcher(32);
-  EXPECT_THROW((void)batcher.build({req(0, 2)}, 1, 16), std::invalid_argument);
+  EXPECT_THROW((void)batcher.build({req(0, 2)}, Row{1}, Col{16}), std::invalid_argument);
 }
 
 TEST(SlottedBatcherTest, InvalidSlotLenThrows) {
@@ -69,7 +69,7 @@ TEST(SlottedBatcherTest, InvalidSlotLenThrows) {
 
 TEST(SlottedBatcherTest, SlotEqualsCapacityBehavesLikePureConcat) {
   const SlottedConcatBatcher slotted(10);
-  const auto a = slotted.build({req(0, 4), req(1, 3), req(2, 3)}, 2, 10);
+  const auto a = slotted.build({req(0, 4), req(1, 3), req(2, 3)}, Row{2}, Col{10});
   EXPECT_TRUE(a.leftover.empty());
   EXPECT_EQ(a.plan.rows[0].segments.size(), 3u);
 }
@@ -84,7 +84,7 @@ TEST(SlottedBatcherTest, PropertyNoSegmentEverStraddles) {
       sel.push_back(req(i, rng.uniform_int(1, 10)));
     const SlottedConcatBatcher batcher(z);
     const Index rows = 3;
-    const auto built = batcher.build(sel, rows, L);
+    const auto built = batcher.build(sel, Row{rows}, Col{L});
     built.plan.validate();  // validate() checks slot boundaries
 
     // First-fit guarantee: a leftover that fits a slot implies no slot in

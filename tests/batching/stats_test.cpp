@@ -27,7 +27,7 @@ TEST(BatchStatsTest, EmptyPlan) {
 TEST(BatchStatsTest, NaivePaddingAccounted) {
   const NaiveBatcher batcher;
   // Lengths 2 and 10 -> both rows 10 wide -> 8 padded tokens.
-  const auto plan = batcher.build({req(0, 2), req(1, 10)}, 4, 16).plan;
+  const auto plan = batcher.build({req(0, 2), req(1, 10)}, Row{4}, Col{16}).plan;
   const BatchStats stats = analyze(plan);
   EXPECT_EQ(stats.rows, 2);
   EXPECT_EQ(stats.materialized_tokens, 20);
@@ -45,8 +45,8 @@ TEST(BatchStatsTest, ConcatReducesPaddingButKeepsAttentionRedundancy) {
                                      req(3, 5)};
   const NaiveBatcher naive;
   const ConcatBatcher concat;
-  const auto naive_stats = analyze(naive.build(reqs, 4, 20).plan);
-  const auto concat_stats = analyze(concat.build(reqs, 1, 20).plan);
+  const auto naive_stats = analyze(naive.build(reqs, Row{4}, Col{20}).plan);
+  const auto concat_stats = analyze(concat.build(reqs, Row{1}, Col{20}).plan);
   EXPECT_LE(concat_stats.padding_ratio, naive_stats.padding_ratio);
   // One 20-wide concat row computes 400 entries for 100 useful -> 75%
   // redundancy, the cost pure ConcatBatching pays (paper §4.2 motivation).
@@ -58,8 +58,8 @@ TEST(BatchStatsTest, SlottingRemovesAttentionRedundancy) {
                                      req(3, 5)};
   const ConcatBatcher pure;
   const SlottedConcatBatcher slotted(5);
-  const auto pure_stats = analyze(pure.build(reqs, 1, 20).plan);
-  const auto slot_stats = analyze(slotted.build(reqs, 1, 20).plan);
+  const auto pure_stats = analyze(pure.build(reqs, Row{1}, Col{20}).plan);
+  const auto slot_stats = analyze(slotted.build(reqs, Row{1}, Col{20}).plan);
   EXPECT_EQ(slot_stats.score_entries_computed, 4 * 25);
   EXPECT_NEAR(slot_stats.attention_redundancy, 0.0, 1e-12);
   EXPECT_LT(slot_stats.attention_redundancy, pure_stats.attention_redundancy);
@@ -68,7 +68,7 @@ TEST(BatchStatsTest, SlottingRemovesAttentionRedundancy) {
 
 TEST(BatchStatsTest, OccupancyAgainstCapacity) {
   const ConcatBatcher batcher;
-  const auto plan = batcher.build({req(0, 10), req(1, 10)}, 2, 20).plan;
+  const auto plan = batcher.build({req(0, 10), req(1, 10)}, Row{2}, Col{20}).plan;
   const BatchStats stats = analyze(plan);
   // Both fit row 0: one row of 20 used tokens over capacity 20.
   EXPECT_NEAR(stats.occupancy, 1.0, 1e-12);

@@ -57,7 +57,7 @@ TEST(TurboDpTest, EmptyAndInvalid) {
 TEST(TurboBatcherTest, BatchesSimilarLengthsTogether) {
   const TurboBatcher batcher;
   const auto built = batcher.build(
-      {req(0, 3), req(1, 40), req(2, 4), req(3, 41), req(4, 3)}, 8, 100);
+      {req(0, 3), req(1, 40), req(2, 4), req(3, 41), req(4, 3)}, Row{8}, Col{100});
   built.plan.validate();
   EXPECT_EQ(built.plan.scheme, Scheme::kTurbo);
   // One group runs; its rows all share the group width.
@@ -77,8 +77,7 @@ TEST(TurboBatcherTest, ExecutesGroupWithEarliestDeadline) {
   const TurboBatcher batcher;
   // Two clear groups; the long one holds the urgent request.
   const auto built = batcher.build(
-      {req(0, 3, 9.0), req(1, 3, 9.0), req(2, 50, 0.5), req(3, 51, 9.0)}, 8,
-      100);
+      {req(0, 3, 9.0), req(1, 3, 9.0), req(2, 50, 0.5), req(3, 51, 9.0)}, Row{8}, Col{100});
   std::vector<RequestId> served = built.plan.request_ids();
   EXPECT_NE(std::find(served.begin(), served.end(), 2), served.end());
 }
@@ -86,14 +85,14 @@ TEST(TurboBatcherTest, ExecutesGroupWithEarliestDeadline) {
 TEST(TurboBatcherTest, LeftoverHoldsEverythingNotExecuted) {
   const TurboBatcher batcher;
   const auto built = batcher.build(
-      {req(0, 3, 0.1), req(1, 4, 0.2), req(2, 50), req(3, 51)}, 8, 100);
+      {req(0, 3, 0.1), req(1, 4, 0.2), req(2, 50), req(3, 51)}, Row{8}, Col{100});
   EXPECT_EQ(built.plan.request_count() + static_cast<Index>(built.leftover.size()),
             4);
 }
 
 TEST(TurboBatcherTest, OversizedRequestsNeverPlaced) {
   const TurboBatcher batcher;
-  const auto built = batcher.build({req(0, 200), req(1, 5)}, 4, 100);
+  const auto built = batcher.build({req(0, 200), req(1, 5)}, Row{4}, Col{100});
   for (const auto id : built.plan.request_ids()) EXPECT_NE(id, 0);
   bool in_leftover = false;
   for (const auto& r : built.leftover) in_leftover |= (r.id == 0);
@@ -104,13 +103,13 @@ TEST(TurboBatcherTest, GroupRespectsBatchRows) {
   const TurboBatcher batcher;
   std::vector<Request> reqs;
   for (int i = 0; i < 10; ++i) reqs.push_back(req(i, 10));
-  const auto built = batcher.build(reqs, 4, 100);
+  const auto built = batcher.build(reqs, Row{4}, Col{100});
   EXPECT_LE(built.plan.rows.size(), 4u);
 }
 
 TEST(TurboBatcherTest, EmptySelection) {
   const TurboBatcher batcher;
-  const auto built = batcher.build({}, 4, 100);
+  const auto built = batcher.build({}, Row{4}, Col{100});
   EXPECT_TRUE(built.plan.empty());
 }
 

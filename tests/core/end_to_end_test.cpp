@@ -131,9 +131,9 @@ TEST(PaperClaimsTest, SlottedReducesModeledBatchTime) {
     reqs.push_back(std::move(r));
   }
   const ConcatBatcher pure;
-  const double pure_time = cost.batch_seconds(pure.build(reqs, 4, 400).plan);
+  const double pure_time = cost.batch_seconds(pure.build(reqs, Row{4}, Col{400}).plan);
   const SlottedConcatBatcher slotted(40);
-  const double slot_time = cost.batch_seconds(slotted.build(reqs, 4, 400).plan);
+  const double slot_time = cost.batch_seconds(slotted.build(reqs, Row{4}, Col{400}).plan);
   EXPECT_LT(slot_time, pure_time);
 }
 

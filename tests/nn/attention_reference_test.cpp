@@ -102,7 +102,7 @@ TEST(AttentionReferenceTest, OptimizedKernelMatchesReferenceMath) {
       1.0f);
 
   const Tensor fast =
-      mha.encoder_forward(x, plan, width, AttentionMode::kPureConcat);
+      mha.encoder_forward(x, plan, Col{width}, AttentionMode::kPureConcat);
   const Tensor ref = reference_attention(mha, x, plan, width);
 
   // Compare only real-token positions (padding outputs are defined as the
@@ -140,7 +140,7 @@ TEST(AttentionReferenceTest, SlottedKernelMatchesReferenceMath) {
   const Tensor x =
       Tensor::random_uniform(Shape{12, cfg.d_model}, data, 1.0f);
   const Tensor fast =
-      mha.encoder_forward(x, plan, 12, AttentionMode::kSlotted);
+      mha.encoder_forward(x, plan, Col{12}, AttentionMode::kSlotted);
   const Tensor ref = reference_attention(mha, x, plan, 12);
   for (const auto& seg : plan.rows[0].segments)
     for (Index i = seg.offset; i < seg.offset + seg.length; ++i)

@@ -48,7 +48,7 @@ TEST(AttentionTest, OutputShapeMatchesInput) {
   Rng data(2);
   const Tensor x = Tensor::random_uniform(Shape{7, cfg.d_model}, data, 1.0f);
   const Tensor y =
-      mha.encoder_forward(x, plan, 7, AttentionMode::kPureConcat);
+      mha.encoder_forward(x, plan, Col{7}, AttentionMode::kPureConcat);
   EXPECT_EQ(y.shape(), x.shape());
 }
 
@@ -65,8 +65,8 @@ TEST(AttentionTest, SegmentsDoNotInfluenceEachOther) {
   for (Index i = 3; i < 6; ++i)
     for (Index j = 0; j < cfg.d_model; ++j) x2.at(i, j) += 1.0f;
 
-  const Tensor y1 = mha.encoder_forward(x1, plan, 6, AttentionMode::kPureConcat);
-  const Tensor y2 = mha.encoder_forward(x2, plan, 6, AttentionMode::kPureConcat);
+  const Tensor y1 = mha.encoder_forward(x1, plan, Col{6}, AttentionMode::kPureConcat);
+  const Tensor y2 = mha.encoder_forward(x2, plan, Col{6}, AttentionMode::kPureConcat);
   for (Index i = 0; i < 3; ++i)
     for (Index j = 0; j < cfg.d_model; ++j)
       EXPECT_EQ(y1.at(i, j), y2.at(i, j)) << "pos " << i << " dim " << j;
@@ -86,9 +86,9 @@ TEST(AttentionTest, RowSharedMaskLeaksAcrossSegments) {
   for (Index i = 3; i < 6; ++i)
     for (Index j = 0; j < cfg.d_model; ++j) x2.at(i, j) += 1.0f;
 
-  const Tensor y1 = mha.encoder_forward(x1, plan, 6, AttentionMode::kPureConcat,
+  const Tensor y1 = mha.encoder_forward(x1, plan, Col{6}, AttentionMode::kPureConcat,
                                         MaskPolicy::kRowShared);
-  const Tensor y2 = mha.encoder_forward(x2, plan, 6, AttentionMode::kPureConcat,
+  const Tensor y2 = mha.encoder_forward(x2, plan, Col{6}, AttentionMode::kPureConcat,
                                         MaskPolicy::kRowShared);
   float diff = 0.0f;
   for (Index i = 0; i < 3; ++i)
@@ -106,9 +106,9 @@ TEST(AttentionTest, SlottedEqualsPureOnRealTokens) {
   const Tensor x =
       Tensor::random_uniform(Shape{plan.rows[0].width, cfg.d_model}, data, 1.0f);
 
-  const Tensor pure = mha.encoder_forward(x, plan, plan.rows[0].width,
+  const Tensor pure = mha.encoder_forward(x, plan, Col{plan.rows[0].width},
                                           AttentionMode::kPureConcat);
-  const Tensor slotted = mha.encoder_forward(x, plan, plan.rows[0].width,
+  const Tensor slotted = mha.encoder_forward(x, plan, Col{plan.rows[0].width},
                                              AttentionMode::kSlotted);
   for (const auto& seg : plan.rows[0].segments)
     for (Index i = seg.offset; i < seg.offset + seg.length; ++i)
@@ -123,7 +123,7 @@ TEST(AttentionTest, SlottedModeWithoutSlotLenThrows) {
   const BatchPlan plan = one_row_plan({3}, 4);
   const Tensor x(Shape{3, cfg.d_model});
   EXPECT_THROW(
-      (void)mha.encoder_forward(x, plan, 3, AttentionMode::kSlotted),
+      (void)mha.encoder_forward(x, plan, Col{3}, AttentionMode::kSlotted),
       std::invalid_argument);
 }
 
@@ -134,27 +134,27 @@ TEST(AttentionTest, ShapeMismatchThrows) {
   const BatchPlan plan = one_row_plan({3}, 4);
   const Tensor x(Shape{5, cfg.d_model});  // width disagrees with plan
   EXPECT_THROW(
-      (void)mha.encoder_forward(x, plan, 3, AttentionMode::kPureConcat),
+      (void)mha.encoder_forward(x, plan, Col{3}, AttentionMode::kPureConcat),
       std::invalid_argument);
 }
 
 TEST(ScoreEntriesTest, PureCountsFullRows) {
   const BatchPlan plan = one_row_plan({3, 4}, 8);
-  EXPECT_EQ(score_entries(plan, 7, AttentionMode::kPureConcat), 49);
+  EXPECT_EQ(score_entries(plan, Col{7}, AttentionMode::kPureConcat), 49);
 }
 
 TEST(ScoreEntriesTest, SlottedCountsPerSlotBlocks) {
   const BatchPlan plan = one_row_plan({3, 2, 4}, 12, 6);
   // Row width 12 with slot 6: two 6x6 blocks instead of one 12x12.
-  EXPECT_EQ(score_entries(plan, 12, AttentionMode::kSlotted), 72);
-  EXPECT_EQ(score_entries(plan, 12, AttentionMode::kPureConcat), 144);
+  EXPECT_EQ(score_entries(plan, Col{12}, AttentionMode::kSlotted), 72);
+  EXPECT_EQ(score_entries(plan, Col{12}, AttentionMode::kPureConcat), 144);
 }
 
 TEST(ScoreEntriesTest, SlottedNeverExceedsPure) {
   for (const Index slot : {2, 3, 4, 6, 12}) {
     const BatchPlan plan = one_row_plan({2, 2, 2, 2}, 12, slot);
-    EXPECT_LE(score_entries(plan, plan.max_width(), AttentionMode::kSlotted),
-              score_entries(plan, plan.max_width(), AttentionMode::kPureConcat))
+    EXPECT_LE(score_entries(plan, Col{plan.max_width()}, AttentionMode::kSlotted),
+              score_entries(plan, Col{plan.max_width()}, AttentionMode::kPureConcat))
         << "slot=" << slot;
   }
 }

@@ -51,7 +51,7 @@ class ClassifierTest : public ::testing::Test {
 TEST_F(ClassifierTest, EveryRequestGetsLogits) {
   const auto reqs = make_requests(6, 3);
   const ConcatBatcher batcher;
-  const auto built = batcher.build(reqs, 2, 40);
+  const auto built = batcher.build(reqs, Row{2}, Col{40});
   const InferenceOptions opts;
   const auto memory = model_.encode(pack_batch(built.plan, reqs), opts);
   const auto logits = head_.logits(memory);
@@ -62,7 +62,7 @@ TEST_F(ClassifierTest, EveryRequestGetsLogits) {
 TEST_F(ClassifierTest, ConcatClassificationMatchesSingleRequest) {
   const auto reqs = make_requests(7, 7);
   const ConcatBatcher batcher;
-  const auto built = batcher.build(reqs, 2, 40);
+  const auto built = batcher.build(reqs, Row{2}, Col{40});
   const InferenceOptions opts;
   const auto memory = model_.encode(pack_batch(built.plan, reqs), opts);
   const auto batched = head_.classify(memory);
@@ -73,7 +73,7 @@ TEST_F(ClassifierTest, ConcatClassificationMatchesSingleRequest) {
 TEST_F(ClassifierTest, SlottedClassificationMatchesSingleRequest) {
   const auto reqs = make_requests(8, 9);
   const SlottedConcatBatcher batcher(10);
-  const auto built = batcher.build(reqs, 2, 40);
+  const auto built = batcher.build(reqs, Row{2}, Col{40});
   InferenceOptions opts;
   opts.mode = AttentionMode::kSlotted;
   const auto memory = model_.encode(pack_batch(built.plan, reqs), opts);
@@ -87,7 +87,7 @@ TEST_F(ClassifierTest, DeterministicFromSeed) {
   const ClassificationHead a(cfg_.d_model, 4, 5);
   const auto reqs = make_requests(3, 11);
   const ConcatBatcher batcher;
-  const auto built = batcher.build(reqs, 1, 40);
+  const auto built = batcher.build(reqs, Row{1}, Col{40});
   const InferenceOptions opts;
   const auto memory = model_.encode(pack_batch(built.plan, reqs), opts);
   EXPECT_EQ(a.classify(memory), head_.classify(memory));
@@ -102,7 +102,7 @@ TEST_F(ClassifierTest, DimensionMismatchThrows) {
   const ClassificationHead wrong(cfg_.d_model * 2, 4, 1);
   const auto reqs = make_requests(2, 13);
   const ConcatBatcher batcher;
-  const auto built = batcher.build(reqs, 1, 30);
+  const auto built = batcher.build(reqs, Row{1}, Col{30});
   const InferenceOptions opts;
   const auto memory = model_.encode(pack_batch(built.plan, reqs), opts);
   EXPECT_THROW((void)wrong.logits(memory), std::invalid_argument);

@@ -34,7 +34,7 @@ class DecodeCapTest : public ::testing::Test {
 TEST_F(DecodeCapTest, OutputLengthBoundedBySourceLength) {
   const auto reqs = mixed_lengths();
   const ConcatBatcher batcher;
-  const auto built = batcher.build(reqs, 1, 20);
+  const auto built = batcher.build(reqs, Row{1}, Col{20});
   const PackedBatch packed = pack_batch(built.plan, reqs);
   InferenceOptions opts;
   opts.max_decode_steps = 32;
@@ -49,7 +49,7 @@ TEST_F(DecodeCapTest, OutputLengthBoundedBySourceLength) {
 TEST_F(DecodeCapTest, GlobalCapStillApplies) {
   const auto reqs = mixed_lengths();
   const ConcatBatcher batcher;
-  const auto built = batcher.build(reqs, 1, 20);
+  const auto built = batcher.build(reqs, Row{1}, Col{20});
   const PackedBatch packed = pack_batch(built.plan, reqs);
   InferenceOptions opts;
   opts.max_decode_steps = 3;  // tighter than the longest source
@@ -64,7 +64,7 @@ TEST_F(DecodeCapTest, PrefixAgreesWithUncappedDecode) {
   // uncapped run's prefix (tracks are independent streams).
   const auto reqs = mixed_lengths();
   const ConcatBatcher batcher;
-  const auto built = batcher.build(reqs, 1, 20);
+  const auto built = batcher.build(reqs, Row{1}, Col{20});
   const PackedBatch packed = pack_batch(built.plan, reqs);
   InferenceOptions capped;
   capped.max_decode_steps = 16;

@@ -38,7 +38,7 @@ class DecoderTest : public ::testing::Test {
 TEST_F(DecoderTest, EveryRequestGetsAnOutput) {
   const auto reqs = make_requests(5, 4, cfg_, 3);
   const ConcatBatcher batcher;
-  const auto built = batcher.build(reqs, 2, 12);
+  const auto built = batcher.build(reqs, Row{2}, Col{12});
   const PackedBatch packed = pack_batch(built.plan, reqs);
   InferenceOptions opts;
   opts.max_decode_steps = 6;
@@ -54,7 +54,7 @@ TEST_F(DecoderTest, EveryRequestGetsAnOutput) {
 TEST_F(DecoderTest, StepsBoundedByMaxSteps) {
   const auto reqs = make_requests(3, 4, cfg_, 5);
   const ConcatBatcher batcher;
-  const auto built = batcher.build(reqs, 1, 12);
+  const auto built = batcher.build(reqs, Row{1}, Col{12});
   const PackedBatch packed = pack_batch(built.plan, reqs);
   InferenceOptions opts;
   opts.max_decode_steps = 3;
@@ -66,7 +66,7 @@ TEST_F(DecoderTest, StepsBoundedByMaxSteps) {
 TEST_F(DecoderTest, DeterministicAcrossRuns) {
   const auto reqs = make_requests(4, 5, cfg_, 7);
   const ConcatBatcher batcher;
-  const auto built = batcher.build(reqs, 2, 10);
+  const auto built = batcher.build(reqs, Row{2}, Col{10});
   const PackedBatch packed = pack_batch(built.plan, reqs);
   InferenceOptions opts;
   opts.max_decode_steps = 8;
@@ -79,7 +79,7 @@ TEST_F(DecoderTest, DeterministicAcrossRuns) {
 TEST_F(DecoderTest, KvCacheGrowsWithSteps) {
   const auto reqs = make_requests(4, 5, cfg_, 9);
   const ConcatBatcher batcher;
-  const auto built = batcher.build(reqs, 2, 10);
+  const auto built = batcher.build(reqs, Row{2}, Col{10});
   const PackedBatch packed = pack_batch(built.plan, reqs);
 
   InferenceOptions short_opts;
@@ -95,7 +95,7 @@ TEST_F(DecoderTest, KvCacheGrowsWithSteps) {
 TEST_F(DecoderTest, EarlyCleaningFreesMemoryUnderSlotted) {
   const auto reqs = make_requests(8, 4, cfg_, 11);
   const SlottedConcatBatcher batcher(4);
-  const auto built = batcher.build(reqs, 2, 16);
+  const auto built = batcher.build(reqs, Row{2}, Col{16});
   ASSERT_TRUE(built.leftover.empty());
   const PackedBatch packed = pack_batch(built.plan, reqs);
 
@@ -123,7 +123,7 @@ TEST_F(DecoderTest, EarlyCleaningIneffectiveUnderPureConcat) {
   // the engine must not free anything in that mode even when asked.
   const auto reqs = make_requests(6, 4, cfg_, 13);
   const ConcatBatcher batcher;
-  const auto built = batcher.build(reqs, 2, 12);
+  const auto built = batcher.build(reqs, Row{2}, Col{12});
   const PackedBatch packed = pack_batch(built.plan, reqs);
   InferenceOptions opts;
   opts.mode = AttentionMode::kPureConcat;

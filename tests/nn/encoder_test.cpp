@@ -22,7 +22,7 @@ TEST(EncoderTest, PreservesShape) {
   plan.rows.push_back(row);
   Rng data(2);
   const Tensor x = Tensor::random_uniform(Shape{8, cfg.d_model}, data, 1.0f);
-  const Tensor y = enc.forward(x, plan, 8, AttentionMode::kPureConcat,
+  const Tensor y = enc.forward(x, plan, Col{8}, AttentionMode::kPureConcat,
                                MaskPolicy::kSegment);
   EXPECT_EQ(y.shape(), x.shape());
 }
@@ -40,9 +40,9 @@ TEST(EncoderTest, DeterministicForSameSeed) {
   plan.rows.push_back(row);
   Rng data(3);
   const Tensor x = Tensor::random_uniform(Shape{4, cfg.d_model}, data, 1.0f);
-  const Tensor ya = a.forward(x, plan, 4, AttentionMode::kPureConcat,
+  const Tensor ya = a.forward(x, plan, Col{4}, AttentionMode::kPureConcat,
                               MaskPolicy::kSegment);
-  const Tensor yb = b.forward(x, plan, 4, AttentionMode::kPureConcat,
+  const Tensor yb = b.forward(x, plan, Col{4}, AttentionMode::kPureConcat,
                               MaskPolicy::kSegment);
   EXPECT_EQ(max_abs_diff(ya, yb), 0.0f);
 }
@@ -61,7 +61,7 @@ TEST(EncoderTest, OutputIsLayerNormalized) {
   plan.rows.push_back(row);
   Rng data(8);
   const Tensor x = Tensor::random_uniform(Shape{6, cfg.d_model}, data, 1.0f);
-  const Tensor y = enc.forward(x, plan, 6, AttentionMode::kPureConcat,
+  const Tensor y = enc.forward(x, plan, Col{6}, AttentionMode::kPureConcat,
                                MaskPolicy::kSegment);
   for (Index i = 0; i < 6; ++i) {
     float mean = 0.0f;

@@ -72,10 +72,10 @@ TEST_P(EquivalenceGridTest, BatchedOutputsMatchIsolatedOutputs) {
   BatchBuildResult built;
   if (p.slot_len > 0) {
     const SlottedConcatBatcher batcher(p.slot_len);
-    built = batcher.build(reqs, p.batch_rows, p.row_capacity);
+    built = batcher.build(reqs, Row{p.batch_rows}, Col{p.row_capacity});
   } else {
     const ConcatBatcher batcher;
-    built = batcher.build(reqs, p.batch_rows, p.row_capacity);
+    built = batcher.build(reqs, Row{p.batch_rows}, Col{p.row_capacity});
   }
   built.plan.validate();
   if (built.plan.empty()) GTEST_SKIP() << "nothing placed for this geometry";

@@ -57,7 +57,7 @@ class EquivalenceTest : public ::testing::Test {
 TEST_F(EquivalenceTest, ConcatBatchMatchesSingleRequestInference) {
   const auto reqs = make_requests(7, 2, 12, cfg_, 11);
   const ConcatBatcher batcher;
-  const auto built = batcher.build(reqs, /*batch_rows=*/2, /*row_capacity=*/40);
+  const auto built = batcher.build(reqs, /*batch_rows=*/Row{2}, /*row_capacity=*/Col{40});
   ASSERT_TRUE(built.leftover.empty());
   const PackedBatch packed = pack_batch(built.plan, reqs);
 
@@ -76,7 +76,7 @@ TEST_F(EquivalenceTest, ConcatBatchMatchesSingleRequestInference) {
 TEST_F(EquivalenceTest, SlottedMatchesSingleRequestInference) {
   const auto reqs = make_requests(9, 2, 8, cfg_, 23);
   const SlottedConcatBatcher batcher(/*slot_len=*/8);
-  const auto built = batcher.build(reqs, /*batch_rows=*/3, /*row_capacity=*/32);
+  const auto built = batcher.build(reqs, /*batch_rows=*/Row{3}, /*row_capacity=*/Col{32});
   ASSERT_TRUE(built.leftover.empty());
   const PackedBatch packed = pack_batch(built.plan, reqs);
 
@@ -99,7 +99,7 @@ TEST_F(EquivalenceTest, SlottedEncoderMatchesPureEncoderBitwise) {
   // the pure path's work and must agree exactly on every real token.
   const auto reqs = make_requests(6, 2, 8, cfg_, 31);
   const SlottedConcatBatcher batcher(8);
-  const auto built = batcher.build(reqs, 2, 32);
+  const auto built = batcher.build(reqs, Row{2}, Col{32});
   ASSERT_TRUE(built.leftover.empty());
   const PackedBatch packed = pack_batch(built.plan, reqs);
 
@@ -117,7 +117,8 @@ TEST_F(EquivalenceTest, SlottedEncoderMatchesPureEncoderBitwise) {
   for (std::size_t r = 0; r < packed.plan.rows.size(); ++r) {
     for (const auto& seg : packed.plan.rows[r].segments) {
       for (Index i = seg.offset; i < seg.offset + seg.length; ++i) {
-        const Index pos = static_cast<Index>(r) * packed.width + i;
+        const Index pos = static_cast<Index>(
+            flat_offset(Row{static_cast<Index>(r)}, Col{i}, packed.width));
         for (Index j = 0; j < cfg_.d_model; ++j) {
           EXPECT_FLOAT_EQ(mem_pure.states.at(pos, j), mem_slot.states.at(pos, j))
               << "row " << r << " col " << i << " dim " << j;
@@ -132,7 +133,7 @@ TEST_F(EquivalenceTest, TraditionalPositionalEncodingBreaksConcatenation) {
   // row see shifted positions and decode differently.
   const auto reqs = make_requests(6, 4, 10, cfg_, 47);
   const ConcatBatcher batcher;
-  const auto built = batcher.build(reqs, 1, 60);
+  const auto built = batcher.build(reqs, Row{1}, Col{60});
   ASSERT_TRUE(built.leftover.empty());
   ASSERT_GE(built.plan.rows[0].segments.size(), 2u);
   const PackedBatch packed = pack_batch(built.plan, reqs);
@@ -158,7 +159,7 @@ TEST_F(EquivalenceTest, MissingMaskBreaksConcatenation) {
   // boundaries and results change.
   const auto reqs = make_requests(6, 4, 10, cfg_, 59);
   const ConcatBatcher batcher;
-  const auto built = batcher.build(reqs, 1, 60);
+  const auto built = batcher.build(reqs, Row{1}, Col{60});
   ASSERT_TRUE(built.leftover.empty());
   const PackedBatch packed = pack_batch(built.plan, reqs);
 

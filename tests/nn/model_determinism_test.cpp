@@ -22,7 +22,7 @@ PackedBatch tiny_batch(const ModelConfig& cfg, std::uint64_t seed) {
     reqs.push_back(std::move(r));
   }
   const ConcatBatcher batcher;
-  return pack_batch(batcher.build(reqs, 2, 20).plan, reqs);
+  return pack_batch(batcher.build(reqs, Row{2}, Col{20}).plan, reqs);
 }
 
 TEST(ModelDeterminismTest, SameSeedSameOutputsAcrossInstances) {
@@ -69,7 +69,8 @@ TEST(ModelDeterminismTest, InputPerturbationChangesEncoding) {
   PackedBatch batch = tiny_batch(cfg, 4);
   const InferenceOptions opts;
   const auto before = model.encode(batch, opts);
-  // Flip one token.
+  // Flip one token; direct buffer poking is the point of this test.
+  // tcb-lint: allow(no-raw-token-indexing)
   batch.tokens[0] = batch.tokens[0] == kFirstWordToken ? kFirstWordToken + 1
                                                        : kFirstWordToken;
   const auto after = model.encode(batch, opts);

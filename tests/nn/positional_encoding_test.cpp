@@ -11,7 +11,7 @@ TEST(PositionalEncodingTest, MatchesSinusoidFormula) {
   const Index d = 16;
   const SinusoidalPositionalEncoding pe(32, d);
   for (const Index pos : {0, 1, 5, 31}) {
-    const float* row = pe.at(pos);
+    const float* row = pe.at(Pos{pos});
     for (Index e = 0; 2 * e < d; ++e) {
       const double angle = pos / std::pow(10000.0, 2.0 * e / d);
       EXPECT_NEAR(row[2 * e], std::sin(angle), 1e-5f);
@@ -24,7 +24,7 @@ TEST(PositionalEncodingTest, MatchesSinusoidFormula) {
 
 TEST(PositionalEncodingTest, PositionZeroIsSinZeroCosOne) {
   const SinusoidalPositionalEncoding pe(4, 8);
-  const float* row = pe.at(0);
+  const float* row = pe.at(Pos{0});
   for (Index e = 0; e < 4; ++e) {
     EXPECT_FLOAT_EQ(row[2 * e], 0.0f);
     EXPECT_FLOAT_EQ(row[2 * e + 1], 1.0f);
@@ -33,21 +33,21 @@ TEST(PositionalEncodingTest, PositionZeroIsSinZeroCosOne) {
 
 TEST(PositionalEncodingTest, OutOfRangeThrows) {
   const SinusoidalPositionalEncoding pe(8, 4);
-  EXPECT_THROW((void)pe.at(8), std::out_of_range);
-  EXPECT_THROW((void)pe.at(-1), std::out_of_range);
+  EXPECT_THROW((void)pe.at(Pos{8}), std::out_of_range);
+  EXPECT_THROW((void)pe.at(Pos{-1}), std::out_of_range);
 }
 
 TEST(PositionalEncodingTest, TraditionalUsesRowPosition) {
   const Index d = 8, width = 4, rows = 2;
   const SinusoidalPositionalEncoding pe(16, d);
   Tensor x(Shape{rows * width, d});
-  pe.add_traditional(x, rows, width);
+  pe.add_traditional(x, Row{rows}, Col{width});
   // Every row r gets the same encoding at the same column.
   for (Index p = 0; p < width; ++p)
     for (Index j = 0; j < d; ++j)
       EXPECT_EQ(x.at(p, j), x.at(width + p, j));
   // Column p encodes position p.
-  for (Index j = 0; j < d; ++j) EXPECT_FLOAT_EQ(x.at(2, j), pe.at(2)[j]);
+  for (Index j = 0; j < d; ++j) EXPECT_FLOAT_EQ(x.at(2, j), pe.at(Pos{2})[j]);
 }
 
 TEST(PositionalEncodingTest, SeparateRestartsPerSegment) {
@@ -64,7 +64,7 @@ TEST(PositionalEncodingTest, SeparateRestartsPerSegment) {
   plan.rows.push_back(row);
 
   Tensor x(Shape{width, d});
-  pe.add_separate(x, plan, width);
+  pe.add_separate(x, plan, Col{width});
   // Segment B's first token encodes position 0, like segment A's first.
   for (Index j = 0; j < d; ++j) {
     EXPECT_EQ(x.at(0, j), x.at(3, j));
@@ -90,8 +90,8 @@ TEST(PositionalEncodingTest, SeparateDiffersFromTraditionalForSecondSegment) {
   plan.rows.push_back(row);
 
   Tensor sep(Shape{width, d}), trad(Shape{width, d});
-  pe.add_separate(sep, plan, width);
-  pe.add_traditional(trad, 1, width);
+  pe.add_separate(sep, plan, Col{width});
+  pe.add_traditional(trad, Row{1}, Col{width});
 
   // First segment agrees; second segment differs (positions restarted).
   EXPECT_EQ(max_abs_diff(sep, trad) > 0.0f, true);
@@ -105,7 +105,7 @@ TEST(PositionalEncodingTest, SeparateDiffersFromTraditionalForSecondSegment) {
 TEST(PositionalEncodingTest, GeometryMismatchThrows) {
   const SinusoidalPositionalEncoding pe(8, 4);
   Tensor x(Shape{6, 4});
-  EXPECT_THROW(pe.add_traditional(x, 2, 4), std::invalid_argument);
+  EXPECT_THROW(pe.add_traditional(x, Row{2}, Col{4}), std::invalid_argument);
 }
 
 }  // namespace

@@ -47,7 +47,7 @@ class SamplingTest : public ::testing::Test {
 TEST_F(SamplingTest, DeterministicForSameSeed) {
   const auto reqs = make_requests(5, 3);
   const ConcatBatcher batcher;
-  const auto built = batcher.build(reqs, 2, 30);
+  const auto built = batcher.build(reqs, Row{2}, Col{30});
   const PackedBatch packed = pack_batch(built.plan, reqs);
   const auto a = run(packed, 4, 77);
   const auto b = run(packed, 4, 77);
@@ -58,7 +58,7 @@ TEST_F(SamplingTest, DeterministicForSameSeed) {
 TEST_F(SamplingTest, DifferentSeedsUsuallyDiffer) {
   const auto reqs = make_requests(6, 5);
   const ConcatBatcher batcher;
-  const auto built = batcher.build(reqs, 2, 40);
+  const auto built = batcher.build(reqs, Row{2}, Col{40});
   const PackedBatch packed = pack_batch(built.plan, reqs);
   const auto a = run(packed, 8, 1, /*temperature=*/2.0f);
   const auto b = run(packed, 8, 2, /*temperature=*/2.0f);
@@ -71,7 +71,7 @@ TEST_F(SamplingTest, DifferentSeedsUsuallyDiffer) {
 TEST_F(SamplingTest, TopOneEqualsGreedy) {
   const auto reqs = make_requests(4, 7);
   const ConcatBatcher batcher;
-  const auto built = batcher.build(reqs, 2, 30);
+  const auto built = batcher.build(reqs, Row{2}, Col{30});
   const PackedBatch packed = pack_batch(built.plan, reqs);
 
   const auto sampled = run(packed, /*top_k=*/1, 123);
@@ -87,7 +87,7 @@ TEST_F(SamplingTest, SamplingPreservesBatchingEquivalence) {
   // its stream is keyed by request id.
   const auto reqs = make_requests(6, 11);
   const ConcatBatcher batcher;
-  const auto built = batcher.build(reqs, 2, 40);
+  const auto built = batcher.build(reqs, Row{2}, Col{40});
   const PackedBatch packed = pack_batch(built.plan, reqs);
   const auto batched = run(packed, 4, 99);
 
@@ -122,7 +122,7 @@ TEST_F(SamplingTest, HighTemperatureIncreasesDiversity) {
     reqs.push_back(std::move(r));
   }
   const ConcatBatcher batcher;
-  const auto built = batcher.build(reqs, 1, 30);
+  const auto built = batcher.build(reqs, Row{1}, Col{30});
   const PackedBatch packed = pack_batch(built.plan, reqs);
   const auto result = run(packed, 16, 3, /*temperature=*/4.0f);
   const bool all_same = result.outputs.at(0) == result.outputs.at(1) &&

@@ -76,8 +76,7 @@ double run_das(const Instance& inst, double eta, double q) {
     (void)evict_unschedulable(now, cfg.row_capacity, pending);
     if (pending.empty()) continue;
     const auto sel = das.select(now, pending);
-    const auto built = batcher.build(sel.ordered, cfg.batch_rows,
-                                     cfg.row_capacity);
+    const auto built = batcher.build(sel.ordered, Row{cfg.batch_rows}, Col{cfg.row_capacity});
     std::set<RequestId> served;
     for (const auto id : built.plan.request_ids()) served.insert(id);
     for (const auto& r : pending)

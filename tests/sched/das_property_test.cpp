@@ -88,7 +88,7 @@ TEST(DasGeometryPropertyTest, SelectionAlwaysPacksWithoutLeftovers) {
     const auto pending = random_pending(rng, cfg.row_capacity);
     const auto sel = das->select(1.0, pending);
     const auto built =
-        batcher.build(sel.ordered, cfg.batch_rows, cfg.row_capacity);
+        batcher.build(sel.ordered, Row{cfg.batch_rows}, Col{cfg.row_capacity});
     EXPECT_TRUE(built.leftover.empty())
         << "iter " << iter << ": DAS over-selected by "
         << built.leftover.size();

@@ -60,7 +60,7 @@ TEST(SlottedDasTest, UtilityDominantRequestsAlwaysFitTheChosenSlot) {
     const auto sel = sched.select(0.0, pending);
     if (sel.ordered.empty()) continue;
     const SlottedConcatBatcher batcher(sel.slot_len);
-    const auto built = batcher.build(sel.ordered, c.batch_rows, c.row_capacity);
+    const auto built = batcher.build(sel.ordered, Row{c.batch_rows}, Col{c.row_capacity});
     // Every leftover must be longer than the slot (discarded per the paper)
     // or blocked by genuinely full slots — it must never be a request whose
     // length is at most z while free slot space remains.

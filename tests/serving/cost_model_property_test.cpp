@@ -35,8 +35,8 @@ TEST_P(CostModelPropertyTest, AddingRequestsNeverCheapens) {
     auto reqs = random_requests(rng, 12, 40);
     const ConcatBatcher batcher;
     const auto small = batcher.build(
-        {reqs.begin(), reqs.begin() + 6}, 4, 100);
-    const auto large = batcher.build(reqs, 4, 100);
+        {reqs.begin(), reqs.begin() + 6}, Row{4}, Col{100});
+    const auto large = batcher.build(reqs, Row{4}, Col{100});
     EXPECT_LE(model_.batch_seconds(small.plan),
               model_.batch_seconds(large.plan) + 1e-12)
         << "iter " << iter;
@@ -54,7 +54,7 @@ TEST_P(CostModelPropertyTest, SlottedExecutionNeverCostsMoreOnSameLayout) {
     const Index z = rng.uniform_int(8, 25);
     auto reqs = random_requests(rng, 16, z);  // everything fits a slot
     const SlottedConcatBatcher slotted(z);
-    const auto slot_built = slotted.build(reqs, 4, 100);
+    const auto slot_built = slotted.build(reqs, Row{4}, Col{100});
     if (slot_built.plan.empty()) continue;
 
     BatchPlan as_pure = slot_built.plan;
@@ -78,8 +78,8 @@ TEST_P(CostModelPropertyTest, CostGrowsWithAttentionRedundancy) {
     auto reqs = random_requests(rng, 10, 10);
     const SlottedConcatBatcher fine(10);
     const SlottedConcatBatcher coarse(50);
-    const auto a = fine.build(reqs, 2, 100);
-    const auto b = coarse.build(reqs, 2, 100);
+    const auto a = fine.build(reqs, Row{2}, Col{100});
+    const auto b = coarse.build(reqs, Row{2}, Col{100});
     if (a.plan.request_count() != b.plan.request_count()) continue;
     const auto sa = analyze(a.plan);
     const auto sb = analyze(b.plan);
@@ -96,7 +96,7 @@ TEST_P(CostModelPropertyTest, BreakdownAlwaysConsistent) {
     auto reqs = random_requests(rng, static_cast<int>(rng.uniform_int(1, 30)),
                                 30);
     const ConcatBatcher batcher;
-    const auto built = batcher.build(reqs, rng.uniform_int(1, 8), 100);
+    const auto built = batcher.build(reqs, Row{rng.uniform_int(1, 8)}, Col{100});
     if (built.plan.empty()) continue;
     const auto b = model_.breakdown(built.plan);
     EXPECT_GE(b.encoder_seconds, 0.0);

@@ -39,8 +39,8 @@ TEST_F(CostModelTest, EmptyPlanIsFree) {
 
 TEST_F(CostModelTest, MoreRowsCostMore) {
   const ConcatBatcher batcher;
-  const auto small = batcher.build(uniform_requests(10, 10), 2, 100).plan;
-  const auto large = batcher.build(uniform_requests(40, 10), 8, 100).plan;
+  const auto small = batcher.build(uniform_requests(10, 10), Row{2}, Col{100}).plan;
+  const auto large = batcher.build(uniform_requests(40, 10), Row{8}, Col{100}).plan;
   EXPECT_LT(model_.batch_seconds(small), model_.batch_seconds(large));
 }
 
@@ -52,8 +52,8 @@ TEST_F(CostModelTest, PaddingCostsNaiveBatching) {
   reqs.push_back(req(99, 80));  // one long request forces heavy padding
   const NaiveBatcher naive;
   const ConcatBatcher concat;
-  const auto naive_plan = naive.build(reqs, 17, 100).plan;
-  const auto concat_plan = concat.build(reqs, 3, 100).plan;
+  const auto naive_plan = naive.build(reqs, Row{17}, Col{100}).plan;
+  const auto concat_plan = concat.build(reqs, Row{3}, Col{100}).plan;
   ASSERT_EQ(naive_plan.request_count(), concat_plan.request_count());
   EXPECT_GT(model_.batch_seconds(naive_plan) /
                 static_cast<double>(naive_plan.request_count()),
@@ -67,15 +67,15 @@ TEST_F(CostModelTest, SlottedCheaperThanPureForSamePayload) {
   const auto reqs = uniform_requests(32, 10);
   const ConcatBatcher pure;
   const SlottedConcatBatcher slotted(10);
-  const auto pure_plan = pure.build(reqs, 4, 80).plan;
-  const auto slot_plan = slotted.build(reqs, 4, 80).plan;
+  const auto pure_plan = pure.build(reqs, Row{4}, Col{80}).plan;
+  const auto slot_plan = slotted.build(reqs, Row{4}, Col{80}).plan;
   ASSERT_EQ(pure_plan.request_count(), slot_plan.request_count());
   EXPECT_LT(model_.batch_seconds(slot_plan), model_.batch_seconds(pure_plan));
 }
 
 TEST_F(CostModelTest, BreakdownComponentsAreNonNegativeAndSum) {
   const ConcatBatcher batcher;
-  const auto plan = batcher.build(uniform_requests(8, 12), 2, 60).plan;
+  const auto plan = batcher.build(uniform_requests(8, 12), Row{2}, Col{60}).plan;
   const auto b = model_.breakdown(plan);
   EXPECT_GT(b.encoder_linear_flops, 0.0);
   EXPECT_GT(b.encoder_attention_flops, 0.0);
@@ -89,8 +89,8 @@ TEST_F(CostModelTest, BreakdownComponentsAreNonNegativeAndSum) {
 
 TEST_F(CostModelTest, LongerRequestsCostMore) {
   const ConcatBatcher batcher;
-  const auto short_plan = batcher.build(uniform_requests(8, 5), 2, 100).plan;
-  const auto long_plan = batcher.build(uniform_requests(8, 25), 2, 100).plan;
+  const auto short_plan = batcher.build(uniform_requests(8, 5), Row{2}, Col{100}).plan;
+  const auto long_plan = batcher.build(uniform_requests(8, 25), Row{2}, Col{100}).plan;
   EXPECT_LT(model_.batch_seconds(short_plan), model_.batch_seconds(long_plan));
 }
 
@@ -104,7 +104,7 @@ TEST_F(CostModelTest, UtilizationIsMonotoneAndBounded) {
 
 TEST_F(CostModelTest, BatchOverheadIsFloor) {
   const ConcatBatcher batcher;
-  const auto plan = batcher.build(uniform_requests(1, 1), 1, 10).plan;
+  const auto plan = batcher.build(uniform_requests(1, 1), Row{1}, Col{10}).plan;
   EXPECT_GE(model_.batch_seconds(plan),
             HardwareProfile::v100_like().batch_overhead);
 }
@@ -113,7 +113,7 @@ TEST(MeasuredCostModelTest, TimesTheRealEngine) {
   auto engine = std::make_shared<const Seq2SeqModel>(ModelConfig::test_scale());
   const MeasuredCostModel measured(engine, 4);
   const ConcatBatcher batcher;
-  const auto plan = batcher.build(uniform_requests(4, 6), 2, 16).plan;
+  const auto plan = batcher.build(uniform_requests(4, 6), Row{2}, Col{16}).plan;
   const double t = measured.batch_seconds(plan);
   EXPECT_GT(t, 0.0);
   EXPECT_LT(t, 10.0);

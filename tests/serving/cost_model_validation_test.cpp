@@ -72,8 +72,8 @@ class CostModelValidationTest : public ::testing::Test {
 
 TEST_F(CostModelValidationTest, RowScalingAgreesWithEngine) {
   const ConcatBatcher batcher;
-  const auto small = batcher.build(uniform_requests(4, 16), 1, 64).plan;
-  const auto large = batcher.build(uniform_requests(16, 16), 4, 64).plan;
+  const auto small = batcher.build(uniform_requests(4, 16), Row{1}, Col{64}).plan;
+  const auto large = batcher.build(uniform_requests(16, 16), Row{4}, Col{64}).plan;
   EXPECT_LT(measure_median(small), measure_median(large));
   EXPECT_LT(analytical_.batch_seconds(small), analytical_.batch_seconds(large));
 }
@@ -82,8 +82,8 @@ TEST_F(CostModelValidationTest, SlottedVsPureOrderingAgreesWithEngine) {
   const auto reqs = uniform_requests(24, 16);
   const ConcatBatcher pure;
   const SlottedConcatBatcher slotted(16);
-  const auto pure_plan = pure.build(reqs, 3, 128).plan;
-  const auto slot_plan = slotted.build(reqs, 3, 128).plan;
+  const auto pure_plan = pure.build(reqs, Row{3}, Col{128}).plan;
+  const auto slot_plan = slotted.build(reqs, Row{3}, Col{128}).plan;
   ASSERT_EQ(pure_plan.request_count(), slot_plan.request_count());
 
   const double engine_pure = measure_median(pure_plan);
@@ -96,8 +96,8 @@ TEST_F(CostModelValidationTest, SlottedVsPureOrderingAgreesWithEngine) {
 
 TEST_F(CostModelValidationTest, WidthScalingAgreesWithEngine) {
   const ConcatBatcher batcher;
-  const auto narrow = batcher.build(uniform_requests(8, 8), 2, 32).plan;
-  const auto wide = batcher.build(uniform_requests(8, 24), 2, 96).plan;
+  const auto narrow = batcher.build(uniform_requests(8, 8), Row{2}, Col{32}).plan;
+  const auto wide = batcher.build(uniform_requests(8, 24), Row{2}, Col{96}).plan;
   EXPECT_LT(measure_median(narrow), measure_median(wide));
   EXPECT_LT(analytical_.batch_seconds(narrow), analytical_.batch_seconds(wide));
 }

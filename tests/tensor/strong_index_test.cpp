@@ -1,0 +1,135 @@
+#include "tensor/strong_index.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <type_traits>
+#include <unordered_set>
+#include <vector>
+
+namespace tcb {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Construction and conversion: the whole point of the layer is what does
+// NOT compile.  The negative cases are locked in at compile time here (and
+// in the header's own static_asserts), so a regression fails the build, not
+// a test run.
+// ---------------------------------------------------------------------------
+
+static_assert(!std::is_convertible_v<Index, Row>,
+              "implicit Index -> Row would defeat the layer");
+static_assert(!std::is_convertible_v<Row, Index>,
+              "implicit Row -> Index would defeat the layer");
+static_assert(!std::is_convertible_v<Row, Col>, "Row and Col must not mix");
+static_assert(!std::is_convertible_v<Col, Row>, "Col and Row must not mix");
+static_assert(!std::is_convertible_v<Slot, Pos>, "Slot and Pos must not mix");
+static_assert(!std::is_constructible_v<Row, Col>,
+              "even explicit Row{Col} must not compile");
+static_assert(std::is_constructible_v<Row, Index>,
+              "explicit Row{Index} is the sanctioned entry point");
+
+// The wrappers must be free to pass in registers and memcpy around.
+static_assert(sizeof(Row) == sizeof(Index) && alignof(Row) == alignof(Index));
+static_assert(std::is_trivially_copyable_v<Col>);
+
+TEST(StrongIndexTest, DefaultConstructsToZero) {
+  EXPECT_EQ(Row{}.value(), 0);
+  EXPECT_EQ(Col{}.value(), 0);
+  EXPECT_EQ(Slot{}.value(), 0);
+  EXPECT_EQ(Pos{}.value(), 0);
+}
+
+TEST(StrongIndexTest, ExplicitConstructionRoundTrips) {
+  const Row r{7};
+  EXPECT_EQ(r.value(), 7);
+  EXPECT_EQ(r.usize(), 7u);
+  const Col c{-3};  // negative sentinels stay representable
+  EXPECT_EQ(c.value(), -3);
+}
+
+TEST(StrongIndexTest, ComparisonIsTotalOrder) {
+  EXPECT_LT(Row{1}, Row{2});
+  EXPECT_LE(Row{2}, Row{2});
+  EXPECT_GT(Col{5}, Col{-5});
+  EXPECT_EQ(Pos{4}, Pos{4});
+  EXPECT_NE(Slot{0}, Slot{1});
+}
+
+// ---------------------------------------------------------------------------
+// Arithmetic: offsets (Index) shift an index; subtracting two indices of
+// the same tag yields a distance (Index).  Nothing else is provided.
+// ---------------------------------------------------------------------------
+
+TEST(StrongIndexTest, OffsetArithmetic) {
+  Col c{10};
+  EXPECT_EQ((c + 5).value(), 15);
+  EXPECT_EQ((c - 4).value(), 6);
+  c += 3;
+  EXPECT_EQ(c.value(), 13);
+  c -= 13;
+  EXPECT_EQ(c, Col{0});
+}
+
+TEST(StrongIndexTest, IncrementDecrementForLoops) {
+  Index sum = 0;
+  for (Row r{0}; r < Row{4}; ++r) sum += r.value();
+  EXPECT_EQ(sum, 0 + 1 + 2 + 3);
+  Row r{2};
+  EXPECT_EQ((r++).value(), 2);
+  EXPECT_EQ(r.value(), 3);
+  EXPECT_EQ((--r).value(), 2);
+}
+
+TEST(StrongIndexTest, DistanceIsPlainIndex) {
+  const Col a{12};
+  const Col b{5};
+  const Index d = a - b;
+  EXPECT_EQ(d, 7);
+  EXPECT_EQ(b - a, -7);
+}
+
+// ---------------------------------------------------------------------------
+// The geometry helpers: flat_offset is THE sanctioned row-major access
+// path; slot_begin/slot_of round-trip the slotted layout of Fig. 4.
+// ---------------------------------------------------------------------------
+
+TEST(StrongIndexTest, FlatOffsetMatchesRowMajor) {
+  EXPECT_EQ(flat_offset(Row{0}, Col{0}, Col{10}), 0u);
+  EXPECT_EQ(flat_offset(Row{0}, Col{9}, Col{10}), 9u);
+  EXPECT_EQ(flat_offset(Row{3}, Col{2}, Col{10}), 32u);
+  // flat_offset(r, c, w) must agree with the raw r*w+c it replaces.
+  for (Index r = 0; r < 4; ++r)
+    for (Index c = 0; c < 7; ++c)
+      EXPECT_EQ(flat_offset(Row{r}, Col{c}, Col{7}),
+                static_cast<std::size_t>(r * 7 + c));
+}
+
+TEST(StrongIndexTest, SlotHelpersRoundTrip) {
+  const Index slot_len = 8;
+  EXPECT_EQ(slot_begin(Slot{0}, slot_len), Col{0});
+  EXPECT_EQ(slot_begin(Slot{3}, slot_len), Col{24});
+  EXPECT_EQ(slot_of(Col{0}, slot_len), Slot{0});
+  EXPECT_EQ(slot_of(Col{7}, slot_len), Slot{0});
+  EXPECT_EQ(slot_of(Col{8}, slot_len), Slot{1});
+  for (Index c = 0; c < 64; ++c) {
+    const Slot s = slot_of(Col{c}, slot_len);
+    EXPECT_LE(slot_begin(s, slot_len), Col{c});
+    EXPECT_GT(slot_begin(s + 1, slot_len), Col{c});
+  }
+}
+
+TEST(StrongIndexTest, ToStringTagsTheValue) {
+  EXPECT_EQ(to_string(Row{3}), "3");
+  EXPECT_EQ(to_string(Col{-1}), "-1");
+}
+
+TEST(StrongIndexTest, UsableInContainers) {
+  std::vector<Row> rows = {Row{2}, Row{0}, Row{1}};
+  std::sort(rows.begin(), rows.end());
+  EXPECT_EQ(rows.front(), Row{0});
+  EXPECT_EQ(rows.back(), Row{2});
+}
+
+}  // namespace
+}  // namespace tcb

@@ -1,0 +1,33 @@
+// tcb-lint-fixture-path: src/sched/clean_example.cpp
+// Fixture: control file that must produce NO findings.  It exercises the
+// look-alikes each rule must not trip on: suppression comments, `= delete`,
+// identifiers containing `new`, a checked offset/length boundary, and an
+// allowed include edge.  (No `// expect:` lines on purpose.)
+
+#include "batching/batch_plan.hpp"  // sched -> batching is an allowed edge
+
+#define TCB_DCHECK(cond, msg) ((void)0)
+
+struct Widget {
+  Widget(const Widget&) = delete;  // `= delete` is not a deallocation
+  long renewals = 0;               // contains "new" as a substring only
+};
+
+float checked_sum(const float* buf, long buf_len, long offset, long length) {
+  TCB_DCHECK(offset >= 0 && offset + length <= buf_len, "span in range");
+  float acc = 0.0f;
+  for (long i = 0; i < length; ++i) acc += buf[offset + i];
+  return acc;
+}
+
+double measured_overhead() {
+  // A deliberate, documented wall-clock measurement is fine when annotated:
+  // tcb-lint: allow(no-wall-clock-in-sched)
+  const long Timer = 0;  // suppressed by the line above
+  (void)Timer;  // tcb-lint: allow(no-wall-clock-in-sched)
+  // Comments talking about std::thread or tokens[0] must never fire; the
+  // backends strip comments before the rules run.
+  const char* msg = "strings mentioning new and delete are stripped too";
+  (void)msg;
+  return 0.0;
+}

@@ -1,0 +1,11 @@
+// tcb-lint-fixture-path: src/sched/bad_layering.cpp
+// Fixture: the scheduler reaching into nn/ inverts the layering DAG --
+// sched sits below nn precisely so scheduling policy can be tested without
+// building models.  (The include target does not need to exist; the rule is
+// purely structural.)
+// expect: include-layering
+
+#include "nn/model.hpp"       // flagged: sched may not include nn
+#include "serving/report.hpp" // flagged: sched may not include serving
+
+int bad_layering_marker() { return 0; }

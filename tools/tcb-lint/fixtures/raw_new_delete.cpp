@@ -1,0 +1,20 @@
+// tcb-lint-fixture-path: src/util/bad_ownership.cpp
+// Fixture: manual new/delete ownership.  First-party code uses containers
+// and smart pointers; raw allocation is how the early prototype leaked
+// encoder scratch buffers.
+// expect: no-raw-new-delete
+
+struct Scratch {
+  float* data;
+};
+
+Scratch* make_scratch(long n) {
+  Scratch* s = new Scratch;        // flagged: raw new
+  s->data = new float[static_cast<unsigned long>(n)];  // flagged: raw array new
+  return s;
+}
+
+void free_scratch(Scratch* s) {
+  delete[] s->data;  // flagged: raw delete
+  delete s;          // flagged: raw delete
+}

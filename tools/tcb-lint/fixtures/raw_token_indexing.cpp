@@ -1,0 +1,21 @@
+// tcb-lint-fixture-path: src/nn/bad_token_access.cpp
+// Fixture: indexes the packed token buffer directly instead of going
+// through PackedBatch::token_at(Row, Col).  This is exactly the access
+// pattern that produced the swapped row/column bugs the strong-index layer
+// exists to prevent.
+// expect: no-raw-token-indexing
+
+#include <vector>
+
+struct FakeBatch {
+  std::vector<long> tokens;
+  long width = 0;
+};
+
+long read_token(const FakeBatch& b, long r, long c) {
+  return b.tokens[r * b.width + c];  // flagged: raw tokens[...] arithmetic
+}
+
+const long* token_base(const FakeBatch& b) {
+  return b.tokens.data();  // flagged: raw .data() escape hatch
+}

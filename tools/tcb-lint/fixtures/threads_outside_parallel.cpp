@@ -1,0 +1,19 @@
+// tcb-lint-fixture-path: src/sched/bad_threading.cpp
+// Fixture: spins up raw concurrency primitives outside src/parallel/.
+// Engine code must submit work through tcb::ThreadPool so sanitizer runs
+// and shutdown ordering stay centralized.
+// expect: threads-only-in-parallel
+
+#include <mutex>
+#include <thread>
+
+namespace {
+std::mutex g_lock;  // flagged: mutex outside src/parallel/
+}  // namespace
+
+void fire_and_forget() {
+  std::thread worker([] {  // flagged: raw std::thread
+    std::lock_guard<std::mutex> hold(g_lock);  // flagged: mutex use
+  });
+  worker.detach();
+}

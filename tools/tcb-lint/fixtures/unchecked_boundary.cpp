@@ -1,0 +1,13 @@
+// tcb-lint-fixture-path: src/batching/bad_boundary.cpp
+// Fixture: a function takes an (offset, length) span but never validates it
+// with TCB_CHECK/TCB_DCHECK before indexing.  Boundary functions are where
+// an inconsistent BatchPlan becomes a heap overrun.
+// expect: checked-engine-boundary
+
+#include <vector>
+
+float sum_span(const std::vector<float>& buf, long offset, long length) {
+  float acc = 0.0f;  // flagged: no TCB_CHECK of [offset, offset+length)
+  for (long i = 0; i < length; ++i) acc += buf[static_cast<size_t>(offset + i)];
+  return acc;
+}

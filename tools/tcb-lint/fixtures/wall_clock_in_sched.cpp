@@ -1,0 +1,13 @@
+// tcb-lint-fixture-path: src/sched/bad_clock.cpp
+// Fixture: reads the wall clock inside the scheduler.  Scheduling decisions
+// must be a pure function of the virtual clock so simulation runs replay
+// bit-identically (the determinism the serving tests rely on).
+// expect: no-wall-clock-in-sched
+
+#include <chrono>
+
+double stale_penalty(double enqueue_seconds) {
+  const auto now = std::chrono::steady_clock::now();  // flagged: wall clock
+  return std::chrono::duration<double>(now.time_since_epoch()).count() -
+         enqueue_seconds;
+}
