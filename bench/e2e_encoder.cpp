@@ -1,0 +1,84 @@
+// End-to-end encoder benchmark: batcher -> pack -> embed -> full encoder
+// stack, i.e. the complete prefill path a serving request takes, measured as
+// one google-benchmark timer so BENCH_e2e.json captures a single
+// reproducible number per (scheme, batch) point. Complements
+// micro_kernels.cpp, which isolates individual kernels.
+//
+// Workload: a fixed mix of request lengths drawn deterministically, packed
+// by the real ConcatBatcher / SlottedBatcher into rows of capacity 400
+// (the paper's L), then encoded with the paper-standard 3-layer model.
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+#include <vector>
+
+#include "batching/concat_batcher.hpp"
+#include "batching/packed_batch.hpp"
+#include "batching/slotted_batcher.hpp"
+#include "nn/model.hpp"
+
+namespace tcb {
+namespace {
+
+constexpr Index kRowCapacity = 400;
+
+/// Deterministic request mix: lengths cycling through a spread that fills
+/// rows unevenly, with real token payloads so pack_batch and the embedding
+/// run exactly as in serving.
+std::vector<Request> make_requests(Index count) {
+  static constexpr Index kLengths[] = {23, 57, 96, 41, 128, 64, 17, 80};
+  std::vector<Request> reqs;
+  reqs.reserve(static_cast<std::size_t>(count));
+  for (Index i = 0; i < count; ++i) {
+    Request r;
+    r.id = i;
+    r.length = kLengths[static_cast<std::size_t>(i) % std::size(kLengths)];
+    r.tokens.reserve(static_cast<std::size_t>(r.length));
+    for (Index t = 0; t < r.length; ++t)
+      r.tokens.push_back(kFirstWordToken + (i * 31 + t * 7) % 900);
+    reqs.push_back(std::move(r));
+  }
+  return reqs;
+}
+
+PackedBatch build_batch(const Batcher& batcher, Index n_requests) {
+  std::vector<Request> reqs = make_requests(n_requests);
+  BatchBuildResult built =
+      batcher.build(reqs, Row{n_requests}, Col{kRowCapacity});
+  return pack_batch(built.plan, reqs);
+}
+
+void run_encode(benchmark::State& state, const Batcher& batcher,
+                AttentionMode mode) {
+  ModelConfig cfg;  // paper defaults: d_model 128, 8 heads, 3 layers
+  cfg.max_len = kRowCapacity + 1;
+  const Seq2SeqModel model(cfg);
+  const PackedBatch batch = build_batch(batcher, state.range(0));
+  InferenceOptions opts;
+  opts.mode = mode;
+  Index tokens = 0;
+  for (const auto& row : batch.plan.rows) tokens += row.used_tokens();
+  for (auto _ : state) {
+    const EncoderMemory mem = model.encode(batch, opts);
+    benchmark::DoNotOptimize(mem.states.raw());
+  }
+  state.SetItemsProcessed(state.iterations() * tokens);
+  state.counters["rows"] =
+      static_cast<double>(batch.plan.rows.size());
+}
+
+void BM_E2eEncodePure(benchmark::State& state) {
+  run_encode(state, ConcatBatcher{}, AttentionMode::kPureConcat);
+}
+BENCHMARK(BM_E2eEncodePure)->Arg(16)->Arg(32)->ArgName("requests");
+
+void BM_E2eEncodeSlotted(benchmark::State& state) {
+  // z = 128: the longest request in the mix, the choice Slotted-DAS makes.
+  run_encode(state, SlottedConcatBatcher{128}, AttentionMode::kSlotted);
+}
+BENCHMARK(BM_E2eEncodeSlotted)->Arg(16)->Arg(32)->ArgName("requests");
+
+}  // namespace
+}  // namespace tcb
+
+BENCHMARK_MAIN();

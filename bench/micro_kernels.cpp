@@ -1,10 +1,15 @@
-// google-benchmark micro kernels: GEMM, masked softmax, and the two
-// attention execution paths (pure full-row vs slotted) on identical
-// payloads. These quantify the kernel-level redundancy the slotted scheme
-// removes, independent of any serving dynamics.
+// google-benchmark micro kernels: GEMM, masked softmax, layer norm, GELU,
+// the two attention execution paths (pure full-row vs slotted) on identical
+// payloads, and a full encoder layer at BERT-base dimensions. These quantify
+// the kernel-level redundancy the slotted scheme removes, independent of any
+// serving dynamics. The *Ref variants run the naive scalar reference kernels
+// (src/tensor/kernel_ref.hpp) so the blocked/SIMD speedup is visible in the
+// same JSON report.
 #include <benchmark/benchmark.h>
 
 #include "nn/attention.hpp"
+#include "nn/encoder.hpp"
+#include "tensor/kernel_ref.hpp"
 #include "tensor/ops.hpp"
 #include "util/env.hpp"
 
@@ -24,6 +29,20 @@ void BM_Matmul(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
 }
 BENCHMARK(BM_Matmul)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_MatmulRef(benchmark::State& state) {
+  const Index n = state.range(0);
+  Rng rng(1);
+  const Tensor a = Tensor::random_uniform(Shape{n, n}, rng, 1.0f);
+  const Tensor b = Tensor::random_uniform(Shape{n, n}, rng, 1.0f);
+  Tensor c;
+  for (auto _ : state) {
+    ref::matmul(a, b, c);
+    benchmark::DoNotOptimize(c.raw());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_MatmulRef)->Arg(128)->Arg(256);
 
 void BM_MatmulNt(benchmark::State& state) {
   const Index n = state.range(0);
@@ -54,6 +73,34 @@ void BM_MaskedSoftmax(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MaskedSoftmax)->Arg(128)->Arg(400);
+
+void BM_LayerNorm(benchmark::State& state) {
+  const Index n = state.range(0);
+  Rng rng(5);
+  const Tensor x = Tensor::random_uniform(Shape{512, n}, rng, 1.0f);
+  const Tensor gamma = Tensor::random_uniform(Shape{n}, rng, 1.0f);
+  const Tensor beta = Tensor::random_uniform(Shape{n}, rng, 1.0f);
+  Tensor out;
+  for (auto _ : state) {
+    layer_norm(x, gamma, beta, 1e-5f, out);
+    benchmark::DoNotOptimize(out.raw());
+  }
+  state.SetItemsProcessed(state.iterations() * 512 * n);
+}
+BENCHMARK(BM_LayerNorm)->Arg(256)->Arg(768);
+
+void BM_Gelu(benchmark::State& state) {
+  const Index n = state.range(0);
+  Rng rng(6);
+  const Tensor base = Tensor::random_uniform(Shape{512, n}, rng, 2.0f);
+  for (auto _ : state) {
+    Tensor t = base.clone();
+    gelu_inplace(t);
+    benchmark::DoNotOptimize(t.raw());
+  }
+  state.SetItemsProcessed(state.iterations() * 512 * n);
+}
+BENCHMARK(BM_Gelu)->Arg(768)->Arg(3072);
 
 /// One encoder self-attention layer over a single batch row of `width`
 /// tokens split into `slots` segments, executed with the given mode.
@@ -105,6 +152,66 @@ void BM_AttentionSlotted(benchmark::State& state) {
     attention_once(width, state.range(0), AttentionMode::kSlotted, mha, x);
 }
 BENCHMARK(BM_AttentionSlotted)->Arg(4)->Arg(10)->ArgName("slots");
+
+/// Same payload as BM_AttentionPure but through the pre-optimization
+/// full-matrix scalar path; the Pure/PureRef ratio is the fused-kernel
+/// speedup on identical work.
+void BM_AttentionPureRef(benchmark::State& state) {
+  const Index width = 400;
+  const Index slots = state.range(0);
+  const ModelConfig cfg = attention_cfg();
+  Rng rng(4);
+  const MultiHeadAttention mha(cfg, rng);
+  const Tensor x = Tensor::random_uniform(Shape{width, cfg.d_model}, rng, 1.0f);
+  BatchPlan plan;
+  plan.row_capacity = width;
+  plan.scheme = Scheme::kConcatPure;
+  plan.slot_len = 0;
+  RowLayout row;
+  const Index z = width / slots;
+  for (Index s = 0; s < slots; ++s)
+    row.segments.push_back(Segment{s, s * z, z, 0});
+  row.width = width;
+  plan.rows.push_back(row);
+  for (auto _ : state) {
+    const Tensor y = mha.encoder_forward_reference(x, plan, Col{width},
+                                                   AttentionMode::kPureConcat);
+    benchmark::DoNotOptimize(y.raw());
+  }
+}
+BENCHMARK(BM_AttentionPureRef)->Arg(4)->ArgName("segments");
+
+/// Full encoder layer (attention + FFN + two layer norms) at BERT-base
+/// dimensions: d_model 768, 12 heads, d_ff 3072. The widths 128/256 bracket
+/// the concatenated-row sizes the serving experiments use.
+void BM_EncoderLayer(benchmark::State& state) {
+  const Index width = state.range(0);
+  ModelConfig cfg;
+  cfg.d_model = 768;
+  cfg.n_heads = 12;
+  cfg.d_ff = 3072;
+  cfg.max_len = 512;
+  Rng rng(7);
+  const EncoderLayer layer(cfg, rng);
+  const Tensor x = Tensor::random_uniform(Shape{width, cfg.d_model}, rng, 1.0f);
+  BatchPlan plan;
+  plan.row_capacity = width;
+  plan.scheme = Scheme::kConcatPure;
+  plan.slot_len = 0;
+  RowLayout row;
+  const Index z = width / 4;
+  for (Index s = 0; s < 4; ++s)
+    row.segments.push_back(Segment{s, s * z, z, 0});
+  row.width = width;
+  plan.rows.push_back(row);
+  for (auto _ : state) {
+    const Tensor y = layer.forward(x, plan, Col{width},
+                                   AttentionMode::kPureConcat,
+                                   MaskPolicy::kSegment);
+    benchmark::DoNotOptimize(y.raw());
+  }
+}
+BENCHMARK(BM_EncoderLayer)->Arg(128)->Arg(256)->ArgName("width");
 
 }  // namespace
 }  // namespace tcb

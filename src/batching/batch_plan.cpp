@@ -108,6 +108,52 @@ void BatchPlan::validate() const {
   }
 }
 
+SegmentCache::SegmentCache(const BatchPlan& plan, Col width)
+    : width_(width.value()), rows_(static_cast<Index>(plan.rows.size())) {
+  const std::size_t total =
+      static_cast<std::size_t>(rows_) * static_cast<std::size_t>(width_);
+  seg_.assign(total, -1);
+  span_lo_.assign(total, 0);
+  span_hi_.assign(total, 0);
+  used_spans_.resize(static_cast<std::size_t>(rows_));
+  for (Index r = 0; r < rows_; ++r) {
+    const RowLayout& row = plan.rows[static_cast<std::size_t>(r)];
+    TCB_CHECK(row.width <= width_,
+              "SegmentCache: row wider than the materialized width");
+    const std::size_t base =
+        static_cast<std::size_t>(r) * static_cast<std::size_t>(width_);
+    auto& spans = used_spans_[static_cast<std::size_t>(r)];
+    for (std::size_t s = 0; s < row.segments.size(); ++s) {
+      const Segment& seg = row.segments[s];
+      TCB_DCHECK(seg.offset >= 0 && seg.length > 0 &&
+                     seg.offset + seg.length <= row.width,
+                 "SegmentCache: segment outside its row");
+      const Index lo = seg.begin_col().value();
+      const Index hi = seg.end_col().value();
+      for (Index p = lo; p < hi; ++p) {
+        const std::size_t at = base + static_cast<std::size_t>(p);
+        TCB_DCHECK(seg_[at] == -1, "SegmentCache: overlapping segments");
+        seg_[at] = static_cast<std::int32_t>(s);
+        span_lo_[at] = lo;
+        span_hi_[at] = hi;
+      }
+      // Merge with the previous span when the segments touch: under the
+      // row-shared mask the attendable set is "any non-padding column", so
+      // adjacency, not segment identity, defines the span.
+      if (!spans.empty() && spans.back().second == lo)
+        spans.back().second = hi;
+      else
+        spans.emplace_back(lo, hi);
+    }
+  }
+}
+
+const SegmentCache& BatchPlan::segment_cache(Col width) const {
+  if (!seg_cache_ || seg_cache_->width() != width.value())
+    seg_cache_ = std::make_shared<const SegmentCache>(*this, width);
+  return *seg_cache_;
+}
+
 std::vector<std::int32_t> segment_map(const RowLayout& row) {
   std::vector<std::int32_t> map(static_cast<std::size_t>(row.width), -1);
   for (std::size_t s = 0; s < row.segments.size(); ++s) {

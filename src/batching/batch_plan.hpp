@@ -14,7 +14,9 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "batching/request.hpp"
@@ -59,6 +61,8 @@ struct RowLayout {
   }
 };
 
+class SegmentCache;
+
 struct BatchPlan {
   Scheme scheme = Scheme::kConcatPure;
   /// Row capacity L in tokens (paper §5.1). Rows may materialize narrower
@@ -88,11 +92,70 @@ struct BatchPlan {
   [[nodiscard]] Index effective_slot_len(const RowLayout& row) const noexcept {
     return slot_len > 0 ? slot_len : row.width;
   }
+
+  /// Mask geometry at `width`, built on first use and cached on the plan so
+  /// every encoder layer, attention head, and decode step reuses one copy.
+  ///
+  /// Threading contract: NOT synchronized. The first call for a given width
+  /// must happen on the thread that owns the plan, before any fan-out — in
+  /// practice Encoder::forward / decode setup touch it once up front and the
+  /// kernels only capture raw pointers into the returned cache. Mutating
+  /// `rows` after a cache was built leaves the cache stale; plans are
+  /// immutable once handed to the engine.
+  [[nodiscard]] const SegmentCache& segment_cache(Col width) const;
+
+ private:
+  /// Lazily built by segment_cache(); shared so copied plans share the work.
+  mutable std::shared_ptr<const SegmentCache> seg_cache_;
 };
 
 /// Per-position segment index of a row: map[pos] = index into row.segments,
 /// or -1 for padding. The attention mask (paper Eq. 6) is derived from this.
 [[nodiscard]] std::vector<std::int32_t> segment_map(const RowLayout& row);
+
+/// Mask geometry of a whole plan at one materialized width, precomputed so
+/// the attention kernel never rebuilds per-row segment maps inside the
+/// layer/head loops (it used to, once per layer of every forward). Built
+/// lazily by BatchPlan::segment_cache() and shared by reference from then
+/// on; all arrays are flattened rows x width.
+class SegmentCache {
+ public:
+  SegmentCache(const BatchPlan& plan, Col width);
+
+  [[nodiscard]] Index width() const noexcept { return width_; }
+  [[nodiscard]] Index row_count() const noexcept { return rows_; }
+
+  /// Per-position segment index of row r (-1 = padding), `width()` entries.
+  [[nodiscard]] const std::int32_t* seg_row(Index r) const noexcept {
+    return seg_.data() + static_cast<std::size_t>(r) *
+                             static_cast<std::size_t>(width_);
+  }
+  /// Per-position span of the owning segment: position p of row r may attend
+  /// (under MaskPolicy::kSegment) exactly to columns [lo, hi). Both are 0
+  /// for padding positions.
+  [[nodiscard]] const Index* span_lo_row(Index r) const noexcept {
+    return span_lo_.data() + static_cast<std::size_t>(r) *
+                                 static_cast<std::size_t>(width_);
+  }
+  [[nodiscard]] const Index* span_hi_row(Index r) const noexcept {
+    return span_hi_.data() + static_cast<std::size_t>(r) *
+                                 static_cast<std::size_t>(width_);
+  }
+  /// Maximal contiguous non-padding column ranges of row r (adjacent
+  /// segments merged) — the attendable set under MaskPolicy::kRowShared.
+  [[nodiscard]] const std::vector<std::pair<Index, Index>>& used_spans(
+      Index r) const noexcept {
+    return used_spans_[static_cast<std::size_t>(r)];
+  }
+
+ private:
+  Index width_ = 0;
+  Index rows_ = 0;
+  std::vector<std::int32_t> seg_;
+  std::vector<Index> span_lo_;
+  std::vector<Index> span_hi_;
+  std::vector<std::vector<std::pair<Index, Index>>> used_spans_;
+};
 
 /// Result of laying out a selection of requests into one batch.
 struct BatchBuildResult {

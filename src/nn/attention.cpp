@@ -1,11 +1,14 @@
 #include "nn/attention.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "parallel/thread_pool.hpp"
 #include "tensor/ops.hpp"
+#include "tensor/simd.hpp"
 #include "util/check.hpp"
 
 namespace tcb {
@@ -42,6 +45,16 @@ std::vector<Task> build_tasks(const BatchPlan& plan, Index width,
   return tasks;
 }
 
+void check_forward_args(const Tensor& x, const BatchPlan& plan, Index width,
+                        AttentionMode mode, Index rows, Index d,
+                        const char* who) {
+  if (x.rank() != 2 || x.dim(0) != rows * width || x.dim(1) != d)
+    throw std::invalid_argument(std::string(who) + ": x shape mismatch");
+  if (mode == AttentionMode::kSlotted && plan.slot_len <= 0)
+    throw std::invalid_argument(std::string(who) +
+                                ": slotted mode needs slot_len");
+}
+
 }  // namespace
 
 MultiHeadAttention::MultiHeadAttention(const ModelConfig& cfg, Rng& rng)
@@ -61,10 +74,138 @@ Tensor MultiHeadAttention::encoder_forward(const Tensor& x,
   const Index width = width_col.value();
   const Index rows = static_cast<Index>(plan.rows.size());
   const Index d = n_heads_ * head_dim_;
-  if (x.rank() != 2 || x.dim(0) != rows * width || x.dim(1) != d)
-    throw std::invalid_argument("encoder_forward: x shape mismatch");
-  if (mode == AttentionMode::kSlotted && plan.slot_len <= 0)
-    throw std::invalid_argument("encoder_forward: slotted mode needs slot_len");
+  check_forward_args(x, plan, width, mode, rows, d, "encoder_forward");
+
+  const Tensor q = wq_.forward(x);
+  const Tensor k = wk_.forward(x);
+  const Tensor v = wv_.forward(x);
+
+  // Mask geometry, built once per (plan, width) and reused across every
+  // layer and head of the batch (the per-forward rebuild used to dominate
+  // narrow batches). Touched here, before the fan-out, per the cache's
+  // threading contract.
+  const SegmentCache& sc = plan.segment_cache(width_col);
+  TCB_CHECK(sc.row_count() == rows && sc.width() == width,
+            "encoder_forward: segment cache geometry mismatch");
+
+  Tensor heads_out(Shape{rows * width, d});
+  const auto tasks = build_tasks(plan, width, mode, n_heads_);
+  const float inv_sqrt_d = 1.0f / std::sqrt(static_cast<float>(head_dim_));
+  const float* pq = q.raw();
+  const float* pk = k.raw();
+  const float* pv = v.raw();
+  float* pout = heads_out.raw();
+  const Index dh = head_dim_;
+
+  parallel_for(tasks.size(), [&](std::size_t begin_task, std::size_t end_task) {
+    // Fused mask + score pass (paper Eq. 5-6): instead of materializing the
+    // full w x w matrix and masking it in a second sweep, each query walks
+    // only the contiguous column spans its mask admits — its own segment
+    // under kSegment, every non-padding span under kRowShared. Masked
+    // entries would contribute exp(kMaskedOut - mx) == 0.0f exactly, so
+    // skipping them is bitwise-neutral; the score buffer is reused across
+    // queries and never read outside the admitted spans.
+    std::vector<float> scores;
+    std::vector<std::pair<Index, Index>> spans;
+    for (std::size_t ti = begin_task; ti < end_task; ++ti) {
+      const Task& t = tasks[ti];
+      const Index w = t.width;
+      // Span/slot geometry: the task's span must lie inside the materialized
+      // row, and the mask source must cover the span — out-of-bounds here
+      // reads another request's K/V rows and produces plausible-but-wrong
+      // attention, not a crash.
+      TCB_DCHECK(t.row >= 0 && t.row < rows, "attention task row out of range");
+      TCB_DCHECK(t.head >= 0 && t.head < n_heads_,
+                 "attention task head out of range");
+      TCB_DCHECK(w > 0 && t.begin >= 0 && t.begin + w <= width,
+                 "attention span outside the materialized row");
+      scores.resize(static_cast<std::size_t>(w));
+      const std::size_t row_base = static_cast<std::size_t>(t.row) * width;
+      const std::size_t head_off = static_cast<std::size_t>(t.head) * dh;
+      const std::int32_t* smap = sc.seg_row(t.row);
+      const Index* slo = sc.span_lo_row(t.row);
+      const Index* shi = sc.span_hi_row(t.row);
+      const Index t_end = t.begin + w;
+
+      for (Index i = 0; i < w; ++i) {
+        const Index pos = t.begin + i;
+        float* out = pout + (row_base + static_cast<std::size_t>(pos)) *
+                                static_cast<std::size_t>(d) +
+                     head_off;
+        for (Index c = 0; c < dh; ++c) out[c] = 0.0f;
+        if (smap[pos] < 0) continue;  // padding query: defined as zeros
+
+        spans.clear();
+        if (mask == MaskPolicy::kSegment) {
+          // One contiguous span: the query's own segment, clipped to the
+          // task (slots never split a segment, so the clip is a no-op for
+          // valid plans; it guards degenerate hand-built ones).
+          const Index lo = std::max(slo[pos], t.begin);
+          const Index hi = std::min(shi[pos], t_end);
+          if (lo < hi) spans.emplace_back(lo, hi);
+        } else {
+          for (const auto& span : sc.used_spans(t.row)) {
+            const Index lo = std::max(span.first, t.begin);
+            const Index hi = std::min(span.second, t_end);
+            if (lo < hi) spans.emplace_back(lo, hi);
+          }
+        }
+
+        // Step 2 (Fig. 6), fused with step 3: S = Q K^T / sqrt(d) over the
+        // admitted spans only, tracking the running max for the softmax.
+        const float* qi = pq + (row_base + static_cast<std::size_t>(pos)) *
+                                   static_cast<std::size_t>(d) +
+                          head_off;
+        float mx = kMaskedOut;
+        for (const auto& [lo, hi] : spans) {
+          for (Index j = lo; j < hi; ++j) {
+            const float* kj = pk + (row_base + static_cast<std::size_t>(j)) *
+                                       static_cast<std::size_t>(d) +
+                              head_off;
+            const float s = simd::dot(qi, kj, dh) * inv_sqrt_d;
+            scores[static_cast<std::size_t>(j - t.begin)] = s;
+            mx = std::max(mx, s);
+          }
+        }
+        if (mx <= kMaskedOut / 2) continue;  // no admissible key
+
+        // Step 4 (Fig. 6): softmax over the spans, then the V product with
+        // the head-dim inner loop vectorized.
+        float sum = 0.0f;
+        for (const auto& [lo, hi] : spans) {
+          for (Index j = lo; j < hi; ++j) {
+            const float e = std::exp(scores[static_cast<std::size_t>(j - t.begin)] - mx);
+            scores[static_cast<std::size_t>(j - t.begin)] = e;
+            sum += e;
+          }
+        }
+        const float inv = 1.0f / sum;
+        for (const auto& [lo, hi] : spans) {
+          for (Index j = lo; j < hi; ++j) {
+            const float a = scores[static_cast<std::size_t>(j - t.begin)] * inv;
+            const float* vj = pv + (row_base + static_cast<std::size_t>(j)) *
+                                       static_cast<std::size_t>(d) +
+                              head_off;
+            simd::axpy(a, vj, out, dh);
+          }
+        }
+      }
+    }
+  });
+
+  return wo_.forward(heads_out);
+}
+
+Tensor MultiHeadAttention::encoder_forward_reference(const Tensor& x,
+                                                     const BatchPlan& plan,
+                                                     Col width_col,
+                                                     AttentionMode mode,
+                                                     MaskPolicy mask) const {
+  const Index width = width_col.value();
+  const Index rows = static_cast<Index>(plan.rows.size());
+  const Index d = n_heads_ * head_dim_;
+  check_forward_args(x, plan, width, mode, rows, d,
+                     "encoder_forward_reference");
 
   const Tensor q = wq_.forward(x);
   const Tensor k = wk_.forward(x);
@@ -87,80 +228,76 @@ Tensor MultiHeadAttention::encoder_forward(const Tensor& x,
   float* pout = heads_out.raw();
   const Index dh = head_dim_;
 
-  parallel_for(tasks.size(), [&](std::size_t begin_task, std::size_t end_task) {
-    // Materialized score matrix for the current span — like the GPU kernels
-    // in Fig. 6/7, the whole (masked) matrix exists before softmax.
-    std::vector<float> scores;
-    for (std::size_t ti = begin_task; ti < end_task; ++ti) {
-      const Task& t = tasks[ti];
-      const Index w = t.width;
-      // Span/slot geometry (paper Eq. 5-6): the task's span must lie inside
-      // the materialized row, and the mask source must cover the span —
-      // out-of-bounds here reads another request's K/V rows and produces
-      // plausible-but-wrong attention, not a crash.
-      TCB_DCHECK(t.row >= 0 && t.row < rows, "attention task row out of range");
-      TCB_DCHECK(t.head >= 0 && t.head < n_heads_,
-                 "attention task head out of range");
-      TCB_DCHECK(w > 0 && t.begin >= 0 && t.begin + w <= width,
-                 "attention span outside the materialized row");
-      scores.assign(static_cast<std::size_t>(w) * w, 0.0f);
-      const std::size_t row_base = static_cast<std::size_t>(t.row) * width;
-      const std::size_t head_off = static_cast<std::size_t>(t.head) * dh;
-      const auto& smap = seg[static_cast<std::size_t>(t.row)];
-      TCB_DCHECK(static_cast<Index>(smap.size()) == width,
-                 "attention mask map narrower than the row");
+  // Materialized score matrix per task — like the GPU kernels in Fig. 6/7,
+  // the whole (masked) matrix exists before softmax.
+  std::vector<float> scores;
+  for (const Task& t : tasks) {
+    const Index w = t.width;
+    TCB_DCHECK(w > 0 && t.begin >= 0 && t.begin + w <= width,
+               "attention span outside the materialized row");
+    scores.assign(static_cast<std::size_t>(w) * static_cast<std::size_t>(w),
+                  0.0f);
+    const std::size_t row_base = static_cast<std::size_t>(t.row) * width;
+    const std::size_t head_off = static_cast<std::size_t>(t.head) * dh;
+    const auto& smap = seg[static_cast<std::size_t>(t.row)];
 
-      // Step 2 (Fig. 6): S = Q K^T / sqrt(d) over the whole span.
-      for (Index i = 0; i < w; ++i) {
-        const float* qi =
-            pq + (row_base + t.begin + i) * static_cast<std::size_t>(d) + head_off;
-        float* srow = scores.data() + static_cast<std::size_t>(i) * w;
-        for (Index j = 0; j < w; ++j) {
-          const float* kj =
-              pk + (row_base + t.begin + j) * static_cast<std::size_t>(d) + head_off;
-          float acc = 0.0f;
-          for (Index c = 0; c < dh; ++c) acc += qi[c] * kj[c];
-          srow[j] = acc * inv_sqrt_d;
-        }
-      }
-
-      // Step 3 (Fig. 6): mask the redundant entries (Eq. 6).
-      for (Index i = 0; i < w; ++i) {
-        const std::int32_t si = smap[static_cast<std::size_t>(t.begin + i)];
-        float* srow = scores.data() + static_cast<std::size_t>(i) * w;
-        for (Index j = 0; j < w; ++j) {
-          const std::int32_t sj = smap[static_cast<std::size_t>(t.begin + j)];
-          const bool allowed = mask == MaskPolicy::kSegment
-                                   ? (si >= 0 && si == sj)
-                                   : (si >= 0 && sj >= 0);
-          if (!allowed) srow[j] = kMaskedOut;
-        }
-      }
-
-      // Step 4 (Fig. 6): softmax, then multiply with V.
-      for (Index i = 0; i < w; ++i) {
-        float* srow = scores.data() + static_cast<std::size_t>(i) * w;
-        float mx = srow[0];
-        for (Index j = 1; j < w; ++j) mx = std::max(mx, srow[j]);
-        float* out = pout + (row_base + t.begin + i) * static_cast<std::size_t>(d) +
-                     head_off;
-        for (Index c = 0; c < dh; ++c) out[c] = 0.0f;
-        if (mx <= kMaskedOut / 2) continue;  // fully-masked padding query
-        float sum = 0.0f;
-        for (Index j = 0; j < w; ++j) {
-          srow[j] = std::exp(srow[j] - mx);
-          sum += srow[j];
-        }
-        const float inv = 1.0f / sum;
-        for (Index j = 0; j < w; ++j) {
-          const float a = srow[j] * inv;
-          const float* vj =
-              pv + (row_base + t.begin + j) * static_cast<std::size_t>(d) + head_off;
-          for (Index c = 0; c < dh; ++c) out[c] += a * vj[c];
-        }
+    // Step 2 (Fig. 6): S = Q K^T / sqrt(d) over the whole span.
+    for (Index i = 0; i < w; ++i) {
+      const float* qi =
+          pq + (row_base + static_cast<std::size_t>(t.begin + i)) *
+                   static_cast<std::size_t>(d) +
+          head_off;
+      float* srow = scores.data() + static_cast<std::size_t>(i) * w;
+      for (Index j = 0; j < w; ++j) {
+        const float* kj =
+            pk + (row_base + static_cast<std::size_t>(t.begin + j)) *
+                     static_cast<std::size_t>(d) +
+            head_off;
+        float acc = 0.0f;
+        for (Index c = 0; c < dh; ++c) acc += qi[c] * kj[c];
+        srow[j] = acc * inv_sqrt_d;
       }
     }
-  });
+
+    // Step 3 (Fig. 6): mask the redundant entries (Eq. 6) in a second sweep.
+    for (Index i = 0; i < w; ++i) {
+      const std::int32_t si = smap[static_cast<std::size_t>(t.begin + i)];
+      float* srow = scores.data() + static_cast<std::size_t>(i) * w;
+      for (Index j = 0; j < w; ++j) {
+        const std::int32_t sj = smap[static_cast<std::size_t>(t.begin + j)];
+        const bool allowed = mask == MaskPolicy::kSegment
+                                 ? (si >= 0 && si == sj)
+                                 : (si >= 0 && sj >= 0);
+        if (!allowed) srow[j] = kMaskedOut;
+      }
+    }
+
+    // Step 4 (Fig. 6): softmax, then multiply with V.
+    for (Index i = 0; i < w; ++i) {
+      float* srow = scores.data() + static_cast<std::size_t>(i) * w;
+      float mx = srow[0];
+      for (Index j = 1; j < w; ++j) mx = std::max(mx, srow[j]);
+      float* out = pout + (row_base + static_cast<std::size_t>(t.begin + i)) *
+                              static_cast<std::size_t>(d) +
+                   head_off;
+      for (Index c = 0; c < dh; ++c) out[c] = 0.0f;
+      if (mx <= kMaskedOut / 2) continue;  // fully-masked padding query
+      float sum = 0.0f;
+      for (Index j = 0; j < w; ++j) {
+        srow[j] = std::exp(srow[j] - mx);
+        sum += srow[j];
+      }
+      const float inv = 1.0f / sum;
+      for (Index j = 0; j < w; ++j) {
+        const float a = srow[j] * inv;
+        const float* vj =
+            pv + (row_base + static_cast<std::size_t>(t.begin + j)) *
+                     static_cast<std::size_t>(d) +
+            head_off;
+        for (Index c = 0; c < dh; ++c) out[c] += a * vj[c];
+      }
+    }
+  }
 
   return wo_.forward(heads_out);
 }

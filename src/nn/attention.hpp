@@ -49,6 +49,15 @@ class MultiHeadAttention {
                                        Col width, AttentionMode mode,
                                        MaskPolicy mask = MaskPolicy::kSegment) const;
 
+  /// The pre-optimization execution: materializes every task's full w x w
+  /// score matrix, masks it in a second sweep, then runs softmax and the
+  /// value product with scalar loops (paper Fig. 6 literally). Kept as the
+  /// reference the fused kernel is differentially tested against, and as the
+  /// baseline BM_AttentionPureRef measures.
+  [[nodiscard]] Tensor encoder_forward_reference(
+      const Tensor& x, const BatchPlan& plan, Col width, AttentionMode mode,
+      MaskPolicy mask = MaskPolicy::kSegment) const;
+
   [[nodiscard]] Index n_heads() const noexcept { return n_heads_; }
   [[nodiscard]] Index head_dim() const noexcept { return head_dim_; }
 

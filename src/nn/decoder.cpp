@@ -8,6 +8,7 @@
 #include "nn/model.hpp"
 #include "parallel/thread_pool.hpp"
 #include "tensor/ops.hpp"
+#include "tensor/simd.hpp"
 
 namespace tcb {
 
@@ -137,13 +138,12 @@ DecodeResult greedy_decode(const Seq2SeqModel& model,
     }
   }
 
-  // Source segment maps, padded to the materialized width.
-  std::vector<std::vector<std::int32_t>> src_seg(memory.plan.rows.size());
-  for (std::size_t r = 0; r < memory.plan.rows.size(); ++r) {
-    auto map = segment_map(memory.plan.rows[r]);
-    map.resize(memory.width.usize(), -1);
-    src_seg[r] = std::move(map);
-  }
+  // Source mask geometry, shared with the encoder via the plan's cache
+  // (previously rebuilt per decode call). Touched here, before any fan-out,
+  // per the cache's threading contract; outside debug builds the warm-up is
+  // the only use, hence maybe_unused.
+  [[maybe_unused]] const SegmentCache& src_cache =
+      memory.plan.segment_cache(memory.width);
 
   // --- Layer state: caches + precomputed cross K/V -------------------------
   const auto& layers = model.decoder_layers();
@@ -238,9 +238,7 @@ DecodeResult greedy_decode(const Seq2SeqModel& model,
                 const float mask_add = m == a ? 0.0f : kMaskedOut;
                 for (std::size_t s = 0; s < steps_m; ++s) {
                   const float* kv = kc.data() + s * static_cast<std::size_t>(d) + head_off;
-                  float acc = 0.0f;
-                  for (Index c = 0; c < dh; ++c) acc += qv[c] * kv[c];
-                  scores.push_back(acc * inv_sqrt + mask_add);
+                  scores.push_back(simd::dot(qv, kv, dh) * inv_sqrt + mask_add);
                   v_ptrs.push_back(st.v_cache[m].data() +
                                    s * static_cast<std::size_t>(d) + head_off);
                 }
@@ -256,11 +254,8 @@ DecodeResult greedy_decode(const Seq2SeqModel& model,
               const float inv = 1.0f / sum;
               float* out = attn.row(ai) + head_off;
               for (Index c = 0; c < dh; ++c) out[c] = 0.0f;
-              for (std::size_t s = 0; s < scores.size(); ++s) {
-                const float w = scores[s] * inv;
-                const float* vv = v_ptrs[s];
-                for (Index c = 0; c < dh; ++c) out[c] += w * vv[c];
-              }
+              for (std::size_t s = 0; s < scores.size(); ++s)
+                simd::axpy(scores[s] * inv, v_ptrs[s], out, dh);
             }
           });
       Tensor x1 = residual_norm(x, layer.self_attn().wo().forward(attn),
@@ -280,31 +275,31 @@ DecodeResult greedy_decode(const Seq2SeqModel& model,
               const DecodeTrack& tr = tracks[a];
               const std::size_t head_off = static_cast<std::size_t>(h) * dh;
               const float* qv = q2.row(ai) + head_off;
-              const auto& smap = src_seg[tr.row.usize()];
               const Index row_base = static_cast<Index>(
                   flat_offset(tr.row, Col{0}, memory.width));
 
-              // Pure ConcatBatching attends over the whole materialized row
-              // (then masks); the slotted path touches only the track's slot.
-              Col span_begin_col{0};
-              Col span_end_col = memory.width;
-              if (slotted) {
-                span_begin_col = slot_begin(tr.slot, memory.plan.slot_len);
-                span_end_col = std::min(
-                    span_begin_col + memory.plan.slot_len, memory.width);
-              }
-              const Index span_begin = span_begin_col.value();
-              const Index span = span_end_col - span_begin_col;
+              // Fused cross-attention mask: a track may only attend its own
+              // source segment (every other column of the row — other
+              // requests' tokens and padding — would be masked to exp == 0),
+              // so the kernel walks exactly [src_offset, src_offset +
+              // src_len) and skips the score-then-mask sweep entirely. The
+              // slotted path's slot always contains the segment.
+              const Index span_begin = tr.src_offset.value();
+              const Index span = tr.src_len;
+              TCB_DCHECK(
+                  span > 0 && span_begin >= 0 &&
+                      span_begin + span <= memory.width.value(),
+                  "decode: source segment outside the materialized row");
+              TCB_DCHECK(
+                  src_cache.seg_row(tr.row.value())[span_begin] ==
+                      static_cast<std::int32_t>(tr.seg_index),
+                  "decode: track's source segment disagrees with the plan");
 
               scores.assign(static_cast<std::size_t>(span), 0.0f);
               for (Index j = 0; j < span; ++j) {
                 const float* kv = st.cross_k.row(row_base + span_begin + j) + head_off;
-                float acc = 0.0f;
-                for (Index c = 0; c < dh; ++c) acc += qv[c] * kv[c];
-                const bool own = smap[static_cast<std::size_t>(span_begin + j)] ==
-                                 static_cast<std::int32_t>(tr.seg_index);
                 scores[static_cast<std::size_t>(j)] =
-                    acc * inv_sqrt + (own ? 0.0f : kMaskedOut);
+                    simd::dot(qv, kv, dh) * inv_sqrt;
               }
 
               float mx = kMaskedOut;
@@ -322,7 +317,7 @@ DecodeResult greedy_decode(const Seq2SeqModel& model,
                 const float w = scores[static_cast<std::size_t>(j)] * inv;
                 const float* vv =
                     st.cross_v.row(row_base + span_begin + j) + head_off;
-                for (Index c = 0; c < dh; ++c) out[c] += w * vv[c];
+                simd::axpy(w, vv, out, dh);
               }
             }
           });

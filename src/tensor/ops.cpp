@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "parallel/thread_pool.hpp"
+#include "tensor/simd.hpp"
 
 namespace tcb {
 namespace {
@@ -12,86 +13,28 @@ void require(bool ok, const char* what) {
   if (!ok) throw std::invalid_argument(what);
 }
 
-/// Rows per parallel chunk so each chunk is ~64k multiply-adds.
-std::size_t gemm_grain(Index cols, Index inner) {
-  const Index work = cols * inner;
-  if (work <= 0) return 1;
-  const Index rows = 65536 / work + 1;
-  return static_cast<std::size_t>(rows);
+/// Elementwise kernels go parallel only past this many floats; below it the
+/// pool handoff costs more than the loop (a single decode row is ~1k).
+constexpr std::size_t kElementwiseGrain = 1 << 15;
+
+/// Row-count grain for row-wise kernels of width n.
+std::size_t row_grain(Index n) {
+  return static_cast<std::size_t>(4096 / (n + 1) + 1);
 }
 
 }  // namespace
-
-void matmul(const Tensor& a, const Tensor& b, Tensor& c) {
-  require(a.rank() == 2 && b.rank() == 2, "matmul: rank-2 operands required");
-  const Index m = a.dim(0), k = a.dim(1), n = b.dim(1);
-  require(b.dim(0) == k, "matmul: inner dimension mismatch");
-  if (!(c.shape() == Shape{m, n})) c = Tensor(Shape{m, n});
-
-  const float* pa = a.raw();
-  const float* pb = b.raw();
-  float* pc = c.raw();
-  parallel_for(
-      static_cast<std::size_t>(m),
-      [&](std::size_t begin, std::size_t end) {
-        for (std::size_t i = begin; i < end; ++i) {
-          float* crow = pc + i * static_cast<std::size_t>(n);
-          for (Index j = 0; j < n; ++j) crow[j] = 0.0f;
-          const float* arow = pa + i * static_cast<std::size_t>(k);
-          for (Index p = 0; p < k; ++p) {
-            const float av = arow[p];
-            const float* brow = pb + static_cast<std::size_t>(p) * n;
-            for (Index j = 0; j < n; ++j) crow[j] += av * brow[j];
-          }
-        }
-      },
-      gemm_grain(n, k));
-}
-
-Tensor matmul(const Tensor& a, const Tensor& b) {
-  Tensor c;
-  matmul(a, b, c);
-  return c;
-}
-
-void matmul_nt(const Tensor& a, const Tensor& b, Tensor& c) {
-  require(a.rank() == 2 && b.rank() == 2, "matmul_nt: rank-2 operands required");
-  const Index m = a.dim(0), k = a.dim(1), n = b.dim(0);
-  require(b.dim(1) == k, "matmul_nt: inner dimension mismatch");
-  if (!(c.shape() == Shape{m, n})) c = Tensor(Shape{m, n});
-
-  const float* pa = a.raw();
-  const float* pb = b.raw();
-  float* pc = c.raw();
-  parallel_for(
-      static_cast<std::size_t>(m),
-      [&](std::size_t begin, std::size_t end) {
-        for (std::size_t i = begin; i < end; ++i) {
-          const float* arow = pa + i * static_cast<std::size_t>(k);
-          float* crow = pc + i * static_cast<std::size_t>(n);
-          for (Index j = 0; j < n; ++j) {
-            const float* brow = pb + static_cast<std::size_t>(j) * k;
-            float acc = 0.0f;
-            for (Index p = 0; p < k; ++p) acc += arow[p] * brow[p];
-            crow[j] = acc;
-          }
-        }
-      },
-      gemm_grain(n, k));
-}
-
-Tensor matmul_nt(const Tensor& a, const Tensor& b) {
-  Tensor c;
-  matmul_nt(a, b, c);
-  return c;
-}
 
 void add_inplace(Tensor& y, const Tensor& x) {
   require(y.shape() == x.shape(), "add_inplace: shape mismatch");
   float* py = y.raw();
   const float* px = x.raw();
   const std::size_t n = y.data().size();
-  for (std::size_t i = 0; i < n; ++i) py[i] += px[i];
+  parallel_for(
+      n,
+      [&](std::size_t begin, std::size_t end) {
+        simd::add(py + begin, px + begin, static_cast<Index>(end - begin));
+      },
+      kElementwiseGrain);
 }
 
 void add_bias_inplace(Tensor& y, const Tensor& bias) {
@@ -99,27 +42,31 @@ void add_bias_inplace(Tensor& y, const Tensor& bias) {
   const Index m = y.dim(0), n = y.dim(1);
   require(bias.dim(0) == n, "add_bias: width mismatch");
   const float* pb = bias.raw();
-  for (Index i = 0; i < m; ++i) {
-    float* row = y.row(i);
-    for (Index j = 0; j < n; ++j) row[j] += pb[j];
-  }
+  float* py = y.raw();
+  parallel_for(
+      static_cast<std::size_t>(m),
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i)
+          simd::add(py + i * static_cast<std::size_t>(n), pb, n);
+      },
+      row_grain(n));
 }
 
 void scale_inplace(Tensor& y, float s) {
-  for (float& v : y.data()) v *= s;
+  simd::scale(y.raw(), s, y.numel());
 }
 
 void softmax_rows_inplace(Tensor& t) {
   require(t.rank() == 2, "softmax_rows: rank-2 required");
   const Index m = t.dim(0), n = t.dim(1);
+  if (m == 0 || n == 0) return;
   float* pt = t.raw();
   parallel_for(
       static_cast<std::size_t>(m),
       [&](std::size_t begin, std::size_t end) {
         for (std::size_t i = begin; i < end; ++i) {
           float* row = pt + i * static_cast<std::size_t>(n);
-          float mx = row[0];
-          for (Index j = 1; j < n; ++j) mx = std::max(mx, row[j]);
+          const float mx = simd::reduce_max(row, n);
           if (mx <= kMaskedOut / 2) {
             // Fully masked row (can only happen for padding rows): define the
             // result as zeros rather than NaN.
@@ -131,11 +78,10 @@ void softmax_rows_inplace(Tensor& t) {
             row[j] = std::exp(row[j] - mx);
             sum += row[j];
           }
-          const float inv = 1.0f / sum;
-          for (Index j = 0; j < n; ++j) row[j] *= inv;
+          simd::scale(row, 1.0f / sum, n);
         }
       },
-      static_cast<std::size_t>(4096 / (n + 1) + 1));
+      row_grain(n));
 }
 
 void layer_norm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
@@ -156,34 +102,42 @@ void layer_norm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
         for (std::size_t i = begin; i < end; ++i) {
           const float* row = px + i * static_cast<std::size_t>(d);
           float* out = py + i * static_cast<std::size_t>(d);
-          float mean = 0.0f;
-          for (Index j = 0; j < d; ++j) mean += row[j];
-          mean /= static_cast<float>(d);
-          float var = 0.0f;
-          for (Index j = 0; j < d; ++j) {
-            const float delta = row[j] - mean;
-            var += delta * delta;
-          }
-          var /= static_cast<float>(d);
+          const float mean = simd::reduce_add(row, d) / static_cast<float>(d);
+          const float var =
+              simd::reduce_sq_dev(row, mean, d) / static_cast<float>(d);
           const float inv = 1.0f / std::sqrt(var + eps);
-          for (Index j = 0; j < d; ++j)
-            out[j] = (row[j] - mean) * inv * pg[j] + pb[j];
+          simd::normalize(row, pg, pb, mean, inv, out, d);
         }
       },
-      static_cast<std::size_t>(4096 / (d + 1) + 1));
+      row_grain(d));
 }
 
 void relu_inplace(Tensor& t) {
-  for (float& v : t.data())
-    if (v < 0.0f) v = 0.0f;
+  float* pt = t.raw();
+  parallel_for(
+      t.data().size(),
+      [&](std::size_t begin, std::size_t end) {
+        simd::relu(pt + begin, static_cast<Index>(end - begin));
+      },
+      kElementwiseGrain);
 }
 
 void gelu_inplace(Tensor& t) {
+  // tanhf stays scalar (a vector tanh approximation would drift from the
+  // reference); the win here is the parallel split over the d_ff-wide
+  // activations, the largest elementwise tensor in the model.
   constexpr float kSqrt2OverPi = 0.7978845608028654f;
-  for (float& v : t.data()) {
-    const float inner = kSqrt2OverPi * (v + 0.044715f * v * v * v);
-    v = 0.5f * v * (1.0f + std::tanh(inner));
-  }
+  float* pt = t.raw();
+  parallel_for(
+      t.data().size(),
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          const float v = pt[i];
+          const float inner = kSqrt2OverPi * (v + 0.044715f * v * v * v);
+          pt[i] = 0.5f * v * (1.0f + std::tanh(inner));
+        }
+      },
+      kElementwiseGrain);
 }
 
 std::vector<Index> argmax_rows(const Tensor& t) {

@@ -1,11 +1,16 @@
 // Tensor kernels for the transformer engine.
 //
 // All kernels are multithreaded via the global ThreadPool with grain sizes
-// chosen so small problems (single decode step) stay single-threaded. The
-// GEMM uses an i-k-j loop order (accumulate into the C row) which vectorizes
-// well and keeps B rows hot in cache; that is enough to saturate a few cores,
-// which is all this reproduction needs.
+// chosen so small problems (single decode step) stay single-threaded, and
+// vectorized through src/tensor/simd.hpp (AVX-512 / AVX2 / NEON, scalar when
+// TCB_SIMD=OFF). The GEMM (src/tensor/gemm.cpp) is cache-blocked with packed
+// operand panels and a register-tiled microkernel; short matrices take an
+// unpacked row-streaming path instead. The original naive loops survive as
+// tcb::ref::* (tensor/kernel_ref.hpp) and the equivalence suite pins the
+// fast kernels to them.
 #pragma once
+
+#include <cstddef>
 
 #include "tensor/tensor.hpp"
 
@@ -25,6 +30,12 @@ void matmul(const Tensor& a, const Tensor& b, Tensor& c);
 /// is stored row-major per position.
 void matmul_nt(const Tensor& a, const Tensor& b, Tensor& c);
 [[nodiscard]] Tensor matmul_nt(const Tensor& a, const Tensor& b);
+
+/// Rows per parallel chunk for an (m,k)x(k,n) GEMM. Balances a work floor
+/// (enough multiply-adds per chunk to pay for the pool handoff) against a
+/// fan-out ceiling derived from the global pool's parallelism (at most a few
+/// chunks per worker). Exposed for the kernel tests.
+[[nodiscard]] std::size_t gemm_grain(Index m, Index n, Index k);
 
 /// y += x (same shape).
 void add_inplace(Tensor& y, const Tensor& x);

@@ -1,0 +1,365 @@
+// SIMD primitives shared by the tensor kernels (GEMM microkernel, attention
+// spans, elementwise ops).
+//
+// Dispatch is compile-time, widest ISA first:
+//
+//   TCB_SIMD_AVX512  __AVX512F__ builds (release preset with native arch on
+//                    an AVX-512 host) — 16-lane fp32.
+//   TCB_SIMD_AVX2    __AVX2__ + __FMA__ builds (the TCB_SIMD CMake option
+//                    adds -mavx2 -mfma on x86-64, so even portable CI builds
+//                    take this path) — 8-lane fp32.
+//   TCB_SIMD_NEON    aarch64 builds — 4-lane fp32.
+//   (none)           portable scalar fallback; also what TCB_SIMD=OFF forces,
+//                    keeping a pure-standard-C++ build one cmake flag away.
+//
+// Numerical contract: every helper accumulates in the same element order as
+// the scalar reference within a lane, and lanes are independent output
+// elements wherever the caller needs run-to-run bitwise stability (see
+// gemm.cpp). Helpers that reduce across lanes (dot, sum, max) may reassociate
+// and are only used where a small tolerance is acceptable.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+
+#include "tensor/tensor.hpp"
+
+#ifndef TCB_SIMD
+#define TCB_SIMD 1
+#endif
+
+#if TCB_SIMD && defined(__AVX512F__)
+#define TCB_SIMD_AVX512 1
+#define TCB_SIMD_AVX2 1
+#include <immintrin.h>
+#elif TCB_SIMD && defined(__AVX2__) && defined(__FMA__)
+#define TCB_SIMD_AVX2 1
+#include <immintrin.h>
+#elif TCB_SIMD && (defined(__ARM_NEON) || defined(__ARM_NEON__))
+#define TCB_SIMD_NEON 1
+#include <arm_neon.h>
+#endif
+
+namespace tcb::simd {
+
+/// Widest fp32 vector length of the active ISA (1 for the scalar build).
+#if defined(TCB_SIMD_AVX512)
+inline constexpr Index kLanes = 16;
+#elif defined(TCB_SIMD_AVX2)
+inline constexpr Index kLanes = 8;
+#elif defined(TCB_SIMD_NEON)
+inline constexpr Index kLanes = 4;
+#else
+inline constexpr Index kLanes = 1;
+#endif
+
+#if defined(TCB_SIMD_AVX512)
+/// Horizontal add/max of a 512-bit vector. Deliberately NOT
+/// _mm512_reduce_{add,max}_ps: GCC lowers those (and every unmasked lane
+/// extraction like _mm512_extractf64x4_pd / _mm512_shuffle_f32x4) through
+/// masked builtins whose merge operand is _mm512_undefined_ps(), which leaks
+/// spurious -Wmaybe-uninitialized reports into every caller these inline
+/// into. Spilling to the stack keeps all operands initialized; the halves
+/// reduce with plain AVX from there. Reductions run once per kernel call, so
+/// the spill is off the critical path.
+inline float hadd512(__m512 v) {
+  alignas(64) float lanes[16];
+  _mm512_store_ps(lanes, v);
+  __m128 s = _mm_add_ps(_mm_add_ps(_mm_load_ps(lanes), _mm_load_ps(lanes + 4)),
+                        _mm_add_ps(_mm_load_ps(lanes + 8), _mm_load_ps(lanes + 12)));
+  s = _mm_add_ps(s, _mm_movehl_ps(s, s));
+  s = _mm_add_ss(s, _mm_shuffle_ps(s, s, 0x55));
+  return _mm_cvtss_f32(s);
+}
+
+inline float hmax512(__m512 v) {
+  alignas(64) float lanes[16];
+  _mm512_store_ps(lanes, v);
+  __m128 s = _mm_max_ps(_mm_max_ps(_mm_load_ps(lanes), _mm_load_ps(lanes + 4)),
+                        _mm_max_ps(_mm_load_ps(lanes + 8), _mm_load_ps(lanes + 12)));
+  s = _mm_max_ps(s, _mm_movehl_ps(s, s));
+  s = _mm_max_ss(s, _mm_shuffle_ps(s, s, 0x55));
+  return _mm_cvtss_f32(s);
+}
+#endif
+
+/// Dot product a·b over n elements. Reduces across lanes (reassociates).
+inline float dot(const float* a, const float* b, Index n) {
+  Index i = 0;
+  float head = 0.0f;
+#if defined(TCB_SIMD_AVX512)
+  if (n >= 16) {
+    __m512 acc = _mm512_setzero_ps();
+    for (; i + 16 <= n; i += 16)
+      acc = _mm512_fmadd_ps(_mm512_loadu_ps(a + i), _mm512_loadu_ps(b + i), acc);
+    head = hadd512(acc);
+  }
+#elif defined(TCB_SIMD_AVX2)
+  if (n >= 8) {
+    __m256 acc = _mm256_setzero_ps();
+    for (; i + 8 <= n; i += 8)
+      acc = _mm256_fmadd_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i), acc);
+    const __m128 lo = _mm256_castps256_ps128(acc);
+    const __m128 hi = _mm256_extractf128_ps(acc, 1);
+    __m128 s = _mm_add_ps(lo, hi);
+    s = _mm_add_ps(s, _mm_movehl_ps(s, s));
+    s = _mm_add_ss(s, _mm_shuffle_ps(s, s, 0x55));
+    head = _mm_cvtss_f32(s);
+  }
+#elif defined(TCB_SIMD_NEON)
+  if (n >= 4) {
+    float32x4_t acc = vdupq_n_f32(0.0f);
+    for (; i + 4 <= n; i += 4)
+      acc = vfmaq_f32(acc, vld1q_f32(a + i), vld1q_f32(b + i));
+    head = vaddvq_f32(acc);
+  }
+#endif
+  float tail = 0.0f;
+  for (; i < n; ++i) tail += a[i] * b[i];
+  return head + tail;
+}
+
+/// y[j] += a * x[j] for j in [0, n). Lane-independent: each y[j] sees the
+/// same fused multiply-add chain regardless of n's alignment, which keeps
+/// batched and single-request runs bitwise identical (see gemm.cpp).
+inline void axpy(float a, const float* x, float* y, Index n) {
+  Index i = 0;
+#if defined(TCB_SIMD_AVX512)
+  const __m512 va16 = _mm512_set1_ps(a);
+  for (; i + 16 <= n; i += 16)
+    _mm512_storeu_ps(y + i, _mm512_fmadd_ps(va16, _mm512_loadu_ps(x + i),
+                                            _mm512_loadu_ps(y + i)));
+#endif
+#if defined(TCB_SIMD_AVX2)
+  const __m256 va8 = _mm256_set1_ps(a);
+  for (; i + 8 <= n; i += 8)
+    _mm256_storeu_ps(y + i, _mm256_fmadd_ps(va8, _mm256_loadu_ps(x + i),
+                                            _mm256_loadu_ps(y + i)));
+  for (; i < n; ++i) y[i] = std::fma(a, x[i], y[i]);
+  return;
+#elif defined(TCB_SIMD_NEON)
+  const float32x4_t va4 = vdupq_n_f32(a);
+  for (; i + 4 <= n; i += 4)
+    vst1q_f32(y + i, vfmaq_f32(vld1q_f32(y + i), va4, vld1q_f32(x + i)));
+  for (; i < n; ++i) y[i] = std::fma(a, x[i], y[i]);
+  return;
+#else
+  for (; i < n; ++i) y[i] += a * x[i];
+#endif
+}
+
+/// y[j] += x[j].
+inline void add(float* y, const float* x, Index n) {
+  Index i = 0;
+#if defined(TCB_SIMD_AVX512)
+  for (; i + 16 <= n; i += 16)
+    _mm512_storeu_ps(y + i,
+                     _mm512_add_ps(_mm512_loadu_ps(y + i), _mm512_loadu_ps(x + i)));
+#elif defined(TCB_SIMD_AVX2)
+  for (; i + 8 <= n; i += 8)
+    _mm256_storeu_ps(y + i,
+                     _mm256_add_ps(_mm256_loadu_ps(y + i), _mm256_loadu_ps(x + i)));
+#elif defined(TCB_SIMD_NEON)
+  for (; i + 4 <= n; i += 4)
+    vst1q_f32(y + i, vaddq_f32(vld1q_f32(y + i), vld1q_f32(x + i)));
+#endif
+  for (; i < n; ++i) y[i] += x[i];
+}
+
+/// y[j] *= s.
+inline void scale(float* y, float s, Index n) {
+  Index i = 0;
+#if defined(TCB_SIMD_AVX512)
+  const __m512 vs16 = _mm512_set1_ps(s);
+  for (; i + 16 <= n; i += 16)
+    _mm512_storeu_ps(y + i, _mm512_mul_ps(_mm512_loadu_ps(y + i), vs16));
+#elif defined(TCB_SIMD_AVX2)
+  const __m256 vs8 = _mm256_set1_ps(s);
+  for (; i + 8 <= n; i += 8)
+    _mm256_storeu_ps(y + i, _mm256_mul_ps(_mm256_loadu_ps(y + i), vs8));
+#elif defined(TCB_SIMD_NEON)
+  const float32x4_t vs4 = vdupq_n_f32(s);
+  for (; i + 4 <= n; i += 4)
+    vst1q_f32(y + i, vmulq_f32(vld1q_f32(y + i), vs4));
+#endif
+  for (; i < n; ++i) y[i] *= s;
+}
+
+/// y[j] = max(y[j], 0).
+inline void relu(float* y, Index n) {
+  Index i = 0;
+#if defined(TCB_SIMD_AVX512)
+  // _mm512_mask_max_ps with a full mask, not _mm512_max_ps: GCC lowers the
+  // unmasked form through an _mm512_undefined_ps() merge operand, which
+  // leaks spurious -Wmaybe-uninitialized reports into callers (see
+  // hadd512). The masked form's merge is z16, fully initialized; same
+  // instruction either way.
+  const __m512 z16 = _mm512_setzero_ps();
+  for (; i + 16 <= n; i += 16)
+    _mm512_storeu_ps(
+        y + i, _mm512_mask_max_ps(z16, 0xFFFF, _mm512_loadu_ps(y + i), z16));
+#elif defined(TCB_SIMD_AVX2)
+  const __m256 z8 = _mm256_setzero_ps();
+  for (; i + 8 <= n; i += 8)
+    _mm256_storeu_ps(y + i, _mm256_max_ps(_mm256_loadu_ps(y + i), z8));
+#elif defined(TCB_SIMD_NEON)
+  const float32x4_t z4 = vdupq_n_f32(0.0f);
+  for (; i + 4 <= n; i += 4)
+    vst1q_f32(y + i, vmaxq_f32(vld1q_f32(y + i), z4));
+#endif
+  for (; i < n; ++i) y[i] = std::max(y[i], 0.0f);
+}
+
+/// max over x[0..n); n must be >= 1. Reduces across lanes.
+inline float reduce_max(const float* x, Index n) {
+  Index i = 0;
+  float m = x[0];
+#if defined(TCB_SIMD_AVX512)
+  if (n >= 16) {
+    __m512 acc = _mm512_loadu_ps(x);
+    for (i = 16; i + 16 <= n; i += 16)
+      // Masked form for the same -Wmaybe-uninitialized reason as in relu().
+      acc = _mm512_mask_max_ps(acc, 0xFFFF, acc, _mm512_loadu_ps(x + i));
+    m = hmax512(acc);
+  }
+#elif defined(TCB_SIMD_AVX2)
+  if (n >= 8) {
+    __m256 acc = _mm256_loadu_ps(x);
+    for (i = 8; i + 8 <= n; i += 8) acc = _mm256_max_ps(acc, _mm256_loadu_ps(x + i));
+    const __m128 lo = _mm256_castps256_ps128(acc);
+    const __m128 hi = _mm256_extractf128_ps(acc, 1);
+    __m128 s = _mm_max_ps(lo, hi);
+    s = _mm_max_ps(s, _mm_movehl_ps(s, s));
+    s = _mm_max_ss(s, _mm_shuffle_ps(s, s, 0x55));
+    m = _mm_cvtss_f32(s);
+  }
+#elif defined(TCB_SIMD_NEON)
+  if (n >= 4) {
+    float32x4_t acc = vld1q_f32(x);
+    for (i = 4; i + 4 <= n; i += 4) acc = vmaxq_f32(acc, vld1q_f32(x + i));
+    m = vmaxvq_f32(acc);
+  }
+#endif
+  for (; i < n; ++i) m = std::max(m, x[i]);
+  return m;
+}
+
+/// sum over x[0..n). Reduces across lanes.
+inline float reduce_add(const float* x, Index n) {
+  Index i = 0;
+  float head = 0.0f;
+#if defined(TCB_SIMD_AVX512)
+  if (n >= 16) {
+    __m512 acc = _mm512_setzero_ps();
+    for (; i + 16 <= n; i += 16) acc = _mm512_add_ps(acc, _mm512_loadu_ps(x + i));
+    head = hadd512(acc);
+  }
+#elif defined(TCB_SIMD_AVX2)
+  if (n >= 8) {
+    __m256 acc = _mm256_setzero_ps();
+    for (; i + 8 <= n; i += 8) acc = _mm256_add_ps(acc, _mm256_loadu_ps(x + i));
+    const __m128 lo = _mm256_castps256_ps128(acc);
+    const __m128 hi = _mm256_extractf128_ps(acc, 1);
+    __m128 s = _mm_add_ps(lo, hi);
+    s = _mm_add_ps(s, _mm_movehl_ps(s, s));
+    s = _mm_add_ss(s, _mm_shuffle_ps(s, s, 0x55));
+    head = _mm_cvtss_f32(s);
+  }
+#elif defined(TCB_SIMD_NEON)
+  if (n >= 4) {
+    float32x4_t acc = vdupq_n_f32(0.0f);
+    for (; i + 4 <= n; i += 4) acc = vaddq_f32(acc, vld1q_f32(x + i));
+    head = vaddvq_f32(acc);
+  }
+#endif
+  float tail = 0.0f;
+  for (; i < n; ++i) tail += x[i];
+  return head + tail;
+}
+
+/// out[j] = (x[j] - mean) * inv_std * gamma[j] + beta[j] — the LayerNorm
+/// normalize step. Lane-independent per output element.
+inline void normalize(const float* x, const float* gamma, const float* beta,
+                      float mean, float inv_std, float* out, Index n) {
+  Index i = 0;
+#if defined(TCB_SIMD_AVX512)
+  const __m512 vm16 = _mm512_set1_ps(mean);
+  const __m512 vi16 = _mm512_set1_ps(inv_std);
+  for (; i + 16 <= n; i += 16) {
+    const __m512 centered =
+        _mm512_mul_ps(_mm512_sub_ps(_mm512_loadu_ps(x + i), vm16), vi16);
+    _mm512_storeu_ps(out + i, _mm512_fmadd_ps(centered, _mm512_loadu_ps(gamma + i),
+                                              _mm512_loadu_ps(beta + i)));
+  }
+#elif defined(TCB_SIMD_AVX2)
+  const __m256 vm8 = _mm256_set1_ps(mean);
+  const __m256 vi8 = _mm256_set1_ps(inv_std);
+  for (; i + 8 <= n; i += 8) {
+    const __m256 centered =
+        _mm256_mul_ps(_mm256_sub_ps(_mm256_loadu_ps(x + i), vm8), vi8);
+    _mm256_storeu_ps(out + i, _mm256_fmadd_ps(centered, _mm256_loadu_ps(gamma + i),
+                                              _mm256_loadu_ps(beta + i)));
+  }
+#elif defined(TCB_SIMD_NEON)
+  const float32x4_t vm4 = vdupq_n_f32(mean);
+  const float32x4_t vi4 = vdupq_n_f32(inv_std);
+  for (; i + 4 <= n; i += 4) {
+    const float32x4_t centered =
+        vmulq_f32(vsubq_f32(vld1q_f32(x + i), vm4), vi4);
+    vst1q_f32(out + i,
+              vfmaq_f32(vld1q_f32(beta + i), centered, vld1q_f32(gamma + i)));
+  }
+#endif
+  for (; i < n; ++i) out[i] = (x[i] - mean) * inv_std * gamma[i] + beta[i];
+}
+
+/// Sum of squared deviations from `mean` over x[0..n). Reduces across lanes.
+inline float reduce_sq_dev(const float* x, float mean, Index n) {
+  Index i = 0;
+  float head = 0.0f;
+#if defined(TCB_SIMD_AVX512)
+  if (n >= 16) {
+    const __m512 vm16 = _mm512_set1_ps(mean);
+    __m512 acc = _mm512_setzero_ps();
+    for (; i + 16 <= n; i += 16) {
+      const __m512 d16 = _mm512_sub_ps(_mm512_loadu_ps(x + i), vm16);
+      acc = _mm512_fmadd_ps(d16, d16, acc);
+    }
+    head = hadd512(acc);
+  }
+#elif defined(TCB_SIMD_AVX2)
+  if (n >= 8) {
+    const __m256 vm8 = _mm256_set1_ps(mean);
+    __m256 acc = _mm256_setzero_ps();
+    for (; i + 8 <= n; i += 8) {
+      const __m256 d8 = _mm256_sub_ps(_mm256_loadu_ps(x + i), vm8);
+      acc = _mm256_fmadd_ps(d8, d8, acc);
+    }
+    const __m128 lo = _mm256_castps256_ps128(acc);
+    const __m128 hi = _mm256_extractf128_ps(acc, 1);
+    __m128 s = _mm_add_ps(lo, hi);
+    s = _mm_add_ps(s, _mm_movehl_ps(s, s));
+    s = _mm_add_ss(s, _mm_shuffle_ps(s, s, 0x55));
+    head = _mm_cvtss_f32(s);
+  }
+#elif defined(TCB_SIMD_NEON)
+  if (n >= 4) {
+    const float32x4_t vm4 = vdupq_n_f32(mean);
+    float32x4_t acc = vdupq_n_f32(0.0f);
+    for (; i + 4 <= n; i += 4) {
+      const float32x4_t d4 = vsubq_f32(vld1q_f32(x + i), vm4);
+      acc = vfmaq_f32(acc, d4, d4);
+    }
+    head = vaddvq_f32(acc);
+  }
+#endif
+  float tail = 0.0f;
+  for (; i < n; ++i) {
+    const float delta = x[i] - mean;
+    tail += delta * delta;
+  }
+  return head + tail;
+}
+
+}  // namespace tcb::simd

@@ -1,0 +1,216 @@
+// Differential tests of the blocked/SIMD kernel layer against the scalar
+// reference kernels in src/tensor/kernel_ref.hpp. Every fast path (packed
+// GEMM, small-matrix GEMM, fused elementwise/softmax/layer-norm, fused
+// mask+softmax attention) must agree with the naive loops within a float
+// accumulation tolerance on shapes that exercise all tile-edge cases:
+// dimensions below one register tile, exactly one tile, one-past-a-tile,
+// and far from any multiple of the blocking factors.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "nn/attention.hpp"
+#include "parallel/thread_pool.hpp"
+#include "tensor/kernel_ref.hpp"
+#include "tensor/ops.hpp"
+
+namespace tcb {
+namespace {
+
+constexpr float kTol = 1e-4f;
+
+/// Shapes chosen to straddle the microkernel tiles (MR up to 8, NR up to 32,
+/// kc = 256): scalars, primes, one-off-a-power-of-two, and sizes crossing
+/// the kc blocking boundary.
+const std::vector<Index> kEdgeSizes = {1, 3, 5, 7, 17, 33, 63, 65, 100, 129};
+
+TEST(KernelEquivalence, MatmulMatchesReferenceOnEdgeShapes) {
+  Rng rng(11);
+  for (const Index m : kEdgeSizes) {
+    for (const Index k : {Index{1}, Index{7}, Index{64}, Index{129}, Index{300}}) {
+      const Index n = kEdgeSizes[static_cast<std::size_t>((m + k) %
+                      static_cast<Index>(kEdgeSizes.size()))];
+      const Tensor a = Tensor::random_uniform(Shape{m, k}, rng, 1.0f);
+      const Tensor b = Tensor::random_uniform(Shape{k, n}, rng, 1.0f);
+      Tensor fast, slow;
+      matmul(a, b, fast);
+      ref::matmul(a, b, slow);
+      ASSERT_EQ(fast.shape(), slow.shape());
+      EXPECT_LE(max_abs_diff(fast, slow), kTol)
+          << "m=" << m << " k=" << k << " n=" << n;
+    }
+  }
+}
+
+TEST(KernelEquivalence, MatmulNtMatchesReferenceOnEdgeShapes) {
+  Rng rng(12);
+  for (const Index m : kEdgeSizes) {
+    for (const Index k : {Index{1}, Index{7}, Index{64}, Index{129}, Index{300}}) {
+      const Index n = kEdgeSizes[static_cast<std::size_t>((m * 3 + k) %
+                      static_cast<Index>(kEdgeSizes.size()))];
+      const Tensor a = Tensor::random_uniform(Shape{m, k}, rng, 1.0f);
+      const Tensor b = Tensor::random_uniform(Shape{n, k}, rng, 1.0f);
+      Tensor fast, slow;
+      matmul_nt(a, b, fast);
+      ref::matmul_nt(a, b, slow);
+      ASSERT_EQ(fast.shape(), slow.shape());
+      EXPECT_LE(max_abs_diff(fast, slow), kTol)
+          << "m=" << m << " k=" << k << " n=" << n;
+    }
+  }
+}
+
+TEST(KernelEquivalence, MatmulCrossesKcBlockBoundary) {
+  // k > 256 forces multiple packed kc-blocks with accumulate-into-C; the
+  // result must still match the single-sweep reference.
+  Rng rng(13);
+  const Tensor a = Tensor::random_uniform(Shape{65, 517}, rng, 1.0f);
+  const Tensor b = Tensor::random_uniform(Shape{517, 33}, rng, 1.0f);
+  Tensor fast, slow;
+  matmul(a, b, fast);
+  ref::matmul(a, b, slow);
+  EXPECT_LE(max_abs_diff(fast, slow), 5e-4f);
+}
+
+TEST(KernelEquivalence, SoftmaxMatchesReferenceIncludingFullyMaskedRows) {
+  Rng rng(14);
+  for (const Index n : kEdgeSizes) {
+    Tensor fast = Tensor::random_uniform(Shape{8, n}, rng, 3.0f);
+    // Row 2: fully masked. Row 4: masked except one entry (if it exists).
+    for (Index j = 0; j < n; ++j) {
+      fast.at(2, j) = kMaskedOut;
+      if (j > 0) fast.at(4 % 8, j) = kMaskedOut;
+    }
+    Tensor slow = fast.clone();
+    softmax_rows_inplace(fast);
+    ref::softmax_rows_inplace(slow);
+    EXPECT_LE(max_abs_diff(fast, slow), kTol) << "n=" << n;
+    for (Index j = 0; j < n; ++j)
+      EXPECT_EQ(fast.at(2, j), 0.0f) << "fully-masked row must zero out";
+  }
+}
+
+TEST(KernelEquivalence, LayerNormMatchesReference) {
+  Rng rng(15);
+  for (const Index n : kEdgeSizes) {
+    const Tensor x = Tensor::random_uniform(Shape{6, n}, rng, 2.0f);
+    const Tensor gamma = Tensor::random_uniform(Shape{n}, rng, 1.0f);
+    const Tensor beta = Tensor::random_uniform(Shape{n}, rng, 1.0f);
+    Tensor fast, slow;
+    layer_norm(x, gamma, beta, 1e-5f, fast);
+    ref::layer_norm(x, gamma, beta, 1e-5f, slow);
+    EXPECT_LE(max_abs_diff(fast, slow), kTol) << "n=" << n;
+  }
+}
+
+TEST(KernelEquivalence, GeluAndReluMatchReference) {
+  Rng rng(16);
+  for (const Index n : kEdgeSizes) {
+    Tensor fast = Tensor::random_uniform(Shape{5, n}, rng, 4.0f);
+    Tensor slow = fast.clone();
+    gelu_inplace(fast);
+    ref::gelu_inplace(slow);
+    EXPECT_LE(max_abs_diff(fast, slow), kTol) << "gelu n=" << n;
+
+    Tensor rfast = Tensor::random_uniform(Shape{5, n}, rng, 4.0f);
+    Tensor rslow = rfast.clone();
+    relu_inplace(rfast);
+    ref::relu_inplace(rslow);
+    EXPECT_EQ(max_abs_diff(rfast, rslow), 0.0f) << "relu n=" << n;
+  }
+}
+
+/// Builds a single-row plan with `seg_lens` concatenated segments padded to
+/// `width`.
+BatchPlan concat_plan(const std::vector<Index>& seg_lens, Index width) {
+  BatchPlan plan;
+  plan.row_capacity = width;
+  plan.scheme = Scheme::kConcatPure;
+  RowLayout row;
+  Index off = 0;
+  Index id = 0;
+  for (const Index len : seg_lens) {
+    row.segments.push_back(Segment{id++, off, len, 0});
+    off += len;
+  }
+  row.width = width;
+  plan.rows.push_back(row);
+  plan.validate();
+  return plan;
+}
+
+TEST(KernelEquivalence, FusedAttentionMatchesFullMatrixReference) {
+  ModelConfig cfg;
+  cfg.d_model = 64;
+  cfg.n_heads = 4;
+  cfg.d_ff = 128;
+  Rng rng(17);
+  const MultiHeadAttention mha(cfg, rng);
+  // Odd segment lengths, trailing padding, and a width that is not a
+  // multiple of any SIMD lane count.
+  const Index width = 87;
+  const BatchPlan plan = concat_plan({13, 29, 7, 21}, width);
+  const Tensor x = Tensor::random_uniform(Shape{width, cfg.d_model}, rng, 1.0f);
+  for (const MaskPolicy mask : {MaskPolicy::kSegment, MaskPolicy::kRowShared}) {
+    const Tensor fast =
+        mha.encoder_forward(x, plan, Col{width}, AttentionMode::kPureConcat, mask);
+    const Tensor slow = mha.encoder_forward_reference(
+        x, plan, Col{width}, AttentionMode::kPureConcat, mask);
+    EXPECT_LE(max_abs_diff(fast, slow), 2e-4f)
+        << "mask=" << static_cast<int>(mask);
+  }
+}
+
+TEST(KernelEquivalence, FusedAttentionSlottedMatchesReference) {
+  ModelConfig cfg;
+  cfg.d_model = 64;
+  cfg.n_heads = 4;
+  cfg.d_ff = 128;
+  Rng rng(18);
+  const MultiHeadAttention mha(cfg, rng);
+  const Index width = 96;
+  BatchPlan plan;
+  plan.row_capacity = width;
+  plan.scheme = Scheme::kConcatSlotted;
+  plan.slot_len = 32;
+  RowLayout row;
+  row.segments.push_back(Segment{0, 0, 20, 0});
+  row.segments.push_back(Segment{1, 20, 12, 0});
+  row.segments.push_back(Segment{2, 32, 31, 1});
+  row.segments.push_back(Segment{3, 64, 9, 2});
+  row.width = width;
+  plan.rows.push_back(row);
+  plan.validate();
+  const Tensor x = Tensor::random_uniform(Shape{width, cfg.d_model}, rng, 1.0f);
+  const Tensor fast =
+      mha.encoder_forward(x, plan, Col{width}, AttentionMode::kSlotted);
+  const Tensor slow = mha.encoder_forward_reference(
+      x, plan, Col{width}, AttentionMode::kSlotted);
+  EXPECT_LE(max_abs_diff(fast, slow), 2e-4f);
+}
+
+TEST(GemmGrainTest, RespectsFlopFloorAndFanOut) {
+  // Tiny per-row work: grain must batch many rows per chunk so no chunk
+  // falls under the sequential-worthwhile floor.
+  const std::size_t tiny = gemm_grain(10000, 4, 4);
+  EXPECT_GE(tiny, 2048u);  // 32768 madds / 16 per row
+
+  // Huge per-row work: the FLOP floor is met by a single row, so the grain
+  // is governed by fan-out — at most ~m / (3 * workers) rows per chunk, and
+  // never below 1.
+  const std::size_t workers = ThreadPool::global().parallelism();
+  const std::size_t big = gemm_grain(1024, 1024, 1024);
+  EXPECT_GE(big, 1u);
+  const std::size_t max_fanout_grain =
+      (1024 + 3 * workers - 1) / (3 * workers);
+  EXPECT_LE(big, std::max<std::size_t>(max_fanout_grain, 1u));
+
+  // Degenerate shapes must stay positive.
+  EXPECT_EQ(gemm_grain(0, 16, 16), 1u);
+  EXPECT_EQ(gemm_grain(16, 0, 16), 1u);
+}
+
+}  // namespace
+}  // namespace tcb
