@@ -13,6 +13,7 @@
 //     per slot.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -20,6 +21,7 @@
 #include <vector>
 
 #include "batching/request.hpp"
+#include "parallel/sync.hpp"
 #include "tensor/strong_index.hpp"
 
 namespace tcb {
@@ -62,6 +64,40 @@ struct RowLayout {
 };
 
 class SegmentCache;
+struct BatchPlan;
+
+/// Thread-safe lazy holder for a plan's SegmentCache. First touch used to be
+/// a naked `mutable std::shared_ptr` assignment — concurrent first calls to
+/// BatchPlan::segment_cache() on a shared plan raced (two builds, one
+/// leaked into a reader mid-reset). Now first touch is serialized by an
+/// annotated mutex and the built cache is *published* through an
+/// acquire/release atomic, so the steady-state fast path is one atomic load —
+/// no lock, no slower than the unsynchronized original.
+///
+/// Copies share the built cache (shared_ptr), like the plain member did.
+/// Width changes remain single-threaded by contract: concurrent callers must
+/// agree on the width (they do — width is derived from the materialized
+/// batch), and rebuilding at a new width while old references are live is
+/// still a caller bug, exactly as before.
+class SegmentCacheSlot {
+ public:
+  SegmentCacheSlot() = default;
+  SegmentCacheSlot(const SegmentCacheSlot& other) TCB_EXCLUDES(mutex_);
+  SegmentCacheSlot& operator=(const SegmentCacheSlot& other)
+      TCB_EXCLUDES(mutex_);
+
+  /// Returns the cache for `width`, building it under the lock on first
+  /// touch (or when the width changed, which must be single-threaded).
+  const SegmentCache& get_or_build(const BatchPlan& plan, Col width) const
+      TCB_EXCLUDES(mutex_);
+
+ private:
+  mutable Mutex mutex_ TCB_GUARDS(cache_);
+  mutable std::shared_ptr<const SegmentCache> cache_ TCB_GUARDED_BY(mutex_);
+  /// Fast-path view of cache_.get(): written release under mutex_, read
+  /// acquire lock-free. Never dangles while cache_ owns the pointee.
+  mutable std::atomic<const SegmentCache*> published_ TCB_LOCK_FREE{nullptr};
+};
 
 struct BatchPlan {
   Scheme scheme = Scheme::kConcatPure;
@@ -96,17 +132,18 @@ struct BatchPlan {
   /// Mask geometry at `width`, built on first use and cached on the plan so
   /// every encoder layer, attention head, and decode step reuses one copy.
   ///
-  /// Threading contract: NOT synchronized. The first call for a given width
-  /// must happen on the thread that owns the plan, before any fan-out — in
-  /// practice Encoder::forward / decode setup touch it once up front and the
-  /// kernels only capture raw pointers into the returned cache. Mutating
+  /// Threading contract: concurrent calls at the same width are safe,
+  /// including the very first touch (SegmentCacheSlot serializes the build
+  /// and publishes the result; the built-cache fast path is one lock-free
+  /// atomic load). Callers at a *different* width — which implies the plan
+  /// was re-materialized — must still be single-threaded, and mutating
   /// `rows` after a cache was built leaves the cache stale; plans are
   /// immutable once handed to the engine.
   [[nodiscard]] const SegmentCache& segment_cache(Col width) const;
 
  private:
   /// Lazily built by segment_cache(); shared so copied plans share the work.
-  mutable std::shared_ptr<const SegmentCache> seg_cache_;
+  SegmentCacheSlot seg_cache_;
 };
 
 /// Per-position segment index of a row: map[pos] = index into row.segments,

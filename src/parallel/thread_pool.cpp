@@ -22,24 +22,38 @@ thread_local bool tls_in_worker = false;
 /// previous promise/future scheme lacked — promise::set_value() may still be
 /// executing inside the promise after the waiter has been released, and the
 /// waiter's stack frame (promise included) could be gone by then.
-struct ForLatch {
-  std::mutex mutex;
-  std::condition_variable cv;
-  std::size_t remaining = 0;
-  std::exception_ptr error;
+class ForLatch {
+ public:
+  explicit ForLatch(std::size_t chunks) : remaining_(chunks) {}
 
   /// Records `err` (first one wins) and retires one chunk.
-  void complete(std::exception_ptr err) {
-    const std::lock_guard lock(mutex);
-    if (err && !error) error = std::move(err);
-    TCB_DCHECK(remaining > 0, "ForLatch: more completions than chunks");
-    if (--remaining == 0) cv.notify_one();
+  void complete(std::exception_ptr err) TCB_EXCLUDES(mutex_) {
+    const MutexLock lock(mutex_);
+    if (err && !error_) error_ = std::move(err);
+    TCB_DCHECK(remaining_ > 0, "ForLatch: more completions than chunks");
+    if (--remaining_ == 0) cv_.notify_one();
   }
 
-  void wait() {
-    std::unique_lock lock(mutex);
-    cv.wait(lock, [this] { return remaining == 0; });
+  void wait() TCB_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    while (remaining_ != 0) cv_.wait(lock);
   }
+
+  /// Merges the caller chunk's exception under the first-one-wins rule and
+  /// returns the winner. Called after wait(), but still locks: the guarded
+  /// state has no unlocked back door even on the quiescent path.
+  [[nodiscard]] std::exception_ptr take_error(std::exception_ptr caller_err)
+      TCB_EXCLUDES(mutex_) {
+    const MutexLock lock(mutex_);
+    if (caller_err && !error_) error_ = std::move(caller_err);
+    return error_;
+  }
+
+ private:
+  Mutex mutex_ TCB_GUARDS(remaining_, error_);
+  CondVar cv_;  ///< signals remaining_ == 0 to the single waiter
+  std::size_t remaining_ TCB_GUARDED_BY(mutex_);
+  std::exception_ptr error_ TCB_GUARDED_BY(mutex_);
 };
 
 }  // namespace
@@ -52,7 +66,7 @@ ThreadPool::ThreadPool(std::size_t workers) {
 
 ThreadPool::~ThreadPool() {
   {
-    const std::lock_guard lock(mutex_);
+    const MutexLock lock(mutex_);
     stop_ = true;
   }
   cv_.notify_all();
@@ -76,7 +90,7 @@ std::future<void> ThreadPool::submit(std::function<void()> fn) {
   // drained again: run on the calling thread.
   bool inline_run = threads_.empty();
   if (!inline_run) {
-    const std::lock_guard lock(mutex_);
+    const MutexLock lock(mutex_);
     if (stop_)
       inline_run = true;
     else
@@ -110,10 +124,9 @@ void ThreadPool::parallel_for(
   chunks = (n + step - 1) / step;
   TCB_DCHECK(chunks >= 2, "parallel_for: recomputed chunk count below 2");
 
-  ForLatch latch;
-  latch.remaining = chunks - 1;
+  ForLatch latch(chunks - 1);
   {
-    const std::lock_guard lock(mutex_);
+    const MutexLock lock(mutex_);
     for (std::size_t c = 1; c < chunks; ++c) {
       const std::size_t begin = c * step;
       const std::size_t end = std::min(n, begin + step);
@@ -143,8 +156,8 @@ void ThreadPool::parallel_for(
   }
   latch.wait();
 
-  if (caller_err && !latch.error) latch.error = std::move(caller_err);
-  if (latch.error) std::rethrow_exception(latch.error);
+  if (auto err = latch.take_error(std::move(caller_err)))
+    std::rethrow_exception(err);
 }
 
 void ThreadPool::worker_loop() {
@@ -152,8 +165,11 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock lock(mutex_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lock(mutex_);
+      // Manual wait loop (not the predicate overload): the condition reads
+      // guarded state, and keeping it in this frame lets the thread-safety
+      // analysis check it against the held capability.
+      while (!stop_ && queue_.empty()) cv_.wait(lock);
       if (stop_ && queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop();

@@ -18,16 +18,21 @@
 //     the caller can never unwind the latch's stack frame while a worker is
 //     still signalling it. The suite in tests/parallel/ hammers these paths
 //     under TSan.
+//   * Lock discipline is compiler-checked: the queue state is
+//     TCB_GUARDED_BY(mutex_) and every entry point carries its capability
+//     contract, so a clang build with TCB_THREAD_SAFETY=ON proves (not just
+//     tests) that no path touches the queue lock-free. See
+//     src/parallel/sync.hpp and DESIGN.md §9.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "parallel/sync.hpp"
 
 namespace tcb {
 
@@ -53,7 +58,7 @@ class ThreadPool {
   }
 
   /// Enqueue one task.
-  std::future<void> submit(std::function<void()> fn);
+  std::future<void> submit(std::function<void()> fn) TCB_EXCLUDES(mutex_);
 
   /// Splits [0, n) into contiguous chunks of at least `grain` items and runs
   /// `fn(begin, end)` on each chunk; every dispatched chunk is non-empty.
@@ -61,16 +66,18 @@ class ThreadPool {
   /// chunk itself, and a `grain` of 0 is treated as 1. Exceptions from
   /// chunks are rethrown after all chunks retire (first one wins).
   void parallel_for(std::size_t n, std::size_t grain,
-                    const std::function<void(std::size_t, std::size_t)>& fn);
+                    const std::function<void(std::size_t, std::size_t)>& fn)
+      TCB_EXCLUDES(mutex_);
 
  private:
-  void worker_loop();
+  void worker_loop() TCB_EXCLUDES(mutex_);
 
+  /// Immutable after construction; read lock-free by worker_count() et al.
   std::vector<std::thread> threads_;
-  std::queue<std::function<void()>> queue_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stop_ = false;
+  Mutex mutex_ TCB_GUARDS(queue_, stop_);
+  CondVar cv_;  ///< waited by workers; signalled by submit/parallel_for/dtor
+  std::queue<std::function<void()>> queue_ TCB_GUARDED_BY(mutex_);
+  bool stop_ TCB_GUARDED_BY(mutex_) = false;
 };
 
 /// Convenience wrapper over the global pool with a default grain of 1.

@@ -1,0 +1,100 @@
+// TSan stress for the BatchPlan::segment_cache() first touch. Before the
+// SegmentCacheSlot fix, `seg_cache_` was a lazily-assigned mutable
+// shared_ptr with no synchronization: many threads hitting segment_cache()
+// on a shared plan raced on the assignment (and could observe a half-reset
+// pointer). Now first touch is serialized and published with
+// acquire/release; this suite hammers exactly that window — many threads,
+// cold cache, same width — and runs under the tsan preset like every other
+// test. The steady-state assertions check that all threads converge on ONE
+// cache instance (the build is not just safe but shared).
+//
+// Fan-out goes through tcb::ThreadPool (raw std::thread in tests/batching
+// would trip tcb-lint's threads-only-in-parallel rule).
+#include "batching/batch_plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <vector>
+
+#include "parallel/thread_pool.hpp"
+
+namespace tcb {
+namespace {
+
+BatchPlan slotted_plan() {
+  BatchPlan plan;
+  plan.scheme = Scheme::kConcatSlotted;
+  plan.row_capacity = 16;
+  plan.slot_len = 8;
+  for (int r = 0; r < 4; ++r) {
+    RowLayout row;
+    row.width = 16;
+    row.segments.push_back(Segment{4 * r + 1, 0, 5, 0});
+    row.segments.push_back(Segment{4 * r + 2, 5, 3, 0});
+    row.segments.push_back(Segment{4 * r + 3, 8, 8, 1});
+    plan.rows.push_back(row);
+  }
+  return plan;
+}
+
+TEST(SegmentCacheRaceTest, ConcurrentFirstTouchBuildsOneCache) {
+  static constexpr int kThreads = 8;
+  static constexpr int kRounds = 50;
+  ThreadPool pool(kThreads);
+
+  for (int round = 0; round < kRounds; ++round) {
+    const BatchPlan plan = slotted_plan();  // cache is cold every round
+    const Col width{plan.max_width()};
+    std::atomic<int> gate{0};
+    std::vector<const SegmentCache*> seen(kThreads, nullptr);
+    std::vector<std::future<void>> futs;
+    futs.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      futs.push_back(pool.submit([&plan, &gate, &seen, width, t] {
+        gate.fetch_add(1);
+        while (gate.load() < kThreads) {
+        }  // line up so first touches genuinely collide
+        seen[static_cast<std::size_t>(t)] = &plan.segment_cache(width);
+      }));
+    }
+    for (auto& f : futs) f.get();
+    for (int t = 1; t < kThreads; ++t)
+      ASSERT_EQ(seen[static_cast<std::size_t>(t)], seen[0])
+          << "threads must share one built cache (round " << round << ")";
+    ASSERT_NE(seen[0], nullptr);
+    EXPECT_EQ(seen[0]->width(), plan.max_width());
+    EXPECT_EQ(seen[0]->row_count(), 4);
+  }
+}
+
+TEST(SegmentCacheRaceTest, SteadyStateReadersShareTheFirstBuild) {
+  const BatchPlan plan = slotted_plan();
+  const Col width{plan.max_width()};
+  const SegmentCache* first = &plan.segment_cache(width);  // warm build
+  ThreadPool pool(4);
+  std::vector<std::future<void>> futs;
+  for (int t = 0; t < 4; ++t) {
+    futs.push_back(pool.submit([&plan, width, first] {
+      for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(&plan.segment_cache(width), first)
+            << "fast path must not rebuild";
+    }));
+  }
+  for (auto& f : futs) f.get();
+}
+
+TEST(SegmentCacheRaceTest, CopiedPlansShareTheBuiltCache) {
+  const BatchPlan plan = slotted_plan();
+  const Col width{plan.max_width()};
+  const SegmentCache* built = &plan.segment_cache(width);
+  const BatchPlan copy = plan;  // copy after build: shares the instance
+  EXPECT_EQ(&copy.segment_cache(width), built);
+  BatchPlan cold_copy = slotted_plan();
+  cold_copy = plan;  // assignment also adopts the built cache
+  EXPECT_EQ(&cold_copy.segment_cache(width), built);
+}
+
+}  // namespace
+}  // namespace tcb

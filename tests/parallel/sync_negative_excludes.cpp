@@ -1,0 +1,38 @@
+// NEGATIVE-COMPILE fixture: must FAIL to build with TCB_THREAD_SAFETY=ON
+// (-Werror=thread-safety-analysis); see sync_negative_guarded.cpp for the
+// mechanism (WILL_FAIL ctest entry under the clang-tsa preset).
+//
+// Seeded bug: calling a TCB_EXCLUDES(mutex_) function while already holding
+// mutex_ — the classic self-deadlock that only ever fires under the right
+// traffic, caught here at compile time instead.
+#include "parallel/sync.hpp"
+
+namespace tcb {
+namespace {
+
+class Registry {
+ public:
+  void reset() TCB_EXCLUDES(mutex_) {
+    const MutexLock lock(mutex_);
+    entries_ = 0;
+  }
+
+  void reload() TCB_EXCLUDES(mutex_) {
+    const MutexLock lock(mutex_);
+    entries_ += 1;
+    reset();  // BUG: reset() excludes mutex_, which this scope still holds
+  }
+
+ private:
+  Mutex mutex_ TCB_GUARDS(entries_);
+  long entries_ TCB_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+}  // namespace tcb
+
+int tcb_sync_negative_excludes_anchor() {
+  tcb::Registry registry;
+  registry.reload();
+  return 0;
+}

@@ -1,0 +1,44 @@
+// NEGATIVE-COMPILE fixture: this translation unit is deliberately ill-formed
+// under Clang Thread Safety Analysis and must FAIL to build with
+// TCB_THREAD_SAFETY=ON (-Werror=thread-safety-analysis). It is never part of
+// the default build: tests/CMakeLists.txt compiles it only through the
+// `sync_negative_guarded_must_not_compile` ctest entry (WILL_FAIL), which
+// proves the analysis actually enforces TCB_GUARDED_BY — if this file ever
+// compiles clean under the clang-tsa preset, the gate is broken and the test
+// turns red.
+//
+// Seeded bug: reading and writing a TCB_GUARDED_BY member without holding
+// its mutex.
+#include "parallel/sync.hpp"
+
+namespace tcb {
+namespace {
+
+class Account {
+ public:
+  void deposit(long amount) TCB_EXCLUDES(mutex_) {
+    balance_ += amount;  // BUG: guarded write, no lock held
+  }
+
+  [[nodiscard]] long balance() const TCB_EXCLUDES(mutex_) {
+    return balance_;  // BUG: guarded read, no lock held
+  }
+
+ private:
+  mutable Mutex mutex_ TCB_GUARDS(balance_);
+  long balance_ TCB_GUARDED_BY(mutex_) = 0;
+};
+
+long seeded_lock_discipline_bug() {
+  Account account;
+  account.deposit(1);
+  return account.balance();
+}
+
+}  // namespace
+}  // namespace tcb
+
+// Anchor so the TU is not empty even if the class is optimized away.
+int tcb_sync_negative_guarded_anchor() {
+  return static_cast<int>(tcb::seeded_lock_discipline_bug());
+}

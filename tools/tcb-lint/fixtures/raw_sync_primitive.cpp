@@ -1,0 +1,27 @@
+// tcb-lint-fixture-path: src/parallel/raw_lock.cpp
+// Fixture: reaches for raw std synchronization *inside* src/parallel/ but
+// outside sync.hpp.  Even the pool implementation must go through the
+// capability-annotated wrappers — a raw std::mutex is invisible to Clang
+// Thread Safety Analysis, so the lock discipline around it is unchecked.
+// (threads-only-in-parallel does not fire here: src/parallel/ is its home
+// turf; use-tcb-sync is the stricter rule that still applies.)
+// expect: use-tcb-sync
+
+#include <mutex>
+
+namespace {
+
+int drain_counter() {
+  static int counter = 0;
+  std::mutex m;                             // flagged: raw mutex
+  const std::lock_guard<std::mutex> l(m);   // flagged: raw lock scope
+  return ++counter;
+}
+
+int poll() {
+  std::unique_lock<std::mutex> deferred;    // flagged: raw unique_lock
+  (void)deferred;
+  return drain_counter();
+}
+
+}  // namespace

@@ -1,0 +1,37 @@
+// tcb-lint-fixture-path: src/serving/good_shared_state.cpp
+// Fixture: control for use-tcb-sync and annotated-shared-state — this file
+// must produce NO findings.  It exercises the look-alikes the rules must not
+// trip on: tcb::MutexLock (a lock scope, not a Mutex declaration), annotated
+// mutex/atomic members, an explicitly allowed atomic, and std primitives
+// appearing only in comments and string literals.
+// (No `// expect:` lines on purpose.)
+
+#include <atomic>
+
+#include "parallel/sync.hpp"  // serving -> parallel is an allowed edge
+
+namespace tcb {
+
+class AdmissionCounters {
+ public:
+  void bump() TCB_EXCLUDES(mutex_) {
+    const MutexLock lock(mutex_);  // wrapper scope, not a raw std lock
+    ++admitted_;
+  }
+
+ private:
+  mutable Mutex mutex_ TCB_GUARDS(admitted_);
+  long admitted_ TCB_GUARDED_BY(mutex_) = 0;
+  std::atomic<long> fast_hits_ TCB_LOCK_FREE{0};
+  // A migration remnant can opt out explicitly, reviewably:
+  // tcb-lint: allow(annotated-shared-state)
+  std::atomic<long> legacy_counter_{0};
+};
+
+inline const char* discipline_doc() {
+  // Comments naming std::mutex or std::unique_lock never fire, and neither
+  // do strings: both backends strip them before the rules run.
+  return "prefer tcb::MutexLock over std::lock_guard";
+}
+
+}  // namespace tcb

@@ -1,8 +1,11 @@
 // tcb-lint-fixture-path: src/sched/bad_threading.cpp
 // Fixture: spins up raw concurrency primitives outside src/parallel/.
 // Engine code must submit work through tcb::ThreadPool so sanitizer runs
-// and shutdown ordering stay centralized.
+// and shutdown ordering stay centralized.  The raw std::mutex / lock_guard
+// additionally trip use-tcb-sync: outside sync.hpp, locks must be the
+// capability-annotated tcb wrappers.
 // expect: threads-only-in-parallel
+// expect: use-tcb-sync
 
 #include <mutex>
 #include <thread>

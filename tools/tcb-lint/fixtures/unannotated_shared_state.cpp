@@ -1,0 +1,25 @@
+// tcb-lint-fixture-path: src/serving/bad_shared_state.cpp
+// Fixture: shared state with no declared lock discipline.  A mutex that
+// doesn't say what it guards (TCB_GUARDS) and an atomic that doesn't say
+// whether it's guarded or deliberately lock-free (TCB_GUARDED_BY /
+// TCB_LOCK_FREE) are exactly how a data race survives review: the next
+// editor has to guess the protocol.  See DESIGN.md §9.
+// expect: annotated-shared-state
+
+#include <atomic>
+
+#include "parallel/sync.hpp"
+
+namespace tcb {
+
+class WorkerRegistry {
+ public:
+  void admit() { inflight_.fetch_add(1); }
+
+ private:
+  Mutex mutex_;                    // flagged: guards... what, exactly?
+  std::atomic<int> inflight_{0};   // flagged: guarded or lock-free?
+  int jobs_served_ = 0;            // plain members are not this rule's beat
+};
+
+}  // namespace tcb

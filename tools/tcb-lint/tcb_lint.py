@@ -24,6 +24,16 @@ pack"):
   include-layering         #include edges between src/ modules must follow
                            the documented layering DAG (util at the bottom,
                            core at the top).
+  use-tcb-sync             raw std::mutex / std::condition_variable /
+                           std::lock_guard / std::unique_lock (and friends)
+                           live only in src/parallel/sync.hpp; everything
+                           else uses the capability-annotated tcb::Mutex /
+                           tcb::CondVar / tcb::MutexLock wrappers so Clang
+                           Thread Safety Analysis sees every lock.
+  annotated-shared-state   every tcb::Mutex or std::atomic declaration in
+                           src/ must state its role in the lock discipline:
+                           TCB_GUARDS(...) on mutexes, TCB_GUARDED_BY /
+                           TCB_LOCK_FREE on atomics (DESIGN.md §9).
 
 Backends
 --------
@@ -504,6 +514,77 @@ class NoRawNewDelete(Rule):
 
 
 @register
+class UseTcbSync(Rule):
+    name = "use-tcb-sync"
+    description = ("raw std synchronization primitives (mutex, "
+                   "condition_variable, lock_guard, unique_lock, ...) are "
+                   "confined to src/parallel/sync.hpp; everything else uses "
+                   "the annotated tcb::Mutex/CondVar/MutexLock wrappers so "
+                   "Clang Thread Safety Analysis can check the lock "
+                   "discipline")
+    OWNER = "src/parallel/sync.hpp"
+    PATTERN = re.compile(
+        r"\bstd\s*::\s*(mutex|timed_mutex|recursive_mutex|"
+        r"recursive_timed_mutex|shared_mutex|shared_timed_mutex|"
+        r"condition_variable(_any)?|lock_guard|unique_lock|scoped_lock|"
+        r"shared_lock)\b")
+
+    def applies_to(self, path: str) -> bool:
+        in_scope = path.startswith(("src/", "tests/", "bench/", "examples/"))
+        return in_scope and path != self.OWNER
+
+    def check(self, sf: SourceFile) -> list[Finding]:
+        return _scan_lines(
+            sf, self.PATTERN, self.name,
+            "raw synchronization primitive outside parallel/sync.hpp; use "
+            "tcb::Mutex / tcb::CondVar / tcb::MutexLock so the thread "
+            "safety analysis sees the lock")
+
+
+@register
+class AnnotatedSharedState(Rule):
+    name = "annotated-shared-state"
+    description = ("every tcb::Mutex or std::atomic declaration in src/ "
+                   "must declare its role in the lock discipline: "
+                   "TCB_GUARDS(...) on a mutex (what it protects), "
+                   "TCB_GUARDED_BY(...) or TCB_LOCK_FREE on an atomic, or "
+                   "an explicit // tcb-lint: allow(annotated-shared-state)")
+    # A mutex- or atomic-typed declaration starting a line. MutexLock (the
+    # scope) is excluded by the lookahead; raw std mutexes are use-tcb-sync's
+    # business, so only the sanctioned tcb::Mutex and std::atomic are here.
+    DECL_RE = re.compile(
+        r"^\s*(?:mutable\s+)?(?:static\s+)?"
+        r"(?:(?:tcb\s*::\s*)?Mutex(?!Lock)\b"
+        r"|std\s*::\s*atomic(?:_flag\b|\w*\b)?(?:\s*<[^;{}()]*>)?)"
+        r"\s+\w+")
+    ANNOT_RE = re.compile(
+        r"\bTCB_(GUARDS|GUARDED_BY|PT_GUARDED_BY|LOCK_FREE|"
+        r"ACQUIRED_BEFORE|ACQUIRED_AFTER)\b")
+
+    def applies_to(self, path: str) -> bool:
+        return path.startswith("src/")
+
+    def check(self, sf: SourceFile) -> list[Finding]:
+        out = []
+        for idx, line in enumerate(sf.lines, start=1):
+            if not self.DECL_RE.match(line):
+                continue
+            # The annotation may sit on the declaration's continuation line
+            # when the declarator wraps; join until the terminating ';'.
+            stmt = line
+            if ";" not in line and idx < len(sf.lines):
+                stmt += " " + sf.lines[idx]
+            if self.ANNOT_RE.search(stmt) or sf.suppressed(self.name, idx):
+                continue
+            out.append(Finding(
+                self.name, sf.path, idx,
+                "mutex/atomic declaration without a lock-discipline "
+                "annotation; add TCB_GUARDS(...) / TCB_GUARDED_BY(...) / "
+                "TCB_LOCK_FREE (see src/parallel/sync.hpp and DESIGN.md §9)"))
+        return out
+
+
+@register
 class IncludeLayering(Rule):
     name = "include-layering"
     description = ("#include edges between src/ modules must follow the "
@@ -514,7 +595,7 @@ class IncludeLayering(Rule):
         "util": set(),
         "parallel": {"util"},
         "tensor": {"parallel", "util"},
-        "batching": {"tensor", "util"},
+        "batching": {"parallel", "tensor", "util"},
         "text": {"batching", "tensor", "util"},
         "workload": {"batching", "tensor", "util"},
         "sched": {"batching", "tensor", "util"},
