@@ -21,6 +21,8 @@ int main() {
   cfg.sched.batch_rows = 8;
   cfg.sched.row_capacity = 64;
   cfg.max_decode_steps = 12;
+  cfg.workers = 4;  // engine batches execute concurrently; dynamics stay
+                    // deterministic (simulated time comes from the cost model)
   TcbSystem tcb{cfg};
 
   // 2. Generate an online trace: Poisson arrivals, truncated-normal lengths,
@@ -64,5 +66,6 @@ int main() {
       result.total_utility, result.makespan);
   std::printf("peak KV bytes=%zu, freed early=%zu (slotted early cleaning)\n",
               result.peak_kv_bytes, result.early_freed_bytes);
+  std::printf("pipeline: %s\n", result.report.summary().c_str());
   return 0;
 }

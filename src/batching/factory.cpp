@@ -1,0 +1,34 @@
+#include "batching/factory.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "batching/concat_batcher.hpp"
+#include "batching/naive_batcher.hpp"
+#include "batching/slotted_batcher.hpp"
+#include "batching/turbo_batcher.hpp"
+
+namespace tcb {
+
+BatchBuildResult build_with_scheme(Scheme scheme, std::vector<Request> ordered,
+                                   Row batch_rows, Col row_capacity,
+                                   Index slot_len) {
+  switch (scheme) {
+    case Scheme::kNaive:
+      return NaiveBatcher{}.build(std::move(ordered), batch_rows, row_capacity);
+    case Scheme::kTurbo:
+      return TurboBatcher{}.build(std::move(ordered), batch_rows, row_capacity);
+    case Scheme::kConcatPure:
+      return ConcatBatcher{}.build(std::move(ordered), batch_rows,
+                                   row_capacity);
+    case Scheme::kConcatSlotted: {
+      // z <= 0: one slot spanning the whole row (degenerate but well-formed).
+      const Index z = slot_len > 0 ? slot_len : row_capacity.value();
+      return SlottedConcatBatcher{z}.build(std::move(ordered), batch_rows,
+                                           row_capacity);
+    }
+  }
+  throw std::invalid_argument("build_with_scheme: unknown scheme");
+}
+
+}  // namespace tcb

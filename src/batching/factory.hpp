@@ -1,0 +1,22 @@
+// Scheme-dispatched batch formation — the single place that maps a Scheme
+// to its Batcher. Every serving path used to carry its own copy of this
+// switch; the staged pipeline (serving/pipeline.cpp) now owns batch
+// formation and calls this one helper instead (DESIGN.md §10.2).
+#pragma once
+
+#include "batching/batch_plan.hpp"
+
+namespace tcb {
+
+/// Lays `ordered` (the scheduler's selection, in selection order) out under
+/// `scheme`. `slot_len` is the slotted scheme's z; a value <= 0 falls back
+/// to one slot spanning the whole row (z = row_capacity), matching the
+/// degenerate-slot convention of the pre-pipeline serving loops. The other
+/// schemes ignore it.
+[[nodiscard]] BatchBuildResult build_with_scheme(Scheme scheme,
+                                                 std::vector<Request> ordered,
+                                                 Row batch_rows,
+                                                 Col row_capacity,
+                                                 Index slot_len = 0);
+
+}  // namespace tcb

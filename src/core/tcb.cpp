@@ -1,154 +1,26 @@
 #include "core/tcb.hpp"
 
-#include <algorithm>
-#include <functional>
 #include <stdexcept>
-#include <unordered_map>
-
-#include "batching/concat_batcher.hpp"
-#include "batching/naive_batcher.hpp"
-#include "batching/packed_batch.hpp"
-#include "batching/slotted_batcher.hpp"
-#include "batching/turbo_batcher.hpp"
-#include "util/check.hpp"
+#include <utility>
 
 namespace tcb {
 namespace {
 
-/// Processes one packed batch on the engine; fills the responses (without
-/// scheduled/completed times, which the loop owns) and returns memory stats.
-struct BatchOutcome {
-  std::vector<Response> responses;
-  std::size_t peak_kv_bytes = 0;
-  std::size_t early_freed_bytes = 0;
-};
-
-using BatchFn = std::function<BatchOutcome(const PackedBatch&)>;
-
-/// How the virtual clock prices a batch: full seq2seq inference (encode +
-/// auto-regressive decode) or encoder-only classification.
-enum class ClockMode : std::uint8_t { kSeq2Seq, kEncoderOnly };
-
-/// Virtual-clock advance for one batch. The engine-backed loop runs the real
-/// CPU engine for *outputs*, but advances serving time with the analytical
-/// cost model of the configured model on the configured hardware profile.
-/// Pricing from the plan geometry keeps the serving dynamics — queueing,
-/// deadline expiry, utility — deterministic and independent of how fast the
-/// host machine happens to execute the engine.
-double batch_clock_seconds(const AnalyticalCostModel& clock,
-                           const BatchPlan& plan, ClockMode mode) {
-  const CostBreakdown cost = clock.breakdown(plan);
-  const double seconds = mode == ClockMode::kEncoderOnly
-                             ? cost.encoder_seconds + cost.overhead_seconds
-                             : cost.total_seconds();
-  TCB_CHECK(seconds > 0.0, "batch clock must advance");
-  return seconds;
+InferenceOptions engine_options(const TcbConfig& cfg) {
+  InferenceOptions opts;
+  opts.mode = cfg.scheme == Scheme::kConcatSlotted ? AttentionMode::kSlotted
+                                                   : AttentionMode::kPureConcat;
+  opts.max_decode_steps = cfg.max_decode_steps;
+  opts.early_memory_cleaning = cfg.early_memory_cleaning;
+  return opts;
 }
 
-/// The engine-backed serving loop shared by seq2seq and classification
-/// serving: deliver arrivals, evict unschedulable requests, schedule, lay
-/// out, run the engine (advancing the virtual clock with `clock`), account.
-ServeResult run_engine_loop(const TcbConfig& cfg, const Scheduler& scheduler,
-                            const AnalyticalCostModel& clock, ClockMode mode,
-                            const std::vector<Request>& trace,
-                            const BatchFn& run_batch) {
-  for (const auto& req : trace)
-    if (static_cast<Index>(req.tokens.size()) != req.length)
-      throw std::invalid_argument(
-          "TcbSystem: request " + std::to_string(req.id) +
-          " has no token payload (generate the trace with with_tokens=true)");
-
-  const NaiveBatcher naive;
-  const TurboBatcher turbo;
-  const ConcatBatcher concat;
-
-  ServeResult result;
-  double now = 0.0;
-  std::size_t next_arrival = 0;
-  std::vector<Request> pending;
-
-  while (true) {
-    while (next_arrival < trace.size() && trace[next_arrival].arrival <= now) {
-      pending.push_back(trace[next_arrival]);
-      ++next_arrival;
-    }
-    result.failed +=
-        evict_unschedulable(now, cfg.sched.row_capacity, pending).size();
-
-    if (pending.empty()) {
-      if (next_arrival >= trace.size()) break;
-      now = trace[next_arrival].arrival;
-      continue;
-    }
-
-    const Selection sel = scheduler.select(now, pending);
-
-    BatchBuildResult built;
-    switch (cfg.scheme) {
-      case Scheme::kNaive:
-        built = naive.build(sel.ordered, Row{cfg.sched.batch_rows},
-                            Col{cfg.sched.row_capacity});
-        break;
-      case Scheme::kTurbo:
-        built = turbo.build(sel.ordered, Row{cfg.sched.batch_rows},
-                            Col{cfg.sched.row_capacity});
-        break;
-      case Scheme::kConcatPure:
-        built = concat.build(sel.ordered, Row{cfg.sched.batch_rows},
-                             Col{cfg.sched.row_capacity});
-        break;
-      case Scheme::kConcatSlotted: {
-        const Index z = sel.slot_len > 0 ? sel.slot_len : cfg.sched.row_capacity;
-        const SlottedConcatBatcher slotted(z);
-        built = slotted.build(sel.ordered, Row{cfg.sched.batch_rows},
-                              Col{cfg.sched.row_capacity});
-        break;
-      }
-    }
-
-    if (built.plan.empty()) {
-      if (next_arrival < trace.size()) {
-        now = std::max(now, trace[next_arrival].arrival);
-        continue;
-      }
-      result.failed += pending.size();
-      break;
-    }
-
-    std::unordered_map<RequestId, const Request*> by_id;
-    for (const auto& req : pending) by_id.emplace(req.id, &req);
-    const PackedBatch packed = pack_batch(built.plan, by_id);
-
-    BatchOutcome outcome = run_batch(packed);
-    const double batch_time = batch_clock_seconds(clock, built.plan, mode);
-    const double completion = now + batch_time;
-
-    result.peak_kv_bytes = std::max(result.peak_kv_bytes, outcome.peak_kv_bytes);
-    result.early_freed_bytes += outcome.early_freed_bytes;
-
-    std::unordered_map<RequestId, double> scheduled;
-    for (const auto id : built.plan.request_ids()) scheduled.emplace(id, now);
-    for (auto& resp : outcome.responses) {
-      resp.scheduled_at = scheduled.at(resp.id);
-      resp.completed_at = completion;
-      result.responses.push_back(std::move(resp));
-    }
-    for (const auto& req : pending)
-      if (scheduled.contains(req.id)) result.total_utility += req.utility();
-    pending.erase(std::remove_if(pending.begin(), pending.end(),
-                                 [&](const Request& r) {
-                                   return scheduled.contains(r.id);
-                                 }),
-                  pending.end());
-
-    ++result.batches;
-    now = completion;
-    result.makespan = now;
-  }
-
-  std::sort(result.responses.begin(), result.responses.end(),
-            [](const Response& a, const Response& b) { return a.id < b.id; });
-  return result;
+PipelineConfig pipeline_config(const TcbConfig& cfg) {
+  PipelineConfig pipe;
+  pipe.scheme = cfg.scheme;
+  pipe.fixed_slot_len = 0;  // Slotted-DAS picks z per batch
+  pipe.workers = cfg.workers;
+  return pipe;
 }
 
 }  // namespace
@@ -161,6 +33,8 @@ void TcbConfig::validate() const {
         "TcbConfig: row_capacity exceeds the model's max_len");
   if (max_decode_steps <= 0)
     throw std::invalid_argument("TcbConfig: max_decode_steps must be >= 1");
+  if (workers == 0)
+    throw std::invalid_argument("TcbConfig: workers must be >= 1");
   // Constructs and discards to surface bad scheduler names early.
   (void)make_scheduler(scheduler, sched);
 }
@@ -175,57 +49,45 @@ TcbSystem::TcbSystem(TcbConfig cfg) : cfg_(std::move(cfg)) {
       std::make_unique<AnalyticalCostModel>(cfg_.model, cfg_.hardware);
 }
 
+ServeResult TcbSystem::run_pipeline(const ExecutionBackend& backend,
+                                    const std::vector<Request>& trace) const {
+  const VirtualClock clock;
+  const ServingPipeline pipeline(*scheduler_, backend, clock,
+                                 pipeline_config(cfg_));
+  PipelineResult run = pipeline.run(trace);
+  ServeResult result;
+  result.responses = std::move(run.responses);
+  result.failed = run.report.failed;
+  result.total_utility = run.report.total_utility;
+  result.makespan = run.report.makespan;
+  result.batches = run.report.batches;
+  result.peak_kv_bytes = run.peak_kv_bytes;
+  result.early_freed_bytes = run.early_freed_bytes;
+  result.report = std::move(run.report);
+  return result;
+}
+
 ServingReport TcbSystem::simulate(const std::vector<Request>& trace) const {
-  SimulatorConfig sim;
-  sim.scheme = cfg_.scheme;
-  sim.fixed_slot_len = 0;
-  const ServingSimulator simulator(*scheduler_, *analytical_, sim);
-  return simulator.run(trace);
+  const AnalyticalBackend backend(*analytical_);
+  const VirtualClock clock;
+  const ServingPipeline pipeline(*scheduler_, backend, clock,
+                                 pipeline_config(cfg_));
+  return pipeline.run(trace).report;
 }
 
 ServeResult TcbSystem::serve(const std::vector<Request>& trace) const {
-  InferenceOptions opts;
-  opts.mode = cfg_.scheme == Scheme::kConcatSlotted ? AttentionMode::kSlotted
-                                                    : AttentionMode::kPureConcat;
-  opts.max_decode_steps = cfg_.max_decode_steps;
-  opts.early_memory_cleaning = cfg_.early_memory_cleaning;
-
-  return run_engine_loop(
-      cfg_, *scheduler_, *engine_clock_, ClockMode::kSeq2Seq, trace,
-      [&](const PackedBatch& packed) {
-        InferenceResult inf = model_->infer(packed, opts);
-        BatchOutcome outcome;
-        outcome.peak_kv_bytes = inf.peak_kv_bytes;
-        outcome.early_freed_bytes = inf.early_freed_bytes;
-        for (auto& [id, tokens] : inf.outputs) {
-          Response resp;
-          resp.id = id;
-          resp.tokens = std::move(tokens);
-          outcome.responses.push_back(std::move(resp));
-        }
-        return outcome;
-      });
+  const EngineBackend backend(model_, *engine_clock_, engine_options(cfg_));
+  return run_pipeline(backend, trace);
 }
 
 ServeResult TcbSystem::serve_classify(const std::vector<Request>& trace,
                                       const ClassificationHead& head) const {
   InferenceOptions opts;
-  opts.mode = cfg_.scheme == Scheme::kConcatSlotted ? AttentionMode::kSlotted
-                                                    : AttentionMode::kPureConcat;
-
-  return run_engine_loop(
-      cfg_, *scheduler_, *engine_clock_, ClockMode::kEncoderOnly, trace,
-      [&](const PackedBatch& packed) {
-        const EncoderMemory memory = model_->encode(packed, opts);
-        BatchOutcome outcome;
-        for (const auto& [id, label] : head.classify(memory)) {
-          Response resp;
-          resp.id = id;
-          resp.label = label;
-          outcome.responses.push_back(std::move(resp));
-        }
-        return outcome;
-      });
+  opts.mode = cfg_.scheme == Scheme::kConcatSlotted
+                  ? AttentionMode::kSlotted
+                  : AttentionMode::kPureConcat;
+  const EngineBackend backend(model_, *engine_clock_, opts, &head);
+  return run_pipeline(backend, trace);
 }
 
 }  // namespace tcb

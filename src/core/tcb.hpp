@@ -2,17 +2,21 @@
 //
 // It wires the pluggable scheduler (DAS / Slotted-DAS / baselines), the
 // batching scheme (naive / turbo / pure concat / slotted concat) and the
-// ConcatBatching-aware inference engine together, and offers two modes:
+// ConcatBatching-aware inference engine together. Every mode is a thin
+// configuration of the staged ServingPipeline (serving/pipeline.hpp,
+// DESIGN.md §10) on a VirtualClock — results are bit-identical across
+// machines:
 //
-//   * serve()    — runs the real CPU transformer engine batch by batch for
-//                  the outputs, while advancing a virtual clock with the
-//                  analytical cost model of the configured model on the
-//                  configured hardware profile. Pricing batches from plan
-//                  geometry (not host wall time) makes the serving dynamics
-//                  — queueing, deadline expiry, utility — deterministic and
-//                  independent of the machine running the tests.
-//   * simulate() — prices batches with the analytical V100-like cost model
-//                  instead of executing them; this is what the
+//   * serve()    — EngineBackend: runs the real CPU transformer batch by
+//                  batch for the outputs, while advancing simulated time
+//                  with the analytical cost model of the configured model on
+//                  the configured hardware profile. Pricing batches from
+//                  plan geometry (not host wall time) makes the serving
+//                  dynamics — queueing, deadline expiry, utility —
+//                  deterministic. With cfg.workers > 1, batches execute
+//                  concurrently on the thread pool.
+//   * simulate() — AnalyticalBackend: prices batches with the V100-like
+//                  cost model instead of executing them; this is what the
 //                  paper-scale serving benches use (40-1500 req/s).
 //   * serve_classify() — encoder-only (BERT/GLUE-style) serving with a
 //                  ClassificationHead; no auto-regressive decoding.
@@ -32,7 +36,7 @@
 #include "nn/classifier.hpp"
 #include "nn/model.hpp"
 #include "sched/factory.hpp"
-#include "serving/simulator.hpp"
+#include "serving/pipeline.hpp"
 #include "workload/trace.hpp"
 
 namespace tcb {
@@ -46,17 +50,12 @@ struct TcbConfig {
   HardwareProfile hardware = HardwareProfile::v100_like();
   Index max_decode_steps = 32;
   bool early_memory_cleaning = true;
+  /// Accelerator slots sharing the pending queue; >1 runs real engine
+  /// batches concurrently on the thread pool (serving dynamics stay
+  /// deterministic — simulated time is analytical either way).
+  std::size_t workers = 1;
 
   void validate() const;
-};
-
-/// One served request.
-struct Response {
-  RequestId id = -1;
-  double scheduled_at = 0.0;
-  double completed_at = 0.0;
-  std::vector<Index> tokens;  ///< generated output tokens (seq2seq serving)
-  Index label = -1;           ///< predicted class (classification serving)
 };
 
 /// Outcome of TcbSystem::serve().
@@ -68,6 +67,8 @@ struct ServeResult {
   std::size_t batches = 0;
   std::size_t peak_kv_bytes = 0;   ///< max over batches
   std::size_t early_freed_bytes = 0;
+  ServingReport report;            ///< full pipeline report (stage timings,
+                                   ///< per-worker busy time, queue stats)
 };
 
 class TcbSystem {
@@ -93,11 +94,16 @@ class TcbSystem {
                                            const ClassificationHead& head) const;
 
  private:
+  /// Runs `backend` through the pipeline on a VirtualClock and repackages
+  /// the PipelineResult as a ServeResult.
+  [[nodiscard]] ServeResult run_pipeline(const ExecutionBackend& backend,
+                                         const std::vector<Request>& trace) const;
+
   TcbConfig cfg_;
   std::shared_ptr<const Seq2SeqModel> model_;
   std::unique_ptr<Scheduler> scheduler_;
   std::unique_ptr<AnalyticalCostModel> analytical_;
-  /// Prices the engine loops' virtual clock: cfg_.model on cfg_.hardware
+  /// Prices the engine backend's virtual clock: cfg_.model on cfg_.hardware
   /// (unlike analytical_, which prices paper-scale simulation batches).
   std::unique_ptr<AnalyticalCostModel> engine_clock_;
 };

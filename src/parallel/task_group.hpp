@@ -1,0 +1,51 @@
+// TaskGroup — structured join for a set of ThreadPool::submit futures.
+//
+// The serving pipeline dispatches engine batches to the pool and must not
+// let any of them outlive the state they write into. TaskGroup gives that
+// guarantee the RAII way: declare the shared state first, the TaskGroup
+// after it, and every task is joined (by join() or, on an exception path,
+// by the destructor) before the state can be destroyed.
+//
+// join() rethrows the first task exception it encounters; the destructor
+// then still waits for the remaining tasks, so a throwing join never leaves
+// a task running against freed state.
+#pragma once
+
+#include <future>
+#include <utility>
+#include <vector>
+
+#include "parallel/thread_pool.hpp"
+
+namespace tcb {
+
+class TaskGroup {
+ public:
+  TaskGroup() = default;
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Waits for every task still in flight; exceptions are swallowed here
+  /// (call join() to observe them).
+  ~TaskGroup() {
+    for (auto& f : futures_)
+      if (f.valid()) f.wait();
+  }
+
+  /// Tracks a future returned by ThreadPool::submit.
+  void add(std::future<void> f) { futures_.push_back(std::move(f)); }
+
+  /// Waits for every tracked task and rethrows the first stored exception.
+  /// If one throws, the destructor still waits out the rest.
+  void join() {
+    for (auto& f : futures_) f.get();
+    futures_.clear();
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return futures_.size(); }
+
+ private:
+  std::vector<std::future<void>> futures_;
+};
+
+}  // namespace tcb

@@ -1,0 +1,63 @@
+#include "serving/backend.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "batching/packed_batch.hpp"
+#include "util/check.hpp"
+
+namespace tcb {
+
+EngineBackend::EngineBackend(std::shared_ptr<const Seq2SeqModel> model,
+                             const AnalyticalCostModel& clock,
+                             InferenceOptions opts,
+                             const ClassificationHead* head)
+    : model_(std::move(model)), clock_(clock), opts_(opts), head_(head) {
+  TCB_CHECK(model_ != nullptr, "EngineBackend: model must not be null");
+}
+
+double EngineBackend::batch_seconds(const BatchPlan& plan) const {
+  // Encoder-only serving (classification) skips the auto-regressive decode,
+  // so its clock advances by encoder + overhead only (paper §5.2).
+  const CostBreakdown cost = clock_.breakdown(plan);
+  const double seconds = head_ != nullptr
+                             ? cost.encoder_seconds + cost.overhead_seconds
+                             : cost.total_seconds();
+  TCB_CHECK(seconds > 0.0, "EngineBackend: batch clock must advance");
+  return seconds;
+}
+
+BatchExecution EngineBackend::execute(const BatchWork& work) const {
+  const PackedBatch packed = pack_batch(work.plan, work.requests);
+  BatchExecution out;
+  if (head_ != nullptr) {
+    const EncoderMemory memory = model_->encode(packed, opts_);
+    for (const auto& [id, label] : head_->classify(memory)) {
+      Response resp;
+      resp.id = id;
+      resp.label = label;
+      out.responses.push_back(std::move(resp));
+    }
+    return out;
+  }
+  InferenceResult inf = model_->infer(packed, opts_);
+  out.peak_kv_bytes = inf.peak_kv_bytes;
+  out.early_freed_bytes = inf.early_freed_bytes;
+  for (auto& [id, tokens] : inf.outputs) {
+    Response resp;
+    resp.id = id;
+    resp.tokens = std::move(tokens);
+    out.responses.push_back(std::move(resp));
+  }
+  return out;
+}
+
+void EngineBackend::validate_trace(const std::vector<Request>& trace) const {
+  for (const auto& req : trace)
+    if (static_cast<Index>(req.tokens.size()) != req.length)
+      throw std::invalid_argument(
+          "EngineBackend: request " + std::to_string(req.id) +
+          " has no token payload (generate the trace with with_tokens=true)");
+}
+
+}  // namespace tcb

@@ -1,0 +1,51 @@
+// Pipeline time source (DESIGN.md §10.3).
+//
+// The serving pipeline advances *simulated* time analytically (batch prices
+// from the cost model); the Clock here is only for measuring the pipeline's
+// own overhead — how long admission, selection, batching and execution take
+// on the host. Two implementations:
+//
+//   * VirtualClock — returns 0 forever, so every stage-timing diff is 0.
+//     This is the default for tests and TcbSystem: results contain no wall
+//     time at all and are bit-identical across machines.
+//   * WallClock — monotonic wall time since construction. Reserved for the
+//     benches (Fig. 16 scheduler overhead, the worker-scaling study) and the
+//     default ServingSimulator, whose reports quote real stage overheads.
+//
+// The contract is deliberately tiny: now() is const, thread-safe, and
+// monotone non-decreasing; stage timings are computed as differences, so the
+// epoch is irrelevant.
+#pragma once
+
+#include "util/timer.hpp"
+
+namespace tcb {
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  /// Seconds since an arbitrary epoch; monotone, thread-safe.
+  [[nodiscard]] virtual double now() const = 0;
+};
+
+/// Time stands still: all stage timings come out exactly 0.
+class VirtualClock final : public Clock {
+ public:
+  [[nodiscard]] double now() const override { return 0.0; }
+};
+
+/// Monotonic wall clock for overhead measurement. This is the single
+/// sanctioned wall-time read in the serving layer: decisions never depend on
+/// it, only the overhead numbers in ServingReport do.
+class WallClock final : public Clock {
+ public:
+  [[nodiscard]] double now() const override {
+    return timer_.elapsed_seconds();
+  }
+
+ private:
+  // tcb-lint: allow(no-wall-clock-in-sched)
+  Timer timer_;
+};
+
+}  // namespace tcb

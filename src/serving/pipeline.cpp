@@ -1,0 +1,292 @@
+#include "serving/pipeline.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "batching/factory.hpp"
+#include "parallel/sync.hpp"
+#include "parallel/task_group.hpp"
+#include "parallel/thread_pool.hpp"
+#include "serving/request_queue.hpp"
+#include "util/check.hpp"
+#include "util/csv.hpp"
+
+namespace tcb {
+namespace {
+
+/// Collection point for batch executions finishing on pool workers (stage 5
+/// -> stage 6 hand-off). The coordinator takes everything once after the
+/// TaskGroup joined, so push() contention is the only synchronized section.
+class ExecutionLedger {
+ public:
+  void push(BatchExecution exec, double exec_seconds) TCB_EXCLUDES(mutex_) {
+    const MutexLock lock(mutex_);
+    executions_.push_back(std::move(exec));
+    execute_seconds_ += exec_seconds;
+  }
+
+  /// Coordinator-only, after every in-flight task joined.
+  [[nodiscard]] std::vector<BatchExecution> take(double* execute_seconds)
+      TCB_EXCLUDES(mutex_) {
+    const MutexLock lock(mutex_);
+    *execute_seconds += execute_seconds_;
+    execute_seconds_ = 0.0;
+    return std::exchange(executions_, {});
+  }
+
+ private:
+  Mutex mutex_ TCB_GUARDS(executions_, execute_seconds_);
+  std::vector<BatchExecution> executions_ TCB_GUARDED_BY(mutex_);
+  double execute_seconds_ TCB_GUARDED_BY(mutex_) = 0.0;
+};
+
+/// Moves everything admitted so far into the working pending set and
+/// restores the canonical (arrival, id) order. drain_by_deadline hands the
+/// set over earliest-deadline-first (the shape DAS's N^D_t scan wants), but
+/// scheduler decisions must be a function of the request *set*, not of the
+/// admission interleaving — the re-sort makes the pipeline's pending order
+/// identical to the pre-pipeline loops' arrival-order append.
+void drain_admission(RequestQueue& queue, std::vector<Request>& pending) {
+  std::vector<Request> drained = queue.drain_by_deadline();
+  if (drained.empty()) return;
+  for (auto& req : drained) pending.push_back(std::move(req));
+  std::sort(pending.begin(), pending.end(),
+            [](const Request& a, const Request& b) {
+              if (a.arrival != b.arrival) return a.arrival < b.arrival;
+              return a.id < b.id;
+            });
+}
+
+}  // namespace
+
+std::string ServingReport::summary() const {
+  std::string out = scheduler + "-" + scheme;
+  out += " arrived=" + std::to_string(arrived);
+  out += " completed=" + std::to_string(completed);
+  out += " failed=" + std::to_string(failed);
+  out += " utility=" + format_number(total_utility);
+  out += " throughput=" + format_number(throughput) + "/s";
+  out += " batches=" + std::to_string(batches);
+  out += " stage_seconds[admission=" + format_number(admission_seconds) +
+         " scheduler=" + format_number(scheduler_seconds) +
+         " batching=" + format_number(batching_seconds) +
+         " execute=" + format_number(execute_seconds) + "]";
+  if (worker_busy_seconds.size() > 1) {
+    out += " worker_busy=[";
+    for (std::size_t w = 0; w < worker_busy_seconds.size(); ++w) {
+      if (w != 0) out += " ";
+      out += format_number(worker_busy_seconds[w]);
+    }
+    out += "]";
+  }
+  if (backpressure_events != 0)
+    out += " backpressure=" + std::to_string(backpressure_events);
+  return out;
+}
+
+ServingPipeline::ServingPipeline(const Scheduler& scheduler,
+                                 const ExecutionBackend& backend,
+                                 const Clock& clock, PipelineConfig cfg)
+    : scheduler_(scheduler), backend_(backend), clock_(clock), cfg_(cfg) {
+  if (cfg_.scheme == Scheme::kConcatSlotted && cfg_.fixed_slot_len < 0)
+    throw std::invalid_argument("ServingPipeline: negative fixed_slot_len");
+  if (cfg_.workers == 0)
+    throw std::invalid_argument("ServingPipeline: need >= 1 worker");
+  if (cfg_.admission_capacity == 0)
+    throw std::invalid_argument(
+        "ServingPipeline: need admission capacity >= 1");
+}
+
+PipelineResult ServingPipeline::run(const std::vector<Request>& trace) const {
+  backend_.validate_trace(trace);
+
+  const SchedulerConfig& sched_cfg = scheduler_.config();
+  PipelineResult result;
+  ServingReport& report = result.report;
+  report.scheduler = scheduler_.name();
+  report.scheme = scheme_name(cfg_.scheme);
+  report.arrived = trace.size();
+  report.worker_busy_seconds.assign(cfg_.workers, 0.0);
+
+  double trace_end = 0.0;
+  for (const auto& req : trace) trace_end = std::max(trace_end, req.arrival);
+
+  // Stage 1 state: the bounded admission queue. The driver below is
+  // single-threaded (arrivals come from the trace), so a full queue drains
+  // inline; a concurrent ingest frontend would block in push() instead.
+  RequestQueue admission(cfg_.admission_capacity);
+
+  // Stage 5/6 state. Order matters: the ledger outlives the TaskGroup, so
+  // every in-flight execution joins before the ledger can be destroyed.
+  ExecutionLedger ledger;
+  TaskGroup inflight;
+  const bool offload = backend_.offload() && cfg_.workers > 1 &&
+                       ThreadPool::global().worker_count() > 0;
+
+  // Each accelerator is represented by the time it next becomes idle; idle
+  // workers pull the scheduler's next selection in turn.
+  std::vector<double> worker_free(cfg_.workers, 0.0);
+  std::size_t next_arrival = 0;
+  std::vector<Request> pending;  ///< drained, unscheduled; (arrival, id) order
+  /// id -> (scheduled_at, completed_at): stamps responses exactly once in
+  /// stage 6, and double-checks the backend never invents request ids.
+  std::unordered_map<RequestId, std::pair<double, double>> service_times;
+  std::vector<BatchExecution> inline_executions;
+  bool stop = false;
+
+  while (!stop) {
+    // The earliest-idle worker makes the next scheduling decision.
+    const auto idle_it =
+        std::min_element(worker_free.begin(), worker_free.end());
+    const std::size_t worker =
+        static_cast<std::size_t>(idle_it - worker_free.begin());
+    const double now = *idle_it;
+
+    // ---- Stage 1: admission -------------------------------------------
+    const double admission_t0 = clock_.now();
+    while (next_arrival < trace.size() &&
+           trace[next_arrival].arrival <= now) {
+      if (!admission.try_push(trace[next_arrival])) {
+        // Bounded-queue backpressure: the arrival waits at the edge until a
+        // drain frees the queue.
+        ++report.backpressure_events;
+        drain_admission(admission, pending);
+        TCB_CHECK(admission.try_push(trace[next_arrival]),
+                  "ServingPipeline: admission queue full after drain");
+      }
+      ++next_arrival;
+    }
+    report.admission_queue_depth.add(static_cast<double>(admission.size()));
+    drain_admission(admission, pending);
+
+    // Fail requests that expired in the queue or can never fit a row.
+    report.failed +=
+        evict_unschedulable(now, sched_cfg.row_capacity, pending).size();
+    report.admission_seconds += clock_.now() - admission_t0;
+
+    if (pending.empty()) {
+      if (next_arrival >= trace.size()) break;  // drained
+      *idle_it = trace[next_arrival].arrival;   // idle until the next arrival
+      continue;
+    }
+    report.queue_depth.add(static_cast<double>(pending.size()));
+
+    // ---- Stage 2: scheduler selection ---------------------------------
+    // Timed with the pipeline Clock (this is what Fig. 16 reports); the
+    // reading never influences a decision.
+    const double select_t0 = clock_.now();
+    Selection sel = scheduler_.select(now, pending);
+    report.scheduler_seconds += clock_.now() - select_t0;
+
+    // ---- Stage 3: batch formation -------------------------------------
+    const double batch_t0 = clock_.now();
+    const Index slot_len =
+        sel.slot_len > 0 ? sel.slot_len : cfg_.fixed_slot_len;
+    BatchBuildResult built = build_with_scheme(
+        cfg_.scheme, std::move(sel.ordered), Row{sched_cfg.batch_rows},
+        Col{sched_cfg.row_capacity}, slot_len);
+    report.batching_seconds += clock_.now() - batch_t0;
+
+    if (built.plan.empty()) {
+      // The selection could not be placed at all (e.g. every candidate is
+      // longer than the slot). Avoid a zero-progress spin: jump to the next
+      // arrival if any, otherwise fail what is left.
+      if (next_arrival < trace.size()) {
+        *idle_it = std::max(now, trace[next_arrival].arrival);
+        continue;
+      }
+      report.failed += pending.size();
+      pending.clear();
+      break;
+    }
+
+    // ---- Stage 4: pricing ---------------------------------------------
+    const double batch_time = backend_.batch_seconds(built.plan);
+    if (!(batch_time > 0.0))
+      throw std::logic_error("ServingPipeline: non-positive batch time");
+    const double completion = now + batch_time;
+
+    // Completion accounting happens at dispatch: simulated times are fully
+    // determined here, whether or not execution is deferred to a worker.
+    std::unordered_set<RequestId> served;
+    for (const auto id : built.plan.request_ids()) served.insert(id);
+    BatchWork work;
+    work.plan = std::move(built.plan);
+    work.requests.reserve(served.size());
+    double used_tokens = 0.0;
+    for (const auto& req : pending) {
+      if (!served.contains(req.id)) continue;
+      report.total_utility += req.utility();
+      report.latency.add(completion - req.arrival);
+      used_tokens += static_cast<double>(req.length);
+      ++report.completed;
+      service_times.emplace(req.id, std::make_pair(now, completion));
+      work.requests.push_back(req);
+    }
+    pending.erase(std::remove_if(pending.begin(), pending.end(),
+                                 [&](const Request& r) {
+                                   return served.contains(r.id);
+                                 }),
+                  pending.end());
+
+    ++report.batches;
+    report.busy_seconds += batch_time;
+    report.worker_busy_seconds[worker] += batch_time;
+    report.batch_seconds.add(batch_time);
+    report.batch_requests.add(static_cast<double>(served.size()));
+    report.batch_occupancy.add(
+        used_tokens / static_cast<double>(sched_cfg.batch_rows *
+                                          sched_cfg.row_capacity));
+    *idle_it = completion;
+    report.makespan = std::max(report.makespan, completion);
+
+    // ---- Stage 5: execution -------------------------------------------
+    if (offload) {
+      // The worker owns its BatchWork; results meet the coordinator in the
+      // ledger. shared_ptr because ThreadPool::submit needs a copyable fn.
+      auto task = std::make_shared<BatchWork>(std::move(work));
+      inflight.add(ThreadPool::global().submit([this, task, &ledger] {
+        const double exec_t0 = clock_.now();
+        BatchExecution exec = backend_.execute(*task);
+        ledger.push(std::move(exec), clock_.now() - exec_t0);
+      }));
+    } else {
+      const double exec_t0 = clock_.now();
+      inline_executions.push_back(backend_.execute(work));
+      report.execute_seconds += clock_.now() - exec_t0;
+    }
+
+    if (cfg_.max_batches != 0 && report.batches >= cfg_.max_batches) {
+      report.failed += pending.size() + (trace.size() - next_arrival);
+      stop = true;
+    }
+  }
+
+  // ---- Stage 6: completion / accounting -------------------------------
+  inflight.join();  // rethrows the first execution failure
+  std::vector<BatchExecution> executions = ledger.take(&report.execute_seconds);
+  for (auto& exec : inline_executions) executions.push_back(std::move(exec));
+  for (auto& exec : executions) {
+    result.peak_kv_bytes = std::max(result.peak_kv_bytes, exec.peak_kv_bytes);
+    result.early_freed_bytes += exec.early_freed_bytes;
+    for (auto& resp : exec.responses) {
+      const auto& times = service_times.at(resp.id);  // throws on unknown id
+      resp.scheduled_at = times.first;
+      resp.completed_at = times.second;
+      result.responses.push_back(std::move(resp));
+    }
+  }
+  std::sort(result.responses.begin(), result.responses.end(),
+            [](const Response& a, const Response& b) { return a.id < b.id; });
+
+  const double horizon = std::max(report.makespan, trace_end);
+  report.throughput =
+      horizon > 0.0 ? static_cast<double>(report.completed) / horizon : 0.0;
+  return result;
+}
+
+}  // namespace tcb

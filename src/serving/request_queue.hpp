@@ -1,15 +1,19 @@
-// Bounded MPMC request-admission queue — the seed of the real serving
-// frontend (ROADMAP north star; TurboTransformers and CascadeInfer both put
-// a concurrent admission path in front of the batch scheduler).
+// Bounded MPMC request-admission queue — stage 1 of the staged serving
+// pipeline (serving/pipeline.hpp, DESIGN.md §10.1; TurboTransformers and
+// CascadeInfer both put a concurrent admission path in front of the batch
+// scheduler).
 //
 // Roles:
 //   * producers — RPC/ingest threads admitting Requests; push() blocks when
 //     the queue is full (bounded-capacity backpressure, so a traffic spike
-//     queues at the edge instead of ballooning resident memory);
+//     queues at the edge instead of ballooning resident memory). The
+//     pipeline's trace driver uses try_push and counts rejections as
+//     ServingReport::backpressure_events;
 //   * consumers — scheduler/worker threads taking requests one at a time
 //     (pop / try_pop), or snapshotting the whole admitted set in deadline
 //     order (drain_by_deadline — the shape DAS's pending-set scan wants,
-//     paper Algorithm 1 sorts N^D_t by earliest deadline).
+//     paper Algorithm 1 sorts N^D_t by earliest deadline). ServingPipeline
+//     drains before every scheduling decision.
 //
 // Shutdown: close() makes further pushes fail, wakes every waiter, and lets
 // consumers drain what was already admitted; pop() returns nullopt only when
@@ -55,7 +59,7 @@ class RequestQueue {
   /// nothing about closed-ness; poll closed() for shutdown).
   std::optional<Request> try_pop() TCB_EXCLUDES(mutex_);
 
-  /// Scheduler drain hook: atomically removes *all* admitted requests and
+  /// Scheduler drain: atomically removes *all* admitted requests and
   /// returns them sorted by (deadline, arrival, id) — earliest-deadline
   /// first, the order DAS's deadline-aware set N^D_t consumes. Wakes blocked
   /// producers (their backpressure wait just gained `capacity` slots).

@@ -1,32 +1,14 @@
 #include "serving/simulator.hpp"
 
-#include <algorithm>
 #include <stdexcept>
-#include <unordered_set>
-
-#include "batching/concat_batcher.hpp"
-#include "batching/naive_batcher.hpp"
-#include "batching/slotted_batcher.hpp"
-#include "batching/turbo_batcher.hpp"
-#include "util/csv.hpp"
-#include "util/timer.hpp"
 
 namespace tcb {
-
-std::string ServingReport::summary() const {
-  std::string out = scheduler + "-" + scheme;
-  out += " arrived=" + std::to_string(arrived);
-  out += " completed=" + std::to_string(completed);
-  out += " failed=" + std::to_string(failed);
-  out += " utility=" + format_number(total_utility);
-  out += " throughput=" + format_number(throughput) + "/s";
-  out += " batches=" + std::to_string(batches);
-  return out;
-}
 
 ServingSimulator::ServingSimulator(const Scheduler& scheduler,
                                    const CostModel& cost, SimulatorConfig cfg)
     : scheduler_(scheduler), cost_(cost), cfg_(cfg) {
+  // Validate eagerly (the pipeline would too) so misconfiguration surfaces
+  // at construction, not first run.
   if (cfg_.scheme == Scheme::kConcatSlotted && cfg_.fixed_slot_len < 0)
     throw std::invalid_argument("ServingSimulator: negative fixed_slot_len");
   if (cfg_.workers == 0)
@@ -34,135 +16,15 @@ ServingSimulator::ServingSimulator(const Scheduler& scheduler,
 }
 
 ServingReport ServingSimulator::run(const std::vector<Request>& trace) const {
-  const SchedulerConfig& sched_cfg = scheduler_.config();
-  ServingReport report;
-  report.scheduler = scheduler_.name();
-  report.scheme = scheme_name(cfg_.scheme);
-  report.arrived = trace.size();
-
-  const NaiveBatcher naive;
-  const TurboBatcher turbo;
-  const ConcatBatcher concat;
-
-  double trace_end = 0.0;
-  for (const auto& req : trace) trace_end = std::max(trace_end, req.arrival);
-
-  // Each accelerator is represented by the time it next becomes idle; idle
-  // workers pull the scheduler's next selection in turn.
-  std::vector<double> worker_free(cfg_.workers, 0.0);
-  std::size_t next_arrival = 0;
-  std::vector<Request> pending;
-  bool stop = false;
-
-  while (!stop) {
-    // The earliest-idle worker makes the next scheduling decision.
-    const auto idle_it = std::min_element(worker_free.begin(), worker_free.end());
-    const double now = *idle_it;
-
-    while (next_arrival < trace.size() &&
-           trace[next_arrival].arrival <= now) {
-      pending.push_back(trace[next_arrival]);
-      ++next_arrival;
-    }
-
-    // Fail requests that expired in the queue or can never fit a row.
-    report.failed +=
-        evict_unschedulable(now, sched_cfg.row_capacity, pending).size();
-
-    if (pending.empty()) {
-      if (next_arrival >= trace.size()) break;  // drained
-      *idle_it = trace[next_arrival].arrival;   // idle until the next arrival
-      continue;
-    }
-    report.queue_depth.add(static_cast<double>(pending.size()));
-
-    // Scheduler decision (timed: this is what Fig. 16 reports).  The wall
-    // clock is read only to *measure* overhead, never to make decisions.
-    // tcb-lint: allow(no-wall-clock-in-sched)
-    const Timer sched_timer;
-    const Selection sel = scheduler_.select(now, pending);
-    report.scheduler_seconds += sched_timer.elapsed_seconds();
-
-    // Scheme-specific layout.
-    BatchBuildResult built;
-    switch (cfg_.scheme) {
-      case Scheme::kNaive:
-        built = naive.build(sel.ordered, Row{sched_cfg.batch_rows},
-                            Col{sched_cfg.row_capacity});
-        break;
-      case Scheme::kTurbo:
-        built = turbo.build(sel.ordered, Row{sched_cfg.batch_rows},
-                            Col{sched_cfg.row_capacity});
-        break;
-      case Scheme::kConcatPure:
-        built = concat.build(sel.ordered, Row{sched_cfg.batch_rows},
-                             Col{sched_cfg.row_capacity});
-        break;
-      case Scheme::kConcatSlotted: {
-        Index z = sel.slot_len > 0 ? sel.slot_len : cfg_.fixed_slot_len;
-        if (z <= 0) z = sched_cfg.row_capacity;  // degenerate: one slot per row
-        const SlottedConcatBatcher slotted(z);
-        built = slotted.build(sel.ordered, Row{sched_cfg.batch_rows},
-                              Col{sched_cfg.row_capacity});
-        break;
-      }
-    }
-
-    if (built.plan.empty()) {
-      // The selection could not be placed at all (e.g. every candidate is
-      // longer than the slot). Avoid a zero-progress spin: jump to the next
-      // arrival if any, otherwise fail what is left.
-      if (next_arrival < trace.size()) {
-        *idle_it = std::max(now, trace[next_arrival].arrival);
-        continue;
-      }
-      report.failed += pending.size();
-      pending.clear();
-      break;
-    }
-
-    const double batch_time = cost_.batch_seconds(built.plan);
-    if (!(batch_time > 0.0))
-      throw std::logic_error("ServingSimulator: non-positive batch time");
-    const double completion = now + batch_time;
-
-    // Account the served requests.
-    std::unordered_set<RequestId> served;
-    for (const auto id : built.plan.request_ids()) served.insert(id);
-    double used_tokens = 0.0;
-    for (const auto& req : pending) {
-      if (!served.contains(req.id)) continue;
-      report.total_utility += req.utility();
-      report.latency.add(completion - req.arrival);
-      used_tokens += static_cast<double>(req.length);
-      ++report.completed;
-    }
-    pending.erase(std::remove_if(pending.begin(), pending.end(),
-                                 [&](const Request& r) {
-                                   return served.contains(r.id);
-                                 }),
-                  pending.end());
-
-    ++report.batches;
-    report.busy_seconds += batch_time;
-    report.batch_seconds.add(batch_time);
-    report.batch_requests.add(static_cast<double>(served.size()));
-    report.batch_occupancy.add(
-        used_tokens / static_cast<double>(sched_cfg.batch_rows *
-                                          sched_cfg.row_capacity));
-    *idle_it = completion;
-    report.makespan = std::max(report.makespan, completion);
-
-    if (cfg_.max_batches != 0 && report.batches >= cfg_.max_batches) {
-      report.failed += pending.size() + (trace.size() - next_arrival);
-      stop = true;
-    }
-  }
-
-  const double horizon = std::max(report.makespan, trace_end);
-  report.throughput =
-      horizon > 0.0 ? static_cast<double>(report.completed) / horizon : 0.0;
-  return report;
+  const AnalyticalBackend backend(cost_);
+  const WallClock clock;
+  PipelineConfig cfg;
+  cfg.scheme = cfg_.scheme;
+  cfg.fixed_slot_len = cfg_.fixed_slot_len;
+  cfg.workers = cfg_.workers;
+  cfg.max_batches = cfg_.max_batches;
+  const ServingPipeline pipeline(scheduler_, backend, clock, cfg);
+  return pipeline.run(trace).report;
 }
 
 }  // namespace tcb

@@ -1,41 +1,19 @@
-// Discrete-event serving simulator (paper §3 / §5.1 system model): a single
-// accelerator serves one batch at a time; whenever it goes idle the scheduler
-// selects from the pending set, the scheme's batcher lays the selection out,
-// the cost model prices the batch, and the clock advances by that inference
-// time. Requests whose deadline passes while they wait are failed (utility
-// 0); requests scheduled by their deadline contribute v_n = 1/l_n.
+// Discrete-event serving simulator (paper §3 / §5.1 system model): one or
+// more accelerators serve batches priced by a CostModel; whenever a worker
+// goes idle the scheduler selects from the pending set, the scheme's batcher
+// lays the selection out, and simulated time advances by the batch price.
+//
+// Since the pipeline refactor (DESIGN.md §10) this class is a thin
+// configuration of ServingPipeline: AnalyticalBackend (price, don't
+// execute) + WallClock (reports quote real stage overheads — Fig. 16 needs
+// scheduler_seconds). TcbSystem::simulate is the VirtualClock flavor.
 #pragma once
 
-#include <memory>
-
-#include "batching/batch_plan.hpp"
 #include "sched/scheduler.hpp"
 #include "serving/cost_model.hpp"
-#include "util/stats.hpp"
+#include "serving/pipeline.hpp"
 
 namespace tcb {
-
-struct ServingReport {
-  std::string scheduler;
-  std::string scheme;
-
-  std::size_t arrived = 0;
-  std::size_t completed = 0;        ///< scheduled by deadline and served
-  std::size_t failed = 0;           ///< expired in queue or oversized
-  double total_utility = 0.0;       ///< objective (9) of the paper
-  double throughput = 0.0;          ///< completed responses / second
-  double makespan = 0.0;            ///< time the last batch finished
-  std::size_t batches = 0;
-  double busy_seconds = 0.0;        ///< accelerator busy time
-  double scheduler_seconds = 0.0;   ///< wall time spent inside select()
-  Samples latency;                  ///< completion - arrival per request
-  Samples batch_seconds;            ///< per-batch inference time
-  Samples batch_occupancy;          ///< used tokens / (rows * L) per batch
-  Samples batch_requests;           ///< requests per batch
-  Samples queue_depth;              ///< pending count at each decision point
-
-  [[nodiscard]] std::string summary() const;
-};
 
 /// How the simulator builds batches: the scheme decides which Batcher runs;
 /// for the slotted scheme the slot length comes from the scheduler's

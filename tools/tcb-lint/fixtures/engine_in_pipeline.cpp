@@ -1,0 +1,10 @@
+// tcb-lint-fixture-path: src/serving/pipeline_stage.cpp
+// Fixture: serving-pipeline code reaching past ExecutionBackend straight
+// into the engine.  Only the backend layer (backend.*, cost_model.*) may
+// include nn/model.hpp or nn/classifier.hpp from src/serving/ -- the
+// pipeline's stages stay engine-agnostic (DESIGN.md §10).
+// expect: engine-behind-backend
+
+#include "nn/model.hpp"  // flagged: engine header outside the backend layer
+
+int engine_in_pipeline_marker() { return 0; }

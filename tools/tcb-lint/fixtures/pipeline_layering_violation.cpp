@@ -1,0 +1,9 @@
+// tcb-lint-fixture-path: src/serving/clock.cpp
+// Fixture: the serving-internal layering of the staged pipeline (clock <
+// backend < pipeline < simulator).  The Clock sits at the bottom of the
+// pipeline stack; including the pipeline from it inverts the DAG.
+// expect: include-layering
+
+#include "serving/pipeline.hpp"  // flagged: clock may not include pipeline
+
+int pipeline_layering_marker() { return 0; }

@@ -23,7 +23,14 @@ pack"):
                            smart pointers only.
   include-layering         #include edges between src/ modules must follow
                            the documented layering DAG (util at the bottom,
-                           core at the top).
+                           core at the top), including the serving-internal
+                           edges of the staged pipeline (clock < backend <
+                           pipeline < simulator).
+  engine-behind-backend    within src/serving/ only the execution-backend
+                           layer (backend.*, cost_model.*) may include the
+                           engine headers nn/model.hpp / nn/classifier.hpp;
+                           the pipeline's stages stay engine-agnostic behind
+                           ExecutionBackend (DESIGN.md §10).
   use-tcb-sync             raw std::mutex / std::condition_variable /
                            std::lock_guard / std::unique_lock (and friends)
                            live only in src/parallel/sync.hpp; everything
@@ -606,6 +613,21 @@ class IncludeLayering(Rule):
     }
     INCLUDE_RE = re.compile(r'#\s*include\s*"([a-z]+)/[^"]+"')
 
+    # Serving-internal refinement for the staged pipeline: file stem ->
+    # serving stems it may include (its own stem is always allowed). Clock
+    # and the queue sit at the bottom, the backend above the cost model, the
+    # pipeline above both, and the thin simulator wrapper on top. Stems not
+    # listed here (future serving files) are only module-checked.
+    SERVING_DAG = {
+        "clock": set(),
+        "cost_model": set(),
+        "request_queue": set(),
+        "backend": {"cost_model"},
+        "pipeline": {"backend", "clock", "request_queue"},
+        "simulator": {"cost_model", "pipeline"},
+    }
+    SERVING_INCLUDE_RE = re.compile(r'#\s*include\s*"serving/(\w+)\.hpp"')
+
     def applies_to(self, path: str) -> bool:
         parts = path.split("/")
         return len(parts) >= 3 and parts[0] == "src" and parts[1] in self.DAG
@@ -613,6 +635,10 @@ class IncludeLayering(Rule):
     def check(self, sf: SourceFile) -> list[Finding]:
         module = sf.effective_path.split("/")[1]
         allowed = self.DAG[module] | {module}
+        stem = os.path.splitext(os.path.basename(sf.effective_path))[0]
+        serving_allowed = None
+        if module == "serving" and stem in self.SERVING_DAG:
+            serving_allowed = self.SERVING_DAG[stem] | {stem}
         out = []
         # Includes survive stripping, but the quoted path does not -- read the
         # raw lines and skip ones that are commented out via the stripped view.
@@ -624,12 +650,58 @@ class IncludeLayering(Rule):
             if not m:
                 continue
             target = m.group(1)
-            if target in self.DAG and target not in allowed:
-                if not sf.suppressed(self.name, idx):
-                    out.append(Finding(
-                        self.name, sf.path, idx,
-                        f"module '{module}' may not include '{target}' "
-                        f"(allowed: {', '.join(sorted(allowed))})"))
+            if (target in self.DAG and target not in allowed
+                    and not sf.suppressed(self.name, idx)):
+                out.append(Finding(
+                    self.name, sf.path, idx,
+                    f"module '{module}' may not include '{target}' "
+                    f"(allowed: {', '.join(sorted(allowed))})"))
+                continue
+            if serving_allowed is None:
+                continue
+            sm = self.SERVING_INCLUDE_RE.search(raw)
+            if not sm:
+                continue
+            starget = sm.group(1)
+            if (starget in self.SERVING_DAG and starget not in serving_allowed
+                    and not sf.suppressed(self.name, idx)):
+                out.append(Finding(
+                    self.name, sf.path, idx,
+                    f"serving-internal layering: '{stem}' may not include "
+                    f"'serving/{starget}.hpp' (allowed: "
+                    f"{', '.join(sorted(serving_allowed))})"))
+        return out
+
+
+@register
+class EngineBehindBackend(Rule):
+    name = "engine-behind-backend"
+    description = ("within src/serving/ only the execution-backend layer "
+                   "(backend.*, cost_model.*) may include the engine headers "
+                   "nn/model.hpp / nn/classifier.hpp; the pipeline's stages "
+                   "stay engine-agnostic behind ExecutionBackend "
+                   "(DESIGN.md §10)")
+    ALLOWED = ("src/serving/backend.hpp", "src/serving/backend.cpp",
+               "src/serving/cost_model.hpp", "src/serving/cost_model.cpp")
+    PATTERN = re.compile(r'#\s*include\s*"nn/(model|classifier)\.hpp"')
+
+    def applies_to(self, path: str) -> bool:
+        return path.startswith("src/serving/") and path not in self.ALLOWED
+
+    def check(self, sf: SourceFile) -> list[Finding]:
+        out = []
+        # Same raw/stripped split as include-layering: the include path is
+        # blanked in the stripped view, comments are blanked in the raw one.
+        for idx, (raw, stripped) in enumerate(
+                zip(sf.raw_lines, sf.lines), start=1):
+            if "#" not in stripped:
+                continue
+            if self.PATTERN.search(raw) and not sf.suppressed(self.name, idx):
+                out.append(Finding(
+                    self.name, sf.path, idx,
+                    "serving code outside the backend layer includes an "
+                    "engine header; route execution through ExecutionBackend "
+                    "(serving/backend.hpp)"))
         return out
 
 
