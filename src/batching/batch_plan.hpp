@@ -92,7 +92,8 @@ class SegmentCacheSlot {
       TCB_EXCLUDES(mutex_);
 
  private:
-  mutable Mutex mutex_ TCB_GUARDS(cache_);
+  mutable Mutex mutex_ TCB_GUARDS(cache_)
+      TCB_ACQUIRED_AFTER(lock_order::formation);
   mutable std::shared_ptr<const SegmentCache> cache_ TCB_GUARDED_BY(mutex_);
   /// Fast-path view of cache_.get(): written release under mutex_, read
   /// acquire lock-free. Never dangles while cache_ owns the pointee.

@@ -75,6 +75,10 @@
 /// header comment and tcb-lint's annotated-shared-state rule.
 #define TCB_GUARDS(...)
 #define TCB_LOCK_FREE
+/// Marks a never-locked `lock_order` anchor mutex (see namespace lock_order
+/// below): it exists only as a rank in the canonical acquisition order, so
+/// it guards nothing and needs no TCB_GUARDS map.
+#define TCB_LOCK_ORDER_ANCHOR
 
 namespace tcb {
 
@@ -134,6 +138,35 @@ class CondVar {
  private:
   std::condition_variable cv_;
 };
+
+/// The canonical cross-class lock order (DESIGN.md §11), expressed as a
+/// chain of never-locked anchor mutexes. TSA's ACQUIRED_BEFORE/AFTER
+/// attributes need in-scope capability expressions, and one class's private
+/// mutex cannot name another class's private mutex — so each pipeline stage
+/// gets an anchor here, the anchors chain into a total order, and every
+/// real mutex declares its stage with TCB_ACQUIRED_AFTER(lock_order::...).
+/// Under `-Wthread-safety-beta` clang checks the order per TU; tcb-lint's
+/// lock-order-graph rule checks the same ranks whole-program, so the two
+/// analyses enforce one canonical order:
+///
+///   admission < formation < execution < pool < latch
+///
+/// i.e. the admission queue's lock is acquired before (never inside) any
+/// batch-formation lock, which precedes the execution ledger, which
+/// precedes the thread-pool queue lock, with the pool's completion latch
+/// innermost. The anchors are zero-cost: never locked, and `inline` vars
+/// of an empty-beyond-std::mutex type.
+namespace lock_order {
+inline Mutex admission TCB_LOCK_ORDER_ANCHOR;
+inline Mutex formation TCB_LOCK_ORDER_ANCHOR
+    TCB_ACQUIRED_AFTER(lock_order::admission);
+inline Mutex execution TCB_LOCK_ORDER_ANCHOR
+    TCB_ACQUIRED_AFTER(lock_order::formation);
+inline Mutex pool TCB_LOCK_ORDER_ANCHOR
+    TCB_ACQUIRED_AFTER(lock_order::execution);
+inline Mutex latch TCB_LOCK_ORDER_ANCHOR
+    TCB_ACQUIRED_AFTER(lock_order::pool);
+}  // namespace lock_order
 
 // Zero-overhead contract: the wrappers are their std counterparts plus
 // compile-time attributes, nothing else. Same guarantee style as

@@ -50,7 +50,8 @@ class ForLatch {
   }
 
  private:
-  Mutex mutex_ TCB_GUARDS(remaining_, error_);
+  Mutex mutex_ TCB_GUARDS(remaining_, error_)
+      TCB_ACQUIRED_AFTER(lock_order::latch);
   CondVar cv_;  ///< signals remaining_ == 0 to the single waiter
   std::size_t remaining_ TCB_GUARDED_BY(mutex_);
   std::exception_ptr error_ TCB_GUARDED_BY(mutex_);

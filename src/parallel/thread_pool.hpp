@@ -74,7 +74,8 @@ class ThreadPool {
 
   /// Immutable after construction; read lock-free by worker_count() et al.
   std::vector<std::thread> threads_;
-  Mutex mutex_ TCB_GUARDS(queue_, stop_);
+  Mutex mutex_ TCB_GUARDS(queue_, stop_)
+      TCB_ACQUIRED_AFTER(lock_order::pool);
   CondVar cv_;  ///< waited by workers; signalled by submit/parallel_for/dtor
   std::queue<std::function<void()>> queue_ TCB_GUARDED_BY(mutex_);
   bool stop_ TCB_GUARDED_BY(mutex_) = false;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "util/check.hpp"
+
 namespace tcb {
 
 void SchedulerConfig::validate() const {
@@ -31,6 +33,16 @@ std::vector<Request> evict_unschedulable(double now, Index row_capacity,
     }
   }
   pending.erase(keep, pending.end());
+  // Post-condition: every survivor has schedulable geometry. This is the
+  // admission sanitizer downstream stages rely on — batch formation and slot
+  // math (src/batching/, DAS row packing) use length/deadline in raw
+  // arithmetic and the tainted-admission lint rule keys on these checks.
+  for (const Request& r : pending) {
+    TCB_DCHECK(r.length >= 1 && r.length <= row_capacity,
+               "evict_unschedulable: survivor with unschedulable length");
+    TCB_DCHECK(r.deadline >= now,
+               "evict_unschedulable: survivor with expired deadline");
+  }
   return failed;
 }
 

@@ -39,7 +39,8 @@ class ExecutionLedger {
   }
 
  private:
-  Mutex mutex_ TCB_GUARDS(executions_, execute_seconds_);
+  Mutex mutex_ TCB_GUARDS(executions_, execute_seconds_)
+      TCB_ACQUIRED_AFTER(lock_order::execution);
   std::vector<BatchExecution> executions_ TCB_GUARDED_BY(mutex_);
   double execute_seconds_ TCB_GUARDED_BY(mutex_) = 0.0;
 };

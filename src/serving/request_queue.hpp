@@ -76,7 +76,8 @@ class RequestQueue {
 
  private:
   const std::size_t capacity_;  ///< immutable after construction
-  mutable Mutex mutex_ TCB_GUARDS(items_, closed_);
+  mutable Mutex mutex_ TCB_GUARDS(items_, closed_)
+      TCB_ACQUIRED_AFTER(lock_order::admission);
   CondVar not_full_;   ///< producers wait here; signalled on take/close
   CondVar not_empty_;  ///< consumers wait here; signalled on admit/close
   std::deque<Request> items_ TCB_GUARDED_BY(mutex_);

@@ -1,0 +1,31 @@
+// Fixture: a blocking call made while a tcb::Mutex is held.  The class is
+// named RequestQueue on purpose — push/pop on the admission queue are
+// blocking seeds for no-blocking-under-lock (the real queue blocks on a
+// CondVar when full/empty), so Worker::drain calling q.push(...) while
+// holding its own mutex risks deadlock and unbounded lock hold times.
+// expect: no-blocking-under-lock
+
+namespace demo {
+
+class RequestQueue {
+ public:
+  void push(int v) { last_ = v; }  // seed by name; body irrelevant
+
+ private:
+  int last_ = 0;
+};
+
+class Worker {
+ public:
+  void drain(RequestQueue& q) {
+    tcb::MutexLock l(mu_);
+    pending_ = 0;
+    q.push(1);  // flagged: blocking call under Worker::mu_
+  }
+
+ private:
+  tcb::Mutex mu_;
+  int pending_ = 0;
+};
+
+}  // namespace demo

@@ -1,0 +1,38 @@
+// Clean control for no-blocking-under-lock: the two sanctioned shapes.
+// Worker::drain drops its lock before the blocking push, and
+// Worker::wait_for_item uses the direct cv.wait(lock) pattern — the one
+// blocking call that is exempt at its own site, because the wait releases
+// the mutex while sleeping.  (No `// expect:` lines on purpose.)
+
+namespace demo {
+
+class RequestQueue {
+ public:
+  void push(int v) { last_ = v; }
+
+ private:
+  int last_ = 0;
+};
+
+class Worker {
+ public:
+  void drain(RequestQueue& q) {
+    {
+      tcb::MutexLock l(mu_);
+      pending_ = 0;
+    }  // lock released before the blocking call: clean
+    q.push(1);
+  }
+
+  void wait_for_item() {
+    tcb::MutexLock l(mu_);
+    while (pending_ == 0) cv_.wait(l);  // sanctioned pattern: exempt
+  }
+
+ private:
+  tcb::Mutex mu_;
+  tcb::CondVar cv_;
+  int pending_ = 0;
+};
+
+}  // namespace demo

@@ -1,0 +1,13 @@
+// Clean control, TU one: nests mu_a_ then mu_b_, matching the declared
+// ranks (mu_a_ rank 1 < mu_b_ rank 2 via the anchors in locks.hpp).
+
+#include "locks.hpp"
+
+namespace demo {
+
+void Pair::lock_ab() {
+  tcb::MutexLock a(mu_a_);
+  tcb::MutexLock b(mu_b_);  // consistent with the declared order: clean
+}
+
+}  // namespace demo

@@ -1,0 +1,13 @@
+// Clean control, TU two: the same nesting direction as ab.cpp, so the
+// whole-program graph has one edge and no cycle.
+
+#include "locks.hpp"
+
+namespace demo {
+
+void Pair::also_lock_ab() {
+  tcb::MutexLock a(mu_a_);
+  tcb::MutexLock b(mu_b_);
+}
+
+}  // namespace demo

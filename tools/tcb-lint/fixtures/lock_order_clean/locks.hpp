@@ -1,0 +1,26 @@
+// Clean control for lock-order-graph: the same two-mutex shape as
+// lock_order_cycle/, but both TUs nest in the same direction AND the order
+// is declared through a lock_order anchor chain (the mechanism
+// parallel/sync.hpp uses), so the observed edge agrees with the declared
+// ranks.  No finding may be produced.
+#pragma once
+
+namespace lock_order {
+inline tcb::Mutex first TCB_LOCK_ORDER_ANCHOR;
+inline tcb::Mutex second TCB_LOCK_ORDER_ANCHOR
+    TCB_ACQUIRED_AFTER(lock_order::first);
+}  // namespace lock_order
+
+namespace demo {
+
+class Pair {
+ public:
+  void lock_ab();
+  void also_lock_ab();
+
+ private:
+  tcb::Mutex mu_a_ TCB_ACQUIRED_AFTER(lock_order::first);
+  tcb::Mutex mu_b_ TCB_ACQUIRED_AFTER(lock_order::second);
+};
+
+}  // namespace demo

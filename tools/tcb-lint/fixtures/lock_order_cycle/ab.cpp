@@ -1,0 +1,16 @@
+// Fixture: first half of a cross-TU ABBA deadlock.  This TU acquires
+// mu_a_ then mu_b_; ba.cpp acquires them in the opposite order.  Each TU
+// compiles clean under per-TU analysis — the cycle only exists in the
+// whole-program lock-order graph.
+// expect: lock-order-graph
+
+#include "locks.hpp"
+
+namespace demo {
+
+void Pair::lock_ab() {
+  tcb::MutexLock a(mu_a_);
+  tcb::MutexLock b(mu_b_);  // edge: mu_a_ acquired-before mu_b_
+}
+
+}  // namespace demo

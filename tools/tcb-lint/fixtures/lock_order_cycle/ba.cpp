@@ -1,0 +1,13 @@
+// Fixture: second half of the cross-TU ABBA deadlock (see ab.cpp).  The
+// reverse nesting below closes the cycle mu_a_ -> mu_b_ -> mu_a_.
+
+#include "locks.hpp"
+
+namespace demo {
+
+void Pair::lock_ba() {
+  tcb::MutexLock b(mu_b_);
+  tcb::MutexLock a(mu_a_);  // edge: mu_b_ acquired-before mu_a_ -- cycle
+}
+
+}  // namespace demo

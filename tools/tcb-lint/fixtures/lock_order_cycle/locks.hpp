@@ -1,0 +1,20 @@
+// Fixture header shared by the two TUs of the lock_order_cycle mini-program.
+// Pair owns two mutexes; ab.cpp nests a-then-b, ba.cpp nests b-then-a.
+// Neither TU is wrong on its own — only the whole-program acquired-before
+// graph sees the ABBA cycle, which is exactly what lock-order-graph exists
+// to catch across translation units.
+#pragma once
+
+namespace demo {
+
+class Pair {
+ public:
+  void lock_ab();
+  void lock_ba();
+
+ private:
+  tcb::Mutex mu_a_;
+  tcb::Mutex mu_b_;
+};
+
+}  // namespace demo

@@ -1,0 +1,15 @@
+// tcb-lint-fixture-path: src/serving/admit_fixture.cpp
+// Fixture: admission-side entry point that forwards externally-supplied
+// Request fields straight into batch-geometry arithmetic without passing
+// them through a TCB_CHECK sanitizer first.  The sink lives in the other
+// TU (pack.cpp, impersonating src/batching/) — the flow only exists in the
+// whole-program call graph, which is what tainted-admission tracks.
+// expect: tainted-admission
+
+namespace tcb {
+
+void admit_pending(std::vector<Request>& pending) {
+  pack_rows(pending);  // tainted length/deadline flow into slot math
+}
+
+}  // namespace tcb

@@ -1,0 +1,15 @@
+// tcb-lint-fixture-path: src/batching/pack_fixture.cpp
+// Sink half of the tainted_admission mini-program: raw arithmetic on
+// Request::length inside batch formation.  Unvalidated, a hostile length
+// (zero, negative, > row capacity) corrupts the row-packing slot math.
+
+namespace tcb {
+
+void pack_rows(std::vector<Request>& pending) {
+  int used = 0;
+  for (const Request& r : pending) {
+    used += r.length + 1;  // sink: geometry arithmetic on a tainted field
+  }
+}
+
+}  // namespace tcb

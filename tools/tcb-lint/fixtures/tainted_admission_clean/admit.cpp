@@ -1,0 +1,18 @@
+// tcb-lint-fixture-path: src/serving/admit_clean_fixture.cpp
+// Clean control for tainted-admission: identical flow to the
+// tainted_admission/ fixture, but the entry point validates the external
+// fields with TCB_CHECK before they reach the batching sink, so the taint
+// is sanitized on every path.  (No `// expect:` lines on purpose.)
+
+namespace tcb {
+
+void admit_pending(std::vector<Request>& pending) {
+  for (const Request& r : pending) {
+    TCB_CHECK(r.length >= 1 && r.length <= 64,
+              "admit: length outside schedulable range");
+    TCB_CHECK(r.deadline >= 0.0, "admit: deadline before epoch");
+  }
+  pack_rows(pending);  // fields validated above: clean
+}
+
+}  // namespace tcb

@@ -1,0 +1,14 @@
+// tcb-lint-fixture-path: src/batching/pack_clean_fixture.cpp
+// Sink half of the clean control: same arithmetic as the failing twin; it
+// stays silent because the caller sanitized the fields first.
+
+namespace tcb {
+
+void pack_rows(std::vector<Request>& pending) {
+  int used = 0;
+  for (const Request& r : pending) {
+    used += r.length + 1;
+  }
+}
+
+}  // namespace tcb

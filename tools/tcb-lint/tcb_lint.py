@@ -1,853 +1,19 @@
 #!/usr/bin/env python3
-"""tcb-lint: project-specific rule pack for the TCB codebase.
+"""tcb-lint entry point.
 
-Enforces invariants that generic clang-tidy checks cannot express because
-they are about *this* project's architecture (see DESIGN.md, "Lint rule
-pack"):
-
-  no-raw-token-indexing    token storage is indexed only through its owning
-                           accessor (PackedBatch::token_at); raw `tokens[...]`
-                           or `tokens.data()` arithmetic elsewhere is how the
-                           row/column swap bugs of the pre-strong-type era
-                           slipped in.
-  threads-only-in-parallel all concurrency primitives live in src/parallel/;
-                           the rest of the engine stays single-threaded and
-                           uses the ThreadPool API.
-  no-wall-clock-in-sched   scheduling and serving are driven by the virtual
-                           clock so runs replay deterministically; wall-clock
-                           reads there break reproducibility.
-  checked-engine-boundary  functions taking an (offset, length)-style pair
-                           must TCB_CHECK/TCB_DCHECK their span before using
-                           it.
-  no-raw-new-delete        first-party code owns memory via containers and
-                           smart pointers only.
-  include-layering         #include edges between src/ modules must follow
-                           the documented layering DAG (util at the bottom,
-                           core at the top), including the serving-internal
-                           edges of the staged pipeline (clock < backend <
-                           pipeline < simulator).
-  engine-behind-backend    within src/serving/ only the execution-backend
-                           layer (backend.*, cost_model.*) may include the
-                           engine headers nn/model.hpp / nn/classifier.hpp;
-                           the pipeline's stages stay engine-agnostic behind
-                           ExecutionBackend (DESIGN.md §10).
-  use-tcb-sync             raw std::mutex / std::condition_variable /
-                           std::lock_guard / std::unique_lock (and friends)
-                           live only in src/parallel/sync.hpp; everything
-                           else uses the capability-annotated tcb::Mutex /
-                           tcb::CondVar / tcb::MutexLock wrappers so Clang
-                           Thread Safety Analysis sees every lock.
-  annotated-shared-state   every tcb::Mutex or std::atomic declaration in
-                           src/ must state its role in the lock discipline:
-                           TCB_GUARDS(...) on mutexes, TCB_GUARDED_BY /
-                           TCB_LOCK_FREE on atomics (DESIGN.md §9).
-
-Backends
---------
-The checker is driven by compile_commands.json (same discovery logic as
-scripts/run-clang-tidy.sh).  Two backends produce the preprocessed view the
-rules run on:
-
-  libclang  accurate lexing through clang.cindex when the Python bindings
-            and a loadable libclang are present.
-  text      a dependency-free fallback that strips comments and string
-            literals itself.  Always available; this is what minimal
-            containers and the repo's own ctest entries use.
-
-`--backend auto` (the default) picks libclang when importable and falls back
-to text with a notice, mirroring how run-clang-tidy.sh degrades when
-clang-tidy is absent.
-
-Suppressions
-------------
-A finding is suppressed by `// tcb-lint: allow(<rule>)` on the offending
-line, or on a line of its own immediately above it.  Suppressions are
-deliberate, reviewable artifacts -- use them the way NOLINT is used.
-
-Fixtures / self-test
---------------------
-`--self-test` runs the rule pack over tools/tcb-lint/fixtures/ and checks
-each file's findings against its `// expect: <rule>` annotations.  Fixtures
-declare the path they impersonate with `// tcb-lint-fixture-path: <path>`
-so path-scoped rules fire without the fixture living inside src/.
+The rule pack lives in the tcb_lint/ package next to this file (see
+tcb_lint/__init__.py for the layout and DESIGN.md §11 for the
+architecture).  This shim keeps the historical invocation —
+`python3 tools/tcb-lint/tcb_lint.py` — working for ctest entries, CI, and
+muscle memory.
 """
 
-from __future__ import annotations
-
-import argparse
-import json
 import os
-import re
 import sys
-from dataclasses import dataclass, field
 
-REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
-FIXTURE_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "fixtures")
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
-SUPPRESS_RE = re.compile(r"//\s*tcb-lint:\s*allow\(([a-z0-9-]+(?:\s*,\s*[a-z0-9-]+)*)\)")
-FIXTURE_PATH_RE = re.compile(r"//\s*tcb-lint-fixture-path:\s*(\S+)")
-EXPECT_RE = re.compile(r"//\s*expect:\s*([a-z0-9-]+)")
-
-
-# --------------------------------------------------------------------------
-# Source model
-# --------------------------------------------------------------------------
-
-@dataclass
-class SourceFile:
-    """A lexed view of one translation unit member.
-
-    `lines` hold the code with comments and string/char literals blanked
-    (newlines preserved, so indices are 1:1 with the original file).
-    `suppressions` maps line number -> set of rule names allowed there.
-    """
-
-    path: str                 # repo-relative path of the real file on disk
-    effective_path: str       # path the rules see (fixtures override this)
-    raw_lines: list[str] = field(default_factory=list)
-    lines: list[str] = field(default_factory=list)
-    suppressions: dict[int, set[str]] = field(default_factory=dict)
-
-    def code(self) -> str:
-        return "\n".join(self.lines)
-
-    def suppressed(self, rule: str, line_no: int) -> bool:
-        return rule in self.suppressions.get(line_no, set())
-
-
-@dataclass(frozen=True)
-class Finding:
-    rule: str
-    path: str
-    line: int
-    message: str
-
-    def render(self) -> str:
-        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
-
-
-def _collect_suppressions(raw_lines: list[str]) -> dict[int, set[str]]:
-    """Map line numbers to the rules allowed on them.
-
-    `// tcb-lint: allow(rule)` covers its own line; when the comment is the
-    whole line it also covers the next line (the NOLINTNEXTLINE idiom).
-    """
-    out: dict[int, set[str]] = {}
-    for idx, line in enumerate(raw_lines, start=1):
-        m = SUPPRESS_RE.search(line)
-        if not m:
-            continue
-        rules = {r.strip() for r in m.group(1).split(",")}
-        out.setdefault(idx, set()).update(rules)
-        if line.strip().startswith("//"):
-            out.setdefault(idx + 1, set()).update(rules)
-    return out
-
-
-def _strip_comments_and_strings(text: str) -> str:
-    """Blank out comments and string/char literals, preserving newlines.
-
-    A hand-rolled scanner rather than regex so `//` inside strings and `*/`
-    inside line comments behave correctly.  Raw strings are handled enough
-    for this codebase (which does not use them).
-    """
-    out: list[str] = []
-    i, n = 0, len(text)
-    NORMAL, LINE_COMMENT, BLOCK_COMMENT, STRING, CHAR = range(5)
-    state = NORMAL
-    while i < n:
-        c = text[i]
-        nxt = text[i + 1] if i + 1 < n else ""
-        if state == NORMAL:
-            if c == "/" and nxt == "/":
-                state = LINE_COMMENT
-                out.append("  ")
-                i += 2
-                continue
-            if c == "/" and nxt == "*":
-                state = BLOCK_COMMENT
-                out.append("  ")
-                i += 2
-                continue
-            if c == '"':
-                state = STRING
-                out.append('"')
-                i += 1
-                continue
-            if c == "'":
-                state = CHAR
-                out.append("'")
-                i += 1
-                continue
-            out.append(c)
-        elif state == LINE_COMMENT:
-            if c == "\n":
-                state = NORMAL
-                out.append(c)
-            else:
-                out.append(" ")
-        elif state == BLOCK_COMMENT:
-            if c == "*" and nxt == "/":
-                state = NORMAL
-                out.append("  ")
-                i += 2
-                continue
-            out.append(c if c == "\n" else " ")
-        elif state == STRING:
-            if c == "\\":
-                out.append("  ")
-                i += 2
-                continue
-            if c == '"':
-                state = NORMAL
-                out.append('"')
-            elif c == "\n":  # unterminated; recover
-                state = NORMAL
-                out.append(c)
-            else:
-                out.append(" ")
-        elif state == CHAR:
-            if c == "\\":
-                out.append("  ")
-                i += 2
-                continue
-            if c == "'":
-                state = NORMAL
-                out.append("'")
-            elif c == "\n":
-                state = NORMAL
-                out.append(c)
-            else:
-                out.append(" ")
-        i += 1
-    return "".join(out)
-
-
-# --------------------------------------------------------------------------
-# Backends
-# --------------------------------------------------------------------------
-
-class TextBackend:
-    """Dependency-free lexer: strips comments/strings itself."""
-
-    name = "text"
-
-    def lex(self, path: str) -> SourceFile:
-        with open(path, encoding="utf-8", errors="replace") as f:
-            text = f.read()
-        raw_lines = text.splitlines()
-        stripped = _strip_comments_and_strings(text).splitlines()
-        # splitlines() drops a trailing empty segment symmetrically for both.
-        sf = SourceFile(path=_rel(path), effective_path=_rel(path),
-                        raw_lines=raw_lines, lines=stripped,
-                        suppressions=_collect_suppressions(raw_lines))
-        _apply_fixture_path(sf)
-        return sf
-
-
-class LibclangBackend:
-    """Lexes through clang.cindex for exact tokenization.
-
-    Only the token stream is used (the rules below are lexical and
-    path-structural), so a TU that fails to fully parse still lints.
-    """
-
-    name = "libclang"
-
-    def __init__(self, compile_db_dir: str | None):
-        import clang.cindex as cindex  # noqa: F401  (import errors gate the backend)
-
-        self._cindex = cindex
-        self._index = cindex.Index.create()  # raises if libclang cannot load
-        self._db = None
-        if compile_db_dir:
-            try:
-                self._db = cindex.CompilationDatabase.fromDirectory(compile_db_dir)
-            except cindex.CompilationDatabaseError:
-                self._db = None
-
-    def _args_for(self, path: str) -> list[str]:
-        if self._db is None:
-            return ["-std=c++20", f"-I{os.path.join(REPO_ROOT, 'src')}"]
-        cmds = self._db.getCompileCommands(path)
-        if not cmds:
-            return ["-std=c++20", f"-I{os.path.join(REPO_ROOT, 'src')}"]
-        args = list(cmds[0].arguments)[1:]  # drop the compiler itself
-        # Drop the output/input file arguments; keep -I/-D/-std et al.
-        cleaned, skip = [], False
-        for a in args:
-            if skip:
-                skip = False
-                continue
-            if a in ("-o", "-c"):
-                skip = a == "-o"
-                continue
-            if a == path or a.endswith(os.path.basename(path)):
-                continue
-            cleaned.append(a)
-        return cleaned
-
-    def lex(self, path: str) -> SourceFile:
-        cindex = self._cindex
-        with open(path, encoding="utf-8", errors="replace") as f:
-            text = f.read()
-        raw_lines = text.splitlines()
-        tu = self._index.parse(
-            path, args=self._args_for(path),
-            options=cindex.TranslationUnit.PARSE_DETAILED_PROCESSING_RECORD)
-        # Rebuild a comment/string-blanked view from the token stream so the
-        # shared rule logic sees identical structure from both backends.
-        blank = [" " * len(l) for l in raw_lines]
-        for tok in tu.get_tokens(extent=tu.cursor.extent):
-            if tok.kind in (cindex.TokenKind.COMMENT,):
-                continue
-            spelled = tok.spelling
-            if tok.kind == cindex.TokenKind.LITERAL and spelled.startswith(('"', "'")):
-                spelled = spelled[0] + " " * max(0, len(spelled) - 2) + spelled[0]
-            loc = tok.location
-            ln, col = loc.line - 1, loc.column - 1
-            for part_no, part in enumerate(spelled.splitlines() or [""]):
-                row = ln + part_no
-                if row >= len(blank):
-                    break
-                start = col if part_no == 0 else 0
-                line = blank[row]
-                blank[row] = line[:start] + part + line[start + len(part):]
-        sf = SourceFile(path=_rel(path), effective_path=_rel(path),
-                        raw_lines=raw_lines, lines=blank,
-                        suppressions=_collect_suppressions(raw_lines))
-        _apply_fixture_path(sf)
-        return sf
-
-
-def _rel(path: str) -> str:
-    return os.path.relpath(os.path.abspath(path), REPO_ROOT).replace(os.sep, "/")
-
-
-def _apply_fixture_path(sf: SourceFile) -> None:
-    for line in sf.raw_lines[:10]:
-        m = FIXTURE_PATH_RE.search(line)
-        if m:
-            sf.effective_path = m.group(1)
-            return
-
-
-def make_backend(kind: str, compile_db_dir: str | None):
-    if kind == "text":
-        return TextBackend()
-    if kind == "libclang":
-        return LibclangBackend(compile_db_dir)
-    # auto
-    try:
-        return LibclangBackend(compile_db_dir)
-    except Exception as e:  # ImportError or libclang load failure
-        print(f"tcb-lint: libclang backend unavailable ({e.__class__.__name__}); "
-              "using the textual backend.", file=sys.stderr)
-        return TextBackend()
-
-
-# --------------------------------------------------------------------------
-# Rules
-# --------------------------------------------------------------------------
-
-RULES: dict[str, "Rule"] = {}
-
-
-class Rule:
-    name = ""
-    description = ""
-
-    def applies_to(self, effective_path: str) -> bool:
-        raise NotImplementedError
-
-    def check(self, sf: SourceFile) -> list[Finding]:
-        raise NotImplementedError
-
-
-def register(cls):
-    RULES[cls.name] = cls()
-    return cls
-
-
-def _scan_lines(sf: SourceFile, pattern: re.Pattern, rule: str,
-                message: str) -> list[Finding]:
-    out = []
-    for idx, line in enumerate(sf.lines, start=1):
-        if pattern.search(line) and not sf.suppressed(rule, idx):
-            out.append(Finding(rule, sf.path, idx, message))
-    return out
-
-
-@register
-class NoRawTokenIndexing(Rule):
-    name = "no-raw-token-indexing"
-    description = ("token storage is indexed only through its owning accessor "
-                   "(PackedBatch::token_at / flat_offset); raw tokens[...] or "
-                   "tokens.data() arithmetic elsewhere reintroduces the "
-                   "swapped-row/column bug class")
-    OWNERS = ("src/batching/packed_batch.hpp", "src/batching/packed_batch.cpp")
-    PATTERN = re.compile(r"\btokens\s*(\[|\.\s*data\s*\()")
-
-    def applies_to(self, path: str) -> bool:
-        return path not in self.OWNERS
-
-    def check(self, sf: SourceFile) -> list[Finding]:
-        return _scan_lines(
-            sf, self.PATTERN, self.name,
-            "raw token-buffer indexing outside the owning accessor; go through "
-            "PackedBatch::token_at(Row, Col) or Request token helpers")
-
-
-@register
-class ThreadsOnlyInParallel(Rule):
-    name = "threads-only-in-parallel"
-    description = ("concurrency primitives (std::thread/async/mutex/"
-                   "condition_variable...) are confined to src/parallel/; "
-                   "everything else uses the ThreadPool API")
-    PATTERN = re.compile(
-        r"\bstd\s*::\s*(thread|jthread|async|mutex|timed_mutex|recursive_mutex|"
-        r"recursive_timed_mutex|shared_mutex|shared_timed_mutex|"
-        r"condition_variable(_any)?)\b")
-
-    def applies_to(self, path: str) -> bool:
-        in_scope = path.startswith(("src/", "tests/", "bench/", "examples/"))
-        return in_scope and not path.startswith(("src/parallel/", "tests/parallel/"))
-
-    def check(self, sf: SourceFile) -> list[Finding]:
-        return _scan_lines(
-            sf, self.PATTERN, self.name,
-            "raw concurrency primitive outside src/parallel/; submit work "
-            "through tcb::ThreadPool instead")
-
-
-@register
-class NoWallClockInSched(Rule):
-    name = "no-wall-clock-in-sched"
-    description = ("src/sched/ and src/serving/ run on the deterministic "
-                   "virtual clock; wall-clock reads (steady_clock::now, "
-                   "Timer) break replayability unless explicitly allowed")
-    PATTERN = re.compile(
-        r"\b(system_clock|steady_clock|high_resolution_clock)\s*::\s*now\s*\(|"
-        r"\bTimer\b")
-
-    def applies_to(self, path: str) -> bool:
-        return path.startswith(("src/sched/", "src/serving/"))
-
-    def check(self, sf: SourceFile) -> list[Finding]:
-        return _scan_lines(
-            sf, self.PATTERN, self.name,
-            "wall-clock read in virtual-clock code; use the simulation clock, "
-            "or annotate a deliberate overhead measurement with "
-            "// tcb-lint: allow(no-wall-clock-in-sched)")
-
-
-@register
-class CheckedEngineBoundary(Rule):
-    name = "checked-engine-boundary"
-    description = ("function definitions taking an (offset, length)-style "
-                   "parameter pair must validate the span with "
-                   "TCB_CHECK/TCB_DCHECK before indexing with it")
-    # A function header: name(params) [qualifiers] {   -- captured lazily and
-    # verified by counting braces from the opening one.
-    HEADER_RE = re.compile(
-        r"\b([A-Za-z_]\w*)\s*\(([^()]*)\)\s*"
-        r"(?:const\s*)?(?:noexcept\s*)?(?:->\s*[\w:<>]+\s*)?\{", re.S)
-    OFFSET_RE = re.compile(r"\b\w*(offset|begin|start)\w*\b", re.I)
-    LENGTH_RE = re.compile(r"\b\w*(length|len|count)\w*\b", re.I)
-    CHECK_RE = re.compile(r"\bTCB_D?CHECK\b")
-    KEYWORDS = {"if", "for", "while", "switch", "return", "catch", "sizeof",
-                "static_assert", "decltype", "alignof", "new", "delete"}
-
-    def applies_to(self, path: str) -> bool:
-        return path.startswith("src/")
-
-    def check(self, sf: SourceFile) -> list[Finding]:
-        code = sf.code()
-        out = []
-        for m in self.HEADER_RE.finditer(code):
-            fn_name, params = m.group(1), m.group(2)
-            if fn_name in self.KEYWORDS:
-                continue
-            if not (self.OFFSET_RE.search(params) and self.LENGTH_RE.search(params)):
-                continue
-            body = self._body(code, m.end() - 1)
-            if body is None or self.CHECK_RE.search(body):
-                continue
-            line_no = code.count("\n", 0, m.start()) + 1
-            if sf.suppressed(self.name, line_no):
-                continue
-            out.append(Finding(
-                self.name, sf.path, line_no,
-                f"'{fn_name}' takes an offset/length pair but its body has no "
-                "TCB_CHECK/TCB_DCHECK guarding the span"))
-        return out
-
-    @staticmethod
-    def _body(code: str, open_brace: int) -> str | None:
-        depth = 0
-        for i in range(open_brace, len(code)):
-            if code[i] == "{":
-                depth += 1
-            elif code[i] == "}":
-                depth -= 1
-                if depth == 0:
-                    return code[open_brace + 1:i]
-        return None
-
-
-@register
-class NoRawNewDelete(Rule):
-    name = "no-raw-new-delete"
-    description = ("first-party engine code owns memory through containers "
-                   "and smart pointers; raw new/delete expressions are "
-                   "forbidden in src/")
-    PATTERN = re.compile(r"(?<!_)\b(new|delete)\b(?!_)(?!\s*\()")
-    DELETED_FN_RE = re.compile(r"=\s*delete\b")
-
-    def applies_to(self, path: str) -> bool:
-        return path.startswith("src/")
-
-    def check(self, sf: SourceFile) -> list[Finding]:
-        out = []
-        for idx, line in enumerate(sf.lines, start=1):
-            # `= delete` declarations are the C++ idiom, not a deallocation.
-            scrubbed = self.DELETED_FN_RE.sub("", line)
-            if self.PATTERN.search(scrubbed) and not sf.suppressed(self.name, idx):
-                out.append(Finding(
-                    self.name, sf.path, idx,
-                    "raw new/delete expression; use std::vector, "
-                    "std::unique_ptr, or std::make_unique"))
-        return out
-
-
-@register
-class UseTcbSync(Rule):
-    name = "use-tcb-sync"
-    description = ("raw std synchronization primitives (mutex, "
-                   "condition_variable, lock_guard, unique_lock, ...) are "
-                   "confined to src/parallel/sync.hpp; everything else uses "
-                   "the annotated tcb::Mutex/CondVar/MutexLock wrappers so "
-                   "Clang Thread Safety Analysis can check the lock "
-                   "discipline")
-    OWNER = "src/parallel/sync.hpp"
-    PATTERN = re.compile(
-        r"\bstd\s*::\s*(mutex|timed_mutex|recursive_mutex|"
-        r"recursive_timed_mutex|shared_mutex|shared_timed_mutex|"
-        r"condition_variable(_any)?|lock_guard|unique_lock|scoped_lock|"
-        r"shared_lock)\b")
-
-    def applies_to(self, path: str) -> bool:
-        in_scope = path.startswith(("src/", "tests/", "bench/", "examples/"))
-        return in_scope and path != self.OWNER
-
-    def check(self, sf: SourceFile) -> list[Finding]:
-        return _scan_lines(
-            sf, self.PATTERN, self.name,
-            "raw synchronization primitive outside parallel/sync.hpp; use "
-            "tcb::Mutex / tcb::CondVar / tcb::MutexLock so the thread "
-            "safety analysis sees the lock")
-
-
-@register
-class AnnotatedSharedState(Rule):
-    name = "annotated-shared-state"
-    description = ("every tcb::Mutex or std::atomic declaration in src/ "
-                   "must declare its role in the lock discipline: "
-                   "TCB_GUARDS(...) on a mutex (what it protects), "
-                   "TCB_GUARDED_BY(...) or TCB_LOCK_FREE on an atomic, or "
-                   "an explicit // tcb-lint: allow(annotated-shared-state)")
-    # A mutex- or atomic-typed declaration starting a line. MutexLock (the
-    # scope) is excluded by the lookahead; raw std mutexes are use-tcb-sync's
-    # business, so only the sanctioned tcb::Mutex and std::atomic are here.
-    DECL_RE = re.compile(
-        r"^\s*(?:mutable\s+)?(?:static\s+)?"
-        r"(?:(?:tcb\s*::\s*)?Mutex(?!Lock)\b"
-        r"|std\s*::\s*atomic(?:_flag\b|\w*\b)?(?:\s*<[^;{}()]*>)?)"
-        r"\s+\w+")
-    ANNOT_RE = re.compile(
-        r"\bTCB_(GUARDS|GUARDED_BY|PT_GUARDED_BY|LOCK_FREE|"
-        r"ACQUIRED_BEFORE|ACQUIRED_AFTER)\b")
-
-    def applies_to(self, path: str) -> bool:
-        return path.startswith("src/")
-
-    def check(self, sf: SourceFile) -> list[Finding]:
-        out = []
-        for idx, line in enumerate(sf.lines, start=1):
-            if not self.DECL_RE.match(line):
-                continue
-            # The annotation may sit on the declaration's continuation line
-            # when the declarator wraps; join until the terminating ';'.
-            stmt = line
-            if ";" not in line and idx < len(sf.lines):
-                stmt += " " + sf.lines[idx]
-            if self.ANNOT_RE.search(stmt) or sf.suppressed(self.name, idx):
-                continue
-            out.append(Finding(
-                self.name, sf.path, idx,
-                "mutex/atomic declaration without a lock-discipline "
-                "annotation; add TCB_GUARDS(...) / TCB_GUARDED_BY(...) / "
-                "TCB_LOCK_FREE (see src/parallel/sync.hpp and DESIGN.md §9)"))
-        return out
-
-
-@register
-class IncludeLayering(Rule):
-    name = "include-layering"
-    description = ("#include edges between src/ modules must follow the "
-                   "layering DAG (DESIGN.md): util at the bottom, core at "
-                   "the top; e.g. sched may not include nn")
-    # module -> modules it may include (its own module is always allowed).
-    DAG = {
-        "util": set(),
-        "parallel": {"util"},
-        "tensor": {"parallel", "util"},
-        "batching": {"parallel", "tensor", "util"},
-        "text": {"batching", "tensor", "util"},
-        "workload": {"batching", "tensor", "util"},
-        "sched": {"batching", "tensor", "util"},
-        "nn": {"batching", "parallel", "tensor", "util"},
-        "serving": {"batching", "nn", "parallel", "sched", "tensor", "util"},
-        "core": {"batching", "nn", "parallel", "sched", "serving", "tensor",
-                 "text", "util", "workload"},
-    }
-    INCLUDE_RE = re.compile(r'#\s*include\s*"([a-z]+)/[^"]+"')
-
-    # Serving-internal refinement for the staged pipeline: file stem ->
-    # serving stems it may include (its own stem is always allowed). Clock
-    # and the queue sit at the bottom, the backend above the cost model, the
-    # pipeline above both, and the thin simulator wrapper on top. Stems not
-    # listed here (future serving files) are only module-checked.
-    SERVING_DAG = {
-        "clock": set(),
-        "cost_model": set(),
-        "request_queue": set(),
-        "backend": {"cost_model"},
-        "pipeline": {"backend", "clock", "request_queue"},
-        "simulator": {"cost_model", "pipeline"},
-    }
-    SERVING_INCLUDE_RE = re.compile(r'#\s*include\s*"serving/(\w+)\.hpp"')
-
-    def applies_to(self, path: str) -> bool:
-        parts = path.split("/")
-        return len(parts) >= 3 and parts[0] == "src" and parts[1] in self.DAG
-
-    def check(self, sf: SourceFile) -> list[Finding]:
-        module = sf.effective_path.split("/")[1]
-        allowed = self.DAG[module] | {module}
-        stem = os.path.splitext(os.path.basename(sf.effective_path))[0]
-        serving_allowed = None
-        if module == "serving" and stem in self.SERVING_DAG:
-            serving_allowed = self.SERVING_DAG[stem] | {stem}
-        out = []
-        # Includes survive stripping, but the quoted path does not -- read the
-        # raw lines and skip ones that are commented out via the stripped view.
-        for idx, (raw, stripped) in enumerate(
-                zip(sf.raw_lines, sf.lines), start=1):
-            if "#" not in stripped:
-                continue
-            m = self.INCLUDE_RE.search(raw)
-            if not m:
-                continue
-            target = m.group(1)
-            if (target in self.DAG and target not in allowed
-                    and not sf.suppressed(self.name, idx)):
-                out.append(Finding(
-                    self.name, sf.path, idx,
-                    f"module '{module}' may not include '{target}' "
-                    f"(allowed: {', '.join(sorted(allowed))})"))
-                continue
-            if serving_allowed is None:
-                continue
-            sm = self.SERVING_INCLUDE_RE.search(raw)
-            if not sm:
-                continue
-            starget = sm.group(1)
-            if (starget in self.SERVING_DAG and starget not in serving_allowed
-                    and not sf.suppressed(self.name, idx)):
-                out.append(Finding(
-                    self.name, sf.path, idx,
-                    f"serving-internal layering: '{stem}' may not include "
-                    f"'serving/{starget}.hpp' (allowed: "
-                    f"{', '.join(sorted(serving_allowed))})"))
-        return out
-
-
-@register
-class EngineBehindBackend(Rule):
-    name = "engine-behind-backend"
-    description = ("within src/serving/ only the execution-backend layer "
-                   "(backend.*, cost_model.*) may include the engine headers "
-                   "nn/model.hpp / nn/classifier.hpp; the pipeline's stages "
-                   "stay engine-agnostic behind ExecutionBackend "
-                   "(DESIGN.md §10)")
-    ALLOWED = ("src/serving/backend.hpp", "src/serving/backend.cpp",
-               "src/serving/cost_model.hpp", "src/serving/cost_model.cpp")
-    PATTERN = re.compile(r'#\s*include\s*"nn/(model|classifier)\.hpp"')
-
-    def applies_to(self, path: str) -> bool:
-        return path.startswith("src/serving/") and path not in self.ALLOWED
-
-    def check(self, sf: SourceFile) -> list[Finding]:
-        out = []
-        # Same raw/stripped split as include-layering: the include path is
-        # blanked in the stripped view, comments are blanked in the raw one.
-        for idx, (raw, stripped) in enumerate(
-                zip(sf.raw_lines, sf.lines), start=1):
-            if "#" not in stripped:
-                continue
-            if self.PATTERN.search(raw) and not sf.suppressed(self.name, idx):
-                out.append(Finding(
-                    self.name, sf.path, idx,
-                    "serving code outside the backend layer includes an "
-                    "engine header; route execution through ExecutionBackend "
-                    "(serving/backend.hpp)"))
-        return out
-
-
-# --------------------------------------------------------------------------
-# Driver
-# --------------------------------------------------------------------------
-
-def discover_compile_db() -> str | None:
-    for candidate in ("build", "build-release", "build-debug",
-                      "build-asan-ubsan"):
-        if os.path.isfile(os.path.join(REPO_ROOT, candidate,
-                                       "compile_commands.json")):
-            return os.path.join(REPO_ROOT, candidate)
-    return None
-
-
-def files_from_compile_db(db_dir: str) -> list[str]:
-    with open(os.path.join(db_dir, "compile_commands.json"),
-              encoding="utf-8") as f:
-        entries = json.load(f)
-    seen: dict[str, None] = {}
-    for e in entries:
-        p = os.path.abspath(os.path.join(e.get("directory", "."), e["file"]))
-        rel = _rel(p)
-        # Lint first-party translation units only; headers ride along below.
-        if rel.startswith(("src/", "tests/", "bench/", "examples/")):
-            seen[p] = None
-    # compile_commands.json has no headers; fold in first-party headers so
-    # header-only misuse (e.g. a mutex in a sched header) is still caught.
-    for root in ("src",):
-        for dirpath, _dirs, names in os.walk(os.path.join(REPO_ROOT, root)):
-            for n in sorted(names):
-                if n.endswith((".hpp", ".h")):
-                    seen[os.path.join(dirpath, n)] = None
-    return list(seen)
-
-
-def lint_paths(paths: list[str], backend, rules: list[Rule]) -> list[Finding]:
-    findings: list[Finding] = []
-    for path in paths:
-        sf = backend.lex(path)
-        for rule in rules:
-            if rule.applies_to(sf.effective_path):
-                findings.extend(rule.check(sf))
-    findings.sort(key=lambda f: (f.path, f.line, f.rule))
-    return findings
-
-
-def run_self_test(backend, rules: list[Rule]) -> int:
-    if not os.path.isdir(FIXTURE_DIR):
-        print(f"tcb-lint: fixture directory missing: {FIXTURE_DIR}",
-              file=sys.stderr)
-        return 2
-    failures = 0
-    fixture_files = sorted(
-        os.path.join(FIXTURE_DIR, n) for n in os.listdir(FIXTURE_DIR)
-        if n.endswith((".cpp", ".hpp")))
-    if not fixture_files:
-        print("tcb-lint: no fixtures found", file=sys.stderr)
-        return 2
-    for path in fixture_files:
-        sf = backend.lex(path)
-        expected = sorted(EXPECT_RE.findall("\n".join(sf.raw_lines)))
-        got = sorted({f.rule for f in lint_paths([path], backend, rules)})
-        unknown = [r for r in expected if r not in RULES]
-        if unknown:
-            print(f"SELF-TEST FAIL {sf.path}: unknown rule(s) in expectations: "
-                  f"{', '.join(unknown)}")
-            failures += 1
-            continue
-        if got == sorted(set(expected)):
-            print(f"self-test ok   {sf.path}: "
-                  f"{', '.join(expected) if expected else '(clean)'}")
-        else:
-            print(f"SELF-TEST FAIL {sf.path}: expected "
-                  f"[{', '.join(expected) or 'clean'}] got "
-                  f"[{', '.join(got) or 'clean'}]")
-            failures += 1
-    if failures:
-        print(f"tcb-lint self-test: {failures} fixture(s) failed",
-              file=sys.stderr)
-        return 1
-    print(f"tcb-lint self-test: {len(fixture_files)} fixture(s) ok")
-    return 0
-
-
-def main(argv: list[str] | None = None) -> int:
-    ap = argparse.ArgumentParser(prog="tcb-lint", description=__doc__,
-                                 formatter_class=argparse.RawDescriptionHelpFormatter)
-    ap.add_argument("-p", "--build-dir", default=None,
-                    help="directory with compile_commands.json (default: "
-                         "autodetect build*/ like run-clang-tidy.sh)")
-    ap.add_argument("--backend", choices=("auto", "libclang", "text"),
-                    default="auto")
-    ap.add_argument("--rule", action="append", default=None,
-                    help="restrict to this rule (repeatable)")
-    ap.add_argument("--list-rules", action="store_true")
-    ap.add_argument("--self-test", action="store_true",
-                    help="lint the bundled fixtures against their "
-                         "// expect: annotations")
-    ap.add_argument("paths", nargs="*",
-                    help="files to lint (default: every first-party TU in "
-                         "compile_commands.json plus src/ headers)")
-    args = ap.parse_args(argv)
-
-    if args.list_rules:
-        for name in sorted(RULES):
-            print(f"{name}\n    {RULES[name].description}")
-        return 0
-
-    rule_names = args.rule or sorted(RULES)
-    unknown = [r for r in rule_names if r not in RULES]
-    if unknown:
-        print(f"tcb-lint: unknown rule(s): {', '.join(unknown)}; "
-              f"try --list-rules", file=sys.stderr)
-        return 2
-    rules = [RULES[r] for r in rule_names]
-
-    db_dir = args.build_dir or discover_compile_db()
-    backend = make_backend(args.backend, db_dir)
-
-    if args.self_test:
-        return run_self_test(backend, rules)
-
-    if args.paths:
-        paths = [os.path.abspath(p) for p in args.paths]
-        missing = [p for p in paths if not os.path.isfile(p)]
-        if missing:
-            print(f"tcb-lint: no such file: {', '.join(missing)}",
-                  file=sys.stderr)
-            return 2
-    else:
-        if db_dir is None:
-            print("tcb-lint: no compile_commands.json found; configure a "
-                  "build first (cmake --preset release) or pass files "
-                  "explicitly.", file=sys.stderr)
-            return 2
-        paths = files_from_compile_db(db_dir)
-
-    findings = lint_paths(paths, backend, rules)
-    for f in findings:
-        print(f.render())
-    print(f"tcb-lint ({backend.name}): {len(paths)} file(s), "
-          f"{len(findings)} finding(s)", file=sys.stderr)
-    return 1 if findings else 0
-
+from tcb_lint.cli import main  # noqa: E402
 
 if __name__ == "__main__":
     sys.exit(main())

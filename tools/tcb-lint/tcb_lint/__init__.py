@@ -1,0 +1,30 @@
+"""tcb_lint — the TCB project's static-analysis framework.
+
+What started as one script of per-file syntactic rules is now a small
+analysis framework (DESIGN.md §11):
+
+  source.py     lexed source model (comment/string-blanked view, findings,
+                suppressions) shared by every backend and rule
+  backends.py   the two lexing backends (libclang when importable, a
+                dependency-free textual fallback) behind one cached probe
+  program.py    the whole-program index: classes, mutex members, function
+                definitions, lock-scope tracking, a name-resolved call
+                graph — the substrate the cross-TU rules run on
+  rules/        the rule registry; style.py holds the per-file rules,
+                concurrency.py the cross-TU lock-order and
+                blocking-under-lock analyses, taint.py the admission
+                taint pass
+  baseline.py   the checked-in findings baseline (ratchet: legacy findings
+                are suppressed, new ones fail, --update-baseline
+                regenerates deterministically)
+  sarif.py      SARIF 2.1.0 output for CI artifact upload
+  cli.py        the driver: file discovery via compile_commands.json,
+                self-test over fixtures/, flag handling
+
+The public entry point is tools/tcb-lint/tcb_lint.py, kept as a thin shim
+so ctest entries and CI invocations predating the package keep working.
+"""
+
+from tcb_lint.source import Finding, SourceFile  # noqa: F401
+
+__version__ = "2.0"

@@ -1,0 +1,162 @@
+"""Lexing backends.
+
+Two backends produce the comment/string-blanked view the rules run on:
+
+  libclang  accurate lexing through clang.cindex when the Python bindings
+            and a loadable libclang are present.
+  text      a dependency-free fallback that strips comments and string
+            literals itself.  Always available; this is what minimal
+            containers and the repo's own ctest entries use.
+
+`--backend auto` picks libclang when importable and falls back to text with
+a single notice.  The availability probe is cached process-wide: the old
+script re-raised (and re-printed the fallback warning) every time a backend
+was constructed, which flooded CI logs on machines without libclang.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+from tcb_lint.source import (REPO_ROOT, SourceFile, _collect_suppressions,
+                             _strip_comments_and_strings, apply_fixture_path,
+                             rel)
+
+
+class TextBackend:
+    """Dependency-free lexer: strips comments/strings itself."""
+
+    name = "text"
+
+    def lex(self, path: str) -> SourceFile:
+        with open(path, encoding="utf-8", errors="replace") as f:
+            text = f.read()
+        raw_lines = text.splitlines()
+        stripped = _strip_comments_and_strings(text).splitlines()
+        # splitlines() drops a trailing empty segment symmetrically for both.
+        sf = SourceFile(path=rel(path), effective_path=rel(path),
+                        raw_lines=raw_lines, lines=stripped,
+                        suppressions=_collect_suppressions(raw_lines))
+        apply_fixture_path(sf)
+        return sf
+
+
+class LibclangBackend:
+    """Lexes through clang.cindex for exact tokenization.
+
+    Only the token stream is used (the rules are lexical and
+    path-structural), so a TU that fails to fully parse still lints.
+    """
+
+    name = "libclang"
+
+    def __init__(self, compile_db_dir: str | None):
+        import clang.cindex as cindex  # noqa: F401  (import errors gate the backend)
+
+        self._cindex = cindex
+        self._index = cindex.Index.create()  # raises if libclang cannot load
+        self._db = None
+        if compile_db_dir:
+            try:
+                self._db = cindex.CompilationDatabase.fromDirectory(compile_db_dir)
+            except cindex.CompilationDatabaseError:
+                self._db = None
+
+    def _args_for(self, path: str) -> list[str]:
+        if self._db is None:
+            return ["-std=c++20", f"-I{os.path.join(REPO_ROOT, 'src')}"]
+        cmds = self._db.getCompileCommands(path)
+        if not cmds:
+            return ["-std=c++20", f"-I{os.path.join(REPO_ROOT, 'src')}"]
+        args = list(cmds[0].arguments)[1:]  # drop the compiler itself
+        # Drop the output/input file arguments; keep -I/-D/-std et al.
+        cleaned, skip = [], False
+        for a in args:
+            if skip:
+                skip = False
+                continue
+            if a in ("-o", "-c"):
+                skip = a == "-o"
+                continue
+            if a == path or a.endswith(os.path.basename(path)):
+                continue
+            cleaned.append(a)
+        return cleaned
+
+    def lex(self, path: str) -> SourceFile:
+        cindex = self._cindex
+        with open(path, encoding="utf-8", errors="replace") as f:
+            text = f.read()
+        raw_lines = text.splitlines()
+        tu = self._index.parse(
+            path, args=self._args_for(path),
+            options=cindex.TranslationUnit.PARSE_DETAILED_PROCESSING_RECORD)
+        # Rebuild a comment/string-blanked view from the token stream so the
+        # shared rule logic sees identical structure from both backends.
+        blank = [" " * len(l) for l in raw_lines]
+        for tok in tu.get_tokens(extent=tu.cursor.extent):
+            if tok.kind in (cindex.TokenKind.COMMENT,):
+                continue
+            spelled = tok.spelling
+            if tok.kind == cindex.TokenKind.LITERAL and spelled.startswith(('"', "'")):
+                spelled = spelled[0] + " " * max(0, len(spelled) - 2) + spelled[0]
+            loc = tok.location
+            ln, col = loc.line - 1, loc.column - 1
+            for part_no, part in enumerate(spelled.splitlines() or [""]):
+                row = ln + part_no
+                if row >= len(blank):
+                    break
+                start = col if part_no == 0 else 0
+                line = blank[row]
+                blank[row] = line[:start] + part + line[start + len(part):]
+        sf = SourceFile(path=rel(path), effective_path=rel(path),
+                        raw_lines=raw_lines, lines=blank,
+                        suppressions=_collect_suppressions(raw_lines))
+        apply_fixture_path(sf)
+        return sf
+
+
+# Result of the one-time libclang availability probe: None = not yet probed,
+# (True, None) = usable, (False, "<reason>") = unavailable.  Keeping the
+# verdict (not a backend instance) cached means different compile-db
+# directories still get their own CompilationDatabase.
+_LIBCLANG_PROBE: tuple[bool, str | None] | None = None
+
+
+def _probe_libclang() -> tuple[bool, str | None]:
+    global _LIBCLANG_PROBE
+    if _LIBCLANG_PROBE is None:
+        try:
+            import clang.cindex as cindex
+
+            cindex.Index.create()
+            _LIBCLANG_PROBE = (True, None)
+        except Exception as e:  # ImportError or libclang load failure
+            _LIBCLANG_PROBE = (False, e.__class__.__name__)
+    return _LIBCLANG_PROBE
+
+
+def reset_probe_cache() -> None:
+    """Test hook: forget the cached libclang verdict."""
+    global _LIBCLANG_PROBE
+    _LIBCLANG_PROBE = None
+
+
+def make_backend(kind: str, compile_db_dir: str | None, *, quiet: bool = False):
+    if kind == "text":
+        return TextBackend()
+    if kind == "libclang":
+        return LibclangBackend(compile_db_dir)
+    # auto: probe once per process, warn once per process.
+    ok, reason = _probe_libclang()
+    if ok:
+        try:
+            return LibclangBackend(compile_db_dir)
+        except Exception as e:  # pragma: no cover - probe said yes, ctor said no
+            reason = e.__class__.__name__
+    if not quiet and not getattr(make_backend, "_warned", False):
+        make_backend._warned = True
+        print(f"tcb-lint: libclang backend unavailable ({reason}); "
+              "using the textual backend.", file=sys.stderr)
+    return TextBackend()

@@ -1,0 +1,73 @@
+"""Checked-in findings baseline (the ratchet).
+
+The baseline file records known findings so a new rule can land with the
+tree's existing debt suppressed while any *new* finding still fails CI.
+The contract:
+
+  - a finding whose (rule, path, message) key appears in the baseline is
+    suppressed (line numbers deliberately excluded: code above a legacy
+    finding moving it down must not un-suppress it);
+  - findings not in the baseline fail as usual;
+  - `--update-baseline` regenerates the file deterministically: stable
+    sort, repo-relative paths, trailing newline — so regeneration is
+    byte-identical for identical findings and diffs stay reviewable.
+
+Shrinking the baseline is always allowed (stale entries are reported so
+they can be pruned); growing it is a reviewed decision, not an automatic
+escape hatch.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from tcb_lint.source import Finding
+
+DEFAULT_BASELINE = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "baseline.json")
+
+_VERSION = 1
+
+
+def load(path: str) -> set[tuple[str, str, str]]:
+    """Keys of baselined findings; empty set when the file is absent."""
+    if not os.path.isfile(path):
+        return set()
+    with open(path, encoding="utf-8") as f:
+        data = json.load(f)
+    if data.get("version") != _VERSION:
+        raise ValueError(f"unsupported baseline version in {path}: "
+                         f"{data.get('version')!r}")
+    return {(e["rule"], e["path"], e["message"])
+            for e in data.get("findings", [])}
+
+
+def apply(findings: list[Finding], baseline: set[tuple[str, str, str]]
+          ) -> tuple[list[Finding], int, list[tuple[str, str, str]]]:
+    """(new findings, suppressed count, stale baseline entries)."""
+    new = [f for f in findings if f.key() not in baseline]
+    suppressed = len(findings) - len(new)
+    present = {f.key() for f in findings}
+    stale = sorted(k for k in baseline if k not in present)
+    return new, suppressed, stale
+
+
+def update(findings: list[Finding], path: str) -> None:
+    """Write the baseline for the current findings, deterministically."""
+    entries = sorted(
+        {(f.rule, f.path, f.line, f.message) for f in findings})
+    data = {
+        "version": _VERSION,
+        "comment": "tcb-lint findings baseline: entries here are legacy "
+                   "findings ratcheted out of CI failure. Regenerate with "
+                   "--update-baseline; shrink freely, grow only with review.",
+        "findings": [
+            {"rule": r, "path": p, "line": ln, "message": m}
+            for r, p, ln, m in entries
+        ],
+    }
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(data, f, indent=2, sort_keys=True)
+        f.write("\n")

@@ -1,0 +1,259 @@
+"""The tcb-lint driver.
+
+File discovery is driven by compile_commands.json (same logic as
+scripts/run-clang-tidy.sh): every first-party TU, plus all src/ headers
+(which the compile DB never lists).  The per-file rules run on each lexed
+file; the whole-program rules (lock-order-graph, no-blocking-under-lock,
+tainted-admission) run once on a ProgramIndex built from the same lexed
+set, so a single invocation is one coherent whole-program analysis.
+
+Self-test fixtures come in two shapes under tools/tcb-lint/fixtures/:
+
+  file fixtures       one .cpp/.hpp checked on its own (per-file rules and
+                      the program rules over the single-file "program");
+  directory fixtures  a multi-file mini-program (cross-TU cases like an
+                      ABBA deadlock split over two TUs); expectations are
+                      the union of `// expect:` annotations in the dir.
+
+Exit codes: 0 clean, 1 findings (subject to --fail-on and the baseline),
+2 usage or environment error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+from tcb_lint import __version__, baseline as baseline_mod, sarif
+from tcb_lint.backends import make_backend
+from tcb_lint.program import build_index
+from tcb_lint.rules import RULES, Rule, program_rules
+from tcb_lint.source import EXPECT_RE, FIXTURE_DIR, REPO_ROOT, Finding
+
+
+def discover_compile_db() -> str | None:
+    for candidate in ("build", "build-release", "build-debug",
+                      "build-asan-ubsan"):
+        if os.path.isfile(os.path.join(REPO_ROOT, candidate,
+                                       "compile_commands.json")):
+            return os.path.join(REPO_ROOT, candidate)
+    return None
+
+
+def files_from_compile_db(db_dir: str) -> list[str]:
+    from tcb_lint.source import rel
+
+    with open(os.path.join(db_dir, "compile_commands.json"),
+              encoding="utf-8") as f:
+        entries = json.load(f)
+    seen: dict[str, None] = {}
+    for e in entries:
+        p = os.path.abspath(os.path.join(e.get("directory", "."), e["file"]))
+        r = rel(p)
+        # Lint first-party translation units only; headers ride along below.
+        if r.startswith(("src/", "tests/", "bench/", "examples/")):
+            seen[p] = None
+    # compile_commands.json has no headers; fold in first-party headers so
+    # header-only misuse (e.g. a mutex in a sched header) is still caught.
+    for root in ("src",):
+        for dirpath, _dirs, names in os.walk(os.path.join(REPO_ROOT, root)):
+            for n in sorted(names):
+                if n.endswith((".hpp", ".h")):
+                    seen[os.path.join(dirpath, n)] = None
+    return list(seen)
+
+
+def lint_paths(paths: list[str], backend, rules: list[Rule]) -> list[Finding]:
+    """Lex once, run per-file rules per file and program rules on the set."""
+    sources = [backend.lex(p) for p in paths]
+    findings: list[Finding] = []
+    prog = program_rules(rules)
+    file_rules = [r for r in rules if r not in prog]
+    for sf in sources:
+        for rule in file_rules:
+            if rule.applies_to(sf.effective_path):
+                findings.extend(rule.check(sf))
+    if prog:
+        index = build_index(sources)
+        for rule in prog:
+            findings.extend(rule.check_program(index))
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return findings
+
+
+def _fixture_units() -> list[tuple[str, list[str]]]:
+    """(display name, file list) per fixture: files, then directories."""
+    units: list[tuple[str, list[str]]] = []
+    for name in sorted(os.listdir(FIXTURE_DIR)):
+        full = os.path.join(FIXTURE_DIR, name)
+        if os.path.isfile(full) and name.endswith((".cpp", ".hpp")):
+            units.append((name, [full]))
+        elif os.path.isdir(full):
+            members = sorted(
+                os.path.join(full, n) for n in os.listdir(full)
+                if n.endswith((".cpp", ".hpp")))
+            if members:
+                units.append((name + "/", members))
+    return units
+
+
+def run_self_test(backend, rules: list[Rule]) -> int:
+    if not os.path.isdir(FIXTURE_DIR):
+        print(f"tcb-lint: fixture directory missing: {FIXTURE_DIR}",
+              file=sys.stderr)
+        return 2
+    units = _fixture_units()
+    if not units:
+        print("tcb-lint: no fixtures found", file=sys.stderr)
+        return 2
+    failures = 0
+    for display, paths in units:
+        expected: list[str] = []
+        for p in paths:
+            with open(p, encoding="utf-8", errors="replace") as f:
+                expected.extend(EXPECT_RE.findall(f.read()))
+        expected = sorted(set(expected))
+        unknown = [r for r in expected if r not in RULES]
+        if unknown:
+            print(f"SELF-TEST FAIL {display}: unknown rule(s) in "
+                  f"expectations: {', '.join(unknown)}")
+            failures += 1
+            continue
+        got = sorted({f.rule for f in lint_paths(paths, backend, rules)})
+        if got == expected:
+            print(f"self-test ok   {display}: "
+                  f"{', '.join(expected) if expected else '(clean)'}")
+        else:
+            print(f"SELF-TEST FAIL {display}: expected "
+                  f"[{', '.join(expected) or 'clean'}] got "
+                  f"[{', '.join(got) or 'clean'}]")
+            failures += 1
+    if failures:
+        print(f"tcb-lint self-test: {failures} fixture(s) failed",
+              file=sys.stderr)
+        return 1
+    print(f"tcb-lint self-test: {len(units)} fixture(s) ok")
+    return 0
+
+
+def _parse_rule_args(rule_args: list[str] | None) -> list[str]:
+    if not rule_args:
+        return sorted(RULES)
+    names: list[str] = []
+    for arg in rule_args:
+        names.extend(r.strip() for r in arg.split(",") if r.strip())
+    return names
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="tcb-lint", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("-p", "--build-dir", default=None,
+                    help="directory with compile_commands.json (default: "
+                         "autodetect build*/ like run-clang-tidy.sh)")
+    ap.add_argument("--backend", choices=("auto", "libclang", "text"),
+                    default="auto")
+    ap.add_argument("--strict-backend", action="store_true",
+                    help="fail (exit 2) instead of falling back to the "
+                         "textual backend when libclang is unavailable "
+                         "under --backend auto/libclang")
+    ap.add_argument("--rule", action="append", default=None,
+                    help="restrict to these rules (repeatable, "
+                         "comma-separated)")
+    ap.add_argument("--list-rules", action="store_true")
+    ap.add_argument("--self-test", action="store_true",
+                    help="lint the bundled fixtures against their "
+                         "// expect: annotations")
+    ap.add_argument("--sarif", metavar="PATH", default=None,
+                    help="also write findings as SARIF 2.1.0 to PATH")
+    ap.add_argument("--baseline", metavar="PATH",
+                    default=baseline_mod.DEFAULT_BASELINE,
+                    help="findings baseline to ratchet against (default: "
+                         "tools/tcb-lint/baseline.json)")
+    ap.add_argument("--no-baseline", action="store_true",
+                    help="ignore the baseline; report every finding")
+    ap.add_argument("--update-baseline", action="store_true",
+                    help="rewrite the baseline from the current findings "
+                         "(deterministic: stable sort, relative paths)")
+    ap.add_argument("--fail-on", choices=("error", "warning"),
+                    default="error",
+                    help="exit non-zero on findings at or above this "
+                         "severity (default: error; 'warning' also fails "
+                         "on advisory findings)")
+    ap.add_argument("paths", nargs="*",
+                    help="files to lint (default: every first-party TU in "
+                         "compile_commands.json plus src/ headers)")
+    args = ap.parse_args(argv)
+
+    if args.list_rules:
+        for name in sorted(RULES):
+            print(f"{name}\n    {RULES[name].description}")
+        return 0
+
+    rule_names = _parse_rule_args(args.rule)
+    unknown = [r for r in rule_names if r not in RULES]
+    if unknown:
+        print(f"tcb-lint: unknown rule(s): {', '.join(unknown)}; "
+              f"try --list-rules", file=sys.stderr)
+        return 2
+    rules = [RULES[r] for r in rule_names]
+
+    db_dir = args.build_dir or discover_compile_db()
+    backend = make_backend(args.backend, db_dir)
+    if args.strict_backend and args.backend != "text" \
+            and backend.name != "libclang":
+        print("tcb-lint: --strict-backend: libclang is required but "
+              "unavailable; install the clang Python bindings or pass "
+              "--backend text explicitly.", file=sys.stderr)
+        return 2
+
+    if args.self_test:
+        return run_self_test(backend, rules)
+
+    if args.paths:
+        paths = [os.path.abspath(p) for p in args.paths]
+        missing = [p for p in paths if not os.path.isfile(p)]
+        if missing:
+            print(f"tcb-lint: no such file: {', '.join(missing)}",
+                  file=sys.stderr)
+            return 2
+    else:
+        if db_dir is None:
+            print("tcb-lint: no compile_commands.json found; configure a "
+                  "build first (cmake --preset release) or pass files "
+                  "explicitly.", file=sys.stderr)
+            return 2
+        paths = files_from_compile_db(db_dir)
+
+    findings = lint_paths(paths, backend, rules)
+
+    if args.update_baseline:
+        baseline_mod.update(findings, args.baseline)
+        print(f"tcb-lint: baseline updated: {args.baseline} "
+              f"({len(findings)} finding(s))", file=sys.stderr)
+        return 0
+
+    suppressed = 0
+    if not args.no_baseline:
+        known = baseline_mod.load(args.baseline)
+        findings, suppressed, stale = baseline_mod.apply(findings, known)
+        for k in stale:
+            print(f"tcb-lint: stale baseline entry (fixed? prune it): "
+                  f"[{k[0]}] {k[1]}: {k[2]}", file=sys.stderr)
+
+    if args.sarif:
+        sarif.write(args.sarif, findings, dict(RULES), __version__)
+
+    for f in findings:
+        print(f.render())
+    failing = [f for f in findings
+               if f.severity == "error" or args.fail_on == "warning"]
+    summary = (f"tcb-lint ({backend.name}): {len(paths)} file(s), "
+               f"{len(findings)} finding(s)")
+    if suppressed:
+        summary += f", {suppressed} baselined"
+    print(summary, file=sys.stderr)
+    return 1 if failing else 0

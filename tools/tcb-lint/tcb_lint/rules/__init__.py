@@ -1,0 +1,71 @@
+"""Rule registry.
+
+Two kinds of rule live here:
+
+  Rule         per-file: sees one lexed SourceFile at a time (style.py).
+  ProgramRule  whole-program: sees the cross-TU ProgramIndex built from
+               every file in the lint set (concurrency.py, taint.py).
+
+Importing this package pulls in every rule module so `RULES` is complete
+after `import tcb_lint.rules`.
+"""
+
+from __future__ import annotations
+
+import re
+
+from tcb_lint.source import Finding, SourceFile
+
+RULES: dict[str, "Rule"] = {}
+
+
+class Rule:
+    name = ""
+    description = ""
+
+    def applies_to(self, effective_path: str) -> bool:
+        raise NotImplementedError
+
+    def check(self, sf: SourceFile) -> list[Finding]:
+        raise NotImplementedError
+
+
+class ProgramRule(Rule):
+    """A rule that needs the whole-program index, not a single file.
+
+    The driver lexes every file once, builds one ProgramIndex, and calls
+    `check_program` on each registered ProgramRule.  `applies_to`/`check`
+    exist so the per-file loop skips these cleanly.
+    """
+
+    def applies_to(self, effective_path: str) -> bool:
+        return False
+
+    def check(self, sf: SourceFile) -> list[Finding]:
+        return []
+
+    def check_program(self, index) -> list[Finding]:
+        raise NotImplementedError
+
+
+def register(cls):
+    RULES[cls.name] = cls()
+    return cls
+
+
+def program_rules(rules: list[Rule]) -> list[ProgramRule]:
+    return [r for r in rules if isinstance(r, ProgramRule)]
+
+
+def scan_lines(sf: SourceFile, pattern: re.Pattern, rule: str,
+               message: str) -> list[Finding]:
+    out = []
+    for idx, line in enumerate(sf.lines, start=1):
+        if pattern.search(line) and not sf.suppressed(rule, idx):
+            out.append(Finding(rule, sf.path, idx, message))
+    return out
+
+
+from tcb_lint.rules import style        # noqa: E402,F401
+from tcb_lint.rules import concurrency  # noqa: E402,F401
+from tcb_lint.rules import taint        # noqa: E402,F401

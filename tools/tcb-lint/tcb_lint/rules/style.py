@@ -1,0 +1,343 @@
+"""Per-file syntactic rules (the original tcb-lint rule pack).
+
+These enforce invariants that generic clang-tidy checks cannot express
+because they are about *this* project's architecture (DESIGN.md §7):
+token-accessor ownership, concurrency confinement, virtual-clock purity,
+checked span boundaries, memory ownership, the sync-wrapper monopoly,
+annotated shared state, and the include-layering DAG.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+
+from tcb_lint.rules import Rule, register, scan_lines
+from tcb_lint.source import Finding, SourceFile
+
+
+@register
+class NoRawTokenIndexing(Rule):
+    name = "no-raw-token-indexing"
+    description = ("token storage is indexed only through its owning accessor "
+                   "(PackedBatch::token_at / flat_offset); raw tokens[...] or "
+                   "tokens.data() arithmetic elsewhere reintroduces the "
+                   "swapped-row/column bug class")
+    OWNERS = ("src/batching/packed_batch.hpp", "src/batching/packed_batch.cpp")
+    PATTERN = re.compile(r"\btokens\s*(\[|\.\s*data\s*\()")
+
+    def applies_to(self, path: str) -> bool:
+        return path not in self.OWNERS
+
+    def check(self, sf: SourceFile) -> list[Finding]:
+        return scan_lines(
+            sf, self.PATTERN, self.name,
+            "raw token-buffer indexing outside the owning accessor; go through "
+            "PackedBatch::token_at(Row, Col) or Request token helpers")
+
+
+@register
+class ThreadsOnlyInParallel(Rule):
+    name = "threads-only-in-parallel"
+    description = ("concurrency primitives (std::thread/async/mutex/"
+                   "condition_variable...) are confined to src/parallel/; "
+                   "everything else uses the ThreadPool API")
+    PATTERN = re.compile(
+        r"\bstd\s*::\s*(thread|jthread|async|mutex|timed_mutex|recursive_mutex|"
+        r"recursive_timed_mutex|shared_mutex|shared_timed_mutex|"
+        r"condition_variable(_any)?)\b")
+
+    def applies_to(self, path: str) -> bool:
+        in_scope = path.startswith(("src/", "tests/", "bench/", "examples/"))
+        return in_scope and not path.startswith(("src/parallel/", "tests/parallel/"))
+
+    def check(self, sf: SourceFile) -> list[Finding]:
+        return scan_lines(
+            sf, self.PATTERN, self.name,
+            "raw concurrency primitive outside src/parallel/; submit work "
+            "through tcb::ThreadPool instead")
+
+
+@register
+class NoWallClockInSched(Rule):
+    name = "no-wall-clock-in-sched"
+    description = ("src/sched/ and src/serving/ run on the deterministic "
+                   "virtual clock; wall-clock reads (steady_clock::now, "
+                   "Timer) break replayability unless explicitly allowed")
+    PATTERN = re.compile(
+        r"\b(system_clock|steady_clock|high_resolution_clock)\s*::\s*now\s*\(|"
+        r"\bTimer\b")
+
+    def applies_to(self, path: str) -> bool:
+        return path.startswith(("src/sched/", "src/serving/"))
+
+    def check(self, sf: SourceFile) -> list[Finding]:
+        return scan_lines(
+            sf, self.PATTERN, self.name,
+            "wall-clock read in virtual-clock code; use the simulation clock, "
+            "or annotate a deliberate overhead measurement with "
+            "// tcb-lint: allow(no-wall-clock-in-sched)")
+
+
+@register
+class CheckedEngineBoundary(Rule):
+    name = "checked-engine-boundary"
+    description = ("function definitions taking an (offset, length)-style "
+                   "parameter pair must validate the span with "
+                   "TCB_CHECK/TCB_DCHECK before indexing with it")
+    # A function header: name(params) [qualifiers] {   -- captured lazily and
+    # verified by counting braces from the opening one.
+    HEADER_RE = re.compile(
+        r"\b([A-Za-z_]\w*)\s*\(([^()]*)\)\s*"
+        r"(?:const\s*)?(?:noexcept\s*)?(?:->\s*[\w:<>]+\s*)?\{", re.S)
+    OFFSET_RE = re.compile(r"\b\w*(offset|begin|start)\w*\b", re.I)
+    LENGTH_RE = re.compile(r"\b\w*(length|len|count)\w*\b", re.I)
+    CHECK_RE = re.compile(r"\bTCB_D?CHECK\b")
+    KEYWORDS = {"if", "for", "while", "switch", "return", "catch", "sizeof",
+                "static_assert", "decltype", "alignof", "new", "delete"}
+
+    def applies_to(self, path: str) -> bool:
+        return path.startswith("src/")
+
+    def check(self, sf: SourceFile) -> list[Finding]:
+        code = sf.code()
+        out = []
+        for m in self.HEADER_RE.finditer(code):
+            fn_name, params = m.group(1), m.group(2)
+            if fn_name in self.KEYWORDS:
+                continue
+            if not (self.OFFSET_RE.search(params) and self.LENGTH_RE.search(params)):
+                continue
+            body = self._body(code, m.end() - 1)
+            if body is None or self.CHECK_RE.search(body):
+                continue
+            line_no = code.count("\n", 0, m.start()) + 1
+            if sf.suppressed(self.name, line_no):
+                continue
+            out.append(Finding(
+                self.name, sf.path, line_no,
+                f"'{fn_name}' takes an offset/length pair but its body has no "
+                "TCB_CHECK/TCB_DCHECK guarding the span"))
+        return out
+
+    @staticmethod
+    def _body(code: str, open_brace: int) -> str | None:
+        depth = 0
+        for i in range(open_brace, len(code)):
+            if code[i] == "{":
+                depth += 1
+            elif code[i] == "}":
+                depth -= 1
+                if depth == 0:
+                    return code[open_brace + 1:i]
+        return None
+
+
+@register
+class NoRawNewDelete(Rule):
+    name = "no-raw-new-delete"
+    description = ("first-party engine code owns memory through containers "
+                   "and smart pointers; raw new/delete expressions are "
+                   "forbidden in src/")
+    PATTERN = re.compile(r"(?<!_)\b(new|delete)\b(?!_)(?!\s*\()")
+    DELETED_FN_RE = re.compile(r"=\s*delete\b")
+
+    def applies_to(self, path: str) -> bool:
+        return path.startswith("src/")
+
+    def check(self, sf: SourceFile) -> list[Finding]:
+        out = []
+        for idx, line in enumerate(sf.lines, start=1):
+            # `= delete` declarations are the C++ idiom, not a deallocation.
+            scrubbed = self.DELETED_FN_RE.sub("", line)
+            if self.PATTERN.search(scrubbed) and not sf.suppressed(self.name, idx):
+                out.append(Finding(
+                    self.name, sf.path, idx,
+                    "raw new/delete expression; use std::vector, "
+                    "std::unique_ptr, or std::make_unique"))
+        return out
+
+
+@register
+class UseTcbSync(Rule):
+    name = "use-tcb-sync"
+    description = ("raw std synchronization primitives (mutex, "
+                   "condition_variable, lock_guard, unique_lock, ...) are "
+                   "confined to src/parallel/sync.hpp; everything else uses "
+                   "the annotated tcb::Mutex/CondVar/MutexLock wrappers so "
+                   "Clang Thread Safety Analysis can check the lock "
+                   "discipline")
+    OWNER = "src/parallel/sync.hpp"
+    PATTERN = re.compile(
+        r"\bstd\s*::\s*(mutex|timed_mutex|recursive_mutex|"
+        r"recursive_timed_mutex|shared_mutex|shared_timed_mutex|"
+        r"condition_variable(_any)?|lock_guard|unique_lock|scoped_lock|"
+        r"shared_lock)\b")
+
+    def applies_to(self, path: str) -> bool:
+        in_scope = path.startswith(("src/", "tests/", "bench/", "examples/"))
+        return in_scope and path != self.OWNER
+
+    def check(self, sf: SourceFile) -> list[Finding]:
+        return scan_lines(
+            sf, self.PATTERN, self.name,
+            "raw synchronization primitive outside parallel/sync.hpp; use "
+            "tcb::Mutex / tcb::CondVar / tcb::MutexLock so the thread "
+            "safety analysis sees the lock")
+
+
+@register
+class AnnotatedSharedState(Rule):
+    name = "annotated-shared-state"
+    description = ("every tcb::Mutex or std::atomic declaration in src/ "
+                   "must declare its role in the lock discipline: "
+                   "TCB_GUARDS(...) on a mutex (what it protects), "
+                   "TCB_GUARDED_BY(...) or TCB_LOCK_FREE on an atomic, or "
+                   "an explicit // tcb-lint: allow(annotated-shared-state)")
+    # A mutex- or atomic-typed declaration starting a line. MutexLock (the
+    # scope) is excluded by the lookahead; raw std mutexes are use-tcb-sync's
+    # business, so only the sanctioned tcb::Mutex and std::atomic are here.
+    DECL_RE = re.compile(
+        r"^\s*(?:mutable\s+)?(?:static\s+)?(?:inline\s+)?"
+        r"(?:(?:tcb\s*::\s*)?Mutex(?!Lock)\b"
+        r"|std\s*::\s*atomic(?:_flag\b|\w*\b)?(?:\s*<[^;{}()]*>)?)"
+        r"\s+\w+")
+    ANNOT_RE = re.compile(
+        r"\bTCB_(GUARDS|GUARDED_BY|PT_GUARDED_BY|LOCK_FREE|"
+        r"ACQUIRED_BEFORE|ACQUIRED_AFTER|LOCK_ORDER_ANCHOR)\b")
+
+    def applies_to(self, path: str) -> bool:
+        return path.startswith("src/")
+
+    def check(self, sf: SourceFile) -> list[Finding]:
+        out = []
+        for idx, line in enumerate(sf.lines, start=1):
+            if not self.DECL_RE.match(line):
+                continue
+            # The annotation may sit on the declaration's continuation line
+            # when the declarator wraps; join until the terminating ';'.
+            stmt = line
+            if ";" not in line and idx < len(sf.lines):
+                stmt += " " + sf.lines[idx]
+            if self.ANNOT_RE.search(stmt) or sf.suppressed(self.name, idx):
+                continue
+            out.append(Finding(
+                self.name, sf.path, idx,
+                "mutex/atomic declaration without a lock-discipline "
+                "annotation; add TCB_GUARDS(...) / TCB_GUARDED_BY(...) / "
+                "TCB_LOCK_FREE (see src/parallel/sync.hpp and DESIGN.md §9)"))
+        return out
+
+
+@register
+class IncludeLayering(Rule):
+    name = "include-layering"
+    description = ("#include edges between src/ modules must follow the "
+                   "layering DAG (DESIGN.md): util at the bottom, core at "
+                   "the top; e.g. sched may not include nn")
+    # module -> modules it may include (its own module is always allowed).
+    DAG = {
+        "util": set(),
+        "parallel": {"util"},
+        "tensor": {"parallel", "util"},
+        "batching": {"parallel", "tensor", "util"},
+        "text": {"batching", "tensor", "util"},
+        "workload": {"batching", "tensor", "util"},
+        "sched": {"batching", "tensor", "util"},
+        "nn": {"batching", "parallel", "tensor", "util"},
+        "serving": {"batching", "nn", "parallel", "sched", "tensor", "util"},
+        "core": {"batching", "nn", "parallel", "sched", "serving", "tensor",
+                 "text", "util", "workload"},
+    }
+    INCLUDE_RE = re.compile(r'#\s*include\s*"([a-z]+)/[^"]+"')
+
+    # Serving-internal refinement for the staged pipeline: file stem ->
+    # serving stems it may include (its own stem is always allowed). Clock
+    # and the queue sit at the bottom, the backend above the cost model, the
+    # pipeline above both, and the thin simulator wrapper on top. Stems not
+    # listed here (future serving files) are only module-checked.
+    SERVING_DAG = {
+        "clock": set(),
+        "cost_model": set(),
+        "request_queue": set(),
+        "backend": {"cost_model"},
+        "pipeline": {"backend", "clock", "request_queue"},
+        "simulator": {"cost_model", "pipeline"},
+    }
+    SERVING_INCLUDE_RE = re.compile(r'#\s*include\s*"serving/(\w+)\.hpp"')
+
+    def applies_to(self, path: str) -> bool:
+        parts = path.split("/")
+        return len(parts) >= 3 and parts[0] == "src" and parts[1] in self.DAG
+
+    def check(self, sf: SourceFile) -> list[Finding]:
+        module = sf.effective_path.split("/")[1]
+        allowed = self.DAG[module] | {module}
+        stem = os.path.splitext(os.path.basename(sf.effective_path))[0]
+        serving_allowed = None
+        if module == "serving" and stem in self.SERVING_DAG:
+            serving_allowed = self.SERVING_DAG[stem] | {stem}
+        out = []
+        # Includes survive stripping, but the quoted path does not -- read the
+        # raw lines and skip ones that are commented out via the stripped view.
+        for idx, (raw, stripped) in enumerate(
+                zip(sf.raw_lines, sf.lines), start=1):
+            if "#" not in stripped:
+                continue
+            m = self.INCLUDE_RE.search(raw)
+            if not m:
+                continue
+            target = m.group(1)
+            if (target in self.DAG and target not in allowed
+                    and not sf.suppressed(self.name, idx)):
+                out.append(Finding(
+                    self.name, sf.path, idx,
+                    f"module '{module}' may not include '{target}' "
+                    f"(allowed: {', '.join(sorted(allowed))})"))
+                continue
+            if serving_allowed is None:
+                continue
+            sm = self.SERVING_INCLUDE_RE.search(raw)
+            if not sm:
+                continue
+            starget = sm.group(1)
+            if (starget in self.SERVING_DAG and starget not in serving_allowed
+                    and not sf.suppressed(self.name, idx)):
+                out.append(Finding(
+                    self.name, sf.path, idx,
+                    f"serving-internal layering: '{stem}' may not include "
+                    f"'serving/{starget}.hpp' (allowed: "
+                    f"{', '.join(sorted(serving_allowed))})"))
+        return out
+
+
+@register
+class EngineBehindBackend(Rule):
+    name = "engine-behind-backend"
+    description = ("within src/serving/ only the execution-backend layer "
+                   "(backend.*, cost_model.*) may include the engine headers "
+                   "nn/model.hpp / nn/classifier.hpp; the pipeline's stages "
+                   "stay engine-agnostic behind ExecutionBackend "
+                   "(DESIGN.md §10)")
+    ALLOWED = ("src/serving/backend.hpp", "src/serving/backend.cpp",
+               "src/serving/cost_model.hpp", "src/serving/cost_model.cpp")
+    PATTERN = re.compile(r'#\s*include\s*"nn/(model|classifier)\.hpp"')
+
+    def applies_to(self, path: str) -> bool:
+        return path.startswith("src/serving/") and path not in self.ALLOWED
+
+    def check(self, sf: SourceFile) -> list[Finding]:
+        out = []
+        # Same raw/stripped split as include-layering: the include path is
+        # blanked in the stripped view, comments are blanked in the raw one.
+        for idx, (raw, stripped) in enumerate(
+                zip(sf.raw_lines, sf.lines), start=1):
+            if "#" not in stripped:
+                continue
+            if self.PATTERN.search(raw) and not sf.suppressed(self.name, idx):
+                out.append(Finding(
+                    self.name, sf.path, idx,
+                    "serving code outside the backend layer includes an "
+                    "engine header; route execution through ExecutionBackend "
+                    "(serving/backend.hpp)"))
+        return out

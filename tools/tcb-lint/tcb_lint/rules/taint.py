@@ -1,0 +1,226 @@
+"""tainted-admission: field-level taint tracking for Request geometry.
+
+Externally-sourced `Request` fields (length, deadline, arrival) enter the
+system through the serving/core admission surface.  Batch-geometry
+arithmetic in src/batching/ and slot math in src/sched/ trusts those fields
+(`used[r] += req.length` indexes token storage), so every admission path
+must route them through a TCB_CHECK/TCB_DCHECK validation — in this tree,
+`evict_unschedulable`'s post-conditions — before they reach a sink.
+
+The walk is a line-ordered DFS from every entry (serving/core function
+with a Request-typed parameter) through the resolved call graph, carrying
+the set of already-validated fields:
+
+  source     entry parameters taint {length, deadline, arrival}
+  sanitizer  a TCB_CHECK/TCB_DCHECK whose arguments mention a
+             Request-resolved field validates that field from there on;
+             a call's validations (transitive) persist in the caller
+  sink       a Request-resolved field used in arithmetic (+ - * / % and
+             compound assignments, or as an index) inside src/batching/
+             or src/sched/
+
+Precision policy as everywhere in the program rules: a field access only
+counts (as sanitizer or sink) when its receiver resolves to Request —
+`seg.length` on a Segment is not admission data.  Comparisons and
+assignments *into* a field are not sinks: the eviction filter itself
+compares `deadline < now` before validating, and must stay clean.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from tcb_lint.program import FunctionInfo, ProgramIndex, _match_brace
+from tcb_lint.rules import ProgramRule, register
+from tcb_lint.source import Finding
+
+TAINTED_FIELDS = ("length", "deadline", "arrival")
+ENTRY_DIRS = ("src/serving/", "src/core/")
+SINK_DIRS = ("src/batching/", "src/sched/")
+
+FIELD_RE = re.compile(
+    r"\b([A-Za-z_]\w*)(\s*\[[^\[\]]*\])?\s*(?:\.|->)\s*"
+    r"(length|deadline|arrival)\b")
+CHECK_RE = re.compile(r"\bTCB_D?CHECK\s*\(")
+
+ARITH_BEFORE = ("+", "-", "*", "/", "%", "+=", "-=", "*=", "/=", "%=", "[")
+ARITH_AFTER = ("+", "*", "/", "%")  # bare '-' after would also match '->'
+
+MAX_DEPTH = 12
+
+
+@dataclass(frozen=True)
+class _Event:
+    pos: int
+    kind: str          # "check" | "sink" | "call"
+    payload: object
+
+
+def _check_extents(body: str) -> list[tuple[int, int]]:
+    return [(m.start(), _match_brace_paren(body, m.end() - 1))
+            for m in CHECK_RE.finditer(body)]
+
+
+def _match_brace_paren(code: str, open_paren: int) -> int:
+    depth = 0
+    for i in range(open_paren, len(code)):
+        if code[i] == "(":
+            depth += 1
+        elif code[i] == ")":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return len(code)
+
+
+def _resolves_to_request(index: ProgramIndex, fn: FunctionInfo,
+                         var: str, indexed: bool) -> bool:
+    t = index._expr_type(var, fn)
+    if t is None:
+        return False
+    if indexed or t.startswith("std::"):
+        from tcb_lint.program import element_type
+        return element_type(t) == "Request"
+    return t == "Request"
+
+
+class _FileEvents:
+    """Per-function taint events, in body position order."""
+
+    def __init__(self, index: ProgramIndex, fn: FunctionInfo):
+        self.events: list[_Event] = []
+        self.direct_validates: frozenset[str] = frozenset()
+        body = fn.body
+        checks = _check_extents(body)
+
+        def in_check(pos: int) -> tuple[int, int] | None:
+            for s, e in checks:
+                if s <= pos < e:
+                    return (s, e)
+            return None
+
+        validated_here: set[str] = set()
+        for s, e in checks:
+            fields = set()
+            for m in FIELD_RE.finditer(body, s, e):
+                if _resolves_to_request(index, fn, m.group(1),
+                                        m.group(2) is not None):
+                    fields.add(m.group(3))
+            if fields:
+                self.events.append(_Event(s, "check", frozenset(fields)))
+                validated_here |= fields
+        self.direct_validates = frozenset(validated_here)
+
+        in_sink_file = index.effective_path(fn.path).startswith(SINK_DIRS)
+        if in_sink_file:
+            for m in FIELD_RE.finditer(body):
+                if in_check(m.start()):
+                    continue
+                if not _resolves_to_request(index, fn, m.group(1),
+                                            m.group(2) is not None):
+                    continue
+                before = body[:m.start()].rstrip()
+                after = body[m.end():].lstrip()
+                arith = (before.endswith(ARITH_BEFORE)
+                         and not before.endswith(("->", "<", ">", "<=", ">=",
+                                                  "==", "!=", "&&", "||"))) \
+                    or after.startswith(ARITH_AFTER)
+                # `x = req.length` copies rather than computes; `req.length =`
+                # writes into the field. Neither is a geometry sink.
+                if not arith:
+                    continue
+                self.events.append(_Event(
+                    m.start(), "sink",
+                    (m.group(3), index.line_of(fn, m.start()))))
+
+        for call in fn.calls:
+            callees = index.resolve_call(fn, call)
+            if callees:
+                self.events.append(_Event(call.pos, "call",
+                                          (call, tuple(callees))))
+        self.events.sort(key=lambda ev: ev.pos)
+
+
+@register
+class TaintedAdmission(ProgramRule):
+    name = "tainted-admission"
+    description = ("externally-sourced Request fields (length, deadline, "
+                   "arrival) must flow through a TCB_CHECK/TCB_DCHECK "
+                   "validation (e.g. evict_unschedulable's post-conditions) "
+                   "before reaching batch-geometry arithmetic in "
+                   "src/batching/ or slot math in src/sched/")
+
+    def check_program(self, index: ProgramIndex) -> list[Finding]:
+        events_cache: dict[int, _FileEvents] = {}
+        validates_cache: dict[int, frozenset[str]] = {}
+        findings: dict[tuple[str, int, str], Finding] = {}
+        visited: set[tuple[int, frozenset[str]]] = set()
+
+        def events_of(fn: FunctionInfo) -> _FileEvents:
+            key = id(fn)
+            if key not in events_cache:
+                events_cache[key] = _FileEvents(index, fn)
+            return events_cache[key]
+
+        def validates_closure(fn: FunctionInfo,
+                              stack: frozenset = frozenset()) -> frozenset[str]:
+            key = id(fn)
+            if key in validates_cache:
+                return validates_cache[key]
+            if key in stack:
+                return frozenset()
+            out = set(events_of(fn).direct_validates)
+            sub_stack = stack | {key}
+            for ev in events_of(fn).events:
+                if ev.kind == "call":
+                    _call, callees = ev.payload
+                    for callee in callees:
+                        out |= validates_closure(callee, sub_stack)
+            result = frozenset(out)
+            if not stack:
+                validates_cache[key] = result
+            return result
+
+        def walk(fn: FunctionInfo, validated: frozenset[str],
+                 chain: tuple[str, ...], depth: int) -> None:
+            key = (id(fn), validated)
+            if key in visited or depth > MAX_DEPTH:
+                return
+            visited.add(key)
+            cur = set(validated)
+            for ev in events_of(fn).events:
+                if ev.kind == "check":
+                    cur |= ev.payload
+                elif ev.kind == "sink":
+                    field, line = ev.payload
+                    if field in cur:
+                        continue
+                    fkey = (fn.path, line, field)
+                    if fkey in findings \
+                            or index.suppressed(self.name, fn.path, line):
+                        continue
+                    findings[fkey] = Finding(
+                        self.name, fn.path, line,
+                        f"Request.{field} reaches batch-geometry arithmetic "
+                        f"without TCB_CHECK validation (flow: "
+                        f"{' -> '.join(chain + (fn.qualname,))}); validate "
+                        f"the field on the admission path first")
+                else:
+                    _call, callees = ev.payload
+                    for callee in callees:
+                        walk(callee, frozenset(cur),
+                             chain + (fn.qualname,), depth + 1)
+                        cur |= validates_closure(callee)
+
+        for fn in index.functions:
+            eff = index.effective_path(fn.path)
+            if not eff.startswith(ENTRY_DIRS):
+                continue
+            if not re.search(r"\bRequest\b", fn.params):
+                continue
+            walk(fn, frozenset(), (), 0)
+
+        out = sorted(findings.values(),
+                     key=lambda f: (f.path, f.line, f.message))
+        return out

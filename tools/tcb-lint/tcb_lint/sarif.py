@@ -1,0 +1,67 @@
+"""SARIF 2.1.0 output for CI artifact upload and code-scanning ingestion."""
+
+from __future__ import annotations
+
+import json
+
+from tcb_lint.source import Finding
+
+_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+           "Schemata/sarif-schema-2.1.0.json")
+
+
+def render(findings: list[Finding], rules: dict[str, object],
+           tool_version: str) -> str:
+    used = sorted({f.rule for f in findings})
+    rule_objs = []
+    for name in sorted(rules):
+        r = rules[name]
+        rule_objs.append({
+            "id": name,
+            "shortDescription": {"text": getattr(r, "description", name)},
+        })
+    rule_index = {name: i for i, name in enumerate(sorted(rules))}
+    results = []
+    for f in findings:
+        res = {
+            "ruleId": f.rule,
+            "level": "error" if f.severity == "error" else "warning",
+            "message": {"text": f.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": f.path,
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {"startLine": max(1, f.line)},
+                },
+            }],
+        }
+        if f.rule in rule_index:
+            res["ruleIndex"] = rule_index[f.rule]
+        results.append(res)
+    doc = {
+        "$schema": _SCHEMA,
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "tcb-lint",
+                    "version": tool_version,
+                    "informationUri":
+                        "https://example.invalid/tcb/tools/tcb-lint",
+                    "rules": rule_objs,
+                },
+            },
+            "originalUriBaseIds": {"SRCROOT": {"uri": "file:///"}},
+            "results": results,
+        }],
+    }
+    # Deterministic output: stable key order, stable rule order, newline EOF.
+    return json.dumps(doc, indent=2, sort_keys=True) + "\n"
+
+
+def write(path: str, findings: list[Finding], rules: dict[str, object],
+          tool_version: str) -> None:
+    with open(path, "w", encoding="utf-8") as f:
+        f.write(render(findings, rules, tool_version))

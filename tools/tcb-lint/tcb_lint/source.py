@@ -1,0 +1,169 @@
+"""Lexed source model shared by every backend and rule.
+
+`SourceFile.lines` hold the code with comments and string/char literals
+blanked (newlines preserved, so indices stay 1:1 with the file on disk);
+`raw_lines` keep the original text for suppression and include-path reads.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from dataclasses import dataclass, field
+
+REPO_ROOT = os.path.dirname(
+    os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__)))))
+FIXTURE_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "fixtures")
+
+SUPPRESS_RE = re.compile(r"//\s*tcb-lint:\s*allow\(([a-z0-9-]+(?:\s*,\s*[a-z0-9-]+)*)\)")
+FIXTURE_PATH_RE = re.compile(r"//\s*tcb-lint-fixture-path:\s*(\S+)")
+EXPECT_RE = re.compile(r"//\s*expect:\s*([a-z0-9-]+)")
+
+
+@dataclass
+class SourceFile:
+    """A lexed view of one translation unit member.
+
+    `lines` hold the code with comments and string/char literals blanked
+    (newlines preserved, so indices are 1:1 with the original file).
+    `suppressions` maps line number -> set of rule names allowed there.
+    """
+
+    path: str                 # repo-relative path of the real file on disk
+    effective_path: str       # path the rules see (fixtures override this)
+    raw_lines: list[str] = field(default_factory=list)
+    lines: list[str] = field(default_factory=list)
+    suppressions: dict[int, set[str]] = field(default_factory=dict)
+
+    def code(self) -> str:
+        return "\n".join(self.lines)
+
+    def suppressed(self, rule: str, line_no: int) -> bool:
+        return rule in self.suppressions.get(line_no, set())
+
+
+@dataclass(frozen=True)
+class Finding:
+    rule: str
+    path: str
+    line: int
+    message: str
+    severity: str = "error"   # "error" | "warning" (see cli --fail-on)
+
+    def render(self) -> str:
+        tag = "" if self.severity == "error" else f" {self.severity}:"
+        return f"{self.path}:{self.line}:{tag} [{self.rule}] {self.message}"
+
+    def key(self) -> tuple[str, str, str]:
+        """Baseline identity: stable across line-number drift."""
+        return (self.rule, self.path, self.message)
+
+
+def _collect_suppressions(raw_lines: list[str]) -> dict[int, set[str]]:
+    """Map line numbers to the rules allowed on them.
+
+    `// tcb-lint: allow(rule)` covers its own line; when the comment is the
+    whole line it also covers the next line (the NOLINTNEXTLINE idiom).
+    """
+    out: dict[int, set[str]] = {}
+    for idx, line in enumerate(raw_lines, start=1):
+        m = SUPPRESS_RE.search(line)
+        if not m:
+            continue
+        rules = {r.strip() for r in m.group(1).split(",")}
+        out.setdefault(idx, set()).update(rules)
+        if line.strip().startswith("//"):
+            out.setdefault(idx + 1, set()).update(rules)
+    return out
+
+
+def _strip_comments_and_strings(text: str) -> str:
+    """Blank out comments and string/char literals, preserving newlines.
+
+    A hand-rolled scanner rather than regex so `//` inside strings and `*/`
+    inside line comments behave correctly.  Raw strings are handled enough
+    for this codebase (which does not use them).
+    """
+    out: list[str] = []
+    i, n = 0, len(text)
+    NORMAL, LINE_COMMENT, BLOCK_COMMENT, STRING, CHAR = range(5)
+    state = NORMAL
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == NORMAL:
+            if c == "/" and nxt == "/":
+                state = LINE_COMMENT
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = BLOCK_COMMENT
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = STRING
+                out.append('"')
+                i += 1
+                continue
+            if c == "'":
+                state = CHAR
+                out.append("'")
+                i += 1
+                continue
+            out.append(c)
+        elif state == LINE_COMMENT:
+            if c == "\n":
+                state = NORMAL
+                out.append(c)
+            else:
+                out.append(" ")
+        elif state == BLOCK_COMMENT:
+            if c == "*" and nxt == "/":
+                state = NORMAL
+                out.append("  ")
+                i += 2
+                continue
+            out.append(c if c == "\n" else " ")
+        elif state == STRING:
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = NORMAL
+                out.append('"')
+            elif c == "\n":  # unterminated; recover
+                state = NORMAL
+                out.append(c)
+            else:
+                out.append(" ")
+        elif state == CHAR:
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == "'":
+                state = NORMAL
+                out.append("'")
+            elif c == "\n":
+                state = NORMAL
+                out.append(c)
+            else:
+                out.append(" ")
+        i += 1
+    return "".join(out)
+
+
+def rel(path: str) -> str:
+    return os.path.relpath(os.path.abspath(path), REPO_ROOT).replace(os.sep, "/")
+
+
+def apply_fixture_path(sf: SourceFile) -> None:
+    for line in sf.raw_lines[:10]:
+        m = FIXTURE_PATH_RE.search(line)
+        if m:
+            sf.effective_path = m.group(1)
+            return
