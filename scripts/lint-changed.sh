@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Runs tcb-lint over the first-party C++ files changed vs origin/main — the
+# fast pre-commit loop (the CI jobs lint the whole tree).
+#
+# Usage:
+#   scripts/lint-changed.sh [tcb-lint args...]
+#
+# Extra arguments are forwarded to tcb-lint (e.g. --rule use-after-move,
+# --backend text, --jobs 4).  The diff base is the merge-base with
+# origin/main when that ref exists, falling back to HEAD for fresh clones
+# without a remote; deleted files are excluded (diff-filter=d).
+#
+# Exits 0 when nothing relevant changed.  The whole-program rules see only
+# the changed files here, so cross-TU findings may need the full run
+# (`tools/tcb-lint/tcb_lint.py`); this script is the quick local gate, not
+# the CI gate.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "${repo_root}"
+
+base="HEAD"
+if git rev-parse --verify --quiet origin/main >/dev/null; then
+  base="$(git merge-base HEAD origin/main)"
+fi
+
+mapfile -t changed < <(
+  {
+    git diff --name-only --diff-filter=d "${base}"
+    git diff --name-only --diff-filter=d          # unstaged edits too
+  } | sort -u \
+    | grep -E '^(src|tests|bench|examples)/.*\.(cpp|hpp|h)$' || true)
+
+if [[ ${#changed[@]} -eq 0 ]]; then
+  echo "lint-changed: no first-party C++ changes vs ${base:0:12}; nothing to lint"
+  exit 0
+fi
+
+echo "lint-changed: ${#changed[@]} changed file(s) vs ${base:0:12}"
+exec python3 tools/tcb-lint/tcb_lint.py "$@" "${changed[@]}"

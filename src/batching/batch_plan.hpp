@@ -23,6 +23,7 @@
 #include "batching/request.hpp"
 #include "parallel/sync.hpp"
 #include "tensor/strong_index.hpp"
+#include "util/lifetime.hpp"
 
 namespace tcb {
 
@@ -88,8 +89,10 @@ class SegmentCacheSlot {
 
   /// Returns the cache for `width`, building it under the lock on first
   /// touch (or when the width changed, which must be single-threaded).
+  /// The reference borrows from this slot (and stays valid while any copy
+  /// of it shares the built cache), not from `plan`.
   const SegmentCache& get_or_build(const BatchPlan& plan, Col width) const
-      TCB_EXCLUDES(mutex_);
+      TCB_LIFETIME_BOUND TCB_EXCLUDES(mutex_);
 
  private:
   mutable Mutex mutex_ TCB_GUARDS(cache_)
@@ -140,7 +143,8 @@ struct BatchPlan {
   /// was re-materialized — must still be single-threaded, and mutating
   /// `rows` after a cache was built leaves the cache stale; plans are
   /// immutable once handed to the engine.
-  [[nodiscard]] const SegmentCache& segment_cache(Col width) const;
+  [[nodiscard]] const SegmentCache& segment_cache(Col width) const
+      TCB_LIFETIME_BOUND;
 
  private:
   /// Lazily built by segment_cache(); shared so copied plans share the work.
@@ -164,25 +168,28 @@ class SegmentCache {
   [[nodiscard]] Index row_count() const noexcept { return rows_; }
 
   /// Per-position segment index of row r (-1 = padding), `width()` entries.
-  [[nodiscard]] const std::int32_t* seg_row(Index r) const noexcept {
+  [[nodiscard]] const std::int32_t* seg_row(Index r) const noexcept
+      TCB_LIFETIME_BOUND {
     return seg_.data() + static_cast<std::size_t>(r) *
                              static_cast<std::size_t>(width_);
   }
   /// Per-position span of the owning segment: position p of row r may attend
   /// (under MaskPolicy::kSegment) exactly to columns [lo, hi). Both are 0
   /// for padding positions.
-  [[nodiscard]] const Index* span_lo_row(Index r) const noexcept {
+  [[nodiscard]] const Index* span_lo_row(Index r) const noexcept
+      TCB_LIFETIME_BOUND {
     return span_lo_.data() + static_cast<std::size_t>(r) *
                                  static_cast<std::size_t>(width_);
   }
-  [[nodiscard]] const Index* span_hi_row(Index r) const noexcept {
+  [[nodiscard]] const Index* span_hi_row(Index r) const noexcept
+      TCB_LIFETIME_BOUND {
     return span_hi_.data() + static_cast<std::size_t>(r) *
                                  static_cast<std::size_t>(width_);
   }
   /// Maximal contiguous non-padding column ranges of row r (adjacent
   /// segments merged) — the attendable set under MaskPolicy::kRowShared.
   [[nodiscard]] const std::vector<std::pair<Index, Index>>& used_spans(
-      Index r) const noexcept {
+      Index r) const noexcept TCB_LIFETIME_BOUND {
     return used_spans_[static_cast<std::size_t>(r)];
   }
 

@@ -37,6 +37,7 @@
 #include "nn/model.hpp"
 #include "sched/factory.hpp"
 #include "serving/pipeline.hpp"
+#include "util/lifetime.hpp"
 #include "workload/trace.hpp"
 
 namespace tcb {
@@ -75,9 +76,15 @@ class TcbSystem {
  public:
   explicit TcbSystem(TcbConfig cfg);
 
-  [[nodiscard]] const TcbConfig& config() const noexcept { return cfg_; }
-  [[nodiscard]] const Seq2SeqModel& model() const noexcept { return *model_; }
-  [[nodiscard]] const Scheduler& scheduler() const noexcept { return *scheduler_; }
+  [[nodiscard]] const TcbConfig& config() const noexcept TCB_LIFETIME_BOUND {
+    return cfg_;
+  }
+  [[nodiscard]] const Seq2SeqModel& model() const noexcept TCB_LIFETIME_BOUND {
+    return *model_;
+  }
+  [[nodiscard]] const Scheduler& scheduler() const noexcept TCB_LIFETIME_BOUND {
+    return *scheduler_;
+  }
 
   /// Real-engine serving. Every request must carry tokens
   /// (WorkloadConfig::with_tokens or user-provided). `trace` sorted by

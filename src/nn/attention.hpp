@@ -18,6 +18,7 @@
 #include "nn/linear.hpp"
 #include "nn/model_config.hpp"
 #include "tensor/tensor.hpp"
+#include "util/lifetime.hpp"
 
 namespace tcb {
 
@@ -63,10 +64,18 @@ class MultiHeadAttention {
 
   /// Projection weights, exposed for the step-wise decoder which drives the
   /// same parameters through cached K/V.
-  [[nodiscard]] const Linear& wq() const noexcept { return wq_; }
-  [[nodiscard]] const Linear& wk() const noexcept { return wk_; }
-  [[nodiscard]] const Linear& wv() const noexcept { return wv_; }
-  [[nodiscard]] const Linear& wo() const noexcept { return wo_; }
+  [[nodiscard]] const Linear& wq() const noexcept TCB_LIFETIME_BOUND {
+    return wq_;
+  }
+  [[nodiscard]] const Linear& wk() const noexcept TCB_LIFETIME_BOUND {
+    return wk_;
+  }
+  [[nodiscard]] const Linear& wv() const noexcept TCB_LIFETIME_BOUND {
+    return wv_;
+  }
+  [[nodiscard]] const Linear& wo() const noexcept TCB_LIFETIME_BOUND {
+    return wo_;
+  }
 
  private:
   Linear wq_, wk_, wv_, wo_;

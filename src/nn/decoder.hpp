@@ -23,6 +23,7 @@
 #include "nn/attention.hpp"
 #include "nn/feed_forward.hpp"
 #include "nn/model_config.hpp"
+#include "util/lifetime.hpp"
 
 namespace tcb {
 
@@ -33,15 +34,23 @@ class DecoderLayer {
  public:
   DecoderLayer(const ModelConfig& cfg, Rng& rng);
 
-  [[nodiscard]] const MultiHeadAttention& self_attn() const noexcept {
+  [[nodiscard]] const MultiHeadAttention& self_attn() const noexcept
+      TCB_LIFETIME_BOUND {
     return self_attn_;
   }
-  [[nodiscard]] const MultiHeadAttention& cross_attn() const noexcept {
+  [[nodiscard]] const MultiHeadAttention& cross_attn() const noexcept
+      TCB_LIFETIME_BOUND {
     return cross_attn_;
   }
-  [[nodiscard]] const FeedForward& ffn() const noexcept { return ffn_; }
-  [[nodiscard]] const Tensor& ln_gamma(int which) const { return ln_gamma_.at(static_cast<std::size_t>(which)); }
-  [[nodiscard]] const Tensor& ln_beta(int which) const { return ln_beta_.at(static_cast<std::size_t>(which)); }
+  [[nodiscard]] const FeedForward& ffn() const noexcept TCB_LIFETIME_BOUND {
+    return ffn_;
+  }
+  [[nodiscard]] const Tensor& ln_gamma(int which) const TCB_LIFETIME_BOUND {
+    return ln_gamma_.at(static_cast<std::size_t>(which));
+  }
+  [[nodiscard]] const Tensor& ln_beta(int which) const TCB_LIFETIME_BOUND {
+    return ln_beta_.at(static_cast<std::size_t>(which));
+  }
   [[nodiscard]] float eps() const noexcept { return eps_; }
 
  private:

@@ -2,6 +2,7 @@
 #pragma once
 
 #include "tensor/tensor.hpp"
+#include "util/lifetime.hpp"
 
 namespace tcb {
 
@@ -19,8 +20,12 @@ class Linear {
   [[nodiscard]] Tensor forward(const Tensor& x) const;
   void forward(const Tensor& x, Tensor& y) const;
 
-  [[nodiscard]] const Tensor& weight() const noexcept { return weight_; }
-  [[nodiscard]] const Tensor& bias() const noexcept { return bias_; }
+  [[nodiscard]] const Tensor& weight() const noexcept TCB_LIFETIME_BOUND {
+    return weight_;
+  }
+  [[nodiscard]] const Tensor& bias() const noexcept TCB_LIFETIME_BOUND {
+    return bias_;
+  }
 
  private:
   Tensor weight_;  ///< (in, out)

@@ -13,6 +13,7 @@
 #include "nn/embedding.hpp"
 #include "nn/encoder.hpp"
 #include "nn/positional_encoding.hpp"
+#include "util/lifetime.hpp"
 
 namespace tcb {
 
@@ -54,7 +55,9 @@ class Seq2SeqModel {
  public:
   explicit Seq2SeqModel(ModelConfig cfg);
 
-  [[nodiscard]] const ModelConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] const ModelConfig& config() const noexcept TCB_LIFETIME_BOUND {
+    return cfg_;
+  }
 
   /// Runs the encoder stack over a packed batch.
   [[nodiscard]] EncoderMemory encode(const PackedBatch& batch,
@@ -66,15 +69,19 @@ class Seq2SeqModel {
                                       const InferenceOptions& opts) const;
 
   // Internals exposed to the step-wise decoder ------------------------------
-  [[nodiscard]] const Embedding& embedding() const noexcept { return embedding_; }
+  [[nodiscard]] const Embedding& embedding() const noexcept TCB_LIFETIME_BOUND {
+    return embedding_;
+  }
   [[nodiscard]] const SinusoidalPositionalEncoding& positional_encoding()
-      const noexcept {
+      const noexcept TCB_LIFETIME_BOUND {
     return pe_;
   }
-  [[nodiscard]] const std::vector<DecoderLayer>& decoder_layers() const noexcept {
+  [[nodiscard]] const std::vector<DecoderLayer>& decoder_layers() const noexcept
+      TCB_LIFETIME_BOUND {
     return decoder_layers_;
   }
-  [[nodiscard]] const Linear& output_projection() const noexcept {
+  [[nodiscard]] const Linear& output_projection() const noexcept
+      TCB_LIFETIME_BOUND {
     return output_proj_;
   }
 

@@ -11,11 +11,13 @@
 // a task running against freed state.
 #pragma once
 
+#include <functional>
 #include <future>
 #include <utility>
 #include <vector>
 
 #include "parallel/thread_pool.hpp"
+#include "util/lifetime.hpp"
 
 namespace tcb {
 
@@ -34,6 +36,16 @@ class TaskGroup {
 
   /// Tracks a future returned by ThreadPool::submit.
   void add(std::future<void> f) { futures_.push_back(std::move(f)); }
+
+  /// Submits `fn` to `pool` and tracks the resulting future in one step —
+  /// the sanctioned spelling for reference-capturing worker lambdas. The
+  /// callable still TCB_ESCAPES (a worker runs it later), but the group
+  /// guarantees the join: declare the captured state above the group and
+  /// every task retires before that state can die. tcb-lint's
+  /// no-ref-capture-escape rule recognizes exactly this shape.
+  void spawn(ThreadPool& pool, std::function<void()> fn TCB_ESCAPES) {
+    add(pool.submit(std::move(fn)));
+  }
 
   /// Waits for every tracked task and rethrows the first stored exception.
   /// If one throws, the destructor still waits out the rest.

@@ -84,7 +84,7 @@ ThreadPool& ThreadPool::global() {
   return pool;
 }
 
-std::future<void> ThreadPool::submit(std::function<void()> fn) {
+std::future<void> ThreadPool::submit(std::function<void()> fn TCB_ESCAPES) {
   auto task = std::make_shared<std::packaged_task<void()>>(std::move(fn));
   std::future<void> fut = task->get_future();
   // No workers — or the pool is tearing down, so the queue will never be
@@ -106,7 +106,7 @@ std::future<void> ThreadPool::submit(std::function<void()> fn) {
 
 void ThreadPool::parallel_for(
     std::size_t n, std::size_t grain,
-    const std::function<void(std::size_t, std::size_t)>& fn) {
+    const std::function<void(std::size_t, std::size_t)>& fn TCB_NO_ESCAPE) {
   if (n == 0) return;
   grain = std::max<std::size_t>(grain, 1);
   const std::size_t max_chunks = (n + grain - 1) / grain;
@@ -180,7 +180,8 @@ void ThreadPool::worker_loop() {
 }
 
 void parallel_for(std::size_t n,
-                  const std::function<void(std::size_t, std::size_t)>& fn,
+                  const std::function<void(std::size_t, std::size_t)>& fn
+                      TCB_NO_ESCAPE,
                   std::size_t grain) {
   ThreadPool::global().parallel_for(n, grain, fn);
 }

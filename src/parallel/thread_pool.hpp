@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "parallel/sync.hpp"
+#include "util/lifetime.hpp"
 
 namespace tcb {
 
@@ -57,17 +58,23 @@ class ThreadPool {
     return threads_.size() + 1;
   }
 
-  /// Enqueue one task.
-  std::future<void> submit(std::function<void()> fn) TCB_EXCLUDES(mutex_);
+  /// Enqueue one task. The callable is TCB_ESCAPES: it is queued and runs
+  /// later on a worker thread, so anything it captures by reference must be
+  /// kept alive until the returned future is waited on (TaskGroup is the
+  /// structured way; tcb-lint's no-ref-capture-escape rule enforces it).
+  std::future<void> submit(std::function<void()> fn TCB_ESCAPES)
+      TCB_EXCLUDES(mutex_);
 
   /// Splits [0, n) into contiguous chunks of at least `grain` items and runs
   /// `fn(begin, end)` on each chunk; every dispatched chunk is non-empty.
   /// Blocks until every chunk finishes. The calling thread executes one
   /// chunk itself, and a `grain` of 0 is treated as 1. Exceptions from
   /// chunks are rethrown after all chunks retire (first one wins).
+  /// `fn` is TCB_NO_ESCAPE — every chunk retires before this returns, so
+  /// by-reference captures of locals are safe by contract.
   void parallel_for(std::size_t n, std::size_t grain,
-                    const std::function<void(std::size_t, std::size_t)>& fn)
-      TCB_EXCLUDES(mutex_);
+                    const std::function<void(std::size_t, std::size_t)>& fn
+                        TCB_NO_ESCAPE) TCB_EXCLUDES(mutex_);
 
  private:
   void worker_loop() TCB_EXCLUDES(mutex_);
@@ -82,8 +89,10 @@ class ThreadPool {
 };
 
 /// Convenience wrapper over the global pool with a default grain of 1.
+/// `fn` is TCB_NO_ESCAPE, same contract as the member parallel_for.
 void parallel_for(std::size_t n,
-                  const std::function<void(std::size_t, std::size_t)>& fn,
+                  const std::function<void(std::size_t, std::size_t)>& fn
+                      TCB_NO_ESCAPE,
                   std::size_t grain = 1);
 
 }  // namespace tcb

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "batching/request.hpp"
+#include "util/lifetime.hpp"
 
 namespace tcb {
 
@@ -42,7 +43,10 @@ class Scheduler {
   [[nodiscard]] virtual Selection select(
       double now, const std::vector<Request>& pending) const = 0;
 
-  [[nodiscard]] const SchedulerConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] const SchedulerConfig& config() const noexcept
+      TCB_LIFETIME_BOUND {
+    return cfg_;
+  }
 
  protected:
   explicit Scheduler(SchedulerConfig cfg);

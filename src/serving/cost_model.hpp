@@ -29,6 +29,7 @@
 
 #include "batching/batch_plan.hpp"
 #include "nn/model.hpp"
+#include "util/lifetime.hpp"
 
 namespace tcb {
 
@@ -83,8 +84,13 @@ class AnalyticalCostModel final : public CostModel {
   [[nodiscard]] double batch_seconds(const BatchPlan& plan) const override;
   [[nodiscard]] CostBreakdown breakdown(const BatchPlan& plan) const;
 
-  [[nodiscard]] const HardwareProfile& hardware() const noexcept { return hw_; }
-  [[nodiscard]] const ModelConfig& model() const noexcept { return model_; }
+  [[nodiscard]] const HardwareProfile& hardware() const noexcept
+      TCB_LIFETIME_BOUND {
+    return hw_;
+  }
+  [[nodiscard]] const ModelConfig& model() const noexcept TCB_LIFETIME_BOUND {
+    return model_;
+  }
 
  private:
   ModelConfig model_;

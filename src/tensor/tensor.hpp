@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "util/lifetime.hpp"
 #include "util/rng.hpp"
 
 namespace tcb {
@@ -33,7 +34,10 @@ class Shape {
     return dims_ == other.dims_;
   }
   [[nodiscard]] std::string to_string() const;
-  [[nodiscard]] const std::vector<Index>& dims() const noexcept { return dims_; }
+  [[nodiscard]] const std::vector<Index>& dims() const noexcept
+      TCB_LIFETIME_BOUND {
+    return dims_;
+  }
 
  private:
   std::vector<Index> dims_;
@@ -51,7 +55,9 @@ class Tensor {
   /// Uniform in [-scale, scale]; deterministic given `rng`.
   static Tensor random_uniform(Shape shape, Rng& rng, float scale);
 
-  [[nodiscard]] const Shape& shape() const noexcept { return shape_; }
+  [[nodiscard]] const Shape& shape() const noexcept TCB_LIFETIME_BOUND {
+    return shape_;
+  }
   [[nodiscard]] Index numel() const noexcept {
     return static_cast<Index>(data_.size());
   }
@@ -59,22 +65,31 @@ class Tensor {
   [[nodiscard]] Index dim(std::size_t i) const { return shape_.dim(i); }
   [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
 
-  [[nodiscard]] std::span<float> data() noexcept { return data_; }
-  [[nodiscard]] std::span<const float> data() const noexcept { return data_; }
-  [[nodiscard]] float* raw() noexcept { return data_.data(); }
-  [[nodiscard]] const float* raw() const noexcept { return data_.data(); }
+  [[nodiscard]] std::span<float> data() noexcept TCB_LIFETIME_BOUND {
+    return data_;
+  }
+  [[nodiscard]] std::span<const float> data() const noexcept
+      TCB_LIFETIME_BOUND {
+    return data_;
+  }
+  [[nodiscard]] float* raw() noexcept TCB_LIFETIME_BOUND {
+    return data_.data();
+  }
+  [[nodiscard]] const float* raw() const noexcept TCB_LIFETIME_BOUND {
+    return data_.data();
+  }
 
   /// Element access for rank-2 / rank-3 tensors. Bounds are checked via
   /// TCB_DCHECK (Debug and sanitizer presets); kernels index raw spans
   /// directly.
-  [[nodiscard]] float& at(Index i, Index j);
+  [[nodiscard]] float& at(Index i, Index j) TCB_LIFETIME_BOUND;
   [[nodiscard]] float at(Index i, Index j) const;
-  [[nodiscard]] float& at(Index i, Index j, Index k);
+  [[nodiscard]] float& at(Index i, Index j, Index k) TCB_LIFETIME_BOUND;
   [[nodiscard]] float at(Index i, Index j, Index k) const;
 
   /// Pointer to row `i` of a rank-2 tensor (or plane of rank-3).
-  [[nodiscard]] float* row(Index i);
-  [[nodiscard]] const float* row(Index i) const;
+  [[nodiscard]] float* row(Index i) TCB_LIFETIME_BOUND;
+  [[nodiscard]] const float* row(Index i) const TCB_LIFETIME_BOUND;
 
   void fill(float v) noexcept;
 

@@ -9,6 +9,7 @@
 
 #include "batching/request.hpp"
 #include "text/vocabulary.hpp"
+#include "util/lifetime.hpp"
 
 namespace tcb {
 
@@ -20,7 +21,10 @@ class Tokenizer {
  public:
   explicit Tokenizer(Vocabulary vocab);
 
-  [[nodiscard]] const Vocabulary& vocabulary() const noexcept { return vocab_; }
+  [[nodiscard]] const Vocabulary& vocabulary() const noexcept
+      TCB_LIFETIME_BOUND {
+    return vocab_;
+  }
 
   /// Sentence -> token ids (no BOS/EOS; the engine handles those).
   [[nodiscard]] std::vector<Index> encode(std::string_view sentence) const;

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "batching/packed_batch.hpp"
+#include "util/lifetime.hpp"
 
 namespace tcb {
 
@@ -36,7 +37,7 @@ class Vocabulary {
 
   /// Word for an id; reserved ids render as "<pad>", "<bos>", "<eos>",
   /// "<unk>". Out-of-range ids throw.
-  [[nodiscard]] const std::string& word_of(Index id) const;
+  [[nodiscard]] const std::string& word_of(Index id) const TCB_LIFETIME_BOUND;
 
   [[nodiscard]] Index size() const noexcept {
     return static_cast<Index>(words_.size());

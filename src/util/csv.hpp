@@ -8,6 +8,8 @@
 #include <string_view>
 #include <vector>
 
+#include "util/lifetime.hpp"
+
 namespace tcb {
 
 class CsvWriter {
@@ -21,7 +23,9 @@ class CsvWriter {
   /// Convenience for numeric rows.
   void row_numeric(const std::vector<double>& cells);
 
-  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+  [[nodiscard]] const std::string& path() const noexcept TCB_LIFETIME_BOUND {
+    return path_;
+  }
 
  private:
   std::string path_;

@@ -1,0 +1,95 @@
+// Lifetime-safety annotations — the escape/borrow contracts of every API
+// that hands out a non-owning view (Tensor::data() spans, SegmentCache row
+// pointers) or accepts a callable (ThreadPool::submit, parallel_for).
+//
+// Three macros, one per contract:
+//
+//   TCB_LIFETIME_BOUND   the returned reference/span/pointer borrows from
+//                        the annotated object (the implicit `this`, or the
+//                        annotated parameter) and must not outlive it.
+//                        Expands to [[clang::lifetimebound]]; clang then
+//                        diagnoses `auto v = Tensor{...}.data();` style
+//                        dangles via -Wdangling at every call site.
+//   TCB_NO_ESCAPE        the callee uses the annotated pointer/reference
+//                        parameter only for the duration of the call and
+//                        never stores it.  Expands to [[clang::noescape]].
+//                        parallel_for's chunk body carries this: capturing
+//                        locals by reference into it is safe by contract.
+//   TCB_ESCAPES          documentation-only counterpart: the callee *does*
+//                        retain the callable/pointer beyond the call
+//                        (ThreadPool::submit queues it for a worker thread).
+//                        Compiles to nothing everywhere; tcb-lint's
+//                        no-ref-capture-escape rule keys on it to flag
+//                        by-reference captures flowing into such APIs
+//                        without a structured join.
+//
+// Like the strong-index and sync layers, the whole header is zero-overhead
+// and compiles away entirely off clang (the gcc CI jobs keep that honest);
+// enforcement comes from the TCB_LIFETIME_SAFETY CMake option, which
+// promotes -Wdangling / -Wreturn-stack-address / -Wdangling-gsl to errors
+// under clang, plus the negative-compile fixtures in tests/util/.
+#pragma once
+
+#include <type_traits>
+
+#if defined(__clang__) && !defined(SWIG)
+#if defined(__has_cpp_attribute) && __has_cpp_attribute(clang::lifetimebound)
+#define TCB_LIFETIME_BOUND [[clang::lifetimebound]]
+#endif
+#if defined(__has_cpp_attribute) && __has_cpp_attribute(clang::noescape)
+#define TCB_NO_ESCAPE [[clang::noescape]]
+#endif
+#endif
+
+#ifndef TCB_LIFETIME_BOUND
+#define TCB_LIFETIME_BOUND
+#endif
+#ifndef TCB_NO_ESCAPE
+#define TCB_NO_ESCAPE
+#endif
+
+/// Doc-only on every compiler: marks parameters whose callable is retained
+/// beyond the call (queued, stored, handed to another thread).  tcb-lint's
+/// no-ref-capture-escape rule treats any argument to such a parameter as
+/// escaping its creating scope.
+#define TCB_ESCAPES
+
+namespace tcb::lifetime_detail {
+
+// The annotations must be pure metadata: same layout, same member-function
+// types, no runtime footprint — mirroring the static_assert contracts of
+// strong_index.hpp and sync.hpp.
+struct Annotated {
+  int v = 0;
+  [[nodiscard]] const int& get() const noexcept TCB_LIFETIME_BOUND {
+    return v;
+  }
+  void call(const int& r TCB_NO_ESCAPE) noexcept { v = r; }
+  void keep(int r TCB_ESCAPES) noexcept { v = r; }
+};
+
+struct Plain {
+  int v = 0;
+  // The deliberately-unannotated control the static_asserts compare
+  // against; the one reference-returning accessor allowed to stay bare.
+  // tcb-lint: allow(span-source-stability)
+  [[nodiscard]] const int& get() const noexcept { return v; }
+  void call(const int& r) noexcept { v = r; }
+  void keep(int r) noexcept { v = r; }
+};
+
+static_assert(sizeof(Annotated) == sizeof(Plain) &&
+                  alignof(Annotated) == alignof(Plain),
+              "lifetime annotations must not change object layout");
+static_assert(
+    std::is_same_v<decltype(&Annotated::get),
+                   const int& (Annotated::*)() const noexcept>,
+    "TCB_LIFETIME_BOUND must not change the member-function type");
+static_assert(std::is_same_v<decltype(&Annotated::call),
+                             void (Annotated::*)(const int&) noexcept>,
+              "TCB_NO_ESCAPE must not change the member-function type");
+static_assert(std::is_same_v<decltype(&Annotated::keep),
+                             void (Annotated::*)(int) noexcept>,
+              "TCB_ESCAPES must compile to nothing");
+
+}  // namespace tcb::lifetime_detail

@@ -5,6 +5,8 @@
 #include <cstddef>
 #include <vector>
 
+#include "util/lifetime.hpp"
+
 namespace tcb {
 
 /// Streaming mean / variance (Welford). O(1) space, numerically stable.
@@ -66,7 +68,8 @@ class Samples {
   [[nodiscard]] double p95() const { return quantile(0.95); }
   [[nodiscard]] double p99() const { return quantile(0.99); }
 
-  [[nodiscard]] const std::vector<double>& values() const noexcept {
+  [[nodiscard]] const std::vector<double>& values() const noexcept
+      TCB_LIFETIME_BOUND {
     return values_;
   }
 

@@ -1,0 +1,14 @@
+// Negative-compile fixture for TCB_LIFETIME_SAFETY: a span taken from a
+// temporary Tensor dangles the moment the full-expression ends. The
+// TCB_LIFETIME_BOUND annotation on Tensor::data() is what lets clang see
+// that, so this fixture also proves the annotation adoption is live, not
+// just the warning flags. Compiled only by the WILL_FAIL ctest entry.
+#include <span>
+
+#include "tensor/tensor.hpp"
+
+int lifetime_negative_bound_anchor() {
+  // -Werror=dangling: the temporary backing `view` dies at the semicolon.
+  std::span<float> view = tcb::Tensor(tcb::Shape{2, 2}).data();
+  return static_cast<int>(view.size());
+}

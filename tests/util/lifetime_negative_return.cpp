@@ -1,0 +1,16 @@
+// Negative-compile fixture for TCB_LIFETIME_SAFETY: returning the address
+// of a stack local must fail under -Werror=return-stack-address. Compiled
+// only by the WILL_FAIL ctest entry (EXCLUDE_FROM_ALL object target); if it
+// ever compiles, the lifetime gate has silently stopped enforcing.
+#include "util/lifetime.hpp"
+
+namespace {
+
+const int& broken() {
+  int local = 42;
+  return local;  // -Werror=return-stack-address
+}
+
+}  // namespace
+
+int lifetime_negative_return_anchor() { return broken(); }

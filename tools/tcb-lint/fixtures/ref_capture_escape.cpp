@@ -1,0 +1,26 @@
+// tcb-lint-fixture-path: src/serving/escape_fixture.cpp
+// Fixture: a lambda capturing a local by reference handed to a callable
+// parameter declared TCB_ESCAPES.  The pool retains the callable beyond
+// the call, so `&total` dangles as soon as enqueue_all returns; the rule
+// keys on the annotation, not the ThreadPool name.
+// expect: no-ref-capture-escape
+
+namespace demo {
+
+class WorkerPool {
+ public:
+  void submit(std::function<void()> fn TCB_ESCAPES) {
+    pending_ += fn ? 1 : 0;  // body irrelevant: the annotation is the fact
+  }
+
+ private:
+  int pending_ = 0;
+};
+
+int enqueue_all(WorkerPool& pool) {
+  int total = 0;
+  pool.submit([&total] { total += 1; });  // flagged: &total outlives the call
+  return total;
+}
+
+}  // namespace demo

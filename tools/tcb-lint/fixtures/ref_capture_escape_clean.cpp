@@ -1,0 +1,45 @@
+// tcb-lint-fixture-path: src/serving/escape_fixture_clean.cpp
+// Clean control for no-ref-capture-escape: the two sanctioned shapes.
+// A by-value capture may escape freely; a by-reference capture is fine
+// under the structured-join pattern — the TaskGroup is declared after the
+// captured state and joined in the same function, so every task retires
+// while the capture is still alive.
+
+namespace demo {
+
+class WorkerPool {
+ public:
+  void submit(std::function<void()> fn TCB_ESCAPES) {
+    pending_ += fn ? 1 : 0;
+  }
+
+ private:
+  int pending_ = 0;
+};
+
+class TaskGroup {
+ public:
+  void spawn(WorkerPool& pool, std::function<void()> fn TCB_ESCAPES) {
+    pool.submit(std::move(fn));
+  }
+  void join() { joined_ = true; }
+
+ private:
+  bool joined_ = false;
+};
+
+int run(WorkerPool& pool) {
+  int total = 0;      // declared before the group: outlives every task
+  TaskGroup tg;
+  tg.spawn(pool, [&total] { total += 1; });  // exempt: joined below
+  tg.join();
+  return total;
+}
+
+int snapshot(WorkerPool& pool) {
+  int seed = 3;
+  pool.submit([seed] { static_cast<void>(seed); });  // by value: clean
+  return seed;
+}
+
+}  // namespace demo

@@ -1,0 +1,16 @@
+// tcb-lint-fixture-path: src/serving/escape_caller.cpp
+// The other TU: this file never mentions TCB_ESCAPES or submit; the lambda
+// reaches the escaping queue only through run_deferred (defined in
+// pool.cpp), so the finding requires the whole-program sink propagation.
+// expect: no-ref-capture-escape
+
+namespace demo {
+
+class WorkerPool;
+
+void defer_count(WorkerPool& pool) {
+  int hits = 0;
+  run_deferred(pool, [&hits] { hits += 1; });  // flagged through the wrapper
+}
+
+}  // namespace demo

@@ -1,0 +1,23 @@
+// tcb-lint-fixture-path: src/serving/escape_pool.cpp
+// One TU of the cross-TU escape case: WorkerPool::submit declares its
+// callable TCB_ESCAPES, and run_deferred forwards its own callable
+// parameter into it.  The sink fixpoint must mark run_deferred as an
+// escape sink so callers in *other* TUs are checked against it.
+
+namespace demo {
+
+class WorkerPool {
+ public:
+  void submit(std::function<void()> fn TCB_ESCAPES) {
+    pending_ += fn ? 1 : 0;
+  }
+
+ private:
+  int pending_ = 0;
+};
+
+void run_deferred(WorkerPool& pool, std::function<void()> fn) {
+  pool.submit(std::move(fn));  // makes run_deferred a sink by propagation
+}
+
+}  // namespace demo

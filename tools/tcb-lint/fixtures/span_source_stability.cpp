@@ -1,0 +1,20 @@
+// tcb-lint-fixture-path: src/tensor/span_fixture.cpp
+// Fixture: reference- and span-returning accessors with no
+// TCB_LIFETIME_BOUND annotation.  Callers on temporaries
+// (`Block{}.cells()`) dangle silently because clang never learns the
+// return borrows from `this`.
+// expect: span-source-stability
+
+namespace demo {
+
+class Block {
+ public:
+  const float& front() const { return cells_[0]; }  // flagged: bare ref
+  std::span<const float> cells() const { return cells_; }  // flagged: span
+  int size() const { return 4; }  // by value: clean
+
+ private:
+  float cells_[4] = {0.0f, 0.0f, 0.0f, 0.0f};
+};
+
+}  // namespace demo

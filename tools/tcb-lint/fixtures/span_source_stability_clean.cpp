@@ -1,0 +1,28 @@
+// tcb-lint-fixture-path: src/tensor/span_fixture_clean.cpp
+// Clean control for span-source-stability: annotated accessors, *this
+// chaining, and a static-local factory — each a provably stable or
+// explicitly bound borrow.
+
+namespace demo {
+
+class Store {
+ public:
+  const float& front() const TCB_LIFETIME_BOUND { return cells_[0]; }
+  std::span<const float> cells() const TCB_LIFETIME_BOUND { return cells_; }
+  Store& touch() {
+    ++version_;
+    return *this;  // chaining returns the caller's own object: clean
+  }
+  int version() const { return version_; }
+
+ private:
+  float cells_[4] = {0.0f, 0.0f, 0.0f, 0.0f};
+  int version_ = 0;
+};
+
+Store& global_store() {
+  static Store store;  // function-local static: stable storage, clean
+  return store;
+}
+
+}  // namespace demo

@@ -1,0 +1,31 @@
+// tcb-lint-fixture-path: src/batching/move_fixture.cpp
+// Fixture: both use-after-move shapes.  drain reads `items` in the very
+// scope that moved it; Accumulator::collect moves a member from inside a
+// loop without ever resetting it, so iteration 2 donates a moved-from
+// vector.
+// expect: use-after-move
+
+namespace demo {
+
+struct Item {
+  int weight = 0;
+};
+
+int drain(std::vector<Item> items) {
+  std::vector<Item> taken = std::move(items);
+  // flagged: `items` holds a valid but unspecified value here.
+  return static_cast<int>(items.size()) + static_cast<int>(taken.size());
+}
+
+struct Accumulator {
+  std::vector<int> scratch;
+  std::vector<std::vector<int>> rounds;
+
+  void collect(int n) {
+    for (int i = 0; i < n; ++i) {
+      rounds.push_back(std::move(scratch));  // flagged: never reset in loop
+    }
+  }
+};
+
+}  // namespace demo

@@ -1,0 +1,46 @@
+// tcb-lint-fixture-path: src/batching/move_fixture_clean.cpp
+// Clean control for use-after-move: every sanctioned pattern the rule must
+// understand.  A loop move followed by .clear(); branch-exclusive moves in
+// if/else arms; a move inside a return statement (also behind a brace-init
+// temporary); a brace-less range-for move followed by an unrelated loop
+// reusing the variable name.
+
+namespace demo {
+
+struct Router {
+  std::vector<std::vector<int>> sent;
+  std::vector<int> current;
+
+  void flush(int rounds) {
+    for (int i = 0; i < rounds; ++i) {
+      sent.push_back(std::move(current));  // reset on the next line: clean
+      current.clear();
+    }
+  }
+};
+
+std::vector<int> pick(bool left, std::vector<int> a) {
+  std::vector<int> out;
+  if (left) {
+    out = std::move(a);  // branch-exclusive with the else arm below
+  } else {
+    out.assign(a.begin(), a.end());
+  }
+  return out;
+}
+
+struct Wrap {
+  std::vector<int> inner;
+};
+
+Wrap seal(std::vector<int> v) {
+  return Wrap{std::move(v)};  // move in a return statement: clean
+}
+
+void forward(std::vector<std::vector<int>> rows,
+             std::vector<std::vector<int>>& out) {
+  for (auto& row : rows) out.push_back(std::move(row));  // brace-less body
+  for (auto& row : out) row.push_back(1);  // fresh binding, not a reuse
+}
+
+}  // namespace demo

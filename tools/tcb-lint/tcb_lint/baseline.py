@@ -45,10 +45,15 @@ def load(path: str) -> set[tuple[str, str, str]]:
 
 
 def apply(findings: list[Finding], baseline: set[tuple[str, str, str]]
-          ) -> tuple[list[Finding], int, list[tuple[str, str, str]]]:
-    """(new findings, suppressed count, stale baseline entries)."""
+          ) -> tuple[list[Finding], list[Finding], list[tuple[str, str, str]]]:
+    """(new findings, suppressed findings, stale baseline entries).
+
+    Suppressed findings are returned whole, not counted: SARIF output keeps
+    them as results carrying a `suppressions` entry so code-scanning UIs
+    show the ratcheted debt instead of silently dropping it.
+    """
     new = [f for f in findings if f.key() not in baseline]
-    suppressed = len(findings) - len(new)
+    suppressed = [f for f in findings if f.key() in baseline]
     present = {f.key() for f in findings}
     stale = sorted(k for k in baseline if k not in present)
     return new, suppressed, stale

@@ -65,16 +65,57 @@ def files_from_compile_db(db_dir: str) -> list[str]:
     return list(seen)
 
 
-def lint_paths(paths: list[str], backend, rules: list[Rule]) -> list[Finding]:
-    """Lex once, run per-file rules per file and program rules on the set."""
-    sources = [backend.lex(p) for p in paths]
+# Per-worker state for --jobs: each spawned process builds its own backend
+# (libclang handles are not fork-safe, hence the "spawn" context) and its
+# own rule instances resolved from the registry by name.
+_WORKER: dict = {}
+
+
+def _init_worker(backend_kind: str, db_dir: str | None,
+                 rule_names: list[str]) -> None:
+    _WORKER["backend"] = make_backend(backend_kind, db_dir, quiet=True)
+    _WORKER["rules"] = [RULES[r] for r in rule_names]
+
+
+def _lint_one(path: str):
+    """Lex one file and run the per-file rules on it (worker side)."""
+    sf = _WORKER["backend"].lex(path)
+    findings = []
+    for rule in _WORKER["rules"]:
+        if rule.applies_to(sf.effective_path):
+            findings.extend(rule.check(sf))
+    return sf, findings
+
+
+def lint_paths(paths: list[str], backend, rules: list[Rule],
+               jobs: int = 1, db_dir: str | None = None) -> list[Finding]:
+    """Lex once, run per-file rules per file and program rules on the set.
+
+    With jobs > 1 the lex + per-file stage fans out over a "spawn"
+    process pool (order-preserving map, so output stays deterministic);
+    the whole-program stage always runs in this process on the combined
+    index.
+    """
     findings: list[Finding] = []
     prog = program_rules(rules)
     file_rules = [r for r in rules if r not in prog]
-    for sf in sources:
-        for rule in file_rules:
-            if rule.applies_to(sf.effective_path):
-                findings.extend(rule.check(sf))
+    if jobs > 1 and len(paths) > 1:
+        import multiprocessing
+
+        ctx = multiprocessing.get_context("spawn")
+        with ctx.Pool(min(jobs, len(paths)), initializer=_init_worker,
+                      initargs=(backend.name, db_dir,
+                                [r.name for r in file_rules])) as pool:
+            per_file = pool.map(_lint_one, paths)
+        sources = [sf for sf, _f in per_file]
+        for _sf, file_findings in per_file:
+            findings.extend(file_findings)
+    else:
+        sources = [backend.lex(p) for p in paths]
+        for sf in sources:
+            for rule in file_rules:
+                if rule.applies_to(sf.effective_path):
+                    findings.extend(rule.check(sf))
     if prog:
         index = build_index(sources)
         for rule in prog:
@@ -178,6 +219,11 @@ def main(argv: list[str] | None = None) -> int:
     ap.add_argument("--update-baseline", action="store_true",
                     help="rewrite the baseline from the current findings "
                          "(deterministic: stable sort, relative paths)")
+    ap.add_argument("--jobs", type=int, default=1, metavar="N",
+                    help="lex and run per-file rules in N processes "
+                         "(0 = one per CPU); the whole-program stage still "
+                         "runs once in the parent, and output order is "
+                         "unchanged")
     ap.add_argument("--fail-on", choices=("error", "warning"),
                     default="error",
                     help="exit non-zero on findings at or above this "
@@ -228,7 +274,8 @@ def main(argv: list[str] | None = None) -> int:
             return 2
         paths = files_from_compile_db(db_dir)
 
-    findings = lint_paths(paths, backend, rules)
+    jobs = args.jobs if args.jobs > 0 else (os.cpu_count() or 1)
+    findings = lint_paths(paths, backend, rules, jobs=jobs, db_dir=db_dir)
 
     if args.update_baseline:
         baseline_mod.update(findings, args.baseline)
@@ -236,7 +283,7 @@ def main(argv: list[str] | None = None) -> int:
               f"({len(findings)} finding(s))", file=sys.stderr)
         return 0
 
-    suppressed = 0
+    suppressed: list[Finding] = []
     if not args.no_baseline:
         known = baseline_mod.load(args.baseline)
         findings, suppressed, stale = baseline_mod.apply(findings, known)
@@ -245,7 +292,8 @@ def main(argv: list[str] | None = None) -> int:
                   f"[{k[0]}] {k[1]}: {k[2]}", file=sys.stderr)
 
     if args.sarif:
-        sarif.write(args.sarif, findings, dict(RULES), __version__)
+        sarif.write(args.sarif, findings, dict(RULES), __version__,
+                    suppressed)
 
     for f in findings:
         print(f.render())
@@ -254,6 +302,6 @@ def main(argv: list[str] | None = None) -> int:
     summary = (f"tcb-lint ({backend.name}): {len(paths)} file(s), "
                f"{len(findings)} finding(s)")
     if suppressed:
-        summary += f", {suppressed} baselined"
+        summary += f", {len(suppressed)} baselined"
     print(summary, file=sys.stderr)
     return 1 if failing else 0

@@ -62,10 +62,18 @@ MEMBER_RE = re.compile(
 FN_RE = re.compile(
     r"((?:[A-Za-z_]\w*\s*::\s*)*)"              # qualified prefix
     r"([A-Za-z_~]\w*)\s*"                       # name
-    r"\(([^()]*)\)\s*"                          # params (no nested parens)
+    r"\(((?:[^()]|\([^()]*\))*)\)\s*"           # params (1 nesting level, so
+                                                # std::function<void()> works)
     r"((?:const\b\s*|noexcept\b\s*|override\b\s*|final\b\s*|"
-    r"TCB_\w+\s*\([^()]*\)\s*|->\s*[\w:&<>,\s]+?\s*)*)"
+    r"TCB_\w+\s*(?:\([^()]*\))?\s*|->\s*[\w:&<>,\s]+?\s*)*)"
     r"(?::\s*[^{;]*?)?\{")                      # ctor init list, then body
+
+# Tokens stripped from the text preceding a definition to recover its return
+# type (span-source-stability keys on it).
+RET_STRIP_RE = re.compile(
+    r"\[\[[^\]]*\]\]|\btemplate\s*<[^;{}]*>|"
+    r"\b(?:inline|static|virtual|explicit|constexpr|friend|extern|typename|"
+    r"mutable)\b|\b(?:public|protected|private)\s*:")
 
 LAMBDA_RE = re.compile(
     r"\[[^\[\]]*\]\s*(?:\([^()]*\)\s*)?(?:mutable\s*)?"
@@ -155,6 +163,15 @@ class CallSite:
     quals: str                        # explicit A::B:: qualification
     line: int
     pos: int
+    open_paren: int = -1              # offset of the call's '(' in the body
+
+
+@dataclass
+class LambdaInfo:
+    start: int                        # char offsets into the *raw* function
+    end: int                          # body (1:1 with the blanked body)
+    captures: list[str]               # raw capture tokens ('&', '&x', 'this')
+    text: str                         # full raw lambda text (introducer+body)
 
 
 @dataclass
@@ -166,9 +183,13 @@ class FunctionInfo:
     params: str
     body: str                         # lambda-blanked body text
     body_first_line: int
+    ret_type: str = ""                # normalized return type ("" = ctor/dtor)
+    annots: str = ""                  # trailing qualifiers + decl annotations
+    raw_body: str = ""                # unblanked body (same length as body)
     requires: list[str] = field(default_factory=list)       # raw args
     scopes: list[LockScope] = field(default_factory=list)
     calls: list[CallSite] = field(default_factory=list)
+    lambdas: list[LambdaInfo] = field(default_factory=list)
     types: dict[str, str] = field(default_factory=dict)     # var -> base type
 
     @property
@@ -192,26 +213,50 @@ def _match_brace(code: str, open_brace: int) -> int:
     return len(code)
 
 
-def _blank_lambdas(body: str) -> str:
-    """Replace every lambda (introducer + body) with spaces.
+def _match_paren(code: str, open_paren: int) -> int:
+    """Index just past the paren matching code[open_paren] (== len on EOF)."""
+    depth = 0
+    for i in range(open_paren, len(code)):
+        if code[i] == "(":
+            depth += 1
+        elif code[i] == ")":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return len(code)
+
+
+def _collect_lambdas(body: str) -> tuple[str, list[LambdaInfo]]:
+    """Blank every top-level lambda and record it.
 
     Deferred work does not run under the locks held at its capture site, so
     leaving lambda bodies in place would fabricate lock-order edges and
     blocking-under-lock findings (e.g. ThreadPool::parallel_for emplacing
-    completion lambdas while holding the pool mutex).  Newlines survive so
-    line numbers stay stable.
+    completion lambdas while holding the pool mutex).  Blanking is
+    length-preserving (newlines survive), so the recorded offsets stay valid
+    in both the raw and the blanked body; the lifetime rules analyze the
+    recorded lambdas separately.
     """
     out = body
+    lambdas: list[LambdaInfo] = []
     search_from = 0
     while True:
         m = LAMBDA_RE.search(out, search_from)
         if not m:
-            return out
+            return out, lambdas
         open_brace = m.end() - 1
         end = _match_brace(out, open_brace)
+        raw = body[m.start():end]
+        cm = re.match(r"\[([^\[\]]*)\]", raw)
+        captures = _split_args(cm.group(1)) if cm else []
+        lambdas.append(LambdaInfo(m.start(), end, captures, raw))
         blanked = "".join(c if c == "\n" else " " for c in out[m.start():end])
         out = out[:m.start()] + blanked + out[end:]
         search_from = m.start() + len(blanked)
+
+
+def _blank_lambdas(body: str) -> str:
+    return _collect_lambdas(body)[0]
 
 
 def _extents(code: str, pattern: re.Pattern) -> list[tuple[re.Match, int, int]]:
@@ -269,6 +314,17 @@ class ProgramIndex:
         self._decl_annots: dict[tuple[str, str], str] = {}
         for sf in sources:
             self._index_file(sf)
+        # Merge declaration annotations after *all* files are indexed: the
+        # compile DB lists TUs before headers, so an out-of-line definition
+        # is usually indexed before the declaration carrying its
+        # TCB_REQUIRES / TCB_LIFETIME_BOUND / TCB_ESCAPES annotations.
+        for fn in self.functions:
+            if fn.cls and (fn.cls, fn.name) in self._decl_annots:
+                fn.annots += " " + self._decl_annots[(fn.cls, fn.name)]
+            for rm in REQUIRES_RE.finditer(fn.annots):
+                fn.requires.extend(
+                    a for a in _split_args(rm.group(1))
+                    if a and not a.startswith("!"))
         self._resolve_subclasses()
         for fn in self.functions:
             self._analyze_function(fn)
@@ -314,11 +370,12 @@ class ProgramIndex:
                                     line_of(s + dm.start()), annots, cname)
             # Method declarations carrying annotations (defined elsewhere).
             for dm in re.finditer(
-                    r"([A-Za-z_]\w*)\s*\(([^()]*)\)\s*"
+                    r"([A-Za-z_]\w*)\s*\(((?:[^()]|\([^()]*\))*)\)\s*"
                     r"((?:const\b\s*|noexcept\b\s*|override\b\s*|"
-                    r"TCB_\w+\s*\([^()]*\)\s*)*);", body):
-                if "TCB_" in dm.group(3):
-                    self._decl_annots[(cname, dm.group(1))] = dm.group(3)
+                    r"TCB_\w+\s*(?:\([^()]*\))?\s*)*);", body):
+                if "TCB_" in dm.group(3) or "TCB_" in dm.group(2):
+                    self._decl_annots[(cname, dm.group(1))] = \
+                        dm.group(3) + " " + dm.group(2)
 
         # Namespace-scope mutexes (the lock_order anchors).  The annotation
         # group allows paren-less macros too (TCB_LOCK_ORDER_ANCHOR).
@@ -347,20 +404,30 @@ class ProgramIndex:
                     if cs <= m.start() < ce:
                         cls = cm.group(2)
                         break
-            body = _blank_lambdas(code[open_brace + 1:body_end])
+            raw_body = code[open_brace + 1:body_end]
+            body, lambdas = _collect_lambdas(raw_body)
             fn = FunctionInfo(
                 name=name, cls=cls, path=sf.path,
                 line=line_of(m.start()), params=m.group(3), body=body,
-                body_first_line=line_of(open_brace + 1))
-            annot_text = m.group(4) or ""
-            if cls and (cls, name) in self._decl_annots:
-                annot_text += " " + self._decl_annots[(cls, name)]
-            for rm in REQUIRES_RE.finditer(annot_text):
-                fn.requires.extend(
-                    a for a in _split_args(rm.group(1))
-                    if a and not a.startswith("!"))
+                body_first_line=line_of(open_brace + 1),
+                ret_type=self._ret_type(code, m.start()),
+                raw_body=raw_body, lambdas=lambdas)
+            fn.annots = m.group(4) or ""
             self.functions.append(fn)
             self.by_name.setdefault(name, []).append(fn)
+
+    @staticmethod
+    def _ret_type(code: str, def_start: int) -> str:
+        """Normalized text between the previous statement and a definition.
+
+        Empty for constructors/destructors (nothing precedes the name) and
+        whenever the heuristic cannot see a type.  Multi-token types keep
+        their '&'/'*'/template structure so rules can key on reference and
+        span returns.
+        """
+        seg_start = max(code.rfind(c, 0, def_start) for c in ";{}") + 1
+        seg = RET_STRIP_RE.sub(" ", code[seg_start:def_start])
+        return re.sub(r"\s+", " ", seg).strip()
 
     def _add_mutex(self, lock_id: str, path: str, line: int,
                    annots: str, cls: str | None) -> None:
@@ -435,7 +502,8 @@ class ProgramIndex:
                 name=name, recv=recv,
                 recv_class=self._resolve_receiver(recv, fn),
                 quals=re.sub(r"\s+", "", m.group("quals") or ""),
-                line=line_of(m.start()), pos=m.start()))
+                line=line_of(m.start()), pos=m.start(),
+                open_paren=m.end() - 1))
 
     def _collect_types(self, fn: FunctionInfo) -> None:
         for p in _split_args(fn.params):

@@ -69,3 +69,4 @@ def scan_lines(sf: SourceFile, pattern: re.Pattern, rule: str,
 from tcb_lint.rules import style        # noqa: E402,F401
 from tcb_lint.rules import concurrency  # noqa: E402,F401
 from tcb_lint.rules import taint        # noqa: E402,F401
+from tcb_lint.rules import lifetime     # noqa: E402,F401

@@ -11,8 +11,8 @@ _SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
 
 
 def render(findings: list[Finding], rules: dict[str, object],
-           tool_version: str) -> str:
-    used = sorted({f.rule for f in findings})
+           tool_version: str,
+           suppressed: list[Finding] | None = None) -> str:
     rule_objs = []
     for name in sorted(rules):
         r = rules[name]
@@ -22,7 +22,8 @@ def render(findings: list[Finding], rules: dict[str, object],
         })
     rule_index = {name: i for i, name in enumerate(sorted(rules))}
     results = []
-    for f in findings:
+    for f, is_suppressed in [(f, False) for f in findings] \
+            + [(f, True) for f in (suppressed or [])]:
         res = {
             "ruleId": f.rule,
             "level": "error" if f.severity == "error" else "warning",
@@ -39,6 +40,13 @@ def render(findings: list[Finding], rules: dict[str, object],
         }
         if f.rule in rule_index:
             res["ruleIndex"] = rule_index[f.rule]
+        if is_suppressed:
+            # Baselined findings stay visible in code-scanning UIs as
+            # suppressed results rather than disappearing from the report.
+            res["suppressions"] = [{
+                "kind": "external",
+                "justification": "baselined in tools/tcb-lint/baseline.json",
+            }]
         results.append(res)
     doc = {
         "$schema": _SCHEMA,
@@ -62,6 +70,6 @@ def render(findings: list[Finding], rules: dict[str, object],
 
 
 def write(path: str, findings: list[Finding], rules: dict[str, object],
-          tool_version: str) -> None:
+          tool_version: str, suppressed: list[Finding] | None = None) -> None:
     with open(path, "w", encoding="utf-8") as f:
-        f.write(render(findings, rules, tool_version))
+        f.write(render(findings, rules, tool_version, suppressed))

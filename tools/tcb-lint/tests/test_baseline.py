@@ -103,8 +103,47 @@ class BaselineRatchetTest(unittest.TestCase):
         drifted = Finding("r", "src/x.cpp", 99, "msg")
         new, suppressed, stale = baseline.apply([drifted], known)
         self.assertEqual(new, [])
-        self.assertEqual(suppressed, 1)
+        self.assertEqual(suppressed, [drifted])
         self.assertEqual(stale, [])
+
+    def test_baselined_findings_kept_as_sarif_suppressions(self):
+        # A baselined finding must not vanish from the SARIF report: it is
+        # emitted as a result carrying a `suppressions` entry, while a fresh
+        # finding in the same run carries none.
+        import json
+
+        from tcb_lint import sarif
+        from tcb_lint.rules import RULES
+
+        fresh = Finding("no-raw-new-delete", "src/a.cpp", 3, "fresh")
+        legacy = Finding("no-raw-new-delete", "src/b.cpp", 7, "legacy")
+        doc = json.loads(sarif.render([fresh], dict(RULES), "0",
+                                      suppressed=[legacy]))
+        results = doc["runs"][0]["results"]
+        self.assertEqual(len(results), 2)
+        by_uri = {r["locations"][0]["physicalLocation"]["artifactLocation"]
+                  ["uri"]: r for r in results}
+        self.assertNotIn("suppressions", by_uri["src/a.cpp"])
+        sup = by_uri["src/b.cpp"]["suppressions"]
+        self.assertEqual(sup[0]["kind"], "external")
+        self.assertIn("baseline.json", sup[0]["justification"])
+
+    def test_update_baseline_round_trips_byte_identically(self):
+        # update -> load -> apply -> update must reproduce the file byte for
+        # byte, regardless of the order findings arrive in.
+        a = Finding("rule-b", "src/z.cpp", 5, "zzz")
+        b = Finding("rule-a", "src/a.cpp", 9, "aaa")
+        baseline.update([a, b], self.baseline)
+        with open(self.baseline, encoding="utf-8") as f:
+            first = f.read()
+        known = baseline.load(self.baseline)
+        new, suppressed, stale = baseline.apply([b, a], known)
+        self.assertEqual(new, [])
+        self.assertEqual(stale, [])
+        baseline.update(suppressed, self.baseline)
+        with open(self.baseline, encoding="utf-8") as f:
+            second = f.read()
+        self.assertEqual(first, second)
 
     def test_unsupported_version_rejected(self):
         with open(self.baseline, "w", encoding="utf-8") as f:
