@@ -7,10 +7,13 @@
 // same JSON report.
 #include <benchmark/benchmark.h>
 
+#include <string>
+
 #include "nn/attention.hpp"
 #include "nn/encoder.hpp"
 #include "tensor/kernel_ref.hpp"
 #include "tensor/ops.hpp"
+#include "tensor/tuning.hpp"
 #include "util/env.hpp"
 
 namespace tcb {
@@ -102,13 +105,12 @@ void BM_Gelu(benchmark::State& state) {
 }
 BENCHMARK(BM_Gelu)->Arg(768)->Arg(3072);
 
-/// One encoder self-attention layer over a single batch row of `width`
-/// tokens split into `slots` segments, executed with the given mode.
-void attention_once(Index width, Index slots, AttentionMode mode,
-                    const MultiHeadAttention& mha, const Tensor& x) {
+/// Builds a single-row plan of `slots` segments, each `z` tokens, in the
+/// layout the given mode expects (slot-per-segment when slotted).
+BatchPlan attention_plan(Index z, Index slots, AttentionMode mode) {
+  const Index width = z * slots;
   BatchPlan plan;
   plan.row_capacity = width;
-  const Index z = width / slots;
   plan.scheme =
       mode == AttentionMode::kSlotted ? Scheme::kConcatSlotted : Scheme::kConcatPure;
   plan.slot_len = mode == AttentionMode::kSlotted ? z : 0;
@@ -118,8 +120,7 @@ void attention_once(Index width, Index slots, AttentionMode mode,
         s, s * z, z, mode == AttentionMode::kSlotted ? s : static_cast<Index>(0)});
   row.width = width;
   plan.rows.push_back(row);
-  const Tensor y = mha.encoder_forward(x, plan, Col{width}, mode);
-  benchmark::DoNotOptimize(y.raw());
+  return plan;
 }
 
 ModelConfig attention_cfg() {
@@ -131,27 +132,103 @@ ModelConfig attention_cfg() {
   return cfg;
 }
 
+/// Attention-work counters for a plan where every query attends `k_len`
+/// keys. items_per_second becomes attention FLOP/s (score + value madds,
+/// projections excluded); bytes_touched is the streamed unique-byte
+/// footprint per forward (Q/K/V reads, head-output writes, and the packed
+/// K^T panels), so items / bytes is the kernel's arithmetic intensity.
+void set_attention_counters(benchmark::State& state, Index tokens, Index k_len,
+                            Index d) {
+  const double flops = 4.0 * static_cast<double>(tokens) *
+                       static_cast<double>(k_len) * static_cast<double>(d);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(flops));
+  const double bytes = sizeof(float) * 5.0 * static_cast<double>(tokens) *
+                       static_cast<double>(d);
+  state.counters["bytes_touched"] = benchmark::Counter(
+      bytes, benchmark::Counter::kIsIterationInvariantRate);
+}
+
+/// Pure path over `segments` segments of `k_len` tokens each: every query's
+/// admitted span — the k_len of the attention — is its own segment.
 void BM_AttentionPure(benchmark::State& state) {
-  const Index width = 400;
+  const Index k_len = state.range(0);
+  const Index segments = state.range(1);
+  const Index width = k_len * segments;
   const ModelConfig cfg = attention_cfg();
   Rng rng(4);
   const MultiHeadAttention mha(cfg, rng);
   const Tensor x = Tensor::random_uniform(Shape{width, cfg.d_model}, rng, 1.0f);
-  for (auto _ : state)
-    attention_once(width, state.range(0), AttentionMode::kPureConcat, mha, x);
+  const BatchPlan plan = attention_plan(k_len, segments, AttentionMode::kPureConcat);
+  for (auto _ : state) {
+    const Tensor y =
+        mha.encoder_forward(x, plan, Col{width}, AttentionMode::kPureConcat);
+    benchmark::DoNotOptimize(y.raw());
+  }
+  set_attention_counters(state, width, k_len, cfg.d_model);
 }
-BENCHMARK(BM_AttentionPure)->Arg(4)->ArgName("segments");
+BENCHMARK(BM_AttentionPure)
+    ->ArgNames({"k_len", "segments"})
+    ->Args({100, 4})  // the historical 400-token payload
+    ->Args({512, 2})
+    ->Args({1024, 2})
+    ->Args({2048, 2});
 
 void BM_AttentionSlotted(benchmark::State& state) {
-  const Index width = 400;
+  const Index k_len = state.range(0);
+  const Index slots = state.range(1);
+  const Index width = k_len * slots;
   const ModelConfig cfg = attention_cfg();
   Rng rng(4);
   const MultiHeadAttention mha(cfg, rng);
   const Tensor x = Tensor::random_uniform(Shape{width, cfg.d_model}, rng, 1.0f);
-  for (auto _ : state)
-    attention_once(width, state.range(0), AttentionMode::kSlotted, mha, x);
+  const BatchPlan plan = attention_plan(k_len, slots, AttentionMode::kSlotted);
+  for (auto _ : state) {
+    const Tensor y =
+        mha.encoder_forward(x, plan, Col{width}, AttentionMode::kSlotted);
+    benchmark::DoNotOptimize(y.raw());
+  }
+  set_attention_counters(state, width, k_len, cfg.d_model);
 }
-BENCHMARK(BM_AttentionSlotted)->Arg(4)->Arg(10)->ArgName("slots");
+BENCHMARK(BM_AttentionSlotted)
+    ->ArgNames({"k_len", "slots"})
+    ->Args({100, 4})  // the historical 400-token payloads
+    ->Args({40, 10})
+    ->Args({512, 2})
+    ->Args({1024, 2})
+    ->Args({2048, 2});
+
+/// Head-to-head on identical single-segment payloads: the flash kernel
+/// (online softmax, vectorized exp, packed K^T tiles) vs the previous
+/// production kernel (fused masking, two-pass softmax, scalar exp). The
+/// flash/fused time ratio at a given k_len is the tentpole speedup this
+/// revision claims; the CI gate and README table read it from here.
+void BM_AttentionFlashVsFused(benchmark::State& state) {
+  const Index k_len = state.range(0);
+  const bool flash = state.range(1) == 1;
+  const ModelConfig cfg = attention_cfg();
+  Rng rng(4);
+  const MultiHeadAttention mha(cfg, rng);
+  const Tensor x = Tensor::random_uniform(Shape{k_len, cfg.d_model}, rng, 1.0f);
+  const BatchPlan plan = attention_plan(k_len, 1, AttentionMode::kPureConcat);
+  for (auto _ : state) {
+    const Tensor y =
+        flash ? mha.encoder_forward(x, plan, Col{k_len},
+                                    AttentionMode::kPureConcat)
+              : mha.encoder_forward_fused(x, plan, Col{k_len},
+                                          AttentionMode::kPureConcat);
+    benchmark::DoNotOptimize(y.raw());
+  }
+  set_attention_counters(state, k_len, k_len, cfg.d_model);
+}
+BENCHMARK(BM_AttentionFlashVsFused)
+    ->ArgNames({"k_len", "flash"})
+    ->Args({512, 0})
+    ->Args({512, 1})
+    ->Args({1024, 0})
+    ->Args({1024, 1})
+    ->Args({2048, 0})
+    ->Args({2048, 1});
 
 /// Same payload as BM_AttentionPure but through the pre-optimization
 /// full-matrix scalar path; the Pure/PureRef ratio is the fused-kernel
@@ -216,4 +293,25 @@ BENCHMARK(BM_EncoderLayer)->Arg(128)->Arg(256)->ArgName("width");
 }  // namespace
 }  // namespace tcb
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Tune eagerly so the selection cost never lands inside a measured region,
+  // and record what was selected: a stored baseline is only comparable to a
+  // later run if the cache geometry (and thus the tuned blocking) matches —
+  // scripts/check_bench_regression.py keys its gate on this context.
+  tcb::gemm_autotune_all();
+  benchmark::AddCustomContext("tcb_gemm_tuning", tcb::gemm_tuning_summary());
+  benchmark::AddCustomContext("tcb_cache_l1d",
+                              std::to_string(tcb::cache_geometry().l1d_bytes));
+  benchmark::AddCustomContext("tcb_cache_l2",
+                              std::to_string(tcb::cache_geometry().l2_bytes));
+#ifdef NDEBUG
+  benchmark::AddCustomContext("tcb_library_build_type", "release");
+#else
+  benchmark::AddCustomContext("tcb_library_build_type", "debug");
+#endif
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Gate attention benchmarks against the committed baseline.
+
+Compares per-benchmark real_time of a fresh google-benchmark run against a
+committed baseline (BENCH_kernels.json, possibly wrapped by run-bench.sh) and
+fails when any matching benchmark regressed by more than the threshold.
+
+Benchmark numbers are only comparable on the machine they were recorded on,
+so the gate is conditional: the bench binary records the detected cache
+geometry in its context (tcb_cache_l1d / tcb_cache_l2, see
+bench/micro_kernels.cpp), and when the current run's geometry differs from
+the baseline's — a CI runner judging a baseline recorded on a dev box — the
+gate prints what it skipped and exits 0. A baseline recorded in smoke mode
+is likewise not judged.
+
+Usage:
+  scripts/check_bench_regression.py --baseline BENCH_kernels.json \
+      --current bench-results/BENCH_kernels.json \
+      [--filter BM_Attention] [--threshold 0.25]
+
+Exit codes: 0 pass/skip, 1 regression, 2 bad input.
+"""
+
+import argparse
+import json
+import sys
+
+TIME_UNITS_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def load_report(path):
+    """Returns (context, benchmarks, wrapper) from a raw or wrapped report."""
+    with open(path) as f:
+        doc = json.load(f)
+    wrapper = {}
+    if "benchmark" in doc and "context" not in doc:  # run-bench.sh wrapper
+        wrapper = doc
+        doc = doc["benchmark"]
+    if "context" not in doc or "benchmarks" not in doc:
+        raise ValueError(f"{path}: not a google-benchmark JSON report")
+    return doc["context"], doc["benchmarks"], wrapper
+
+
+def real_time_ns(entry):
+    return entry["real_time"] * TIME_UNITS_NS[entry.get("time_unit", "ns")]
+
+
+def geometry(context):
+    return {k: context.get(k) for k in ("tcb_cache_l1d", "tcb_cache_l2")}
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--baseline", required=True)
+    ap.add_argument("--current", required=True)
+    ap.add_argument("--filter", default="BM_Attention",
+                    help="benchmark name prefix to gate (default: BM_Attention)")
+    ap.add_argument("--threshold", type=float, default=0.25,
+                    help="max tolerated slowdown fraction (default: 0.25)")
+    args = ap.parse_args()
+
+    try:
+        base_ctx, base_benches, base_wrap = load_report(args.baseline)
+        cur_ctx, cur_benches, _ = load_report(args.current)
+    except (OSError, ValueError, KeyError) as e:
+        print(f"check_bench_regression: {e}", file=sys.stderr)
+        return 2
+
+    if base_wrap.get("smoke"):
+        print("check_bench_regression: SKIP — baseline was recorded in smoke "
+              "mode, numbers are not comparable")
+        return 0
+
+    base_geo, cur_geo = geometry(base_ctx), geometry(cur_ctx)
+    if None in base_geo.values() or None in cur_geo.values():
+        print("check_bench_regression: SKIP — cache geometry missing from "
+              f"context (baseline={base_geo}, current={cur_geo}); cannot "
+              "establish same-machine comparability")
+        return 0
+    if base_geo != cur_geo:
+        print("check_bench_regression: SKIP — cache geometry differs "
+              f"(baseline={base_geo}, current={cur_geo}); the baseline was "
+              "recorded on a different machine class")
+        return 0
+
+    base_times = {
+        b["name"]: real_time_ns(b)
+        for b in base_benches
+        if b["name"].startswith(args.filter) and "aggregate_name" not in b
+    }
+    if not base_times:
+        print(f"check_bench_regression: no baseline benchmarks match "
+              f"'{args.filter}'", file=sys.stderr)
+        return 2
+
+    failures = []
+    compared = 0
+    for entry in cur_benches:
+        name = entry["name"]
+        if name not in base_times or "aggregate_name" in entry:
+            continue
+        compared += 1
+        base_ns, cur_ns = base_times[name], real_time_ns(entry)
+        ratio = cur_ns / base_ns if base_ns > 0 else float("inf")
+        status = "FAIL" if ratio > 1.0 + args.threshold else "ok"
+        print(f"  {status:4} {name}: {base_ns / 1e6:.3f} ms -> "
+              f"{cur_ns / 1e6:.3f} ms ({ratio:.2f}x baseline)")
+        if status == "FAIL":
+            failures.append(name)
+
+    if compared == 0:
+        print(f"check_bench_regression: current run has no benchmarks "
+              f"matching '{args.filter}'", file=sys.stderr)
+        return 2
+    if failures:
+        print(f"check_bench_regression: {len(failures)}/{compared} attention "
+              f"benchmark(s) regressed more than {args.threshold:.0%}: "
+              + ", ".join(failures))
+        return 1
+    print(f"check_bench_regression: PASS — {compared} benchmark(s) within "
+          f"{args.threshold:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

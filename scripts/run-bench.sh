@@ -42,6 +42,22 @@ done
 if [[ ! -f "$build_dir/CMakeCache.txt" ]]; then
   cmake --preset release -B "$build_dir" >/dev/null
 fi
+
+# A committed baseline measured from a debug tree is worse than none: every
+# later comparison against it reports phantom regressions or phantom wins.
+# (The old BENCH_kernels.json silently recorded library_build_type=debug.)
+# Refuse anything but an optimized build type up front.
+build_type=$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "$build_dir/CMakeCache.txt")
+case "$build_type" in
+  Release|RelWithDebInfo) ;;
+  *)
+    echo "run-bench: refusing to record a baseline from build type" \
+         "'${build_type:-<unset>}' in $build_dir (need Release or" \
+         "RelWithDebInfo). Use --build-dir or the release preset." >&2
+    exit 3
+    ;;
+esac
+
 cmake --build "$build_dir" -j "$(nproc)" --target micro_kernels e2e_encoder \
   >/dev/null
 
@@ -61,10 +77,10 @@ run_bench() {  # run_bench <binary> <raw-json-out>
 }
 
 wrap_json() {  # wrap_json <raw-json> <final-json> <label>
-  python3 - "$1" "$2" "$3" "$smoke" "$before_file" <<'EOF'
+  python3 - "$1" "$2" "$3" "$smoke" "$before_file" "$build_type" <<'EOF'
 import json, platform, subprocess, sys
 
-raw_path, out_path, label, smoke, before_path = sys.argv[1:6]
+raw_path, out_path, label, smoke, before_path, build_type = sys.argv[1:7]
 
 def sh(*cmd):
     try:
@@ -82,6 +98,9 @@ for line in sh("lscpu").splitlines():
 doc = {
     "label": label,
     "smoke": smoke == "1",
+    # The tcb build type (the guard above enforces Release/RelWithDebInfo);
+    # distinct from the benchmark library's own library_build_type field.
+    "tcb_build_type": build_type,
     "machine": {
         "cpu_model": cpu_model,
         "nproc": sh("nproc"),

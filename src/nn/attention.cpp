@@ -9,6 +9,7 @@
 #include "parallel/thread_pool.hpp"
 #include "tensor/ops.hpp"
 #include "tensor/simd.hpp"
+#include "tensor/workspace.hpp"
 #include "util/check.hpp"
 
 namespace tcb {
@@ -55,6 +56,14 @@ void check_forward_args(const Tensor& x, const BatchPlan& plan, Index width,
                                 ": slotted mode needs slot_len");
 }
 
+/// Key-tile width of the flash kernel. One tile of scores lives on the
+/// stack (kTile floats = one 256-byte strip, L1-resident by construction);
+/// spans are walked tile-relative-to-their-own-start, so a segment's tile
+/// sequence is a function of the segment alone — batching a request with
+/// others never changes where its tile boundaries fall, which keeps the
+/// concat-vs-single outputs bitwise identical (see DESIGN.md §13).
+constexpr Index kTile = 64;
+
 }  // namespace
 
 MultiHeadAttention::MultiHeadAttention(const ModelConfig& cfg, Rng& rng)
@@ -76,9 +85,14 @@ Tensor MultiHeadAttention::encoder_forward(const Tensor& x,
   const Index d = n_heads_ * head_dim_;
   check_forward_args(x, plan, width, mode, rows, d, "encoder_forward");
 
-  const Tensor q = wq_.forward(x);
-  const Tensor k = wk_.forward(x);
-  const Tensor v = wv_.forward(x);
+  // Projection scratch, reused across layers and forwards: after the first
+  // call at a shape these allocate nothing (matmul's out-param path keeps
+  // same-shape storage). Thread-local because concurrent sessions may drive
+  // separate forwards from separate threads.
+  static thread_local Tensor q_tl, k_tl, v_tl, heads_tl;
+  wq_.forward(x, q_tl);
+  wk_.forward(x, k_tl);
+  wv_.forward(x, v_tl);
 
   // Mask geometry, built once per (plan, width) and reused across every
   // layer and head of the batch (the per-forward rebuild used to dominate
@@ -87,6 +101,179 @@ Tensor MultiHeadAttention::encoder_forward(const Tensor& x,
   const SegmentCache& sc = plan.segment_cache(width_col);
   TCB_CHECK(sc.row_count() == rows && sc.width() == width,
             "encoder_forward: segment cache geometry mismatch");
+
+  const Shape out_shape{rows * width, d};
+  if (!(heads_tl.shape() == out_shape)) {
+    heads_tl = Tensor(out_shape);  // zero-initialized
+  } else if (mode == AttentionMode::kSlotted) {
+    // Reused storage: slotted tasks never touch columns past a row's used
+    // extent, so stale tail values from a previous forward must be cleared.
+    // (Pure tasks cover every column, padding included — nothing to clear.)
+    float* p = heads_tl.raw();
+    for (Index r = 0; r < rows; ++r) {
+      const Index used = plan.rows[static_cast<std::size_t>(r)].width;
+      if (used >= width) continue;
+      std::fill(p + (static_cast<std::size_t>(r) * width + used) *
+                        static_cast<std::size_t>(d),
+                p + (static_cast<std::size_t>(r) + 1) * width *
+                        static_cast<std::size_t>(d),
+                0.0f);
+    }
+  }
+
+  const auto tasks = build_tasks(plan, width, mode, n_heads_);
+  const float inv_sqrt_d = 1.0f / std::sqrt(static_cast<float>(head_dim_));
+  // Bind raw pointers on the calling thread: the thread_local names above
+  // would re-resolve to a *worker's* (empty) tensors inside the lambda.
+  const float* pq = q_tl.raw();
+  const float* pk = k_tl.raw();
+  const float* pv = v_tl.raw();
+  float* pout = heads_tl.raw();
+  const Index dh = head_dim_;
+
+  parallel_for(tasks.size(), [&, pq, pk, pv,
+                              pout](std::size_t begin_task,
+                                    std::size_t end_task) {
+    // Flash-style tiled kernel (paper Eq. 5-6 fused like the fused kernel,
+    // plus FlashAttention's online softmax): scores exist only one kTile
+    // strip at a time, in L1. Per key tile the kernel keeps a running max m,
+    // running exp-sum l, and an output accumulator that is rescaled by
+    // alpha = exp(m_old - m_new) whenever the max advances; the final
+    // normalize is one multiply by 1/l. Masked-out entries are never
+    // computed at all — each query walks only the contiguous column spans
+    // its mask admits (its own segment under kSegment, every non-padding
+    // span under kRowShared), exactly like the fused kernel.
+    //
+    // Scores are produced by vertical FMAs over a K^T panel packed per task
+    // into workspace scratch: s[j] += q[c] * kt[c][j] for each of the dh
+    // channels, so the hot loop is straight-line axpy with no horizontal
+    // reductions, and exp runs vectorized over the strip.
+    std::vector<std::pair<Index, Index>> spans;
+    for (std::size_t ti = begin_task; ti < end_task; ++ti) {
+      const Task& t = tasks[ti];
+      const Index w = t.width;
+      // Span/slot geometry: the task's span must lie inside the materialized
+      // row, and the mask source must cover the span — out-of-bounds here
+      // reads another request's K/V rows and produces plausible-but-wrong
+      // attention, not a crash.
+      TCB_DCHECK(t.row >= 0 && t.row < rows, "attention task row out of range");
+      TCB_DCHECK(t.head >= 0 && t.head < n_heads_,
+                 "attention task head out of range");
+      TCB_DCHECK(w > 0 && t.begin >= 0 && t.begin + w <= width,
+                 "attention span outside the materialized row");
+      const std::size_t row_base = static_cast<std::size_t>(t.row) * width;
+      const std::size_t head_off = static_cast<std::size_t>(t.head) * dh;
+      const std::int32_t* smap = sc.seg_row(t.row);
+      const Index* slo = sc.span_lo_row(t.row);
+      const Index* shi = sc.span_hi_row(t.row);
+      const Index t_end = t.begin + w;
+
+      // Task-lifetime scratch from this worker's arena; rewound on scope
+      // exit, so steady state allocates nothing.
+      WorkspaceScope scope;
+      // kt: the task's K rows transposed to channel-major, kt[c*w + j] =
+      // K[t.begin + j][c] — the layout that makes the score update a
+      // contiguous axpy per channel.
+      float* kt =
+          scope.alloc(static_cast<std::size_t>(w) * static_cast<std::size_t>(dh));
+      float* qs = scope.alloc(static_cast<std::size_t>(dh));
+      for (Index j = 0; j < w; ++j) {
+        const float* kr = pk + (row_base + static_cast<std::size_t>(t.begin + j)) *
+                                   static_cast<std::size_t>(d) +
+                          head_off;
+        for (Index c = 0; c < dh; ++c) kt[c * w + j] = kr[c];
+      }
+
+      for (Index i = 0; i < w; ++i) {
+        const Index pos = t.begin + i;
+        float* out = pout + (row_base + static_cast<std::size_t>(pos)) *
+                                static_cast<std::size_t>(d) +
+                     head_off;
+        for (Index c = 0; c < dh; ++c) out[c] = 0.0f;
+        if (smap[pos] < 0) continue;  // padding query: defined as zeros
+
+        spans.clear();
+        if (mask == MaskPolicy::kSegment) {
+          // One contiguous span: the query's own segment, clipped to the
+          // task (slots never split a segment, so the clip is a no-op for
+          // valid plans; it guards degenerate hand-built ones).
+          const Index lo = std::max(slo[pos], t.begin);
+          const Index hi = std::min(shi[pos], t_end);
+          if (lo < hi) spans.emplace_back(lo, hi);
+        } else {
+          for (const auto& span : sc.used_spans(t.row)) {
+            const Index lo = std::max(span.first, t.begin);
+            const Index hi = std::min(span.second, t_end);
+            if (lo < hi) spans.emplace_back(lo, hi);
+          }
+        }
+
+        // Fold 1/sqrt(d) into the query so the score loop is pure FMA.
+        const float* qi = pq + (row_base + static_cast<std::size_t>(pos)) *
+                                   static_cast<std::size_t>(d) +
+                          head_off;
+        for (Index c = 0; c < dh; ++c) qs[c] = qi[c] * inv_sqrt_d;
+
+        float m = kMaskedOut;  // running max over keys seen so far
+        float l = 0.0f;        // running sum of exp(s - m)
+        alignas(64) float s[kTile];
+        for (const auto& [lo, hi] : spans) {
+          // Tiles step from the span's own start (not the task's), so the
+          // tile sequence — and with it every rounding decision below — is
+          // identical whether this segment runs alone or inside a batch.
+          for (Index j0 = lo; j0 < hi; j0 += kTile) {
+            const Index tw = std::min(kTile, hi - j0);
+            const Index koff = j0 - t.begin;
+            std::fill_n(s, static_cast<std::size_t>(tw), 0.0f);
+            for (Index c = 0; c < dh; ++c)
+              simd::axpy(qs[c], kt + c * w + koff, s, tw);
+
+            const float tile_mx = simd::reduce_max(s, tw);
+            if (tile_mx > m) {
+              // The max advanced: rescale history into the new frame. On
+              // the first tile alpha = exp(kMaskedOut - finite) == 0.0f
+              // exactly, wiping the (already zero) accumulator.
+              const float alpha = std::exp(m - tile_mx);
+              l *= alpha;
+              simd::scale(out, alpha, dh);
+              m = tile_mx;
+            }
+            simd::exp_shift_inplace(s, m, tw);
+            l += simd::reduce_add(s, tw);
+            for (Index j = 0; j < tw; ++j)
+              simd::axpy(s[j],
+                         pv + (row_base + static_cast<std::size_t>(j0 + j)) *
+                                  static_cast<std::size_t>(d) +
+                             head_off,
+                         out, dh);
+          }
+        }
+        // l == 0 means no admissible key (fully-masked query): stay zeros.
+        if (l > 0.0f) simd::scale(out, 1.0f / l, dh);
+      }
+    }
+  });
+
+  return wo_.forward(heads_tl);
+}
+
+Tensor MultiHeadAttention::encoder_forward_fused(const Tensor& x,
+                                                 const BatchPlan& plan,
+                                                 Col width_col,
+                                                 AttentionMode mode,
+                                                 MaskPolicy mask) const {
+  const Index width = width_col.value();
+  const Index rows = static_cast<Index>(plan.rows.size());
+  const Index d = n_heads_ * head_dim_;
+  check_forward_args(x, plan, width, mode, rows, d, "encoder_forward_fused");
+
+  const Tensor q = wq_.forward(x);
+  const Tensor k = wk_.forward(x);
+  const Tensor v = wv_.forward(x);
+
+  const SegmentCache& sc = plan.segment_cache(width_col);
+  TCB_CHECK(sc.row_count() == rows && sc.width() == width,
+            "encoder_forward_fused: segment cache geometry mismatch");
 
   Tensor heads_out(Shape{rows * width, d});
   const auto tasks = build_tasks(plan, width, mode, n_heads_);

@@ -46,9 +46,25 @@ class MultiHeadAttention {
   /// (strong-typed: a row count passed here is a compile error).
   /// Returns a tensor of the same shape (already through the output
   /// projection W^O).
+  ///
+  /// Executes as a flash-style tiled kernel (DESIGN.md §13): scores exist
+  /// one kTile-wide strip at a time with an online softmax (running max /
+  /// running sum, rescaled accumulator), never as a q_len x k_len matrix.
+  /// Equivalent to encoder_forward_reference under float tolerance; the
+  /// equivalence suite pins both that and the bitwise concat-vs-single
+  /// invariance.
   [[nodiscard]] Tensor encoder_forward(const Tensor& x, const BatchPlan& plan,
                                        Col width, AttentionMode mode,
                                        MaskPolicy mask = MaskPolicy::kSegment) const;
+
+  /// The previous production kernel: fused masking (each query walks only
+  /// its admitted spans) but two-pass softmax — a full span-wide score
+  /// buffer per query, one pass for scores + max, one for exp/normalize.
+  /// Kept as the head-to-head baseline the flash kernel is benchmarked
+  /// against (BM_AttentionFused) and as a second differential oracle.
+  [[nodiscard]] Tensor encoder_forward_fused(
+      const Tensor& x, const BatchPlan& plan, Col width, AttentionMode mode,
+      MaskPolicy mask = MaskPolicy::kSegment) const;
 
   /// The pre-optimization execution: materializes every task's full w x w
   /// score matrix, masks it in a second sweep, then runs softmax and the

@@ -9,6 +9,7 @@
 #include "parallel/thread_pool.hpp"
 #include "tensor/ops.hpp"
 #include "tensor/simd.hpp"
+#include "tensor/workspace.hpp"
 
 namespace tcb {
 
@@ -213,8 +214,6 @@ DecodeResult greedy_decode(const Seq2SeqModel& model,
       parallel_for(
           static_cast<std::size_t>(a_count) * static_cast<std::size_t>(heads),
           [&](std::size_t begin, std::size_t end) {
-            std::vector<float> scores;
-            std::vector<const float*> v_ptrs;
             for (std::size_t task = begin; task < end; ++task) {
               const Index ai = static_cast<Index>(task / heads);
               const Index h = static_cast<Index>(task % heads);
@@ -223,11 +222,17 @@ DecodeResult greedy_decode(const Seq2SeqModel& model,
               const std::size_t head_off = static_cast<std::size_t>(h) * dh;
               const float* qv = q.row(ai) + head_off;
 
-              scores.clear();
-              v_ptrs.clear();
+              // Score scratch from this worker's arena (rewound per task;
+              // steady-state decode steps allocate nothing).
+              std::size_t total = 0;
+              for (const auto m : group.members)
+                total += st.k_cache[m].size() / static_cast<std::size_t>(d);
+              WorkspaceScope scope;
+              float* scores = scope.alloc(total);
               // Scores over every member's cached steps; the redundant
               // cross-request entries are computed, then masked (paper
               // Eq. 5-6 applied step-wise).
+              std::size_t idx = 0;
               for (const auto m : group.members) {
                 const auto& kc = st.k_cache[m];
                 const std::size_t steps_m = kc.size() / static_cast<std::size_t>(d);
@@ -238,24 +243,32 @@ DecodeResult greedy_decode(const Seq2SeqModel& model,
                 const float mask_add = m == a ? 0.0f : kMaskedOut;
                 for (std::size_t s = 0; s < steps_m; ++s) {
                   const float* kv = kc.data() + s * static_cast<std::size_t>(d) + head_off;
-                  scores.push_back(simd::dot(qv, kv, dh) * inv_sqrt + mask_add);
-                  v_ptrs.push_back(st.v_cache[m].data() +
-                                   s * static_cast<std::size_t>(d) + head_off);
+                  scores[idx++] = simd::dot(qv, kv, dh) * inv_sqrt + mask_add;
                 }
               }
 
               float mx = kMaskedOut;
-              for (const float s : scores) mx = std::max(mx, s);
+              for (std::size_t s = 0; s < total; ++s) mx = std::max(mx, scores[s]);
               float sum = 0.0f;
-              for (float& s : scores) {
-                s = std::exp(s - mx);
-                sum += s;
+              for (std::size_t s = 0; s < total; ++s) {
+                scores[s] = std::exp(scores[s] - mx);
+                sum += scores[s];
               }
               const float inv = 1.0f / sum;
               float* out = attn.row(ai) + head_off;
               for (Index c = 0; c < dh; ++c) out[c] = 0.0f;
-              for (std::size_t s = 0; s < scores.size(); ++s)
-                simd::axpy(scores[s] * inv, v_ptrs[s], out, dh);
+              // Second walk over the members recovers each score's V row
+              // without a parallel pointer array (the arena only holds
+              // floats, and the walk order is identical by construction).
+              idx = 0;
+              for (const auto m : group.members) {
+                const auto& vc = st.v_cache[m];
+                const std::size_t steps_m = vc.size() / static_cast<std::size_t>(d);
+                for (std::size_t s = 0; s < steps_m; ++s)
+                  simd::axpy(scores[idx++] * inv,
+                             vc.data() + s * static_cast<std::size_t>(d) + head_off,
+                             out, dh);
+              }
             }
           });
       Tensor x1 = residual_norm(x, layer.self_attn().wo().forward(attn),
@@ -267,7 +280,6 @@ DecodeResult greedy_decode(const Seq2SeqModel& model,
       parallel_for(
           static_cast<std::size_t>(a_count) * static_cast<std::size_t>(heads),
           [&](std::size_t begin, std::size_t end) {
-            std::vector<float> scores;
             for (std::size_t task = begin; task < end; ++task) {
               const Index ai = static_cast<Index>(task / heads);
               const Index h = static_cast<Index>(task % heads);
@@ -295,26 +307,26 @@ DecodeResult greedy_decode(const Seq2SeqModel& model,
                       static_cast<std::int32_t>(tr.seg_index),
                   "decode: track's source segment disagrees with the plan");
 
-              scores.assign(static_cast<std::size_t>(span), 0.0f);
+              WorkspaceScope scope;
+              float* scores = scope.alloc(static_cast<std::size_t>(span));
               for (Index j = 0; j < span; ++j) {
                 const float* kv = st.cross_k.row(row_base + span_begin + j) + head_off;
-                scores[static_cast<std::size_t>(j)] =
-                    simd::dot(qv, kv, dh) * inv_sqrt;
+                scores[j] = simd::dot(qv, kv, dh) * inv_sqrt;
               }
 
               float mx = kMaskedOut;
-              for (const float s : scores) mx = std::max(mx, s);
+              for (Index j = 0; j < span; ++j) mx = std::max(mx, scores[j]);
               float* out = attn2.row(ai) + head_off;
               for (Index c = 0; c < dh; ++c) out[c] = 0.0f;
               if (mx <= kMaskedOut / 2) continue;  // empty source segment
               float sum = 0.0f;
-              for (float& s : scores) {
-                s = std::exp(s - mx);
-                sum += s;
+              for (Index j = 0; j < span; ++j) {
+                scores[j] = std::exp(scores[j] - mx);
+                sum += scores[j];
               }
               const float inv = 1.0f / sum;
               for (Index j = 0; j < span; ++j) {
-                const float w = scores[static_cast<std::size_t>(j)] * inv;
+                const float w = scores[j] * inv;
                 const float* vv =
                     st.cross_v.row(row_base + span_begin + j) + head_off;
                 simd::axpy(w, vv, out, dh);

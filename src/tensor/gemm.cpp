@@ -4,36 +4,45 @@
 // shapes this engine actually runs (m up to a few thousand, k/n up to a few
 // thousand):
 //
-//   for each kc-block of K (kKc depths):              L2-resident B slab
+//   for each kc-block of K (blk.kc depths):           L2-resident B slab
 //     pack B[kc, n] into NR-column panels (Bp)
 //     parallel over MR-row panels of A:               one chunk per worker(s)
 //       pack A[mr, kc] into a k-major panel (Ap)
 //       for each NR-column panel: microkernel         registers only
 //
 // The microkernel computes an MR x NR tile held entirely in vector
-// registers; per-ISA tile sizes are chosen so the accumulators plus two B
-// vectors and an A broadcast fit the register file (AVX-512: 8x32 in 16 of
-// 32 zmm; AVX2: 6x16 in 12 of 16 ymm; NEON: 8x8; scalar: 4x8 for the
-// autovectorizer). Panels are zero-padded to full MR/NR so the microkernel
-// has no edge branches; the write-back clips to the valid region.
+// registers. Each ISA compiles a small table of template-instantiated
+// variants (e.g. AVX-512: 8x32 / 12x32 / 8x16 / 4x64); which variant runs —
+// and how deep kc is — comes from tensor/tuning.hpp, which derives the
+// candidates from the detected L1/L2 geometry and trial-times them once per
+// process. Panels are zero-padded to full MR/NR so the microkernel has no
+// edge branches; the write-back clips to the valid region.
+//
+// Scratch (the packed Ap/Bp panels and the C tile) lives in the per-thread
+// Workspace arena (tensor/workspace.hpp) instead of per-call std::vectors:
+// after the first call warms the arenas, repeated GEMMs perform zero heap
+// allocations.
 //
 // Numerical contract: every C element is one fused-multiply-add chain in
 // ascending k order per kc-block (lanes are distinct output columns, rows
 // are distinct accumulators), and the zero padding contributes exact 0.0f.
-// The small-m fast path below produces the identical chain, so batched and
-// single-request runs of the same layer agree bitwise for k <= kKc — the
-// property the concat-vs-single equivalence suite relies on. The scalar
-// reference (tcb::ref::matmul) reassociates differently and is compared
-// under tolerance instead.
+// This holds for EVERY microkernel variant — changing MR/NR only moves an
+// element between registers, never reorders its chain — and the autotuner
+// keeps kc >= 256, so batched and single-request runs of the same layer
+// agree bitwise for k <= 256 exactly as before — the property the
+// concat-vs-single equivalence suite relies on. The small-m fast path below
+// produces the identical chain. The scalar reference (tcb::ref::matmul)
+// reassociates differently and is compared under tolerance instead.
 #include <algorithm>
 #include <cmath>
 #include <cstddef>
 #include <stdexcept>
-#include <vector>
 
 #include "parallel/thread_pool.hpp"
 #include "tensor/ops.hpp"
 #include "tensor/simd.hpp"
+#include "tensor/tuning.hpp"
+#include "tensor/workspace.hpp"
 
 namespace tcb {
 namespace {
@@ -42,118 +51,156 @@ void require(bool ok, const char* what) {
   if (!ok) throw std::invalid_argument(what);
 }
 
-/// Depth of one packed K block: kKc * kNr floats of B must stay L1/L2-hot
-/// while a row panel streams through.
+/// Baseline packed-block depth (the autotuner's floor; see tuning.hpp).
 constexpr Index kKc = 256;
 
-#if defined(TCB_SIMD_AVX512)
-constexpr Index kMr = 8;
-constexpr Index kNr = 32;
-#elif defined(TCB_SIMD_AVX2)
-constexpr Index kMr = 6;
-constexpr Index kNr = 16;
-#elif defined(TCB_SIMD_NEON)
-constexpr Index kMr = 8;
-constexpr Index kNr = 8;
-#else
-constexpr Index kMr = 4;
-constexpr Index kNr = 8;
-#endif
+// --- microkernel variants --------------------------------------------------
+//
+// ukernel<MR, NV> computes an MR x (NV * lane-width) tile:
+// ctile[r * NR + j] = sum_p ap[p * MR + r] * bp[p * NR + j]. `ap` is k-major
+// (MR values per depth), `bp` likewise with NR values per depth; both are
+// zero-padded by the packers. Variants must keep MR * NV accumulators plus
+// NV B vectors plus one A broadcast inside the register file.
 
-/// MR x NR tile in registers: ctile[r * kNr + j] = sum_p ap[p*kMr+r] *
-/// bp[p*kNr+j]. `ap` is k-major (kMr values per depth), `bp` likewise with
-/// kNr values per depth; both are zero-padded by the packers.
-void microkernel(Index kc, const float* ap, const float* bp, float* ctile) {
 #if defined(TCB_SIMD_AVX512)
-  __m512 acc[kMr][2];
-  for (Index r = 0; r < kMr; ++r) {
-    acc[r][0] = _mm512_setzero_ps();
-    acc[r][1] = _mm512_setzero_ps();
-  }
+
+template <int MR, int NV>
+void ukernel(Index kc, const float* ap, const float* bp, float* ctile) {
+  constexpr Index kNR = NV * 16;
+  __m512 acc[MR][NV];
+  for (int r = 0; r < MR; ++r)
+    for (int v = 0; v < NV; ++v) acc[r][v] = _mm512_setzero_ps();
   for (Index p = 0; p < kc; ++p) {
-    const __m512 b0 = _mm512_loadu_ps(bp + p * kNr);
-    const __m512 b1 = _mm512_loadu_ps(bp + p * kNr + 16);
-    const float* arow = ap + p * kMr;
-    for (Index r = 0; r < kMr; ++r) {
+    __m512 b[NV];
+    for (int v = 0; v < NV; ++v) b[v] = _mm512_loadu_ps(bp + p * kNR + 16 * v);
+    const float* arow = ap + p * MR;
+    for (int r = 0; r < MR; ++r) {
       const __m512 av = _mm512_set1_ps(arow[r]);
-      acc[r][0] = _mm512_fmadd_ps(av, b0, acc[r][0]);
-      acc[r][1] = _mm512_fmadd_ps(av, b1, acc[r][1]);
+      for (int v = 0; v < NV; ++v) acc[r][v] = _mm512_fmadd_ps(av, b[v], acc[r][v]);
     }
   }
-  for (Index r = 0; r < kMr; ++r) {
-    _mm512_storeu_ps(ctile + r * kNr, acc[r][0]);
-    _mm512_storeu_ps(ctile + r * kNr + 16, acc[r][1]);
-  }
-#elif defined(TCB_SIMD_AVX2)
-  __m256 acc[kMr][2];
-  for (Index r = 0; r < kMr; ++r) {
-    acc[r][0] = _mm256_setzero_ps();
-    acc[r][1] = _mm256_setzero_ps();
-  }
-  for (Index p = 0; p < kc; ++p) {
-    const __m256 b0 = _mm256_loadu_ps(bp + p * kNr);
-    const __m256 b1 = _mm256_loadu_ps(bp + p * kNr + 8);
-    const float* arow = ap + p * kMr;
-    for (Index r = 0; r < kMr; ++r) {
-      const __m256 av = _mm256_set1_ps(arow[r]);
-      acc[r][0] = _mm256_fmadd_ps(av, b0, acc[r][0]);
-      acc[r][1] = _mm256_fmadd_ps(av, b1, acc[r][1]);
-    }
-  }
-  for (Index r = 0; r < kMr; ++r) {
-    _mm256_storeu_ps(ctile + r * kNr, acc[r][0]);
-    _mm256_storeu_ps(ctile + r * kNr + 8, acc[r][1]);
-  }
-#elif defined(TCB_SIMD_NEON)
-  float32x4_t acc[kMr][2];
-  for (Index r = 0; r < kMr; ++r) {
-    acc[r][0] = vdupq_n_f32(0.0f);
-    acc[r][1] = vdupq_n_f32(0.0f);
-  }
-  for (Index p = 0; p < kc; ++p) {
-    const float32x4_t b0 = vld1q_f32(bp + p * kNr);
-    const float32x4_t b1 = vld1q_f32(bp + p * kNr + 4);
-    const float* arow = ap + p * kMr;
-    for (Index r = 0; r < kMr; ++r) {
-      acc[r][0] = vfmaq_n_f32(acc[r][0], b0, arow[r]);
-      acc[r][1] = vfmaq_n_f32(acc[r][1], b1, arow[r]);
-    }
-  }
-  for (Index r = 0; r < kMr; ++r) {
-    vst1q_f32(ctile + r * kNr, acc[r][0]);
-    vst1q_f32(ctile + r * kNr + 4, acc[r][1]);
-  }
-#else
-  float acc[kMr * kNr] = {};
-  for (Index p = 0; p < kc; ++p) {
-    const float* arow = ap + p * kMr;
-    const float* brow = bp + p * kNr;
-    for (Index r = 0; r < kMr; ++r) {
-      const float av = arow[r];
-      for (Index j = 0; j < kNr; ++j) acc[r * kNr + j] += av * brow[j];
-    }
-  }
-  for (Index i = 0; i < kMr * kNr; ++i) ctile[i] = acc[i];
-#endif
+  for (int r = 0; r < MR; ++r)
+    for (int v = 0; v < NV; ++v)
+      _mm512_storeu_ps(ctile + r * kNR + 16 * v, acc[r][v]);
 }
 
-/// Packs B[k0:k0+kc, 0:n] (row-major, leading dim n) into NR-column panels:
-/// panel jp holds kc rows of kNr floats, zero-padded past column n.
-void pack_b(const float* b, Index n, Index k0, Index kc,
-            std::vector<float>& bp) {
-  const Index panels = (n + kNr - 1) / kNr;
-  bp.assign(static_cast<std::size_t>(panels) * static_cast<std::size_t>(kc) *
-                static_cast<std::size_t>(kNr),
-            0.0f);
+#elif defined(TCB_SIMD_AVX2)
+
+template <int MR, int NV>
+void ukernel(Index kc, const float* ap, const float* bp, float* ctile) {
+  constexpr Index kNR = NV * 8;
+  __m256 acc[MR][NV];
+  for (int r = 0; r < MR; ++r)
+    for (int v = 0; v < NV; ++v) acc[r][v] = _mm256_setzero_ps();
+  for (Index p = 0; p < kc; ++p) {
+    __m256 b[NV];
+    for (int v = 0; v < NV; ++v) b[v] = _mm256_loadu_ps(bp + p * kNR + 8 * v);
+    const float* arow = ap + p * MR;
+    for (int r = 0; r < MR; ++r) {
+      const __m256 av = _mm256_set1_ps(arow[r]);
+      for (int v = 0; v < NV; ++v) acc[r][v] = _mm256_fmadd_ps(av, b[v], acc[r][v]);
+    }
+  }
+  for (int r = 0; r < MR; ++r)
+    for (int v = 0; v < NV; ++v)
+      _mm256_storeu_ps(ctile + r * kNR + 8 * v, acc[r][v]);
+}
+
+#elif defined(TCB_SIMD_NEON)
+
+template <int MR, int NV>
+void ukernel(Index kc, const float* ap, const float* bp, float* ctile) {
+  constexpr Index kNR = NV * 4;
+  float32x4_t acc[MR][NV];
+  for (int r = 0; r < MR; ++r)
+    for (int v = 0; v < NV; ++v) acc[r][v] = vdupq_n_f32(0.0f);
+  for (Index p = 0; p < kc; ++p) {
+    float32x4_t b[NV];
+    for (int v = 0; v < NV; ++v) b[v] = vld1q_f32(bp + p * kNR + 4 * v);
+    const float* arow = ap + p * MR;
+    for (int r = 0; r < MR; ++r)
+      for (int v = 0; v < NV; ++v)
+        acc[r][v] = vfmaq_n_f32(acc[r][v], b[v], arow[r]);
+  }
+  for (int r = 0; r < MR; ++r)
+    for (int v = 0; v < NV; ++v) vst1q_f32(ctile + r * kNR + 4 * v, acc[r][v]);
+}
+
+#else
+
+/// Scalar fallback: NV counts 8-wide column groups for the autovectorizer.
+template <int MR, int NV>
+void ukernel(Index kc, const float* ap, const float* bp, float* ctile) {
+  constexpr Index kNR = NV * 8;
+  float acc[MR * kNR] = {};
+  for (Index p = 0; p < kc; ++p) {
+    const float* arow = ap + p * MR;
+    const float* brow = bp + p * kNR;
+    for (int r = 0; r < MR; ++r) {
+      const float av = arow[r];
+      for (Index j = 0; j < kNR; ++j) acc[r * kNR + j] += av * brow[j];
+    }
+  }
+  for (Index i = 0; i < MR * kNR; ++i) ctile[i] = acc[i];
+}
+
+#endif
+
+struct MicroKernel {
+  void (*fn)(Index kc, const float* ap, const float* bp, float* ctile);
+  Index mr;
+  Index nr;
+  const char* tag;
+};
+
+#if defined(TCB_SIMD_AVX512)
+// 8x32: 16 acc + 2 B + 1 bcast = 19 of 32 zmm. 12x32: 27. 8x16: 10 (less
+// L1 pressure per panel). 4x64: 21 (wide outputs).
+constexpr MicroKernel kMicroKernels[] = {
+    {&ukernel<8, 2>, 8, 32, "avx512_8x32"},
+    {&ukernel<12, 2>, 12, 32, "avx512_12x32"},
+    {&ukernel<8, 1>, 8, 16, "avx512_8x16"},
+    {&ukernel<4, 4>, 4, 64, "avx512_4x64"},
+};
+#elif defined(TCB_SIMD_AVX2)
+// 6x16: 12 acc + 2 B + 1 bcast = 15 of 16 ymm (full tilt). 4x16: 11.
+// 8x8: 10.
+constexpr MicroKernel kMicroKernels[] = {
+    {&ukernel<6, 2>, 6, 16, "avx2_6x16"},
+    {&ukernel<4, 2>, 4, 16, "avx2_4x16"},
+    {&ukernel<8, 1>, 8, 8, "avx2_8x8"},
+};
+#elif defined(TCB_SIMD_NEON)
+constexpr MicroKernel kMicroKernels[] = {
+    {&ukernel<8, 2>, 8, 8, "neon_8x8"},
+    {&ukernel<4, 4>, 4, 16, "neon_4x16"},
+    {&ukernel<8, 1>, 8, 4, "neon_8x4"},
+};
+#else
+constexpr MicroKernel kMicroKernels[] = {
+    {&ukernel<4, 1>, 4, 8, "scalar_4x8"},
+};
+#endif
+
+constexpr int kDefaultKernel = 0;
+constexpr Index kMr = kMicroKernels[kDefaultKernel].mr;
+constexpr Index kNr = kMicroKernels[kDefaultKernel].nr;
+
+/// Packs B[k0:k0+kc, 0:n] (row-major, leading dim n) into nr-column panels:
+/// panel jp holds kc rows of nr floats, zero-padded past column n. `bp` is
+/// raw workspace memory, so padding is written explicitly.
+void pack_b(const float* b, Index n, Index k0, Index kc, Index nr, float* bp) {
+  const Index panels = (n + nr - 1) / nr;
   for (Index jp = 0; jp < panels; ++jp) {
-    const Index j0 = jp * kNr;
-    const Index jn = std::min<Index>(kNr, n - j0);
-    float* dst = bp.data() + static_cast<std::size_t>(jp) *
-                                 static_cast<std::size_t>(kc) * kNr;
+    const Index j0 = jp * nr;
+    const Index jn = std::min<Index>(nr, n - j0);
+    float* dst = bp + static_cast<std::size_t>(jp) *
+                          static_cast<std::size_t>(kc) * nr;
     for (Index p = 0; p < kc; ++p) {
       const float* src =
           b + static_cast<std::size_t>(k0 + p) * static_cast<std::size_t>(n) + j0;
-      for (Index j = 0; j < jn; ++j) dst[p * kNr + j] = src[j];
+      for (Index j = 0; j < jn; ++j) dst[p * nr + j] = src[j];
+      for (Index j = jn; j < nr; ++j) dst[p * nr + j] = 0.0f;
     }
   }
 }
@@ -161,86 +208,93 @@ void pack_b(const float* b, Index n, Index k0, Index kc,
 /// Same panel layout, but the source is B(n,k) row-major and we need its
 /// transpose: Bp[p][j] = B[j0+j, k0+p]. Used by matmul_nt.
 void pack_b_transposed(const float* b, Index n, Index k, Index k0, Index kc,
-                       std::vector<float>& bp) {
-  const Index panels = (n + kNr - 1) / kNr;
-  bp.assign(static_cast<std::size_t>(panels) * static_cast<std::size_t>(kc) *
-                static_cast<std::size_t>(kNr),
-            0.0f);
+                       Index nr, float* bp) {
+  const Index panels = (n + nr - 1) / nr;
   for (Index jp = 0; jp < panels; ++jp) {
-    const Index j0 = jp * kNr;
-    const Index jn = std::min<Index>(kNr, n - j0);
-    float* dst = bp.data() + static_cast<std::size_t>(jp) *
-                                 static_cast<std::size_t>(kc) * kNr;
+    const Index j0 = jp * nr;
+    const Index jn = std::min<Index>(nr, n - j0);
+    float* dst = bp + static_cast<std::size_t>(jp) *
+                          static_cast<std::size_t>(kc) * nr;
     for (Index j = 0; j < jn; ++j) {
       const float* src =
           b + static_cast<std::size_t>(j0 + j) * static_cast<std::size_t>(k) + k0;
-      for (Index p = 0; p < kc; ++p) dst[p * kNr + j] = src[p];
+      for (Index p = 0; p < kc; ++p) dst[p * nr + j] = src[p];
     }
+    for (Index j = jn; j < nr; ++j)
+      for (Index p = 0; p < kc; ++p) dst[p * nr + j] = 0.0f;
   }
 }
 
 /// Packs A[i0:i0+mr, k0:k0+kc] (row-major, leading dim k) k-major into `ap`,
-/// zero-padding rows past mr up to kMr.
+/// zero-padding rows past mr up to mr_max.
 void pack_a(const float* a, Index k, Index i0, Index mr, Index k0, Index kc,
-            float* ap) {
+            Index mr_max, float* ap) {
   for (Index p = 0; p < kc; ++p) {
-    float* dst = ap + p * kMr;
+    float* dst = ap + p * mr_max;
     for (Index r = 0; r < mr; ++r)
       dst[r] = a[static_cast<std::size_t>(i0 + r) * static_cast<std::size_t>(k) +
                  static_cast<std::size_t>(k0 + p)];
-    for (Index r = mr; r < kMr; ++r) dst[r] = 0.0f;
+    for (Index r = mr; r < mr_max; ++r) dst[r] = 0.0f;
   }
 }
 
 /// Blocked driver shared by matmul and matmul_nt; `transposed_b` selects the
 /// B packing. C must already have shape (m, n).
 void gemm_blocked(const float* pa, const float* pb, float* pc, Index m,
-                  Index k, Index n, bool transposed_b) {
-  const Index row_panels = (m + kMr - 1) / kMr;
-  const Index col_panels = (n + kNr - 1) / kNr;
+                  Index k, Index n, bool transposed_b,
+                  const GemmBlocking& blk) {
+  const MicroKernel& uk = kMicroKernels[blk.kernel];
+  const Index mr_max = uk.mr;
+  const Index nr = uk.nr;
+  const Index row_panels = (m + mr_max - 1) / mr_max;
+  const Index col_panels = (n + nr - 1) / nr;
   const std::size_t grain_rows = gemm_grain(m, n, k);
   const std::size_t grain_panels =
-      std::max<std::size_t>(1, grain_rows / static_cast<std::size_t>(kMr));
+      std::max<std::size_t>(1, grain_rows / static_cast<std::size_t>(mr_max));
 
-  // One packed B slab per kc-block, shared read-only by all workers. The
-  // slab itself is thread_local so repeated calls stay allocation-free, but
-  // the lambda must go through `bp` — a real local bound on the calling
-  // thread — because thread_local names inside a lambda body resolve against
-  // the *executing* thread, and the workers' own slabs are empty.
-  thread_local std::vector<float> bp_slab;
-  std::vector<float>& bp = bp_slab;
-  for (Index k0 = 0; k0 < k; k0 += kKc) {
-    const Index kc = std::min<Index>(kKc, k - k0);
+  // One packed B slab per kc-block, packed on the calling thread and shared
+  // read-only by all workers. The slab is workspace scratch sized for the
+  // deepest block and reused across blocks; the scope spans the blocking
+  // parallel_for calls, so worker reads always see live storage.
+  WorkspaceScope bscope;
+  const Index kc_max = std::min<Index>(blk.kc, k);
+  float* bp = bscope.alloc(static_cast<std::size_t>(col_panels) *
+                           static_cast<std::size_t>(kc_max) *
+                           static_cast<std::size_t>(nr));
+  for (Index k0 = 0; k0 < k; k0 += blk.kc) {
+    const Index kc = std::min<Index>(blk.kc, k - k0);
     if (transposed_b)
-      pack_b_transposed(pb, n, k, k0, kc, bp);
+      pack_b_transposed(pb, n, k, k0, kc, nr, bp);
     else
-      pack_b(pb, n, k0, kc, bp);
+      pack_b(pb, n, k0, kc, nr, bp);
     const bool first_block = k0 == 0;
 
     parallel_for(
         static_cast<std::size_t>(row_panels),
-        [&](std::size_t begin, std::size_t end) {
-          thread_local std::vector<float> ap;
-          thread_local std::vector<float> ctile;
-          ap.resize(static_cast<std::size_t>(kMr) * static_cast<std::size_t>(kKc));
-          ctile.resize(static_cast<std::size_t>(kMr) *
-                       static_cast<std::size_t>(kNr));
+        [&, bp](std::size_t begin, std::size_t end) {
+          // Per-worker scratch from the executing thread's arena. On the
+          // calling thread this nests LIFO inside bscope; pool workers use
+          // their own arenas.
+          WorkspaceScope wscope;
+          float* ap = wscope.alloc(static_cast<std::size_t>(mr_max) *
+                                   static_cast<std::size_t>(kc));
+          float* ctile = wscope.alloc(static_cast<std::size_t>(mr_max) *
+                                      static_cast<std::size_t>(nr));
           for (std::size_t rp = begin; rp < end; ++rp) {
-            const Index i0 = static_cast<Index>(rp) * kMr;
-            const Index mr = std::min<Index>(kMr, m - i0);
-            pack_a(pa, k, i0, mr, k0, kc, ap.data());
+            const Index i0 = static_cast<Index>(rp) * mr_max;
+            const Index mr = std::min<Index>(mr_max, m - i0);
+            pack_a(pa, k, i0, mr, k0, kc, mr_max, ap);
             for (Index jp = 0; jp < col_panels; ++jp) {
-              const Index j0 = jp * kNr;
-              const Index jn = std::min<Index>(kNr, n - j0);
-              const float* bpanel =
-                  bp.data() + static_cast<std::size_t>(jp) *
-                                  static_cast<std::size_t>(kc) * kNr;
-              microkernel(kc, ap.data(), bpanel, ctile.data());
+              const Index j0 = jp * nr;
+              const Index jn = std::min<Index>(nr, n - j0);
+              const float* bpanel = bp + static_cast<std::size_t>(jp) *
+                                            static_cast<std::size_t>(kc) * nr;
+              uk.fn(kc, ap, bpanel, ctile);
               for (Index r = 0; r < mr; ++r) {
                 float* crow = pc + static_cast<std::size_t>(i0 + r) *
                                        static_cast<std::size_t>(n) +
                               j0;
-                const float* trow = ctile.data() + r * kNr;
+                const float* trow = ctile + r * nr;
                 if (first_block)
                   for (Index j = 0; j < jn; ++j) crow[j] = trow[j];
                 else
@@ -288,12 +342,49 @@ void gemm_small_nt(const float* pa, const float* pb, float* pc, Index m,
 }
 
 /// The blocked path needs enough rows to amortize packing B (one sweep over
-/// k*n) and enough columns for full vector panels.
+/// k*n) and enough columns for full vector panels. Thresholds use the
+/// ISA-default tile so the routing decision is independent of tuning.
 bool use_blocked(Index m, Index n, Index k) {
   return m >= 2 * kMr && n >= kNr && k >= 8;
 }
 
 }  // namespace
+
+std::size_t gemm_kernel_count() noexcept {
+  return sizeof(kMicroKernels) / sizeof(kMicroKernels[0]);
+}
+
+GemmKernelInfo gemm_kernel_info(std::size_t i) noexcept {
+  GemmKernelInfo info;
+  if (i < gemm_kernel_count()) {
+    info.mr = kMicroKernels[i].mr;
+    info.nr = kMicroKernels[i].nr;
+    info.tag = kMicroKernels[i].tag;
+  }
+  return info;
+}
+
+GemmBlocking gemm_default_blocking() {
+  GemmBlocking b;
+  b.kc = kKc;
+  b.mr = kMr;
+  b.nr = kNr;
+  b.kernel = kDefaultKernel;
+  b.tag = std::string(kMicroKernels[kDefaultKernel].tag) + "/kc" +
+          std::to_string(kKc);
+  return b;
+}
+
+void gemm_blocked_with(const float* a, const float* b, float* c, Index m,
+                       Index k, Index n, bool transposed_b,
+                       const GemmBlocking& blk) {
+  require(m > 0 && n > 0 && k > 0, "gemm_blocked_with: empty operand");
+  require(blk.kernel >= 0 &&
+              static_cast<std::size_t>(blk.kernel) < gemm_kernel_count() &&
+              blk.kc > 0,
+          "gemm_blocked_with: invalid blocking");
+  gemm_blocked(a, b, c, m, k, n, transposed_b, blk);
+}
 
 std::size_t gemm_grain(Index m, Index n, Index k) {
   // Rows per parallel chunk. Two pressures: a chunk must carry enough
@@ -324,7 +415,8 @@ void matmul(const Tensor& a, const Tensor& b, Tensor& c) {
     return;
   }
   if (use_blocked(m, n, k))
-    gemm_blocked(a.raw(), b.raw(), c.raw(), m, k, n, /*transposed_b=*/false);
+    gemm_blocked(a.raw(), b.raw(), c.raw(), m, k, n, /*transposed_b=*/false,
+                 select_blocking(classify_gemm(m, n)));
   else
     gemm_small_nn(a.raw(), b.raw(), c.raw(), m, k, n);
 }
@@ -346,7 +438,8 @@ void matmul_nt(const Tensor& a, const Tensor& b, Tensor& c) {
     return;
   }
   if (use_blocked(m, n, k))
-    gemm_blocked(a.raw(), b.raw(), c.raw(), m, k, n, /*transposed_b=*/true);
+    gemm_blocked(a.raw(), b.raw(), c.raw(), m, k, n, /*transposed_b=*/true,
+                 select_blocking(classify_gemm(m, n)));
   else
     gemm_small_nt(a.raw(), b.raw(), c.raw(), m, k, n);
 }

@@ -314,6 +314,123 @@ inline void normalize(const float* x, const float* gamma, const float* beta,
   for (; i < n; ++i) out[i] = (x[i] - mean) * inv_std * gamma[i] + beta[i];
 }
 
+// Cephes-style exp polynomial constants, shared by the vector paths below.
+// exp(x) = 2^n * exp(r) with n = round(x * log2(e)) and r = x - n*ln2 (split
+// into a high/low pair so the reduction is exact in fp32); exp(r) is a
+// degree-5 polynomial over |r| <= ln2/2. Relative error vs std::exp is
+// ~2e-7 across the clamped domain [-87.34, 88.38].
+inline constexpr float kExpHi = 88.3762626647950f;
+inline constexpr float kExpLo = -87.3365478515625f;
+inline constexpr float kExpLog2e = 1.44269504088896341f;
+inline constexpr float kExpC1 = 0.693359375f;
+inline constexpr float kExpC2 = -2.12194440e-4f;
+inline constexpr float kExpP0 = 1.9875691500e-4f;
+inline constexpr float kExpP1 = 1.3981999507e-3f;
+inline constexpr float kExpP2 = 8.3334519073e-3f;
+inline constexpr float kExpP3 = 4.1665795894e-2f;
+inline constexpr float kExpP4 = 1.6666665459e-1f;
+inline constexpr float kExpP5 = 5.0000001201e-1f;
+
+/// s[i] = exp(s[i] - shift) for i in [0, n) — the softmax exponentiation
+/// step of the streaming (flash) attention kernel, where scalar std::exp
+/// used to dominate the per-key cost. Vector lanes use the Cephes
+/// polynomial; the sub-vector tail falls back to std::exp (both are
+/// deterministic elementwise functions, so batching invariance is
+/// unaffected; the tolerance suite treats the ~2e-7 disagreement as noise).
+/// Inputs below the low clamp come out as exp(-87.34) ~= 1.2e-38 instead of
+/// a subnormal/zero — indistinguishable after softmax normalization because
+/// the running max guarantees one term is exp(0) = 1.
+inline void exp_shift_inplace(float* s, float shift, Index n) {
+  Index i = 0;
+#if defined(TCB_SIMD_AVX512)
+  // Masked/maskz forms throughout for the same -Wmaybe-uninitialized reason
+  // as relu(): the unmasked 512-bit min/max/cvt/shift intrinsics lower
+  // through builtins whose merge operand is undefined.
+  const __m512 vshift = _mm512_set1_ps(shift);
+  const __m512 vhi = _mm512_set1_ps(kExpHi);
+  const __m512 vlo = _mm512_set1_ps(kExpLo);
+  const __m512 vlog2e = _mm512_set1_ps(kExpLog2e);
+  const __m512 vc1 = _mm512_set1_ps(kExpC1);
+  const __m512 vc2 = _mm512_set1_ps(kExpC2);
+  const __m512 vone = _mm512_set1_ps(1.0f);
+  for (; i + 16 <= n; i += 16) {
+    __m512 x = _mm512_sub_ps(_mm512_loadu_ps(s + i), vshift);
+    x = _mm512_mask_max_ps(vlo, 0xFFFF, _mm512_mask_min_ps(vhi, 0xFFFF, x, vhi),
+                           vlo);
+    // n = round-to-nearest(x * log2e): cvtps uses the default rounding mode.
+    const __m512i ni =
+        _mm512_maskz_cvtps_epi32(0xFFFF, _mm512_mul_ps(x, vlog2e));
+    const __m512 nf = _mm512_maskz_cvtepi32_ps(0xFFFF, ni);
+    x = _mm512_fnmadd_ps(nf, vc1, x);
+    x = _mm512_fnmadd_ps(nf, vc2, x);
+    __m512 y = _mm512_set1_ps(kExpP0);
+    y = _mm512_fmadd_ps(y, x, _mm512_set1_ps(kExpP1));
+    y = _mm512_fmadd_ps(y, x, _mm512_set1_ps(kExpP2));
+    y = _mm512_fmadd_ps(y, x, _mm512_set1_ps(kExpP3));
+    y = _mm512_fmadd_ps(y, x, _mm512_set1_ps(kExpP4));
+    y = _mm512_fmadd_ps(y, x, _mm512_set1_ps(kExpP5));
+    y = _mm512_add_ps(_mm512_fmadd_ps(y, _mm512_mul_ps(x, x), x), vone);
+    // 2^n via the exponent field.
+    const __m512i pow2n = _mm512_maskz_slli_epi32(
+        0xFFFF, _mm512_add_epi32(ni, _mm512_set1_epi32(127)), 23);
+    _mm512_storeu_ps(s + i, _mm512_mul_ps(y, _mm512_castsi512_ps(pow2n)));
+  }
+#elif defined(TCB_SIMD_AVX2)
+  const __m256 vshift = _mm256_set1_ps(shift);
+  const __m256 vhi = _mm256_set1_ps(kExpHi);
+  const __m256 vlo = _mm256_set1_ps(kExpLo);
+  const __m256 vlog2e = _mm256_set1_ps(kExpLog2e);
+  const __m256 vc1 = _mm256_set1_ps(kExpC1);
+  const __m256 vc2 = _mm256_set1_ps(kExpC2);
+  const __m256 vone = _mm256_set1_ps(1.0f);
+  for (; i + 8 <= n; i += 8) {
+    __m256 x = _mm256_sub_ps(_mm256_loadu_ps(s + i), vshift);
+    x = _mm256_max_ps(_mm256_min_ps(x, vhi), vlo);
+    const __m256i ni = _mm256_cvtps_epi32(_mm256_mul_ps(x, vlog2e));
+    const __m256 nf = _mm256_cvtepi32_ps(ni);
+    x = _mm256_fnmadd_ps(nf, vc1, x);
+    x = _mm256_fnmadd_ps(nf, vc2, x);
+    __m256 y = _mm256_set1_ps(kExpP0);
+    y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(kExpP1));
+    y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(kExpP2));
+    y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(kExpP3));
+    y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(kExpP4));
+    y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(kExpP5));
+    y = _mm256_add_ps(_mm256_fmadd_ps(y, _mm256_mul_ps(x, x), x), vone);
+    const __m256i pow2n = _mm256_slli_epi32(
+        _mm256_add_epi32(ni, _mm256_set1_epi32(127)), 23);
+    _mm256_storeu_ps(s + i, _mm256_mul_ps(y, _mm256_castsi256_ps(pow2n)));
+  }
+#elif defined(TCB_SIMD_NEON)
+  const float32x4_t vshift = vdupq_n_f32(shift);
+  const float32x4_t vhi = vdupq_n_f32(kExpHi);
+  const float32x4_t vlo = vdupq_n_f32(kExpLo);
+  const float32x4_t vlog2e = vdupq_n_f32(kExpLog2e);
+  const float32x4_t vc1 = vdupq_n_f32(kExpC1);
+  const float32x4_t vc2 = vdupq_n_f32(kExpC2);
+  const float32x4_t vone = vdupq_n_f32(1.0f);
+  for (; i + 4 <= n; i += 4) {
+    float32x4_t x = vsubq_f32(vld1q_f32(s + i), vshift);
+    x = vmaxq_f32(vminq_f32(x, vhi), vlo);
+    const int32x4_t ni = vcvtnq_s32_f32(vmulq_f32(x, vlog2e));
+    const float32x4_t nf = vcvtq_f32_s32(ni);
+    x = vmlsq_f32(x, nf, vc1);
+    x = vmlsq_f32(x, nf, vc2);
+    float32x4_t y = vdupq_n_f32(kExpP0);
+    y = vfmaq_f32(vdupq_n_f32(kExpP1), y, x);
+    y = vfmaq_f32(vdupq_n_f32(kExpP2), y, x);
+    y = vfmaq_f32(vdupq_n_f32(kExpP3), y, x);
+    y = vfmaq_f32(vdupq_n_f32(kExpP4), y, x);
+    y = vfmaq_f32(vdupq_n_f32(kExpP5), y, x);
+    y = vaddq_f32(vfmaq_f32(x, y, vmulq_f32(x, x)), vone);
+    const int32x4_t pow2n =
+        vshlq_n_s32(vaddq_s32(ni, vdupq_n_s32(127)), 23);
+    vst1q_f32(s + i, vmulq_f32(y, vreinterpretq_f32_s32(pow2n)));
+  }
+#endif
+  for (; i < n; ++i) s[i] = std::exp(s[i] - shift);
+}
+
 /// Sum of squared deviations from `mean` over x[0..n). Reduces across lanes.
 inline float reduce_sq_dev(const float* x, float mean, Index n) {
   Index i = 0;

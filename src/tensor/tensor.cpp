@@ -1,6 +1,9 @@
 #include "tensor/tensor.hpp"
 
 #include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
 #include <stdexcept>
 
 #include "util/check.hpp"
@@ -117,6 +120,39 @@ float max_abs_diff(const Tensor& a, const Tensor& b) {
   const auto db = b.data();
   for (std::size_t i = 0; i < da.size(); ++i)
     worst = std::max(worst, std::fabs(da[i] - db[i]));
+  return worst;
+}
+
+namespace {
+
+/// Maps the float's bit pattern to a monotonically ordered integer line
+/// (negative floats mirrored below zero), so ULP distance is plain integer
+/// subtraction.
+std::int64_t float_order(float x) {
+  std::int32_t bits;
+  std::memcpy(&bits, &x, sizeof(bits));
+  const std::int64_t b = bits;
+  return b >= 0 ? b : std::int64_t{std::numeric_limits<std::int32_t>::min()} - b;
+}
+
+}  // namespace
+
+std::int64_t max_ulp_diff(const Tensor& a, const Tensor& b) {
+  if (!(a.shape() == b.shape()))
+    throw std::invalid_argument("max_ulp_diff: shape mismatch " +
+                                a.shape().to_string() + " vs " +
+                                b.shape().to_string());
+  std::int64_t worst = 0;
+  const auto da = a.data();
+  const auto db = b.data();
+  for (std::size_t i = 0; i < da.size(); ++i) {
+    const float x = da[i];
+    const float y = db[i];
+    if (std::isnan(x) || std::isnan(y) || std::isinf(x) != std::isinf(y))
+      return std::numeric_limits<std::int64_t>::max();
+    const std::int64_t dist = std::abs(float_order(x) - float_order(y));
+    worst = std::max(worst, dist);
+  }
   return worst;
 }
 

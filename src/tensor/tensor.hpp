@@ -109,4 +109,11 @@ class Tensor {
 /// (single-request vs concat-batched inference) are built on this.
 [[nodiscard]] float max_abs_diff(const Tensor& a, const Tensor& b);
 
+/// Max pairwise distance in float units-in-the-last-place between
+/// same-shaped tensors. Scale-free, so one bound covers elements of any
+/// magnitude — the tolerance currency of the flash-vs-reference attention
+/// sweep. NaN anywhere (or an inf/finite mismatch) returns INT64_MAX; a
+/// +0/-0 pair counts as 0.
+[[nodiscard]] std::int64_t max_ulp_diff(const Tensor& a, const Tensor& b);
+
 }  // namespace tcb

@@ -15,6 +15,7 @@
 #include "parallel/thread_pool.hpp"
 #include "tensor/kernel_ref.hpp"
 #include "tensor/ops.hpp"
+#include "tensor/simd.hpp"
 
 namespace tcb {
 namespace {
@@ -189,6 +190,243 @@ TEST(KernelEquivalence, FusedAttentionSlottedMatchesReference) {
   const Tensor slow = mha.encoder_forward_reference(
       x, plan, Col{width}, AttentionMode::kSlotted);
   EXPECT_LE(max_abs_diff(fast, slow), 2e-4f);
+}
+
+// --- Flash attention vs the materialized reference --------------------------
+//
+// The flash kernel (online softmax, vectorized exp, tiled scores) is NOT
+// bitwise-identical to the reference: its dots reassociate and its exp is a
+// polynomial. The contract is closeness in ULPs for every element of
+// ordinary magnitude; elements that agree within a tiny absolute epsilon
+// (cancellation near zero makes ULP distance meaningless there) are exempt.
+
+/// Max ULP distance over elements whose absolute difference exceeds
+/// `abs_tol` (those below it are treated as equal).
+std::int64_t ulp_beyond_abs(const Tensor& a, const Tensor& b, float abs_tol) {
+  Tensor aa = a.clone();
+  Tensor bb = b.clone();
+  const auto da = aa.data();
+  const auto db = bb.data();
+  for (std::size_t i = 0; i < da.size(); ++i)
+    if (std::fabs(da[i] - db[i]) <= abs_tol)
+      bb.raw()[i] = da[i];
+  return max_ulp_diff(aa, bb);
+}
+
+constexpr float kFlashAbsTol = 2e-6f;
+constexpr std::int64_t kFlashUlpTol = 1024;  // ~6e-5 relative
+
+ModelConfig small_attention_cfg() {
+  ModelConfig cfg;
+  cfg.d_model = 64;
+  cfg.n_heads = 4;
+  cfg.d_ff = 128;
+  return cfg;
+}
+
+TEST(FlashAttention, UlpSweepAcrossOddShapes) {
+  // Widths 1..129 chosen to straddle every boundary the kernel has: below
+  // one SIMD lane, around the kTile = 64 score tile, and around 128 = two
+  // tiles. Each width runs with a multi-segment split (when it fits) plus
+  // trailing padding, under both mask policies.
+  const ModelConfig cfg = small_attention_cfg();
+  Rng rng(41);
+  const MultiHeadAttention mha(cfg, rng);
+  for (const Index width :
+       {Index{1}, Index{2}, Index{3}, Index{5}, Index{9}, Index{17}, Index{31},
+        Index{33}, Index{63}, Index{64}, Index{65}, Index{97}, Index{127},
+        Index{128}, Index{129}}) {
+    std::vector<Index> segs;
+    Index used = width - (width > 4 ? width / 5 : 0);  // leave some padding
+    if (used >= 7) {
+      segs = {used / 3, used / 4 + 1, used - used / 3 - used / 4 - 1};
+    } else {
+      segs = {used};
+    }
+    const BatchPlan plan = concat_plan(segs, width);
+    const Tensor x =
+        Tensor::random_uniform(Shape{width, cfg.d_model}, rng, 1.0f);
+    for (const MaskPolicy mask :
+         {MaskPolicy::kSegment, MaskPolicy::kRowShared}) {
+      const Tensor fast = mha.encoder_forward(x, plan, Col{width},
+                                              AttentionMode::kPureConcat, mask);
+      const Tensor slow = mha.encoder_forward_reference(
+          x, plan, Col{width}, AttentionMode::kPureConcat, mask);
+      EXPECT_LE(ulp_beyond_abs(fast, slow, kFlashAbsTol), kFlashUlpTol)
+          << "width=" << width << " mask=" << static_cast<int>(mask);
+    }
+  }
+}
+
+TEST(FlashAttention, SlottedTileStraddlingSegmentWidths) {
+  // Segment widths straddling the kTile = 64 boundary from both sides, laid
+  // out in slot_len = 128 slots: tiles must never read past a segment, and
+  // the partial final tile of each span must be handled exactly.
+  const ModelConfig cfg = small_attention_cfg();
+  Rng rng(42);
+  const MultiHeadAttention mha(cfg, rng);
+  const Index width = 512;
+  BatchPlan plan;
+  plan.row_capacity = width;
+  plan.scheme = Scheme::kConcatSlotted;
+  plan.slot_len = 128;
+  RowLayout row;
+  row.segments.push_back(Segment{0, 0, 63, 0});
+  row.segments.push_back(Segment{1, 63, 65, 0});
+  row.segments.push_back(Segment{2, 128, 127, 1});
+  row.segments.push_back(Segment{3, 255, 1, 1});
+  row.segments.push_back(Segment{4, 256, 128, 2});
+  row.segments.push_back(Segment{5, 384, 64, 3});
+  row.width = 448;
+  plan.rows.push_back(row);
+  plan.validate();
+  const Tensor x = Tensor::random_uniform(Shape{width, cfg.d_model}, rng, 1.0f);
+  for (const AttentionMode mode :
+       {AttentionMode::kSlotted, AttentionMode::kPureConcat}) {
+    const Tensor fast = mha.encoder_forward(x, plan, Col{width}, mode);
+    const Tensor slow =
+        mha.encoder_forward_reference(x, plan, Col{width}, mode);
+    EXPECT_LE(ulp_beyond_abs(fast, slow, kFlashAbsTol), kFlashUlpTol)
+        << "mode=" << static_cast<int>(mode);
+  }
+}
+
+TEST(FlashAttention, FullyMaskedPaddingRowsMatchReferenceExactly) {
+  // Padding queries admit no keys: the flash kernel must leave their head
+  // outputs exactly zero (not exp-underflow residue), which makes the
+  // projected rows bitwise equal to the reference's.
+  const ModelConfig cfg = small_attention_cfg();
+  Rng rng(43);
+  const MultiHeadAttention mha(cfg, rng);
+  const Index width = 96;
+  const BatchPlan plan = concat_plan({30, 21}, width);  // 45 padding columns
+  const Tensor x = Tensor::random_uniform(Shape{width, cfg.d_model}, rng, 1.0f);
+  for (const MaskPolicy mask :
+       {MaskPolicy::kSegment, MaskPolicy::kRowShared}) {
+    const Tensor fast = mha.encoder_forward(x, plan, Col{width},
+                                            AttentionMode::kPureConcat, mask);
+    const Tensor slow = mha.encoder_forward_reference(
+        x, plan, Col{width}, AttentionMode::kPureConcat, mask);
+    for (Index pos = 51; pos < width; ++pos)
+      for (Index j = 0; j < cfg.d_model; ++j)
+        ASSERT_EQ(fast.at(pos, j), slow.at(pos, j))
+            << "padding row " << pos << " col " << j
+            << " mask=" << static_cast<int>(mask);
+  }
+}
+
+TEST(FlashAttention, SingleTokenSegmentsReproduceValuesExactly) {
+  // A single-token segment attends only itself: softmax weight is exactly
+  // 1.0 on both paths (the vectorized exp is exact at 0), so flash and
+  // reference agree bitwise across the whole batch.
+  const ModelConfig cfg = small_attention_cfg();
+  Rng rng(44);
+  const MultiHeadAttention mha(cfg, rng);
+  const Index width = 16;
+  const BatchPlan plan =
+      concat_plan(std::vector<Index>(13, Index{1}), width);
+  const Tensor x = Tensor::random_uniform(Shape{width, cfg.d_model}, rng, 1.0f);
+  const Tensor fast = mha.encoder_forward(x, plan, Col{width},
+                                          AttentionMode::kPureConcat);
+  const Tensor slow = mha.encoder_forward_reference(
+      x, plan, Col{width}, AttentionMode::kPureConcat);
+  EXPECT_EQ(max_abs_diff(fast, slow), 0.0f);
+}
+
+TEST(FlashAttention, MatchesFusedKernel) {
+  // The previous production kernel is a second, independent oracle: same
+  // fused masking, different softmax structure (two-pass, scalar exp).
+  const ModelConfig cfg = small_attention_cfg();
+  Rng rng(45);
+  const MultiHeadAttention mha(cfg, rng);
+  const Index width = 160;
+  BatchPlan plan;
+  plan.row_capacity = width;
+  plan.scheme = Scheme::kConcatSlotted;
+  plan.slot_len = 64;
+  RowLayout row;
+  row.segments.push_back(Segment{0, 0, 40, 0});
+  row.segments.push_back(Segment{1, 40, 24, 0});
+  row.segments.push_back(Segment{2, 64, 64, 1});
+  row.segments.push_back(Segment{3, 128, 17, 2});
+  row.width = 145;
+  plan.rows.push_back(row);
+  plan.validate();
+  const Tensor x = Tensor::random_uniform(Shape{width, cfg.d_model}, rng, 1.0f);
+  for (const AttentionMode mode :
+       {AttentionMode::kPureConcat, AttentionMode::kSlotted}) {
+    for (const MaskPolicy mask :
+         {MaskPolicy::kSegment, MaskPolicy::kRowShared}) {
+      const Tensor flash = mha.encoder_forward(x, plan, Col{width}, mode, mask);
+      const Tensor fused =
+          mha.encoder_forward_fused(x, plan, Col{width}, mode, mask);
+      EXPECT_LE(ulp_beyond_abs(flash, fused, kFlashAbsTol), kFlashUlpTol)
+          << "mode=" << static_cast<int>(mode)
+          << " mask=" << static_cast<int>(mask);
+    }
+  }
+}
+
+TEST(FlashAttention, ConcatBatchingIsBitwiseNeutral) {
+  // The load-bearing invariance (DESIGN.md §13): a request's output must be
+  // bitwise identical whether its segment runs alone or concatenated with
+  // other requests, because tiles step from each span's own start. This is
+  // what lets the serving layer batch opportunistically without
+  // reproducibility caveats.
+  const ModelConfig cfg = small_attention_cfg();
+  Rng rng(46);
+  const MultiHeadAttention mha(cfg, rng);
+  const Index w0 = 40;
+  const BatchPlan solo = concat_plan({w0}, w0);
+  const Index width = 87;
+  const BatchPlan batched = concat_plan({w0, 33}, width);
+
+  const Tensor xb = Tensor::random_uniform(Shape{width, cfg.d_model}, rng, 1.0f);
+  Tensor xs(Shape{w0, cfg.d_model});
+  for (Index i = 0; i < w0; ++i)
+    for (Index j = 0; j < cfg.d_model; ++j) xs.at(i, j) = xb.at(i, j);
+
+  const Tensor out_solo = mha.encoder_forward(xs, solo, Col{w0},
+                                              AttentionMode::kPureConcat);
+  const Tensor out_batched = mha.encoder_forward(xb, batched, Col{width},
+                                                 AttentionMode::kPureConcat);
+  for (Index i = 0; i < w0; ++i)
+    for (Index j = 0; j < cfg.d_model; ++j)
+      ASSERT_EQ(out_solo.at(i, j), out_batched.at(i, j))
+          << "row " << i << " col " << j;
+}
+
+TEST(SimdExp, ExpShiftMatchesStdExpWithinRelTol) {
+  // The vectorized exp (Cephes-style degree-5 polynomial) claims ~2e-7
+  // relative error across the finite range; the flash softmax leans on
+  // that. Sizes cover every vector/tail split.
+  Rng rng(47);
+  for (const Index n :
+       {Index{1}, Index{2}, Index{7}, Index{15}, Index{16}, Index{17},
+        Index{31}, Index{32}, Index{33}, Index{100}}) {
+    std::vector<float> vals(static_cast<std::size_t>(n));
+    for (Index i = 0; i < n; ++i) {
+      // Spread across the useful softmax range [-80, 8] plus exact zero.
+      const float u = static_cast<float>(rng.next_double());
+      vals[static_cast<std::size_t>(i)] =
+          i == 0 ? 0.0f : -80.0f + 88.0f * u;
+    }
+    std::vector<float> got = vals;
+    simd::exp_shift_inplace(got.data(), 0.0f, n);
+    for (Index i = 0; i < n; ++i) {
+      const double expect =
+          std::exp(static_cast<double>(vals[static_cast<std::size_t>(i)]));
+      const double rel =
+          std::fabs(static_cast<double>(got[static_cast<std::size_t>(i)]) - expect) /
+          expect;
+      EXPECT_LE(rel, 5e-7) << "n=" << n << " x=" << vals[static_cast<std::size_t>(i)];
+    }
+  }
+  // The shift is applied before clamping: exp(x - shift) for x == shift is
+  // exactly 1.
+  float one = 5.0f;
+  simd::exp_shift_inplace(&one, 5.0f, 1);
+  EXPECT_EQ(one, 1.0f);
 }
 
 TEST(GemmGrainTest, RespectsFlopFloorAndFanOut) {

@@ -1,0 +1,10 @@
+// tcb-lint-fixture-path: src/tensor/workspace.cpp
+// Fixture: the tensor-internal layering of the kernel stack (tensor <
+// simd/ops < gemm, with workspace standalone over util/parallel).  The
+// scratch arena sits below every kernel; reaching up into the SIMD layer
+// from it inverts the DAG.
+// expect: include-layering
+
+#include "tensor/simd.hpp"  // flagged: workspace may not include simd
+
+int tensor_layering_marker() { return 0; }

@@ -264,7 +264,28 @@ class IncludeLayering(Rule):
         "pipeline": {"backend", "clock", "request_queue"},
         "simulator": {"cost_model", "pipeline"},
     }
-    SERVING_INCLUDE_RE = re.compile(r'#\s*include\s*"serving/(\w+)\.hpp"')
+
+    # Tensor-internal refinement for the kernel stack: the Tensor type at the
+    # bottom; simd / strong_index / io / tuning directly above it; ops over
+    # simd; kernel_ref (the scalar oracles) over ops; workspace (the
+    # per-thread scratch arena) standalone over util/parallel only; gemm on
+    # top, consuming ops, simd, the tuner and the workspace. Stems not listed
+    # (future tensor files) are only module-checked.
+    TENSOR_DAG = {
+        "tensor": set(),
+        "strong_index": {"tensor"},
+        "simd": {"tensor"},
+        "io": {"tensor"},
+        "workspace": set(),
+        "tuning": {"tensor"},
+        "ops": {"simd", "tensor"},
+        "kernel_ref": {"ops", "tensor"},
+        "gemm": {"ops", "simd", "tensor", "tuning", "workspace"},
+    }
+
+    # module -> its internal stem-level DAG (same shape as DAG, keyed by file
+    # stem). The include pattern is derived from the module name.
+    SUBMODULE_DAGS = {"serving": SERVING_DAG, "tensor": TENSOR_DAG}
 
     def applies_to(self, path: str) -> bool:
         parts = path.split("/")
@@ -274,9 +295,13 @@ class IncludeLayering(Rule):
         module = sf.effective_path.split("/")[1]
         allowed = self.DAG[module] | {module}
         stem = os.path.splitext(os.path.basename(sf.effective_path))[0]
-        serving_allowed = None
-        if module == "serving" and stem in self.SERVING_DAG:
-            serving_allowed = self.SERVING_DAG[stem] | {stem}
+        sub_dag = self.SUBMODULE_DAGS.get(module)
+        sub_allowed = None
+        sub_include_re = None
+        if sub_dag is not None and stem in sub_dag:
+            sub_allowed = sub_dag[stem] | {stem}
+            sub_include_re = re.compile(
+                r'#\s*include\s*"' + module + r'/(\w+)\.hpp"')
         out = []
         # Includes survive stripping, but the quoted path does not -- read the
         # raw lines and skip ones that are commented out via the stripped view.
@@ -295,19 +320,19 @@ class IncludeLayering(Rule):
                     f"module '{module}' may not include '{target}' "
                     f"(allowed: {', '.join(sorted(allowed))})"))
                 continue
-            if serving_allowed is None:
+            if sub_allowed is None:
                 continue
-            sm = self.SERVING_INCLUDE_RE.search(raw)
+            sm = sub_include_re.search(raw)
             if not sm:
                 continue
             starget = sm.group(1)
-            if (starget in self.SERVING_DAG and starget not in serving_allowed
+            if (starget in sub_dag and starget not in sub_allowed
                     and not sf.suppressed(self.name, idx)):
                 out.append(Finding(
                     self.name, sf.path, idx,
-                    f"serving-internal layering: '{stem}' may not include "
-                    f"'serving/{starget}.hpp' (allowed: "
-                    f"{', '.join(sorted(serving_allowed))})"))
+                    f"{module}-internal layering: '{stem}' may not include "
+                    f"'{module}/{starget}.hpp' (allowed: "
+                    f"{', '.join(sorted(sub_allowed))})"))
         return out
 
 
