@@ -1,9 +1,12 @@
 #!/usr/bin/env python3
-"""Gate attention benchmarks against the committed baseline.
+"""Gate kernel benchmarks against the committed baseline.
 
 Compares per-benchmark real_time of a fresh google-benchmark run against a
 committed baseline (BENCH_kernels.json, possibly wrapped by run-bench.sh) and
-fails when any matching benchmark regressed by more than the threshold.
+fails when any matching benchmark regressed by more than the threshold. The
+default gate covers the attention kernels plus the GEMM and whole-encoder-
+layer benches, so a blocking or fusion regression cannot hide behind a
+healthy attention number.
 
 Benchmark numbers are only comparable on the machine they were recorded on,
 so the gate is conditional: the bench binary records the detected cache
@@ -16,7 +19,7 @@ is likewise not judged.
 Usage:
   scripts/check_bench_regression.py --baseline BENCH_kernels.json \
       --current bench-results/BENCH_kernels.json \
-      [--filter BM_Attention] [--threshold 0.25]
+      [--filter BM_Attention,BM_Matmul] [--threshold 0.25]
 
 Exit codes: 0 pass/skip, 1 regression, 2 bad input.
 """
@@ -53,8 +56,10 @@ def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--baseline", required=True)
     ap.add_argument("--current", required=True)
-    ap.add_argument("--filter", default="BM_Attention",
-                    help="benchmark name prefix to gate (default: BM_Attention)")
+    ap.add_argument("--filter",
+                    default="BM_Attention,BM_Matmul,BM_EncoderLayer",
+                    help="comma-separated benchmark name prefixes to gate "
+                         "(default: BM_Attention,BM_Matmul,BM_EncoderLayer)")
     ap.add_argument("--threshold", type=float, default=0.25,
                     help="max tolerated slowdown fraction (default: 0.25)")
     args = ap.parse_args()
@@ -83,10 +88,15 @@ def main():
               "recorded on a different machine class")
         return 0
 
+    prefixes = tuple(p.strip() for p in args.filter.split(",") if p.strip())
+    if not prefixes:
+        print("check_bench_regression: --filter matched no prefixes",
+              file=sys.stderr)
+        return 2
     base_times = {
         b["name"]: real_time_ns(b)
         for b in base_benches
-        if b["name"].startswith(args.filter) and "aggregate_name" not in b
+        if b["name"].startswith(prefixes) and "aggregate_name" not in b
     }
     if not base_times:
         print(f"check_bench_regression: no baseline benchmarks match "
@@ -113,7 +123,7 @@ def main():
               f"matching '{args.filter}'", file=sys.stderr)
         return 2
     if failures:
-        print(f"check_bench_regression: {len(failures)}/{compared} attention "
+        print(f"check_bench_regression: {len(failures)}/{compared} gated "
               f"benchmark(s) regressed more than {args.threshold:.0%}: "
               + ", ".join(failures))
         return 1

@@ -24,6 +24,7 @@
 #include "parallel/sync.hpp"
 #include "tensor/strong_index.hpp"
 #include "util/lifetime.hpp"
+#include "util/numeric.hpp"
 
 namespace tcb {
 
@@ -46,9 +47,18 @@ struct Segment {
   /// Typed geometry accessors — the sanctioned way to turn a segment into
   /// column/slot coordinates (raw `offset`/`length` arithmetic at call sites
   /// is what tcb-lint's checked-engine-boundary rule polices).
-  [[nodiscard]] Col begin_col() const noexcept { return Col{offset}; }
-  [[nodiscard]] Col end_col() const noexcept { return Col{offset + length}; }
-  [[nodiscard]] Slot slot_index() const noexcept { return Slot{slot}; }
+  /// TCB_BATCH_GEOMETRY: a segment's placement depends on what else got
+  /// co-batched, so these values may steer *where* a kernel reads/writes but
+  /// must never become FP loop extents inside TCB_BITWISE code.
+  [[nodiscard]] Col begin_col() const noexcept TCB_BATCH_GEOMETRY {
+    return Col{offset};
+  }
+  [[nodiscard]] Col end_col() const noexcept TCB_BATCH_GEOMETRY {
+    return Col{offset + length};
+  }
+  [[nodiscard]] Slot slot_index() const noexcept TCB_BATCH_GEOMETRY {
+    return Slot{slot};
+  }
 };
 
 struct RowLayout {
@@ -58,8 +68,8 @@ struct RowLayout {
   /// the row capacity L.
   Index width = 0;
 
-  [[nodiscard]] Index used_tokens() const noexcept;
-  [[nodiscard]] Index padded_tokens() const noexcept {
+  [[nodiscard]] Index used_tokens() const noexcept TCB_BATCH_GEOMETRY;
+  [[nodiscard]] Index padded_tokens() const noexcept TCB_BATCH_GEOMETRY {
     return width - used_tokens();
   }
 };
@@ -113,11 +123,14 @@ struct BatchPlan {
   std::vector<RowLayout> rows;
 
   [[nodiscard]] bool empty() const noexcept;
-  [[nodiscard]] Index request_count() const noexcept;
-  [[nodiscard]] Index used_tokens() const noexcept;
-  [[nodiscard]] Index padded_tokens() const noexcept;
-  /// Widest materialized row; the engine's tensor width.
-  [[nodiscard]] Index max_width() const noexcept;
+  [[nodiscard]] Index request_count() const noexcept TCB_BATCH_GEOMETRY;
+  [[nodiscard]] Index used_tokens() const noexcept TCB_BATCH_GEOMETRY;
+  [[nodiscard]] Index padded_tokens() const noexcept TCB_BATCH_GEOMETRY;
+  /// Widest materialized row; the engine's tensor width. This is *the*
+  /// batch-global quantity of the TCB invariant: any arithmetic keyed on it
+  /// inside a TCB_BITWISE kernel would make a request's numerics depend on
+  /// its co-batched neighbors (batch-geometry-taint's canonical violation).
+  [[nodiscard]] Index max_width() const noexcept TCB_BATCH_GEOMETRY;
   [[nodiscard]] std::vector<RequestId> request_ids() const;
   [[nodiscard]] std::string summary() const;
 
@@ -129,7 +142,8 @@ struct BatchPlan {
 
   /// Effective slot length of a row: slot_len when slotted, row width
   /// otherwise.
-  [[nodiscard]] Index effective_slot_len(const RowLayout& row) const noexcept {
+  [[nodiscard]] Index effective_slot_len(const RowLayout& row) const noexcept
+      TCB_BATCH_GEOMETRY {
     return slot_len > 0 ? slot_len : row.width;
   }
 
@@ -164,12 +178,20 @@ class SegmentCache {
  public:
   SegmentCache(const BatchPlan& plan, Col width);
 
-  [[nodiscard]] Index width() const noexcept { return width_; }
-  [[nodiscard]] Index row_count() const noexcept { return rows_; }
+  [[nodiscard]] Index width() const noexcept TCB_BATCH_GEOMETRY {
+    return width_;
+  }
+  [[nodiscard]] Index row_count() const noexcept TCB_BATCH_GEOMETRY {
+    return rows_;
+  }
 
   /// Per-position segment index of row r (-1 = padding), `width()` entries.
+  /// The row accessors below also carry TCB_BATCH_GEOMETRY for documentation,
+  /// but as pointer/reference returns they are not taint seeds: their
+  /// *contents* are per-position span tables that kernels consume
+  /// span-relatively (lo anchors the tile walk, hi - lo is request-local).
   [[nodiscard]] const std::int32_t* seg_row(Index r) const noexcept
-      TCB_LIFETIME_BOUND {
+      TCB_LIFETIME_BOUND TCB_BATCH_GEOMETRY {
     return seg_.data() + static_cast<std::size_t>(r) *
                              static_cast<std::size_t>(width_);
   }
@@ -177,19 +199,19 @@ class SegmentCache {
   /// (under MaskPolicy::kSegment) exactly to columns [lo, hi). Both are 0
   /// for padding positions.
   [[nodiscard]] const Index* span_lo_row(Index r) const noexcept
-      TCB_LIFETIME_BOUND {
+      TCB_LIFETIME_BOUND TCB_BATCH_GEOMETRY {
     return span_lo_.data() + static_cast<std::size_t>(r) *
                                  static_cast<std::size_t>(width_);
   }
   [[nodiscard]] const Index* span_hi_row(Index r) const noexcept
-      TCB_LIFETIME_BOUND {
+      TCB_LIFETIME_BOUND TCB_BATCH_GEOMETRY {
     return span_hi_.data() + static_cast<std::size_t>(r) *
                                  static_cast<std::size_t>(width_);
   }
   /// Maximal contiguous non-padding column ranges of row r (adjacent
   /// segments merged) — the attendable set under MaskPolicy::kRowShared.
   [[nodiscard]] const std::vector<std::pair<Index, Index>>& used_spans(
-      Index r) const noexcept TCB_LIFETIME_BOUND {
+      Index r) const noexcept TCB_LIFETIME_BOUND TCB_BATCH_GEOMETRY {
     return used_spans_[static_cast<std::size_t>(r)];
   }
 

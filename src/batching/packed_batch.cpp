@@ -11,11 +11,11 @@ PackedBatch pack_batch(
     const std::unordered_map<RequestId, const Request*>& by_id) {
   PackedBatch packed;
   packed.plan = plan;
-  packed.width = Col{plan.max_width()};
-  packed.tokens.assign(packed.rows().usize() * packed.width.usize(),
+  packed.width_ = Col{plan.max_width()};
+  packed.tokens.assign(packed.rows().usize() * packed.width_.usize(),
                        kPadToken);
 
-  const Index width = packed.width.value();
+  const Index width = packed.width_.value();
   for (Row r{0}; r < packed.rows(); ++r) {
     for (const auto& seg : plan.rows[r.usize()].segments) {
       const auto it = by_id.find(seg.request_id);
@@ -36,7 +36,7 @@ PackedBatch pack_batch(
                     std::to_string(seg.offset + seg.length) +
                     ") outside row width " + std::to_string(width));
       for (Index i = 0; i < seg.length; ++i)
-        packed.tokens[flat_offset(r, seg.begin_col() + i, packed.width)] =
+        packed.tokens[flat_offset(r, seg.begin_col() + i, packed.width_)] =
             req.tokens[static_cast<std::size_t>(i)];
     }
   }

@@ -6,6 +6,7 @@
 
 #include "batching/batch_plan.hpp"
 #include "util/check.hpp"
+#include "util/numeric.hpp"
 
 namespace tcb {
 
@@ -17,21 +18,33 @@ inline constexpr Index kFirstWordToken = 3;
 
 struct PackedBatch {
   BatchPlan plan;
-  Col width{0};                   ///< materialized tensor width (max row width)
-  std::vector<Index> tokens;      ///< rows() * width ids, kPadToken in padding
+  std::vector<Index> tokens;      ///< rows() * width() ids, kPadToken padding
 
-  [[nodiscard]] Row rows() const noexcept {
+  [[nodiscard]] Row rows() const noexcept TCB_BATCH_GEOMETRY {
     return Row{static_cast<Index>(plan.rows.size())};
+  }
+  /// Materialized tensor width (max row width). Batch-global shape: it grows
+  /// with whatever else got co-batched, which is why the field moved behind
+  /// a TCB_BATCH_GEOMETRY accessor — tcb-lint's batch-geometry-taint rule
+  /// keeps values derived from it out of TCB_BITWISE kernels.
+  [[nodiscard]] Col width() const noexcept TCB_BATCH_GEOMETRY {
+    return width_;
   }
   /// The owning accessor for the packed id matrix: every read outside this
   /// struct and pack_batch() must go through it (tcb-lint's
   /// no-raw-token-indexing rule enforces that), and the Row/Col axes make a
   /// transposed access a compile error rather than a silently wrong token.
   [[nodiscard]] Index token_at(Row row, Col col) const {
-    TCB_DCHECK(row >= Row{0} && row < rows() && col >= Col{0} && col < width,
+    TCB_DCHECK(row >= Row{0} && row < rows() && col >= Col{0} && col < width_,
                "PackedBatch::token_at out of bounds");
-    return tokens[flat_offset(row, col, width)];
+    return tokens[flat_offset(row, col, width_)];
   }
+
+ private:
+  friend PackedBatch pack_batch(
+      const BatchPlan& plan,
+      const std::unordered_map<RequestId, const Request*>& by_id);
+  Col width_{0};
 };
 
 /// Copies each placed request's tokens into its segment span. Throws if a

@@ -239,6 +239,10 @@ Tensor MultiHeadAttention::encoder_forward(const Tensor& x,
               m = tile_mx;
             }
             simd::exp_shift_inplace(s, m, tw);
+            // Online-softmax running sum: one scalar add per kTile tile,
+            // in span-relative tile order — concat-invariant and pinned by
+            // the flash-vs-fused ULP suite.
+            // tcb-lint: allow(raw-fp-accumulation)
             l += simd::reduce_add(s, tw);
             for (Index j = 0; j < tw; ++j)
               simd::axpy(s[j],
@@ -363,6 +367,10 @@ Tensor MultiHeadAttention::encoder_forward_fused(const Tensor& x,
           for (Index j = lo; j < hi; ++j) {
             const float e = std::exp(scores[static_cast<std::size_t>(j - t.begin)] - mx);
             scores[static_cast<std::size_t>(j - t.begin)] = e;
+            // Ascending-j walk over the task's own spans: the chain shape
+            // is per-request, and these exact numerics are the
+            // concat-neutrality suite's baseline.
+            // tcb-lint: allow(raw-fp-accumulation)
             sum += e;
           }
         }

@@ -19,6 +19,7 @@
 #include "nn/model_config.hpp"
 #include "tensor/tensor.hpp"
 #include "util/lifetime.hpp"
+#include "util/numeric.hpp"
 
 namespace tcb {
 
@@ -53,9 +54,12 @@ class MultiHeadAttention {
   /// Equivalent to encoder_forward_reference under float tolerance; the
   /// equivalence suite pins both that and the bitwise concat-vs-single
   /// invariance.
+  /// Bitwise concat-invariant: a request's rows depend only on its own
+  /// segment span (the span-relative kTile tiles), never on batch shape.
   [[nodiscard]] Tensor encoder_forward(const Tensor& x, const BatchPlan& plan,
                                        Col width, AttentionMode mode,
-                                       MaskPolicy mask = MaskPolicy::kSegment) const;
+                                       MaskPolicy mask = MaskPolicy::kSegment)
+      const TCB_BITWISE;
 
   /// The previous production kernel: fused masking (each query walks only
   /// its admitted spans) but two-pass softmax — a full span-wide score
@@ -64,16 +68,19 @@ class MultiHeadAttention {
   /// against (BM_AttentionFused) and as a second differential oracle.
   [[nodiscard]] Tensor encoder_forward_fused(
       const Tensor& x, const BatchPlan& plan, Col width, AttentionMode mode,
-      MaskPolicy mask = MaskPolicy::kSegment) const;
+      MaskPolicy mask = MaskPolicy::kSegment) const TCB_BITWISE;
 
   /// The pre-optimization execution: materializes every task's full w x w
   /// score matrix, masks it in a second sweep, then runs softmax and the
   /// value product with scalar loops (paper Fig. 6 literally). Kept as the
   /// reference the fused kernel is differentially tested against, and as the
   /// baseline BM_AttentionPureRef measures.
+  /// TCB_REASSOC: the scalar loops here are the tolerance-governed oracle
+  /// the fast kernels are ULP-compared against, not part of the bitwise
+  /// closure.
   [[nodiscard]] Tensor encoder_forward_reference(
       const Tensor& x, const BatchPlan& plan, Col width, AttentionMode mode,
-      MaskPolicy mask = MaskPolicy::kSegment) const;
+      MaskPolicy mask = MaskPolicy::kSegment) const TCB_REASSOC;
 
   [[nodiscard]] Index n_heads() const noexcept { return n_heads_; }
   [[nodiscard]] Index head_dim() const noexcept { return head_dim_; }

@@ -252,6 +252,10 @@ DecodeResult greedy_decode(const Seq2SeqModel& model,
               float sum = 0.0f;
               for (std::size_t s = 0; s < total; ++s) {
                 scores[s] = std::exp(scores[s] - mx);
+                // Walks only this track's own KV slot in step order — the
+                // chain is per-request and pinned by the decode equivalence
+                // tests.
+                // tcb-lint: allow(raw-fp-accumulation)
                 sum += scores[s];
               }
               const float inv = 1.0f / sum;
@@ -322,6 +326,9 @@ DecodeResult greedy_decode(const Seq2SeqModel& model,
               float sum = 0.0f;
               for (Index j = 0; j < span; ++j) {
                 scores[j] = std::exp(scores[j] - mx);
+                // Cross-attention sums span-relative j over the track's own
+                // source segment only — per-request chain, pinned numerics.
+                // tcb-lint: allow(raw-fp-accumulation)
                 sum += scores[j];
               }
               const float inv = 1.0f / sum;

@@ -4,6 +4,7 @@
 #include <span>
 
 #include "tensor/tensor.hpp"
+#include "util/numeric.hpp"
 
 namespace tcb {
 
@@ -16,7 +17,8 @@ class Embedding {
   [[nodiscard]] Index d_model() const noexcept { return table_.rank() ? table_.dim(1) : 0; }
 
   /// ids (n) -> embeddings (n, d_model). Out-of-range ids throw.
-  [[nodiscard]] Tensor lookup(std::span<const Index> ids) const;
+  /// A pure per-id copy: trivially concat-invariant.
+  [[nodiscard]] Tensor lookup(std::span<const Index> ids) const TCB_BITWISE;
 
  private:
   Tensor table_;  ///< (vocab, d_model)

@@ -6,6 +6,7 @@
 #include "nn/attention.hpp"
 #include "nn/feed_forward.hpp"
 #include "nn/model_config.hpp"
+#include "util/numeric.hpp"
 
 namespace tcb {
 
@@ -16,7 +17,7 @@ class EncoderLayer {
   /// x: (rows*width, d) laid out by `plan`; returns the same shape.
   [[nodiscard]] Tensor forward(const Tensor& x, const BatchPlan& plan,
                                Col width, AttentionMode mode,
-                               MaskPolicy mask) const;
+                               MaskPolicy mask) const TCB_BITWISE;
 
  private:
   MultiHeadAttention self_attn_;
@@ -32,7 +33,7 @@ class Encoder {
 
   [[nodiscard]] Tensor forward(const Tensor& x, const BatchPlan& plan,
                                Col width, AttentionMode mode,
-                               MaskPolicy mask) const;
+                               MaskPolicy mask) const TCB_BITWISE;
 
  private:
   std::vector<EncoderLayer> layers_;

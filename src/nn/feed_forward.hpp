@@ -3,6 +3,7 @@
 
 #include "nn/linear.hpp"
 #include "nn/model_config.hpp"
+#include "util/numeric.hpp"
 
 namespace tcb {
 
@@ -11,8 +12,8 @@ class FeedForward {
   FeedForward() = default;
   FeedForward(const ModelConfig& cfg, Rng& rng);
 
-  /// x: (m, d_model) -> (m, d_model).
-  [[nodiscard]] Tensor forward(const Tensor& x) const;
+  /// x: (m, d_model) -> (m, d_model). Purely row-wise: concat-invariant.
+  [[nodiscard]] Tensor forward(const Tensor& x) const TCB_BITWISE;
 
  private:
   Linear lin1_, lin2_;

@@ -3,6 +3,7 @@
 
 #include "tensor/tensor.hpp"
 #include "util/lifetime.hpp"
+#include "util/numeric.hpp"
 
 namespace tcb {
 
@@ -16,9 +17,10 @@ class Linear {
   [[nodiscard]] Index in_features() const noexcept { return weight_.rank() ? weight_.dim(0) : 0; }
   [[nodiscard]] Index out_features() const noexcept { return weight_.rank() ? weight_.dim(1) : 0; }
 
-  /// x: (m, in) -> (m, out).
-  [[nodiscard]] Tensor forward(const Tensor& x) const;
-  void forward(const Tensor& x, Tensor& y) const;
+  /// x: (m, in) -> (m, out). Row r of the output depends only on row r of
+  /// x — bitwise-identical whatever else is in the batch.
+  [[nodiscard]] Tensor forward(const Tensor& x) const TCB_BITWISE;
+  void forward(const Tensor& x, Tensor& y) const TCB_BITWISE;
 
   [[nodiscard]] const Tensor& weight() const noexcept TCB_LIFETIME_BOUND {
     return weight_;

@@ -20,27 +20,27 @@ Seq2SeqModel::Seq2SeqModel(ModelConfig cfg) : cfg_(cfg) {
 
 EncoderMemory Seq2SeqModel::encode(const PackedBatch& batch,
                                    const InferenceOptions& opts) const {
-  if (batch.width.value() > cfg_.max_len)
+  if (batch.width().value() > cfg_.max_len)
     throw std::invalid_argument(
-        "Seq2SeqModel::encode: batch width " + to_string(batch.width) +
+        "Seq2SeqModel::encode: batch width " + to_string(batch.width()) +
         " exceeds max_len " + std::to_string(cfg_.max_len));
 #if defined(TCB_ENABLE_DCHECKS)
   // Debug/sanitizer builds re-validate the whole plan at the engine boundary
   // (segment ordering, slot boundaries, widths) before any kernel reads it.
   batch.plan.validate();
-  TCB_CHECK(batch.tokens.size() == batch.rows().usize() * batch.width.usize(),
+  TCB_CHECK(batch.tokens.size() == batch.rows().usize() * batch.width().usize(),
             "Seq2SeqModel::encode: token buffer does not match plan geometry");
 #endif
 
   Tensor x = embedding_.lookup(batch.tokens);
   if (opts.separate_positional_encoding)
-    pe_.add_separate(x, batch.plan, batch.width);
+    pe_.add_separate(x, batch.plan, batch.width());
   else
-    pe_.add_traditional(x, batch.rows(), batch.width);
+    pe_.add_traditional(x, batch.rows(), batch.width());
 
-  Tensor states = encoder_.forward(x, batch.plan, batch.width, opts.mode,
+  Tensor states = encoder_.forward(x, batch.plan, batch.width(), opts.mode,
                                    opts.mask_policy);
-  return EncoderMemory{std::move(states), batch.plan, batch.width};
+  return EncoderMemory{std::move(states), batch.plan, batch.width()};
 }
 
 InferenceResult Seq2SeqModel::infer(const PackedBatch& batch,

@@ -14,6 +14,7 @@
 #include "nn/encoder.hpp"
 #include "nn/positional_encoding.hpp"
 #include "util/lifetime.hpp"
+#include "util/numeric.hpp"
 
 namespace tcb {
 
@@ -60,8 +61,13 @@ class Seq2SeqModel {
   }
 
   /// Runs the encoder stack over a packed batch.
+  /// TCB_BITWISE under the default options (separate positional encoding +
+  /// segment mask): a request's encoded states are identical whatever rides
+  /// alongside it. The traditional-PE / row-shared fallbacks break that by
+  /// design — they exist as the paper's wrong-baseline demonstrations.
   [[nodiscard]] EncoderMemory encode(const PackedBatch& batch,
-                                     const InferenceOptions& opts) const;
+                                     const InferenceOptions& opts) const
+      TCB_BITWISE;
 
   /// Full inference: encode + greedy decode, returning generated tokens per
   /// request.

@@ -10,6 +10,7 @@
 
 #include "batching/batch_plan.hpp"
 #include "tensor/tensor.hpp"
+#include "util/numeric.hpp"
 
 namespace tcb {
 
@@ -24,15 +25,18 @@ class SinusoidalPositionalEncoding {
   /// under TCB's separate encoding it restarts at Pos{0} per segment, so a
   /// caller cannot accidentally feed a batch column where a request-local
   /// position belongs.
-  [[nodiscard]] const float* at(Pos pos) const;
+  [[nodiscard]] const float* at(Pos pos) const TCB_BITWISE;
 
   /// Adds PE(column index) to every position of x, which holds `rows` rows of
   /// `width` positions flattened to (rows*width, d). Paper Fig. 5(a).
   void add_traditional(Tensor& x, Row rows, Col width) const;
 
   /// Adds PE(position within segment) to the positions covered by segments of
-  /// `plan`; padding positions receive no PE. Paper Fig. 5(b).
-  void add_separate(Tensor& x, const BatchPlan& plan, Col width) const;
+  /// `plan`; padding positions receive no PE. Paper Fig. 5(b). Positions are
+  /// segment-relative, so a request's PE rows never depend on its placement:
+  /// concat-invariant (add_traditional deliberately is not — Fig. 5(a)).
+  void add_separate(Tensor& x, const BatchPlan& plan, Col width) const
+      TCB_BITWISE;
 
  private:
   Tensor table_;  ///< (max_len, d_model)

@@ -189,7 +189,8 @@ constexpr Index kNr = kMicroKernels[kDefaultKernel].nr;
 /// Packs B[k0:k0+kc, 0:n] (row-major, leading dim n) into nr-column panels:
 /// panel jp holds kc rows of nr floats, zero-padded past column n. `bp` is
 /// raw workspace memory, so padding is written explicitly.
-void pack_b(const float* b, Index n, Index k0, Index kc, Index nr, float* bp) {
+void pack_b(const float* b, Index n, Index k0, Index kc, Index nr,
+            float* bp) TCB_BITWISE {
   const Index panels = (n + nr - 1) / nr;
   for (Index jp = 0; jp < panels; ++jp) {
     const Index j0 = jp * nr;
@@ -208,7 +209,7 @@ void pack_b(const float* b, Index n, Index k0, Index kc, Index nr, float* bp) {
 /// Same panel layout, but the source is B(n,k) row-major and we need its
 /// transpose: Bp[p][j] = B[j0+j, k0+p]. Used by matmul_nt.
 void pack_b_transposed(const float* b, Index n, Index k, Index k0, Index kc,
-                       Index nr, float* bp) {
+                       Index nr, float* bp) TCB_BITWISE {
   const Index panels = (n + nr - 1) / nr;
   for (Index jp = 0; jp < panels; ++jp) {
     const Index j0 = jp * nr;
@@ -228,7 +229,7 @@ void pack_b_transposed(const float* b, Index n, Index k, Index k0, Index kc,
 /// Packs A[i0:i0+mr, k0:k0+kc] (row-major, leading dim k) k-major into `ap`,
 /// zero-padding rows past mr up to mr_max.
 void pack_a(const float* a, Index k, Index i0, Index mr, Index k0, Index kc,
-            Index mr_max, float* ap) {
+            Index mr_max, float* ap) TCB_BITWISE {
   for (Index p = 0; p < kc; ++p) {
     float* dst = ap + p * mr_max;
     for (Index r = 0; r < mr; ++r)
@@ -242,7 +243,7 @@ void pack_a(const float* a, Index k, Index i0, Index mr, Index k0, Index kc,
 /// B packing. C must already have shape (m, n).
 void gemm_blocked(const float* pa, const float* pb, float* pc, Index m,
                   Index k, Index n, bool transposed_b,
-                  const GemmBlocking& blk) {
+                  const GemmBlocking& blk) TCB_BITWISE {
   const MicroKernel& uk = kMicroKernels[blk.kernel];
   const Index mr_max = uk.mr;
   const Index nr = uk.nr;
@@ -311,7 +312,7 @@ void gemm_blocked(const float* pa, const float* pb, float* pc, Index m,
 /// per row, C_row = sum_p a[p] * B_row(p) via SIMD axpy (matmul) or per
 /// element dots (matmul_nt). No packing, so nothing to amortize.
 void gemm_small_nn(const float* pa, const float* pb, float* pc, Index m,
-                   Index k, Index n) {
+                   Index k, Index n) TCB_BITWISE {
   parallel_for(
       static_cast<std::size_t>(m),
       [&](std::size_t begin, std::size_t end) {
@@ -327,7 +328,7 @@ void gemm_small_nn(const float* pa, const float* pb, float* pc, Index m,
 }
 
 void gemm_small_nt(const float* pa, const float* pb, float* pc, Index m,
-                   Index k, Index n) {
+                   Index k, Index n) TCB_BITWISE {
   parallel_for(
       static_cast<std::size_t>(m),
       [&](std::size_t begin, std::size_t end) {

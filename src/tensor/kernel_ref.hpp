@@ -11,26 +11,31 @@
 #pragma once
 
 #include "tensor/tensor.hpp"
+#include "util/numeric.hpp"
 
+// TCB_REASSOC on every reference kernel: these are the tolerance-governed
+// side of the equivalence suite (compared under max_ulp_diff, not bitwise),
+// so TCB_BITWISE production code may never call into them — tcb-lint's
+// bitwise-closure rule enforces that.
 namespace tcb::ref {
 
 /// C = A(m,k) * B(k,n), naive i-k-j accumulate-into-C-row loop.
-void matmul(const Tensor& a, const Tensor& b, Tensor& c);
+void matmul(const Tensor& a, const Tensor& b, Tensor& c) TCB_REASSOC;
 
 /// C = A(m,k) * B(n,k)^T, per-element scalar dot products.
-void matmul_nt(const Tensor& a, const Tensor& b, Tensor& c);
+void matmul_nt(const Tensor& a, const Tensor& b, Tensor& c) TCB_REASSOC;
 
 /// Row-wise softmax with the kMaskedOut fully-masked-row convention.
-void softmax_rows_inplace(Tensor& t);
+void softmax_rows_inplace(Tensor& t) TCB_REASSOC;
 
 /// LayerNorm over the last dimension, two-pass mean/variance.
 void layer_norm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
-                float eps, Tensor& y);
+                float eps, Tensor& y) TCB_REASSOC;
 
 /// Elementwise tanh-approximation GELU.
-void gelu_inplace(Tensor& t);
+void gelu_inplace(Tensor& t) TCB_REASSOC;
 
 /// Elementwise ReLU.
-void relu_inplace(Tensor& t);
+void relu_inplace(Tensor& t) TCB_REASSOC;
 
 }  // namespace tcb::ref

@@ -13,6 +13,7 @@
 #include <cstddef>
 
 #include "tensor/tensor.hpp"
+#include "util/numeric.hpp"
 
 namespace tcb {
 
@@ -23,13 +24,15 @@ namespace tcb {
 inline constexpr float kMaskedOut = -1e30f;
 
 /// C = A(m,k) * B(k,n). Shapes are validated; C is resized.
-void matmul(const Tensor& a, const Tensor& b, Tensor& c);
-[[nodiscard]] Tensor matmul(const Tensor& a, const Tensor& b);
+/// TCB_BITWISE: output row i is a fixed ascending-k chain over row i of A —
+/// identical whatever other rows ride in the same call.
+void matmul(const Tensor& a, const Tensor& b, Tensor& c) TCB_BITWISE;
+[[nodiscard]] Tensor matmul(const Tensor& a, const Tensor& b) TCB_BITWISE;
 
 /// C = A(m,k) * B(n,k)^T, i.e. pairwise dot products. Used for Q·K^T where K
 /// is stored row-major per position.
-void matmul_nt(const Tensor& a, const Tensor& b, Tensor& c);
-[[nodiscard]] Tensor matmul_nt(const Tensor& a, const Tensor& b);
+void matmul_nt(const Tensor& a, const Tensor& b, Tensor& c) TCB_BITWISE;
+[[nodiscard]] Tensor matmul_nt(const Tensor& a, const Tensor& b) TCB_BITWISE;
 
 /// Rows per parallel chunk for an (m,k)x(k,n) GEMM. Balances a work floor
 /// (enough multiply-adds per chunk to pay for the pool handoff) against a
@@ -38,29 +41,29 @@ void matmul_nt(const Tensor& a, const Tensor& b, Tensor& c);
 [[nodiscard]] std::size_t gemm_grain(Index m, Index n, Index k);
 
 /// y += x (same shape).
-void add_inplace(Tensor& y, const Tensor& x);
+void add_inplace(Tensor& y, const Tensor& x) TCB_BITWISE;
 
 /// Adds a length-n bias vector to every row of a (m,n) tensor.
-void add_bias_inplace(Tensor& y, const Tensor& bias);
+void add_bias_inplace(Tensor& y, const Tensor& bias) TCB_BITWISE;
 
 /// y *= s.
-void scale_inplace(Tensor& y, float s);
+void scale_inplace(Tensor& y, float s) TCB_BITWISE;
 
 /// Row-wise softmax over the last dimension of a rank-2 tensor, in place.
 /// A row whose maximum is <= kMaskedOut / 2 (i.e. fully masked) becomes all
 /// zeros instead of NaN.
-void softmax_rows_inplace(Tensor& t);
+void softmax_rows_inplace(Tensor& t) TCB_BITWISE;
 
 /// LayerNorm over the last dimension: y = (x - mu) / sqrt(var + eps) * gamma
 /// + beta, for each row of a (m,d) tensor.
 void layer_norm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
-                float eps, Tensor& y);
+                float eps, Tensor& y) TCB_BITWISE;
 
 /// Elementwise ReLU in place.
-void relu_inplace(Tensor& t);
+void relu_inplace(Tensor& t) TCB_BITWISE;
 
 /// Elementwise tanh-approximation GELU in place (the variant used by BERT).
-void gelu_inplace(Tensor& t);
+void gelu_inplace(Tensor& t) TCB_BITWISE;
 
 /// argmax over the last dimension of a (m,n) tensor; returns m indices.
 [[nodiscard]] std::vector<Index> argmax_rows(const Tensor& t);

@@ -15,8 +15,12 @@
 // Numerical contract: every helper accumulates in the same element order as
 // the scalar reference within a lane, and lanes are independent output
 // elements wherever the caller needs run-to-run bitwise stability (see
-// gemm.cpp). Helpers that reduce across lanes (dot, sum, max) may reassociate
-// and are only used where a small tolerance is acceptable.
+// gemm.cpp). Helpers that reduce across lanes (dot, sum, max) reassociate
+// relative to the scalar reference, but in a *fixed* order keyed only on the
+// element count — never on batch shape — so every primitive carries
+// TCB_BITWISE: for a given input extent the result is deterministic and
+// concat-invariant, which is what makes these the blessed reduction set for
+// tcb-lint's bitwise-closure and raw-fp-accumulation rules (DESIGN.md §14).
 #pragma once
 
 #include <algorithm>
@@ -24,6 +28,7 @@
 #include <cstddef>
 
 #include "tensor/tensor.hpp"
+#include "util/numeric.hpp"
 
 #ifndef TCB_SIMD
 #define TCB_SIMD 1
@@ -85,7 +90,7 @@ inline float hmax512(__m512 v) {
 #endif
 
 /// Dot product a·b over n elements. Reduces across lanes (reassociates).
-inline float dot(const float* a, const float* b, Index n) {
+inline float dot(const float* a, const float* b, Index n) TCB_BITWISE {
   Index i = 0;
   float head = 0.0f;
 #if defined(TCB_SIMD_AVX512)
@@ -123,7 +128,7 @@ inline float dot(const float* a, const float* b, Index n) {
 /// y[j] += a * x[j] for j in [0, n). Lane-independent: each y[j] sees the
 /// same fused multiply-add chain regardless of n's alignment, which keeps
 /// batched and single-request runs bitwise identical (see gemm.cpp).
-inline void axpy(float a, const float* x, float* y, Index n) {
+inline void axpy(float a, const float* x, float* y, Index n) TCB_BITWISE {
   Index i = 0;
 #if defined(TCB_SIMD_AVX512)
   const __m512 va16 = _mm512_set1_ps(a);
@@ -150,7 +155,7 @@ inline void axpy(float a, const float* x, float* y, Index n) {
 }
 
 /// y[j] += x[j].
-inline void add(float* y, const float* x, Index n) {
+inline void add(float* y, const float* x, Index n) TCB_BITWISE {
   Index i = 0;
 #if defined(TCB_SIMD_AVX512)
   for (; i + 16 <= n; i += 16)
@@ -168,7 +173,7 @@ inline void add(float* y, const float* x, Index n) {
 }
 
 /// y[j] *= s.
-inline void scale(float* y, float s, Index n) {
+inline void scale(float* y, float s, Index n) TCB_BITWISE {
   Index i = 0;
 #if defined(TCB_SIMD_AVX512)
   const __m512 vs16 = _mm512_set1_ps(s);
@@ -187,7 +192,7 @@ inline void scale(float* y, float s, Index n) {
 }
 
 /// y[j] = max(y[j], 0).
-inline void relu(float* y, Index n) {
+inline void relu(float* y, Index n) TCB_BITWISE {
   Index i = 0;
 #if defined(TCB_SIMD_AVX512)
   // _mm512_mask_max_ps with a full mask, not _mm512_max_ps: GCC lowers the
@@ -212,7 +217,7 @@ inline void relu(float* y, Index n) {
 }
 
 /// max over x[0..n); n must be >= 1. Reduces across lanes.
-inline float reduce_max(const float* x, Index n) {
+inline float reduce_max(const float* x, Index n) TCB_BITWISE {
   Index i = 0;
   float m = x[0];
 #if defined(TCB_SIMD_AVX512)
@@ -246,7 +251,7 @@ inline float reduce_max(const float* x, Index n) {
 }
 
 /// sum over x[0..n). Reduces across lanes.
-inline float reduce_add(const float* x, Index n) {
+inline float reduce_add(const float* x, Index n) TCB_BITWISE {
   Index i = 0;
   float head = 0.0f;
 #if defined(TCB_SIMD_AVX512)
@@ -281,7 +286,7 @@ inline float reduce_add(const float* x, Index n) {
 /// out[j] = (x[j] - mean) * inv_std * gamma[j] + beta[j] — the LayerNorm
 /// normalize step. Lane-independent per output element.
 inline void normalize(const float* x, const float* gamma, const float* beta,
-                      float mean, float inv_std, float* out, Index n) {
+                      float mean, float inv_std, float* out, Index n) TCB_BITWISE {
   Index i = 0;
 #if defined(TCB_SIMD_AVX512)
   const __m512 vm16 = _mm512_set1_ps(mean);
@@ -340,7 +345,7 @@ inline constexpr float kExpP5 = 5.0000001201e-1f;
 /// Inputs below the low clamp come out as exp(-87.34) ~= 1.2e-38 instead of
 /// a subnormal/zero — indistinguishable after softmax normalization because
 /// the running max guarantees one term is exp(0) = 1.
-inline void exp_shift_inplace(float* s, float shift, Index n) {
+inline void exp_shift_inplace(float* s, float shift, Index n) TCB_BITWISE {
   Index i = 0;
 #if defined(TCB_SIMD_AVX512)
   // Masked/maskz forms throughout for the same -Wmaybe-uninitialized reason
@@ -432,7 +437,7 @@ inline void exp_shift_inplace(float* s, float shift, Index n) {
 }
 
 /// Sum of squared deviations from `mean` over x[0..n). Reduces across lanes.
-inline float reduce_sq_dev(const float* x, float mean, Index n) {
+inline float reduce_sq_dev(const float* x, float mean, Index n) TCB_BITWISE {
   Index i = 0;
   float head = 0.0f;
 #if defined(TCB_SIMD_AVX512)

@@ -322,6 +322,10 @@ void gemm_autotune_all() {
   write_cache_file();
 }
 
+void gemm_tuning_reset_for_test() {
+  for (auto& slot : g_choice) slot.store(-1, std::memory_order_release);
+}
+
 std::string gemm_tuning_summary() {
   std::ostringstream os;
   os << cache_geometry().to_string();

@@ -30,6 +30,7 @@
 #include <string>
 
 #include "tensor/tensor.hpp"
+#include "util/numeric.hpp"
 
 namespace tcb {
 
@@ -96,8 +97,17 @@ struct GemmKernelInfo {
 /// Runs C(m,n) = A(m,k) * B once through the blocked path with an explicit
 /// blocking — the tuner's trial entry point. B is (k,n) row-major, or (n,k)
 /// when `transposed_b`.
+/// TCB_BITWISE: every candidate blocking keeps the per-element ascending-k
+/// FMA chain (kc >= 256 floor), so the result is tile-independent.
 void gemm_blocked_with(const float* a, const float* b, float* c, Index m,
                        Index k, Index n, bool transposed_b,
-                       const GemmBlocking& blk);
+                       const GemmBlocking& blk) TCB_BITWISE;
+
+/// Test-only: forgets the published per-class selections so the next
+/// select_blocking() re-resolves from scratch (TCB_TUNE_CACHE file, tuning,
+/// or the default). Not for production use — a concurrent GEMM would race
+/// the republish. Lets the TCB_TUNE_CACHE round-trip test exercise
+/// write -> reload in one process.
+void gemm_tuning_reset_for_test();
 
 }  // namespace tcb

@@ -1,0 +1,83 @@
+// Numeric-contract annotations — the bitwise concat-equivalence contracts
+// of every kernel and geometry accessor (DESIGN.md §14).
+//
+// TCB's core invariant (PAPER.md §3) is *bitwise*: a request executed
+// inside a concatenated row must produce output identical, bit for bit, to
+// the same request executed alone.  That only holds while two things stay
+// true: (a) no per-request arithmetic depends on batch-global shape (the
+// property that forced span-relative kTile tiling, DESIGN.md §13), and
+// (b) every floating-point reduction runs in one centralized, fixed
+// ascending-k order (simd.hpp's lane layout).  These macros make both
+// contracts visible in signatures; tcb-lint's numeric rule pack
+// (tools/tcb-lint/tcb_lint/rules/numeric.py) enforces them whole-program.
+//
+// Three macros, one per contract:
+//
+//   TCB_BITWISE         the function's output is part of the concat
+//                       invariant: for a fixed per-request input it must be
+//                       bitwise-identical no matter which row/batch the
+//                       request rides in.  The bitwise-closure rule keeps
+//                       such functions inside the closure of other
+//                       TCB_BITWISE code and simd:: primitives; the
+//                       batch-geometry-taint rule keeps batch-global shape
+//                       out of their loop bounds and float casts.
+//   TCB_BATCH_GEOMETRY  the accessor exposes *batch-global* shape (a
+//                       materialized width, a row count, a padded total) as
+//                       opposed to per-segment geometry.  Such values may
+//                       steer packing and scheduling, but inside a
+//                       TCB_BITWISE function they are radioactive: a
+//                       reduction bound or an FP operand derived from one
+//                       silently varies with co-batched requests.
+//   TCB_REASSOC         deliberately tolerance-governed code: reference
+//                       kernels and any future reduced-precision path
+//                       (fp16/int8 packed panels, ROADMAP) whose results
+//                       are compared under max_ulp_diff, not bitwise.
+//                       TCB_BITWISE code may never call into it.
+//
+// Like the lifetime and sync layers the header is zero-overhead: every
+// macro compiles to nothing on every compiler (there is no language-level
+// attribute for numeric determinism); enforcement is entirely tcb-lint's.
+#pragma once
+
+#include <type_traits>
+
+/// Output must be bitwise concat-invariant; see file comment.
+#define TCB_BITWISE
+/// Exposes batch-global shape; must not reach TCB_BITWISE arithmetic.
+#define TCB_BATCH_GEOMETRY
+/// Tolerance-governed (ULP-compared) code; outside the bitwise closure.
+#define TCB_REASSOC
+
+namespace tcb::numeric_detail {
+
+// The annotations must be pure metadata: same layout, same member-function
+// types, no runtime footprint — mirroring the static_assert contracts of
+// strong_index.hpp, sync.hpp and lifetime.hpp.
+struct Annotated {
+  int v = 0;
+  [[nodiscard]] int kernel() const noexcept TCB_BITWISE { return v; }
+  [[nodiscard]] int shape() const noexcept TCB_BATCH_GEOMETRY { return v; }
+  [[nodiscard]] int loose() const noexcept TCB_REASSOC { return v; }
+};
+
+struct Plain {
+  int v = 0;
+  [[nodiscard]] int kernel() const noexcept { return v; }
+  [[nodiscard]] int shape() const noexcept { return v; }
+  [[nodiscard]] int loose() const noexcept { return v; }
+};
+
+static_assert(sizeof(Annotated) == sizeof(Plain) &&
+                  alignof(Annotated) == alignof(Plain),
+              "numeric annotations must not change object layout");
+static_assert(std::is_same_v<decltype(&Annotated::kernel),
+                             int (Annotated::*)() const noexcept>,
+              "TCB_BITWISE must compile to nothing");
+static_assert(std::is_same_v<decltype(&Annotated::shape),
+                             int (Annotated::*)() const noexcept>,
+              "TCB_BATCH_GEOMETRY must compile to nothing");
+static_assert(std::is_same_v<decltype(&Annotated::loose),
+                             int (Annotated::*)() const noexcept>,
+              "TCB_REASSOC must compile to nothing");
+
+}  // namespace tcb::numeric_detail

@@ -22,7 +22,7 @@ TEST(PackedBatchTest, CopiesTokensIntoSegments) {
   const auto built = batcher.build(reqs, Row{1}, Col{8});
   const PackedBatch packed = pack_batch(built.plan, reqs);
   EXPECT_EQ(packed.rows(), Row{1});
-  EXPECT_EQ(packed.width, Col{5});
+  EXPECT_EQ(packed.width(), Col{5});
   EXPECT_EQ(packed.token_at(Row{0}, Col{0}), 10);
   EXPECT_EQ(packed.token_at(Row{0}, Col{2}), 12);
   EXPECT_EQ(packed.token_at(Row{0}, Col{3}), 20);
@@ -44,7 +44,7 @@ TEST(PackedBatchTest, PaddingIsPadToken) {
   r1.segments.push_back(Segment{1, 0, 1, 0});
   plan.rows = {r0, r1};
   const PackedBatch packed = pack_batch(plan, reqs);
-  EXPECT_EQ(packed.width, Col{3});
+  EXPECT_EQ(packed.width(), Col{3});
   EXPECT_EQ(packed.token_at(Row{1}, Col{1}), kPadToken);
   EXPECT_EQ(packed.token_at(Row{1}, Col{2}), kPadToken);
 }

@@ -118,7 +118,7 @@ TEST_F(EquivalenceTest, SlottedEncoderMatchesPureEncoderBitwise) {
     for (const auto& seg : packed.plan.rows[r].segments) {
       for (Index i = seg.offset; i < seg.offset + seg.length; ++i) {
         const Index pos = static_cast<Index>(
-            flat_offset(Row{static_cast<Index>(r)}, Col{i}, packed.width));
+            flat_offset(Row{static_cast<Index>(r)}, Col{i}, packed.width()));
         for (Index j = 0; j < cfg_.d_model; ++j) {
           EXPECT_FLOAT_EQ(mem_pure.states.at(pos, j), mem_slot.states.at(pos, j))
               << "row " << r << " col " << i << " dim " << j;

@@ -1,0 +1,24 @@
+// tcb-lint-fixture-path: src/tensor/closure_fixture.cpp
+// The violating chain is indirect: kernel -> helper (unannotated) ->
+// fast_norm (TCB_REASSOC). Extracting a helper must not launder the
+// forbidden call — the rule traverses every unannotated callee and only
+// stops at annotated (trusted) boundaries.
+// expect: bitwise-closure
+
+namespace demo {
+
+float fast_norm(const float* x, int n) TCB_REASSOC {
+  float acc = 0.0f;
+  for (int i = 0; i < n; ++i) acc += x[i] * x[i];
+  return acc;
+}
+
+float helper(const float* x, int n) {
+  return fast_norm(x, n);
+}
+
+float kernel(const float* x, int n) TCB_BITWISE {
+  return helper(x, n);  // reaches TCB_REASSOC two hops down
+}
+
+}  // namespace demo

@@ -1,0 +1,27 @@
+// tcb-lint-fixture-path: src/tensor/closure_clean_fixture.cpp
+// Clean control for bitwise-closure: annotated callees are trusted
+// boundaries. A TCB_BITWISE kernel may call other TCB_BITWISE code (the
+// shape the simd:: primitives have in the real tree), and TCB_REASSOC
+// code may exist beside it as long as no bitwise chain reaches it.
+
+namespace demo {
+
+float dot_fixed(const float* a, const float* b, int n) TCB_BITWISE {
+  float acc = 0.0f;
+  for (int i = 0; i < n; ++i) acc += a[i] * b[i];  // the blessed copy
+  return acc;
+}
+
+float scale_fixed(float v, float s) TCB_BITWISE { return v * s; }
+
+float kernel(const float* a, const float* b, int n) TCB_BITWISE {
+  return scale_fixed(dot_fixed(a, b, n), 0.5f);
+}
+
+float oracle(const float* a, const float* b, int n) TCB_REASSOC {
+  float acc = 0.0f;
+  for (int i = 0; i < n; ++i) acc += b[i] * a[i];  // never called from kernel
+  return acc;
+}
+
+}  // namespace demo

@@ -1,0 +1,31 @@
+// tcb-lint-fixture-path: src/tensor/geom_clean_fixture.cpp
+// Clean control for batch-geometry-taint: batch-global geometry may be
+// *validated* in TCB_CHECK argument text, consumed span-relatively
+// (bounds from the request's own segment), or used freely outside
+// TCB_BITWISE code. Only FP loop bounds and float casts inside bitwise
+// kernels are sinks.
+
+namespace demo {
+
+struct Plan {
+  int capacity = 0;
+  int max_width() const TCB_BATCH_GEOMETRY { return capacity; }
+};
+
+struct Span {
+  int lo = 0;
+  int hi = 0;
+};
+
+float seg_sum(const Plan& plan, const Span& seg, const float* x) TCB_BITWISE {
+  TCB_CHECK(seg.hi <= plan.max_width(), "span outside the row");
+  float acc = 0.0f;
+  for (int j = seg.lo; j < seg.hi; ++j) acc += x[j];  // own span: clean
+  return acc;
+}
+
+int row_bytes(const Plan& plan) {
+  return plan.max_width() * 4;  // unannotated caller: geometry flows freely
+}
+
+}  // namespace demo

@@ -1,0 +1,19 @@
+// tcb-lint-fixture-path: src/batching/geom_fixture.cpp
+// One TU of the cross-TU geometry-taint case: Plan::max_width is the
+// annotated batch-global accessor, and padded_total returns a value
+// derived from it, so the source fixpoint must mark padded_total itself
+// as a geometry source for callers in *other* TUs.
+
+namespace demo {
+
+struct Plan {
+  int capacity = 0;
+  int max_width() const TCB_BATCH_GEOMETRY { return capacity; }
+};
+
+int padded_total(const Plan& plan) {
+  const int w = plan.max_width();
+  return w * 4;  // derived: the source propagates through the return
+}
+
+}  // namespace demo

@@ -1,0 +1,20 @@
+// tcb-lint-fixture-path: src/tensor/geom_kernel_fixture.cpp
+// The other TU: reduce_row never mentions max_width — the batch width
+// arrives through padded_total (defined in geom.cpp), so the finding
+// requires the cross-TU source fixpoint, exactly like a real kernel
+// picking its bound from a BatchPlan helper.
+// expect: batch-geometry-taint
+
+namespace demo {
+
+struct Plan;
+int padded_total(const Plan& plan);
+
+float reduce_row(const Plan& plan, const float* x) TCB_BITWISE {
+  const int w = padded_total(plan);  // batch-global, via the helper
+  float acc = 0.0f;
+  for (int j = 0; j < w; ++j) acc += x[j];  // flagged: bound = batch shape
+  return acc;
+}
+
+}  // namespace demo

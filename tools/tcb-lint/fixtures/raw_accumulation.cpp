@@ -1,0 +1,14 @@
+// tcb-lint-fixture-path: src/nn/accum_fixture.cpp
+// A hand-rolled scalar float reduction in model code: a second,
+// uncoordinated accumulation order next to the simd:: primitives.
+// expect: raw-fp-accumulation
+
+namespace demo {
+
+float dot(const float* a, const float* b, int n) {
+  float acc = 0.0f;
+  for (int i = 0; i < n; ++i) acc += a[i] * b[i];  // flagged
+  return acc;
+}
+
+}  // namespace demo

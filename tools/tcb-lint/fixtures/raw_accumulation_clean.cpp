@@ -1,0 +1,29 @@
+// tcb-lint-fixture-path: src/nn/accum_clean_fixture.cpp
+// Clean controls for raw-fp-accumulation: route through simd::, use a
+// double accumulator (sampling weights), accumulate into indexed output
+// rows, or carry TCB_REASSOC (the sanctioned scalar reference copies).
+
+namespace demo {
+
+float dot(const float* a, const float* b, int n) {
+  return simd::dot(a, b, n);
+}
+
+double weight_total(const double* w, int n) {
+  double total = 0.0;
+  for (int i = 0; i < n; ++i) total += w[i];  // double: excluded
+  return total;
+}
+
+void accumulate_rows(const float* x, float* out, int m, int n) {
+  for (int i = 0; i < m; ++i)
+    for (int c = 0; c < n; ++c) out[c] += x[i * n + c];  // indexed: excluded
+}
+
+float oracle_dot(const float* a, const float* b, int n) TCB_REASSOC {
+  float acc = 0.0f;
+  for (int i = 0; i < n; ++i) acc += a[i] * b[i];  // sanctioned scalar copy
+  return acc;
+}
+
+}  // namespace demo

@@ -205,6 +205,9 @@ def main(argv: list[str] | None = None) -> int:
                     help="restrict to these rules (repeatable, "
                          "comma-separated)")
     ap.add_argument("--list-rules", action="store_true")
+    ap.add_argument("--explain", metavar="RULE", default=None,
+                    help="print a rule's rationale plus a minimal "
+                         "violating/clean example pair, then exit")
     ap.add_argument("--self-test", action="store_true",
                     help="lint the bundled fixtures against their "
                          "// expect: annotations")
@@ -237,6 +240,19 @@ def main(argv: list[str] | None = None) -> int:
     if args.list_rules:
         for name in sorted(RULES):
             print(f"{name}\n    {RULES[name].description}")
+        return 0
+
+    if args.explain:
+        import inspect
+
+        rule = RULES.get(args.explain)
+        if rule is None:
+            print(f"tcb-lint: unknown rule: {args.explain}; try "
+                  f"--list-rules", file=sys.stderr)
+            return 2
+        doc = inspect.getdoc(type(rule))
+        print(f"{rule.name}\n    {rule.description}\n")
+        print(doc or "(no extended rationale recorded for this rule)")
         return 0
 
     rule_names = _parse_rule_args(args.rule)

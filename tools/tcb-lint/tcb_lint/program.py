@@ -49,7 +49,8 @@ CLASS_RE = re.compile(
     r"\b(class|struct)\s+([A-Za-z_]\w*)\s*(?:final\s*)?(:\s*[^{;]*)?\{")
 BASE_RE = re.compile(r"(?:public|protected|private)?\s*(?:virtual\s+)?"
                      r"([A-Za-z_][\w:]*)")
-NAMESPACE_RE = re.compile(r"\bnamespace\s+([A-Za-z_]\w*)?\s*\{")
+NAMESPACE_RE = re.compile(
+    r"\bnamespace\s+((?:[A-Za-z_]\w*\s*::\s*)*[A-Za-z_]\w*)?\s*\{")
 
 MEMBER_RE = re.compile(
     r"^\s*(?:mutable\s+)?(?:static\s+)?(?:inline\s+)?(?:constexpr\s+)?"
@@ -183,6 +184,7 @@ class FunctionInfo:
     params: str
     body: str                         # lambda-blanked body text
     body_first_line: int
+    ns: str | None = None             # innermost enclosing namespace
     ret_type: str = ""                # normalized return type ("" = ctor/dtor)
     annots: str = ""                  # trailing qualifiers + decl annotations
     raw_body: str = ""                # unblanked body (same length as body)
@@ -312,6 +314,10 @@ class ProgramIndex:
         # (cls, method) -> annotation text from header declarations, so
         # TCB_REQUIRES on a declaration reaches the out-of-line definition.
         self._decl_annots: dict[tuple[str, str], str] = {}
+        # (namespace, name) -> annotation text for *free* function
+        # declarations (TCB_BITWISE on tcb::matmul in ops.hpp must reach the
+        # definition in gemm.cpp without colliding with tcb::ref::matmul).
+        self._free_decl_annots: dict[tuple[str | None, str], str] = {}
         for sf in sources:
             self._index_file(sf)
         # Merge declaration annotations after *all* files are indexed: the
@@ -321,6 +327,9 @@ class ProgramIndex:
         for fn in self.functions:
             if fn.cls and (fn.cls, fn.name) in self._decl_annots:
                 fn.annots += " " + self._decl_annots[(fn.cls, fn.name)]
+            elif fn.cls is None \
+                    and (fn.ns, fn.name) in self._free_decl_annots:
+                fn.annots += " " + self._free_decl_annots[(fn.ns, fn.name)]
             for rm in REQUIRES_RE.finditer(fn.annots):
                 fn.requires.extend(
                     a for a in _split_args(rm.group(1))
@@ -346,7 +355,11 @@ class ProgramIndex:
             for m, s, e in ns_extents:
                 if s <= pos < e and m.group(1):
                     best = m.group(1)
-            return best
+            if best is None:
+                return None
+            # `namespace tcb::ref {` nests: the innermost component is the
+            # one that disambiguates (tcb::matmul vs tcb::ref::matmul).
+            return re.split(r"\s*::\s*", best)[-1]
 
         for m, s, e in class_extents:
             cname = m.group(2)
@@ -376,6 +389,21 @@ class ProgramIndex:
                 if "TCB_" in dm.group(3) or "TCB_" in dm.group(2):
                     self._decl_annots[(cname, dm.group(1))] = \
                         dm.group(3) + " " + dm.group(2)
+
+        # Free-function declarations carrying annotations (defined in some
+        # other TU), keyed by innermost namespace.  Mirrors the member
+        # declaration merge above for namespace-scope functions.
+        for dm in re.finditer(
+                r"([A-Za-z_]\w*)\s*\(((?:[^()]|\([^()]*\))*)\)\s*"
+                r"((?:const\b\s*|noexcept\b\s*|"
+                r"TCB_\w+\s*(?:\([^()]*\))?\s*)*);", code):
+            if "TCB_" not in dm.group(3) or dm.group(1) in KEYWORDS:
+                continue
+            if any(s <= dm.start() < e for _m, s, e in class_extents):
+                continue
+            key = (innermost_namespace(dm.start()), dm.group(1))
+            prior = self._free_decl_annots.get(key, "")
+            self._free_decl_annots[key] = (prior + " " + dm.group(3)).strip()
 
         # Namespace-scope mutexes (the lock_order anchors).  The annotation
         # group allows paren-less macros too (TCB_LOCK_ORDER_ANCHOR).
@@ -410,6 +438,7 @@ class ProgramIndex:
                 name=name, cls=cls, path=sf.path,
                 line=line_of(m.start()), params=m.group(3), body=body,
                 body_first_line=line_of(open_brace + 1),
+                ns=innermost_namespace(m.start()),
                 ret_type=self._ret_type(code, m.start()),
                 raw_body=raw_body, lambdas=lambdas)
             fn.annots = m.group(4) or ""

@@ -70,3 +70,4 @@ from tcb_lint.rules import style        # noqa: E402,F401
 from tcb_lint.rules import concurrency  # noqa: E402,F401
 from tcb_lint.rules import taint        # noqa: E402,F401
 from tcb_lint.rules import lifetime     # noqa: E402,F401
+from tcb_lint.rules import numeric      # noqa: E402,F401

@@ -189,6 +189,19 @@ def _find_cycles(edges: list[Edge]) -> list[list[Edge]]:
 
 @register
 class LockOrderGraph(ProgramRule):
+    """Cross-TU acquired-before graph: cycles are potential deadlocks.
+
+    Every MutexLock / TCB_REQUIRES site contributes "src held while dst
+    acquired" edges, closed over the call graph; a cycle means two threads
+    can acquire the same pair in opposite orders. Edges must also agree
+    with the canonical lock_order:: declaration.
+
+    Violation (two TUs):
+        void a() { MutexLock l(mu1); take2(); }   // mu1 -> mu2
+        void b() { MutexLock l(mu2); take1(); }   // mu2 -> mu1: cycle
+    Clean: all paths acquire mu1 before mu2 (or drop mu1 first).
+    """
+
     name = "lock-order-graph"
     description = ("cross-TU acquired-before graph over every MutexLock / "
                    "TCB_REQUIRES site: cycles are potential deadlocks "
@@ -247,6 +260,20 @@ class LockOrderGraph(ProgramRule):
 
 @register
 class NoBlockingUnderLock(ProgramRule):
+    """No potentially-blocking call while a tcb::Mutex is held.
+
+    A queue pop or pool join under a lock serializes the pool behind one
+    mutex at best and deadlocks at worst (the blocked thread may need the
+    lock to make progress). The property is transitive: calling a helper
+    that blocks is still blocking.
+
+    Violation:
+        MutexLock lock(mu_); group.join();
+    Clean:
+        { MutexLock lock(mu_); grab_state(); }  // drop first
+        group.join();
+    """
+
     name = "no-blocking-under-lock"
     description = ("no call that may block (RequestQueue::push/pop, "
                    "TaskGroup::join, ThreadPool::submit/parallel_for, "

@@ -160,6 +160,21 @@ def _structured_join(index: ProgramIndex, fn: FunctionInfo,
 
 @register
 class NoRefCaptureEscape(ProgramRule):
+    """By-reference captures must not escape into deferred work.
+
+    A callable passed to a TCB_ESCAPES parameter (ThreadPool::submit and
+    anything that forwards into it, found by fixpoint) outlives the call;
+    its [&] captures dangle the moment the enclosing frame returns. The
+    structured-join pattern (TaskGroup declared after the state, joined in
+    the same function) is the sanctioned exception.
+
+    Violation:
+        int hits = 0;
+        pool.submit([&hits] { ++hits; });   // frame may be gone when it runs
+    Clean:
+        pool.submit([snapshot = hits] { consume(snapshot); });
+    """
+
     name = "no-ref-capture-escape"
     description = ("a lambda capturing locals by reference (or `this`) must "
                    "not flow into a TCB_ESCAPES callable parameter "
@@ -335,6 +350,22 @@ def _use_after_move_region(code: str, first_line: int, path: str,
 
 @register
 class UseAfterMove(ProgramRule):
+    """A moved-from object is unusable until reset.
+
+    Reading a local/member after std::move in the same scope, or moving
+    loop-external state inside a loop without re-initializing it, operates
+    on a valid-but-unspecified husk — empty vectors, null handles —
+    usually silently.
+
+    Violation:
+        sink(std::move(buf));
+        use(buf.size());            // moved-from read
+    Clean:
+        sink(std::move(buf));
+        buf.clear();                // reset re-arms it
+        use(buf.size());
+    """
+
     name = "use-after-move"
     description = ("no read of a local or member after std::move in the "
                    "same scope, and no loop-carried move of state declared "
@@ -368,6 +399,21 @@ class UseAfterMove(ProgramRule):
 
 @register
 class SpanSourceStability(ProgramRule):
+    """Reference/span returns must declare what they borrow from.
+
+    A src/ function returning a reference or std::span either borrows
+    from its arguments — then it must carry TCB_LIFETIME_BOUND so clang
+    flags `auto& r = f(Temp{});` at the call site — or returns storage
+    whose stability the rule can prove (static local, *this).
+
+    Violation:
+        const Row& first_row(const Plan& p) { return p.rows[0]; }
+    Clean:
+        const Row& first_row(const Plan& p TCB_LIFETIME_BOUND) {
+          return p.rows[0];
+        }
+    """
+
     name = "span-source-stability"
     description = ("a src/ function returning a reference or std::span must "
                    "carry TCB_LIFETIME_BOUND (so clang diagnoses dangling "

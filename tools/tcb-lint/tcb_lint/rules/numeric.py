@@ -1,0 +1,481 @@
+"""Numeric-contract rules: statically enforce bitwise concat-equivalence.
+
+TCB's value proposition rests on one invariant (PAPER.md §3): a request
+executed inside a concatenated row produces *bitwise-identical* output to
+the same request executed alone.  `kernel_equivalence_test` pins that at
+runtime; these three whole-program rules pin it at lint time, keyed on the
+annotations in src/util/numeric.hpp:
+
+  batch-geometry-taint   values derived from TCB_BATCH_GEOMETRY accessors
+                         (materialized widths, row counts, padded totals)
+                         must not become loop bounds or float-cast operands
+                         inside TCB_BITWISE functions.  Sources propagate
+                         cross-TU: a helper that returns a value derived
+                         from a source is itself a source, fixpoint-style
+                         like lifetime.py's escape analysis.
+  bitwise-closure        a TCB_BITWISE function may only call other
+                         TCB_BITWISE code (which includes the blessed
+                         simd:: primitives) — never, directly or through
+                         any chain of unannotated helpers, a TCB_REASSOC
+                         function.  Cross-TU call-graph DFS with annotated
+                         callees as trusted boundaries.
+  raw-fp-accumulation    hand-rolled scalar float reductions in src/nn
+                         (`float s = 0; for (...) s += ...`) must go
+                         through simd::/tcb::ref primitives so the
+                         ascending-k FMA chain order stays centralized.
+
+Precision policy, as everywhere in the program rules: unresolved calls are
+never flagged; TCB_CHECK/TCB_DCHECK argument text is exempt (asserting
+`sc.width() == x.rows()` is how kernels *validate* geometry); geometry
+accessors returning pointers/references (the per-position span tables) do
+not seed taint — their content is consumed span-relatively and judging
+that needs value-level analysis, not lexical flow.  Unlike the concurrency
+rules these scan the *raw* (lambda-unblanked) bodies: work dispatched via
+parallel_for still computes the annotated function's output, so its loops
+and calls are part of the contract.
+"""
+
+from __future__ import annotations
+
+import re
+
+from tcb_lint.program import (CALL_RE, KEYWORDS, CallSite, FunctionInfo,
+                              ProgramIndex, _match_brace, _match_paren)
+from tcb_lint.rules import ProgramRule, register
+from tcb_lint.source import Finding
+
+MAX_DEPTH = 12
+
+CHECK_RE = re.compile(r"\bTCB_D?CHECK\s*\(")
+LOOP_RE = re.compile(r"\b(?:for|while)\s*\(")
+ASSIGN_RE = re.compile(r"\b([A-Za-z_]\w*)\s*=(?![=>])\s*([^;]*);")
+FLOAT_DECL_RE = re.compile(r"\bfloat\s+([A-Za-z_]\w*)\s*[=;{]")
+FLOAT_CAST_RE = re.compile(r"static_cast\s*<\s*(?:float|double)\s*>\s*\(")
+# A loop body doing FP work: a compound accumulation or a SIMD reduction.
+FP_BODY_RE = re.compile(r"\+=|-=|\*=|/=|\bsimd\s*::")
+
+ACCUM_SINK = "loop bound"
+CAST_SINK = "float conversion"
+
+
+def _annots(fn: FunctionInfo) -> str:
+    return fn.annots or ""
+
+
+def _raw_calls(index: ProgramIndex, fn: FunctionInfo) -> list[CallSite]:
+    """Call sites over the *raw* body (lambda interiors included).
+
+    fn.calls comes from the lambda-blanked body because deferred work does
+    not run under the caller's locks; numeric contracts have no such
+    exemption — a parallel_for chunk body still computes the annotated
+    function's output.  Blanking is length-preserving, so positions and
+    line numbers stay valid.
+    """
+    out: list[CallSite] = []
+    for m in CALL_RE.finditer(fn.raw_body):
+        name = m.group("name")
+        if name in KEYWORDS or name == "MutexLock":
+            continue
+        out.append(CallSite(
+            name=name, recv=m.group("recv"),
+            recv_class=index._resolve_receiver(m.group("recv"), fn),
+            quals=re.sub(r"\s+", "", m.group("quals") or ""),
+            line=index.line_of(fn, m.start()), pos=m.start(),
+            open_paren=m.end() - 1))
+    return out
+
+
+def _resolve(index: ProgramIndex, fn: FunctionInfo,
+             call: CallSite) -> list[FunctionInfo]:
+    """resolve_call plus namespace-aware free-function resolution.
+
+    The core resolver treats a qualified prefix as a class name, so
+    `ref::matmul(...)` and `simd::dot(...)` come back unresolved; resolve
+    them here against functions indexed under that innermost namespace.
+    Unqualified free calls are narrowed to the caller's own namespace when
+    candidates exist there (C++ lookup finds tcb::matmul from inside tcb,
+    not tcb::ref::matmul).
+    """
+    hits = index.resolve_call(fn, call)
+    if hits:
+        if call.recv is None and not call.quals:
+            same_ns = [c for c in hits if c.ns == fn.ns]
+            return same_ns or hits
+        return hits
+    if call.recv is None and call.quals:
+        parts = [q for q in call.quals.split("::") if q]
+        ns = parts[-1]
+        if ns == "std":
+            return []
+        return [c for c in index.by_name.get(call.name, [])
+                if c.cls is None and c.ns == ns]
+    return []
+
+
+def _check_extents(body: str) -> list[tuple[int, int]]:
+    return [(m.start(), _match_paren(body, m.end() - 1))
+            for m in CHECK_RE.finditer(body)]
+
+
+def _in_extents(extents: list[tuple[int, int]], pos: int) -> bool:
+    return any(s <= pos < e for s, e in extents)
+
+
+def _loop_extents(body: str) -> list[tuple[int, int, int, int]]:
+    """(header_start, header_end, body_start, body_end) per for/while."""
+    out = []
+    for m in LOOP_RE.finditer(body):
+        open_paren = body.find("(", m.start())
+        hdr_end = _match_paren(body, open_paren)
+        i = hdr_end
+        while i < len(body) and body[i] in " \t\n":
+            i += 1
+        if i < len(body) and body[i] == "{":
+            out.append((open_paren + 1, hdr_end - 1, i + 1,
+                        _match_brace(body, i) - 1))
+        else:
+            semi = body.find(";", i)
+            out.append((open_paren + 1, hdr_end - 1, i,
+                        semi if semi >= 0 else len(body)))
+    return out
+
+
+def _scalar_geometry_sources(index: ProgramIndex) -> dict[int, str]:
+    """id(fn) -> originating accessor, for every function whose return
+    value carries batch-global shape.
+
+    Seeded by scalar-returning TCB_BATCH_GEOMETRY annotations, then closed
+    over the call graph: a function that returns a source call's value
+    (directly, or via a local assigned from one) is itself a source.
+    Pointer/reference-returning accessors (the span tables) are excluded —
+    see the module docstring.
+    """
+    sources: dict[int, str] = {}
+    for fn in index.functions:
+        if "TCB_BATCH_GEOMETRY" in _annots(fn) \
+                and not fn.ret_type.rstrip().endswith(("*", "&")):
+            sources[id(fn)] = fn.qualname
+    changed = True
+    while changed:
+        changed = False
+        for fn in index.functions:
+            if id(fn) in sources:
+                continue
+            checks = _check_extents(fn.raw_body)
+            src_pos = _source_positions(index, fn, sources, checks)
+            if not src_pos:
+                continue
+            origin = _derives_return(fn, src_pos, _tainted_locals(fn, src_pos))
+            if origin:
+                sources[id(fn)] = origin
+                changed = True
+    return sources
+
+
+def _source_positions(index: ProgramIndex, fn: FunctionInfo,
+                      sources: dict[int, str],
+                      checks: list[tuple[int, int]]) -> list[tuple[int, str]]:
+    """(position, originating accessor) of every geometry-source call in
+    fn's raw body, excluding TCB_CHECK argument text."""
+    out = []
+    for call in _raw_calls(index, fn):
+        if _in_extents(checks, call.pos):
+            continue
+        for callee in _resolve(index, fn, call):
+            if id(callee) in sources:
+                out.append((call.pos, sources[id(callee)]))
+                break
+    return out
+
+
+def _tainted_locals(fn: FunctionInfo,
+                    src_pos: list[tuple[int, str]]) -> dict[str, str]:
+    """var name -> originating accessor, closed over local assignments."""
+    taint: dict[str, str] = {}
+    changed = True
+    while changed:
+        changed = False
+        for m in ASSIGN_RE.finditer(fn.raw_body):
+            var = m.group(1)
+            if var in taint or var in KEYWORDS:
+                continue
+            lo, hi = m.start(2), m.end(2)
+            origin = next((o for p, o in src_pos if lo <= p < hi), None)
+            if origin is None:
+                rhs = m.group(2)
+                origin = next(
+                    (o for tv, o in taint.items()
+                     if re.search(rf"\b{re.escape(tv)}\b", rhs)), None)
+            if origin:
+                taint[var] = origin
+                changed = True
+    return taint
+
+
+def _derives_return(fn: FunctionInfo, src_pos: list[tuple[int, str]],
+                    taint: dict[str, str]) -> str | None:
+    body = fn.raw_body
+    for m in re.finditer(r"\breturn\b", body):
+        semi = body.find(";", m.end())
+        if semi < 0:
+            semi = len(body)
+        origin = next((o for p, o in src_pos if m.end() <= p < semi), None)
+        if origin:
+            return origin
+        expr = body[m.end():semi]
+        origin = next((o for tv, o in taint.items()
+                       if re.search(rf"\b{re.escape(tv)}\b", expr)), None)
+        if origin:
+            return origin
+    return None
+
+
+@register
+class BatchGeometryTaint(ProgramRule):
+    """Batch-global shape must not steer per-request arithmetic.
+
+    A TCB_BITWISE kernel whose loop bound or float operand derives from a
+    TCB_BATCH_GEOMETRY accessor produces output that varies with whatever
+    else happens to be co-batched — exactly the bug class that forced
+    span-relative kTile tiling in the flash attention kernel.  A reduction
+    over [0, width) re-associates differently at width 192 than at
+    width 128 even though the extra columns are masked to zero.
+
+    Violation:
+        float row_sum(const BatchPlan& plan, const float* x) TCB_BITWISE {
+          const Index w = plan.max_width();     // batch-global
+          float acc = 0.0f;
+          for (Index j = 0; j < w; ++j) acc += x[j];   // bound = batch shape
+          return acc;
+        }
+    Clean:
+        float seg_sum(const Segment& seg, const float* x) TCB_BITWISE {
+          float acc = 0.0f;
+          for (Col c = seg.begin_col(); c < seg.end_col(); ++c)
+            acc += x[c.value()];                // bound = own segment span
+          return acc;
+        }
+        // Validating geometry is fine: TCB_CHECK(sc.width() == x.cols());
+    """
+
+    name = "batch-geometry-taint"
+    description = ("values derived from TCB_BATCH_GEOMETRY accessors must "
+                   "not flow into loop bounds or float conversions inside "
+                   "TCB_BITWISE functions; per-request output must not "
+                   "depend on batch-global shape (DESIGN.md §14)")
+
+    def check_program(self, index: ProgramIndex) -> list[Finding]:
+        sources = _scalar_geometry_sources(index)
+        findings: dict[tuple[str, int, str], Finding] = {}
+        for fn in index.functions:
+            if "TCB_BITWISE" not in _annots(fn):
+                continue
+            body = fn.raw_body
+            checks = _check_extents(body)
+            src_pos = _source_positions(index, fn, sources, checks)
+            taint = _tainted_locals(fn, src_pos)
+            if not src_pos and not taint:
+                continue
+
+            def tainted_in(lo: int, hi: int) -> str | None:
+                origin = next((o for p, o in src_pos if lo <= p < hi), None)
+                if origin:
+                    return origin
+                seg = body[lo:hi]
+                return next((o for tv, o in taint.items()
+                             if re.search(rf"\b{re.escape(tv)}\b", seg)),
+                            None)
+
+            for hdr_lo, hdr_hi, body_lo, body_hi in _loop_extents(body):
+                # Judge the condition/increment region: the bound, not the
+                # induction variable's init.
+                semi = body.find(";", hdr_lo, hdr_hi)
+                region_lo = semi + 1 if semi >= 0 else hdr_lo
+                origin = tainted_in(region_lo, hdr_hi)
+                if origin is None or _in_extents(checks, hdr_lo):
+                    continue
+                if not FP_BODY_RE.search(body[body_lo:body_hi]):
+                    continue
+                self._report(findings, index, fn, hdr_lo, origin, ACCUM_SINK)
+            for m in FLOAT_CAST_RE.finditer(body):
+                if _in_extents(checks, m.start()):
+                    continue
+                cast_end = _match_paren(body, m.end() - 1)
+                origin = tainted_in(m.end(), cast_end)
+                if origin is None:
+                    continue
+                self._report(findings, index, fn, m.start(), origin,
+                             CAST_SINK)
+        return sorted(findings.values(),
+                      key=lambda f: (f.path, f.line, f.message))
+
+    def _report(self, findings, index: ProgramIndex, fn: FunctionInfo,
+                pos: int, origin: str, sink: str) -> None:
+        line = index.line_of(fn, pos)
+        key = (fn.path, line, origin)
+        if key in findings or index.suppressed(self.name, fn.path, line):
+            return
+        findings[key] = Finding(
+            self.name, fn.path, line,
+            f"batch-global geometry from {origin}() reaches a {sink} in "
+            f"TCB_BITWISE {fn.qualname}; concat-equivalence requires "
+            f"per-request arithmetic to depend only on the request's own "
+            f"segment span, never on materialized batch shape")
+
+
+@register
+class BitwiseClosure(ProgramRule):
+    """TCB_BITWISE code must stay inside the bitwise call closure.
+
+    A concat-invariant kernel that calls tolerance-governed code — even
+    through a chain of unannotated helpers in other TUs — inherits its
+    reassociation freedom and silently loses bitwise reproducibility.
+    Annotated callees are trusted boundaries (they are checked at their own
+    definition); everything unannotated is traversed, so extracting a
+    helper cannot launder a forbidden call.
+
+    Violation:
+        float fast_norm(const float* x, Index n) TCB_REASSOC;
+        float kernel(const float* x, Index n) TCB_BITWISE {
+          return fast_norm(x, n);   // reassociating callee
+        }
+    Clean:
+        float kernel(const float* x, Index n) TCB_BITWISE {
+          return simd::reduce_add(x, n);   // simd primitives are TCB_BITWISE
+        }
+    """
+
+    name = "bitwise-closure"
+    description = ("a TCB_BITWISE function may only call TCB_BITWISE code "
+                   "(including the simd:: primitives); reaching a "
+                   "TCB_REASSOC function, directly or through unannotated "
+                   "helpers, forfeits bitwise concat-equivalence")
+
+    def check_program(self, index: ProgramIndex) -> list[Finding]:
+        findings: dict[tuple[str, int, str], Finding] = {}
+        memo: dict[int, tuple[str, tuple[str, ...]] | None] = {}
+
+        def reaches_reassoc(fn: FunctionInfo, stack: frozenset,
+                            depth: int) -> tuple[str, tuple[str, ...]] | None:
+            key = id(fn)
+            if key in memo:
+                return memo[key]
+            if key in stack or depth > MAX_DEPTH:
+                return None
+            result = None
+            for call in _raw_calls(index, fn):
+                for callee in _resolve(index, fn, call):
+                    a = _annots(callee)
+                    if "TCB_REASSOC" in a:
+                        result = (callee.qualname,
+                                  (fn.qualname, callee.qualname))
+                        break
+                    if "TCB_BITWISE" in a or "TCB_BATCH_GEOMETRY" in a:
+                        continue
+                    sub = reaches_reassoc(callee, stack | {key}, depth + 1)
+                    if sub is not None:
+                        result = (sub[0], (fn.qualname,) + sub[1])
+                        break
+                if result is not None:
+                    break
+            if not stack:
+                memo[key] = result
+            return result
+
+        for fn in index.functions:
+            if "TCB_BITWISE" not in _annots(fn):
+                continue
+            for call in _raw_calls(index, fn):
+                for callee in _resolve(index, fn, call):
+                    a = _annots(callee)
+                    if "TCB_REASSOC" in a:
+                        self._report(findings, index, fn, call,
+                                     callee.qualname,
+                                     (fn.qualname, callee.qualname))
+                    elif "TCB_BITWISE" not in a \
+                            and "TCB_BATCH_GEOMETRY" not in a:
+                        sub = reaches_reassoc(callee, frozenset({id(fn)}), 1)
+                        if sub is not None:
+                            self._report(findings, index, fn, call, sub[0],
+                                         (fn.qualname,) + sub[1])
+        return sorted(findings.values(),
+                      key=lambda f: (f.path, f.line, f.message))
+
+    def _report(self, findings, index: ProgramIndex, fn: FunctionInfo,
+                call, reassoc: str, chain: tuple[str, ...]) -> None:
+        key = (fn.path, call.line, reassoc)
+        if key in findings \
+                or index.suppressed(self.name, fn.path, call.line):
+            return
+        findings[key] = Finding(
+            self.name, fn.path, call.line,
+            f"TCB_BITWISE {fn.qualname} reaches TCB_REASSOC {reassoc} "
+            f"(call chain: {' -> '.join(chain)}); tolerance-governed code "
+            f"must stay out of the bitwise closure — use a simd:: primitive "
+            f"or annotate the caller TCB_REASSOC if drift is acceptable")
+
+
+@register
+class RawFpAccumulation(ProgramRule):
+    """Scalar float reductions in src/nn must use the shared primitives.
+
+    The concat invariant fixes not just *what* a kernel computes but the
+    *order* it accumulates in: simd.hpp's primitives define one ascending-k
+    lane layout, and kernel_equivalence_test pins every fast kernel to it.
+    A hand-rolled `float s = 0; for (...) s += ...` in model code creates a
+    second, uncoordinated accumulation order that drifts the moment anyone
+    retunes the primitives.  Reference kernels keep their scalar loops by
+    design — they are the tolerance-governed oracle — and carry TCB_REASSOC,
+    which exempts them here.
+
+    Violation:
+        float dot(const float* a, const float* b, Index n) {
+          float acc = 0.0f;
+          for (Index i = 0; i < n; ++i) acc += a[i] * b[i];
+          return acc;
+        }
+    Clean:
+        float dot(const float* a, const float* b, Index n) {
+          return simd::dot(a, b, n);
+        }
+    """
+
+    name = "raw-fp-accumulation"
+    description = ("hand-rolled scalar float accumulation loops in src/nn "
+                   "must go through simd::/tcb::ref primitives so the "
+                   "per-element FMA chain order stays centralized; "
+                   "TCB_REASSOC marks the sanctioned scalar copies")
+
+    def check_program(self, index: ProgramIndex) -> list[Finding]:
+        out: list[Finding] = []
+        seen: set[tuple[str, int]] = set()
+        for fn in index.functions:
+            if not index.effective_path(fn.path).startswith("src/nn/"):
+                continue
+            if "TCB_REASSOC" in _annots(fn):
+                continue
+            body = fn.raw_body
+            floats = set(FLOAT_DECL_RE.findall(body))
+            if not floats:
+                continue
+            loops = _loop_extents(body)
+            for m in re.finditer(r"\b([A-Za-z_]\w*)\s*\+=", body):
+                var = m.group(1)
+                if var not in floats:
+                    continue
+                if not any(lo <= m.start() < hi
+                           for _h, _e, lo, hi in loops):
+                    continue
+                line = index.line_of(fn, m.start())
+                if (fn.path, line) in seen \
+                        or index.suppressed(self.name, fn.path, line):
+                    continue
+                seen.add((fn.path, line))
+                out.append(Finding(
+                    self.name, fn.path, line,
+                    f"loop-carried scalar float accumulator `{var}` in "
+                    f"{fn.qualname}; route the reduction through a simd:: "
+                    f"primitive (or mark the function TCB_REASSOC if it is "
+                    f"deliberately tolerance-governed)"))
+        out.sort(key=lambda f: (f.path, f.line, f.message))
+        return out

@@ -18,6 +18,19 @@ from tcb_lint.source import Finding, SourceFile
 
 @register
 class NoRawTokenIndexing(Rule):
+    """Token storage has one owning accessor; raw indexing re-opens a bug.
+
+    The packed id matrix is rows x width flattened; indexing it by hand is
+    how the transposed-batch bug happened (row/column swapped, plausible
+    tokens, wrong requests). PackedBatch::token_at carries the strong Row/
+    Col axes and the bounds check.
+
+    Violation:
+        Index id = batch.tokens[r * width + c];
+    Clean:
+        Index id = batch.token_at(Row{r}, Col{c});
+    """
+
     name = "no-raw-token-indexing"
     description = ("token storage is indexed only through its owning accessor "
                    "(PackedBatch::token_at / flat_offset); raw tokens[...] or "
@@ -38,6 +51,18 @@ class NoRawTokenIndexing(Rule):
 
 @register
 class ThreadsOnlyInParallel(Rule):
+    """Raw threads live in src/parallel/ only.
+
+    One pool owns all worker threads (sized once, instrumented once);
+    ad-hoc std::thread/std::async elsewhere escapes its sizing, shutdown
+    and the lint rules that reason about the pool's lock discipline.
+
+    Violation (outside src/parallel/):
+        std::thread t([&] { work(); }); t.join();
+    Clean:
+        parallel_for(n, [&](std::size_t b, std::size_t e) { work(b, e); });
+    """
+
     name = "threads-only-in-parallel"
     description = ("concurrency primitives (std::thread/async/mutex/"
                    "condition_variable...) are confined to src/parallel/; "
@@ -60,6 +85,18 @@ class ThreadsOnlyInParallel(Rule):
 
 @register
 class NoWallClockInSched(Rule):
+    """Scheduling code runs on the virtual clock.
+
+    src/sched/ and src/serving/ are replayed deterministically in tests
+    and simulations; a steady_clock::now() hiding in a policy makes the
+    replay diverge from production in ways no test can pin.
+
+    Violation (in src/sched/):
+        auto now = std::chrono::steady_clock::now();
+    Clean:
+        TimePoint now = clock.now();   // injected virtual clock
+    """
+
     name = "no-wall-clock-in-sched"
     description = ("src/sched/ and src/serving/ run on the deterministic "
                    "virtual clock; wall-clock reads (steady_clock::now, "
@@ -81,6 +118,23 @@ class NoWallClockInSched(Rule):
 
 @register
 class CheckedEngineBoundary(Rule):
+    """(offset, length) pairs must be validated before use.
+
+    A span crossing the engine boundary unchecked reads another request's
+    rows on a malformed plan — plausible output, no crash. The check is
+    the contract that makes downstream raw index math auditable.
+
+    Violation:
+        void copy_span(const float* src, Index offset, Index length) {
+          consume(src + offset, length);
+        }
+    Clean:
+        void copy_span(const float* src, Index offset, Index length) {
+          TCB_CHECK(offset >= 0 && length > 0, "bad span");
+          consume(src + offset, length);
+        }
+    """
+
     name = "checked-engine-boundary"
     description = ("function definitions taking an (offset, length)-style "
                    "parameter pair must validate the span with "
@@ -135,6 +189,18 @@ class CheckedEngineBoundary(Rule):
 
 @register
 class NoRawNewDelete(Rule):
+    """Ownership goes through containers and smart pointers.
+
+    A raw new/delete pair is an exception-safety hole and an ownership
+    question every reader must re-answer; the engine has no allocation
+    pattern vectors/unique_ptr cannot express.
+
+    Violation:
+        float* buf = new float[n]; ... delete[] buf;
+    Clean:
+        std::vector<float> buf(n);
+    """
+
     name = "no-raw-new-delete"
     description = ("first-party engine code owns memory through containers "
                    "and smart pointers; raw new/delete expressions are "
@@ -160,6 +226,19 @@ class NoRawNewDelete(Rule):
 
 @register
 class UseTcbSync(Rule):
+    """Synchronization goes through the annotated tcb:: wrappers.
+
+    tcb::Mutex/CondVar/MutexLock carry the capability annotations that
+    clang's thread-safety analysis and tcb-lint's whole-program rules
+    (lock-order-graph, no-blocking-under-lock) key on; a raw std::mutex
+    is invisible to all of them.
+
+    Violation (outside src/parallel/sync.hpp):
+        std::mutex m; std::lock_guard<std::mutex> g(m);
+    Clean:
+        Mutex m TCB_GUARDS(state_); MutexLock lock(m);
+    """
+
     name = "use-tcb-sync"
     description = ("raw std synchronization primitives (mutex, "
                    "condition_variable, lock_guard, unique_lock, ...) are "
@@ -188,6 +267,19 @@ class UseTcbSync(Rule):
 
 @register
 class AnnotatedSharedState(Rule):
+    """Every mutex and atomic must declare its role.
+
+    An unannotated mutex protects "something"; an unannotated atomic is
+    either lock-free by design or a data-race patch. The annotation makes
+    the intent checkable: TCB_GUARDS names the protected state, and the
+    whole-program rules verify the discipline.
+
+    Violation:
+        Mutex mu_; std::atomic<int> hits_;
+    Clean:
+        Mutex mu_ TCB_GUARDS(queue_); std::atomic<int> hits_ TCB_LOCK_FREE;
+    """
+
     name = "annotated-shared-state"
     description = ("every tcb::Mutex or std::atomic declaration in src/ "
                    "must declare its role in the lock discipline: "
@@ -231,6 +323,19 @@ class AnnotatedSharedState(Rule):
 
 @register
 class IncludeLayering(Rule):
+    """src/ modules form a DAG; includes may only point down it.
+
+    util < tensor < {parallel, batching} < nn < sched < serving (see
+    DESIGN.md). An upward include (tensor -> nn) couples a kernel to model
+    policy and eventually cycles. Sub-DAGs inside util/ and serving/ keep
+    the bottom layer and the pipeline honest too.
+
+    Violation (in src/tensor/):
+        #include "nn/attention.hpp"
+    Clean:
+        #include "util/check.hpp"
+    """
+
     name = "include-layering"
     description = ("#include edges between src/ modules must follow the "
                    "layering DAG (DESIGN.md): util at the bottom, core at "
@@ -283,9 +388,30 @@ class IncludeLayering(Rule):
         "gemm": {"ops", "simd", "tensor", "tuning", "workspace"},
     }
 
+    # Util-internal refinement: the contract headers (check's assertions,
+    # lifetime's borrow annotations, numeric's bitwise/geometry/reassoc
+    # annotations) are leaves every other util header may sit on, and they
+    # include nothing themselves — an annotation header that pulls in I/O
+    # would tax every TU in the tree. csv/stats ride on lifetime's
+    # TCB_LIFETIME_BOUND; table renders csv. Stems not listed (future util
+    # files) are only module-checked.
+    UTIL_DAG = {
+        "check": set(),
+        "env": set(),
+        "lifetime": set(),
+        "numeric": set(),
+        "rng": set(),
+        "timer": set(),
+        "histogram": set(),
+        "csv": {"lifetime"},
+        "stats": {"lifetime"},
+        "table": {"csv", "lifetime"},
+    }
+
     # module -> its internal stem-level DAG (same shape as DAG, keyed by file
     # stem). The include pattern is derived from the module name.
-    SUBMODULE_DAGS = {"serving": SERVING_DAG, "tensor": TENSOR_DAG}
+    SUBMODULE_DAGS = {"serving": SERVING_DAG, "tensor": TENSOR_DAG,
+                      "util": UTIL_DAG}
 
     def applies_to(self, path: str) -> bool:
         parts = path.split("/")
@@ -338,6 +464,18 @@ class IncludeLayering(Rule):
 
 @register
 class EngineBehindBackend(Rule):
+    """The serving pipeline sees the engine only through ExecutionBackend.
+
+    Stages that include nn/model.hpp directly re-couple scheduling policy
+    to one concrete engine; the backend interface is what lets tests swap
+    in the recording/null engines.
+
+    Violation (in src/serving/pipeline.cpp):
+        #include "nn/model.hpp"
+    Clean:
+        #include "serving/backend.hpp"   // talk to ExecutionBackend
+    """
+
     name = "engine-behind-backend"
     description = ("within src/serving/ only the execution-backend layer "
                    "(backend.*, cost_model.*) may include the engine headers "

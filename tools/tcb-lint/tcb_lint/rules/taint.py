@@ -144,6 +144,21 @@ class _FileEvents:
 
 @register
 class TaintedAdmission(ProgramRule):
+    """External request fields must be validated before geometry math.
+
+    Request length/deadline/arrival come from clients; using them in
+    batch-geometry arithmetic (row sizing, slot fitting) before a
+    TCB_CHECK admission gate lets one malformed request corrupt a whole
+    batch's layout. Validation clears the taint; so does an admission
+    helper that provably checks (the sink fixpoint follows calls).
+
+    Violation:
+        rows_needed += req.length;             // unvalidated
+    Clean:
+        TCB_CHECK(req.length > 0 && req.length <= cap, "bad request");
+        rows_needed += req.length;
+    """
+
     name = "tainted-admission"
     description = ("externally-sourced Request fields (length, deadline, "
                    "arrival) must flow through a TCB_CHECK/TCB_DCHECK "
