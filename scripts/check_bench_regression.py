@@ -16,15 +16,25 @@ the baseline's — a CI runner judging a baseline recorded on a dev box — the
 gate prints what it skipped and exits 0. A baseline recorded in smoke mode
 is likewise not judged.
 
+A second, machine-independent mode gates the continuous-batching sweep
+(bench/continuous_batching.cpp). The serving simulator is analytical and
+deterministic, so its CSV reproduces bit-for-bit anywhere: at every rate at
+or above the saturation knee (--saturation-rate, default 200 req/s) the
+continuous pipeline must beat run-to-completion on both goodput and utility,
+or the iteration-level splicing machinery has regressed.
+
 Usage:
   scripts/check_bench_regression.py --baseline BENCH_kernels.json \
       --current bench-results/BENCH_kernels.json \
       [--filter BM_Attention,BM_Matmul] [--threshold 0.25]
+  scripts/check_bench_regression.py --continuous-csv continuous_batching.csv \
+      [--saturation-rate 200]
 
 Exit codes: 0 pass/skip, 1 regression, 2 bad input.
 """
 
 import argparse
+import csv
 import json
 import sys
 
@@ -52,17 +62,76 @@ def geometry(context):
     return {k: context.get(k) for k in ("tcb_cache_l1d", "tcb_cache_l2")}
 
 
+def check_continuous_csv(path, saturation_rate):
+    """Gates the continuous-batching sweep: cont > rtc beyond saturation."""
+    required = {"rate", "rtc_goodput", "cont_goodput", "rtc_utility",
+                "cont_utility"}
+    try:
+        with open(path, newline="") as f:
+            rows = list(csv.DictReader(f))
+    except OSError as e:
+        print(f"check_bench_regression: {e}", file=sys.stderr)
+        return 2
+    if not rows or not required.issubset(rows[0].keys()):
+        print(f"check_bench_regression: {path}: expected columns {sorted(required)}",
+              file=sys.stderr)
+        return 2
+
+    failures = []
+    gated = 0
+    for row in rows:
+        rate = float(row["rate"])
+        rtc_g, cont_g = float(row["rtc_goodput"]), float(row["cont_goodput"])
+        rtc_u, cont_u = float(row["rtc_utility"]), float(row["cont_utility"])
+        if rate < saturation_rate:
+            print(f"  skip rate={rate:g}: below saturation knee "
+                  f"({saturation_rate:g} req/s)")
+            continue
+        gated += 1
+        ok = cont_g > rtc_g and cont_u > rtc_u
+        print(f"  {'ok' if ok else 'FAIL':4} rate={rate:g}: goodput "
+              f"{rtc_g:.1f} -> {cont_g:.1f} ({cont_g / rtc_g:.2f}x), utility "
+              f"{rtc_u:.1f} -> {cont_u:.1f} ({cont_u / rtc_u:.2f}x)")
+        if not ok:
+            failures.append(rate)
+
+    if gated == 0:
+        print(f"check_bench_regression: no rates at or above "
+              f"{saturation_rate:g} req/s in {path}", file=sys.stderr)
+        return 2
+    if failures:
+        print(f"check_bench_regression: continuous batching lost to "
+              f"run-to-completion at rate(s) "
+              + ", ".join(f"{r:g}" for r in failures))
+        return 1
+    print(f"check_bench_regression: PASS — continuous beats "
+          f"run-to-completion on goodput and utility at all {gated} "
+          f"saturated rate(s)")
+    return 0
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("--baseline", required=True)
-    ap.add_argument("--current", required=True)
+    ap.add_argument("--baseline")
+    ap.add_argument("--current")
     ap.add_argument("--filter",
                     default="BM_Attention,BM_Matmul,BM_EncoderLayer",
                     help="comma-separated benchmark name prefixes to gate "
                          "(default: BM_Attention,BM_Matmul,BM_EncoderLayer)")
     ap.add_argument("--threshold", type=float, default=0.25,
                     help="max tolerated slowdown fraction (default: 0.25)")
+    ap.add_argument("--continuous-csv",
+                    help="gate a continuous_batching.csv sweep instead of a "
+                         "google-benchmark report")
+    ap.add_argument("--saturation-rate", type=float, default=200.0,
+                    help="gate only rates at or above this (default: 200)")
     args = ap.parse_args()
+
+    if args.continuous_csv:
+        return check_continuous_csv(args.continuous_csv, args.saturation_rate)
+    if not args.baseline or not args.current:
+        ap.error("--baseline and --current are required unless "
+                 "--continuous-csv is given")
 
     try:
         base_ctx, base_benches, base_wrap = load_report(args.baseline)

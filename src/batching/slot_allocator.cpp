@@ -1,0 +1,102 @@
+#include "batching/slot_allocator.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace tcb {
+
+SlotAllocator::SlotAllocator(const BatchPlan& plan) {
+  MutexLock lock(mutex_);
+  const bool slotted =
+      plan.scheme == Scheme::kConcatSlotted && plan.slot_len > 0;
+  for (std::size_t r = 0; r < plan.rows.size(); ++r) {
+    const RowLayout& row = plan.rows[r];
+    if (row.width <= 0) continue;
+    const Index slot_count =
+        slotted ? (row.width + plan.slot_len - 1) / plan.slot_len : 1;
+    for (Index s = 0; s < slot_count; ++s) {
+      Entry e;
+      e.span.row = Row{static_cast<Index>(r)};
+      e.span.slot = Slot{s};
+      if (slotted) {
+        e.span.begin = Col{s * plan.slot_len};
+        e.span.width = std::min(plan.slot_len, row.width - s * plan.slot_len);
+      } else {
+        e.span.begin = Col{0};
+        e.span.width = row.width;
+      }
+      e.occupied = std::any_of(
+          row.segments.begin(), row.segments.end(), [&](const Segment& seg) {
+            return !slotted || seg.slot_index() == e.span.slot;
+          });
+      if (!e.occupied) free_list_.push_back(entries_.size());
+      entries_.push_back(e);
+    }
+  }
+  total_slots_ = static_cast<Index>(entries_.size());
+  stats_.total_slots = total_slots_;
+  stats_.occupied_slots = static_cast<Index>(
+      std::count_if(entries_.begin(), entries_.end(),
+                    [](const Entry& e) { return e.occupied; }));
+}
+
+std::size_t SlotAllocator::find(Row row, Slot slot) const {
+  for (std::size_t i = 0; i < entries_.size(); ++i)
+    if (entries_[i].span.row == row && entries_[i].span.slot == slot) return i;
+  return entries_.size();
+}
+
+bool SlotAllocator::release(Row row, Slot slot) {
+  MutexLock lock(mutex_);
+  const std::size_t i = find(row, slot);
+  TCB_CHECK(i < entries_.size(), "SlotAllocator::release: unknown slot");
+  if (!entries_[i].occupied) return false;
+  entries_[i].occupied = false;
+  free_list_.push_back(i);
+  stats_.occupied_slots -= 1;
+  stats_.releases += 1;
+  return true;
+}
+
+bool SlotAllocator::acquire(Row row, Slot slot) {
+  MutexLock lock(mutex_);
+  const std::size_t i = find(row, slot);
+  TCB_CHECK(i < entries_.size(), "SlotAllocator::acquire: unknown slot");
+  if (entries_[i].occupied) return false;
+  entries_[i].occupied = true;
+  free_list_.erase(std::remove(free_list_.begin(), free_list_.end(), i),
+                   free_list_.end());
+  stats_.occupied_slots += 1;
+  stats_.acquires += 1;
+  return true;
+}
+
+std::vector<SlotSpan> SlotAllocator::vacant() const {
+  MutexLock lock(mutex_);
+  std::vector<SlotSpan> out;
+  out.reserve(free_list_.size());
+  for (const auto i : free_list_) out.push_back(entries_[i].span);
+  return out;
+}
+
+Index SlotAllocator::max_span_width() const {
+  MutexLock lock(mutex_);
+  Index widest = 0;
+  for (const auto& e : entries_) widest = std::max(widest, e.span.width);
+  return widest;
+}
+
+SlotAllocatorStats SlotAllocator::stats() const {
+  MutexLock lock(mutex_);
+  return stats_;
+}
+
+double SlotAllocator::occupied_fraction() const {
+  MutexLock lock(mutex_);
+  if (entries_.empty()) return 1.0;
+  return static_cast<double>(stats_.occupied_slots) /
+         static_cast<double>(entries_.size());
+}
+
+}  // namespace tcb

@@ -20,6 +20,7 @@ PipelineConfig pipeline_config(const TcbConfig& cfg) {
   pipe.scheme = cfg.scheme;
   pipe.fixed_slot_len = 0;  // Slotted-DAS picks z per batch
   pipe.workers = cfg.workers;
+  pipe.continuous = cfg.continuous;
   return pipe;
 }
 
@@ -63,6 +64,7 @@ ServeResult TcbSystem::run_pipeline(const ExecutionBackend& backend,
   result.batches = run.report.batches;
   result.peak_kv_bytes = run.peak_kv_bytes;
   result.early_freed_bytes = run.early_freed_bytes;
+  result.reclaimable_kv_bytes = run.reclaimable_kv_bytes;
   result.report = std::move(run.report);
   return result;
 }

@@ -55,6 +55,11 @@ struct TcbConfig {
   /// batches concurrently on the thread pool (serving dynamics stay
   /// deterministic — simulated time is analytical either way).
   std::size_t workers = 1;
+  /// Continuous (iteration-level) batching: decode one iteration at a time,
+  /// free slots as requests finish, and splice waiting requests into the
+  /// vacated spans mid-batch (DESIGN.md §15). Applies to serve() and
+  /// simulate(); serve_classify() has no decode loop and ignores it.
+  bool continuous = false;
 
   void validate() const;
 };
@@ -68,6 +73,9 @@ struct ServeResult {
   std::size_t batches = 0;
   std::size_t peak_kv_bytes = 0;   ///< max over batches
   std::size_t early_freed_bytes = 0;
+  /// What an ideal per-request cleaner could have freed; compare against
+  /// early_freed_bytes to see how much of it the scheme reclaimed.
+  std::size_t reclaimable_kv_bytes = 0;
   ServingReport report;            ///< full pipeline report (stage timings,
                                    ///< per-worker busy time, queue stats)
 };

@@ -2,14 +2,18 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <stdexcept>
 #include <unordered_map>
+#include <utility>
 
+#include "batching/packed_batch.hpp"
 #include "nn/model.hpp"
 #include "parallel/thread_pool.hpp"
 #include "tensor/ops.hpp"
 #include "tensor/simd.hpp"
 #include "tensor/workspace.hpp"
+#include "util/check.hpp"
 
 namespace tcb {
 
@@ -25,19 +29,6 @@ DecoderLayer::DecoderLayer(const ModelConfig& cfg, Rng& rng)
 }
 
 namespace {
-
-struct Group {
-  std::vector<std::size_t> members;  ///< track indices
-  bool released = false;
-};
-
-/// Per-decoder-layer mutable state.
-struct LayerState {
-  std::vector<std::vector<float>> k_cache;  ///< per track, [step][d] interleaved
-  std::vector<std::vector<float>> v_cache;
-  Tensor cross_k;  ///< (src_rows * src_width, d), computed once
-  Tensor cross_v;
-};
 
 /// Residual + LayerNorm helper: returns LN(x + delta).
 Tensor residual_norm(const Tensor& x, Tensor delta, const Tensor& gamma,
@@ -94,23 +85,17 @@ Index sample_top_k(const float* logits, Index vocab, Index k,
 
 }  // namespace
 
-DecodeResult greedy_decode(const Seq2SeqModel& model,
-                           const EncoderMemory& memory,
-                           const DecodeOptions& opts) {
-  const ModelConfig& cfg = model.config();
-  const Index d = cfg.d_model;
-  const Index heads = cfg.n_heads;
-  const Index dh = cfg.head_dim();
-  const float inv_sqrt = 1.0f / std::sqrt(static_cast<float>(dh));
-  const bool slotted =
-      opts.mode == AttentionMode::kSlotted && memory.plan.slot_len > 0;
-
-  DecodeResult result;
+DecodeSession::DecodeSession(const Seq2SeqModel& model, EncoderMemory memory,
+                             DecodeOptions opts)
+    : model_(model), memory_(std::move(memory)), opts_(opts) {
+  const ModelConfig& cfg = model_.config();
+  slotted_ =
+      opts_.mode == AttentionMode::kSlotted && memory_.plan.slot_len > 0;
+  max_steps_ = std::min<Index>(opts_.max_steps, cfg.max_len);
 
   // --- Build tracks and groups --------------------------------------------
-  std::vector<DecodeTrack> tracks;
-  for (std::size_t r = 0; r < memory.plan.rows.size(); ++r) {
-    const auto& row = memory.plan.rows[r];
+  for (std::size_t r = 0; r < memory_.plan.rows.size(); ++r) {
+    const auto& row = memory_.plan.rows[r];
     for (std::size_t si = 0; si < row.segments.size(); ++si) {
       const auto& seg = row.segments[si];
       DecodeTrack t;
@@ -120,289 +105,508 @@ DecodeResult greedy_decode(const Seq2SeqModel& model,
       t.seg_index = static_cast<Index>(si);
       t.src_offset = seg.begin_col();
       t.src_len = seg.length;
-      tracks.push_back(std::move(t));
+      tracks_.push_back(std::move(t));
     }
   }
-  if (tracks.empty()) return result;
+  if (tracks_.empty()) return;
 
-  std::vector<Group> groups;
-  std::vector<std::size_t> group_of(tracks.size());
   {
     std::unordered_map<Index, std::size_t> key_to_group;
-    for (std::size_t i = 0; i < tracks.size(); ++i) {
-      const Index key = tracks[i].row.value() * (memory.width.value() + 1) +
-                        (slotted ? tracks[i].slot.value() : 0);
-      auto [it, inserted] = key_to_group.try_emplace(key, groups.size());
-      if (inserted) groups.emplace_back();
-      groups[it->second].members.push_back(i);
-      group_of[i] = it->second;
+    group_of_.resize(tracks_.size());
+    for (std::size_t i = 0; i < tracks_.size(); ++i) {
+      const Index key = tracks_[i].row.value() * (memory_.width.value() + 1) +
+                        (slotted_ ? tracks_[i].slot.value() : 0);
+      auto [it, inserted] = key_to_group.try_emplace(key, groups_.size());
+      if (inserted) {
+        Group g;
+        g.row = tracks_[i].row;
+        g.slot = slotted_ ? tracks_[i].slot : Slot{0};
+        const Index row_width =
+            memory_.plan.rows[static_cast<std::size_t>(g.row.value())].width;
+        if (slotted_) {
+          const Index z = memory_.plan.slot_len;
+          g.begin = Col{g.slot.value() * z};
+          g.width = std::min(z, row_width - g.begin.value());
+        } else {
+          g.begin = Col{0};
+          g.width = row_width;
+        }
+        groups_.push_back(std::move(g));
+      }
+      groups_[it->second].members.push_back(i);
+      group_of_[i] = it->second;
     }
   }
 
-  // Source mask geometry, shared with the encoder via the plan's cache
-  // (previously rebuilt per decode call). Touched here, before any fan-out,
-  // per the cache's threading contract; outside debug builds the warm-up is
-  // the only use, hence maybe_unused.
+  // Source mask geometry, shared with the encoder via the plan's cache.
+  // Touched here, before any fan-out, per the cache's threading contract;
+  // outside debug builds the warm-up is the only use, hence maybe_unused.
   [[maybe_unused]] const SegmentCache& src_cache =
-      memory.plan.segment_cache(memory.width);
+      memory_.plan.segment_cache(memory_.width);
 
   // --- Layer state: caches + precomputed cross K/V -------------------------
-  const auto& layers = model.decoder_layers();
-  std::vector<LayerState> states(layers.size());
+  const auto& layers = model_.decoder_layers();
+  states_.resize(layers.size());
   for (std::size_t l = 0; l < layers.size(); ++l) {
-    states[l].k_cache.resize(tracks.size());
-    states[l].v_cache.resize(tracks.size());
-    states[l].cross_k = layers[l].cross_attn().wk().forward(memory.states);
-    states[l].cross_v = layers[l].cross_attn().wv().forward(memory.states);
+    states_[l].k_cache.resize(tracks_.size());
+    states_[l].v_cache.resize(tracks_.size());
+    states_[l].cross_k = layers[l].cross_attn().wk().forward(memory_.states);
+    states_[l].cross_v = layers[l].cross_attn().wv().forward(memory_.states);
   }
-
-  std::size_t cur_kv_bytes = 0;
-  const Index max_steps = std::min<Index>(opts.max_steps, cfg.max_len);
 
   // Per-request sampling streams: forked by request id so a request draws
   // the same randomness no matter which batch it rides in.
-  std::vector<Rng> track_rng;
-  if (opts.strategy == DecodeStrategy::kTopK) {
-    const Rng base(opts.sample_seed);
-    track_rng.reserve(tracks.size());
-    for (const auto& track : tracks)
-      track_rng.push_back(
+  if (opts_.strategy == DecodeStrategy::kTopK) {
+    const Rng base(opts_.sample_seed);
+    track_rng_.reserve(tracks_.size());
+    for (const auto& track : tracks_)
+      track_rng_.push_back(
           base.fork(static_cast<std::uint64_t>(track.request_id)));
   }
+}
 
-  for (Index t = 0; t < max_steps; ++t) {
-    std::vector<std::size_t> active;
-    for (std::size_t i = 0; i < tracks.size(); ++i)
-      if (!tracks[i].finished) active.push_back(i);
-    if (active.empty()) break;
-    result.steps = t + 1;
-    const Index a_count = static_cast<Index>(active.size());
+DecodeSession::~DecodeSession() = default;
 
-    // Input embeddings: previous token (BOS at step 0) + separate PE at the
-    // track-local position t.
-    std::vector<Index> prev;
-    prev.reserve(active.size());
-    for (const auto a : active)
-      prev.push_back(tracks[a].emitted.empty() ? kBosToken
-                                               : tracks[a].emitted.back());
-    Tensor x = model.embedding().lookup(prev);
-    const float* pe = model.positional_encoding().at(Pos{t});
-    for (Index ai = 0; ai < a_count; ++ai) {
-      float* row = x.row(ai);
-      for (Index j = 0; j < d; ++j) row[j] += pe[j];
-    }
+bool DecodeSession::done() const noexcept {
+  return std::all_of(tracks_.begin(), tracks_.end(),
+                     [](const DecodeTrack& t) { return t.finished; });
+}
 
-    for (std::size_t l = 0; l < layers.size(); ++l) {
-      const DecoderLayer& layer = layers[l];
-      LayerState& st = states[l];
+std::vector<std::size_t> DecodeSession::active_tracks() const {
+  std::vector<std::size_t> active;
+  for (std::size_t i = 0; i < tracks_.size(); ++i)
+    if (!tracks_[i].finished) active.push_back(i);
+  return active;
+}
 
-      // ---- Masked self-attention over the group's cached K/V -------------
-      const Tensor q = layer.self_attn().wq().forward(x);
-      const Tensor k_new = layer.self_attn().wk().forward(x);
-      const Tensor v_new = layer.self_attn().wv().forward(x);
-      for (Index ai = 0; ai < a_count; ++ai) {
-        const std::size_t a = active[static_cast<std::size_t>(ai)];
-        const float* krow = k_new.row(ai);
-        const float* vrow = v_new.row(ai);
-        st.k_cache[a].insert(st.k_cache[a].end(), krow, krow + d);
-        st.v_cache[a].insert(st.v_cache[a].end(), vrow, vrow + d);
-        cur_kv_bytes += 2 * static_cast<std::size_t>(d) * sizeof(float);
-      }
-      result.peak_kv_bytes = std::max(result.peak_kv_bytes, cur_kv_bytes);
+DecodeStepOutcome DecodeSession::step() {
+  const ModelConfig& cfg = model_.config();
+  const Index d = cfg.d_model;
+  const Index heads = cfg.n_heads;
+  const Index dh = cfg.head_dim();
+  const float inv_sqrt = 1.0f / std::sqrt(static_cast<float>(dh));
+  const auto& layers = model_.decoder_layers();
 
-      Tensor attn(Shape{a_count, d});
-      parallel_for(
-          static_cast<std::size_t>(a_count) * static_cast<std::size_t>(heads),
-          [&](std::size_t begin, std::size_t end) {
-            for (std::size_t task = begin; task < end; ++task) {
-              const Index ai = static_cast<Index>(task / heads);
-              const Index h = static_cast<Index>(task % heads);
-              const std::size_t a = active[static_cast<std::size_t>(ai)];
-              const Group& group = groups[group_of[a]];
-              const std::size_t head_off = static_cast<std::size_t>(h) * dh;
-              const float* qv = q.row(ai) + head_off;
+  DecodeStepOutcome outcome;
+  const std::vector<std::size_t> active = active_tracks();
+  TCB_CHECK(!active.empty(), "DecodeSession::step called when done");
+  step_count_ += 1;
+  result_.steps = step_count_;
+  const Index a_count = static_cast<Index>(active.size());
 
-              // Score scratch from this worker's arena (rewound per task;
-              // steady-state decode steps allocate nothing).
-              std::size_t total = 0;
-              for (const auto m : group.members)
-                total += st.k_cache[m].size() / static_cast<std::size_t>(d);
-              WorkspaceScope scope;
-              float* scores = scope.alloc(total);
-              // Scores over every member's cached steps; the redundant
-              // cross-request entries are computed, then masked (paper
-              // Eq. 5-6 applied step-wise).
-              std::size_t idx = 0;
-              for (const auto m : group.members) {
-                const auto& kc = st.k_cache[m];
-                const std::size_t steps_m = kc.size() / static_cast<std::size_t>(d);
-                // Additive mask: adding kMaskedOut to a score of ordinary
-                // magnitude rounds to exactly kMaskedOut, so the foreign
-                // entries are computed (the redundancy) yet contribute
-                // exactly zero after softmax.
-                const float mask_add = m == a ? 0.0f : kMaskedOut;
-                for (std::size_t s = 0; s < steps_m; ++s) {
-                  const float* kv = kc.data() + s * static_cast<std::size_t>(d) + head_off;
-                  scores[idx++] = simd::dot(qv, kv, dh) * inv_sqrt + mask_add;
-                }
-              }
+  // Source mask geometry (debug-checked below); the build was warmed in the
+  // constructor, so this is the lock-free published-pointer fast path.
+  [[maybe_unused]] const SegmentCache& src_cache =
+      memory_.plan.segment_cache(memory_.width);
 
-              float mx = kMaskedOut;
-              for (std::size_t s = 0; s < total; ++s) mx = std::max(mx, scores[s]);
-              float sum = 0.0f;
-              for (std::size_t s = 0; s < total; ++s) {
-                scores[s] = std::exp(scores[s] - mx);
-                // Walks only this track's own KV slot in step order — the
-                // chain is per-request and pinned by the decode equivalence
-                // tests.
-                // tcb-lint: allow(raw-fp-accumulation)
-                sum += scores[s];
-              }
-              const float inv = 1.0f / sum;
-              float* out = attn.row(ai) + head_off;
-              for (Index c = 0; c < dh; ++c) out[c] = 0.0f;
-              // Second walk over the members recovers each score's V row
-              // without a parallel pointer array (the arena only holds
-              // floats, and the walk order is identical by construction).
-              idx = 0;
-              for (const auto m : group.members) {
-                const auto& vc = st.v_cache[m];
-                const std::size_t steps_m = vc.size() / static_cast<std::size_t>(d);
-                for (std::size_t s = 0; s < steps_m; ++s)
-                  simd::axpy(scores[idx++] * inv,
-                             vc.data() + s * static_cast<std::size_t>(d) + head_off,
-                             out, dh);
-              }
-            }
-          });
-      Tensor x1 = residual_norm(x, layer.self_attn().wo().forward(attn),
-                                layer.ln_gamma(0), layer.ln_beta(0), layer.eps());
+  // Input embeddings: previous token (BOS before a track's first step) +
+  // separate PE at the track-local position |emitted|. Before any splice all
+  // active tracks sit at the same position (== global step index), so this
+  // is bitwise what the monolithic loop's shared `Pos{t}` computed; after a
+  // splice the per-track position is what keeps each request's numerics
+  // independent of when it was admitted.
+  std::vector<Index> prev;
+  prev.reserve(active.size());
+  for (const auto a : active)
+    prev.push_back(tracks_[a].emitted.empty() ? kBosToken
+                                              : tracks_[a].emitted.back());
+  Tensor x = model_.embedding().lookup(prev);
+  for (Index ai = 0; ai < a_count; ++ai) {
+    const std::size_t a = active[static_cast<std::size_t>(ai)];
+    const float* pe = model_.positional_encoding().at(
+        Pos{static_cast<Index>(tracks_[a].emitted.size())});
+    float* row = x.row(ai);
+    for (Index j = 0; j < d; ++j) row[j] += pe[j];
+  }
 
-      // ---- Cross-attention over the source span ---------------------------
-      const Tensor q2 = layer.cross_attn().wq().forward(x1);
-      Tensor attn2(Shape{a_count, d});
-      parallel_for(
-          static_cast<std::size_t>(a_count) * static_cast<std::size_t>(heads),
-          [&](std::size_t begin, std::size_t end) {
-            for (std::size_t task = begin; task < end; ++task) {
-              const Index ai = static_cast<Index>(task / heads);
-              const Index h = static_cast<Index>(task % heads);
-              const std::size_t a = active[static_cast<std::size_t>(ai)];
-              const DecodeTrack& tr = tracks[a];
-              const std::size_t head_off = static_cast<std::size_t>(h) * dh;
-              const float* qv = q2.row(ai) + head_off;
-              const Index row_base = static_cast<Index>(
-                  flat_offset(tr.row, Col{0}, memory.width));
+  for (std::size_t l = 0; l < layers.size(); ++l) {
+    const DecoderLayer& layer = layers[l];
+    LayerState& st = states_[l];
 
-              // Fused cross-attention mask: a track may only attend its own
-              // source segment (every other column of the row — other
-              // requests' tokens and padding — would be masked to exp == 0),
-              // so the kernel walks exactly [src_offset, src_offset +
-              // src_len) and skips the score-then-mask sweep entirely. The
-              // slotted path's slot always contains the segment.
-              const Index span_begin = tr.src_offset.value();
-              const Index span = tr.src_len;
-              TCB_DCHECK(
-                  span > 0 && span_begin >= 0 &&
-                      span_begin + span <= memory.width.value(),
-                  "decode: source segment outside the materialized row");
-              TCB_DCHECK(
-                  src_cache.seg_row(tr.row.value())[span_begin] ==
-                      static_cast<std::int32_t>(tr.seg_index),
-                  "decode: track's source segment disagrees with the plan");
-
-              WorkspaceScope scope;
-              float* scores = scope.alloc(static_cast<std::size_t>(span));
-              for (Index j = 0; j < span; ++j) {
-                const float* kv = st.cross_k.row(row_base + span_begin + j) + head_off;
-                scores[j] = simd::dot(qv, kv, dh) * inv_sqrt;
-              }
-
-              float mx = kMaskedOut;
-              for (Index j = 0; j < span; ++j) mx = std::max(mx, scores[j]);
-              float* out = attn2.row(ai) + head_off;
-              for (Index c = 0; c < dh; ++c) out[c] = 0.0f;
-              if (mx <= kMaskedOut / 2) continue;  // empty source segment
-              float sum = 0.0f;
-              for (Index j = 0; j < span; ++j) {
-                scores[j] = std::exp(scores[j] - mx);
-                // Cross-attention sums span-relative j over the track's own
-                // source segment only — per-request chain, pinned numerics.
-                // tcb-lint: allow(raw-fp-accumulation)
-                sum += scores[j];
-              }
-              const float inv = 1.0f / sum;
-              for (Index j = 0; j < span; ++j) {
-                const float w = scores[j] * inv;
-                const float* vv =
-                    st.cross_v.row(row_base + span_begin + j) + head_off;
-                simd::axpy(w, vv, out, dh);
-              }
-            }
-          });
-      Tensor x2 = residual_norm(x1, layer.cross_attn().wo().forward(attn2),
-                                layer.ln_gamma(1), layer.ln_beta(1), layer.eps());
-
-      // ---- Feed-forward ----------------------------------------------------
-      x = residual_norm(x2, layer.ffn().forward(x2), layer.ln_gamma(2),
-                        layer.ln_beta(2), layer.eps());
-    }
-
-    // ---- Next-token selection & track bookkeeping --------------------------
-    const Tensor logits = model.output_projection().forward(x);
-    std::vector<Index> next;
-    if (opts.strategy == DecodeStrategy::kGreedy) {
-      next = argmax_rows(logits);
-    } else {
-      next.resize(static_cast<std::size_t>(a_count));
-      for (Index ai = 0; ai < a_count; ++ai) {
-        const std::size_t a = active[static_cast<std::size_t>(ai)];
-        next[static_cast<std::size_t>(ai)] =
-            sample_top_k(logits.row(ai), cfg.vocab_size, opts.top_k,
-                         opts.temperature, track_rng[a]);
-      }
-    }
+    // ---- Masked self-attention over the group's cached K/V -------------
+    const Tensor q = layer.self_attn().wq().forward(x);
+    const Tensor k_new = layer.self_attn().wk().forward(x);
+    const Tensor v_new = layer.self_attn().wv().forward(x);
     for (Index ai = 0; ai < a_count; ++ai) {
       const std::size_t a = active[static_cast<std::size_t>(ai)];
-      const Index token = next[static_cast<std::size_t>(ai)];
-      tracks[a].emitted.push_back(token);
-      const Index cap = opts.cap_at_source_length
-                            ? std::min(max_steps, tracks[a].src_len)
-                            : max_steps;
-      if (token == kEosToken ||
-          static_cast<Index>(tracks[a].emitted.size()) >= cap)
-        tracks[a].finished = true;
+      const float* krow = k_new.row(ai);
+      const float* vrow = v_new.row(ai);
+      st.k_cache[a].insert(st.k_cache[a].end(), krow, krow + d);
+      st.v_cache[a].insert(st.v_cache[a].end(), vrow, vrow + d);
+      cur_kv_bytes_ += 2 * static_cast<std::size_t>(d) * sizeof(float);
     }
+    result_.peak_kv_bytes = std::max(result_.peak_kv_bytes, cur_kv_bytes_);
 
-    // ---- Early memory cleaning (paper §4.2.2) ------------------------------
-    if (slotted && opts.early_memory_cleaning) {
-      for (auto& group : groups) {
-        if (group.released) continue;
-        const bool done = std::all_of(
-            group.members.begin(), group.members.end(),
-            [&](std::size_t m) { return tracks[m].finished; });
-        if (!done) continue;
-        for (const auto m : group.members) {
-          for (auto& st : states) {
-            const std::size_t bytes =
-                (st.k_cache[m].size() + st.v_cache[m].size()) * sizeof(float);
-            cur_kv_bytes -= bytes;
-            result.early_freed_bytes += bytes;
-            st.k_cache[m] = {};
-            st.v_cache[m] = {};
+    Tensor attn(Shape{a_count, d});
+    parallel_for(
+        static_cast<std::size_t>(a_count) * static_cast<std::size_t>(heads),
+        [&](std::size_t begin, std::size_t end) {
+          for (std::size_t task = begin; task < end; ++task) {
+            const Index ai = static_cast<Index>(task / heads);
+            const Index h = static_cast<Index>(task % heads);
+            const std::size_t a = active[static_cast<std::size_t>(ai)];
+            const Group& group = groups_[group_of_[a]];
+            const std::size_t head_off = static_cast<std::size_t>(h) * dh;
+            const float* qv = q.row(ai) + head_off;
+
+            // Score scratch from this worker's arena (rewound per task;
+            // steady-state decode steps allocate nothing).
+            std::size_t total = 0;
+            for (const auto m : group.members)
+              total += st.k_cache[m].size() / static_cast<std::size_t>(d);
+            WorkspaceScope scope;
+            float* scores = scope.alloc(total);
+            // Scores over every member's cached steps; the redundant
+            // cross-request entries are computed, then masked (paper
+            // Eq. 5-6 applied step-wise).
+            std::size_t idx = 0;
+            for (const auto m : group.members) {
+              const auto& kc = st.k_cache[m];
+              const std::size_t steps_m =
+                  kc.size() / static_cast<std::size_t>(d);
+              // Additive mask: adding kMaskedOut to a score of ordinary
+              // magnitude rounds to exactly kMaskedOut, so the foreign
+              // entries are computed (the redundancy) yet contribute
+              // exactly zero after softmax.
+              const float mask_add = m == a ? 0.0f : kMaskedOut;
+              for (std::size_t s = 0; s < steps_m; ++s) {
+                const float* kv =
+                    kc.data() + s * static_cast<std::size_t>(d) + head_off;
+                scores[idx++] = simd::dot(qv, kv, dh) * inv_sqrt + mask_add;
+              }
+            }
+
+            float mx = kMaskedOut;
+            for (std::size_t s = 0; s < total; ++s)
+              mx = std::max(mx, scores[s]);
+            float sum = 0.0f;
+            for (std::size_t s = 0; s < total; ++s) {
+              scores[s] = std::exp(scores[s] - mx);
+              // Walks only this track's own KV slot in step order — the
+              // chain is per-request and pinned by the decode equivalence
+              // tests.
+              // tcb-lint: allow(raw-fp-accumulation)
+              sum += scores[s];
+            }
+            const float inv = 1.0f / sum;
+            float* out = attn.row(ai) + head_off;
+            for (Index c = 0; c < dh; ++c) out[c] = 0.0f;
+            // Second walk over the members recovers each score's V row
+            // without a parallel pointer array (the arena only holds
+            // floats, and the walk order is identical by construction).
+            idx = 0;
+            for (const auto m : group.members) {
+              const auto& vc = st.v_cache[m];
+              const std::size_t steps_m =
+                  vc.size() / static_cast<std::size_t>(d);
+              for (std::size_t s = 0; s < steps_m; ++s)
+                simd::axpy(scores[idx++] * inv,
+                           vc.data() + s * static_cast<std::size_t>(d) +
+                               head_off,
+                           out, dh);
+            }
           }
+        });
+    Tensor x1 = residual_norm(x, layer.self_attn().wo().forward(attn),
+                              layer.ln_gamma(0), layer.ln_beta(0), layer.eps());
+
+    // ---- Cross-attention over the source span ---------------------------
+    const Tensor q2 = layer.cross_attn().wq().forward(x1);
+    Tensor attn2(Shape{a_count, d});
+    parallel_for(
+        static_cast<std::size_t>(a_count) * static_cast<std::size_t>(heads),
+        [&](std::size_t begin, std::size_t end) {
+          for (std::size_t task = begin; task < end; ++task) {
+            const Index ai = static_cast<Index>(task / heads);
+            const Index h = static_cast<Index>(task % heads);
+            const std::size_t a = active[static_cast<std::size_t>(ai)];
+            const DecodeTrack& tr = tracks_[a];
+            const std::size_t head_off = static_cast<std::size_t>(h) * dh;
+            const float* qv = q2.row(ai) + head_off;
+            const Index row_base = static_cast<Index>(
+                flat_offset(tr.row, Col{0}, memory_.width));
+
+            // Fused cross-attention mask: a track may only attend its own
+            // source segment (every other column of the row — other
+            // requests' tokens and padding — would be masked to exp == 0),
+            // so the kernel walks exactly [src_offset, src_offset +
+            // src_len) and skips the score-then-mask sweep entirely. The
+            // slotted path's slot always contains the segment.
+            const Index span_begin = tr.src_offset.value();
+            const Index span = tr.src_len;
+            TCB_DCHECK(
+                span > 0 && span_begin >= 0 &&
+                    span_begin + span <= memory_.width.value(),
+                "decode: source segment outside the materialized row");
+            // Spliced tracks are not in the formation-time plan, so the
+            // plan-derived segment table cannot vouch for them.
+            TCB_DCHECK(
+                tr.spliced ||
+                    src_cache.seg_row(tr.row.value())[span_begin] ==
+                        static_cast<std::int32_t>(tr.seg_index),
+                "decode: track's source segment disagrees with the plan");
+
+            WorkspaceScope scope;
+            float* scores = scope.alloc(static_cast<std::size_t>(span));
+            for (Index j = 0; j < span; ++j) {
+              const float* kv =
+                  st.cross_k.row(row_base + span_begin + j) + head_off;
+              scores[j] = simd::dot(qv, kv, dh) * inv_sqrt;
+            }
+
+            float mx = kMaskedOut;
+            for (Index j = 0; j < span; ++j) mx = std::max(mx, scores[j]);
+            float* out = attn2.row(ai) + head_off;
+            for (Index c = 0; c < dh; ++c) out[c] = 0.0f;
+            if (mx <= kMaskedOut / 2) continue;  // empty source segment
+            float sum = 0.0f;
+            for (Index j = 0; j < span; ++j) {
+              scores[j] = std::exp(scores[j] - mx);
+              // Cross-attention sums span-relative j over the track's own
+              // source segment only — per-request chain, pinned numerics.
+              // tcb-lint: allow(raw-fp-accumulation)
+              sum += scores[j];
+            }
+            const float inv = 1.0f / sum;
+            for (Index j = 0; j < span; ++j) {
+              const float w = scores[j] * inv;
+              const float* vv =
+                  st.cross_v.row(row_base + span_begin + j) + head_off;
+              simd::axpy(w, vv, out, dh);
+            }
+          }
+        });
+    Tensor x2 = residual_norm(x1, layer.cross_attn().wo().forward(attn2),
+                              layer.ln_gamma(1), layer.ln_beta(1), layer.eps());
+
+    // ---- Feed-forward ----------------------------------------------------
+    x = residual_norm(x2, layer.ffn().forward(x2), layer.ln_gamma(2),
+                      layer.ln_beta(2), layer.eps());
+  }
+
+  // ---- Next-token selection & track bookkeeping --------------------------
+  const Tensor logits = model_.output_projection().forward(x);
+  std::vector<Index> next;
+  if (opts_.strategy == DecodeStrategy::kGreedy) {
+    next = argmax_rows(logits);
+  } else {
+    next.resize(static_cast<std::size_t>(a_count));
+    for (Index ai = 0; ai < a_count; ++ai) {
+      const std::size_t a = active[static_cast<std::size_t>(ai)];
+      next[static_cast<std::size_t>(ai)] =
+          sample_top_k(logits.row(ai), cfg.vocab_size, opts_.top_k,
+                       opts_.temperature, track_rng_[a]);
+    }
+  }
+  for (Index ai = 0; ai < a_count; ++ai) {
+    const std::size_t a = active[static_cast<std::size_t>(ai)];
+    const Index token = next[static_cast<std::size_t>(ai)];
+    tracks_[a].emitted.push_back(token);
+    const Index cap = opts_.cap_at_source_length
+                          ? std::min(max_steps_, tracks_[a].src_len)
+                          : max_steps_;
+    if (token == kEosToken ||
+        static_cast<Index>(tracks_[a].emitted.size()) >= cap) {
+      tracks_[a].finished = true;
+      outcome.finished.push_back(tracks_[a].request_id);
+      // The track's caches stop growing now: these bytes are what an ideal
+      // per-request cleaner could reclaim from here on, whether or not the
+      // scheme's group-granular cleaning can.
+      std::size_t bytes = 0;
+      for (const auto& st : states_)
+        bytes += (st.k_cache[a].size() + st.v_cache[a].size()) * sizeof(float);
+      result_.reclaimable_kv_bytes += bytes;
+    }
+  }
+
+  // ---- Group completion: release events + early cleaning (§4.2.2) --------
+  for (auto& group : groups_) {
+    if (group.completed) continue;
+    const bool group_done =
+        std::all_of(group.members.begin(), group.members.end(),
+                    [&](std::size_t m) { return tracks_[m].finished; });
+    if (!group_done) continue;
+    group.completed = true;
+    SlotRelease rel;
+    rel.row = group.row;
+    rel.slot = group.slot;
+    rel.begin = group.begin;
+    rel.width = group.width;
+    for (const auto m : group.members)
+      rel.finished.push_back(tracks_[m].request_id);
+    outcome.released.push_back(std::move(rel));
+    if (slotted_ && opts_.early_memory_cleaning) {
+      for (const auto m : group.members) {
+        for (auto& st : states_) {
+          const std::size_t bytes =
+              (st.k_cache[m].size() + st.v_cache[m].size()) * sizeof(float);
+          cur_kv_bytes_ -= bytes;
+          result_.early_freed_bytes += bytes;
+          st.k_cache[m] = {};
+          st.v_cache[m] = {};
         }
-        group.released = true;
+      }
+      group.released = true;
+    }
+  }
+  return outcome;
+}
+
+void DecodeSession::append_track(DecodeTrack track, std::size_t group_index) {
+  tracks_.push_back(std::move(track));
+  group_of_.push_back(group_index);
+  groups_[group_index].members.push_back(tracks_.size() - 1);
+  for (auto& st : states_) {
+    st.k_cache.emplace_back();
+    st.v_cache.emplace_back();
+  }
+  if (opts_.strategy == DecodeStrategy::kTopK) {
+    const Rng base(opts_.sample_seed);
+    track_rng_.push_back(
+        base.fork(static_cast<std::uint64_t>(tracks_.back().request_id)));
+  }
+}
+
+void DecodeSession::splice(Row row, Slot slot, Col begin, Index width,
+                           const std::vector<Request>& reqs) {
+  TCB_CHECK(!reqs.empty(), "splice: empty request list");
+  TCB_CHECK(row >= Row{0} &&
+                static_cast<std::size_t>(row.value()) < memory_.plan.rows.size(),
+            "splice: row outside the plan");
+  const RowLayout& plan_row =
+      memory_.plan.rows[static_cast<std::size_t>(row.value())];
+  TCB_CHECK(width > 0 && begin.value() >= 0 &&
+                begin.value() + width <= plan_row.width,
+            "splice: span outside the row");
+  Index total_len = 0;
+  for (const auto& req : reqs) {
+    TCB_CHECK(req.length > 0 && !req.tokens.empty() &&
+                  static_cast<Index>(req.tokens.size()) == req.length,
+              "splice: request must carry its tokens");
+    total_len += req.length;
+  }
+  TCB_CHECK(total_len <= width, "splice: requests overflow the slot span");
+
+  // The span must be vacant: any group occupying this (row, slot) has to
+  // have completed. Its caches — still resident when early cleaning is off
+  // or the scheme is unslotted — are dead the moment the slot is reused, so
+  // reclaim them now (they count as freed-before-batch-completion).
+  for (auto& group : groups_) {
+    if (group.row != row) continue;
+    if (slotted_ && group.slot != slot) continue;
+    TCB_CHECK(group.completed, "splice: slot still has live decode tracks");
+    if (group.released) continue;
+    for (const auto m : group.members) {
+      for (auto& st : states_) {
+        const std::size_t bytes =
+            (st.k_cache[m].size() + st.v_cache[m].size()) * sizeof(float);
+        cur_kv_bytes_ -= bytes;
+        result_.early_freed_bytes += bytes;
+        st.k_cache[m] = {};
+        st.v_cache[m] = {};
       }
     }
+    group.released = true;
   }
 
-  for (auto& track : tracks) {
+  // Mini-encode the spliced requests alone, as one concatenated row. With
+  // separate PE + segment mask each request's encoded states are bitwise
+  // identical to a solo encode (Seq2SeqModel::encode's TCB_BITWISE
+  // contract), so splicing cannot perturb any request's numerics.
+  BatchPlan mini;
+  mini.scheme = Scheme::kConcatPure;
+  mini.row_capacity = total_len;
+  mini.slot_len = 0;
+  RowLayout mini_row;
+  mini_row.width = total_len;
+  Index cursor = 0;
+  for (const auto& req : reqs) {
+    Segment seg;
+    seg.request_id = req.id;
+    seg.offset = cursor;
+    seg.length = req.length;
+    seg.slot = 0;
+    mini_row.segments.push_back(seg);
+    cursor += req.length;
+  }
+  mini.rows.push_back(std::move(mini_row));
+
+  InferenceOptions enc_opts;
+  // Always encode the mini plan in pure-concat mode: the plan above carries
+  // no slot grid (slot_len 0), and under separate PE + segment masking the
+  // encode is bitwise identical to solo encodes in either mode anyway.
+  enc_opts.mode = AttentionMode::kPureConcat;
+  enc_opts.separate_positional_encoding = opts_.separate_positional_encoding;
+  enc_opts.mask_policy = opts_.mask_policy;
+  const EncoderMemory mini_mem =
+      model_.encode(pack_batch(mini, reqs), enc_opts);
+  TCB_CHECK(mini_mem.width.value() == total_len,
+            "splice: mini-encode width mismatch");
+
+  // Overwrite the vacated span's encoder states and per-layer cross K/V.
+  // Stale columns beyond total_len are never read: cross-attention walks
+  // exactly each track's [src_offset, src_offset + src_len).
+  const ModelConfig& cfg = model_.config();
+  const std::size_t d = static_cast<std::size_t>(cfg.d_model);
+  const std::size_t dest_base =
+      flat_offset(row, begin, memory_.width);
+  for (Index c = 0; c < total_len; ++c) {
+    std::memcpy(memory_.states.row(static_cast<Index>(dest_base) + c),
+                mini_mem.states.row(c), d * sizeof(float));
+  }
+  const auto& layers = model_.decoder_layers();
+  for (std::size_t l = 0; l < layers.size(); ++l) {
+    const Tensor ck = layers[l].cross_attn().wk().forward(mini_mem.states);
+    const Tensor cv = layers[l].cross_attn().wv().forward(mini_mem.states);
+    for (Index c = 0; c < total_len; ++c) {
+      std::memcpy(states_[l].cross_k.row(static_cast<Index>(dest_base) + c),
+                  ck.row(c), d * sizeof(float));
+      std::memcpy(states_[l].cross_v.row(static_cast<Index>(dest_base) + c),
+                  cv.row(c), d * sizeof(float));
+    }
+  }
+
+  // Admit one fresh track per request; together they form a new group over
+  // the span, so their self-attention group is exactly the spliced cohort.
+  const Slot group_slot = slotted_ ? slot : Slot{0};
+  Group g;
+  g.row = row;
+  g.slot = group_slot;
+  g.begin = begin;
+  g.width = width;
+  groups_.push_back(std::move(g));
+  const std::size_t group_index = groups_.size() - 1;
+  cursor = 0;
+  for (const auto& req : reqs) {
+    DecodeTrack t;
+    t.request_id = req.id;
+    t.row = row;
+    t.slot = group_slot;
+    t.seg_index = 0;  // not in the plan; unused for spliced tracks
+    t.src_offset = Col{begin.value() + cursor};
+    t.src_len = req.length;
+    t.spliced = true;
+    cursor += req.length;
+    append_track(std::move(t), group_index);
+  }
+}
+
+DecodeResult DecodeSession::take_result() {
+  TCB_CHECK(done(), "DecodeSession::take_result before completion");
+  for (auto& track : tracks_) {
     auto tokens = std::move(track.emitted);
     if (!tokens.empty() && tokens.back() == kEosToken) tokens.pop_back();
-    result.outputs.emplace(track.request_id, std::move(tokens));
+    result_.outputs.emplace(track.request_id, std::move(tokens));
   }
-  return result;
+  return std::move(result_);
+}
+
+DecodeResult greedy_decode(const Seq2SeqModel& model,
+                           const EncoderMemory& memory,
+                           const DecodeOptions& opts) {
+  DecodeSession session(model, memory, opts);
+  while (!session.done()) session.step();
+  return session.take_result();
 }
 
 }  // namespace tcb

@@ -1,4 +1,4 @@
-// Auto-regressive decoder with concat-aware greedy decoding.
+// Auto-regressive decoder with concat-aware, resumable decoding.
 //
 // Each request placed in the encoder batch gets a decode "track". Tracks in
 // the same row (pure ConcatBatching) or the same slot (slotted) form a group:
@@ -8,18 +8,30 @@
 // before softmax. The slotted path's groups are smaller, which is where its
 // decoder-side saving comes from.
 //
+// Decoding is driven through DecodeSession: one explicit step() per decoder
+// iteration over persistent per-track K/V cache state, so a batch can be
+// suspended between iterations, finished slots can be released to a
+// SlotAllocator, and newly-admitted requests can be spliced into vacated
+// slots mid-batch (continuous iteration-level batching, DESIGN.md §15).
+// greedy_decode() survives as the run-to-completion wrapper: construct a
+// session, step it dry, take the result — bitwise identical to the old
+// monolithic loop (tests/nn/decode_session_test.cpp freezes that).
+//
 // Early memory cleaning (paper §4.2.2): under the slotted scheme, when every
 // track of a slot has finished, that slot's K/V caches are released
 // immediately; under pure ConcatBatching request data cannot be separated
 // from the row tensor, so caches are only released when the whole batch
-// completes. The decoder accounts peak and early-freed KV bytes so the
-// difference is measurable.
+// completes. The decoder accounts peak, early-freed, and reclaimable KV
+// bytes (bytes whose track had finished but that the scheme could not free
+// early) so the difference — and the honesty gap between "could free" and
+// "did free" — is measurable per scheme.
 #pragma once
 
 #include <cstddef>
 #include <unordered_map>
 #include <vector>
 
+#include "batching/request.hpp"
 #include "nn/attention.hpp"
 #include "nn/feed_forward.hpp"
 #include "nn/model_config.hpp"
@@ -28,7 +40,15 @@
 namespace tcb {
 
 class Seq2SeqModel;
-struct EncoderMemory;
+
+/// Encoded source batch — the decoder's input. Lives here (not model.hpp)
+/// because DecodeSession owns one by value; Seq2SeqModel::encode() produces
+/// it.
+struct EncoderMemory {
+  Tensor states;   ///< (rows * width, d_model)
+  BatchPlan plan;  ///< source layout
+  Col width{0};    ///< materialized width of the encoded batch
+};
 
 class DecoderLayer {
  public:
@@ -73,6 +93,10 @@ struct DecodeTrack {
   Index src_len = 0;
   std::vector<Index> emitted;
   bool finished = false;
+  /// True for tracks admitted by DecodeSession::splice(); their source
+  /// segment is not in the formation-time plan, so plan-derived debug checks
+  /// are skipped for them.
+  bool spliced = false;
 };
 
 struct DecodeResult {
@@ -84,6 +108,13 @@ struct DecodeResult {
   std::size_t peak_kv_bytes = 0;
   /// Bytes released before the batch completed (slotted early cleaning).
   std::size_t early_freed_bytes = 0;
+  /// Bytes that *became eligible* for release before the batch completed
+  /// (their track had emitted its last token) — whether or not the scheme
+  /// could actually free them. early_freed_bytes / reclaimable_kv_bytes is
+  /// the honest per-scheme reclamation ratio: 0 for pure concat and naive
+  /// rows (caches die only with the whole batch), 1 for slotted early
+  /// cleaning at slot granularity.
+  std::size_t reclaimable_kv_bytes = 0;
 };
 
 /// Next-token selection rule.
@@ -109,9 +140,124 @@ struct DecodeOptions {
   /// "inference results of requests in a batch are generated at different
   /// time").
   bool cap_at_source_length = false;
+  /// Options for the mini-encode DecodeSession::splice() runs for spliced
+  /// requests (must match how the original batch was encoded; the defaults
+  /// are TCB's correct configuration).
+  bool separate_positional_encoding = true;
+  MaskPolicy mask_policy = MaskPolicy::kSegment;
 };
 
-/// Runs greedy decoding for every request of an encoded batch.
+/// A slot whose every track finished — vacated and ready for re-use by the
+/// continuous-batching coordinator. `begin`/`width` give the reusable column
+/// span of the row (the slot span under kSlotted, the whole row otherwise).
+struct SlotRelease {
+  Row row{0};
+  Slot slot{0};
+  Col begin{0};
+  Index width = 0;
+  std::vector<RequestId> finished;  ///< the requests that occupied it
+};
+
+/// What one decoder iteration produced, beyond the cached state.
+struct DecodeStepOutcome {
+  /// Requests that emitted their final token during this iteration.
+  std::vector<RequestId> finished;
+  /// Slots whose last track finished during this iteration (their K/V caches
+  /// are additionally freed when early cleaning is active).
+  std::vector<SlotRelease> released;
+};
+
+/// Resumable decoding over an encoded batch: one step() per decoder
+/// iteration, with slot release events out and mid-batch request splicing
+/// in. The session owns its EncoderMemory (splicing mutates the encoded
+/// states in place).
+///
+/// Driving a session to completion is bitwise identical to the frozen
+/// monolithic decode loop: token selection, KV byte accounting and step
+/// count all match exactly (tests/nn/decode_session_test.cpp). Splicing
+/// preserves the paper's concat-equivalence invariant: a spliced request's
+/// tokens are bitwise identical to decoding it alone, because its encode is
+/// span-relative and its group never mixes unmasked foreign state.
+class DecodeSession {
+ public:
+  /// `model` must outlive the session; `memory` is consumed.
+  DecodeSession(const Seq2SeqModel& model, EncoderMemory memory,
+                DecodeOptions opts);
+  ~DecodeSession();
+
+  DecodeSession(const DecodeSession&) = delete;
+  DecodeSession& operator=(const DecodeSession&) = delete;
+
+  /// True when no track is active (every emitted list is final).
+  [[nodiscard]] bool done() const noexcept;
+  /// Iterations run so far (== DecodeResult::steps at completion).
+  [[nodiscard]] Index steps() const noexcept { return step_count_; }
+  /// Live tracks, formation-time and spliced, in admission order.
+  [[nodiscard]] const std::vector<DecodeTrack>& tracks() const noexcept
+      TCB_LIFETIME_BOUND {
+    return tracks_;
+  }
+  /// K/V bytes currently resident (for occupancy reporting).
+  [[nodiscard]] std::size_t live_kv_bytes() const noexcept {
+    return cur_kv_bytes_;
+  }
+
+  /// Runs one decoder iteration over every active track. Must not be called
+  /// when done().
+  DecodeStepOutcome step();
+
+  /// Splices `reqs` into the vacated span [begin, begin + width) of `row`:
+  /// encodes them alone (separate PE, segment mask — so their states are
+  /// bitwise what any batch would produce), overwrites the span's encoder
+  /// states and cross-K/V, and admits one fresh decode track per request as
+  /// a new group. The slot must have been released (or never occupied) and
+  /// the requests' total length must fit `width`. Requests must carry
+  /// tokens.
+  void splice(Row row, Slot slot, Col begin, Index width,
+              const std::vector<Request>& reqs);
+
+  /// Final outputs and accounting; the session must be done(). Call once.
+  [[nodiscard]] DecodeResult take_result();
+
+ private:
+  struct Group {
+    std::vector<std::size_t> members;  ///< track indices
+    Row row{0};
+    Slot slot{0};
+    Col begin{0};     ///< reusable span start (column)
+    Index width = 0;  ///< reusable span width
+    bool released = false;   ///< K/V caches freed (early cleaning)
+    bool completed = false;  ///< all members finished (release event fired)
+  };
+
+  /// Per-decoder-layer mutable state.
+  struct LayerState {
+    std::vector<std::vector<float>> k_cache;  ///< per track, [step][d]
+    std::vector<std::vector<float>> v_cache;
+    Tensor cross_k;  ///< (src_rows * src_width, d), computed once
+    Tensor cross_v;
+  };
+
+  [[nodiscard]] std::vector<std::size_t> active_tracks() const;
+  void append_track(DecodeTrack track, std::size_t group_index);
+
+  const Seq2SeqModel& model_;
+  EncoderMemory memory_;
+  DecodeOptions opts_;
+  bool slotted_ = false;
+  Index max_steps_ = 0;
+  std::vector<DecodeTrack> tracks_;
+  std::vector<Group> groups_;
+  std::vector<std::size_t> group_of_;  ///< track index -> group index
+  std::vector<LayerState> states_;     ///< one per decoder layer
+  std::vector<Rng> track_rng_;         ///< kTopK per-request streams
+  std::size_t cur_kv_bytes_ = 0;
+  Index step_count_ = 0;
+  DecodeResult result_;
+};
+
+/// Runs greedy decoding for every request of an encoded batch
+/// (run-to-completion wrapper over DecodeSession).
 [[nodiscard]] DecodeResult greedy_decode(const Seq2SeqModel& model,
                                          const EncoderMemory& memory,
                                          const DecodeOptions& opts);

@@ -55,6 +55,8 @@ InferenceResult Seq2SeqModel::infer(const PackedBatch& batch,
   dopts.top_k = opts.top_k;
   dopts.temperature = opts.temperature;
   dopts.sample_seed = opts.sample_seed;
+  dopts.separate_positional_encoding = opts.separate_positional_encoding;
+  dopts.mask_policy = opts.mask_policy;
   DecodeResult dec = greedy_decode(*this, memory, dopts);
 
   InferenceResult out;
@@ -62,6 +64,7 @@ InferenceResult Seq2SeqModel::infer(const PackedBatch& batch,
   out.decode_steps = dec.steps;
   out.peak_kv_bytes = dec.peak_kv_bytes;
   out.early_freed_bytes = dec.early_freed_bytes;
+  out.reclaimable_kv_bytes = dec.reclaimable_kv_bytes;
   return out;
 }
 

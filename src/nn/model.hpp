@@ -18,11 +18,7 @@
 
 namespace tcb {
 
-struct EncoderMemory {
-  Tensor states;   ///< (rows * width, d_model)
-  BatchPlan plan;  ///< source layout
-  Col width{0};    ///< materialized width of the encoded batch
-};
+// EncoderMemory lives in nn/decoder.hpp (DecodeSession holds one by value).
 
 struct InferenceOptions {
   AttentionMode mode = AttentionMode::kPureConcat;
@@ -50,6 +46,8 @@ struct InferenceResult {
   Index decode_steps = 0;
   std::size_t peak_kv_bytes = 0;
   std::size_t early_freed_bytes = 0;
+  /// See DecodeResult::reclaimable_kv_bytes.
+  std::size_t reclaimable_kv_bytes = 0;
 };
 
 class Seq2SeqModel {

@@ -24,7 +24,14 @@ DasScheduler::DasScheduler(SchedulerConfig cfg) : Scheduler(cfg) {}
 
 std::vector<Request> DasScheduler::select_row(
     std::vector<Request>& candidates, Index* utility_dominant_count) const {
-  const Index L = cfg_.row_capacity;
+  return select_row_at_capacity(candidates, cfg_.row_capacity,
+                                utility_dominant_count);
+}
+
+std::vector<Request> DasScheduler::select_row_at_capacity(
+    std::vector<Request>& candidates, Index capacity,
+    Index* utility_dominant_count) const {
+  const Index L = capacity;
   std::vector<Request> row;
   if (utility_dominant_count != nullptr) *utility_dominant_count = 0;
   if (candidates.empty()) return row;
@@ -51,8 +58,9 @@ std::vector<Request> DasScheduler::select_row(
     prefix_len += r.length;
     ++s;
   }
-  // All candidates fit a row individually (the serving loop evicts the rest),
-  // so s >= 1 always holds here.
+  // All candidates fit the capacity individually (the serving loop evicts
+  // what exceeds L; select_for_slots pre-filters to the slot width), so
+  // s >= 1 always holds here.
 
   // Lines 9-10: utility-dominant set N^U_t = first p = eta * s requests.
   const Index p = std::clamp<Index>(
@@ -105,6 +113,55 @@ std::vector<Request> DasScheduler::select_row(
     if (!taken[i]) rest.push_back(std::move(candidates[i]));
   candidates = std::move(rest);
   return row;
+}
+
+std::vector<std::vector<Request>> DasScheduler::select_for_slots(
+    double /*now*/, const std::vector<Index>& slot_widths,
+    std::vector<Request>& pending) const {
+  std::vector<std::vector<Request>> out(slot_widths.size());
+  for (std::size_t s = 0; s < slot_widths.size(); ++s) {
+    if (pending.empty()) break;
+    const Index width = std::min(slot_widths[s], cfg_.row_capacity);
+    if (width <= 0) continue;
+    // Only candidates that fit this slot individually are considered.
+    std::vector<Request> fits;
+    std::vector<Request> rest;
+    for (auto& req : pending)
+      (req.length <= width ? fits : rest).push_back(std::move(req));
+    if (!fits.empty()) {
+      // A vacated span is held until its longest admitted request retires,
+      // so the objective here is utility *rate* — utility per occupied
+      // decode step — not raw utility as in the row fill: one span-filling
+      // request blocks the slot for its whole length where several short
+      // ones would turn it over. Greedy in utility-density order
+      // (utility / length, compared by cross-multiplication) is the
+      // knapsack heuristic for that, with deterministic tie-breaks.
+      std::sort(fits.begin(), fits.end(),
+                [](const Request& a, const Request& b) {
+                  const double da =
+                      a.utility() * static_cast<double>(b.length);
+                  const double db =
+                      b.utility() * static_cast<double>(a.length);
+                  if (da != db) return da > db;
+                  if (a.deadline != b.deadline) return a.deadline < b.deadline;
+                  return a.id < b.id;
+                });
+      Index used = 0;
+      std::vector<Request> unpicked;
+      for (auto& req : fits) {
+        if (used + req.length <= width) {
+          used += req.length;
+          out[s].push_back(std::move(req));
+        } else {
+          unpicked.push_back(std::move(req));
+        }
+      }
+      fits = std::move(unpicked);
+    }
+    for (auto& req : fits) rest.push_back(std::move(req));  // unpicked return
+    pending = std::move(rest);
+  }
+  return out;
 }
 
 Selection DasScheduler::select(double /*now*/,

@@ -30,6 +30,23 @@ class DasScheduler final : public Scheduler {
   /// the utility-dominant prefix via `utility_dominant_count`.
   [[nodiscard]] std::vector<Request> select_row(
       std::vector<Request>& candidates, Index* utility_dominant_count) const;
+
+  /// The same Algorithm 1 fill at an arbitrary capacity — the slot-sized
+  /// variant select_for_slots drives against vacated spans. Every candidate
+  /// must fit `capacity` individually (that is what keeps the s_tk >= 1
+  /// invariant of the saturating prefix at capacities below L).
+  [[nodiscard]] std::vector<Request> select_row_at_capacity(
+      std::vector<Request>& candidates, Index capacity,
+      Index* utility_dominant_count) const;
+
+  /// Slot-span backfill for continuous batching: for each vacated slot, the
+  /// candidates that fit it individually are packed greedily in utility-rate
+  /// order (utility per occupied decode step) — the span is held until its
+  /// longest admitted request retires, so utility density, not raw utility,
+  /// is the right per-span objective.
+  [[nodiscard]] std::vector<std::vector<Request>> select_for_slots(
+      double now, const std::vector<Index>& slot_widths,
+      std::vector<Request>& pending) const override;
 };
 
 }  // namespace tcb

@@ -20,6 +20,41 @@ void SchedulerConfig::validate() const {
 
 Scheduler::Scheduler(SchedulerConfig cfg) : cfg_(cfg) { cfg_.validate(); }
 
+std::vector<std::vector<Request>> Scheduler::select_for_slots(
+    double /*now*/, const std::vector<Index>& slot_widths,
+    std::vector<Request>& pending) const {
+  std::vector<std::vector<Request>> out(slot_widths.size());
+  if (pending.empty() || slot_widths.empty()) return out;
+
+  // Greedy first-fit in utility order (v_n = w_n/l_n non-increasing, ties by
+  // id): the highest-utility request lands in the first slot it fits.
+  std::sort(pending.begin(), pending.end(),
+            [](const Request& a, const Request& b) {
+              const double ua = a.utility();
+              const double ub = b.utility();
+              if (ua != ub) return ua > ub;
+              return a.id < b.id;
+            });
+  std::vector<Index> remaining = slot_widths;
+  std::vector<Request> leftover;
+  leftover.reserve(pending.size());
+  for (auto& req : pending) {
+    std::size_t dest = remaining.size();
+    for (std::size_t s = 0; s < remaining.size(); ++s) {
+      if (req.length > remaining[s]) continue;
+      remaining[s] -= req.length;
+      dest = s;
+      break;
+    }
+    if (dest < remaining.size())
+      out[dest].push_back(std::move(req));
+    else
+      leftover.push_back(std::move(req));
+  }
+  pending = std::move(leftover);
+  return out;
+}
+
 std::vector<Request> evict_unschedulable(double now, Index row_capacity,
                                          std::vector<Request>& pending) {
   std::vector<Request> failed;

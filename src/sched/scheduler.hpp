@@ -43,6 +43,21 @@ class Scheduler {
   [[nodiscard]] virtual Selection select(
       double now, const std::vector<Request>& pending) const = 0;
 
+  /// Continuous-batching entry point (DESIGN.md §15): picks requests for a
+  /// set of *vacated slot spans* of a live batch rather than for fresh rows.
+  /// `slot_widths[i]` is the token capacity of the i-th vacant slot; the
+  /// result has one (possibly empty) admission list per slot, each list's
+  /// total length within its slot's width. Picked requests are removed from
+  /// `pending`; the survivors' order is unspecified (the serving loop
+  /// re-sorts its pending pool canonically after every scheduler call).
+  ///
+  /// Default: greedy first-fit in utility order — the natural baseline for
+  /// schedulers without a slot-aware policy. DAS-family schedulers override
+  /// this with Algorithm 1 run per slot at the slot's capacity.
+  [[nodiscard]] virtual std::vector<std::vector<Request>> select_for_slots(
+      double now, const std::vector<Index>& slot_widths,
+      std::vector<Request>& pending) const;
+
   [[nodiscard]] const SchedulerConfig& config() const noexcept
       TCB_LIFETIME_BOUND {
     return cfg_;

@@ -27,4 +27,10 @@ Selection SlottedDasScheduler::select(
   return sel;
 }
 
+std::vector<std::vector<Request>> SlottedDasScheduler::select_for_slots(
+    double now, const std::vector<Index>& slot_widths,
+    std::vector<Request>& pending) const {
+  return das_.select_for_slots(now, slot_widths, pending);
+}
+
 }  // namespace tcb

@@ -17,6 +17,13 @@ class SlottedDasScheduler final : public Scheduler {
   [[nodiscard]] Selection select(
       double now, const std::vector<Request>& pending) const override;
 
+  /// Mid-batch splicing admits into *existing* slots, whose size was fixed
+  /// when the batch formed — so slotted-DAS delegates straight to DAS at
+  /// each slot's width (there is no slot size left to choose).
+  [[nodiscard]] std::vector<std::vector<Request>> select_for_slots(
+      double now, const std::vector<Index>& slot_widths,
+      std::vector<Request>& pending) const override;
+
  private:
   DasScheduler das_;
 };

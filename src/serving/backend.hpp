@@ -57,6 +57,55 @@ struct BatchExecution {
   std::vector<Response> responses;
   std::size_t peak_kv_bytes = 0;
   std::size_t early_freed_bytes = 0;
+  /// See DecodeResult::reclaimable_kv_bytes.
+  std::size_t reclaimable_kv_bytes = 0;
+};
+
+/// One batch being executed one decoder iteration at a time — the execution
+/// half of continuous batching (DESIGN.md §15). Obtained from
+/// ExecutionBackend::begin_stepped(); the pipeline's coordinator alternates
+/// step() with slot releases and splice() admissions, then collects the
+/// batch's outputs with finish().
+///
+/// Not thread-safe: one coordinator drives a given execution; concurrency
+/// comes from the engine's own intra-step parallelism (and, in simulation,
+/// from interleaving many executions on one coordinator).
+class SteppedExecution {
+ public:
+  virtual ~SteppedExecution() = default;
+
+  struct StepResult {
+    /// Simulated-time price of this iteration (step overhead + active-track
+    /// flops at the hardware's utilization for that activity).
+    double seconds = 0;
+    /// Requests that emitted their final token during this iteration.
+    std::vector<RequestId> finished;
+    /// Slots whose last track finished during this iteration.
+    std::vector<SlotRelease> released;
+  };
+
+  /// Simulated-time price paid before the first step (encoder + batch
+  /// launch overhead).
+  [[nodiscard]] virtual double prologue_seconds() const = 0;
+
+  /// True when every track (original and spliced) has finished.
+  [[nodiscard]] virtual bool done() const = 0;
+
+  /// Runs one decoder iteration. Must not be called when done().
+  [[nodiscard]] virtual StepResult step() = 0;
+
+  /// Splices `reqs` into the vacated span [begin, begin + width) of `row`
+  /// (previously surfaced by a StepResult::released entry, or vacant from
+  /// formation). Returns any immediate simulated-time price; the built-in
+  /// backends return 0 and instead stage the cohort's prefill flops into the
+  /// next step()'s fused iteration kernel (SplicePrefill). The requests'
+  /// total length must fit `width`.
+  [[nodiscard]] virtual double splice(Row row, Slot slot, Col begin,
+                                      Index width,
+                                      std::vector<Request> reqs) = 0;
+
+  /// Final outputs + accounting; call once, when done().
+  [[nodiscard]] virtual BatchExecution finish() = 0;
 };
 
 class ExecutionBackend {
@@ -76,6 +125,15 @@ class ExecutionBackend {
   /// True when execute() does real work worth running concurrently; the
   /// pipeline then dispatches it to the thread pool in multi-worker mode.
   [[nodiscard]] virtual bool offload() const noexcept { return false; }
+
+  /// Starts iteration-level execution of one batch, or returns nullptr when
+  /// this backend cannot step it (the pipeline's continuous mode requires
+  /// non-null). Default: unsupported.
+  [[nodiscard]] virtual std::unique_ptr<SteppedExecution> begin_stepped(
+      const BatchWork& work) const {
+    (void)work;
+    return nullptr;
+  }
 
   /// Rejects traces this backend cannot execute. Called once per run,
   /// before any request is admitted.
@@ -98,6 +156,13 @@ class AnalyticalBackend final : public ExecutionBackend {
     (void)work;
     return {};
   }
+  /// Stepped simulation: prices each iteration with the analytical model's
+  /// decode_step_cost over simulated track states (translation-style decode
+  /// lengths), emitting slot releases as modeled tracks retire. Requires the
+  /// wrapped CostModel to be the AnalyticalCostModel; returns nullptr for
+  /// other cost models.
+  [[nodiscard]] std::unique_ptr<SteppedExecution> begin_stepped(
+      const BatchWork& work) const override;
 
  private:
   const CostModel& cost_;
@@ -121,6 +186,13 @@ class EngineBackend final : public ExecutionBackend {
   [[nodiscard]] BatchExecution execute(const BatchWork& work) const override;
   [[nodiscard]] bool offload() const noexcept override { return true; }
   void validate_trace(const std::vector<Request>& trace) const override;
+  /// Real stepped execution over a DecodeSession, priced per iteration with
+  /// the analytical clock's decode_step_cost over the session's *actual*
+  /// track activity — so the virtual clock sees exactly the work the engine
+  /// did, partial batches included. Returns nullptr in classification mode
+  /// (encoder-only serving has no decode loop to step).
+  [[nodiscard]] std::unique_ptr<SteppedExecution> begin_stepped(
+      const BatchWork& work) const override;
 
  private:
   std::shared_ptr<const Seq2SeqModel> model_;

@@ -14,6 +14,121 @@ AnalyticalCostModel::AnalyticalCostModel(ModelConfig model, HardwareProfile hw)
   model_.validate();
 }
 
+std::vector<StepTrackState> AnalyticalCostModel::decode_track_states(
+    const BatchPlan& plan) const {
+  std::vector<StepTrackState> tracks;
+  if (plan.empty()) return tracks;
+  const Index width = plan.max_width();
+  const bool slotted = plan.scheme == Scheme::kConcatSlotted;
+  const bool concat = slotted || plan.scheme == Scheme::kConcatPure;
+  // Translation-style assumption: each request decodes as many tokens as its
+  // input length. Naive/turbo keep the whole rectangular tensor stepping
+  // until the longest row finishes; concat tracks retire individually.
+  for (const auto& row : plan.rows) {
+    for (const auto& seg : row.segments) {
+      StepTrackState st;
+      st.decode_len = concat ? seg.length : width;
+      if (slotted)
+        st.context = static_cast<double>(plan.effective_slot_len(row));
+      else if (concat)
+        st.context = static_cast<double>(row.width);
+      else
+        st.context = static_cast<double>(width);  // rectangular padded tensor
+      tracks.push_back(st);
+    }
+  }
+  return tracks;
+}
+
+DecodeStepCost AnalyticalCostModel::decode_step_cost(
+    const std::vector<StepTrackState>& tracks,
+    const SplicePrefill& staged) const {
+  const double d = static_cast<double>(model_.d_model);
+  const double dff = static_cast<double>(model_.d_ff);
+  const double dh = static_cast<double>(model_.head_dim());
+  const double heads = static_cast<double>(model_.n_heads);
+  const double vocab = static_cast<double>(model_.vocab_size);
+  const double n_dec = static_cast<double>(model_.n_decoder_layers);
+  // Per generated token: self qkv+o (8 d^2) + cross q,o (4 d^2) + FFN, plus
+  // the final vocabulary projection.
+  const double per_token_lin =
+      n_dec * (12.0 * d * d + 4.0 * d * dff) + 2.0 * d * vocab;
+  const double attn_entry_flops = heads * (4.0 * dh + 4.0);
+
+  DecodeStepCost cost;
+  double attn_flops = 0.0;
+  for (const auto& track : tracks) {
+    if (track.finished()) continue;
+    cost.active += 1.0;
+    // Self-attention over the cached group context (grows with the track's
+    // position, bounded by the context width) + cross-attention over the
+    // source span.
+    const double self_ctx =
+        std::min(static_cast<double>(track.steps_done + 1), track.context);
+    attn_flops += n_dec * attn_entry_flops * (self_ctx + track.context);
+  }
+  if (cost.active == 0.0) return cost;
+  // Fused kernel: the decode tokens plus any staged spliced prefill run as
+  // one launch, so the prefill both shares the step's overhead and lifts the
+  // utilization every token in the kernel sees. With an empty staging the
+  // added zeros leave the plain decode pricing bit-identical.
+  const double step_flops = cost.active * per_token_lin + attn_flops +
+                            staged.linear_flops + staged.attention_flops;
+  cost.linear_flops = cost.active * per_token_lin + staged.linear_flops;
+  cost.attention_flops = attn_flops + staged.attention_flops;
+  const double in_flight = cost.active + staged.tokens;
+  cost.seconds = hw_.step_overhead +
+                 step_flops / (hw_.peak_flops * hw_.utilization(in_flight));
+  return cost;
+}
+
+double AnalyticalCostModel::encode_seconds(const BatchPlan& plan) const {
+  if (plan.empty()) return 0.0;
+  const double d = static_cast<double>(model_.d_model);
+  const double dff = static_cast<double>(model_.d_ff);
+  const double dh = static_cast<double>(model_.head_dim());
+  const double heads = static_cast<double>(model_.n_heads);
+  const double n_enc = static_cast<double>(model_.n_encoder_layers);
+  const Index width = plan.max_width();
+  const double rows = static_cast<double>(plan.rows.size());
+  const double lin_tokens = rows * static_cast<double>(width);
+  const bool slotted = plan.scheme == Scheme::kConcatSlotted;
+  // Projections (Q,K,V,O = 4 GEMMs) + FFN per materialized token.
+  const double lin_flops = lin_tokens * n_enc * (8.0 * d * d + 4.0 * d * dff);
+  // Attention over exactly the score entries the mode computes.
+  const double entries = static_cast<double>(score_entries(
+      plan, Col{width},
+      slotted ? AttentionMode::kSlotted : AttentionMode::kPureConcat));
+  const double attn_flops = n_enc * entries * heads * (4.0 * dh + 4.0);
+  double seconds = lin_flops + attn_flops;
+  seconds /= hw_.peak_flops * hw_.utilization(lin_tokens);
+  return seconds;
+}
+
+SplicePrefill AnalyticalCostModel::splice_prefill(Index total_len) const {
+  SplicePrefill out;
+  if (total_len <= 0) return out;
+  const double d = static_cast<double>(model_.d_model);
+  const double dff = static_cast<double>(model_.d_ff);
+  const double dh = static_cast<double>(model_.head_dim());
+  const double heads = static_cast<double>(model_.n_heads);
+  const double n_enc = static_cast<double>(model_.n_encoder_layers);
+  const double n_dec = static_cast<double>(model_.n_decoder_layers);
+  const double tokens = static_cast<double>(total_len);
+  // Single-row mini-encode: full-row attention (the spliced cohort is one
+  // pure-concat row) + the spliced span's cross-K/V projection into the live
+  // session's layer states. Pricing a dedicated launch at mini-row-alone
+  // utilization would make every splice cost more than a full
+  // run-to-completion service and defeat continuous batching outright;
+  // instead the backend stages this bill and decode_step_cost fuses it into
+  // the next iteration's kernel.
+  out.tokens = tokens;
+  out.linear_flops = tokens * n_enc * (8.0 * d * d + 4.0 * d * dff) +
+                     tokens * n_dec * 4.0 * d * d;
+  out.attention_flops = n_enc * tokens * tokens * heads * (4.0 * dh + 4.0);
+  return out;
+}
+
 CostBreakdown AnalyticalCostModel::breakdown(const BatchPlan& plan) const {
   CostBreakdown out;
   if (plan.empty()) return out;
@@ -22,7 +137,6 @@ CostBreakdown AnalyticalCostModel::breakdown(const BatchPlan& plan) const {
   const double dff = static_cast<double>(model_.d_ff);
   const double dh = static_cast<double>(model_.head_dim());
   const double heads = static_cast<double>(model_.n_heads);
-  const double vocab = static_cast<double>(model_.vocab_size);
   const double n_enc = static_cast<double>(model_.n_encoder_layers);
   const double n_dec = static_cast<double>(model_.n_decoder_layers);
 
@@ -30,66 +144,30 @@ CostBreakdown AnalyticalCostModel::breakdown(const BatchPlan& plan) const {
   const double rows = static_cast<double>(plan.rows.size());
   const double lin_tokens = rows * static_cast<double>(width);
   const bool slotted = plan.scheme == Scheme::kConcatSlotted;
-  const bool concat = slotted || plan.scheme == Scheme::kConcatPure;
 
   // --- Encoder -------------------------------------------------------------
-  // Projections (Q,K,V,O = 4 GEMMs) + FFN per materialized token.
+  // Flops recomputed here (encode_seconds only returns time); same formulas.
   out.encoder_linear_flops = lin_tokens * n_enc * (8.0 * d * d + 4.0 * d * dff);
-  // Attention over exactly the score entries the mode computes.
   const double entries = static_cast<double>(score_entries(
       plan, Col{width}, slotted ? AttentionMode::kSlotted : AttentionMode::kPureConcat));
   out.encoder_attention_flops = n_enc * entries * heads * (4.0 * dh + 4.0);
-  out.encoder_seconds = out.encoder_linear_flops + out.encoder_attention_flops;
-  out.encoder_seconds /= hw_.peak_flops * hw_.utilization(lin_tokens);
+  out.encoder_seconds = encode_seconds(plan);
 
-  // --- Decoder ---------------------------------------------------------------
-  // Translation-style assumption: each request decodes as many tokens as its
-  // input length. Naive/turbo keep the whole rectangular tensor stepping
-  // until the longest row finishes; concat tracks retire individually.
-  // Per generated token: self qkv+o (8 d^2) + cross q,o (4 d^2) + FFN,
-  // plus the per-batch cross K/V projection of the encoder memory and the
-  // final vocabulary projection.
-  const double per_token_lin =
-      n_dec * (12.0 * d * d + 4.0 * d * dff) + 2.0 * d * vocab;
+  // --- Decoder -------------------------------------------------------------
+  // Stepped: price each iteration with decode_step_cost until every track
+  // retires — the identical loop continuous batching drives one event at a
+  // time, so run-to-completion and stepped pricing agree bit-for-bit.
   out.decoder_linear_flops += lin_tokens * n_dec * 4.0 * d * d;  // cross K/V
-
-  // Per-track decode length and attention context width.
-  std::vector<Index> track_len;
-  std::vector<double> track_ctx;
-  for (const auto& row : plan.rows) {
-    for (const auto& seg : row.segments) {
-      track_len.push_back(concat ? seg.length : width);
-      double ctx;
-      if (slotted)
-        ctx = static_cast<double>(plan.effective_slot_len(row));
-      else if (concat)
-        ctx = static_cast<double>(row.width);
-      else
-        ctx = static_cast<double>(width);  // rectangular padded tensor
-      track_ctx.push_back(ctx);
-    }
-  }
-
-  const Index max_steps = *std::max_element(track_len.begin(), track_len.end());
-  const double attn_entry_flops = heads * (4.0 * dh + 4.0);
+  std::vector<StepTrackState> tracks = decode_track_states(plan);
   double dec_seconds = 0.0;
-  for (Index t = 0; t < max_steps; ++t) {
-    double active = 0.0;
-    double attn_flops = 0.0;
-    for (std::size_t i = 0; i < track_len.size(); ++i) {
-      if (track_len[i] <= t) continue;
-      active += 1.0;
-      // Self-attention over the cached group context (grows with t, bounded
-      // by the context width) + cross-attention over the source span.
-      const double self_ctx = std::min(static_cast<double>(t + 1), track_ctx[i]);
-      attn_flops += n_dec * attn_entry_flops * (self_ctx + track_ctx[i]);
-    }
-    if (active == 0.0) break;
-    const double step_flops = active * per_token_lin + attn_flops;
-    out.decoder_linear_flops += active * per_token_lin;
-    out.decoder_attention_flops += attn_flops;
-    dec_seconds += hw_.step_overhead +
-                   step_flops / (hw_.peak_flops * hw_.utilization(active));
+  for (;;) {
+    const DecodeStepCost step = decode_step_cost(tracks);
+    if (step.active == 0.0) break;
+    out.decoder_linear_flops += step.linear_flops;
+    out.decoder_attention_flops += step.attention_flops;
+    dec_seconds += step.seconds;
+    for (auto& track : tracks)
+      if (!track.finished()) track.steps_done += 1;
   }
   out.decoder_seconds = dec_seconds;
   out.overhead_seconds = hw_.batch_overhead;

@@ -77,12 +77,82 @@ struct CostBreakdown {
   }
 };
 
+/// State of one decode track as the analytical model steps it — the priced
+/// mirror of a DecodeSession track. `decode_len` is how many tokens the
+/// track will emit (the model's translation-style assumption: as many as its
+/// input length; a full rectangular width for naive/turbo, which is exactly
+/// their waste), `context` the attention context width its scheme pays for.
+struct StepTrackState {
+  Index decode_len = 0;
+  Index steps_done = 0;
+  double context = 0;
+
+  [[nodiscard]] bool finished() const noexcept {
+    return steps_done >= decode_len;
+  }
+};
+
+/// Price of one decoder iteration over a set of (possibly partially
+/// finished) tracks — the unit continuous batching schedules around.
+struct DecodeStepCost {
+  double seconds = 0;          ///< step_overhead + flops at util(active)
+  double linear_flops = 0;
+  double attention_flops = 0;
+  double active = 0;           ///< tracks that decoded this step
+};
+
+/// Flop bill of a spliced cohort's prefill (mini-encode + cross-K/V
+/// projection), staged by SteppedExecution::splice and fused into the next
+/// decode iteration's kernel — the Orca-style piggyback: the prefill pays no
+/// launch of its own and *raises* the fused kernel's utilization instead of
+/// running as a tiny low-utilization kernel on the side.
+struct SplicePrefill {
+  double tokens = 0;           ///< source tokens entering the fused kernel
+  double linear_flops = 0;
+  double attention_flops = 0;
+
+  [[nodiscard]] bool empty() const noexcept { return tokens == 0.0; }
+};
+
 class AnalyticalCostModel final : public CostModel {
  public:
   AnalyticalCostModel(ModelConfig model, HardwareProfile hw);
 
   [[nodiscard]] double batch_seconds(const BatchPlan& plan) const override;
   [[nodiscard]] CostBreakdown breakdown(const BatchPlan& plan) const;
+
+  // Stepped pricing — the decomposition continuous batching drives.
+  // breakdown() is implemented on top of these with identical floating-point
+  // operation order, so batch_seconds(plan) ==
+  //   encode_seconds(plan) + batch_overhead + sum of decode_step_cost(...)
+  // exactly (the pipeline equivalence tests compare with EXPECT_DOUBLE_EQ).
+
+  /// Track states for a freshly formed plan, in plan traversal order (rows,
+  /// then segments) — index-aligned with DecodeSession::tracks().
+  [[nodiscard]] std::vector<StepTrackState> decode_track_states(
+      const BatchPlan& plan) const;
+
+  /// Price of running one decoder iteration over `tracks` *now* (does not
+  /// advance steps_done; the caller owns track state). active == 0 means
+  /// every track finished and the step would be a no-op costing nothing.
+  /// `staged` fuses a spliced cohort's prefill into this iteration's kernel:
+  /// its flops join the step's flops and its tokens join the in-flight count
+  /// the utilization curve sees (with an empty staging the pricing is
+  /// bit-identical to the plain decode step).
+  [[nodiscard]] DecodeStepCost decode_step_cost(
+      const std::vector<StepTrackState>& tracks,
+      const SplicePrefill& staged = {}) const;
+
+  /// Encoder price of a plan (GEMM + mode-exact attention entries), without
+  /// the per-batch overhead.
+  [[nodiscard]] double encode_seconds(const BatchPlan& plan) const;
+
+  /// Flop bill of splicing requests totalling `total_len` source tokens into
+  /// a live batch: a single-row mini-encode (full-row attention over the
+  /// cohort) plus the spliced span's cross-K/V projection. Not priced in
+  /// seconds here — the backend stages it and the next decode_step_cost call
+  /// fuses it into the iteration kernel.
+  [[nodiscard]] SplicePrefill splice_prefill(Index total_len) const;
 
   [[nodiscard]] const HardwareProfile& hardware() const noexcept
       TCB_LIFETIME_BOUND {

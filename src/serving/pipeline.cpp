@@ -1,6 +1,7 @@
 #include "serving/pipeline.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <memory>
 #include <stdexcept>
 #include <unordered_map>
@@ -8,6 +9,7 @@
 #include <utility>
 
 #include "batching/factory.hpp"
+#include "batching/slot_allocator.hpp"
 #include "parallel/sync.hpp"
 #include "parallel/task_group.hpp"
 #include "parallel/thread_pool.hpp"
@@ -86,6 +88,9 @@ std::string ServingReport::summary() const {
   }
   if (backpressure_events != 0)
     out += " backpressure=" + std::to_string(backpressure_events);
+  if (spliced_requests != 0 || slot_releases != 0)
+    out += " spliced=" + std::to_string(spliced_requests) +
+           " releases=" + std::to_string(slot_releases);
   return out;
 }
 
@@ -103,6 +108,7 @@ ServingPipeline::ServingPipeline(const Scheduler& scheduler,
 }
 
 PipelineResult ServingPipeline::run(const std::vector<Request>& trace) const {
+  if (cfg_.continuous) return run_continuous(trace);
   backend_.validate_trace(trace);
 
   const SchedulerConfig& sched_cfg = scheduler_.config();
@@ -279,6 +285,302 @@ PipelineResult ServingPipeline::run(const std::vector<Request>& trace) const {
   for (auto& exec : executions) {
     result.peak_kv_bytes = std::max(result.peak_kv_bytes, exec.peak_kv_bytes);
     result.early_freed_bytes += exec.early_freed_bytes;
+    result.reclaimable_kv_bytes += exec.reclaimable_kv_bytes;
+    for (auto& resp : exec.responses) {
+      const auto& times = service_times.at(resp.id);  // throws on unknown id
+      resp.scheduled_at = times.first;
+      resp.completed_at = times.second;
+      result.responses.push_back(std::move(resp));
+    }
+  }
+  std::sort(result.responses.begin(), result.responses.end(),
+            [](const Response& a, const Response& b) { return a.id < b.id; });
+
+  const double horizon = std::max(report.makespan, trace_end);
+  report.throughput =
+      horizon > 0.0 ? static_cast<double>(report.completed) / horizon : 0.0;
+  return result;
+}
+
+PipelineResult ServingPipeline::run_continuous(
+    const std::vector<Request>& trace) const {
+  backend_.validate_trace(trace);
+
+  const SchedulerConfig& sched_cfg = scheduler_.config();
+  PipelineResult result;
+  ServingReport& report = result.report;
+  report.scheduler = scheduler_.name();
+  report.scheme = scheme_name(cfg_.scheme);
+  report.arrived = trace.size();
+  report.worker_busy_seconds.assign(cfg_.workers, 0.0);
+
+  double trace_end = 0.0;
+  for (const auto& req : trace) trace_end = std::max(trace_end, req.arrival);
+
+  RequestQueue admission(cfg_.admission_capacity);
+
+  /// One batch mid-decode on a worker: its stepped execution, the slot grid
+  /// tracking which spans are live, and running per-batch accounting.
+  struct LiveBatch {
+    std::unique_ptr<SteppedExecution> exec;
+    std::unique_ptr<SlotAllocator> slots;
+    double seconds = 0.0;       ///< accumulated simulated batch time
+    std::size_t requests = 0;   ///< placed at formation + spliced
+    std::size_t steps = 0;      ///< decode iterations run so far
+    /// Whether the plan filled enough of the grid to be worth keeping alive
+    /// via splices (PipelineConfig::splice_min_fill); under-filled batches
+    /// drain and retire instead.
+    bool splice_eligible = false;
+  };
+  std::vector<LiveBatch> live(cfg_.workers);
+
+  // A worker's entry is the simulated time of its next event: the end of its
+  // current decode iteration when a batch is live, the moment it can form a
+  // batch when idle, kIdleForever when it has nothing left to do.
+  constexpr double kIdleForever = std::numeric_limits<double>::infinity();
+  std::vector<double> worker_free(cfg_.workers, 0.0);
+  std::size_t next_arrival = 0;
+  std::vector<Request> pending;  ///< drained, unscheduled; (arrival, id) order
+  std::unordered_map<RequestId, std::pair<double, double>> service_times;
+  std::unordered_map<RequestId, double> arrival_of;  ///< for latency at finish
+  std::vector<BatchExecution> executions;
+  bool stop = false;
+
+  // Stage 1 (admission), shared by batch formation and splicing: pull every
+  // arrival up to `now` through the bounded queue, restore canonical pending
+  // order, evict what expired or can never fit.
+  const auto admit_until = [&](double now) {
+    const double admission_t0 = clock_.now();
+    while (next_arrival < trace.size() &&
+           trace[next_arrival].arrival <= now) {
+      if (!admission.try_push(trace[next_arrival])) {
+        ++report.backpressure_events;
+        drain_admission(admission, pending);
+        TCB_CHECK(admission.try_push(trace[next_arrival]),
+                  "ServingPipeline: admission queue full after drain");
+      }
+      ++next_arrival;
+    }
+    report.admission_queue_depth.add(static_cast<double>(admission.size()));
+    drain_admission(admission, pending);
+    report.failed +=
+        evict_unschedulable(now, sched_cfg.row_capacity, pending).size();
+    report.admission_seconds += clock_.now() - admission_t0;
+  };
+
+  // A request is accounted (utility, completed, service start) the moment it
+  // enters a batch — at formation or at splice; its completion time is
+  // stamped later, at the iteration that emits its final token.
+  const auto account_admitted = [&](const Request& req, double at) {
+    report.total_utility += req.utility();
+    ++report.completed;
+    service_times.emplace(req.id, std::make_pair(at, 0.0));
+    arrival_of.emplace(req.id, req.arrival);
+  };
+
+  while (true) {
+    const auto idle_it =
+        std::min_element(worker_free.begin(), worker_free.end());
+    const std::size_t worker =
+        static_cast<std::size_t>(idle_it - worker_free.begin());
+    const double now = *idle_it;
+    if (now == kIdleForever) break;  // every worker is out of work
+    LiveBatch& batch = live[worker];
+
+    if (batch.exec != nullptr) {
+      // ---- Step event: the worker's batch finished an iteration ---------
+      if (batch.exec->done()) {
+        executions.push_back(batch.exec->finish());
+        report.batch_seconds.add(batch.seconds);
+        report.batch_requests.add(static_cast<double>(batch.requests));
+        batch = LiveBatch{};  // idle again at `now`; forms next batch
+        continue;
+      }
+      const double exec_t0 = clock_.now();
+      const SteppedExecution::StepResult step = batch.exec->step();
+      report.execute_seconds += clock_.now() - exec_t0;
+      batch.steps += 1;
+      const double step_end = now + step.seconds;
+      for (const RequestId id : step.finished) {
+        service_times.at(id).second = step_end;
+        report.latency.add(step_end - arrival_of.at(id));
+      }
+      for (const SlotRelease& rel : step.released) {
+        batch.slots->release(rel.row, rel.slot);
+        ++report.slot_releases;
+      }
+
+      // ---- Mid-batch splicing (DESIGN.md §15): re-run DAS over the vacant
+      // spans and admit what fits, paying each span's mini-encode.
+      double completion = step_end;
+      const bool within_horizon = cfg_.splice_horizon_steps == 0 ||
+                                  batch.steps < cfg_.splice_horizon_steps;
+      const std::vector<SlotSpan> vacant = batch.slots->vacant();
+      if (!stop && batch.splice_eligible && within_horizon && !vacant.empty()) {
+        admit_until(step_end);
+        // Admission post-condition (evict_unschedulable's sanitizer),
+        // re-asserted on the continuous path before any batch-geometry
+        // arithmetic consumes the surviving requests.
+        for (const Request& req : pending)
+          TCB_DCHECK(req.length >= 1 &&
+                         req.length <= sched_cfg.row_capacity &&
+                         req.deadline >= step_end,
+                     "run_continuous: unvalidated request after admission");
+        // Geometry-mismatch drain: when most of what is waiting cannot fit
+        // this batch's widest span, stop splicing and let it retire so the
+        // next formation re-adapts the slot geometry to the arrivals.
+        if (cfg_.splice_misfit_drain > 0.0 && pending.size() >= 8) {
+          const Index widest = batch.slots->max_span_width();
+          std::size_t misfits = 0;
+          for (const auto& req : pending)
+            if (req.length > widest) ++misfits;
+          if (static_cast<double>(misfits) >=
+              cfg_.splice_misfit_drain * static_cast<double>(pending.size()))
+            batch.splice_eligible = false;
+        }
+        if (batch.splice_eligible && !pending.empty()) {
+          std::vector<Index> widths;
+          widths.reserve(vacant.size());
+          for (const auto& span : vacant) widths.push_back(span.width);
+          const double select_t0 = clock_.now();
+          std::vector<std::vector<Request>> picks =
+              scheduler_.select_for_slots(step_end, widths, pending);
+          report.scheduler_seconds += clock_.now() - select_t0;
+          // select_for_slots leaves survivor order unspecified; restore the
+          // canonical (arrival, id) order the next decision depends on.
+          std::sort(pending.begin(), pending.end(),
+                    [](const Request& a, const Request& b) {
+                      if (a.arrival != b.arrival) return a.arrival < b.arrival;
+                      return a.id < b.id;
+                    });
+          for (std::size_t s = 0; s < picks.size(); ++s) {
+            if (picks[s].empty()) continue;
+            const SlotSpan& span = vacant[s];
+            TCB_CHECK(batch.slots->acquire(span.row, span.slot),
+                      "ServingPipeline: spliced into an occupied slot");
+            for (const auto& req : picks[s]) {
+              account_admitted(req, step_end);
+              ++report.spliced_requests;
+              ++batch.requests;
+            }
+            const double splice_t0 = clock_.now();
+            completion += batch.exec->splice(span.row, span.slot, span.begin,
+                                             span.width, std::move(picks[s]));
+            report.execute_seconds += clock_.now() - splice_t0;
+          }
+        }
+      }
+      report.slot_occupancy.add(batch.slots->occupied_fraction());
+
+      const double delta = completion - now;
+      batch.seconds += delta;
+      report.busy_seconds += delta;
+      report.worker_busy_seconds[worker] += delta;
+      *idle_it = completion;
+      report.makespan = std::max(report.makespan, completion);
+      continue;
+    }
+
+    // ---- Idle worker: form a new batch (stages 1-3, as run-to-completion).
+    if (stop) {
+      *idle_it = kIdleForever;
+      continue;
+    }
+    admit_until(now);
+    if (pending.empty()) {
+      *idle_it = next_arrival < trace.size()
+                     ? std::max(now, trace[next_arrival].arrival)
+                     : kIdleForever;
+      continue;
+    }
+    report.queue_depth.add(static_cast<double>(pending.size()));
+
+    const double select_t0 = clock_.now();
+    Selection sel = scheduler_.select(now, pending);
+    report.scheduler_seconds += clock_.now() - select_t0;
+
+    const double batch_t0 = clock_.now();
+    const Index slot_len =
+        sel.slot_len > 0 ? sel.slot_len : cfg_.fixed_slot_len;
+    BatchBuildResult built = build_with_scheme(
+        cfg_.scheme, std::move(sel.ordered), Row{sched_cfg.batch_rows},
+        Col{sched_cfg.row_capacity}, slot_len);
+    report.batching_seconds += clock_.now() - batch_t0;
+
+    if (built.plan.empty()) {
+      if (next_arrival < trace.size()) {
+        *idle_it = std::max(now, trace[next_arrival].arrival);
+        continue;
+      }
+      report.failed += pending.size();
+      pending.clear();
+      *idle_it = kIdleForever;
+      continue;
+    }
+
+    std::unordered_set<RequestId> served;
+    for (const auto id : built.plan.request_ids()) served.insert(id);
+    BatchWork work;
+    work.plan = std::move(built.plan);
+    work.requests.reserve(served.size());
+    double used_tokens = 0.0;
+    for (const auto& req : pending) {
+      if (!served.contains(req.id)) continue;
+      account_admitted(req, now);
+      used_tokens += static_cast<double>(req.length);
+      work.requests.push_back(req);
+    }
+    pending.erase(std::remove_if(pending.begin(), pending.end(),
+                                 [&](const Request& r) {
+                                   return served.contains(r.id);
+                                 }),
+                  pending.end());
+
+    const double exec_t0 = clock_.now();
+    std::unique_ptr<SteppedExecution> exec = backend_.begin_stepped(work);
+    if (exec == nullptr)
+      throw std::logic_error(
+          "ServingPipeline: backend cannot step batches (continuous mode "
+          "needs begin_stepped support)");
+    report.execute_seconds += clock_.now() - exec_t0;
+    const double prologue = exec->prologue_seconds();
+    if (!(prologue > 0.0))
+      throw std::logic_error("ServingPipeline: non-positive batch prologue");
+
+    double plan_capacity = 0.0;
+    for (const auto& row : work.plan.rows)
+      plan_capacity += static_cast<double>(row.width);
+    const double grid_capacity = static_cast<double>(
+        sched_cfg.batch_rows * sched_cfg.row_capacity);
+    batch.slots = std::make_unique<SlotAllocator>(work.plan);
+    batch.exec = std::move(exec);
+    batch.seconds = prologue;
+    batch.requests = served.size();
+    batch.splice_eligible =
+        plan_capacity >= cfg_.splice_min_fill * grid_capacity;
+    ++report.batches;
+    report.busy_seconds += prologue;
+    report.worker_busy_seconds[worker] += prologue;
+    report.batch_occupancy.add(
+        used_tokens / static_cast<double>(sched_cfg.batch_rows *
+                                          sched_cfg.row_capacity));
+    *idle_it = now + prologue;
+    report.makespan = std::max(report.makespan, now + prologue);
+
+    if (cfg_.max_batches != 0 && report.batches >= cfg_.max_batches) {
+      // Safety valve: stop admitting; live batches still drain to done.
+      report.failed += pending.size() + (trace.size() - next_arrival);
+      pending.clear();
+      next_arrival = trace.size();
+      stop = true;
+    }
+  }
+
+  // ---- Completion / accounting ----------------------------------------
+  for (auto& exec : executions) {
+    result.peak_kv_bytes = std::max(result.peak_kv_bytes, exec.peak_kv_bytes);
+    result.early_freed_bytes += exec.early_freed_bytes;
+    result.reclaimable_kv_bytes += exec.reclaimable_kv_bytes;
     for (auto& resp : exec.responses) {
       const auto& times = service_times.at(resp.id);  // throws on unknown id
       resp.scheduled_at = times.first;

@@ -66,12 +66,20 @@ struct ServingReport {
   /// Admissions rejected by a full bounded queue (drained then retried).
   std::size_t backpressure_events = 0;
 
+  // Continuous (iteration-level) batching only — zero in run-to-completion
+  // mode (DESIGN.md §15).
+  std::size_t spliced_requests = 0;  ///< admitted into live batches mid-decode
+  std::size_t slot_releases = 0;     ///< slot spans vacated mid-batch
+
   Samples latency;                  ///< completion - arrival per request
   Samples batch_seconds;            ///< per-batch inference time
   Samples batch_occupancy;          ///< used tokens / (rows * L) per batch
   Samples batch_requests;           ///< requests per batch
   Samples queue_depth;              ///< pending count at each decision point
   Samples admission_queue_depth;    ///< bounded-queue depth before each drain
+  /// Occupied-slot fraction across live batches, sampled once per decode
+  /// step (continuous mode only).
+  Samples slot_occupancy;
 
   [[nodiscard]] std::string summary() const;
 };
@@ -92,6 +100,50 @@ struct PipelineConfig {
 
   /// Bound of the admission queue (backpressure threshold, >= 1).
   std::size_t admission_capacity = 1024;
+
+  /// Continuous (iteration-level) batching: batches execute one decoder
+  /// iteration at a time through SteppedExecution; finished requests free
+  /// their slots mid-batch and the scheduler splices waiting requests into
+  /// the vacated spans between iterations (DESIGN.md §15). Requires a
+  /// backend whose begin_stepped() returns non-null. The coordinator steps
+  /// every live batch inline — multi-worker continuous runs are simulated
+  /// concurrency, deterministic by construction.
+  bool continuous = false;
+
+  /// Continuous mode: a batch accepts mid-decode splices only when its plan
+  /// laid out at least this fraction of the grid's token capacity
+  /// (rows * row_capacity). Splicing pins the batch's formation-time
+  /// geometry; a batch formed from a near-empty pending set would otherwise
+  /// stay alive indefinitely, trickling requests through its few slots while
+  /// a full-width re-formation waits. Under-filled batches instead drain and
+  /// retire so the worker can form a fresh grid. 0.6 won the bench sweep
+  /// (bench/continuous_batching.cpp) over 0.25/0.4/0.8 across arrival rates
+  /// and length distributions.
+  double splice_min_fill = 0.6;
+
+  /// Continuous mode: stop splicing into a live batch after this many decode
+  /// iterations (0 = never stop, the default). A time-boxed splice window
+  /// forces a drain tail of sparse, expensive iterations before the batch
+  /// can retire, which measures strictly worse than indefinite splicing
+  /// across the bench sweep — the knob exists for experiments, not as a
+  /// recommended setting (prefer splice_misfit_drain, which only drains when
+  /// the geometry stopped matching the arrivals).
+  std::size_t splice_horizon_steps = 0;
+
+  /// Continuous mode: drain a live batch once this fraction of the pending
+  /// set no longer fits its widest slot span (0 disables). A spliced batch
+  /// keeps its formation-time geometry forever; when the arrival mix drifts
+  /// (e.g. a bimodal workload whose long mode exceeds the frozen slot
+  /// length), splicing would serve only the short tail while the misfits
+  /// expire — draining lets the worker re-form with geometry matched to what
+  /// is actually waiting. Evaluated only against a meaningfully sized
+  /// pending set (>= 8) so a lone early misfit cannot kill a healthy batch.
+  /// The threshold is deliberately high: splicing drains short requests
+  /// first, so the pending set is survivor-biased toward misfits even when
+  /// the geometry is healthy; 0.75 kept every catastrophic-mismatch case
+  /// (bimodal long mode vs a short frozen slot length) at run-to-completion
+  /// parity without sacrificing the saturation wins (bench sweep).
+  double splice_misfit_drain = 0.75;
 };
 
 /// Everything one pipeline run produced. Analytical runs leave `responses`
@@ -102,6 +154,11 @@ struct PipelineResult {
   std::vector<Response> responses;
   std::size_t peak_kv_bytes = 0;    ///< max over batches
   std::size_t early_freed_bytes = 0;
+  /// What an ideal per-request cleaner could have freed (see
+  /// DecodeResult::reclaimable_kv_bytes); early_freed_bytes / this ratio
+  /// measures how much of the reclaimable memory each scheme actually
+  /// returned.
+  std::size_t reclaimable_kv_bytes = 0;
 };
 
 class ServingPipeline {
@@ -116,6 +173,14 @@ class ServingPipeline {
   [[nodiscard]] PipelineResult run(const std::vector<Request>& trace) const;
 
  private:
+  /// The continuous-mode driver (PipelineConfig::continuous); run()
+  /// dispatches here. Event-driven over per-worker live batches: the
+  /// earliest pending event (a step completing, or an idle worker forming a
+  /// new batch) is processed next, with deterministic first-index
+  /// tie-breaking.
+  [[nodiscard]] PipelineResult run_continuous(
+      const std::vector<Request>& trace) const;
+
   const Scheduler& scheduler_;
   const ExecutionBackend& backend_;
   const Clock& clock_;

@@ -23,6 +23,10 @@ ServingReport ServingSimulator::run(const std::vector<Request>& trace) const {
   cfg.fixed_slot_len = cfg_.fixed_slot_len;
   cfg.workers = cfg_.workers;
   cfg.max_batches = cfg_.max_batches;
+  cfg.continuous = cfg_.continuous;
+  cfg.splice_min_fill = cfg_.splice_min_fill;
+  cfg.splice_horizon_steps = cfg_.splice_horizon_steps;
+  cfg.splice_misfit_drain = cfg_.splice_misfit_drain;
   const ServingPipeline pipeline(scheduler_, backend, clock, cfg);
   return pipeline.run(trace).report;
 }

@@ -30,6 +30,16 @@ struct SimulatorConfig {
   /// Safety valve: stop after this many batches (0 = unlimited). A correctly
   /// configured run never hits it.
   std::size_t max_batches = 0;
+
+  /// Continuous (iteration-level) batching: price each decode iteration
+  /// separately, retire modeled tracks as they finish, and splice pending
+  /// requests into the vacated slots mid-batch (DESIGN.md §15).
+  bool continuous = false;
+
+  /// Continuous mode tuning — see the matching PipelineConfig fields.
+  double splice_min_fill = 0.6;
+  std::size_t splice_horizon_steps = 0;
+  double splice_misfit_drain = 0.75;
 };
 
 class ServingSimulator {

@@ -1,0 +1,148 @@
+// SlotAllocator unit tests: grid construction per scheme, occupancy
+// transitions, FIFO vacancy order, idempotent releases, and the
+// occupancy/lifetime counters the continuous-batching coordinator reports.
+#include "batching/slot_allocator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "batching/concat_batcher.hpp"
+#include "batching/slotted_batcher.hpp"
+
+namespace tcb {
+namespace {
+
+std::vector<Request> short_requests(std::size_t count, Index length) {
+  std::vector<Request> reqs;
+  for (std::size_t i = 0; i < count; ++i) {
+    Request r;
+    r.id = static_cast<RequestId>(i);
+    r.length = length;
+    reqs.push_back(std::move(r));
+  }
+  return reqs;
+}
+
+TEST(SlotAllocatorTest, SlottedGridOneSlotPerZColumns) {
+  // 8 requests of length 4, z=4, 2 rows x 16 columns -> 4 slots per row,
+  // one request per slot, everything occupied at formation (the batcher
+  // trims each row to its last occupied slot, so a fresh grid is full).
+  const SlottedConcatBatcher batcher(/*slot_len=*/4);
+  const auto built = batcher.build(short_requests(8, 4), Row{2}, Col{16});
+  ASSERT_TRUE(built.leftover.empty());
+
+  SlotAllocator alloc(built.plan);
+  EXPECT_EQ(alloc.total_slots(), 8);
+  const auto stats = alloc.stats();
+  EXPECT_EQ(stats.total_slots, 8);
+  EXPECT_EQ(stats.occupied_slots, 8);
+  EXPECT_EQ(stats.releases, 0u);
+  EXPECT_EQ(stats.acquires, 0u);
+  EXPECT_DOUBLE_EQ(alloc.occupied_fraction(), 1.0);
+  EXPECT_TRUE(alloc.vacant().empty());
+
+  // Releasing one slot surfaces its z-aligned span.
+  ASSERT_TRUE(alloc.release(Row{0}, Slot{1}));
+  const auto vacant = alloc.vacant();
+  ASSERT_EQ(vacant.size(), 1u);
+  EXPECT_EQ(vacant[0].width, 4);
+  EXPECT_EQ(vacant[0].begin.value(), 4);
+  EXPECT_DOUBLE_EQ(alloc.occupied_fraction(), 7.0 / 8.0);
+}
+
+TEST(SlotAllocatorTest, UnslottedSchemesGetOneSlotPerRow) {
+  const ConcatBatcher batcher;
+  const auto built = batcher.build(short_requests(6, 4), Row{3}, Col{8});
+  ASSERT_TRUE(built.leftover.empty());
+
+  SlotAllocator alloc(built.plan);
+  EXPECT_EQ(alloc.total_slots(), static_cast<Index>(built.plan.rows.size()));
+  EXPECT_DOUBLE_EQ(alloc.occupied_fraction(), 1.0);
+  EXPECT_TRUE(alloc.vacant().empty());
+
+  ASSERT_TRUE(alloc.release(Row{0}, Slot{0}));
+  const auto vacant = alloc.vacant();
+  ASSERT_EQ(vacant.size(), 1u);
+  EXPECT_EQ(vacant[0].row.value(), 0);
+  EXPECT_EQ(vacant[0].begin.value(), 0);
+  EXPECT_EQ(vacant[0].width, built.plan.rows[0].width);
+}
+
+TEST(SlotAllocatorTest, ReleaseIsIdempotentAndAcquireReclaims) {
+  const SlottedConcatBatcher batcher(4);
+  const auto built = batcher.build(short_requests(8, 4), Row{2}, Col{16});
+  ASSERT_TRUE(built.leftover.empty());
+  SlotAllocator alloc(built.plan);
+  EXPECT_DOUBLE_EQ(alloc.occupied_fraction(), 1.0);
+
+  EXPECT_TRUE(alloc.release(Row{1}, Slot{2}));
+  EXPECT_FALSE(alloc.release(Row{1}, Slot{2}))
+      << "second release of a vacant slot must be a no-op";
+  EXPECT_EQ(alloc.stats().releases, 1u);
+  EXPECT_EQ(alloc.stats().occupied_slots, 7);
+
+  EXPECT_TRUE(alloc.acquire(Row{1}, Slot{2}));
+  EXPECT_FALSE(alloc.acquire(Row{1}, Slot{2}))
+      << "acquiring an occupied slot must fail";
+  EXPECT_EQ(alloc.stats().acquires, 1u);
+  EXPECT_DOUBLE_EQ(alloc.occupied_fraction(), 1.0);
+  EXPECT_TRUE(alloc.vacant().empty());
+}
+
+TEST(SlotAllocatorTest, VacancyOrderIsReleaseOrder) {
+  const SlottedConcatBatcher batcher(4);
+  const auto built = batcher.build(short_requests(8, 4), Row{2}, Col{16});
+  ASSERT_TRUE(built.leftover.empty());
+  SlotAllocator alloc(built.plan);
+
+  ASSERT_TRUE(alloc.release(Row{1}, Slot{3}));
+  ASSERT_TRUE(alloc.release(Row{0}, Slot{0}));
+  ASSERT_TRUE(alloc.release(Row{0}, Slot{2}));
+
+  const auto vacant = alloc.vacant();
+  ASSERT_EQ(vacant.size(), 3u);
+  EXPECT_EQ(vacant[0].row.value(), 1);
+  EXPECT_EQ(vacant[0].slot.value(), 3);
+  EXPECT_EQ(vacant[1].row.value(), 0);
+  EXPECT_EQ(vacant[1].slot.value(), 0);
+  EXPECT_EQ(vacant[2].row.value(), 0);
+  EXPECT_EQ(vacant[2].slot.value(), 2);
+
+  // Re-acquiring the middle one keeps the others' relative order.
+  ASSERT_TRUE(alloc.acquire(Row{0}, Slot{0}));
+  const auto after = alloc.vacant();
+  ASSERT_EQ(after.size(), 2u);
+  EXPECT_EQ(after[0].slot.value(), 3);
+  EXPECT_EQ(after[1].slot.value(), 2);
+}
+
+TEST(SlotAllocatorTest, TailSlotWidthIsClippedToTheRow) {
+  // Row width 10 with z=4: slots at columns 0, 4 and 8 — the last is 2 wide.
+  BatchPlan plan;
+  plan.scheme = Scheme::kConcatSlotted;
+  plan.slot_len = 4;
+  plan.row_capacity = 10;
+  RowLayout row;
+  row.width = 10;
+  row.segments.push_back(Segment{0, 0, 4, 0});
+  plan.rows.push_back(row);
+
+  SlotAllocator alloc(plan);
+  EXPECT_EQ(alloc.total_slots(), 3);
+  const auto vacant = alloc.vacant();
+  ASSERT_EQ(vacant.size(), 2u);
+  EXPECT_EQ(vacant[0].begin.value(), 4);
+  EXPECT_EQ(vacant[0].width, 4);
+  EXPECT_EQ(vacant[1].begin.value(), 8);
+  EXPECT_EQ(vacant[1].width, 2);
+}
+
+TEST(SlotAllocatorTest, EmptyPlanHasNoSlots) {
+  const BatchPlan plan;
+  SlotAllocator alloc(plan);
+  EXPECT_EQ(alloc.total_slots(), 0);
+  EXPECT_TRUE(alloc.vacant().empty());
+  EXPECT_DOUBLE_EQ(alloc.occupied_fraction(), 1.0);
+}
+
+}  // namespace
+}  // namespace tcb

@@ -1,0 +1,706 @@
+// DecodeSession vs the frozen monolithic decode loop. The resumable-session
+// refactor (DESIGN.md §15) must be a pure re-expression of the old
+// run-to-completion greedy_decode: identical token bits, identical step
+// count, identical peak / early-freed KV accounting, across the pure,
+// concat and slotted execution schemes. `frozen_greedy_decode` below is the
+// pre-refactor loop copied verbatim (it only ever used the model's public
+// accessors), pinned here so any drift in the session is caught against an
+// implementation that no longer exists in src/.
+//
+// On top of equivalence, the suite covers what only the session can do:
+// per-iteration finished/released events, the reclaimable-vs-reclaimed
+// accounting gap, and mid-batch splicing — a spliced request's tokens must
+// be bitwise identical to decoding it alone, and splicing must not perturb
+// the tokens of any request already in flight.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "batching/concat_batcher.hpp"
+#include "batching/packed_batch.hpp"
+#include "batching/slotted_batcher.hpp"
+#include "nn/model.hpp"
+#include "parallel/thread_pool.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/simd.hpp"
+#include "tensor/workspace.hpp"
+
+namespace tcb {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Frozen pre-refactor monolith (do not modify; see file comment).
+// ---------------------------------------------------------------------------
+
+struct FrozenGroup {
+  std::vector<std::size_t> members;
+  bool released = false;
+};
+
+struct FrozenLayerState {
+  std::vector<std::vector<float>> k_cache;
+  std::vector<std::vector<float>> v_cache;
+  Tensor cross_k;
+  Tensor cross_v;
+};
+
+Tensor frozen_residual_norm(const Tensor& x, Tensor delta, const Tensor& gamma,
+                            const Tensor& beta, float eps) {
+  add_inplace(delta, x);
+  Tensor out;
+  layer_norm(delta, gamma, beta, eps, out);
+  return out;
+}
+
+Index frozen_sample_top_k(const float* logits, Index vocab, Index k,
+                          float temperature, Rng& rng) {
+  k = std::min(k, vocab);
+  std::vector<Index> best;
+  best.reserve(static_cast<std::size_t>(k));
+  for (Index v = 0; v < vocab; ++v) {
+    if (static_cast<Index>(best.size()) < k) {
+      best.push_back(v);
+      if (static_cast<Index>(best.size()) == k)
+        std::sort(best.begin(), best.end(), [&](Index a, Index b) {
+          return logits[a] > logits[b] || (logits[a] == logits[b] && a < b);
+        });
+      continue;
+    }
+    if (logits[v] > logits[best.back()]) {
+      best.back() = v;
+      for (std::size_t i = best.size() - 1;
+           i > 0 && (logits[best[i]] > logits[best[i - 1]] ||
+                     (logits[best[i]] == logits[best[i - 1]] &&
+                      best[i] < best[i - 1]));
+           --i)
+        std::swap(best[i], best[i - 1]);
+    }
+  }
+
+  const float inv_t = 1.0f / std::max(temperature, 1e-6f);
+  const float mx = logits[best[0]];
+  std::vector<double> weights(best.size());
+  double total = 0.0;
+  for (std::size_t i = 0; i < best.size(); ++i) {
+    weights[i] = std::exp(static_cast<double>((logits[best[i]] - mx) * inv_t));
+    total += weights[i];
+  }
+  double u = rng.next_double() * total;
+  for (std::size_t i = 0; i < best.size(); ++i) {
+    u -= weights[i];
+    if (u <= 0.0) return best[i];
+  }
+  return best.back();
+}
+
+DecodeResult frozen_greedy_decode(const Seq2SeqModel& model,
+                                  const EncoderMemory& memory,
+                                  const DecodeOptions& opts) {
+  const ModelConfig& cfg = model.config();
+  const Index d = cfg.d_model;
+  const Index heads = cfg.n_heads;
+  const Index dh = cfg.head_dim();
+  const float inv_sqrt = 1.0f / std::sqrt(static_cast<float>(dh));
+  const bool slotted =
+      opts.mode == AttentionMode::kSlotted && memory.plan.slot_len > 0;
+
+  DecodeResult result;
+
+  std::vector<DecodeTrack> tracks;
+  for (std::size_t r = 0; r < memory.plan.rows.size(); ++r) {
+    const auto& row = memory.plan.rows[r];
+    for (std::size_t si = 0; si < row.segments.size(); ++si) {
+      const auto& seg = row.segments[si];
+      DecodeTrack t;
+      t.request_id = seg.request_id;
+      t.row = Row{static_cast<Index>(r)};
+      t.slot = seg.slot_index();
+      t.seg_index = static_cast<Index>(si);
+      t.src_offset = seg.begin_col();
+      t.src_len = seg.length;
+      tracks.push_back(std::move(t));
+    }
+  }
+  if (tracks.empty()) return result;
+
+  std::vector<FrozenGroup> groups;
+  std::vector<std::size_t> group_of(tracks.size());
+  {
+    std::unordered_map<Index, std::size_t> key_to_group;
+    for (std::size_t i = 0; i < tracks.size(); ++i) {
+      const Index key = tracks[i].row.value() * (memory.width.value() + 1) +
+                        (slotted ? tracks[i].slot.value() : 0);
+      auto [it, inserted] = key_to_group.try_emplace(key, groups.size());
+      if (inserted) groups.emplace_back();
+      groups[it->second].members.push_back(i);
+      group_of[i] = it->second;
+    }
+  }
+
+  [[maybe_unused]] const SegmentCache& src_cache =
+      memory.plan.segment_cache(memory.width);
+
+  const auto& layers = model.decoder_layers();
+  std::vector<FrozenLayerState> states(layers.size());
+  for (std::size_t l = 0; l < layers.size(); ++l) {
+    states[l].k_cache.resize(tracks.size());
+    states[l].v_cache.resize(tracks.size());
+    states[l].cross_k = layers[l].cross_attn().wk().forward(memory.states);
+    states[l].cross_v = layers[l].cross_attn().wv().forward(memory.states);
+  }
+
+  std::size_t cur_kv_bytes = 0;
+  const Index max_steps = std::min<Index>(opts.max_steps, cfg.max_len);
+
+  std::vector<Rng> track_rng;
+  if (opts.strategy == DecodeStrategy::kTopK) {
+    const Rng base(opts.sample_seed);
+    track_rng.reserve(tracks.size());
+    for (const auto& track : tracks)
+      track_rng.push_back(
+          base.fork(static_cast<std::uint64_t>(track.request_id)));
+  }
+
+  for (Index t = 0; t < max_steps; ++t) {
+    std::vector<std::size_t> active;
+    for (std::size_t i = 0; i < tracks.size(); ++i)
+      if (!tracks[i].finished) active.push_back(i);
+    if (active.empty()) break;
+    result.steps = t + 1;
+    const Index a_count = static_cast<Index>(active.size());
+
+    std::vector<Index> prev;
+    prev.reserve(active.size());
+    for (const auto a : active)
+      prev.push_back(tracks[a].emitted.empty() ? kBosToken
+                                               : tracks[a].emitted.back());
+    Tensor x = model.embedding().lookup(prev);
+    const float* pe = model.positional_encoding().at(Pos{t});
+    for (Index ai = 0; ai < a_count; ++ai) {
+      float* row = x.row(ai);
+      for (Index j = 0; j < d; ++j) row[j] += pe[j];
+    }
+
+    for (std::size_t l = 0; l < layers.size(); ++l) {
+      const DecoderLayer& layer = layers[l];
+      FrozenLayerState& st = states[l];
+
+      const Tensor q = layer.self_attn().wq().forward(x);
+      const Tensor k_new = layer.self_attn().wk().forward(x);
+      const Tensor v_new = layer.self_attn().wv().forward(x);
+      for (Index ai = 0; ai < a_count; ++ai) {
+        const std::size_t a = active[static_cast<std::size_t>(ai)];
+        const float* krow = k_new.row(ai);
+        const float* vrow = v_new.row(ai);
+        st.k_cache[a].insert(st.k_cache[a].end(), krow, krow + d);
+        st.v_cache[a].insert(st.v_cache[a].end(), vrow, vrow + d);
+        cur_kv_bytes += 2 * static_cast<std::size_t>(d) * sizeof(float);
+      }
+      result.peak_kv_bytes = std::max(result.peak_kv_bytes, cur_kv_bytes);
+
+      Tensor attn(Shape{a_count, d});
+      parallel_for(
+          static_cast<std::size_t>(a_count) * static_cast<std::size_t>(heads),
+          [&](std::size_t begin, std::size_t end) {
+            for (std::size_t task = begin; task < end; ++task) {
+              const Index ai = static_cast<Index>(task / heads);
+              const Index h = static_cast<Index>(task % heads);
+              const std::size_t a = active[static_cast<std::size_t>(ai)];
+              const FrozenGroup& group = groups[group_of[a]];
+              const std::size_t head_off = static_cast<std::size_t>(h) * dh;
+              const float* qv = q.row(ai) + head_off;
+
+              std::size_t total = 0;
+              for (const auto m : group.members)
+                total += st.k_cache[m].size() / static_cast<std::size_t>(d);
+              WorkspaceScope scope;
+              float* scores = scope.alloc(total);
+              std::size_t idx = 0;
+              for (const auto m : group.members) {
+                const auto& kc = st.k_cache[m];
+                const std::size_t steps_m =
+                    kc.size() / static_cast<std::size_t>(d);
+                const float mask_add = m == a ? 0.0f : kMaskedOut;
+                for (std::size_t s = 0; s < steps_m; ++s) {
+                  const float* kv =
+                      kc.data() + s * static_cast<std::size_t>(d) + head_off;
+                  scores[idx++] = simd::dot(qv, kv, dh) * inv_sqrt + mask_add;
+                }
+              }
+
+              float mx = kMaskedOut;
+              for (std::size_t s = 0; s < total; ++s)
+                mx = std::max(mx, scores[s]);
+              float sum = 0.0f;
+              for (std::size_t s = 0; s < total; ++s) {
+                scores[s] = std::exp(scores[s] - mx);
+                // tcb-lint: allow(raw-fp-accumulation)
+                sum += scores[s];
+              }
+              const float inv = 1.0f / sum;
+              float* out = attn.row(ai) + head_off;
+              for (Index c = 0; c < dh; ++c) out[c] = 0.0f;
+              idx = 0;
+              for (const auto m : group.members) {
+                const auto& vc = st.v_cache[m];
+                const std::size_t steps_m =
+                    vc.size() / static_cast<std::size_t>(d);
+                for (std::size_t s = 0; s < steps_m; ++s)
+                  simd::axpy(
+                      scores[idx++] * inv,
+                      vc.data() + s * static_cast<std::size_t>(d) + head_off,
+                      out, dh);
+              }
+            }
+          });
+      Tensor x1 =
+          frozen_residual_norm(x, layer.self_attn().wo().forward(attn),
+                               layer.ln_gamma(0), layer.ln_beta(0),
+                               layer.eps());
+
+      const Tensor q2 = layer.cross_attn().wq().forward(x1);
+      Tensor attn2(Shape{a_count, d});
+      parallel_for(
+          static_cast<std::size_t>(a_count) * static_cast<std::size_t>(heads),
+          [&](std::size_t begin, std::size_t end) {
+            for (std::size_t task = begin; task < end; ++task) {
+              const Index ai = static_cast<Index>(task / heads);
+              const Index h = static_cast<Index>(task % heads);
+              const std::size_t a = active[static_cast<std::size_t>(ai)];
+              const DecodeTrack& tr = tracks[a];
+              const std::size_t head_off = static_cast<std::size_t>(h) * dh;
+              const float* qv = q2.row(ai) + head_off;
+              const Index row_base = static_cast<Index>(
+                  flat_offset(tr.row, Col{0}, memory.width));
+
+              const Index span_begin = tr.src_offset.value();
+              const Index span = tr.src_len;
+
+              WorkspaceScope scope;
+              float* scores = scope.alloc(static_cast<std::size_t>(span));
+              for (Index j = 0; j < span; ++j) {
+                const float* kv =
+                    st.cross_k.row(row_base + span_begin + j) + head_off;
+                scores[j] = simd::dot(qv, kv, dh) * inv_sqrt;
+              }
+              float mx = kMaskedOut;
+              for (Index j = 0; j < span; ++j) mx = std::max(mx, scores[j]);
+              float* out = attn2.row(ai) + head_off;
+              for (Index c = 0; c < dh; ++c) out[c] = 0.0f;
+              if (mx <= kMaskedOut / 2) continue;
+              float sum = 0.0f;
+              for (Index j = 0; j < span; ++j) {
+                scores[j] = std::exp(scores[j] - mx);
+                // tcb-lint: allow(raw-fp-accumulation)
+                sum += scores[j];
+              }
+              const float inv = 1.0f / sum;
+              for (Index j = 0; j < span; ++j) {
+                const float w = scores[j] * inv;
+                const float* vv =
+                    st.cross_v.row(row_base + span_begin + j) + head_off;
+                simd::axpy(w, vv, out, dh);
+              }
+            }
+          });
+      Tensor x2 =
+          frozen_residual_norm(x1, layer.cross_attn().wo().forward(attn2),
+                               layer.ln_gamma(1), layer.ln_beta(1),
+                               layer.eps());
+
+      x = frozen_residual_norm(x2, layer.ffn().forward(x2), layer.ln_gamma(2),
+                               layer.ln_beta(2), layer.eps());
+    }
+
+    const Tensor logits = model.output_projection().forward(x);
+    std::vector<Index> next;
+    if (opts.strategy == DecodeStrategy::kGreedy) {
+      next = argmax_rows(logits);
+    } else {
+      next.resize(static_cast<std::size_t>(a_count));
+      for (Index ai = 0; ai < a_count; ++ai) {
+        const std::size_t a = active[static_cast<std::size_t>(ai)];
+        next[static_cast<std::size_t>(ai)] =
+            frozen_sample_top_k(logits.row(ai), cfg.vocab_size, opts.top_k,
+                                opts.temperature, track_rng[a]);
+      }
+    }
+    for (Index ai = 0; ai < a_count; ++ai) {
+      const std::size_t a = active[static_cast<std::size_t>(ai)];
+      const Index token = next[static_cast<std::size_t>(ai)];
+      tracks[a].emitted.push_back(token);
+      const Index cap = opts.cap_at_source_length
+                            ? std::min(max_steps, tracks[a].src_len)
+                            : max_steps;
+      if (token == kEosToken ||
+          static_cast<Index>(tracks[a].emitted.size()) >= cap)
+        tracks[a].finished = true;
+    }
+
+    if (slotted && opts.early_memory_cleaning) {
+      for (auto& group : groups) {
+        if (group.released) continue;
+        const bool done = std::all_of(
+            group.members.begin(), group.members.end(),
+            [&](std::size_t m) { return tracks[m].finished; });
+        if (!done) continue;
+        for (const auto m : group.members) {
+          for (auto& st : states) {
+            const std::size_t bytes =
+                (st.k_cache[m].size() + st.v_cache[m].size()) * sizeof(float);
+            cur_kv_bytes -= bytes;
+            result.early_freed_bytes += bytes;
+            st.k_cache[m] = {};
+            st.v_cache[m] = {};
+          }
+        }
+        group.released = true;
+      }
+    }
+  }
+
+  for (auto& track : tracks) {
+    auto tokens = std::move(track.emitted);
+    if (!tokens.empty() && tokens.back() == kEosToken) tokens.pop_back();
+    result.outputs.emplace(track.request_id, std::move(tokens));
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Test scaffolding
+// ---------------------------------------------------------------------------
+
+std::vector<Request> make_requests(std::size_t count, Index min_len,
+                                   Index max_len, const ModelConfig& cfg,
+                                   std::uint64_t seed,
+                                   RequestId first_id = 0) {
+  Rng rng(seed);
+  std::vector<Request> reqs;
+  for (std::size_t i = 0; i < count; ++i) {
+    Request r;
+    r.id = first_id + static_cast<RequestId>(i);
+    r.length = rng.uniform_int(min_len, max_len);
+    for (Index t = 0; t < r.length; ++t)
+      r.tokens.push_back(rng.uniform_int(kFirstWordToken, cfg.vocab_size - 1));
+    reqs.push_back(std::move(r));
+  }
+  return reqs;
+}
+
+/// Decodes one request alone (its own single-segment pure-concat batch).
+std::vector<Index> decode_alone(const Seq2SeqModel& model, const Request& req,
+                                DecodeOptions opts) {
+  BatchPlan plan;
+  plan.scheme = Scheme::kConcatPure;
+  plan.row_capacity = req.length;
+  RowLayout row;
+  row.width = req.length;
+  row.segments.push_back(Segment{req.id, 0, req.length, 0});
+  plan.rows.push_back(row);
+  InferenceOptions enc;
+  enc.mode = AttentionMode::kPureConcat;
+  EncoderMemory memory = model.encode(pack_batch(plan, {req}), enc);
+  opts.mode = AttentionMode::kPureConcat;
+  return greedy_decode(model, memory, opts).outputs.at(req.id);
+}
+
+void expect_same_decode(const DecodeResult& frozen, const DecodeResult& now,
+                        const char* label) {
+  EXPECT_EQ(frozen.steps, now.steps) << label;
+  EXPECT_EQ(frozen.peak_kv_bytes, now.peak_kv_bytes) << label;
+  EXPECT_EQ(frozen.early_freed_bytes, now.early_freed_bytes) << label;
+  ASSERT_EQ(frozen.outputs.size(), now.outputs.size()) << label;
+  for (const auto& [id, tokens] : frozen.outputs) {
+    ASSERT_TRUE(now.outputs.contains(id)) << label << " request " << id;
+    EXPECT_EQ(tokens, now.outputs.at(id))
+        << label << " request " << id << " tokens diverged";
+  }
+}
+
+class DecodeSessionTest : public ::testing::Test {
+ protected:
+  DecodeSessionTest() : cfg_(ModelConfig::test_scale()), model_(cfg_) {}
+
+  /// Encodes the plan and runs frozen monolith vs DecodeSession wrapper.
+  void check_equivalence(const BatchPlan& plan,
+                         const std::vector<Request>& reqs, DecodeOptions opts,
+                         const char* label) {
+    InferenceOptions enc;
+    enc.mode = opts.mode;
+    const EncoderMemory memory = model_.encode(pack_batch(plan, reqs), enc);
+    const DecodeResult frozen = frozen_greedy_decode(model_, memory, opts);
+    const DecodeResult now = greedy_decode(model_, memory, opts);
+    expect_same_decode(frozen, now, label);
+  }
+
+  ModelConfig cfg_;
+  Seq2SeqModel model_;
+};
+
+// ---------------------------------------------------------------------------
+// Equivalence with the frozen monolith, per scheme
+// ---------------------------------------------------------------------------
+
+TEST_F(DecodeSessionTest, MatchesFrozenMonolithOnSingleRequestPlan) {
+  const auto reqs = make_requests(1, 6, 6, cfg_, 41);
+  BatchPlan plan;
+  plan.scheme = Scheme::kConcatPure;
+  plan.row_capacity = reqs[0].length;
+  RowLayout row;
+  row.width = reqs[0].length;
+  row.segments.push_back(Segment{reqs[0].id, 0, reqs[0].length, 0});
+  plan.rows.push_back(row);
+
+  DecodeOptions opts;
+  opts.max_steps = 8;
+  check_equivalence(plan, reqs, opts, "pure/single");
+}
+
+TEST_F(DecodeSessionTest, MatchesFrozenMonolithOnConcatBatch) {
+  const auto reqs = make_requests(7, 2, 12, cfg_, 11);
+  const ConcatBatcher batcher;
+  const auto built = batcher.build(reqs, Row{2}, Col{40});
+  ASSERT_TRUE(built.leftover.empty());
+
+  DecodeOptions opts;
+  opts.max_steps = 10;
+  check_equivalence(built.plan, reqs, opts, "concat");
+
+  DecodeOptions capped = opts;
+  capped.cap_at_source_length = true;
+  check_equivalence(built.plan, reqs, capped, "concat/capped");
+}
+
+TEST_F(DecodeSessionTest, MatchesFrozenMonolithOnSlottedBatch) {
+  const auto reqs = make_requests(9, 2, 8, cfg_, 23);
+  const SlottedConcatBatcher batcher(/*slot_len=*/8);
+  const auto built = batcher.build(reqs, Row{3}, Col{32});
+  ASSERT_TRUE(built.leftover.empty());
+
+  DecodeOptions opts;
+  opts.mode = AttentionMode::kSlotted;
+  opts.max_steps = 10;
+  opts.cap_at_source_length = true;  // staggered finishes exercise groups
+  for (const bool cleaning : {false, true}) {
+    DecodeOptions o = opts;
+    o.early_memory_cleaning = cleaning;
+    check_equivalence(built.plan, reqs, o,
+                      cleaning ? "slotted/cleaning" : "slotted");
+  }
+}
+
+TEST_F(DecodeSessionTest, MatchesFrozenMonolithUnderTopKSampling) {
+  const auto reqs = make_requests(6, 3, 9, cfg_, 57);
+  const SlottedConcatBatcher batcher(/*slot_len=*/9);
+  const auto built = batcher.build(reqs, Row{2}, Col{27});
+  ASSERT_TRUE(built.leftover.empty());
+
+  DecodeOptions opts;
+  opts.mode = AttentionMode::kSlotted;
+  opts.max_steps = 8;
+  opts.strategy = DecodeStrategy::kTopK;
+  opts.top_k = 4;
+  opts.temperature = 0.8f;
+  opts.sample_seed = 99;
+  check_equivalence(built.plan, reqs, opts, "slotted/topk");
+}
+
+// ---------------------------------------------------------------------------
+// Stepped API semantics
+// ---------------------------------------------------------------------------
+
+TEST_F(DecodeSessionTest, StepEventsFireExactlyOncePerRequestAndSlot) {
+  const auto reqs = make_requests(8, 2, 8, cfg_, 67);
+  const SlottedConcatBatcher batcher(/*slot_len=*/8);
+  const auto built = batcher.build(reqs, Row{2}, Col{32});
+  ASSERT_TRUE(built.leftover.empty());
+
+  DecodeOptions opts;
+  opts.mode = AttentionMode::kSlotted;
+  opts.max_steps = 10;
+  opts.cap_at_source_length = true;
+  opts.early_memory_cleaning = true;
+  InferenceOptions enc;
+  enc.mode = opts.mode;
+  EncoderMemory memory = model_.encode(pack_batch(built.plan, reqs), enc);
+
+  DecodeSession session(model_, memory, opts);
+  std::set<RequestId> finished;
+  std::set<std::pair<Index, Index>> released;
+  std::size_t peak_live = 0;
+  while (!session.done()) {
+    peak_live = std::max(peak_live, session.live_kv_bytes());
+    const DecodeStepOutcome outcome = session.step();
+    for (const auto id : outcome.finished)
+      EXPECT_TRUE(finished.insert(id).second)
+          << "request " << id << " finished twice";
+    for (const auto& rel : outcome.released) {
+      EXPECT_TRUE(
+          released.insert({rel.row.value(), rel.slot.value()}).second)
+          << "slot released twice";
+      EXPECT_GT(rel.width, 0);
+      EXPECT_FALSE(rel.finished.empty());
+    }
+  }
+  EXPECT_EQ(finished.size(), reqs.size());
+  // Every slot that held a track must eventually release.
+  std::set<std::pair<Index, Index>> expected;
+  for (std::size_t r = 0; r < built.plan.rows.size(); ++r)
+    for (const auto& seg : built.plan.rows[r].segments)
+      expected.insert({static_cast<Index>(r), seg.slot_index().value()});
+  EXPECT_EQ(released, expected);
+
+  const DecodeResult result = session.take_result();
+  EXPECT_EQ(result.outputs.size(), reqs.size());
+  EXPECT_EQ(session.steps(), result.steps);
+  EXPECT_LE(peak_live, result.peak_kv_bytes)
+      << "between-step live bytes cannot exceed the recorded peak";
+  EXPECT_EQ(session.live_kv_bytes(), 0u)
+      << "all caches freed under early cleaning once done";
+}
+
+TEST_F(DecodeSessionTest, ReclaimableVsReclaimedAccountingGap) {
+  const auto reqs = make_requests(8, 2, 8, cfg_, 71);
+  DecodeOptions base;
+  base.max_steps = 10;
+  base.cap_at_source_length = true;  // staggered finishes => reclaimable > 0
+
+  // Pure concat: everything becomes reclaimable, nothing is freed early.
+  {
+    const ConcatBatcher batcher;
+    const auto built = batcher.build(reqs, Row{2}, Col{32});
+    ASSERT_TRUE(built.leftover.empty());
+    InferenceOptions enc;
+    EncoderMemory memory = model_.encode(pack_batch(built.plan, reqs), enc);
+    DecodeOptions opts = base;
+    opts.early_memory_cleaning = true;  // ineffective outside kSlotted
+    const DecodeResult result = greedy_decode(model_, memory, opts);
+    EXPECT_GT(result.reclaimable_kv_bytes, 0u);
+    EXPECT_EQ(result.early_freed_bytes, 0u);
+  }
+
+  // Slotted with early cleaning: everything reclaimable is actually freed
+  // (slot granularity and ideal per-request granularity agree on totals).
+  {
+    const SlottedConcatBatcher batcher(/*slot_len=*/8);
+    const auto built = batcher.build(reqs, Row{2}, Col{32});
+    ASSERT_TRUE(built.leftover.empty());
+    InferenceOptions enc;
+    enc.mode = AttentionMode::kSlotted;
+    EncoderMemory memory = model_.encode(pack_batch(built.plan, reqs), enc);
+    DecodeOptions opts = base;
+    opts.mode = AttentionMode::kSlotted;
+    opts.early_memory_cleaning = true;
+    const DecodeResult result = greedy_decode(model_, memory, opts);
+    EXPECT_GT(result.reclaimable_kv_bytes, 0u);
+    EXPECT_EQ(result.early_freed_bytes, result.reclaimable_kv_bytes);
+
+    // Same batch without cleaning: the reclaimable total is unchanged but
+    // none of it is returned — the accounting gap this field exists to show.
+    DecodeOptions lazy = opts;
+    lazy.early_memory_cleaning = false;
+    EncoderMemory memory2 = model_.encode(pack_batch(built.plan, reqs), enc);
+    const DecodeResult result2 = greedy_decode(model_, memory2, lazy);
+    EXPECT_EQ(result2.reclaimable_kv_bytes, result.reclaimable_kv_bytes);
+    EXPECT_EQ(result2.early_freed_bytes, 0u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Mid-batch splicing
+// ---------------------------------------------------------------------------
+
+TEST_F(DecodeSessionTest, SplicedRequestDecodesBitwiseAsAlone) {
+  // Short requests so slots vacate quickly; cap at source length staggers
+  // the finishes.
+  const auto reqs = make_requests(6, 2, 6, cfg_, 83);
+  const SlottedConcatBatcher batcher(/*slot_len=*/6);
+  const auto built = batcher.build(reqs, Row{2}, Col{18});
+  ASSERT_TRUE(built.leftover.empty());
+
+  DecodeOptions opts;
+  opts.mode = AttentionMode::kSlotted;
+  opts.max_steps = 12;
+  opts.cap_at_source_length = true;
+  opts.early_memory_cleaning = true;
+  InferenceOptions enc;
+  enc.mode = opts.mode;
+
+  // Baseline: the same batch driven dry with no splicing.
+  EncoderMemory baseline_memory =
+      model_.encode(pack_batch(built.plan, reqs), enc);
+  const DecodeResult baseline =
+      greedy_decode(model_, baseline_memory, opts);
+
+  // Late requests spliced into the first two vacated slots.
+  auto late = make_requests(2, 2, 5, cfg_, 89, /*first_id=*/100);
+
+  EncoderMemory memory = model_.encode(pack_batch(built.plan, reqs), enc);
+  DecodeSession session(model_, memory, opts);
+  std::size_t next_late = 0;
+  while (!session.done()) {
+    const DecodeStepOutcome outcome = session.step();
+    for (const auto& rel : outcome.released) {
+      if (next_late >= late.size()) break;
+      if (late[next_late].length > rel.width) continue;
+      session.splice(rel.row, rel.slot, rel.begin, rel.width,
+                     {late[next_late]});
+      ++next_late;
+    }
+  }
+  ASSERT_EQ(next_late, late.size()) << "trace too short to vacate two slots";
+  const DecodeResult result = session.take_result();
+
+  // Original requests: bitwise unaffected by the splices.
+  for (const auto& req : reqs)
+    EXPECT_EQ(result.outputs.at(req.id), baseline.outputs.at(req.id))
+        << "request " << req.id << " perturbed by mid-batch splicing";
+
+  // Spliced requests: bitwise identical to decoding them alone.
+  for (const auto& req : late) {
+    DecodeOptions alone = opts;
+    EXPECT_EQ(result.outputs.at(req.id), decode_alone(model_, req, alone))
+        << "spliced request " << req.id << " diverged from solo decode";
+  }
+}
+
+TEST_F(DecodeSessionTest, SpliceMultipleRequestsIntoOneSpan) {
+  // Pure concat: a released row span is re-used by two new requests packed
+  // side by side; both must decode exactly as if alone.
+  const auto reqs = make_requests(3, 4, 6, cfg_, 97);
+  const ConcatBatcher batcher;
+  const auto built = batcher.build(reqs, Row{3}, Col{16});
+  ASSERT_TRUE(built.leftover.empty());
+
+  DecodeOptions opts;
+  opts.max_steps = 10;
+  opts.cap_at_source_length = true;
+  InferenceOptions enc;
+  EncoderMemory memory = model_.encode(pack_batch(built.plan, reqs), enc);
+  DecodeSession session(model_, memory, opts);
+
+  auto late = make_requests(2, 3, 6, cfg_, 101, /*first_id=*/200);
+  ASSERT_LE(late[0].length + late[1].length, 16);
+  bool spliced = false;
+  while (!session.done()) {
+    const DecodeStepOutcome outcome = session.step();
+    if (!spliced && !outcome.released.empty()) {
+      const SlotRelease& rel = outcome.released.front();
+      session.splice(rel.row, rel.slot, rel.begin, rel.width, late);
+      spliced = true;
+    }
+  }
+  ASSERT_TRUE(spliced);
+  const DecodeResult result = session.take_result();
+  for (const auto& req : late)
+    EXPECT_EQ(result.outputs.at(req.id), decode_alone(model_, req, opts))
+        << "spliced request " << req.id << " diverged from solo decode";
+}
+
+}  // namespace
+}  // namespace tcb

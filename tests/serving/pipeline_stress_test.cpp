@@ -92,6 +92,52 @@ TEST(PipelineStressTest, ConcurrentServeIsDeterministic) {
   }
 }
 
+// Continuous-mode stress: 4-5 workers' live batches interleave on the
+// coordinator while the engine's intra-step parallel_for fans out to the
+// pool, SlotAllocators take release/acquire transitions, and mid-batch
+// splices mutate encoder state between iterations. Exactly-once and
+// run-to-run determinism must survive all of it.
+TEST(PipelineStressTest, ContinuousBatchingAccountsExactlyOnce) {
+  TcbConfig cfg = stress_config(/*workers=*/4);
+  cfg.continuous = true;
+  const TcbSystem tcb(cfg);
+  const auto trace = generate_trace(bursty_workload(41));
+  ASSERT_GT(trace.size(), 32u);
+
+  const ServeResult result = tcb.serve(trace);
+  expect_exactly_once(result, trace.size());
+  EXPECT_GT(result.batches, 2u);
+  EXPECT_GT(result.report.slot_releases, 0u);
+}
+
+TEST(PipelineStressTest, ContinuousBatchingIsDeterministic) {
+  TcbConfig cfg = stress_config(/*workers=*/5);
+  cfg.continuous = true;
+  const TcbSystem tcb(cfg);
+  const auto trace = generate_trace(bursty_workload(43));
+
+  const ServeResult first = tcb.serve(trace);
+  const ServeResult second = tcb.serve(trace);
+  expect_exactly_once(first, trace.size());
+
+  EXPECT_EQ(first.failed, second.failed);
+  EXPECT_EQ(first.batches, second.batches);
+  EXPECT_EQ(first.report.spliced_requests, second.report.spliced_requests);
+  EXPECT_EQ(first.report.slot_releases, second.report.slot_releases);
+  EXPECT_DOUBLE_EQ(first.total_utility, second.total_utility);
+  EXPECT_DOUBLE_EQ(first.makespan, second.makespan);
+  EXPECT_EQ(first.peak_kv_bytes, second.peak_kv_bytes);
+  EXPECT_EQ(first.early_freed_bytes, second.early_freed_bytes);
+  EXPECT_EQ(first.reclaimable_kv_bytes, second.reclaimable_kv_bytes);
+  ASSERT_EQ(first.responses.size(), second.responses.size());
+  for (std::size_t i = 0; i < first.responses.size(); ++i) {
+    EXPECT_EQ(first.responses[i].id, second.responses[i].id);
+    EXPECT_EQ(first.responses[i].tokens, second.responses[i].tokens);
+    EXPECT_DOUBLE_EQ(first.responses[i].completed_at,
+                     second.responses[i].completed_at);
+  }
+}
+
 TEST(PipelineStressTest, ClassificationServingRunsConcurrentlyToo) {
   const TcbConfig cfg = stress_config(/*workers=*/4);
   const TcbSystem tcb(cfg);

@@ -408,10 +408,47 @@ class IncludeLayering(Rule):
         "table": {"csv", "lifetime"},
     }
 
+    # Batching-internal refinement: Request is the leaf datum; batch_plan
+    # (the Batcher interface and plan geometry) sits on it; packed_batch,
+    # the SlotAllocator and the stats layer consume plans; the concrete
+    # batchers see only the interface (a batcher that peeks at another
+    # batcher's internals cannot be swapped by the factory), and the factory
+    # alone sees them all. Stems not listed (future batching files) are only
+    # module-checked.
+    BATCHING_DAG = {
+        "request": set(),
+        "batch_plan": {"request"},
+        "packed_batch": {"batch_plan"},
+        "slot_allocator": {"batch_plan"},
+        "stats": {"batch_plan"},
+        "concat_batcher": {"batch_plan"},
+        "naive_batcher": {"batch_plan"},
+        "slotted_batcher": {"batch_plan"},
+        "turbo_batcher": {"batch_plan"},
+        "factory": {"batch_plan", "concat_batcher", "naive_batcher",
+                    "slotted_batcher", "turbo_batcher"},
+    }
+
+    # Sched-internal refinement: the Scheduler interface (and the shared
+    # admission sanitizer evict_unschedulable) at the bottom; the policies —
+    # baselines, DAS, the offline bound — side by side above it, blind to
+    # each other so a policy comparison never measures a hidden dependency;
+    # slotted DAS extends DAS; the factory on top. Stems not listed (future
+    # sched files) are only module-checked.
+    SCHED_DAG = {
+        "scheduler": set(),
+        "baselines": {"scheduler"},
+        "das": {"scheduler"},
+        "slotted_das": {"das", "scheduler"},
+        "offline_bound": {"scheduler"},
+        "factory": {"baselines", "das", "scheduler", "slotted_das"},
+    }
+
     # module -> its internal stem-level DAG (same shape as DAG, keyed by file
     # stem). The include pattern is derived from the module name.
     SUBMODULE_DAGS = {"serving": SERVING_DAG, "tensor": TENSOR_DAG,
-                      "util": UTIL_DAG}
+                      "util": UTIL_DAG, "batching": BATCHING_DAG,
+                      "sched": SCHED_DAG}
 
     def applies_to(self, path: str) -> bool:
         parts = path.split("/")
